@@ -1,0 +1,374 @@
+package ascs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Dim: 1, Samples: 100, MemoryFloats: 100},
+		{Dim: 10, Samples: 2, MemoryFloats: 100},
+		{Dim: 10, Samples: 100},
+		{Dim: 10, Samples: 100, MemoryFloats: 100, Tables: 100},
+		{Dim: 10, Samples: 100, MemoryFloats: 5},
+		{Dim: 10, Samples: 100, MemoryFloats: 100, Alpha: 2},
+		{Dim: 10, Samples: 100, MemoryFloats: 100, WarmupFraction: 0.9},
+	}
+	for i, cfg := range bad {
+		if _, err := NewEstimator(cfg); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, cfg)
+		}
+	}
+	good := Config{Dim: 10, Samples: 100, MemoryFloats: 500}
+	if _, err := NewEstimator(good); err != nil {
+		t.Errorf("good config rejected: %v", err)
+	}
+}
+
+func TestEngineKindString(t *testing.T) {
+	if EngineASCS.String() != "ASCS" || EngineCS.String() != "CS" || EngineASketch.String() != "ASketch" {
+		t.Error("engine names wrong")
+	}
+	if EngineKind(9).String() == "" {
+		t.Error("unknown kind should render")
+	}
+}
+
+// correlatedRows makes a dataset with a single strongly correlated
+// feature pair (2, 7).
+func correlatedRows(d, n int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([][]float64, n)
+	for i := range rows {
+		row := make([]float64, d)
+		z := rng.NormFloat64()
+		row[2] = z
+		row[7] = 0.9*z + 0.436*rng.NormFloat64()
+		for j := 0; j < d; j++ {
+			if j != 2 && j != 7 {
+				row[j] = rng.NormFloat64()
+			}
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+func TestEstimatorFindsPlantedPair(t *testing.T) {
+	const d, n = 30, 1500
+	rows := correlatedRows(d, n, 3)
+	for _, engine := range []EngineKind{EngineASCS, EngineCS, EngineASketch} {
+		est, err := NewEstimator(Config{
+			Dim: d, Samples: n, MemoryFloats: 2000, Engine: engine, Seed: 7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, row := range rows {
+			if err := est.ObserveDense(row); err != nil {
+				t.Fatal(err)
+			}
+		}
+		top, err := est.Top(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if top[0].A != 2 || top[0].B != 7 {
+			t.Errorf("%v: top pair = (%d,%d), want (2,7)", engine, top[0].A, top[0].B)
+		}
+		// Standardized estimate approximates the correlation 0.9.
+		if math.Abs(top[0].Estimate-0.9) > 0.25 {
+			t.Errorf("%v: estimate %.3f far from 0.9", engine, top[0].Estimate)
+		}
+		if est.Observed() != n {
+			t.Errorf("Observed = %d", est.Observed())
+		}
+		if est.MemoryBytes() <= 0 {
+			t.Error("MemoryBytes should be positive after warm-up")
+		}
+	}
+}
+
+func TestEstimatorSparseObserve(t *testing.T) {
+	const d, n = 50, 800
+	rng := rand.New(rand.NewSource(5))
+	est, err := NewEstimator(Config{Dim: d, Samples: n, MemoryFloats: 3000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		// Features 10 and 20 co-fire half the time.
+		if rng.Float64() < 0.5 {
+			v := 1 + rng.Float64()
+			if err := est.Observe([]int{10, 20}, []float64{v, v}); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			j := rng.Intn(d)
+			if err := est.Observe([]int{j}, []float64{1}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	top, err := est.Top(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top[0].A != 10 || top[0].B != 20 {
+		t.Errorf("top = %+v", top[0])
+	}
+}
+
+func TestEstimatorObserveErrors(t *testing.T) {
+	est, _ := NewEstimator(Config{Dim: 5, Samples: 10, MemoryFloats: 50})
+	if err := est.Observe([]int{9}, []float64{1}); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	if err := est.ObserveDense([]float64{1, 2}); err == nil {
+		t.Error("wrong-length dense row accepted")
+	}
+	for i := 0; i < 10; i++ {
+		if err := est.ObserveDense(make([]float64, 5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := est.ObserveDense(make([]float64, 5)); err == nil {
+		t.Error("overrun accepted")
+	}
+}
+
+func TestEstimatorShortStreamStillAnswers(t *testing.T) {
+	// Fewer samples than the warm-up buffer: Top must still work.
+	est, _ := NewEstimator(Config{Dim: 8, Samples: 1000, MemoryFloats: 200, Seed: 3})
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 30; i++ {
+		z := rng.NormFloat64()
+		row := []float64{z, z, rng.NormFloat64(), rng.NormFloat64(), 0, 0, 0, 0}
+		if err := est.ObserveDense(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	top, err := est.Top(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top[0].A != 0 || top[0].B != 1 {
+		t.Errorf("top = %+v", top[0])
+	}
+}
+
+func TestEstimatorNoSamples(t *testing.T) {
+	est, _ := NewEstimator(Config{Dim: 8, Samples: 100, MemoryFloats: 200})
+	if _, err := est.Top(1); err == nil {
+		t.Error("Top with no samples should error")
+	}
+}
+
+func TestEstimatorEstimatePair(t *testing.T) {
+	const d, n = 20, 1000
+	rows := correlatedRows(d, n, 9)
+	est, _ := NewEstimator(Config{Dim: d, Samples: n, MemoryFloats: 2000, Seed: 1})
+	for _, row := range rows {
+		if err := est.ObserveDense(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := est.Estimate(2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-0.9) > 0.3 {
+		t.Errorf("Estimate(2,7) = %v", v)
+	}
+	if _, err := est.Estimate(3, 3); err == nil {
+		t.Error("diagonal pair should error")
+	}
+	if _, err := est.Estimate(-1, 2); err == nil {
+		t.Error("negative index should error")
+	}
+}
+
+func TestEstimatorASCSScheduleExposed(t *testing.T) {
+	const d, n = 30, 1200
+	rows := correlatedRows(d, n, 11)
+	est, _ := NewEstimator(Config{Dim: d, Samples: n, MemoryFloats: 500, Engine: EngineASCS, Seed: 1})
+	for _, row := range rows {
+		if err := est.ObserveDense(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := est.Schedule()
+	if s.T != n || s.T0 <= 0 {
+		t.Errorf("schedule = %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("schedule should render")
+	}
+}
+
+func TestSolveScheduleAndBounds(t *testing.T) {
+	tp := TheoryParams{
+		P: 499500, T: 6000, K: 5, R: 25000,
+		U: 0.5, Sigma: 1, Alpha: 0.005,
+	}
+	s, err := SolveSchedule(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.T0 <= 0 || s.T0 >= tp.T || s.Theta <= 0 {
+		t.Errorf("schedule = %+v", s)
+	}
+	if b := tp.Theorem1Bound(s.T0, s.Tau0); b > 1 || b < tp.SaturationProb()-1e-9 {
+		t.Errorf("Theorem1Bound = %v", b)
+	}
+	if b := tp.Theorem2Bound(s.T0, s.Tau0, s.Theta); b < 0 {
+		t.Errorf("Theorem2Bound = %v", b)
+	}
+	if g := tp.SNRGainBound(tp.T, s); g <= 1 {
+		t.Errorf("SNR gain bound = %v, want > 1 at stream end", g)
+	}
+	// Threshold schedule sanity.
+	if s.Threshold(s.T0) != s.Tau0 {
+		t.Error("threshold at T0 should be tau0")
+	}
+	if s.Threshold(tp.T) <= s.Tau0 {
+		t.Error("threshold should rise")
+	}
+	// Invalid parameters propagate.
+	tp.U = -1
+	if _, err := SolveSchedule(tp); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestMeanSketchCSAndASCS(t *testing.T) {
+	const (
+		p    = 1000
+		T    = 1500
+		nsig = 10
+	)
+	tp := TheoryParams{P: p, T: T, K: 5, R: 50, U: 0.5, Sigma: 1, Alpha: float64(nsig) / p}
+	sched, err := SolveSchedule(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := NewMeanSketch(MeanConfig{Tables: 5, Range: 50, Samples: T, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, err := NewMeanSketch(MeanConfig{Tables: 5, Range: 50, Samples: T, Seed: 3, Schedule: sched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Kind() != "CS" || as.Kind() != "ASCS" {
+		t.Errorf("kinds: %s %s", cs.Kind(), as.Kind())
+	}
+	rng := rand.New(rand.NewSource(8))
+	for step := 1; step <= T; step++ {
+		cs.BeginStep(step)
+		as.BeginStep(step)
+		for i := 0; i < p; i++ {
+			x := rng.NormFloat64()
+			if i < nsig {
+				x += 0.75
+			}
+			cs.Offer(uint64(i), x)
+			as.Offer(uint64(i), x)
+		}
+	}
+	// Both must estimate signal means reasonably; ASCS must have
+	// filtered a majority of the sampling-period offers.
+	for i := 0; i < nsig; i++ {
+		if v := as.Estimate(uint64(i)); math.Abs(v-0.75) > 0.5 {
+			t.Errorf("ASCS estimate(%d) = %v", i, v)
+		}
+	}
+	if f := as.SampledFraction(); !(f < 0.7) {
+		t.Errorf("sampled fraction = %v", f)
+	}
+	if !math.IsNaN(cs.SampledFraction()) {
+		t.Error("CS sampled fraction should be NaN")
+	}
+	if cs.MemoryBytes() != as.MemoryBytes() {
+		t.Error("equal shapes should have equal memory")
+	}
+}
+
+func TestMeanSketchValidation(t *testing.T) {
+	if _, err := NewMeanSketch(MeanConfig{Tables: 0, Range: 10, Samples: 5}); err == nil {
+		t.Error("bad shape accepted")
+	}
+	if _, err := NewMeanSketch(MeanConfig{Tables: 2, Range: 10, Samples: 5,
+		Schedule: Schedule{T0: 2, Theta: 0.1, T: 99}}); err == nil {
+		t.Error("schedule/samples mismatch accepted")
+	}
+}
+
+func TestEstimatorColdFilterEngine(t *testing.T) {
+	const d, n = 30, 1500
+	rows := correlatedRows(d, n, 3)
+	est, err := NewEstimator(Config{
+		Dim: d, Samples: n, MemoryFloats: 2000, Engine: EngineColdFilter, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		if err := est.ObserveDense(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	top, err := est.Top(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top[0].A != 2 || top[0].B != 7 {
+		t.Errorf("ColdFilter top pair = (%d,%d), want (2,7)", top[0].A, top[0].B)
+	}
+	if EngineColdFilter.String() != "ColdFilter" {
+		t.Error("name wrong")
+	}
+}
+
+func TestTopMagnitudeFindsNegativeSignals(t *testing.T) {
+	const d, n = 25, 1500
+	rng := rand.New(rand.NewSource(21))
+	est, err := NewEstimator(Config{Dim: d, Samples: n, MemoryFloats: 2500, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		row := make([]float64, d)
+		z := rng.NormFloat64()
+		row[3] = z
+		row[9] = -0.95*z + 0.31*rng.NormFloat64() // strong NEGATIVE correlation
+		for j := 0; j < d; j++ {
+			if j != 3 && j != 9 {
+				row[j] = rng.NormFloat64()
+			}
+		}
+		if err := est.ObserveDense(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	top, err := est.TopMagnitude(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top[0].A != 3 || top[0].B != 9 {
+		t.Fatalf("TopMagnitude = %+v, want pair (3,9)", top[0])
+	}
+	if top[0].Estimate >= 0 {
+		t.Errorf("estimate should keep its negative sign, got %v", top[0].Estimate)
+	}
+	// Signed Top must NOT rank the negative pair first.
+	signed, err := est.Top(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if signed[0].A == 3 && signed[0].B == 9 {
+		t.Error("signed Top should prefer positive estimates")
+	}
+}

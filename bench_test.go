@@ -1,0 +1,289 @@
+// Benchmarks regenerating every table and figure of the paper (one
+// Benchmark per exhibit, reporting the headline quality metric alongside
+// wall-clock), plus micro-benchmarks of the hot paths. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The exhibits run at a reduced scale; `cmd/experiments -scale medium`
+// (or `paper`) regenerates them at larger sizes.
+package ascs_test
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+
+	ascs "repro"
+)
+
+// benchOptions sizes the exhibit benchmarks.
+func benchOptions() experiments.Options {
+	return experiments.Options{
+		Scale:    dataset.Scale{Dim: 160, Samples: 1000},
+		Seed:     42,
+		Reps:     60,
+		K:        5,
+		RDivisor: 25,
+	}
+}
+
+func BenchmarkFig1CorrelationCDF(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig1(opt, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig2MeanStdCDF(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig2(opt, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3IndependenceHist(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig3(opt, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4QQNormality(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig4(opt, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5SNRRatio(b *testing.B) {
+	opt := benchOptions()
+	var last float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig5(opt, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := res.Series["simulation"]
+		if len(s) > 0 {
+			last = s[len(s)-1].Measured
+		}
+	}
+	b.ReportMetric(last, "final-ROSNR")
+}
+
+func BenchmarkFig6F1(b *testing.B) {
+	opt := benchOptions()
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig6(opt, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gap = fig6Gap(res)
+	}
+	b.ReportMetric(gap, "ASCS-minus-CS-F1")
+}
+
+func BenchmarkFig6AlphaRobustness(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6Alpha(opt, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// fig6Gap averages (best ASCS curve − CS curve) across datasets.
+func fig6Gap(res experiments.Fig6Result) float64 {
+	total, n := 0.0, 0
+	for _, curves := range res.Curves {
+		var cs, best float64
+		for _, c := range curves {
+			m := 0.0
+			for _, f := range c.F1 {
+				m += f
+			}
+			m /= float64(len(c.F1))
+			if c.Label == "CS" {
+				cs = m
+			} else if m > best {
+				best = m
+			}
+		}
+		total += best - cs
+		n++
+	}
+	return total / float64(n)
+}
+
+func BenchmarkTable1TheoremValidation(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table1(opt, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2LargeScale(b *testing.B) {
+	opt := benchOptions()
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table2(opt, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Headline: ASCS−CS at the tightest URL memory row.
+		for _, row := range res.Rows {
+			if row.Dataset == "URL" {
+				gain = row.MeanTopCorr["ASCS"] - row.MeanTopCorr["CS"]
+				break
+			}
+		}
+	}
+	b.ReportMetric(gain, "ASCS-minus-CS@tight")
+}
+
+func BenchmarkTable3Roster(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table3(opt, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4TopFraction(b *testing.B) {
+	opt := benchOptions()
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table4(opt, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gap = 0
+		n := 0
+		for _, name := range dataset.SmallNames() {
+			cs, _ := res.Cell(name, "CS")
+			as, _ := res.Cell(name, "ASCS")
+			if len(cs.ByFraction) > 2 && len(as.ByFraction) > 2 {
+				gap += as.ByFraction[2] - cs.ByFraction[2]
+				n++
+			}
+		}
+		gap /= float64(n)
+	}
+	b.ReportMetric(gap, "ASCS-minus-CS@0.1αp")
+}
+
+func BenchmarkTable5KSensitivity(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table5(opt, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable6Timing(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table6(opt, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationSchedule(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationSchedule(opt, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationGate(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationGate(opt, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationHash(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationHash(opt, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEstimatorOfferCS measures the per-offer cost of the vanilla
+// engine through the public API (dense samples, pair enumeration
+// included).
+func BenchmarkEstimatorOfferCS(b *testing.B)   { benchEstimatorOffer(b, ascs.EngineCS) }
+func BenchmarkEstimatorOfferASCS(b *testing.B) { benchEstimatorOffer(b, ascs.EngineASCS) }
+
+func benchEstimatorOffer(b *testing.B, kind ascs.EngineKind) {
+	const d = 64 // 2016 pairs per dense sample
+	rng := rand.New(rand.NewSource(1))
+	rows := make([][]float64, 256)
+	for i := range rows {
+		rows[i] = make([]float64, d)
+		for j := range rows[i] {
+			rows[i][j] = rng.NormFloat64()
+		}
+	}
+	samples := b.N/256 + 2*256
+	est, err := ascs.NewEstimator(ascs.Config{
+		Dim: d, Samples: samples * 256, MemoryFloats: 4096, Engine: kind, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := est.ObserveDense(rows[i%256]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Offers per Observe: d(d-1)/2 = 2016 pair updates each.
+}
+
+// BenchmarkMeanSketchOffer measures the raw keyed-offer path.
+func BenchmarkMeanSketchOffer(b *testing.B) {
+	ms, err := ascs.NewMeanSketch(ascs.MeanConfig{Tables: 5, Range: 1 << 14, Samples: 1 << 30, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ms.BeginStep(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ms.Offer(uint64(i), 1.0)
+	}
+}
+
+func BenchmarkAblationPagh(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationPagh(opt, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

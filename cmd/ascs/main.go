@@ -1,0 +1,145 @@
+// Command ascs sketches a data stream and reports the top correlated
+// feature pairs.
+//
+// Input is either a LIBSVM-format file or a named synthetic workload:
+//
+//	ascs -input data.libsvm -dim 5000 -top 50 -mem 100000
+//	ascs -synthetic url -dim 3000 -samples 5000 -top 100
+//	ascs -synthetic dna -kmer 8 -samples 5000 -top 100
+//
+// The engine defaults to ASCS; -engine cs|asketch selects a baseline.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/stream"
+
+	ascs "repro"
+)
+
+func main() {
+	var (
+		input     = flag.String("input", "", "LIBSVM input file ('-' for stdin)")
+		dim       = flag.Int("dim", 0, "feature dimensionality (required for -input)")
+		synthetic = flag.String("synthetic", "", "synthetic workload: url, dna, simulation, gisette, epsilon, cifar10, rcv1, sector")
+		kmer      = flag.Int("kmer", 8, "k-mer length for -synthetic dna")
+		samples   = flag.Int("samples", 5000, "stream length T")
+		mem       = flag.Int("mem", 100_000, "sketch memory budget in float64 cells")
+		tables    = flag.Int("tables", 5, "hash tables K")
+		top       = flag.Int("top", 25, "number of top pairs to report")
+		alpha     = flag.Float64("alpha", 0.005, "assumed signal-pair sparsity")
+		engine    = flag.String("engine", "ascs", "engine: ascs, cs, asketch")
+		seed      = flag.Int64("seed", 42, "random seed")
+	)
+	flag.Parse()
+
+	src, d, err := openSource(*input, *synthetic, *dim, *kmer, *samples, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	var kind ascs.EngineKind
+	switch *engine {
+	case "ascs":
+		kind = ascs.EngineASCS
+	case "cs":
+		kind = ascs.EngineCS
+	case "asketch":
+		kind = ascs.EngineASketch
+	default:
+		fmt.Fprintf(os.Stderr, "unknown engine %q\n", *engine)
+		os.Exit(2)
+	}
+
+	est, err := ascs.NewEstimator(ascs.Config{
+		Dim: d, Samples: *samples, Tables: *tables, MemoryFloats: *mem,
+		Alpha: *alpha, Engine: kind, Seed: uint64(*seed),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	n := 0
+	for n < *samples {
+		s, ok := src.Next()
+		if !ok {
+			break
+		}
+		if err := est.Observe(s.Idx, s.Val); err != nil {
+			fmt.Fprintf(os.Stderr, "sample %d: %v\n", n+1, err)
+			os.Exit(1)
+		}
+		n++
+	}
+	if n == 0 {
+		fmt.Fprintln(os.Stderr, "no samples read")
+		os.Exit(1)
+	}
+	elapsed := time.Since(start)
+
+	pairsOut, err := est.Top(*top)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("engine=%s dim=%d samples=%d sketch=%dB time=%s\n",
+		kind, d, n, est.MemoryBytes(), elapsed.Round(time.Millisecond))
+	if s := est.Schedule(); s.T > 0 {
+		fmt.Printf("schedule: %s\n", s)
+	}
+	fmt.Printf("%-6s %-8s %-8s %s\n", "rank", "featA", "featB", "estimate")
+	for i, p := range pairsOut {
+		fmt.Printf("%-6d %-8d %-8d %+.4f\n", i+1, p.A, p.B, p.Estimate)
+	}
+}
+
+// openSource builds the sample source from flags.
+func openSource(input, synthetic string, dim, kmer, samples int, seed int64) (stream.Source, int, error) {
+	switch {
+	case input != "" && synthetic != "":
+		return nil, 0, fmt.Errorf("choose one of -input or -synthetic")
+	case input != "":
+		if dim <= 0 {
+			return nil, 0, fmt.Errorf("-dim is required with -input")
+		}
+		f := os.Stdin
+		if input != "-" {
+			var err error
+			f, err = os.Open(input)
+			if err != nil {
+				return nil, 0, err
+			}
+		}
+		return stream.NewLIBSVMReader(f, dim), dim, nil
+	case synthetic == "url":
+		if dim <= 0 {
+			dim = 3000
+		}
+		cfg := dataset.DefaultURLConfig(dim, seed)
+		src, err := cfg.NewSource(samples)
+		return src, dim, err
+	case synthetic == "dna":
+		cfg := dataset.DefaultDNAConfig(kmer, seed)
+		src, err := cfg.NewSource(samples)
+		return src, cfg.Dim(), err
+	case synthetic != "":
+		if dim <= 0 {
+			dim = 500
+		}
+		ds, err := dataset.ByName(synthetic, dataset.Scale{Dim: dim, Samples: samples}, seed)
+		if err != nil {
+			return nil, 0, err
+		}
+		return ds.Source(), dim, nil
+	default:
+		return nil, 0, fmt.Errorf("provide -input FILE or -synthetic NAME")
+	}
+}

@@ -1,0 +1,77 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -run table4,fig6 -scale medium -seed 42
+//	experiments -run all -scale small
+//
+// Each experiment prints the same rows/series the paper reports; see
+// EXPERIMENTS.md for the recorded paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "all", "comma-separated experiment ids ("+strings.Join(experiments.Names(), ",")+") or 'all'")
+		scale = flag.String("scale", "small", "dataset scale: small, medium, paper")
+		seed  = flag.Int64("seed", 42, "random seed")
+		reps  = flag.Int("reps", 0, "replicates for bootstrap experiments (0 = scale default)")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range experiments.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	opt := experiments.DefaultOptions()
+	opt.Seed = *seed
+	switch *scale {
+	case "small":
+		opt.Scale = dataset.SmallScale()
+		opt.Reps = 100
+	case "medium":
+		opt.Scale = dataset.MediumScale()
+		opt.Reps = 300
+	case "paper":
+		opt.Scale = dataset.PaperScale()
+		opt.Reps = 1000
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (small|medium|paper)\n", *scale)
+		os.Exit(2)
+	}
+	if *reps > 0 {
+		opt.Reps = *reps
+	}
+
+	ids := experiments.Names()
+	if *run != "all" {
+		ids = strings.Split(*run, ",")
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		fmt.Printf("==> %s (scale=%s seed=%d)\n", id, *scale, *seed)
+		start := time.Now()
+		if err := experiments.Run(id, opt, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("<== %s done in %s\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

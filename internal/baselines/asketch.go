@@ -1,0 +1,140 @@
+// Package baselines implements the two sketch-augmentation baselines the
+// paper compares against in §8.3: Augmented Sketch (Roy, Khan, Alonso,
+// SIGMOD 2016) and Cold Filter (Zhou et al., SIGMOD 2018), both adapted
+// from frequency counting to the signed real-valued mean-estimation
+// setting of this paper.
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/countsketch"
+	"repro/internal/sketchapi"
+)
+
+// ASketch is the Augmented Sketch adaptation: a small exact filter holds
+// the hottest keys outside the sketch; all other keys hit the backing
+// count sketch. When a sketched key's estimate overtakes the smallest
+// filter entry the two swap, moving the evicted entry's accumulated value
+// back into the sketch and carving the promoted key's estimate out of it.
+// Filtered keys therefore answer exactly, and the hottest keys stop
+// polluting sketch buckets — the same collision-reduction goal ASCS
+// pursues by gating insertions.
+type ASketch struct {
+	sk     *countsketch.Sketch
+	filter map[uint64]float64
+	cap    int
+	invT   float64
+
+	// cached (approximate) minimum |value| entry of the filter; verified
+	// by a scan before any swap, so staleness only costs extra scans.
+	minKey uint64
+	minAbs float64
+	t      int
+}
+
+var _ sketchapi.Ingestor = (*ASketch)(nil)
+
+// NewASketch builds an Augmented Sketch engine. filterCap is the number
+// of exact filter slots; totalSamples is the stream length T.
+func NewASketch(cfg countsketch.Config, totalSamples, filterCap int) (*ASketch, error) {
+	if totalSamples <= 0 {
+		return nil, fmt.Errorf("baselines: totalSamples must be positive, got %d", totalSamples)
+	}
+	if filterCap < 1 {
+		return nil, fmt.Errorf("baselines: filterCap must be ≥ 1, got %d", filterCap)
+	}
+	sk, err := countsketch.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &ASketch{
+		sk:     sk,
+		filter: make(map[uint64]float64, filterCap),
+		cap:    filterCap,
+		invT:   1 / float64(totalSamples),
+		minAbs: math.Inf(1),
+	}, nil
+}
+
+// BeginStep records the time step (unused beyond bookkeeping).
+func (a *ASketch) BeginStep(t int) { a.t = t }
+
+// Offer routes the observation to the filter when the key is hot,
+// otherwise through the sketch with a promotion check.
+func (a *ASketch) Offer(key uint64, x float64) {
+	v := x * a.invT
+	if cur, ok := a.filter[key]; ok {
+		nv := cur + v
+		a.filter[key] = nv
+		// Keep the cached minimum honest when the minimum itself moved.
+		if key == a.minKey {
+			a.minAbs = math.Abs(nv)
+		} else if math.Abs(nv) < a.minAbs {
+			a.minKey, a.minAbs = key, math.Abs(nv)
+		}
+		return
+	}
+	a.sk.Add(key, v)
+	if len(a.filter) < a.cap {
+		est := a.sk.Estimate(key)
+		a.promote(key, est)
+		return
+	}
+	est := a.sk.Estimate(key)
+	if math.Abs(est) <= a.minAbs {
+		return
+	}
+	// Verify against the true minimum (the cache may be stale-low).
+	minKey, minAbs := a.scanMin()
+	a.minKey, a.minAbs = minKey, minAbs
+	if math.Abs(est) <= minAbs {
+		return
+	}
+	// Swap: evicted entry's mass returns to the sketch; the promoted
+	// key's estimated mass leaves it.
+	evicted := a.filter[minKey]
+	delete(a.filter, minKey)
+	a.sk.Add(minKey, evicted)
+	a.promote(key, est)
+}
+
+// promote moves key into the filter with value est, removing est from
+// the sketch so the mass is represented exactly once.
+func (a *ASketch) promote(key uint64, est float64) {
+	a.sk.Add(key, -est)
+	a.filter[key] = est
+	if math.Abs(est) < a.minAbs || len(a.filter) == 1 {
+		a.minKey, a.minAbs = key, math.Abs(est)
+	}
+}
+
+func (a *ASketch) scanMin() (uint64, float64) {
+	minKey, minAbs := uint64(0), math.Inf(1)
+	for k, v := range a.filter {
+		if av := math.Abs(v); av < minAbs {
+			minKey, minAbs = k, av
+		}
+	}
+	return minKey, minAbs
+}
+
+// Estimate answers exactly for filtered keys, with the residual sketch
+// estimate added in case mass was left behind before promotion, and from
+// the sketch otherwise.
+func (a *ASketch) Estimate(key uint64) float64 {
+	if v, ok := a.filter[key]; ok {
+		return v + a.sk.Estimate(key)
+	}
+	return a.sk.Estimate(key)
+}
+
+// FilterLen returns the current number of filtered keys.
+func (a *ASketch) FilterLen() int { return len(a.filter) }
+
+// Bytes accounts the sketch plus 16 bytes (key+value) per filter slot.
+func (a *ASketch) Bytes() int { return a.sk.Bytes() + 16*a.cap }
+
+// Name identifies the engine.
+func (a *ASketch) Name() string { return "ASketch" }

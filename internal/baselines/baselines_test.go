@@ -1,0 +1,283 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/countsketch"
+	"repro/internal/hashing"
+)
+
+func cfg(r int) countsketch.Config {
+	return countsketch.Config{Tables: 5, Range: r, Seed: 11, Hash: hashing.KindMix}
+}
+
+func TestNewASketchValidation(t *testing.T) {
+	if _, err := NewASketch(cfg(64), 0, 4); err == nil {
+		t.Error("expected error for zero samples")
+	}
+	if _, err := NewASketch(cfg(64), 10, 0); err == nil {
+		t.Error("expected error for zero filter")
+	}
+	if _, err := NewASketch(countsketch.Config{}, 10, 4); err == nil {
+		t.Error("expected error for bad sketch config")
+	}
+}
+
+func TestASketchExactForHotKeys(t *testing.T) {
+	// A single dominant key must end up in the filter with an exact value.
+	a, err := NewASketch(cfg(1<<12), 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 1; step <= 10; step++ {
+		a.BeginStep(step)
+		a.Offer(42, 3.0)
+	}
+	if got := a.Estimate(42); math.Abs(got-3) > 1e-12 {
+		t.Errorf("hot key estimate = %v, want 3", got)
+	}
+	if a.FilterLen() == 0 {
+		t.Error("hot key should be filtered")
+	}
+	if a.Name() != "ASketch" {
+		t.Errorf("Name = %q", a.Name())
+	}
+}
+
+func TestASketchMassConservation(t *testing.T) {
+	// Filter + sketch must jointly conserve inserted mass: the estimate of
+	// any key equals its true mean when there are no collisions (huge R),
+	// regardless of promotions and evictions along the way.
+	a, err := NewASketch(cfg(1<<14), 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	means := map[uint64]float64{1: 5, 2: 4, 3: 3, 4: 2, 5: 1, 6: 0.5}
+	sums := map[uint64]float64{}
+	for step := 1; step <= 100; step++ {
+		a.BeginStep(step)
+		// Shuffled key order exercises promotion churn.
+		keys := []uint64{1, 2, 3, 4, 5, 6}
+		rng.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+		for _, k := range keys {
+			v := means[k]
+			sums[k] += v
+			a.Offer(k, v)
+		}
+	}
+	for k, s := range sums {
+		want := s / 100
+		if got := a.Estimate(k); math.Abs(got-want) > 1e-9 {
+			t.Errorf("key %d estimate = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestASketchEvictionUnderPressure(t *testing.T) {
+	// With one filter slot and two alternating keys of growing magnitude,
+	// the filter must always track the (strictly) larger one and total
+	// mass must remain conserved.
+	a, err := NewASketch(cfg(1<<14), 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.BeginStep(1)
+	a.Offer(1, 1.0) // promoted (filter empty)
+	a.Offer(2, 5.0) // overtakes key 1
+	if got := a.Estimate(1); math.Abs(got-0.1) > 1e-9 {
+		t.Errorf("estimate(1) = %v, want 0.1", got)
+	}
+	if got := a.Estimate(2); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("estimate(2) = %v, want 0.5", got)
+	}
+	if a.FilterLen() != 1 {
+		t.Errorf("FilterLen = %d, want 1", a.FilterLen())
+	}
+}
+
+func TestASketchBytes(t *testing.T) {
+	a, _ := NewASketch(cfg(64), 10, 8)
+	want := 5*64*8 + 16*8
+	if a.Bytes() != want {
+		t.Errorf("Bytes = %d, want %d", a.Bytes(), want)
+	}
+}
+
+func TestASketchBeatsPlainCSOnHotKeys(t *testing.T) {
+	// In a crowded sketch, the filtered hot keys' estimates should be
+	// closer to truth than plain CS gives.
+	const (
+		p    = 2000
+		T    = 400
+		hotN = 8
+		r    = 50
+	)
+	rng := rand.New(rand.NewSource(7))
+	ask, err := NewASketch(cfg(r), T, hotN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := countsketch.NewMeanSketch(cfg(r), T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu := make([]float64, p)
+	for i := 0; i < hotN; i++ {
+		mu[i] = 2 + float64(i)
+	}
+	for step := 1; step <= T; step++ {
+		ask.BeginStep(step)
+		cs.BeginStep(step)
+		for i := 0; i < p; i++ {
+			x := mu[i] + rng.NormFloat64()
+			ask.Offer(uint64(i), x)
+			cs.Offer(uint64(i), x)
+		}
+	}
+	var errASK, errCS float64
+	for i := 0; i < hotN; i++ {
+		errASK += math.Abs(ask.Estimate(uint64(i)) - mu[i])
+		errCS += math.Abs(cs.Estimate(uint64(i)) - mu[i])
+	}
+	t.Logf("hot-key L1 error: ASketch=%.3f CS=%.3f", errASK, errCS)
+	if errASK > errCS {
+		t.Errorf("ASketch error %v exceeds plain CS %v", errASK, errCS)
+	}
+}
+
+func TestNewColdFilterValidation(t *testing.T) {
+	if _, err := NewColdFilter(cfg(16), cfg(64), 0, 0.1); err == nil {
+		t.Error("expected error for zero samples")
+	}
+	if _, err := NewColdFilter(cfg(16), cfg(64), 10, 0); err == nil {
+		t.Error("expected error for zero threshold")
+	}
+	if _, err := NewColdFilter(countsketch.Config{}, cfg(64), 10, 0.1); err == nil {
+		t.Error("expected error for bad l1")
+	}
+	if _, err := NewColdFilter(cfg(16), countsketch.Config{}, 10, 0.1); err == nil {
+		t.Error("expected error for bad l2")
+	}
+}
+
+func TestColdFilterSplitsMass(t *testing.T) {
+	// With no collisions, a hot key's total estimate equals its mean even
+	// though its mass straddles the layers; a cold key stays in layer 1.
+	cf, err := NewColdFilter(cfg(1<<12), cfg(1<<14), 10, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 1; step <= 10; step++ {
+		cf.BeginStep(step)
+		cf.Offer(1, 1.0) // mean 1: saturates layer 1 at ~0.25 then overflows
+		cf.Offer(2, 0.1) // mean 0.1: never saturates
+	}
+	// The hot key's estimate is exact up to the saturation overshoot
+	// (at most one increment, 0.1 here).
+	if got := cf.Estimate(1); math.Abs(got-1) > 0.1+1e-9 {
+		t.Errorf("hot estimate = %v, want 1 ± overshoot", got)
+	}
+	if got := cf.Estimate(2); math.Abs(got-0.1) > 1e-9 {
+		t.Errorf("cold estimate = %v, want 0.1", got)
+	}
+	if got := cf.l2.Estimate(2); got != 0 {
+		t.Errorf("cold key leaked into layer 2: %v", got)
+	}
+	if got := cf.l2.Estimate(1); got <= 0 {
+		t.Errorf("hot key should overflow to layer 2, got %v", got)
+	}
+	if cf.Name() != "ColdFilter" {
+		t.Errorf("Name = %q", cf.Name())
+	}
+	if cf.Bytes() != cf.l1.Bytes()+cf.l2.Bytes() {
+		t.Error("Bytes should sum layers")
+	}
+}
+
+func TestColdFilterShieldsLayer2(t *testing.T) {
+	// Many cold keys and a few hot keys: layer 2's estimates for hot keys
+	// should be less noisy than a single CS of the same *total* memory.
+	const (
+		p    = 5000
+		T    = 300
+		hotN = 5
+	)
+	rng := rand.New(rand.NewSource(9))
+	// Cold filter: l1 256 buckets + l2 256 buckets vs CS with 512.
+	cf, err := NewColdFilter(cfg(256), cfg(256), T, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := countsketch.NewMeanSketch(cfg(512), T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu := make([]float64, p)
+	for i := 0; i < hotN; i++ {
+		mu[i] = 3
+	}
+	for step := 1; step <= T; step++ {
+		cf.BeginStep(step)
+		cs.BeginStep(step)
+		for i := 0; i < p; i++ {
+			x := mu[i] + rng.NormFloat64()
+			cf.Offer(uint64(i), x)
+			cs.Offer(uint64(i), x)
+		}
+	}
+	var errCF, errCS float64
+	for i := 0; i < hotN; i++ {
+		errCF += math.Abs(cf.Estimate(uint64(i)) - 3)
+		errCS += math.Abs(cs.Estimate(uint64(i)) - 3)
+	}
+	t.Logf("hot-key L1 error: ColdFilter=%.3f CS=%.3f", errCF, errCS)
+	if errCF > 1.5*errCS {
+		t.Errorf("ColdFilter error %v far exceeds CS %v", errCF, errCS)
+	}
+}
+
+func TestEnginesRankHotKeysConsistently(t *testing.T) {
+	// Sanity: both baselines rank a clear heavy hitter first.
+	build := func() []interface {
+		BeginStep(int)
+		Offer(uint64, float64)
+		Estimate(uint64) float64
+	} {
+		a, _ := NewASketch(cfg(128), 50, 4)
+		c, _ := NewColdFilter(cfg(64), cfg(128), 50, 0.1)
+		return []interface {
+			BeginStep(int)
+			Offer(uint64, float64)
+			Estimate(uint64) float64
+		}{a, c}
+	}
+	for _, eng := range build() {
+		rng := rand.New(rand.NewSource(13))
+		for step := 1; step <= 50; step++ {
+			eng.BeginStep(step)
+			for i := 0; i < 500; i++ {
+				x := rng.NormFloat64() * 0.2
+				if i == 77 {
+					x += 5
+				}
+				eng.Offer(uint64(i), x)
+			}
+		}
+		type kv struct {
+			k uint64
+			v float64
+		}
+		var all []kv
+		for i := 0; i < 500; i++ {
+			all = append(all, kv{uint64(i), eng.Estimate(uint64(i))})
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].v > all[j].v })
+		if all[0].k != 77 {
+			t.Errorf("heavy hitter not ranked first: got key %d", all[0].k)
+		}
+	}
+}

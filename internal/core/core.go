@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/countsketch"
+	"repro/internal/sketchapi"
+)
+
+// Engine is the Active Sampling Count Sketch of Algorithm 2. During the
+// exploration period (steps 1..T0) every offered value is inserted into
+// the underlying count sketch. During the sampling period (steps
+// T0+1..T) a value for key i is inserted only when the current estimate
+// μ̂_i^{(t−1)} clears the threshold τ(t−1), which rises linearly with t.
+// Filtering the low-estimate (overwhelmingly noise) keys shrinks the
+// collision mass in the buckets and raises the SNR of what the sketch
+// stores (Theorem 3).
+type Engine struct {
+	sk   *countsketch.Sketch
+	hp   Hyperparams
+	invT float64
+
+	t        int
+	tau      float64 // τ(t−1), the gate for the current step
+	sampling bool
+	// Absolute selects the two-sided gate |μ̂| ≥ τ of Theorems 1–2; when
+	// false only positive estimates pass (Algorithm 2 as written).
+	absolute bool
+
+	offeredSampling  uint64
+	insertedSampling uint64
+}
+
+var _ sketchapi.Ingestor = (*Engine)(nil)
+
+// NewEngine builds an ASCS engine over a fresh count sketch with the
+// given shape and the solved schedule hp. absolute selects the two-sided
+// threshold test (recommended; matches the theorems).
+func NewEngine(cfg countsketch.Config, hp Hyperparams, absolute bool) (*Engine, error) {
+	if hp.T <= 0 {
+		return nil, fmt.Errorf("core: schedule has non-positive T (%d)", hp.T)
+	}
+	if hp.T0 < 0 || hp.T0 > hp.T {
+		return nil, fmt.Errorf("core: T0 (%d) outside [0,T=%d]", hp.T0, hp.T)
+	}
+	if hp.Theta < 0 || math.IsNaN(hp.Theta) {
+		return nil, fmt.Errorf("core: invalid theta %v", hp.Theta)
+	}
+	sk, err := countsketch.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{sk: sk, hp: hp, invT: 1 / float64(hp.T), absolute: absolute}, nil
+}
+
+// NewAuto solves Algorithm 3 for params and builds the engine, pairing
+// the sketch shape (params.K, params.R) with the schedule.
+func NewAuto(params Params, seed uint64, absolute bool) (*Engine, Hyperparams, error) {
+	hp, err := params.Solve()
+	if err != nil {
+		return nil, Hyperparams{}, err
+	}
+	eng, err := NewEngine(countsketch.Config{Tables: params.K, Range: params.R, Seed: seed}, hp, absolute)
+	if err != nil {
+		return nil, Hyperparams{}, err
+	}
+	return eng, hp, nil
+}
+
+// BeginStep advances the engine to time step t (1-based, non-decreasing)
+// and precomputes the gate τ(t−1).
+func (e *Engine) BeginStep(t int) {
+	e.t = t
+	if t > e.hp.T0 {
+		e.sampling = true
+		e.tau = e.hp.Threshold(t - 1)
+	}
+}
+
+// Admits reports whether an observation for key would be inserted at the
+// current step, without inserting anything. Exploration admits all keys.
+func (e *Engine) Admits(key uint64) bool {
+	if !e.sampling {
+		return true
+	}
+	est := e.sk.Estimate(key)
+	if e.absolute {
+		return math.Abs(est) >= e.tau
+	}
+	return est >= e.tau
+}
+
+// Offer presents X_i^{(t)} = x for key i and inserts x/T if the gate
+// passes (Algorithm 2 lines 6 and 10–12).
+func (e *Engine) Offer(key uint64, x float64) {
+	if !e.sampling {
+		e.sk.Add(key, x*e.invT)
+		return
+	}
+	e.offeredSampling++
+	if e.Admits(key) {
+		e.insertedSampling++
+		e.sk.Add(key, x*e.invT)
+	}
+}
+
+// Estimate returns the current estimate μ̂_i^{(t)} (which is the final
+// mean estimate after the stream completes).
+func (e *Engine) Estimate(key uint64) float64 { return e.sk.Estimate(key) }
+
+// Bytes reports the sketch footprint.
+func (e *Engine) Bytes() int { return e.sk.Bytes() }
+
+// Name identifies the engine.
+func (e *Engine) Name() string { return "ASCS" }
+
+// Sketch exposes the underlying count sketch (diagnostics, serialization).
+func (e *Engine) Sketch() *countsketch.Sketch { return e.sk }
+
+// Schedule returns the threshold schedule in force.
+func (e *Engine) Schedule() Hyperparams { return e.hp }
+
+// Sampling reports whether the engine has entered the sampling period.
+func (e *Engine) Sampling() bool { return e.sampling }
+
+// SampledFraction returns the fraction of offers during the sampling
+// period that passed the gate, and the raw counts. A healthy run filters
+// the vast majority of (noise) offers.
+func (e *Engine) SampledFraction() (frac float64, inserted, offered uint64) {
+	if e.offeredSampling == 0 {
+		return math.NaN(), 0, 0
+	}
+	return float64(e.insertedSampling) / float64(e.offeredSampling), e.insertedSampling, e.offeredSampling
+}

@@ -1,0 +1,280 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/countsketch"
+)
+
+func TestNewEngineValidation(t *testing.T) {
+	cfg := countsketch.Config{Tables: 5, Range: 64, Seed: 1}
+	cases := []Hyperparams{
+		{T0: 10, Theta: 0.1, T: 0},
+		{T0: -1, Theta: 0.1, T: 100},
+		{T0: 101, Theta: 0.1, T: 100},
+		{T0: 10, Theta: -0.1, T: 100},
+		{T0: 10, Theta: math.NaN(), T: 100},
+	}
+	for i, hp := range cases {
+		if _, err := NewEngine(cfg, hp, true); err == nil {
+			t.Errorf("case %d: expected error for %+v", i, hp)
+		}
+	}
+	if _, err := NewEngine(countsketch.Config{}, Hyperparams{T0: 1, T: 10}, true); err == nil {
+		t.Error("expected sketch config error")
+	}
+}
+
+func TestEngineExplorationInsertsEverything(t *testing.T) {
+	eng, err := NewEngine(countsketch.Config{Tables: 5, Range: 1 << 14, Seed: 3},
+		Hyperparams{T0: 10, Theta: 0.5, Tau0: 0.01, T: 10}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 1; step <= 10; step++ {
+		eng.BeginStep(step)
+		eng.Offer(1, 1.0)  // mean 1
+		eng.Offer(2, -0.5) // mean -0.5
+	}
+	if got := eng.Estimate(1); math.Abs(got-1) > 1e-12 {
+		t.Errorf("estimate(1) = %v, want 1", got)
+	}
+	if got := eng.Estimate(2); math.Abs(got+0.5) > 1e-12 {
+		t.Errorf("estimate(2) = %v, want -0.5", got)
+	}
+	if eng.Sampling() {
+		t.Error("engine should never have entered sampling")
+	}
+	if frac, _, _ := eng.SampledFraction(); !math.IsNaN(frac) {
+		t.Errorf("SampledFraction with no sampling offers = %v, want NaN", frac)
+	}
+}
+
+func TestEngineSamplingGate(t *testing.T) {
+	// T=100, T0=50; during exploration key A accumulates a large positive
+	// estimate and key B stays at zero. During sampling, A passes the
+	// gate and B does not.
+	hp := Hyperparams{T0: 50, Theta: 0.0, Tau0: 0.05, T: 100}
+	eng, err := NewEngine(countsketch.Config{Tables: 5, Range: 1 << 14, Seed: 4}, hp, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 1; step <= 50; step++ {
+		eng.BeginStep(step)
+		eng.Offer(10, 1.0) // estimate reaches 50/100 = 0.5 ≥ 0.05
+		// key 20 receives nothing: estimate 0 < 0.05
+	}
+	eng.BeginStep(51)
+	if !eng.Sampling() {
+		t.Fatal("should be sampling after T0")
+	}
+	if !eng.Admits(10) {
+		t.Error("strong key should pass the gate")
+	}
+	if eng.Admits(20) {
+		t.Error("zero key should be filtered")
+	}
+	eng.Offer(10, 1.0)
+	eng.Offer(20, 1.0)
+	frac, inserted, offered := eng.SampledFraction()
+	if offered != 2 || inserted != 1 || frac != 0.5 {
+		t.Errorf("counters = (%v, %d, %d)", frac, inserted, offered)
+	}
+	// The filtered key's estimate is unchanged (still ≈ 0).
+	if got := eng.Estimate(20); math.Abs(got) > 1e-9 {
+		t.Errorf("filtered key estimate = %v, want 0", got)
+	}
+}
+
+func TestEngineAbsoluteVsOneSided(t *testing.T) {
+	hp := Hyperparams{T0: 10, Theta: 0, Tau0: 0.05, T: 20}
+	mk := func(absolute bool) *Engine {
+		eng, err := NewEngine(countsketch.Config{Tables: 5, Range: 1 << 14, Seed: 5}, hp, absolute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step := 1; step <= 10; step++ {
+			eng.BeginStep(step)
+			eng.Offer(7, -1.0) // strongly negative mean
+		}
+		eng.BeginStep(11)
+		return eng
+	}
+	if !mk(true).Admits(7) {
+		t.Error("two-sided gate should admit strong negative keys")
+	}
+	if mk(false).Admits(7) {
+		t.Error("one-sided gate should filter negative keys")
+	}
+}
+
+func TestEngineThresholdRises(t *testing.T) {
+	hp := Hyperparams{T0: 10, Theta: 1.0, Tau0: 0.0, T: 100}
+	eng, err := NewEngine(countsketch.Config{Tables: 5, Range: 1 << 14, Seed: 6}, hp, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Key with final-mean estimate 0.3 after exploration: estimate after
+	// t steps of value 3.0 is 3t/T.
+	for step := 1; step <= 10; step++ {
+		eng.BeginStep(step)
+		eng.Offer(1, 3.0)
+	}
+	// At step 31, τ(30) = (30-10)/100 = 0.20; estimate is 0.30 → admitted.
+	eng.BeginStep(31)
+	if !eng.Admits(1) {
+		t.Error("key should pass while threshold low")
+	}
+	// At step 61, τ(60) = 0.50 > 0.30 → filtered.
+	eng.BeginStep(61)
+	if eng.Admits(1) {
+		t.Error("key should be filtered once threshold surpasses estimate")
+	}
+}
+
+func TestNewAuto(t *testing.T) {
+	p := refParams().WithSuggestedDeltas()
+	eng, hp, err := NewAuto(p, 99, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Schedule() != hp {
+		t.Error("engine schedule should match returned hyperparams")
+	}
+	if eng.Name() != "ASCS" {
+		t.Errorf("Name = %q", eng.Name())
+	}
+	if eng.Bytes() != eng.Sketch().Bytes() {
+		t.Error("Bytes should delegate")
+	}
+	bad := p
+	bad.U = -1
+	if _, _, err := NewAuto(bad, 99, true); err == nil {
+		t.Error("expected solve error")
+	}
+}
+
+// TestASCSBeatsCSIntegration reproduces the paper's headline effect on
+// the abstract sparse-mean problem: with tight memory and noisy
+// background, ASCS recovers the signal set far more precisely than
+// vanilla CS from the identical stream.
+func TestASCSBeatsCSIntegration(t *testing.T) {
+	const (
+		p       = 2000
+		nsig    = 20
+		T       = 3000
+		u       = 0.5
+		bgStd   = 0.05 // weak non-zero background means (the §7.2 regime)
+		tables  = 5
+		buckets = 100 // p/R = 20 variables per bucket
+	)
+	rng := rand.New(rand.NewSource(42))
+	mu := make([]float64, p)
+	for i := 0; i < nsig; i++ {
+		mu[i] = u + 0.5*rng.Float64() // signals in [0.5, 1.0]
+	}
+	for i := nsig; i < p; i++ {
+		mu[i] = bgStd * rng.NormFloat64()
+	}
+
+	params := Params{
+		P: p, T: T, K: tables, R: buckets,
+		U: u, Sigma: 1, Alpha: float64(nsig) / p,
+		Tau0: 1e-4, Gamma: 30,
+	}
+	params = params.WithSuggestedDeltas()
+	ascs, hp, err := NewAuto(params, 7, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hp.T0 >= T/2 {
+		t.Fatalf("exploration too long for the test to be meaningful: %+v", hp)
+	}
+	cs, err := countsketch.NewMeanSketch(countsketch.Config{Tables: tables, Range: buckets, Seed: 7}, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	xs := make([]float64, p)
+	for step := 1; step <= T; step++ {
+		for i := 0; i < p; i++ {
+			xs[i] = mu[i] + rng.NormFloat64()
+		}
+		ascs.BeginStep(step)
+		cs.BeginStep(step)
+		for i := 0; i < p; i++ {
+			key := uint64(i)
+			ascs.Offer(key, xs[i])
+			cs.Offer(key, xs[i])
+		}
+	}
+
+	precisionAt := func(est func(uint64) float64) float64 {
+		type kv struct {
+			k uint64
+			v float64
+		}
+		all := make([]kv, p)
+		for i := 0; i < p; i++ {
+			all[i] = kv{uint64(i), est(uint64(i))}
+		}
+		sort.Slice(all, func(a, b int) bool { return all[a].v > all[b].v })
+		hit := 0
+		for _, e := range all[:nsig] {
+			if e.k < nsig {
+				hit++
+			}
+		}
+		return float64(hit) / nsig
+	}
+
+	pASCS := precisionAt(ascs.Estimate)
+	pCS := precisionAt(cs.Estimate)
+	t.Logf("precision@%d: ASCS=%.2f CS=%.2f (schedule %v)", nsig, pASCS, pCS, hp)
+	if pASCS < pCS {
+		t.Errorf("ASCS precision %.2f below CS %.2f", pASCS, pCS)
+	}
+	if pASCS < 0.7 {
+		t.Errorf("ASCS precision %.2f too low", pASCS)
+	}
+	// The active sampler must actually be filtering: the admitted
+	// fraction during sampling should be well below one.
+	frac, _, _ := ascs.SampledFraction()
+	if !(frac < 0.5) {
+		t.Errorf("sampled fraction = %v, expected < 0.5", frac)
+	}
+}
+
+func TestEngineExplorationOnlyEqualsCS(t *testing.T) {
+	// With T0 = T the engine never samples; with the same seed its
+	// estimates must be bit-identical to vanilla CS.
+	const T = 120
+	hp := Hyperparams{T0: T, Theta: 0, Tau0: 1e-4, T: T}
+	cfg := countsketch.Config{Tables: 5, Range: 128, Seed: 44}
+	eng, err := NewEngine(cfg, hp, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := countsketch.NewMeanSketch(cfg, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for step := 1; step <= T; step++ {
+		eng.BeginStep(step)
+		cs.BeginStep(step)
+		for k := uint64(0); k < 300; k++ {
+			x := rng.NormFloat64()
+			eng.Offer(k, x)
+			cs.Offer(k, x)
+		}
+	}
+	for k := uint64(0); k < 300; k++ {
+		if eng.Estimate(k) != cs.Estimate(k) {
+			t.Fatalf("degenerate ASCS diverges from CS at key %d", k)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/countsketch"
+)
+
+const engineMagic = uint32(0xA5C5E001)
+
+// WriteTo serializes the engine — schedule, step position, counters and
+// the underlying sketch — so a long sketching job can be checkpointed
+// and resumed (or shipped for offline retrieval).
+func (e *Engine) WriteTo(w io.Writer) (int64, error) {
+	hdr := make([]byte, 4+8*8+1)
+	binary.LittleEndian.PutUint32(hdr[0:], engineMagic)
+	binary.LittleEndian.PutUint64(hdr[4:], uint64(e.hp.T0))
+	binary.LittleEndian.PutUint64(hdr[12:], math.Float64bits(e.hp.Theta))
+	binary.LittleEndian.PutUint64(hdr[20:], math.Float64bits(e.hp.Tau0))
+	binary.LittleEndian.PutUint64(hdr[28:], uint64(e.hp.T))
+	binary.LittleEndian.PutUint64(hdr[36:], uint64(e.t))
+	binary.LittleEndian.PutUint64(hdr[44:], e.offeredSampling)
+	binary.LittleEndian.PutUint64(hdr[52:], e.insertedSampling)
+	binary.LittleEndian.PutUint64(hdr[60:], math.Float64bits(e.tau))
+	if e.absolute {
+		hdr[68] = 1
+	}
+	n, err := w.Write(hdr)
+	total := int64(n)
+	if err != nil {
+		return total, err
+	}
+	sn, err := e.sk.WriteTo(w)
+	return total + sn, err
+}
+
+// ReadEngineFrom reconstructs an engine serialized by WriteTo. The
+// caller resumes by continuing BeginStep/Offer from the recorded step.
+func ReadEngineFrom(r io.Reader) (*Engine, error) {
+	hdr := make([]byte, 4+8*8+1)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("core: reading engine header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != engineMagic {
+		return nil, fmt.Errorf("core: bad engine magic")
+	}
+	sk, err := countsketch.ReadFrom(r)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		sk: sk,
+		hp: Hyperparams{
+			T0:    int(binary.LittleEndian.Uint64(hdr[4:])),
+			Theta: math.Float64frombits(binary.LittleEndian.Uint64(hdr[12:])),
+			Tau0:  math.Float64frombits(binary.LittleEndian.Uint64(hdr[20:])),
+			T:     int(binary.LittleEndian.Uint64(hdr[28:])),
+		},
+		t:                int(binary.LittleEndian.Uint64(hdr[36:])),
+		offeredSampling:  binary.LittleEndian.Uint64(hdr[44:]),
+		insertedSampling: binary.LittleEndian.Uint64(hdr[52:]),
+		tau:              math.Float64frombits(binary.LittleEndian.Uint64(hdr[60:])),
+		absolute:         hdr[68] == 1,
+	}
+	if e.hp.T <= 0 || e.hp.T0 < 0 || e.hp.T0 > e.hp.T {
+		return nil, fmt.Errorf("core: corrupt schedule %+v", e.hp)
+	}
+	e.invT = 1 / float64(e.hp.T)
+	e.sampling = e.t > e.hp.T0
+	return e, nil
+}

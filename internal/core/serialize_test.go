@@ -1,0 +1,96 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/countsketch"
+)
+
+func TestEngineSerializationRoundTrip(t *testing.T) {
+	hp := Hyperparams{T0: 50, Theta: 0.3, Tau0: 1e-4, T: 200}
+	eng, err := NewEngine(countsketch.Config{Tables: 5, Range: 256, Seed: 9}, hp, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	// Drive into the sampling period so counters and τ are non-trivial.
+	for step := 1; step <= 120; step++ {
+		eng.BeginStep(step)
+		for k := uint64(0); k < 40; k++ {
+			x := rng.NormFloat64()
+			if k < 4 {
+				x += 1.5
+			}
+			eng.Offer(k, x)
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := eng.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEngineFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schedule() != eng.Schedule() {
+		t.Errorf("schedule mismatch: %+v vs %+v", got.Schedule(), eng.Schedule())
+	}
+	if got.Sampling() != eng.Sampling() {
+		t.Error("sampling flag mismatch")
+	}
+	gf, gi, go_ := got.SampledFraction()
+	ef, ei, eo := eng.SampledFraction()
+	if gf != ef || gi != ei || go_ != eo {
+		t.Errorf("counters mismatch: (%v,%d,%d) vs (%v,%d,%d)", gf, gi, go_, ef, ei, eo)
+	}
+	for k := uint64(0); k < 40; k++ {
+		if got.Estimate(k) != eng.Estimate(k) {
+			t.Fatalf("estimate mismatch at key %d", k)
+		}
+	}
+	// Resuming both engines identically keeps them in lockstep.
+	for step := 121; step <= 200; step++ {
+		got.BeginStep(step)
+		eng.BeginStep(step)
+		for k := uint64(0); k < 40; k++ {
+			x := float64(k%7) - 3
+			got.Offer(k, x)
+			eng.Offer(k, x)
+		}
+	}
+	for k := uint64(0); k < 40; k++ {
+		if got.Estimate(k) != eng.Estimate(k) {
+			t.Fatalf("post-resume estimate mismatch at key %d", k)
+		}
+	}
+}
+
+func TestReadEngineFromErrors(t *testing.T) {
+	if _, err := ReadEngineFrom(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := ReadEngineFrom(bytes.NewReader(make([]byte, 69))); err == nil {
+		t.Error("bad magic should error")
+	}
+	// Valid header magic but truncated sketch body.
+	hp := Hyperparams{T0: 1, Theta: 0, Tau0: 0, T: 10}
+	eng, _ := NewEngine(countsketch.Config{Tables: 2, Range: 8, Seed: 1}, hp, true)
+	var buf bytes.Buffer
+	if _, err := eng.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-4]
+	if _, err := ReadEngineFrom(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated sketch should error")
+	}
+	// Corrupt schedule: T0 > T.
+	full := buf.Bytes()
+	bad := append([]byte(nil), full...)
+	// T0 field is at offset 4..12; set it beyond T (=10).
+	bad[4] = 99
+	if _, err := ReadEngineFrom(bytes.NewReader(bad)); err == nil {
+		t.Error("corrupt schedule should error")
+	}
+}

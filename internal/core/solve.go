@@ -1,0 +1,250 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// Hyperparams is the output of Algorithm 3: the exploration length T0 and
+// the threshold schedule τ(t) = Tau0 + (Theta/T)(t − T0).
+type Hyperparams struct {
+	// T0 is the exploration period length (samples 1..T0 are always
+	// inserted).
+	T0 int
+	// Theta is the threshold slope θ.
+	Theta float64
+	// Tau0 is the initial sampling threshold τ(T0).
+	Tau0 float64
+	// T is the stream length the schedule was solved for.
+	T int
+
+	// EffectiveDelta is the Theorem 1 miss-probability target actually
+	// achieved at T0. It equals Params.Delta when that was feasible
+	// (Delta > saturation probability) and the relaxed target otherwise.
+	EffectiveDelta float64
+	// DeltaFeasible records whether Params.Delta exceeded the saturation
+	// probability, i.e. whether Theorem 1 could honor it as stated.
+	DeltaFeasible bool
+	// SaturationProb echoes 1 − p0^K for reporting.
+	SaturationProb float64
+}
+
+// Threshold returns τ(t) for t ≥ T0; for t < T0 it returns Tau0 (the
+// schedule is only consulted during the sampling period).
+func (h Hyperparams) Threshold(t int) float64 {
+	if t <= h.T0 {
+		return h.Tau0
+	}
+	return h.Tau0 + h.Theta*float64(t-h.T0)/float64(h.T)
+}
+
+// relaxFraction is the fallback Φ-mass target when Delta is at or below
+// the saturation probability: we then require the collision-free miss
+// term Φ(·) ≤ relaxFraction, mirroring how the paper still obtains a
+// small T0 when the worst-case signal-collision term dominates.
+const relaxFraction = 0.01
+
+// FindT0 returns the minimum T0 ∈ [Gamma, T] such that
+// Theorem1Bound(T0, Tau0) ≤ δ (Algorithm 3 line 2), using binary search
+// over the monotone tail of the bound. When δ is infeasible (≤ SP), the
+// relaxed target SP + relaxFraction·p0^K is used. The achieved target is
+// returned alongside T0. If even T0 = T cannot reach the target, T0 = T
+// is returned with ok = false (ASCS then degenerates to vanilla CS).
+func (p Params) FindT0() (t0 int, effDelta float64, ok bool) {
+	sp := p.SaturationProb()
+	effDelta = p.Delta
+	if p.Delta <= sp {
+		effDelta = sp + relaxFraction*p.P0K()
+	}
+	lo := p.Gamma
+	if lo < 1 {
+		lo = 1
+	}
+	// The bound is decreasing in T0 once T0 > T·τ0/u; start the bracket
+	// strictly above that knee so the predicate is monotone.
+	knee := int(math.Ceil(float64(p.T)*p.Tau0/p.U)) + 1
+	if lo < knee {
+		lo = knee
+	}
+	hi := p.T
+	if lo > hi {
+		return p.T, effDelta, false
+	}
+	if p.Theorem1Bound(hi, p.Tau0) > effDelta {
+		return p.T, effDelta, false
+	}
+	if p.Theorem1Bound(lo, p.Tau0) <= effDelta {
+		return lo, effDelta, true
+	}
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		if p.Theorem1Bound(mid, p.Tau0) <= effDelta {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, effDelta, true
+}
+
+// FindTheta returns the maximum θ ∈ (0, U) such that
+// Theorem2Bound(T0, Tau0, θ) ≤ target (Algorithm 3 line 3). Because the
+// bound is not guaranteed globally monotone in θ, a coarse grid scan
+// locates the feasible frontier, refined by bisection. θ = 0 (a flat
+// threshold at Tau0) is returned when no positive slope is admissible.
+func (p Params) FindTheta(t0 int, target float64) float64 {
+	if target <= 0 {
+		return 0
+	}
+	const grid = 512
+	best := 0.0
+	// Scan from above: the largest grid point satisfying the bound.
+	idx := -1
+	for i := grid - 1; i >= 1; i-- {
+		th := p.U * float64(i) / grid
+		if p.Theorem2Bound(t0, p.Tau0, th) <= target {
+			idx = i
+			best = th
+			break
+		}
+	}
+	if idx < 0 {
+		return 0
+	}
+	lo := best
+	hi := p.U * float64(idx+1) / grid
+	for iter := 0; iter < 60 && hi-lo > 1e-12*p.U; iter++ {
+		mid := (lo + hi) / 2
+		if p.Theorem2Bound(t0, p.Tau0, mid) <= target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// FindT0Cond returns the minimum T0 with the *collision-free* Theorem 1
+// term Φ(−(√T0·u − T·τ0/√T0)/(κσ)) ≤ delta, i.e. the miss budget
+// conditioned on the signal not sharing buckets with other signals
+// (event B of the proof). The paper's Table 1 sweeps δ ∈ [0.05, 0.10] in
+// configurations whose saturation probability exceeds those values, so
+// its targets are necessarily of this conditional form.
+func (p Params) FindT0Cond(delta float64) (t0 int, ok bool) {
+	if delta <= 0 || delta >= 1 {
+		return p.T, false
+	}
+	bound := func(t0 int) float64 {
+		if t0 <= 0 {
+			return 1
+		}
+		sq := math.Sqrt(float64(t0))
+		z := -(sq*p.U - float64(p.T)*p.Tau0/sq) / (p.Kappa() * p.Sigma)
+		return stats.NormalCDF(z)
+	}
+	lo := p.Gamma
+	if lo < 1 {
+		lo = 1
+	}
+	knee := int(math.Ceil(float64(p.T)*p.Tau0/p.U)) + 1
+	if lo < knee {
+		lo = knee
+	}
+	hi := p.T
+	if lo > hi || bound(hi) > delta {
+		return p.T, false
+	}
+	if bound(lo) <= delta {
+		return lo, true
+	}
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		if bound(mid) <= delta {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, true
+}
+
+// SolveConditional is Solve with the Table-1 interpretation: T0 from the
+// conditional Theorem 1 term at budget Delta, θ from Theorem 2 at budget
+// DeltaStar − Delta (Theorem 2 is already conditional on I(i) = 0).
+func (p Params) SolveConditional() (Hyperparams, error) {
+	if err := p.Validate(); err != nil {
+		return Hyperparams{}, err
+	}
+	t0, ok := p.FindT0Cond(p.Delta)
+	h := Hyperparams{
+		T0:             t0,
+		Tau0:           p.Tau0,
+		T:              p.T,
+		EffectiveDelta: p.Delta,
+		DeltaFeasible:  ok,
+		SaturationProb: p.SaturationProb(),
+	}
+	if !ok {
+		h.T0 = p.proportionalT0()
+	}
+	h.Theta = p.FindTheta(h.T0, p.DeltaStar-p.Delta)
+	return h, nil
+}
+
+// Solve runs Algorithm 3 end to end: it determines the exploration
+// length T0 from Theorem 1 and the threshold slope θ from Theorem 2, so
+// the probability of missing a signal anywhere in the stream is at most
+// δ* (when δ was feasible).
+func (p Params) Solve() (Hyperparams, error) {
+	if err := p.Validate(); err != nil {
+		return Hyperparams{}, err
+	}
+	sp := p.SaturationProb()
+	t0, effDelta, ok := p.FindT0()
+	h := Hyperparams{
+		T0:             t0,
+		Tau0:           p.Tau0,
+		T:              p.T,
+		EffectiveDelta: effDelta,
+		DeltaFeasible:  p.Delta > sp,
+		SaturationProb: sp,
+	}
+	if !ok {
+		// Even T0 = T cannot push the Theorem 1 bound below the target —
+		// the worst-case collision analysis is hopeless at this memory.
+		// Rather than silently degenerating to vanilla CS, fall back to
+		// the proportional exploration Theorem 3 itself assumes
+		// (T0 = cT with a fixed constant): empirically the gate still
+		// raises the ingested SNR in this regime (Table 2, tight rows).
+		h.T0 = p.proportionalT0()
+		h.DeltaFeasible = false
+		h.Theta = p.FindTheta(h.T0, p.DeltaStar-p.Delta)
+		return h, nil
+	}
+	// Budget for the sampling period. When Delta was infeasible the paper's
+	// spacing DeltaStar−Delta is preserved relative to the requested Delta.
+	target := p.DeltaStar - p.Delta
+	h.Theta = p.FindTheta(t0, target)
+	return h, nil
+}
+
+// proportionalT0 is the Theorem 3 exploration length T0 = cT (c = 1/5),
+// clamped to [Gamma, T].
+func (p Params) proportionalT0() int {
+	t0 := p.T / 5
+	if t0 < p.Gamma {
+		t0 = p.Gamma
+	}
+	if t0 > p.T {
+		t0 = p.T
+	}
+	return t0
+}
+
+// String renders the schedule compactly for logs.
+func (h Hyperparams) String() string {
+	return fmt.Sprintf("T0=%d theta=%.6g tau0=%.3g T=%d (deltaEff=%.4g feasible=%v SP=%.4g)",
+		h.T0, h.Theta, h.Tau0, h.T, h.EffectiveDelta, h.DeltaFeasible, h.SaturationProb)
+}

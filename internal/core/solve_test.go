@@ -1,0 +1,233 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestFindT0Minimal(t *testing.T) {
+	p := refParams().WithSuggestedDeltas()
+	t0, eff, ok := p.FindT0()
+	if !ok {
+		t.Fatalf("expected feasible T0, got %v", t0)
+	}
+	if t0 < p.Gamma || t0 > p.T {
+		t.Fatalf("T0 = %d outside [Gamma, T]", t0)
+	}
+	if b := p.Theorem1Bound(t0, p.Tau0); b > eff+1e-12 {
+		t.Errorf("bound at T0 = %v exceeds target %v", b, eff)
+	}
+	if t0 > p.Gamma {
+		if b := p.Theorem1Bound(t0-1, p.Tau0); b <= eff-1e-12 {
+			t.Errorf("T0 not minimal: bound at T0-1 = %v already ≤ %v", b, eff)
+		}
+	}
+}
+
+func TestFindT0MonotoneInDelta(t *testing.T) {
+	p := refParams().WithSuggestedDeltas()
+	t0a, _, _ := p.FindT0()
+	p2 := p
+	p2.Delta = p.Delta + 0.2
+	p2.DeltaStar = p2.Delta + 0.15
+	t0b, _, _ := p2.FindT0()
+	if t0b > t0a {
+		t.Errorf("looser delta should not need longer exploration: %d > %d", t0b, t0a)
+	}
+}
+
+func TestFindT0InfeasibleDeltaFallsBack(t *testing.T) {
+	p := refParams()
+	p.Delta = 1e-6 // far below saturation probability
+	t0, eff, ok := p.FindT0()
+	if !ok {
+		t.Fatalf("relaxed target should be reachable, got T0=%d", t0)
+	}
+	sp := p.SaturationProb()
+	if eff <= sp {
+		t.Errorf("effective delta %v should exceed SP %v", eff, sp)
+	}
+	if b := p.Theorem1Bound(t0, p.Tau0); b > eff+1e-12 {
+		t.Errorf("bound %v exceeds relaxed target %v", b, eff)
+	}
+}
+
+func TestFindT0ExhaustedStream(t *testing.T) {
+	// A weak signal and a short stream make even T0 = T insufficient.
+	p := refParams().WithSuggestedDeltas()
+	p.T = 50
+	p.U = 0.05
+	t0, _, ok := p.FindT0()
+	if ok {
+		t.Fatalf("expected infeasible, got T0=%d", t0)
+	}
+	if t0 != p.T {
+		t.Errorf("infeasible search should return T, got %d", t0)
+	}
+}
+
+func TestFindThetaFrontier(t *testing.T) {
+	p := refParams().WithSuggestedDeltas()
+	t0, effDelta, _ := p.FindT0()
+	target := p.DeltaStar - p.Delta
+	_ = effDelta
+	theta := p.FindTheta(t0, target)
+	if theta <= 0 || theta >= p.U {
+		t.Fatalf("theta = %v outside (0, U)", theta)
+	}
+	if b := p.Theorem2Bound(t0, p.Tau0, theta); b > target+1e-9 {
+		t.Errorf("bound at theta = %v exceeds target %v", b, target)
+	}
+	// Slightly above the frontier the bound should be violated (within
+	// grid resolution).
+	if b := p.Theorem2Bound(t0, p.Tau0, theta+p.U/256); b <= target {
+		t.Errorf("theta not maximal: bound %v at theta+step still ≤ %v", b, target)
+	}
+}
+
+func TestFindThetaMonotoneInBudget(t *testing.T) {
+	p := refParams().WithSuggestedDeltas()
+	t0, _, _ := p.FindT0()
+	small := p.FindTheta(t0, 0.05)
+	large := p.FindTheta(t0, 0.3)
+	if large < small {
+		t.Errorf("larger miss budget should allow steeper threshold: %v < %v", large, small)
+	}
+}
+
+func TestFindThetaZeroBudget(t *testing.T) {
+	p := refParams()
+	if got := p.FindTheta(300, 0); got != 0 {
+		t.Errorf("theta with zero budget = %v, want 0", got)
+	}
+	if got := p.FindTheta(300, -1); got != 0 {
+		t.Errorf("theta with negative budget = %v, want 0", got)
+	}
+}
+
+func TestSolveEndToEnd(t *testing.T) {
+	p := refParams().WithSuggestedDeltas()
+	hp, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hp.T != p.T || hp.Tau0 != p.Tau0 {
+		t.Errorf("schedule echoes wrong T/Tau0: %+v", hp)
+	}
+	if hp.T0 <= 0 || hp.T0 >= p.T {
+		t.Errorf("T0 = %d should be interior", hp.T0)
+	}
+	if hp.Theta <= 0 || hp.Theta >= p.U {
+		t.Errorf("Theta = %v should be in (0,U)", hp.Theta)
+	}
+	if !hp.DeltaFeasible {
+		t.Error("suggested delta should be feasible by construction")
+	}
+	if !strings.Contains(hp.String(), "T0=") {
+		t.Error("String should render schedule")
+	}
+}
+
+func TestSolveRejectsInvalid(t *testing.T) {
+	p := refParams()
+	p.U = -1
+	if _, err := p.Solve(); err == nil {
+		t.Error("expected validation error")
+	}
+}
+
+func TestSolveInfeasibleFallsBackToProportionalT0(t *testing.T) {
+	p := refParams().WithSuggestedDeltas()
+	p.T = 50
+	p.U = 0.05
+	hp, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hp.DeltaFeasible {
+		t.Error("infeasible target should be flagged")
+	}
+	// Theorem 3's proportional exploration, clamped to Gamma.
+	want := p.T / 5
+	if want < p.Gamma {
+		want = p.Gamma
+	}
+	if hp.T0 != want {
+		t.Errorf("fallback T0 = %d, want %d", hp.T0, want)
+	}
+	if hp.Theta < 0 || hp.Theta >= p.U {
+		t.Errorf("fallback theta = %v out of range", hp.Theta)
+	}
+}
+
+func TestThresholdSchedule(t *testing.T) {
+	hp := Hyperparams{T0: 100, Theta: 0.5, Tau0: 1e-4, T: 1000}
+	if got := hp.Threshold(50); got != 1e-4 {
+		t.Errorf("threshold before T0 = %v", got)
+	}
+	if got := hp.Threshold(100); got != 1e-4 {
+		t.Errorf("threshold at T0 = %v, want tau0", got)
+	}
+	if got := hp.Threshold(1000); math.Abs(got-(1e-4+0.5*900.0/1000)) > 1e-12 {
+		t.Errorf("threshold at T = %v", got)
+	}
+	// Linearity: equal increments.
+	d1 := hp.Threshold(200) - hp.Threshold(100)
+	d2 := hp.Threshold(300) - hp.Threshold(200)
+	if math.Abs(d1-d2) > 1e-12 {
+		t.Errorf("threshold not linear: %v vs %v", d1, d2)
+	}
+}
+
+func TestSolvePropertyRandomParams(t *testing.T) {
+	// Across random valid parameterizations, Solve must return a
+	// schedule whose components satisfy the bounds they were derived
+	// from.
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		p := Params{
+			P:     int64(1000 + rng.Intn(1_000_000)),
+			T:     500 + rng.Intn(10_000),
+			K:     1 + rng.Intn(10),
+			R:     50 + rng.Intn(50_000),
+			U:     0.1 + rng.Float64(),
+			Sigma: 0.2 + 2*rng.Float64(),
+			Alpha: 0.0005 + 0.02*rng.Float64(),
+			Tau0:  1e-4,
+			Gamma: 30,
+		}
+		p = p.WithSuggestedDeltas()
+		if p.Tau0 >= p.U {
+			p.Tau0 = p.U / 100
+		}
+		hp, err := p.Solve()
+		if err != nil {
+			t.Fatalf("trial %d: %v (params %+v)", trial, err, p)
+		}
+		if hp.T0 < 1 || hp.T0 > p.T {
+			t.Fatalf("trial %d: T0 = %d out of range", trial, hp.T0)
+		}
+		if hp.Theta < 0 || hp.Theta >= p.U {
+			t.Fatalf("trial %d: theta = %v out of [0,U)", trial, hp.Theta)
+		}
+		if hp.T0 < p.T {
+			// The Theorem 1 bound must hold at the solved T0 with the
+			// effective delta — except under the proportional fallback,
+			// where infeasibility is flagged instead.
+			if b := p.Theorem1Bound(hp.T0, p.Tau0); hp.DeltaFeasible && b > hp.EffectiveDelta+1e-9 {
+				t.Fatalf("trial %d: bound %v > effective delta %v", trial, b, hp.EffectiveDelta)
+			}
+			if hp.Theta > 0 {
+				if b := p.Theorem2Bound(hp.T0, p.Tau0, hp.Theta); b > p.DeltaStar-p.Delta+1e-6 {
+					t.Fatalf("trial %d: theorem2 bound %v > budget %v", trial, b, p.DeltaStar-p.Delta)
+				}
+			}
+			// Threshold never exceeds tau0 + theta.
+			if tEnd := hp.Threshold(p.T); tEnd > p.Tau0+hp.Theta+1e-12 {
+				t.Fatalf("trial %d: final threshold %v too high", trial, tEnd)
+			}
+		}
+	}
+}

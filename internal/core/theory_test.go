@@ -1,0 +1,205 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// refParams is a small but realistic parameterization (p/R = 20, as in
+// the paper's §8.3 experiments).
+func refParams() Params {
+	return Params{
+		P: 499500, T: 6000, K: 5, R: 25000,
+		U: 0.5, Sigma: 1, Alpha: 0.005,
+		Delta: 0.05, DeltaStar: 0.2, Tau0: 1e-4, Gamma: 30,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := refParams()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	mut := []func(*Params){
+		func(p *Params) { p.P = 1 },
+		func(p *Params) { p.T = 0 },
+		func(p *Params) { p.K = 0 },
+		func(p *Params) { p.K = 65 },
+		func(p *Params) { p.R = 1 },
+		func(p *Params) { p.U = 0 },
+		func(p *Params) { p.U = math.Inf(1) },
+		func(p *Params) { p.Sigma = 0 },
+		func(p *Params) { p.Alpha = 0 },
+		func(p *Params) { p.Alpha = 1 },
+		func(p *Params) { p.Tau0 = -0.1 },
+		func(p *Params) { p.Tau0 = 0.6 },
+		func(p *Params) { p.Delta = 0 },
+		func(p *Params) { p.DeltaStar = 0.05 },
+		func(p *Params) { p.Gamma = 0 },
+	}
+	for i, m := range mut {
+		p := refParams()
+		m(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d accepted invalid params %+v", i, p)
+		}
+	}
+}
+
+func TestP0AndSaturation(t *testing.T) {
+	p := refParams()
+	p0 := p.P0()
+	if p0 <= 0 || p0 >= 1 {
+		t.Fatalf("P0 = %v, want in (0,1)", p0)
+	}
+	// Closed form check: (1 - α/R)^(P-1).
+	want := math.Pow(1-p.Alpha/float64(p.R), float64(p.P-1))
+	if math.Abs(p0-want) > 1e-9 {
+		t.Errorf("P0 = %v, want %v", p0, want)
+	}
+	if got := p.P0K(); math.Abs(got-math.Pow(p0, 5)) > 1e-12 {
+		t.Errorf("P0K = %v", got)
+	}
+	if got := p.SaturationProb(); math.Abs(got-(1-p.P0K())) > 1e-12 {
+		t.Errorf("SaturationProb = %v", got)
+	}
+	// More signals (bigger alpha) => more collisions => smaller p0.
+	denser := p
+	denser.Alpha = 0.05
+	if denser.P0() >= p0 {
+		t.Error("P0 should decrease with alpha")
+	}
+	// More buckets => fewer collisions => larger p0.
+	wider := p
+	wider.R = 10 * p.R
+	if wider.P0() <= p0 {
+		t.Error("P0 should increase with R")
+	}
+}
+
+func TestKappa(t *testing.T) {
+	p := refParams()
+	p.K = 1
+	base := float64(p.P-1) * (1 - p.Alpha) / (float64(p.R) - p.Alpha)
+	if got, want := p.Kappa(), math.Sqrt(1+base); math.Abs(got-want) > 1e-12 {
+		t.Errorf("kappa(K=1) = %v, want %v", got, want)
+	}
+	p.K = 5
+	if got, want := p.Kappa(), math.Sqrt(1+math.Pi*base/10); math.Abs(got-want) > 1e-12 {
+		t.Errorf("kappa(K=5) = %v, want %v", got, want)
+	}
+	// The median of K>=2 tables concentrates: kappa should shrink with K.
+	p4 := p
+	p4.K = 4
+	p8 := p
+	p8.K = 8
+	if !(p8.Kappa() < p4.Kappa()) {
+		t.Error("kappa should decrease with K")
+	}
+}
+
+func TestOmegaNearSigma(t *testing.T) {
+	p := refParams()
+	if om := p.Omega(); math.Abs(om-p.Sigma) > 1e-3 {
+		t.Errorf("omega = %v, expected ≈ sigma = %v (paper's T² damping)", om, p.Sigma)
+	}
+	p.K = 1
+	if om := p.Omega(); !(om >= p.Sigma) {
+		t.Errorf("omega(K=1) = %v, want ≥ sigma", om)
+	}
+}
+
+func TestTheorem1BoundShape(t *testing.T) {
+	p := refParams()
+	sp := p.SaturationProb()
+	prev := 2.0
+	for _, t0 := range []int{30, 100, 300, 1000, 3000, 6000} {
+		b := p.Theorem1Bound(t0, p.Tau0)
+		if b < sp-1e-12 || b > 1+1e-12 {
+			t.Fatalf("bound(%d) = %v outside [SP=%v, 1]", t0, b, sp)
+		}
+		if b > prev+1e-12 {
+			t.Fatalf("bound not decreasing at T0=%d: %v > %v", t0, b, prev)
+		}
+		prev = b
+	}
+	// Larger tau0 makes missing more likely.
+	if p.Theorem1Bound(500, 1e-3) < p.Theorem1Bound(500, 1e-4) {
+		t.Error("bound should increase with tau0")
+	}
+	if got := p.Theorem1Bound(0, p.Tau0); got != 1 {
+		t.Errorf("bound at T0=0 = %v, want 1", got)
+	}
+}
+
+func TestTheorem2BoundShape(t *testing.T) {
+	p := refParams()
+	t0 := 300
+	// Very small slopes are almost never missed; slopes near u are.
+	small := p.Theorem2Bound(t0, p.Tau0, 0.01*p.U)
+	big := p.Theorem2Bound(t0, p.Tau0, 0.99*p.U)
+	if small > 0.05 {
+		t.Errorf("bound at tiny theta = %v, want near 0", small)
+	}
+	if big < 0.5 {
+		t.Errorf("bound at theta≈u = %v, want large", big)
+	}
+	if got := p.Theorem2Bound(0, p.Tau0, 0.1); got != 1 {
+		t.Errorf("bound at T0=0 = %v, want 1", got)
+	}
+}
+
+func TestSNRCS(t *testing.T) {
+	p := refParams()
+	want := p.Alpha * (p.U*p.U + 1) / (1 - p.Alpha)
+	if got := p.SNRCS(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("SNRCS = %v, want %v", got, want)
+	}
+}
+
+func TestROSNRBound(t *testing.T) {
+	p := refParams()
+	hp, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hp.Theta <= 0 {
+		t.Fatalf("expected positive theta, got %v (hp=%v)", hp.Theta, hp)
+	}
+	// At t = T0 the ratio bound is (1-δ*)/(Φ(0)p0K + 1-p0K) < 1; it must
+	// rise monotonically toward (1-δ*)/(1-p0K).
+	prev := 0.0
+	for _, tt := range []int{hp.T0, hp.T0 + 500, hp.T0 + 2000, p.T} {
+		r := p.ROSNRBound(tt, hp.T0, hp.Theta)
+		if r < prev-1e-12 {
+			t.Fatalf("ROSNR bound decreasing at t=%d: %v < %v", tt, r, prev)
+		}
+		prev = r
+	}
+	limit := (1 - p.DeltaStar) / p.SaturationProb()
+	if prev > limit+1e-9 {
+		t.Errorf("ROSNR bound %v exceeds limit %v", prev, limit)
+	}
+	if !math.IsNaN(p.ROSNRBound(10, 100, hp.Theta)) {
+		t.Error("ROSNR before T0 should be NaN")
+	}
+	if got := p.SNRASCSBound(p.T, hp.T0, hp.Theta); math.Abs(got-prev*p.SNRCS()) > 1e-9 {
+		t.Errorf("SNRASCSBound = %v", got)
+	}
+}
+
+func TestSuggestedDelta(t *testing.T) {
+	p := refParams()
+	sp := p.SaturationProb()
+	want := 1.01 * sp
+	if want < 0.05 {
+		want = 0.05
+	}
+	if got := p.SuggestedDelta(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("SuggestedDelta = %v, want %v", got, want)
+	}
+	q := p.WithSuggestedDeltas()
+	if q.Delta != p.SuggestedDelta() || math.Abs(q.DeltaStar-q.Delta-0.15) > 1e-12 {
+		t.Errorf("WithSuggestedDeltas = (%v, %v)", q.Delta, q.DeltaStar)
+	}
+}

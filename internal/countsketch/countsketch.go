@@ -1,0 +1,253 @@
+// Package countsketch implements the Count Sketch of Charikar, Chen and
+// Farach-Colton (2002): K hash tables of R buckets with ±1 sign hashes,
+// supporting point updates and median-of-K point estimates. It is the
+// storage substrate under every engine in this repository (vanilla CS,
+// ASCS, Augmented Sketch, Cold Filter).
+package countsketch
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/hashing"
+)
+
+// MaxTables bounds K so Estimate can use a fixed stack buffer.
+const MaxTables = 64
+
+// Config describes the shape and hashing of a sketch.
+type Config struct {
+	// Tables is K, the number of independent hash tables (rows).
+	Tables int
+	// Range is R, the number of buckets per table.
+	Range int
+	// Seed derives all hash functions deterministically.
+	Seed uint64
+	// Hash selects the hash family (default hashing.KindMix).
+	Hash hashing.Kind
+}
+
+func (c Config) validate() error {
+	if c.Tables <= 0 || c.Tables > MaxTables {
+		return fmt.Errorf("countsketch: Tables must be in [1,%d], got %d", MaxTables, c.Tables)
+	}
+	if c.Range <= 0 {
+		return fmt.Errorf("countsketch: Range must be positive, got %d", c.Range)
+	}
+	return nil
+}
+
+// Sketch is a Count Sketch. Add and Estimate are safe for concurrent
+// Estimate-only use; mutation requires external synchronization (or use
+// Split/Merge for parallel ingestion — the sketch is linear).
+type Sketch struct {
+	cfg Config
+	h   hashing.PairHasher
+	w   []float64 // Tables*Range, row-major
+}
+
+// New creates an empty sketch.
+func New(cfg Config) (*Sketch, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	h, err := hashing.New(cfg.Hash, cfg.Tables, cfg.Range, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Sketch{cfg: cfg, h: h, w: make([]float64, cfg.Tables*cfg.Range)}, nil
+}
+
+// MustNew is New, panicking on error.
+func MustNew(cfg Config) *Sketch {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Config returns the sketch configuration.
+func (s *Sketch) Config() Config { return s.cfg }
+
+// K returns the number of tables.
+func (s *Sketch) K() int { return s.cfg.Tables }
+
+// R returns the buckets per table.
+func (s *Sketch) R() int { return s.cfg.Range }
+
+// Bytes returns the approximate heap footprint of the table array (the
+// dominant cost; hash seeds are negligible except for tabulation).
+func (s *Sketch) Bytes() int { return 8 * len(s.w) }
+
+// Add folds v into the buckets of key. It panics on non-finite v: a NaN
+// would silently poison every colliding estimate, so it is treated as a
+// programmer error at the boundary.
+func (s *Sketch) Add(key uint64, v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		panic(fmt.Sprintf("countsketch: non-finite update %v for key %d", v, key))
+	}
+	for e := 0; e < s.cfg.Tables; e++ {
+		s.w[e*s.cfg.Range+s.h.Bucket(e, key)] += s.h.Sign(e, key) * v
+	}
+}
+
+// Estimate returns the median-of-K estimate for key.
+func (s *Sketch) Estimate(key uint64) float64 {
+	var buf [MaxTables]float64
+	k := s.cfg.Tables
+	for e := 0; e < k; e++ {
+		buf[e] = s.w[e*s.cfg.Range+s.h.Bucket(e, key)] * s.h.Sign(e, key)
+	}
+	return medianInPlace(buf[:k])
+}
+
+// EstimateMin returns the minimum |table estimate| with its sign, a more
+// conservative alternative retrieval occasionally useful for diagnostics.
+func (s *Sketch) EstimateMin(key uint64) float64 {
+	best := math.Inf(1)
+	val := 0.0
+	for e := 0; e < s.cfg.Tables; e++ {
+		v := s.w[e*s.cfg.Range+s.h.Bucket(e, key)] * s.h.Sign(e, key)
+		if a := math.Abs(v); a < best {
+			best = a
+			val = v
+		}
+	}
+	return val
+}
+
+// BucketOf returns the bucket index of key in table e (diagnostics: the
+// theorem-validation experiments use it to detect signal-signal
+// collisions, the I(i) = 1 event excluded by Theorem 2).
+func (s *Sketch) BucketOf(e int, key uint64) int { return s.h.Bucket(e, key) }
+
+// Reset zeroes the sketch contents, keeping the hash functions.
+func (s *Sketch) Reset() {
+	for i := range s.w {
+		s.w[i] = 0
+	}
+}
+
+// Clone returns a deep copy sharing no mutable state (hash functions are
+// immutable and shared).
+func (s *Sketch) Clone() *Sketch {
+	c := &Sketch{cfg: s.cfg, h: s.h, w: make([]float64, len(s.w))}
+	copy(c.w, s.w)
+	return c
+}
+
+// Split returns n empty sketches with identical hash functions, suitable
+// for parallel ingestion followed by Merge (the sketch is linear: the sum
+// of the tables of shards equals the table of serial ingestion).
+func (s *Sketch) Split(n int) []*Sketch {
+	out := make([]*Sketch, n)
+	for i := range out {
+		out[i] = &Sketch{cfg: s.cfg, h: s.h, w: make([]float64, len(s.w))}
+	}
+	return out
+}
+
+// Merge adds the contents of o into s. The two sketches must share the
+// same configuration (hence the same hash functions).
+func (s *Sketch) Merge(o *Sketch) error {
+	if s.cfg != o.cfg {
+		return fmt.Errorf("countsketch: cannot merge mismatched configs %+v vs %+v", s.cfg, o.cfg)
+	}
+	for i, v := range o.w {
+		s.w[i] += v
+	}
+	return nil
+}
+
+// Scale multiplies every cell by f (the sketch is linear, so this equals
+// scaling every inserted value).
+func (s *Sketch) Scale(f float64) {
+	for i := range s.w {
+		s.w[i] *= f
+	}
+}
+
+// L2Norm returns the Euclidean norm of the table contents, a cheap proxy
+// for the energy stored in the sketch (used by SNR diagnostics).
+func (s *Sketch) L2Norm() float64 {
+	sum := 0.0
+	for _, v := range s.w {
+		sum += v * v
+	}
+	return math.Sqrt(sum)
+}
+
+// medianInPlace sorts the small slice xs and returns its median.
+func medianInPlace(xs []float64) float64 {
+	n := len(xs)
+	for i := 1; i < n; i++ {
+		v := xs[i]
+		j := i - 1
+		for j >= 0 && xs[j] > v {
+			xs[j+1] = xs[j]
+			j--
+		}
+		xs[j+1] = v
+	}
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return (xs[n/2-1] + xs[n/2]) / 2
+}
+
+const serialMagic = uint32(0xA5C50001)
+
+// WriteTo serializes the sketch (config + table contents) in a stable
+// little-endian binary format.
+func (s *Sketch) WriteTo(w io.Writer) (int64, error) {
+	hdr := make([]byte, 4+8*4)
+	binary.LittleEndian.PutUint32(hdr[0:], serialMagic)
+	binary.LittleEndian.PutUint64(hdr[4:], uint64(s.cfg.Tables))
+	binary.LittleEndian.PutUint64(hdr[12:], uint64(s.cfg.Range))
+	binary.LittleEndian.PutUint64(hdr[20:], s.cfg.Seed)
+	binary.LittleEndian.PutUint64(hdr[28:], uint64(s.cfg.Hash))
+	n, err := w.Write(hdr)
+	total := int64(n)
+	if err != nil {
+		return total, err
+	}
+	buf := make([]byte, 8*len(s.w))
+	for i, v := range s.w {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	n, err = w.Write(buf)
+	total += int64(n)
+	return total, err
+}
+
+// ReadFrom deserializes a sketch written by WriteTo.
+func ReadFrom(r io.Reader) (*Sketch, error) {
+	hdr := make([]byte, 4+8*4)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("countsketch: reading header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != serialMagic {
+		return nil, fmt.Errorf("countsketch: bad magic")
+	}
+	cfg := Config{
+		Tables: int(binary.LittleEndian.Uint64(hdr[4:])),
+		Range:  int(binary.LittleEndian.Uint64(hdr[12:])),
+		Seed:   binary.LittleEndian.Uint64(hdr[20:]),
+		Hash:   hashing.Kind(binary.LittleEndian.Uint64(hdr[28:])),
+	}
+	s, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 8*len(s.w))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("countsketch: reading table: %w", err)
+	}
+	for i := range s.w {
+		s.w[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return s, nil
+}

@@ -1,0 +1,339 @@
+package countsketch
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hashing"
+)
+
+func testCfg(r int) Config {
+	return Config{Tables: 5, Range: r, Seed: 42, Hash: hashing.KindMix}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Tables: 0, Range: 10}); err == nil {
+		t.Error("expected error for zero tables")
+	}
+	if _, err := New(Config{Tables: MaxTables + 1, Range: 10}); err == nil {
+		t.Error("expected error for too many tables")
+	}
+	if _, err := New(Config{Tables: 3, Range: 0}); err == nil {
+		t.Error("expected error for zero range")
+	}
+	if _, err := New(Config{Tables: 3, Range: 8, Hash: hashing.Kind(77)}); err == nil {
+		t.Error("expected error for bad hash kind")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew should panic on invalid config")
+		}
+	}()
+	MustNew(Config{})
+}
+
+func TestExactRecoveryWithoutCollisions(t *testing.T) {
+	// With R vastly larger than the number of keys, estimates are exact.
+	s := MustNew(testCfg(1 << 16))
+	vals := map[uint64]float64{}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		k := uint64(i)
+		v := rng.NormFloat64()
+		vals[k] = v
+		s.Add(k, v)
+	}
+	for k, v := range vals {
+		if got := s.Estimate(k); math.Abs(got-v) > 1e-12 {
+			t.Fatalf("Estimate(%d) = %v, want %v", k, got, v)
+		}
+	}
+}
+
+func TestAccumulation(t *testing.T) {
+	s := MustNew(testCfg(1 << 12))
+	s.Add(7, 1.5)
+	s.Add(7, 2.5)
+	if got := s.Estimate(7); math.Abs(got-4) > 1e-12 {
+		t.Errorf("accumulated estimate = %v, want 4", got)
+	}
+	// Negative updates cancel.
+	s.Add(7, -4)
+	if got := s.Estimate(7); math.Abs(got) > 1e-12 {
+		t.Errorf("cancelled estimate = %v, want 0", got)
+	}
+}
+
+func TestUnseenKeyNearZero(t *testing.T) {
+	s := MustNew(testCfg(1 << 14))
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		s.Add(uint64(i), rng.NormFloat64())
+	}
+	// An unseen key's estimate is zero unless it collides in ≥ K/2 tables,
+	// which is vanishingly unlikely at this load factor.
+	if got := s.Estimate(999999); got != 0 {
+		t.Errorf("unseen key estimate = %v, want 0", got)
+	}
+}
+
+func TestAddPanicsOnNonFinite(t *testing.T) {
+	s := MustNew(testCfg(64))
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Add(%v) should panic", v)
+				}
+			}()
+			s.Add(1, v)
+		}()
+	}
+}
+
+func TestMedianErrorBound(t *testing.T) {
+	// Heavy hitter among light noise: the median estimate must recover
+	// the heavy value within the classic CS error ~ ||noise||_2/sqrt(R).
+	const (
+		r     = 2048
+		nKeys = 20000
+		heavy = 100.0
+	)
+	s := MustNew(testCfg(r))
+	rng := rand.New(rand.NewSource(3))
+	noiseL2 := 0.0
+	for i := 1; i <= nKeys; i++ {
+		v := rng.NormFloat64()
+		noiseL2 += v * v
+		s.Add(uint64(i), v)
+	}
+	s.Add(0, heavy)
+	bound := 3 * math.Sqrt(noiseL2/float64(r))
+	if got := s.Estimate(0); math.Abs(got-heavy) > bound {
+		t.Errorf("heavy estimate = %v, want within %v of %v", got, bound, heavy)
+	}
+}
+
+func TestLinearityOrderInvariance(t *testing.T) {
+	// The sketch state depends only on the multiset of (key, value) adds.
+	if err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(100)
+		keys := make([]uint64, n)
+		vals := make([]float64, n)
+		for i := range keys {
+			keys[i] = uint64(rng.Intn(30))
+			vals[i] = rng.NormFloat64()
+		}
+		a := MustNew(testCfg(128))
+		b := MustNew(testCfg(128))
+		perm := rng.Perm(n)
+		for i := 0; i < n; i++ {
+			a.Add(keys[i], vals[i])
+			b.Add(keys[perm[i]], vals[perm[i]])
+		}
+		for k := uint64(0); k < 30; k++ {
+			if math.Abs(a.Estimate(k)-b.Estimate(k)) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitMergeEqualsSerial(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		serial := MustNew(testCfg(256))
+		shards := serial.Split(4)
+		n := 50 + rng.Intn(200)
+		for i := 0; i < n; i++ {
+			k := uint64(rng.Intn(100))
+			v := rng.NormFloat64()
+			serial.Add(k, v)
+			shards[rng.Intn(4)].Add(k, v)
+		}
+		merged := MustNew(testCfg(256))
+		for _, sh := range shards {
+			if err := merged.Merge(sh); err != nil {
+				return false
+			}
+		}
+		for k := uint64(0); k < 100; k++ {
+			if math.Abs(serial.Estimate(k)-merged.Estimate(k)) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeRejectsMismatch(t *testing.T) {
+	a := MustNew(testCfg(64))
+	b := MustNew(testCfg(128))
+	if err := a.Merge(b); err == nil {
+		t.Error("expected config mismatch error")
+	}
+	c := MustNew(Config{Tables: 5, Range: 64, Seed: 43, Hash: hashing.KindMix})
+	if err := a.Merge(c); err == nil {
+		t.Error("expected seed mismatch error")
+	}
+}
+
+func TestResetAndClone(t *testing.T) {
+	s := MustNew(testCfg(64))
+	s.Add(5, 3)
+	c := s.Clone()
+	s.Reset()
+	if got := s.Estimate(5); got != 0 {
+		t.Errorf("after Reset estimate = %v", got)
+	}
+	if got := c.Estimate(5); math.Abs(got-3) > 1e-12 {
+		t.Errorf("clone estimate = %v, want 3", got)
+	}
+}
+
+func TestScale(t *testing.T) {
+	s := MustNew(testCfg(1 << 12))
+	s.Add(1, 4)
+	s.Scale(0.25)
+	if got := s.Estimate(1); math.Abs(got-1) > 1e-12 {
+		t.Errorf("scaled estimate = %v, want 1", got)
+	}
+}
+
+func TestL2NormAndBytes(t *testing.T) {
+	s := MustNew(Config{Tables: 1, Range: 4, Seed: 1})
+	if s.Bytes() != 32 {
+		t.Errorf("Bytes = %d, want 32", s.Bytes())
+	}
+	s.Add(1, 3)
+	if got := s.L2Norm(); math.Abs(got-3) > 1e-12 {
+		t.Errorf("L2Norm = %v, want 3", got)
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	s := MustNew(testCfg(512))
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 300; i++ {
+		s.Add(uint64(rng.Intn(1000)), rng.NormFloat64())
+	}
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Config() != s.Config() {
+		t.Fatalf("config mismatch: %+v vs %+v", got.Config(), s.Config())
+	}
+	for k := uint64(0); k < 1000; k++ {
+		if got.Estimate(k) != s.Estimate(k) {
+			t.Fatalf("estimate mismatch at key %d", k)
+		}
+	}
+}
+
+func TestReadFromErrors(t *testing.T) {
+	if _, err := ReadFrom(bytes.NewReader(nil)); err == nil {
+		t.Error("expected error for empty input")
+	}
+	if _, err := ReadFrom(bytes.NewReader(make([]byte, 36))); err == nil {
+		t.Error("expected error for bad magic")
+	}
+	// Valid header but truncated body.
+	s := MustNew(testCfg(512))
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-10]
+	if _, err := ReadFrom(bytes.NewReader(trunc)); err == nil {
+		t.Error("expected error for truncated body")
+	}
+}
+
+func TestEstimateMin(t *testing.T) {
+	s := MustNew(testCfg(1 << 14))
+	s.Add(3, 5)
+	if got := s.EstimateMin(3); math.Abs(got-5) > 1e-12 {
+		t.Errorf("EstimateMin = %v, want 5", got)
+	}
+}
+
+func TestMedianInPlace(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	if got := medianInPlace(xs); got != 3 {
+		t.Errorf("median = %v, want 3", got)
+	}
+	if !sort.Float64sAreSorted(xs) {
+		t.Error("medianInPlace should sort")
+	}
+	if got := medianInPlace([]float64{2, 1}); got != 1.5 {
+		t.Errorf("even median = %v, want 1.5", got)
+	}
+}
+
+func TestMeanSketchLifecycle(t *testing.T) {
+	m, err := NewMeanSketch(testCfg(1<<14), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "CS" {
+		t.Errorf("Name = %q", m.Name())
+	}
+	for tstep := 1; tstep <= 10; tstep++ {
+		m.BeginStep(tstep)
+		m.Offer(7, 2.0) // constant stream of 2s: mean is 2
+	}
+	if got := m.Estimate(7); math.Abs(got-2) > 1e-12 {
+		t.Errorf("mean estimate = %v, want 2", got)
+	}
+	if m.Bytes() != m.Sketch().Bytes() {
+		t.Error("Bytes should delegate to sketch")
+	}
+}
+
+func TestNewMeanSketchValidation(t *testing.T) {
+	if _, err := NewMeanSketch(testCfg(8), 0); err == nil {
+		t.Error("expected error for zero samples")
+	}
+	if _, err := NewMeanSketch(Config{}, 10); err == nil {
+		t.Error("expected error for invalid sketch config")
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	s := MustNew(Config{Tables: 5, Range: 1 << 16, Seed: 1})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Add(uint64(i), 1.0)
+	}
+}
+
+func BenchmarkEstimate(b *testing.B) {
+	s := MustNew(Config{Tables: 5, Range: 1 << 16, Seed: 1})
+	for i := 0; i < 1000; i++ {
+		s.Add(uint64(i), 1.0)
+	}
+	b.ReportAllocs()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += s.Estimate(uint64(i % 2000))
+	}
+	_ = sink
+}

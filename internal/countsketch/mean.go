@@ -1,0 +1,92 @@
+package countsketch
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/sketchapi"
+)
+
+// MeanSketch adapts a Count Sketch to the Ingestor contract for online
+// mean estimation (the paper's Algorithm 1): every offered value is
+// inserted scaled by 1/T, so the retrieval at the end of the stream is
+// the estimated mean μ̂_i. This is the "vanilla CS" baseline.
+type MeanSketch struct {
+	sk   *Sketch
+	invT float64
+	t    int
+}
+
+var _ sketchapi.Ingestor = (*MeanSketch)(nil)
+
+// NewMeanSketch creates the vanilla-CS engine for a stream of exactly (or
+// at most) totalSamples steps.
+func NewMeanSketch(cfg Config, totalSamples int) (*MeanSketch, error) {
+	if totalSamples <= 0 {
+		return nil, fmt.Errorf("countsketch: totalSamples must be positive, got %d", totalSamples)
+	}
+	sk, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &MeanSketch{sk: sk, invT: 1 / float64(totalSamples)}, nil
+}
+
+// BeginStep records the current time step.
+func (m *MeanSketch) BeginStep(t int) { m.t = t }
+
+// Offer inserts x/T for key.
+func (m *MeanSketch) Offer(key uint64, x float64) { m.sk.Add(key, x*m.invT) }
+
+// Estimate returns the current (t/T-scaled) mean estimate.
+func (m *MeanSketch) Estimate(key uint64) float64 { return m.sk.Estimate(key) }
+
+// Bytes reports the table footprint.
+func (m *MeanSketch) Bytes() int { return m.sk.Bytes() }
+
+// Name identifies the engine.
+func (m *MeanSketch) Name() string { return "CS" }
+
+// Sketch exposes the underlying Count Sketch (read-mostly; used by
+// diagnostics and the ASCS warm-start path).
+func (m *MeanSketch) Sketch() *Sketch { return m.sk }
+
+const meanMagic = uint32(0xA5C5C501)
+
+// WriteTo serializes the engine (stream length, step position, table
+// contents) for checkpoint/resume.
+func (m *MeanSketch) WriteTo(w io.Writer) (int64, error) {
+	hdr := make([]byte, 4+16)
+	binary.LittleEndian.PutUint32(hdr[0:], meanMagic)
+	total := uint64(1 / m.invT)
+	binary.LittleEndian.PutUint64(hdr[4:], total)
+	binary.LittleEndian.PutUint64(hdr[12:], uint64(m.t))
+	n, err := w.Write(hdr)
+	written := int64(n)
+	if err != nil {
+		return written, err
+	}
+	sn, err := m.sk.WriteTo(w)
+	return written + sn, err
+}
+
+// ReadMeanSketchFrom reconstructs a MeanSketch written by WriteTo.
+func ReadMeanSketchFrom(r io.Reader) (*MeanSketch, error) {
+	hdr := make([]byte, 4+16)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("countsketch: reading mean header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != meanMagic {
+		return nil, fmt.Errorf("countsketch: bad mean-sketch magic")
+	}
+	total := binary.LittleEndian.Uint64(hdr[4:])
+	if total == 0 {
+		return nil, fmt.Errorf("countsketch: corrupt stream length")
+	}
+	sk, err := ReadFrom(r)
+	if err != nil {
+		return nil, err
+	}
+	return &MeanSketch{sk: sk, invT: 1 / float64(total), t: int(binary.LittleEndian.Uint64(hdr[12:]))}, nil
+}

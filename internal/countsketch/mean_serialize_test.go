@@ -1,0 +1,53 @@
+package countsketch
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestMeanSketchSerializationRoundTrip(t *testing.T) {
+	m, err := NewMeanSketch(testCfg(256), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 1; step <= 30; step++ {
+		m.BeginStep(step)
+		m.Offer(uint64(step%7), float64(step))
+	}
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMeanSketchFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 10; k++ {
+		if got.Estimate(k) != m.Estimate(k) {
+			t.Fatalf("estimate mismatch at key %d", k)
+		}
+	}
+	// Resumed offers scale identically (same T).
+	got.BeginStep(31)
+	m.BeginStep(31)
+	got.Offer(3, 2)
+	m.Offer(3, 2)
+	if got.Estimate(3) != m.Estimate(3) {
+		t.Error("post-resume scaling mismatch")
+	}
+}
+
+func TestReadMeanSketchFromErrors(t *testing.T) {
+	if _, err := ReadMeanSketchFrom(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := ReadMeanSketchFrom(bytes.NewReader(make([]byte, 20))); err == nil {
+		t.Error("bad magic should error")
+	}
+	// Valid magic, zero stream length.
+	bad := make([]byte, 20)
+	bad[0], bad[1], bad[2], bad[3] = 0x01, 0xC5, 0xC5, 0xA5 // little-endian magic
+	if _, err := ReadMeanSketchFrom(bytes.NewReader(bad)); err == nil {
+		t.Error("zero stream length should error")
+	}
+}

@@ -1,0 +1,302 @@
+// Package covstream turns a stream of samples Y^(t) ∈ R^d into the pair
+// stream X ∈ R^p that the sketching engines consume (§3-§5 of the
+// paper): it enumerates feature pairs per sample, forms the covariance
+// increments (either the E[YaYb] second-moment approximation of §5 or
+// the exactly-centered update of §4 with its adjustment term), skips
+// zero features, and retrieves the top estimated pairs at the end —
+// exhaustively for small p, via a bounded candidate tracker for the
+// trillion-entry regime of Table 2.
+package covstream
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/pairs"
+	"repro/internal/sketchapi"
+	"repro/internal/stream"
+	"repro/internal/topk"
+)
+
+// Mode selects how pair increments are formed.
+type Mode int
+
+const (
+	// SecondMoment inserts x = ya·yb, the paper's §5 approximation
+	// Cov(Ya,Yb) ≈ E[YaYb], exact for zero-mean (e.g. standardized)
+	// features and the only mode where zero-skipping is lossless.
+	SecondMoment Mode = iota
+	// Centered inserts x = (ya − ȳa)(yb − ȳb) using running feature
+	// means (§4), optionally with the adjustment term that makes the
+	// accumulated sum exactly the centered co-moment at every step.
+	Centered
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case SecondMoment:
+		return "second-moment"
+	case Centered:
+		return "centered"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config configures an Estimator.
+type Config struct {
+	// Dim is the feature dimensionality d.
+	Dim int
+	// T is the stream length the engine was built for.
+	T int
+	// Engine is the sketching engine (CS, ASCS, ASketch, ColdFilter).
+	Engine sketchapi.Ingestor
+	// Mode selects the increment formula.
+	Mode Mode
+	// Adjustment enables the §4 adjustment term (Centered mode only).
+	Adjustment bool
+	// MeanCutoff (Centered mode): zero-valued features whose running
+	// |mean| exceeds this are still paired (the paper's n_u set). Zero
+	// keeps strict zero-skipping.
+	MeanCutoff float64
+	// TrackCandidates, when positive, maintains a bounded candidate set
+	// of keys offered to the engine (capacity TrackCandidates) so Top
+	// works when p is too large to enumerate.
+	TrackCandidates int
+	// MaxExhaustivePairs caps exhaustive retrieval (default 20M).
+	MaxExhaustivePairs int64
+}
+
+// PairEstimate is one retrieved pair with its estimated mean.
+type PairEstimate struct {
+	A, B     int
+	Key      uint64
+	Estimate float64
+}
+
+// Estimator drives an engine over a sample stream.
+type Estimator struct {
+	cfg   Config
+	t     int
+	means []float64 // running feature means (Centered mode)
+	prev  []float64 // scratch: previous means during an update
+	track *topk.Tracker
+
+	active []int // scratch: active feature indices of current sample
+	vals   []float64
+}
+
+// New validates cfg and builds an estimator.
+func New(cfg Config) (*Estimator, error) {
+	if cfg.Dim < 2 {
+		return nil, fmt.Errorf("covstream: Dim must be ≥ 2, got %d", cfg.Dim)
+	}
+	if cfg.T < 1 {
+		return nil, fmt.Errorf("covstream: T must be ≥ 1, got %d", cfg.T)
+	}
+	if cfg.Engine == nil {
+		return nil, fmt.Errorf("covstream: Engine is required")
+	}
+	if cfg.Mode != SecondMoment && cfg.Mode != Centered {
+		return nil, fmt.Errorf("covstream: unknown mode %v", cfg.Mode)
+	}
+	if cfg.Adjustment && cfg.Mode != Centered {
+		return nil, fmt.Errorf("covstream: Adjustment requires Centered mode")
+	}
+	if cfg.MeanCutoff < 0 {
+		return nil, fmt.Errorf("covstream: MeanCutoff must be ≥ 0")
+	}
+	if cfg.MaxExhaustivePairs == 0 {
+		cfg.MaxExhaustivePairs = 20_000_000
+	}
+	e := &Estimator{cfg: cfg}
+	if cfg.Mode == Centered {
+		e.means = make([]float64, cfg.Dim)
+		e.prev = make([]float64, cfg.Dim)
+	}
+	if cfg.TrackCandidates > 0 {
+		e.track = topk.NewTracker(cfg.TrackCandidates)
+	}
+	return e, nil
+}
+
+// Steps returns the number of samples observed so far.
+func (e *Estimator) Steps() int { return e.t }
+
+// Engine returns the underlying engine.
+func (e *Estimator) Engine() sketchapi.Ingestor { return e.cfg.Engine }
+
+// Observe feeds one sample.
+func (e *Estimator) Observe(s stream.Sample) error {
+	if err := s.Validate(e.cfg.Dim); err != nil {
+		return err
+	}
+	if e.t >= e.cfg.T {
+		return fmt.Errorf("covstream: stream exceeds configured T=%d", e.cfg.T)
+	}
+	e.t++
+	e.cfg.Engine.BeginStep(e.t)
+	switch e.cfg.Mode {
+	case SecondMoment:
+		e.observeSecondMoment(s)
+	case Centered:
+		e.observeCentered(s)
+	}
+	return nil
+}
+
+func (e *Estimator) observeSecondMoment(s stream.Sample) {
+	// x = ya·yb over non-zero pairs only: zeros contribute nothing.
+	idx, val := s.Idx, s.Val
+	for i := 0; i < len(idx); i++ {
+		for j := i + 1; j < len(idx); j++ {
+			e.offer(idx[i], idx[j], val[i]*val[j])
+		}
+	}
+}
+
+func (e *Estimator) observeCentered(s stream.Sample) {
+	d := e.cfg.Dim
+	copy(e.prev, e.means)
+	// Update running means over all features (zeros implicit).
+	tf := float64(e.t)
+	for j := 0; j < d; j++ {
+		e.means[j] *= (tf - 1) / tf
+	}
+	for i, ix := range s.Idx {
+		e.means[ix] += s.Val[i] / tf
+	}
+	// Active set: non-zero features plus heavy-mean features (n_u).
+	e.active = e.active[:0]
+	e.vals = e.vals[:0]
+	si := 0
+	for j := 0; j < d; j++ {
+		v := 0.0
+		if si < len(s.Idx) && s.Idx[si] == j {
+			v = s.Val[si]
+			si++
+		}
+		if v != 0 || math.Abs(e.means[j]) > e.cfg.MeanCutoff || (e.cfg.MeanCutoff == 0 && e.means[j] != 0) {
+			e.active = append(e.active, j)
+			e.vals = append(e.vals, v)
+		}
+	}
+	for i := 0; i < len(e.active); i++ {
+		a := e.active[i]
+		ya := e.vals[i]
+		for j := i + 1; j < len(e.active); j++ {
+			b := e.active[j]
+			yb := e.vals[j]
+			var x float64
+			if e.cfg.Adjustment {
+				// Exact telescoping of §4: the paper's adjustment makes
+				// Σ_k X^(k) equal Σ_k (ya(k)−ȳa(t))(yb(k)−ȳb(t)) at every
+				// t. The closed form of that difference is the Welford
+				// co-moment update (one pre-update mean, one post-update
+				// mean): S(t)−S(t−1) = (ya−ȳa(t−1))·(yb−ȳb(t)).
+				x = (ya - e.prev[a]) * (yb - e.means[b])
+			} else {
+				// The paper's approximation: drop the adjustment and use
+				// the current means on both sides.
+				x = (ya - e.means[a]) * (yb - e.means[b])
+			}
+			e.offer(a, b, x)
+		}
+	}
+}
+
+func (e *Estimator) offer(a, b int, x float64) {
+	key := pairs.Key(a, b, e.cfg.Dim)
+	e.cfg.Engine.Offer(key, x)
+	if e.track != nil {
+		e.track.Offer(key, math.Abs(e.cfg.Engine.Estimate(key)))
+	}
+}
+
+// Run drains src through Observe, returning the number of samples
+// processed.
+func (e *Estimator) Run(src stream.Source) (int, error) {
+	n := 0
+	for {
+		s, ok := src.Next()
+		if !ok {
+			return n, nil
+		}
+		if err := e.Observe(s); err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// EstimatePair returns the engine's estimate for the pair (a, b).
+func (e *Estimator) EstimatePair(a, b int) float64 {
+	if a > b {
+		a, b = b, a
+	}
+	return e.cfg.Engine.Estimate(pairs.Key(a, b, e.cfg.Dim))
+}
+
+// Top returns the k pairs with the largest estimates (by signed value).
+// With candidate tracking enabled the candidates are rescored with the
+// final estimates; otherwise all p pairs are scanned (p must not exceed
+// MaxExhaustivePairs).
+func (e *Estimator) Top(k int) ([]PairEstimate, error) {
+	return e.top(k, func(v float64) float64 { return v })
+}
+
+// TopMagnitude returns the k pairs with the largest |estimate| — strong
+// negative correlations rank alongside positive ones (the two-sided
+// ASCS gate of Theorems 1–2 retains both). Estimates keep their sign.
+func (e *Estimator) TopMagnitude(k int) ([]PairEstimate, error) {
+	return e.top(k, math.Abs)
+}
+
+func (e *Estimator) top(k int, rank func(float64) float64) ([]PairEstimate, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("covstream: k must be ≥ 1")
+	}
+	d := e.cfg.Dim
+	var items []topk.Item
+	if e.track != nil {
+		items = e.track.Top(k, func(key uint64) float64 { return rank(e.cfg.Engine.Estimate(key)) })
+	} else {
+		p := pairs.Count(d)
+		if p > e.cfg.MaxExhaustivePairs {
+			return nil, fmt.Errorf("covstream: %d pairs exceed exhaustive limit %d; enable TrackCandidates", p, e.cfg.MaxExhaustivePairs)
+		}
+		h := topk.NewHeap(k)
+		for idx := int64(0); idx < p; idx++ {
+			key := uint64(idx)
+			h.Push(key, rank(e.cfg.Engine.Estimate(key)))
+		}
+		items = h.SortedDesc()
+	}
+	out := make([]PairEstimate, len(items))
+	for i, it := range items {
+		a, b := pairs.Decode(int64(it.Key), d)
+		out[i] = PairEstimate{A: a, B: b, Key: it.Key, Estimate: e.cfg.Engine.Estimate(it.Key)}
+	}
+	return out, nil
+}
+
+// RankedKeys returns all p pair keys ordered by descending estimate
+// (exhaustive retrieval; intended for small p where F1-style evaluation
+// needs a full ranking).
+func (e *Estimator) RankedKeys() ([]uint64, error) {
+	p := pairs.Count(e.cfg.Dim)
+	if p > e.cfg.MaxExhaustivePairs {
+		return nil, fmt.Errorf("covstream: %d pairs exceed exhaustive limit", p)
+	}
+	h := topk.NewHeap(int(p))
+	for idx := int64(0); idx < p; idx++ {
+		h.Push(uint64(idx), e.cfg.Engine.Estimate(uint64(idx)))
+	}
+	items := h.SortedDesc()
+	keys := make([]uint64, len(items))
+	for i, it := range items {
+		keys[i] = it.Key
+	}
+	return keys, nil
+}

@@ -1,0 +1,74 @@
+package covstream
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/countsketch"
+	"repro/internal/pairs"
+	"repro/internal/stream"
+)
+
+// ParallelSecondMoment ingests the samples into a vanilla Count Sketch
+// using `workers` goroutines and returns the merged sketch scaled as a
+// mean estimator (estimates are Σ ya·yb / T for every pair).
+//
+// Correctness rests on the sketch's linearity: each worker owns a table
+// shard with identical hash functions, and the sum of the shards equals
+// serial ingestion regardless of sample order. Only the vanilla engine
+// parallelizes this way — ASCS's gate reads the evolving global sketch,
+// which is inherently sequential (§5's sampling is an online decision).
+func ParallelSecondMoment(samples []stream.Sample, dim int, cfg countsketch.Config, workers int) (*countsketch.Sketch, error) {
+	if dim < 2 {
+		return nil, fmt.Errorf("covstream: dim must be ≥ 2")
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("covstream: no samples")
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(samples) {
+		workers = len(samples)
+	}
+	master, err := countsketch.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	shards := master.Split(workers)
+	invT := 1 / float64(len(samples))
+
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sk := shards[w]
+			for si := w; si < len(samples); si += workers {
+				s := samples[si]
+				if err := s.Validate(dim); err != nil {
+					errs[w] = err
+					return
+				}
+				for i := 0; i < len(s.Idx); i++ {
+					for j := i + 1; j < len(s.Idx); j++ {
+						sk.Add(pairs.Key(s.Idx[i], s.Idx[j], dim), s.Val[i]*s.Val[j]*invT)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, sh := range shards {
+		if err := master.Merge(sh); err != nil {
+			return nil, err
+		}
+	}
+	return master, nil
+}

@@ -1,0 +1,100 @@
+package covstream
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/countsketch"
+	"repro/internal/pairs"
+	"repro/internal/stream"
+)
+
+func parallelFixture(n, d int, seed int64) []stream.Sample {
+	rng := rand.New(rand.NewSource(seed))
+	samples := make([]stream.Sample, n)
+	for i := range samples {
+		row := make([]float64, d)
+		for j := range row {
+			if rng.Float64() < 0.4 {
+				row[j] = rng.NormFloat64()
+			}
+		}
+		samples[i] = stream.FromDense(row)
+	}
+	return samples
+}
+
+func TestParallelSecondMomentMatchesSerial(t *testing.T) {
+	const d, n = 24, 300
+	samples := parallelFixture(n, d, 5)
+	cfg := countsketch.Config{Tables: 5, Range: 512, Seed: 7}
+
+	// Serial reference through the estimator.
+	ms, err := countsketch.NewMeanSketch(cfg, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := New(Config{Dim: d, T: n, Engine: ms, Mode: SecondMoment})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := est.Run(stream.NewSliceSource(samples, d)); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 2, 3, 8} {
+		par, err := ParallelSecondMoment(samples, d, cfg, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		p := pairs.Count(d)
+		for idx := int64(0); idx < p; idx++ {
+			a := ms.Estimate(uint64(idx))
+			b := par.Estimate(uint64(idx))
+			if math.Abs(a-b) > 1e-9 {
+				t.Fatalf("workers=%d: pair %d estimate %v vs %v", workers, idx, a, b)
+			}
+		}
+	}
+}
+
+func TestParallelSecondMomentErrors(t *testing.T) {
+	cfg := countsketch.Config{Tables: 2, Range: 16, Seed: 1}
+	if _, err := ParallelSecondMoment(nil, 5, cfg, 2); err == nil {
+		t.Error("no samples should error")
+	}
+	if _, err := ParallelSecondMoment(parallelFixture(3, 4, 1), 1, cfg, 2); err == nil {
+		t.Error("tiny dim should error")
+	}
+	if _, err := ParallelSecondMoment(parallelFixture(3, 4, 1), 4, countsketch.Config{}, 2); err == nil {
+		t.Error("bad sketch config should error")
+	}
+	// Invalid sample surfaces from a worker.
+	bad := []stream.Sample{{Idx: []int{9}, Val: []float64{1}}}
+	if _, err := ParallelSecondMoment(bad, 4, cfg, 2); err == nil {
+		t.Error("invalid sample should error")
+	}
+	// Workers clamped to sample count and to ≥ 1.
+	if _, err := ParallelSecondMoment(parallelFixture(2, 4, 2), 4, cfg, 99); err != nil {
+		t.Errorf("excess workers should clamp: %v", err)
+	}
+	if _, err := ParallelSecondMoment(parallelFixture(2, 4, 2), 4, cfg, 0); err != nil {
+		t.Errorf("zero workers should clamp: %v", err)
+	}
+}
+
+func BenchmarkParallelSecondMoment(b *testing.B) {
+	const d, n = 64, 512
+	samples := parallelFixture(n, d, 9)
+	cfg := countsketch.Config{Tables: 5, Range: 1 << 12, Seed: 3}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(map[int]string{1: "serial", 2: "w2", 4: "w4"}[workers], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ParallelSecondMoment(samples, d, cfg, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,147 @@
+// Package dataset provides the synthetic workloads of the reproduction.
+//
+// The paper evaluates on LIBSVM datasets (gisette, epsilon, cifar10,
+// rcv1, sector; Table 3), two trillion-scale datasets (URL, DNA k-mer;
+// Table 2) and a simulation model (§6.2). The module being offline, each
+// is replaced by a seeded generator matched on the statistics ASCS is
+// sensitive to: dimensionality, sample sparsity, the correlation
+// spectrum (Figure 1), the mean/std profile (Figure 2) and planted
+// signal structure. The DNA k-mer dataset is itself synthetic in the
+// paper (reads are generated, then k-mer counted), so that generator is
+// a direct scaled-down reimplementation rather than a stand-in.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/matrix"
+	"repro/internal/pairs"
+	"repro/internal/stream"
+)
+
+// Dataset is a materialized small-scale dataset with exact ground truth,
+// used by the §8.3 experiments (Tables 3-6, Figures 1-6).
+type Dataset struct {
+	// Name identifies the workload ("simulation", "gisette-like", ...).
+	Name string
+	// Dim is the feature dimensionality d.
+	Dim int
+	// Alpha is the suggested signal sparsity for ASCS (Table 3).
+	Alpha float64
+	// Rows holds the materialized samples (Samples × Dim).
+	Rows [][]float64
+	// TrueCorr is the ground-truth correlation matrix: the population
+	// matrix when known analytically (simulation), otherwise the exact
+	// empirical correlation of Rows, computed lazily by Corr.
+	trueCorr *matrix.Sym
+}
+
+// Samples returns the number of materialized rows.
+func (ds *Dataset) Samples() int { return len(ds.Rows) }
+
+// Source returns a fresh one-pass source over the rows.
+func (ds *Dataset) Source() stream.Source { return stream.NewMatrixSource(ds.Rows) }
+
+// Corr returns the ground-truth correlation matrix, computing the exact
+// empirical correlation of Rows on first use when no analytic truth was
+// attached.
+func (ds *Dataset) Corr() (*matrix.Sym, error) {
+	if ds.trueCorr != nil {
+		return ds.trueCorr, nil
+	}
+	c, err := matrix.ExactCorrelation(ds.Rows)
+	if err != nil {
+		return nil, fmt.Errorf("dataset %s: %w", ds.Name, err)
+	}
+	ds.trueCorr = c
+	return c, nil
+}
+
+// CorrOf returns the ground-truth correlation of the pair with linear
+// index idx.
+func (ds *Dataset) CorrOf(idx int64) (float64, error) {
+	c, err := ds.Corr()
+	if err != nil {
+		return 0, err
+	}
+	a, b := pairs.Decode(idx, ds.Dim)
+	return c.At(a, b), nil
+}
+
+// AvgNNZ returns the average number of non-zeros per row.
+func (ds *Dataset) AvgNNZ() float64 {
+	if len(ds.Rows) == 0 {
+		return 0
+	}
+	total := 0
+	for _, r := range ds.Rows {
+		for _, v := range r {
+			if v != 0 {
+				total++
+			}
+		}
+	}
+	return float64(total) / float64(len(ds.Rows))
+}
+
+// Bootstrap returns a new dataset whose rows are sampled with
+// replacement from ds (the paper's device for replicating "gisette" in
+// §6.2 and §7.3). The ground-truth correlation remains that of ds.
+func (ds *Dataset) Bootstrap(n int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = ds.Rows[rng.Intn(len(ds.Rows))]
+	}
+	return &Dataset{
+		Name:     ds.Name + "-boot",
+		Dim:      ds.Dim,
+		Alpha:    ds.Alpha,
+		Rows:     rows,
+		trueCorr: ds.trueCorr,
+	}
+}
+
+// Scale selects the size of generated datasets: tests and benches use
+// Small; cmd/experiments can run closer to paper scale.
+type Scale struct {
+	// Dim is the number of features (the paper restricts to 1000).
+	Dim int
+	// Samples is the stream length.
+	Samples int
+}
+
+// SmallScale is sized for unit tests and CI: seconds, not minutes.
+func SmallScale() Scale { return Scale{Dim: 300, Samples: 2000} }
+
+// MediumScale is sized for local experiment runs.
+func MediumScale() Scale { return Scale{Dim: 500, Samples: 4000} }
+
+// PaperScale matches §8.3 (1000 features; samples capped at 6000).
+func PaperScale() Scale { return Scale{Dim: 1000, Samples: 6000} }
+
+// ByName builds one of the five small-scale datasets of Table 3 by name.
+func ByName(name string, sc Scale, seed int64) (*Dataset, error) {
+	switch name {
+	case "simulation":
+		return Simulation(sc.Dim, sc.Samples, 0.005, seed), nil
+	case "gisette":
+		return GisetteLike(sc, seed), nil
+	case "epsilon":
+		return EpsilonLike(sc, seed), nil
+	case "cifar10":
+		return CIFAR10Like(sc, seed), nil
+	case "rcv1":
+		return RCV1Like(sc, seed), nil
+	case "sector":
+		return SectorLike(sc, seed), nil
+	default:
+		return nil, fmt.Errorf("dataset: unknown dataset %q", name)
+	}
+}
+
+// SmallNames lists the five Table 3 workloads (plus the simulation).
+func SmallNames() []string {
+	return []string{"gisette", "epsilon", "cifar10", "rcv1", "sector"}
+}

@@ -1,0 +1,420 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/matrix"
+	"repro/internal/stream"
+)
+
+func TestSimulationStructure(t *testing.T) {
+	const (
+		d     = 200
+		n     = 500
+		alpha = 0.01
+	)
+	ds := Simulation(d, n, alpha, 1)
+	if ds.Dim != d || ds.Samples() != n || ds.Name != "simulation" {
+		t.Fatalf("metadata = %s %d %d", ds.Name, ds.Dim, ds.Samples())
+	}
+	corr, err := ds.Corr()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Signal pairs near the target count, all in [0.5, 1]; diagonal 1.
+	p := float64(d) * (d - 1) / 2
+	target := alpha * p
+	got := SimulationSignalPairs(ds)
+	if math.Abs(float64(got)-target) > 0.5*target {
+		t.Errorf("signal pairs = %d, target ≈ %.0f", got, target)
+	}
+	for i := 0; i < d; i++ {
+		if corr.At(i, i) != 1 {
+			t.Fatalf("diag[%d] = %v", i, corr.At(i, i))
+		}
+		for j := i + 1; j < d; j++ {
+			c := corr.At(i, j)
+			if c != 0 && (c < 0.5-1e-12 || c > 1) {
+				t.Fatalf("signal corr[%d,%d] = %v outside [0.5,1]", i, j, c)
+			}
+		}
+	}
+	// Population truth must be PSD.
+	if !matrix.IsPSD(corr, 1e-8) {
+		t.Error("simulation correlation not PSD")
+	}
+}
+
+func TestSimulationEmpiricalMatchesPopulation(t *testing.T) {
+	ds := Simulation(100, 4000, 0.02, 2)
+	pop := ds.trueCorr
+	emp, err := matrix.ExactCorrelation(ds.Rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empirical correlations concentrate around population values:
+	// sampling error ~ 1/sqrt(n) ≈ 0.016; allow 5 sigma.
+	maxErr := 0.0
+	for i := 0; i < 100; i++ {
+		for j := i + 1; j < 100; j++ {
+			if e := math.Abs(emp.At(i, j) - pop.At(i, j)); e > maxErr {
+				maxErr = e
+			}
+		}
+	}
+	if maxErr > 0.12 {
+		t.Errorf("max |empirical - population| = %v", maxErr)
+	}
+}
+
+func TestSimulationDeterministic(t *testing.T) {
+	a := Simulation(50, 20, 0.02, 7)
+	b := Simulation(50, 20, 0.02, 7)
+	for i := range a.Rows {
+		for j := range a.Rows[i] {
+			if a.Rows[i][j] != b.Rows[i][j] {
+				t.Fatal("same seed should reproduce identical data")
+			}
+		}
+	}
+	c := Simulation(50, 20, 0.02, 8)
+	if a.Rows[0][0] == c.Rows[0][0] {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestByNameAllDatasets(t *testing.T) {
+	sc := Scale{Dim: 120, Samples: 300}
+	for _, name := range append(SmallNames(), "simulation") {
+		ds, err := ByName(name, sc, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if ds.Dim != sc.Dim || ds.Samples() != sc.Samples {
+			t.Errorf("%s: wrong shape %dx%d", name, ds.Samples(), ds.Dim)
+		}
+		if ds.Alpha <= 0 || ds.Alpha >= 1 {
+			t.Errorf("%s: alpha = %v", name, ds.Alpha)
+		}
+		if _, err := ds.Corr(); err != nil {
+			t.Errorf("%s: Corr: %v", name, err)
+		}
+	}
+	if _, err := ByName("nope", sc, 3); err == nil {
+		t.Error("unknown name should error")
+	}
+}
+
+func TestSmallDatasetsHaveStrongAndWeakPairs(t *testing.T) {
+	// Every Table-3-like dataset must present the Figure 1 shape: most
+	// pairs weakly correlated, a non-trivial head of strong pairs.
+	sc := Scale{Dim: 150, Samples: 1200}
+	for _, name := range SmallNames() {
+		ds, err := ByName(name, sc, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		corr, err := ds.Corr()
+		if err != nil {
+			t.Fatal(err)
+		}
+		strong, weak, total := 0, 0, 0
+		for i := 0; i < ds.Dim; i++ {
+			for j := i + 1; j < ds.Dim; j++ {
+				c := math.Abs(corr.At(i, j))
+				total++
+				if c > 0.4 {
+					strong++
+				}
+				if c < 0.2 {
+					weak++
+				}
+			}
+		}
+		if strong < 10 {
+			t.Errorf("%s: only %d strong pairs", name, strong)
+		}
+		if float64(weak)/float64(total) < 0.8 {
+			t.Errorf("%s: weak fraction %.2f, want sparse spectrum", name, float64(weak)/float64(total))
+		}
+	}
+}
+
+func TestSparseDatasetsAreSparse(t *testing.T) {
+	sc := Scale{Dim: 200, Samples: 400}
+	for _, name := range []string{"rcv1", "sector"} {
+		ds, _ := ByName(name, sc, 1)
+		if nnz := ds.AvgNNZ(); nnz > float64(sc.Dim)/3 {
+			t.Errorf("%s: avg nnz %.1f too dense for a text-like dataset", name, nnz)
+		}
+	}
+	// Dense datasets should be dense.
+	eps, _ := ByName("epsilon", sc, 1)
+	if nnz := eps.AvgNNZ(); nnz < float64(sc.Dim)*0.95 {
+		t.Errorf("epsilon: avg nnz %.1f should be dense", nnz)
+	}
+}
+
+func TestBootstrap(t *testing.T) {
+	ds := Simulation(30, 100, 0.05, 4)
+	boot := ds.Bootstrap(250, 9)
+	if boot.Samples() != 250 || boot.Dim != 30 {
+		t.Fatalf("bootstrap shape %dx%d", boot.Samples(), boot.Dim)
+	}
+	// Bootstrap rows must come from the original row set (same backing
+	// arrays are fine).
+	orig := map[*float64]bool{}
+	for _, r := range ds.Rows {
+		orig[&r[0]] = true
+	}
+	for _, r := range boot.Rows {
+		if !orig[&r[0]] {
+			t.Fatal("bootstrap row not drawn from original rows")
+		}
+	}
+	// Ground truth is inherited.
+	bc, err := boot.Corr()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oc, _ := ds.Corr()
+	if bc.At(0, 1) != oc.At(0, 1) {
+		t.Error("bootstrap should inherit the base ground truth")
+	}
+}
+
+func TestDatasetSourceRoundTrip(t *testing.T) {
+	ds := Simulation(20, 15, 0.05, 3)
+	src := ds.Source()
+	if src.Dim() != 20 {
+		t.Errorf("Dim = %d", src.Dim())
+	}
+	n := len(stream.Drain(src))
+	if n != 15 {
+		t.Errorf("source yielded %d", n)
+	}
+}
+
+func TestCorrOf(t *testing.T) {
+	ds := Simulation(10, 50, 0.1, 2)
+	c, err := ds.Corr()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ds.CorrOf(0) // pair (0,1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != c.At(0, 1) {
+		t.Errorf("CorrOf(0) = %v, want %v", got, c.At(0, 1))
+	}
+}
+
+func TestURLConfigValidation(t *testing.T) {
+	good := DefaultURLConfig(600, 1)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []URLConfig{
+		{Dim: 2},
+		{Dim: 100, GroupSize: 1, Groups: 10, ActiveGroups: 1, FireProb: 0.5},
+		{Dim: 100, GroupSize: 3, Groups: 40, ActiveGroups: 1, FireProb: 0.5},
+		{Dim: 100, GroupSize: 3, Groups: 10, ActiveGroups: 0, FireProb: 0.5},
+		{Dim: 100, GroupSize: 3, Groups: 10, ActiveGroups: 1, FireProb: 0},
+		{Dim: 100, GroupSize: 3, Groups: 10, ActiveGroups: 1, FireProb: 0.5, BackgroundNZ: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestURLSourceShape(t *testing.T) {
+	cfg := DefaultURLConfig(600, 11)
+	src, err := cfg.NewSource(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := stream.Drain(src)
+	if len(samples) != 200 {
+		t.Fatalf("yielded %d", len(samples))
+	}
+	totalNNZ := 0
+	for _, s := range samples {
+		if err := s.Validate(cfg.Dim); err != nil {
+			t.Fatalf("invalid sample: %v", err)
+		}
+		totalNNZ += s.NNZ()
+		for _, v := range s.Val {
+			if v != 1 {
+				t.Fatal("URL values must be binary")
+			}
+		}
+	}
+	avg := float64(totalNNZ) / 200
+	// Expected ≈ ActiveGroups*GroupSize*FireProb + BackgroundNZ ≈ 61.
+	if avg < 30 || avg > 90 {
+		t.Errorf("avg nnz = %.1f outside expected band", avg)
+	}
+	// Deterministic by seed.
+	src2, _ := cfg.NewSource(200)
+	s2 := stream.Drain(src2)
+	for i := range s2 {
+		if len(s2[i].Idx) != len(samples[i].Idx) {
+			t.Fatal("same seed should reproduce stream")
+		}
+	}
+}
+
+func TestURLSignalPairsCoFire(t *testing.T) {
+	cfg := DefaultURLConfig(300, 13)
+	sig := cfg.SignalPairs()
+	wantPairs := cfg.Groups * cfg.GroupSize * (cfg.GroupSize - 1) / 2
+	if len(sig) != wantPairs {
+		t.Fatalf("signal pairs = %d, want %d", len(sig), wantPairs)
+	}
+	// Empirically: conditioned on A firing, B fires far more often than
+	// the background rate.
+	src, _ := cfg.NewSource(3000)
+	pr := sig[0]
+	bothCount, aCount := 0, 0
+	for {
+		s, ok := src.Next()
+		if !ok {
+			break
+		}
+		d := s.Dense(cfg.Dim)
+		if d[pr.A] != 0 {
+			aCount++
+			if d[pr.B] != 0 {
+				bothCount++
+			}
+		}
+	}
+	if aCount == 0 {
+		t.Fatal("signal feature never fired")
+	}
+	if frac := float64(bothCount) / float64(aCount); frac < 0.5 {
+		t.Errorf("co-fire fraction %.2f, want strong", frac)
+	}
+}
+
+func TestDNAConfigValidation(t *testing.T) {
+	good := DefaultDNAConfig(5, 42)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []DNAConfig{
+		{K: 1, ReadLen: 100, Motifs: 2, MotifLen: 10, MotifProb: 0.5},
+		{K: 13, ReadLen: 100, Motifs: 2, MotifLen: 20, MotifProb: 0.5},
+		{K: 5, ReadLen: 100, Motifs: 2, MotifLen: 4, MotifProb: 0.5},
+		{K: 5, ReadLen: 8, Motifs: 2, MotifLen: 10, MotifProb: 0.5},
+		{K: 5, ReadLen: 100, Motifs: 0, MotifLen: 10, MotifProb: 0.5},
+		{K: 5, ReadLen: 100, Motifs: 2, MotifLen: 10, MotifProb: 1.5},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if got := (DNAConfig{K: 3}).Dim(); got != 64 {
+		t.Errorf("Dim = %d, want 64", got)
+	}
+}
+
+func TestDNASourceCountsKmers(t *testing.T) {
+	cfg := DefaultDNAConfig(4, 42)
+	src, err := cfg.NewSource(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := stream.Drain(src)
+	if len(samples) != 100 {
+		t.Fatalf("yielded %d", len(samples))
+	}
+	for _, s := range samples {
+		if err := s.Validate(cfg.Dim()); err != nil {
+			t.Fatalf("invalid sample: %v", err)
+		}
+		// Total k-mer count equals windows per read.
+		total := 0.0
+		for _, v := range s.Val {
+			total += v
+		}
+		if int(total) != cfg.ReadLen-cfg.K+1 {
+			t.Fatalf("total count = %v, want %d", total, cfg.ReadLen-cfg.K+1)
+		}
+	}
+}
+
+func TestDNASignalPairsCoOccur(t *testing.T) {
+	// K must be large enough that background hits of a given k-mer are
+	// rare relative to motif occurrences (the paper's k=12 regime).
+	cfg := DNAConfig{K: 7, ReadLen: 200, Motifs: 10, MotifLen: 15, MotifProb: 0.5, Seed: 42}
+	sig := cfg.SignalPairs()
+	if len(sig) == 0 {
+		t.Fatal("no signal pairs")
+	}
+	for _, pr := range sig {
+		if pr.A >= pr.B || pr.B >= cfg.Dim() {
+			t.Fatalf("invalid pair %+v", pr)
+		}
+	}
+	// Motif k-mers co-occur: when A appears, B should usually appear too.
+	src, _ := cfg.NewSource(2000)
+	pr := sig[0]
+	both, aOnly := 0, 0
+	for {
+		s, ok := src.Next()
+		if !ok {
+			break
+		}
+		hasA, hasB := false, false
+		for _, ix := range s.Idx {
+			if ix == pr.A {
+				hasA = true
+			}
+			if ix == pr.B {
+				hasB = true
+			}
+		}
+		if hasA {
+			if hasB {
+				both++
+			} else {
+				aOnly++
+			}
+		}
+	}
+	if both == 0 {
+		t.Fatal("motif pair never co-occurred")
+	}
+	if frac := float64(both) / float64(both+aOnly); frac < 0.5 {
+		t.Errorf("co-occurrence fraction %.2f too low", frac)
+	}
+}
+
+func TestKmerCodes(t *testing.T) {
+	// bases ACGT = 0,1,2,3; k=2 over [0,1,2] gives codes 0*4+1=1, 1*4+2=6.
+	got := kmerCodes([]byte{0, 1, 2}, 2)
+	if len(got) != 2 || got[0] != 1 || got[1] != 6 {
+		t.Errorf("kmerCodes = %v", got)
+	}
+	if kmerCodes([]byte{0}, 2) != nil {
+		t.Error("short input should give nil")
+	}
+	// Duplicates reported once.
+	got = kmerCodes([]byte{0, 0, 0}, 2)
+	if len(got) != 1 || got[0] != 0 {
+		t.Errorf("dedup failed: %v", got)
+	}
+}
+
+func TestPairRefKey(t *testing.T) {
+	pr := PairRef{2, 5}
+	if pr.Key(10) == 0 && (pr.A != 0 || pr.B != 1) {
+		t.Error("Key should match pairs.Key")
+	}
+}

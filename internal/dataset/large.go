@@ -1,0 +1,283 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/pairs"
+	"repro/internal/stream"
+)
+
+// PairRef names a feature pair (A < B).
+type PairRef struct {
+	A, B int
+}
+
+// Key returns the pair's linear index as a sketch key.
+func (p PairRef) Key(d int) uint64 { return pairs.Key(p.A, p.B, d) }
+
+// URLConfig parameterizes the URL-like workload of Table 2: extremely
+// sparse binary features where groups of near-duplicate features
+// (tokens of the same host/path) co-fire, creating correlation-≈1 signal
+// pairs, on top of sparse background firing.
+type URLConfig struct {
+	// Dim is the feature dimensionality.
+	Dim int
+	// GroupSize is the number of co-firing features per group.
+	GroupSize int
+	// Groups is the number of co-firing groups (Groups*GroupSize ≤ Dim).
+	Groups int
+	// ActiveGroups is how many groups fire per sample.
+	ActiveGroups int
+	// FireProb is the probability each member of an active group fires.
+	FireProb float64
+	// BackgroundNZ is the expected number of extra random features per
+	// sample.
+	BackgroundNZ int
+	// Seed drives generation.
+	Seed int64
+}
+
+// DefaultURLConfig returns a laptop-scale stand-in for the paper's URL
+// dataset (d = 10^6, nz ≈ 120 there), preserving the structure at a
+// configurable dimension. Background firing is kept an order of
+// magnitude rarer than group firing so that within-group correlations
+// stay near one, as in the original data's near-duplicate URL tokens.
+func DefaultURLConfig(dim int, seed int64) URLConfig {
+	bg := dim / 250
+	if bg < 2 {
+		bg = 2
+	}
+	return URLConfig{
+		Dim:          dim,
+		GroupSize:    3,
+		Groups:       dim / 3,
+		ActiveGroups: 12,
+		FireProb:     0.95,
+		BackgroundNZ: bg,
+		Seed:         seed,
+	}
+}
+
+// Validate checks the configuration.
+func (c URLConfig) Validate() error {
+	switch {
+	case c.Dim < 4:
+		return fmt.Errorf("dataset: url Dim too small (%d)", c.Dim)
+	case c.GroupSize < 2:
+		return fmt.Errorf("dataset: url GroupSize must be ≥ 2")
+	case c.Groups < 1 || c.Groups*c.GroupSize > c.Dim:
+		return fmt.Errorf("dataset: url Groups*GroupSize (%d) must fit in Dim (%d)", c.Groups*c.GroupSize, c.Dim)
+	case c.ActiveGroups < 1 || c.ActiveGroups > c.Groups:
+		return fmt.Errorf("dataset: url ActiveGroups out of range")
+	case c.FireProb <= 0 || c.FireProb > 1:
+		return fmt.Errorf("dataset: url FireProb out of (0,1]")
+	case c.BackgroundNZ < 0:
+		return fmt.Errorf("dataset: url BackgroundNZ negative")
+	}
+	return nil
+}
+
+// SignalPairs lists the within-group pairs (the planted heavy
+// correlations).
+func (c URLConfig) SignalPairs() []PairRef {
+	var out []PairRef
+	for g := 0; g < c.Groups; g++ {
+		base := g * c.GroupSize
+		for i := 0; i < c.GroupSize; i++ {
+			for j := i + 1; j < c.GroupSize; j++ {
+				out = append(out, PairRef{base + i, base + j})
+			}
+		}
+	}
+	return out
+}
+
+// NewSource returns a fresh n-sample source (deterministic in Seed).
+func (c URLConfig) NewSource(n int) (stream.Source, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	left := n
+	return stream.NewFuncSource(c.Dim, func() (stream.Sample, bool) {
+		if left <= 0 {
+			return stream.Sample{}, false
+		}
+		left--
+		var s stream.Sample
+		seen := map[int]bool{}
+		for a := 0; a < c.ActiveGroups; a++ {
+			g := rng.Intn(c.Groups)
+			base := g * c.GroupSize
+			for m := 0; m < c.GroupSize; m++ {
+				if rng.Float64() < c.FireProb {
+					seen[base+m] = true
+				}
+			}
+		}
+		for b := 0; b < c.BackgroundNZ; b++ {
+			seen[rng.Intn(c.Dim)] = true
+		}
+		for ix := range seen {
+			s.Idx = append(s.Idx, ix)
+			s.Val = append(s.Val, 1)
+		}
+		stream.SortSampleInPlace(&s)
+		return s, true
+	}), nil
+}
+
+// DNAConfig parameterizes the DNA k-mer workload: reads of length
+// ReadLen over {A,C,G,T} are generated with planted motifs; each read
+// becomes a sparse sample of k-mer counts over d = 4^K features. K-mers
+// belonging to the same motif co-occur, giving correlation-≈1 signal
+// pairs — the paper's own dataset is generated the same way
+// (c=1, k=12, L=200, seed=42), here at reduced k.
+type DNAConfig struct {
+	// K is the k-mer length; the dimensionality is 4^K.
+	K int
+	// ReadLen is the read length L.
+	ReadLen int
+	// Motifs is the number of planted motifs.
+	Motifs int
+	// MotifLen is each motif's length (≥ K).
+	MotifLen int
+	// MotifProb is the probability a read carries a motif.
+	MotifProb float64
+	// Seed drives generation (the paper uses seed = 42).
+	Seed int64
+}
+
+// DefaultDNAConfig mirrors the paper's recipe at reduced k.
+func DefaultDNAConfig(k int, seed int64) DNAConfig {
+	return DNAConfig{K: k, ReadLen: 200, Motifs: 50, MotifLen: k + 8, MotifProb: 0.35, Seed: seed}
+}
+
+// Dim returns 4^K.
+func (c DNAConfig) Dim() int {
+	d := 1
+	for i := 0; i < c.K; i++ {
+		d *= 4
+	}
+	return d
+}
+
+// Validate checks the configuration.
+func (c DNAConfig) Validate() error {
+	switch {
+	case c.K < 2 || c.K > 12:
+		return fmt.Errorf("dataset: dna K must be in [2,12], got %d", c.K)
+	case c.MotifLen < c.K:
+		return fmt.Errorf("dataset: dna MotifLen (%d) must be ≥ K (%d)", c.MotifLen, c.K)
+	case c.ReadLen < c.MotifLen:
+		return fmt.Errorf("dataset: dna ReadLen (%d) must be ≥ MotifLen (%d)", c.ReadLen, c.MotifLen)
+	case c.Motifs < 1:
+		return fmt.Errorf("dataset: dna Motifs must be ≥ 1")
+	case c.MotifProb < 0 || c.MotifProb > 1:
+		return fmt.Errorf("dataset: dna MotifProb out of [0,1]")
+	}
+	return nil
+}
+
+// motifs materializes the motif base strings deterministically.
+func (c DNAConfig) motifs() [][]byte {
+	rng := rand.New(rand.NewSource(c.Seed ^ 0x5f5f))
+	out := make([][]byte, c.Motifs)
+	for i := range out {
+		m := make([]byte, c.MotifLen)
+		for j := range m {
+			m[j] = byte(rng.Intn(4))
+		}
+		out[i] = m
+	}
+	return out
+}
+
+// kmerCodes returns the distinct k-mer codes of a base string.
+func kmerCodes(bases []byte, k int) []int {
+	if len(bases) < k {
+		return nil
+	}
+	mask := 1
+	for i := 0; i < k; i++ {
+		mask *= 4
+	}
+	mask-- // 4^k - 1
+	code := 0
+	seen := map[int]bool{}
+	var out []int
+	for i, b := range bases {
+		code = (code*4 + int(b)) & mask
+		if i >= k-1 && !seen[code] {
+			seen[code] = true
+			out = append(out, code)
+		}
+	}
+	return out
+}
+
+// SignalPairs lists pairs of distinct k-mers that co-occur within a
+// planted motif.
+func (c DNAConfig) SignalPairs() []PairRef {
+	var out []PairRef
+	dedup := map[[2]int]bool{}
+	for _, m := range c.motifs() {
+		codes := kmerCodes(m, c.K)
+		for i := 0; i < len(codes); i++ {
+			for j := i + 1; j < len(codes); j++ {
+				a, b := codes[i], codes[j]
+				if a > b {
+					a, b = b, a
+				}
+				if a == b || dedup[[2]int{a, b}] {
+					continue
+				}
+				dedup[[2]int{a, b}] = true
+				out = append(out, PairRef{a, b})
+			}
+		}
+	}
+	return out
+}
+
+// NewSource returns a fresh n-read source of k-mer count samples.
+func (c DNAConfig) NewSource(n int) (stream.Source, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	motifs := c.motifs()
+	left := n
+	read := make([]byte, c.ReadLen)
+	return stream.NewFuncSource(c.Dim(), func() (stream.Sample, bool) {
+		if left <= 0 {
+			return stream.Sample{}, false
+		}
+		left--
+		for i := range read {
+			read[i] = byte(rng.Intn(4))
+		}
+		if rng.Float64() < c.MotifProb {
+			m := motifs[rng.Intn(len(motifs))]
+			pos := rng.Intn(c.ReadLen - c.MotifLen + 1)
+			copy(read[pos:], m)
+		}
+		counts := map[int]int{}
+		mask := c.Dim() - 1
+		code := 0
+		for i, b := range read {
+			code = (code*4 + int(b)) & mask
+			if i >= c.K-1 {
+				counts[code]++
+			}
+		}
+		var s stream.Sample
+		for ix, cnt := range counts {
+			s.Idx = append(s.Idx, ix)
+			s.Val = append(s.Val, float64(cnt))
+		}
+		stream.SortSampleInPlace(&s)
+		return s, true
+	}), nil
+}

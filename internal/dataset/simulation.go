@@ -1,0 +1,105 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/matrix"
+)
+
+// Simulation builds the paper's §6.2 simulation model: a Gaussian
+// dataset whose correlation matrix is sparse, with a proportion alpha of
+// the d(d−1)/2 pairs carrying signal correlations distributed over
+// [0.5, 1] and every other pair exactly zero.
+//
+// Construction: features are grouped into disjoint modules sharing a
+// latent factor; feature j in module b is x_j = w_j z_b + √(1−w_j²) ε_j
+// with loadings w_j ∈ [√0.5, 1], so within-module pairs have correlation
+// w_a·w_b ∈ [0.5, 1] (varying per pair, as in the paper) and
+// cross-module pairs are independent. The population correlation matrix
+// is attached as analytic ground truth.
+func Simulation(d, n int, alpha float64, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	p := float64(d) * float64(d-1) / 2
+	targetPairs := alpha * p
+
+	// Choose the module size m so the modules fit in at most half the
+	// features: modules of size m yield m(m−1)/2 signal pairs each.
+	m := 3
+	for {
+		pairsPer := float64(m*(m-1)) / 2
+		blocks := targetPairs / pairsPer
+		if float64(m)*blocks <= float64(d)/2 || m >= d/2 {
+			break
+		}
+		m++
+	}
+	pairsPer := m * (m - 1) / 2
+	nBlocks := int(math.Round(targetPairs / float64(pairsPer)))
+	if nBlocks < 1 {
+		nBlocks = 1
+	}
+	if nBlocks*m > d {
+		nBlocks = d / m
+	}
+
+	// Loadings per feature in a module: w ∈ [√0.5, 1] ⇒ pair corr ≥ 0.5.
+	wLo := math.Sqrt(0.5)
+	loadings := make([]float64, nBlocks*m)
+	for i := range loadings {
+		loadings[i] = wLo + (1-wLo)*rng.Float64()
+	}
+
+	// Population correlation ground truth.
+	corr := matrix.NewSym(d)
+	for i := 0; i < d; i++ {
+		corr.Set(i, i, 1)
+	}
+	for b := 0; b < nBlocks; b++ {
+		for i := 0; i < m; i++ {
+			for j := i + 1; j < m; j++ {
+				fa, fb := b*m+i, b*m+j
+				corr.Set(fa, fb, loadings[b*m+i]*loadings[b*m+j])
+			}
+		}
+	}
+
+	rows := make([][]float64, n)
+	for t := 0; t < n; t++ {
+		row := make([]float64, d)
+		for b := 0; b < nBlocks; b++ {
+			z := rng.NormFloat64()
+			for i := 0; i < m; i++ {
+				w := loadings[b*m+i]
+				row[b*m+i] = w*z + math.Sqrt(1-w*w)*rng.NormFloat64()
+			}
+		}
+		for j := nBlocks * m; j < d; j++ {
+			row[j] = rng.NormFloat64()
+		}
+		rows[t] = row
+	}
+
+	return &Dataset{
+		Name:     "simulation",
+		Dim:      d,
+		Alpha:    alpha,
+		Rows:     rows,
+		trueCorr: corr,
+	}
+}
+
+// SimulationSignalPairs returns the number of planted signal pairs in a
+// simulation built with the same parameters (for test assertions).
+func SimulationSignalPairs(ds *Dataset) int {
+	c := ds.trueCorr
+	count := 0
+	for i := 0; i < ds.Dim; i++ {
+		for j := i + 1; j < ds.Dim; j++ {
+			if c.At(i, j) != 0 {
+				count++
+			}
+		}
+	}
+	return count
+}

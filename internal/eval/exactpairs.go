@@ -1,0 +1,78 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/stream"
+)
+
+// ExactPairCorr computes the exact empirical Pearson correlation of the
+// requested pairs over a (re-generated) stream — the second pass the
+// Table 2 evaluation needs when the full correlation matrix is far too
+// large to materialize. Memory is O(#features involved + #pairs).
+func ExactPairCorr(src stream.Source, prs []dataset.PairRef) (map[dataset.PairRef]float64, error) {
+	feat := map[int]int{} // feature -> slot
+	for _, pr := range prs {
+		if pr.A >= pr.B {
+			return nil, fmt.Errorf("eval: invalid pair %+v", pr)
+		}
+		for _, f := range []int{pr.A, pr.B} {
+			if _, ok := feat[f]; !ok {
+				feat[f] = len(feat)
+			}
+		}
+	}
+	sum := make([]float64, len(feat))
+	sumSq := make([]float64, len(feat))
+	prodSum := make([]float64, len(prs))
+	cur := make([]float64, len(feat))
+	n := 0
+	for {
+		s, ok := src.Next()
+		if !ok {
+			break
+		}
+		n++
+		for i := range cur {
+			cur[i] = 0
+		}
+		for i, ix := range s.Idx {
+			if slot, ok := feat[ix]; ok {
+				cur[slot] = s.Val[i]
+				sum[slot] += s.Val[i]
+				sumSq[slot] += s.Val[i] * s.Val[i]
+			}
+		}
+		for i, pr := range prs {
+			va := cur[feat[pr.A]]
+			if va == 0 {
+				continue
+			}
+			if vb := cur[feat[pr.B]]; vb != 0 {
+				prodSum[i] += va * vb
+			}
+		}
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("eval: need ≥ 2 samples, got %d", n)
+	}
+	out := make(map[dataset.PairRef]float64, len(prs))
+	nf := float64(n)
+	for i, pr := range prs {
+		sa := feat[pr.A]
+		sb := feat[pr.B]
+		ma := sum[sa] / nf
+		mb := sum[sb] / nf
+		va := sumSq[sa]/nf - ma*ma
+		vb := sumSq[sb]/nf - mb*mb
+		if va <= 0 || vb <= 0 {
+			out[pr] = 0
+			continue
+		}
+		cov := prodSum[i]/nf - ma*mb
+		out[pr] = cov / math.Sqrt(va*vb)
+	}
+	return out, nil
+}

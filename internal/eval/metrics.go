@@ -1,0 +1,130 @@
+// Package eval implements the paper's performance metrics (§3): the mean
+// true correlation of the top reported pairs, the max-F1 score for
+// signal recovery (Figure 6), precision/recall, the measured SNR(t)
+// series of §7 (Figure 5), and exact second-pass correlation of a small
+// pair set for the Table 2 scale where the full matrix cannot exist.
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// MeanTrueScore returns the average of trueScore over the top-k keys of
+// ranked (which must already be sorted by descending estimate). This is
+// the paper's "mean correlation of top fraction" metric (Tables 2, 4, 5).
+func MeanTrueScore(ranked []uint64, k int, trueScore func(uint64) float64) float64 {
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	if k <= 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, key := range ranked[:k] {
+		s += trueScore(key)
+	}
+	return s / float64(k)
+}
+
+// MaxF1 scans the prefixes of ranked (sorted by descending estimate) and
+// returns the maximum F1 score against the signal set of size
+// totalSignals, where isSignal labels keys. This is the y-axis of
+// Figure 6 ("the maximum F1 score achieved").
+func MaxF1(ranked []uint64, totalSignals int, isSignal func(uint64) bool) float64 {
+	if totalSignals <= 0 || len(ranked) == 0 {
+		return math.NaN()
+	}
+	best := 0.0
+	hits := 0
+	for i, key := range ranked {
+		if isSignal(key) {
+			hits++
+		}
+		prec := float64(hits) / float64(i+1)
+		rec := float64(hits) / float64(totalSignals)
+		if prec+rec > 0 {
+			if f1 := 2 * prec * rec / (prec + rec); f1 > best {
+				best = f1
+			}
+		}
+		// Early exit: even perfect precision ahead cannot beat best once
+		// the maximum achievable F1 drops below it.
+		if rec == 1 {
+			break
+		}
+	}
+	return best
+}
+
+// PrecisionRecallAt returns precision and recall of the top-k prefix.
+func PrecisionRecallAt(ranked []uint64, k, totalSignals int, isSignal func(uint64) bool) (prec, rec float64) {
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	if k <= 0 || totalSignals <= 0 {
+		return math.NaN(), math.NaN()
+	}
+	hits := 0
+	for _, key := range ranked[:k] {
+		if isSignal(key) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k), float64(hits) / float64(totalSignals)
+}
+
+// TopTrueKeys returns the n keys with the largest trueScore among all of
+// universe, defining the ground-truth signal set for F1 evaluation
+// (Figure 6 labels its x-axis with "the number of the top signal
+// correlations").
+func TopTrueKeys(universe []uint64, n int, trueScore func(uint64) float64) map[uint64]bool {
+	type kv struct {
+		k uint64
+		v float64
+	}
+	all := make([]kv, len(universe))
+	for i, k := range universe {
+		all[i] = kv{k, trueScore(k)}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].v != all[j].v {
+			return all[i].v > all[j].v
+		}
+		return all[i].k < all[j].k
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make(map[uint64]bool, n)
+	for _, e := range all[:n] {
+		out[e.k] = true
+	}
+	return out
+}
+
+// Fractions are the paper's Table 4 evaluation points: top fraction·αp.
+var Fractions = []float64{0.01, 0.05, 0.1, 0.25, 0.5, 1.0}
+
+// FractionSizes converts the Table 4 fractions into concrete top-k sizes
+// for a universe of p pairs with sparsity alpha, clamping to ≥ 1.
+func FractionSizes(p int64, alpha float64) []int {
+	out := make([]int, len(Fractions))
+	for i, f := range Fractions {
+		k := int(f * alpha * float64(p))
+		if k < 1 {
+			k = 1
+		}
+		out[i] = k
+	}
+	return out
+}
+
+// FractionLabel renders a Table 4 row label such as "0.05·αp".
+func FractionLabel(f float64) string {
+	if f == 1 {
+		return "αp"
+	}
+	return fmt.Sprintf("%g·αp", f)
+}

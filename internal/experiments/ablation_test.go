@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"io"
+	"testing"
+)
+
+func TestAblationSchedule(t *testing.T) {
+	opt := tinyOptions()
+	res, err := AblationSchedule(opt, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	cs, _ := res.Get("CS")
+	linear, ok := res.Get("ASCS-linear")
+	if !ok {
+		t.Fatal("missing linear row")
+	}
+	flat, _ := res.Get("ASCS-flat")
+	steep, _ := res.Get("ASCS-steep")
+	t.Logf("CS=%.3f flat=%.3f linear=%.3f steep=%.3f",
+		cs.MeanTopCorr, flat.MeanTopCorr, linear.MeanTopCorr, steep.MeanTopCorr)
+	// The solved linear schedule must beat plain CS on this workload.
+	if linear.MeanTopCorr < cs.MeanTopCorr-0.02 {
+		t.Errorf("linear schedule %.3f should be at least CS %.3f", linear.MeanTopCorr, cs.MeanTopCorr)
+	}
+}
+
+func TestAblationGate(t *testing.T) {
+	res, err := AblationGate(tinyOptions(), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	two, _ := res.Get("two-sided")
+	one, _ := res.Get("one-sided")
+	t.Logf("two-sided=%.3f one-sided=%.3f", two.MeanTopCorr, one.MeanTopCorr)
+	// Both gates must be functional (positive score); with positive
+	// signals they should be close.
+	if two.MeanTopCorr <= 0 || one.MeanTopCorr <= 0 {
+		t.Error("both gates should recover positive correlation mass")
+	}
+}
+
+func TestAblationHash(t *testing.T) {
+	res, err := AblationHash(tinyOptions(), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// All families should land in the same quality band (guards the
+	// default mixing family against regressions).
+	min, max := res.Rows[0].MeanTopCorr, res.Rows[0].MeanTopCorr
+	for _, row := range res.Rows {
+		t.Logf("%-12s %.3f", row.Variant, row.MeanTopCorr)
+		if row.MeanTopCorr < min {
+			min = row.MeanTopCorr
+		}
+		if row.MeanTopCorr > max {
+			max = row.MeanTopCorr
+		}
+	}
+	if max-min > 0.25 {
+		t.Errorf("hash families diverge: spread %.3f", max-min)
+	}
+}
+
+func TestAblationPagh(t *testing.T) {
+	res, err := AblationPagh(tinyOptions(), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	cs, _ := res.Get("CS-pairs")
+	pagh, ok := res.Get("Pagh-outer")
+	if !ok {
+		t.Fatal("missing Pagh row")
+	}
+	for _, row := range res.Rows {
+		t.Logf("%-12s %.3f  %s", row.Variant, row.MeanTopCorr, row.Note)
+	}
+	// Both are count sketches of the same stream at equal memory: the
+	// accuracy band should overlap.
+	if pagh.MeanTopCorr < cs.MeanTopCorr-0.15 {
+		t.Errorf("Pagh %.3f far below pair-enumeration CS %.3f", pagh.MeanTopCorr, cs.MeanTopCorr)
+	}
+}

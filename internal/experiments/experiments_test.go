@@ -1,0 +1,386 @@
+package experiments
+
+import (
+	"io"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// tinyOptions keeps unit-test runtime in seconds.
+func tinyOptions() Options {
+	return Options{
+		Scale:    dataset.Scale{Dim: 100, Samples: 600},
+		Seed:     42,
+		Reps:     40,
+		K:        5,
+		RDivisor: 25,
+	}
+}
+
+func TestRegistryDispatch(t *testing.T) {
+	if err := Run("nope", tinyOptions(), io.Discard); err == nil {
+		t.Error("unknown experiment should error")
+	}
+	if len(Names()) < 12 {
+		t.Errorf("registry too small: %v", Names())
+	}
+	if err := Run("table3", tinyOptions(), io.Discard); err != nil {
+		t.Errorf("table3: %v", err)
+	}
+}
+
+func TestFig1CorrelationsAreSparse(t *testing.T) {
+	res, err := Fig1(tinyOptions(), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, curve := range res.Curves {
+		// CDF must be monotone and reach 1.
+		prev := -1.0
+		for _, v := range curve {
+			if v < prev-1e-12 {
+				t.Errorf("%s: CDF not monotone", name)
+			}
+			prev = v
+		}
+		if curve[len(curve)-1] < 1-1e-9 {
+			t.Errorf("%s: CDF should reach 1 at |corr|=1, got %v", name, curve[len(curve)-1])
+		}
+		// The Figure 1 shape: most pairs weakly correlated. Threshold
+		// index 4 is |corr| ≤ 0.2.
+		if curve[4] < 0.7 {
+			t.Errorf("%s: only %.2f of pairs below 0.2; spectrum not sparse", name, curve[4])
+		}
+		t.Logf("%s: P(|corr|≤0.2)=%.3f P(|corr|≤0.5)=%.3f", name, curve[4], curve[6])
+	}
+}
+
+func TestFig2MeanStdMostlySmall(t *testing.T) {
+	res, err := Fig2(tinyOptions(), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gaussian-marginal datasets must have |mean/std| ≤ 0.1 for nearly
+	// all features (the Figure 2 claim).
+	for _, name := range []string{"gisette", "epsilon", "cifar10"} {
+		curve := res.Curves[name]
+		if curve[4] < 0.9 { // threshold 0.1
+			t.Errorf("%s: only %.2f of features have |mean/std| ≤ 0.1", name, curve[4])
+		}
+		t.Logf("%s: P(|mean/std|≤0.1)=%.3f", name, curve[4])
+	}
+}
+
+func TestFig3EntriesNearlyIndependent(t *testing.T) {
+	opt := tinyOptions()
+	var sb strings.Builder
+	res, err := Fig3(opt, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, which := range []string{"simulation", "gisette"} {
+		if res.MedianAbs[which] > 0.25 {
+			t.Errorf("%s: median |corr| between entries = %v, want small", which, res.MedianAbs[which])
+		}
+		if res.FracBelow[which] < 0.7 {
+			t.Errorf("%s: only %.2f of entry pairs below the noise floor", which, res.FracBelow[which])
+		}
+		t.Logf("%s: median=%.4f fracBelow=%.3f", which, res.MedianAbs[which], res.FracBelow[which])
+	}
+	if !strings.Contains(sb.String(), "Figure 3") {
+		t.Error("missing output header")
+	}
+}
+
+func TestFig4EntriesApproximatelyNormal(t *testing.T) {
+	opt := tinyOptions()
+	opt.Reps = 150 // QQ needs enough replicate points
+	res, err := Fig4(opt, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Deviations) == 0 {
+		t.Fatal("no deviations recorded")
+	}
+	for key, devs := range res.Deviations {
+		for _, dev := range devs {
+			if dev > 0.6 {
+				t.Errorf("%s: QQ deviation %v too large for normality", key, dev)
+			}
+		}
+		t.Logf("%s: deviations %v", key, devs)
+	}
+}
+
+func TestTable1RealBelowTarget(t *testing.T) {
+	opt := tinyOptions()
+	opt.Reps = 80 // 4 replicate runs per cell
+	res, err := Table1(opt, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 24 {
+		t.Fatalf("rows = %d, want 24", len(res.Rows))
+	}
+	// Per-cell trial counts are small, so validate the way the paper's
+	// table should be read: per cell with Monte-Carlo slack, and on
+	// average across the grid without it.
+	sums := map[string][2]float64{}
+	for _, row := range res.Rows {
+		if row.Real > row.Target+0.25 {
+			t.Errorf("%s/%s: real %.3f far above target %.3f", row.Dataset, row.Kind, row.Real, row.Target)
+		}
+		key := row.Dataset + "/" + row.Kind
+		s := sums[key]
+		sums[key] = [2]float64{s[0] + row.Real, s[1] + row.Target}
+		t.Logf("%s %s target=%.2f real=%.3f", row.Dataset, row.Kind, row.Target, row.Real)
+	}
+	for key, s := range sums {
+		if s[0] > s[1]+0.05*6 {
+			t.Errorf("%s: grid-mean real %.3f above grid-mean target %.3f", key, s[0]/6, s[1]/6)
+		}
+	}
+}
+
+func TestFig5MeasuredAboveBound(t *testing.T) {
+	opt := tinyOptions()
+	opt.Scale.Samples = 1500
+	res, err := Fig5(opt, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, which := range []string{"simulation", "gisette"} {
+		series := res.Series[which]
+		if len(series) < 3 {
+			t.Fatalf("%s: only %d windows", which, len(series))
+		}
+		t0 := res.T0[which]
+		checked := 0
+		for _, pt := range series {
+			if pt.T <= t0 || math.IsNaN(pt.Bound) {
+				continue
+			}
+			checked++
+			if !math.IsNaN(pt.Measured) && pt.Measured < 0.5*pt.Bound {
+				t.Errorf("%s t=%d: measured %.3f below bound %.3f", which, pt.T, pt.Measured, pt.Bound)
+			}
+		}
+		if checked == 0 {
+			t.Errorf("%s: no sampling-period windows", which)
+		}
+		t.Logf("%s: %d windows checked, T0=%d", which, checked, t0)
+	}
+}
+
+func TestTable2ASCSWinsAtTightMemory(t *testing.T) {
+	opt := tinyOptions()
+	res, err := Table2(opt, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, ds := range []string{"URL", "DNA"} {
+		found := 0
+		bestGain := -1.0
+		worstLoss := 0.0
+		for _, row := range res.Rows {
+			if row.Dataset != ds {
+				continue
+			}
+			found++
+			gain := row.MeanTopCorr["ASCS"] - row.MeanTopCorr["CS"]
+			if gain > bestGain {
+				bestGain = gain
+			}
+			if gain < worstLoss {
+				worstLoss = gain
+			}
+			t.Logf("%s R=%d: CS=%.3f ASCS=%.3f", ds, row.R, row.MeanTopCorr["CS"], row.MeanTopCorr["ASCS"])
+		}
+		if found != 3 {
+			t.Fatalf("%s: %d rows", ds, found)
+		}
+		// At this unit-test scale (T = 600) the stream is too short for
+		// the sampling period to build much separation, so the testable
+		// invariant is no-regression at every memory level; the win shape
+		// (ASCS ≫ CS at tight memory) is asserted by the recorded
+		// small-scale run in EXPERIMENTS.md, where T = 2000 gives the
+		// gate room to work.
+		if worstLoss < -0.05 {
+			t.Errorf("%s: ASCS loses to CS by %.3f at some memory", ds, -worstLoss)
+		}
+		t.Logf("%s: best ASCS gain %.3f", ds, bestGain)
+	}
+}
+
+func TestTable3Roster(t *testing.T) {
+	res, err := Table3(tinyOptions(), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.Dim != 100 || r.Samples != 600 || r.Alpha <= 0 || r.Pairs != 4950 || r.AvgNNZ <= 0 {
+			t.Errorf("bad roster row: %+v", r)
+		}
+	}
+}
+
+func TestTable4ASCSCompetitive(t *testing.T) {
+	opt := tinyOptions()
+	res, err := Table4(opt, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wins, total := 0, 0
+	for _, name := range dataset.SmallNames() {
+		cs, ok1 := res.Cell(name, "CS")
+		ascs, ok2 := res.Cell(name, "ASCS")
+		ask, ok3 := res.Cell(name, "ASketch")
+		if !ok1 || !ok2 || !ok3 {
+			t.Fatalf("%s: missing cells", name)
+		}
+		// Compare at the 0.1·αp fraction (index 2), the paper's headline
+		// row for Table 5 as well.
+		t.Logf("%s @0.1αp: CS=%.3f ASketch=%.3f ASCS=%.3f", name,
+			cs.ByFraction[2], ask.ByFraction[2], ascs.ByFraction[2])
+		total++
+		if ascs.ByFraction[2] >= cs.ByFraction[2]-0.02 {
+			wins++
+		}
+	}
+	if wins < total-1 {
+		t.Errorf("ASCS at-or-above CS on only %d/%d datasets", wins, total)
+	}
+}
+
+func TestTable5BudgetAndKShape(t *testing.T) {
+	opt := tinyOptions()
+	res, err := Table5(opt, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 25 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Accuracy must improve substantially from the smallest budget to
+	// the largest, at K=6.
+	budgets := []int{}
+	seen := map[int]bool{}
+	for _, row := range res.Rows {
+		if !seen[row.BudgetFloats] {
+			seen[row.BudgetFloats] = true
+			budgets = append(budgets, row.BudgetFloats)
+		}
+	}
+	small, _ := res.At(budgets[0], 6)
+	large, _ := res.At(budgets[len(budgets)-1], 6)
+	t.Logf("K=6: budget %d → %.3f, budget %d → %.3f", small.BudgetFloats, small.MeanTopCorr, large.BudgetFloats, large.MeanTopCorr)
+	if large.MeanTopCorr < small.MeanTopCorr {
+		t.Errorf("accuracy should not degrade with memory: %.3f vs %.3f", large.MeanTopCorr, small.MeanTopCorr)
+	}
+}
+
+func TestTable6TimesComparable(t *testing.T) {
+	opt := tinyOptions()
+	res, err := Table6(opt, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		cs, ascs := row.Seconds["CS"], row.Seconds["ASCS"]
+		t.Logf("%s: CS=%.3fs ASCS=%.3fs", row.Dataset, cs, ascs)
+		if cs <= 0 || ascs <= 0 {
+			t.Errorf("%s: non-positive timing", row.Dataset)
+		}
+		if ascs > 6*cs+0.05 {
+			t.Errorf("%s: ASCS %.3fs should be comparable to CS %.3fs", row.Dataset, ascs, cs)
+		}
+	}
+}
+
+func TestFig6ASCSCurvesAboveCS(t *testing.T) {
+	opt := tinyOptions()
+	res, err := Fig6(opt, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, curves := range res.Curves {
+		var csMean float64
+		ascsMeans := []float64{}
+		for _, c := range curves {
+			m := meanOf(c.F1)
+			if c.Label == "CS" {
+				csMean = m
+			} else {
+				ascsMeans = append(ascsMeans, m)
+			}
+			t.Logf("%s %-18s meanF1=%.3f", name, c.Label, m)
+		}
+		if len(ascsMeans) == 0 {
+			t.Fatalf("%s: no ASCS curves", name)
+		}
+		best := ascsMeans[0]
+		for _, m := range ascsMeans {
+			if m > best {
+				best = m
+			}
+		}
+		if best < csMean-0.05 {
+			t.Errorf("%s: best ASCS F1 %.3f well below CS %.3f", name, best, csMean)
+		}
+	}
+}
+
+func TestFig6AlphaRobust(t *testing.T) {
+	opt := tinyOptions()
+	res, err := Fig6Alpha(opt, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curves := res.Curves["gisette"]
+	if len(curves) != 4 { // CS + three α choices
+		t.Fatalf("curves = %d", len(curves))
+	}
+	var ascsMeans []float64
+	for _, c := range curves {
+		if c.Label != "CS" {
+			ascsMeans = append(ascsMeans, meanOf(c.F1))
+		}
+		t.Logf("%-14s meanF1=%.3f", c.Label, meanOf(c.F1))
+	}
+	min, max := ascsMeans[0], ascsMeans[0]
+	for _, m := range ascsMeans {
+		if m < min {
+			min = m
+		}
+		if m > max {
+			max = m
+		}
+	}
+	if max-min > 0.4 {
+		t.Errorf("ASCS F1 spread %.3f across α choices; should be robust", max-min)
+	}
+}
+
+func meanOf(xs []float64) float64 {
+	s := 0.0
+	n := 0
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			s += x
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return s / float64(n)
+}

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/matrix"
+	"repro/internal/stats"
+)
+
+// Fig1Result holds, per dataset, the empirical CDF of |correlation| over
+// all off-diagonal pairs — the curves of Figure 1.
+type Fig1Result struct {
+	Thresholds []float64
+	// Curves maps dataset name → fraction of |corr| ≤ threshold.
+	Curves map[string][]float64
+}
+
+// fig1Thresholds are the x-axis grid of the Figure 1 curves.
+var fig1Thresholds = []float64{0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9, 1.0}
+
+// Fig1 reproduces Figure 1: the distribution of correlations of four
+// high-dimensional datasets, demonstrating sparsity (most |corr| ≈ 0).
+func Fig1(opt Options, w io.Writer) (Fig1Result, error) {
+	res := Fig1Result{Thresholds: fig1Thresholds, Curves: map[string][]float64{}}
+	names := []string{"gisette", "epsilon", "cifar10", "rcv1"}
+	for _, name := range names {
+		ds, err := dataset.ByName(name, opt.Scale, opt.Seed)
+		if err != nil {
+			return res, err
+		}
+		corr, err := ds.Corr()
+		if err != nil {
+			return res, err
+		}
+		abs := stats.Abs(corr.OffDiagonal())
+		res.Curves[name] = stats.EmpiricalCDF(abs, fig1Thresholds)
+	}
+	fmt.Fprintln(w, "Figure 1: empirical proportion of |correlation| ≤ x")
+	fmt.Fprintf(w, "%-8s", "x")
+	for _, name := range names {
+		fmt.Fprintf(w, " %10s", name)
+	}
+	fmt.Fprintln(w)
+	for i, th := range fig1Thresholds {
+		fmt.Fprintf(w, "%-8.2f", th)
+		for _, name := range names {
+			fmt.Fprintf(w, " %10.4f", res.Curves[name][i])
+		}
+		fmt.Fprintln(w)
+	}
+	return res, nil
+}
+
+// Fig2Result holds, per dataset, the empirical CDF of |mean/std| over
+// features — the curves of Figure 2.
+type Fig2Result struct {
+	Thresholds []float64
+	Curves     map[string][]float64
+}
+
+var fig2Thresholds = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0}
+
+// Fig2 reproduces Figure 2: the distribution of |mean/std| per feature,
+// motivating the §5 approximation Cov(Ya,Yb) ≈ E[YaYb] after
+// standardization (most features have negligible mean relative to their
+// standard deviation).
+func Fig2(opt Options, w io.Writer) (Fig2Result, error) {
+	res := Fig2Result{Thresholds: fig2Thresholds, Curves: map[string][]float64{}}
+	names := []string{"gisette", "epsilon", "cifar10", "rcv1"}
+	for _, name := range names {
+		ds, err := dataset.ByName(name, opt.Scale, opt.Seed)
+		if err != nil {
+			return res, err
+		}
+		means := matrix.FeatureMeans(ds.Rows)
+		stds := matrix.FeatureStds(ds.Rows)
+		ratios := make([]float64, 0, len(means))
+		for j := range means {
+			if stds[j] == 0 {
+				continue
+			}
+			ratios = append(ratios, math.Abs(means[j]/stds[j]))
+		}
+		res.Curves[name] = stats.EmpiricalCDF(ratios, fig2Thresholds)
+	}
+	fmt.Fprintln(w, "Figure 2: empirical proportion of |mean/std| ≤ x")
+	fmt.Fprintf(w, "%-8s", "x")
+	for _, name := range names {
+		fmt.Fprintf(w, " %10s", name)
+	}
+	fmt.Fprintln(w)
+	for i, th := range fig2Thresholds {
+		fmt.Fprintf(w, "%-8.3f", th)
+		for _, name := range names {
+			fmt.Fprintf(w, " %10.4f", res.Curves[name][i])
+		}
+		fmt.Fprintln(w)
+	}
+	return res, nil
+}

@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// replicateCovEntries reproduces the §6.2 experimental device: many
+// replicate datasets are drawn (fresh simulations, or bootstrap
+// resamples of the gisette-like base), the empirical covariance entries
+// X̄_i^{(t)} are computed on the first t samples of each, and the matrix
+// of (replicate × entry) values is returned together with the signal
+// labels of the selected entries.
+func replicateCovEntries(which string, d, t, reps int, seed int64) (vals [][]float64, isSignal []bool, err error) {
+	sc := dataset.Scale{Dim: d, Samples: t}
+	var base *dataset.Dataset
+	if which == "gisette" {
+		// One larger base, bootstrapped per replicate (§6.2).
+		base = dataset.GisetteLike(dataset.Scale{Dim: d, Samples: 4 * t}, seed)
+	}
+	p := d * (d - 1) / 2
+	vals = make([][]float64, reps)
+	for r := 0; r < reps; r++ {
+		var ds *dataset.Dataset
+		if which == "gisette" {
+			ds = base.Bootstrap(t, seed+int64(r)+1)
+		} else {
+			ds = dataset.Simulation(sc.Dim, sc.Samples, 0.005, seed+int64(r)+1)
+		}
+		cov, cerr := covEntriesOfRows(ds.Rows)
+		if cerr != nil {
+			return nil, nil, cerr
+		}
+		vals[r] = cov
+	}
+	// Signal labels from the ground truth of a reference instance.
+	var ref *dataset.Dataset
+	if which == "gisette" {
+		ref = base
+	} else {
+		ref = dataset.Simulation(sc.Dim, sc.Samples, 0.005, seed+1)
+	}
+	corr, cerr := ref.Corr()
+	if cerr != nil {
+		return nil, nil, cerr
+	}
+	isSignal = make([]bool, p)
+	k := 0
+	for i := 0; i < d; i++ {
+		for j := i + 1; j < d; j++ {
+			isSignal[k] = math.Abs(corr.At(i, j)) >= 0.4
+			k++
+		}
+	}
+	return vals, isSignal, nil
+}
+
+// covEntriesOfRows computes the vectorized empirical covariance entries
+// (population denominator, as X̄^{(t)} in §4) of the rows.
+func covEntriesOfRows(rows [][]float64) ([]float64, error) {
+	n := len(rows)
+	if n < 2 {
+		return nil, fmt.Errorf("experiments: need ≥ 2 rows")
+	}
+	d := len(rows[0])
+	mean := make([]float64, d)
+	for _, r := range rows {
+		for j, v := range r {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(n)
+	}
+	out := make([]float64, 0, d*(d-1)/2)
+	for a := 0; a < d; a++ {
+		for b := a + 1; b < d; b++ {
+			s := 0.0
+			for _, r := range rows {
+				s += (r[a] - mean[a]) * (r[b] - mean[b])
+			}
+			out = append(out, s/float64(n))
+		}
+	}
+	return out, nil
+}
+
+// Fig3Result summarizes the independence check of Figure 3: the
+// distribution of |correlation| between pairs of covariance entries
+// across replicates.
+type Fig3Result struct {
+	// Hist is the histogram of |corr| over sampled entry pairs, per
+	// dataset.
+	Hist map[string]*stats.Histogram
+	// MedianAbs is the median |corr| per dataset.
+	MedianAbs map[string]float64
+	// FracBelow reports the fraction of |corr| below 3/√reps (the
+	// resolution limit of the replicate count) per dataset.
+	FracBelow map[string]float64
+}
+
+// Fig3 reproduces Figure 3: covariance entries are (approximately)
+// uncorrelated with each other, supporting the §6.1 independence
+// assumption.
+func Fig3(opt Options, w io.Writer) (Fig3Result, error) {
+	res := Fig3Result{
+		Hist:      map[string]*stats.Histogram{},
+		MedianAbs: map[string]float64{},
+		FracBelow: map[string]float64{},
+	}
+	const d, t = 40, 150
+	rng := rand.New(rand.NewSource(opt.Seed))
+	for _, which := range []string{"simulation", "gisette"} {
+		vals, _, err := replicateCovEntries(which, d, t, opt.Reps, opt.Seed)
+		if err != nil {
+			return res, err
+		}
+		p := len(vals[0])
+		nPairs := 1500
+		hist := stats.NewHistogram(0, 1, 20)
+		var absCorrs []float64
+		xi := make([]float64, len(vals))
+		xj := make([]float64, len(vals))
+		for s := 0; s < nPairs; s++ {
+			i := rng.Intn(p)
+			j := rng.Intn(p)
+			if i == j {
+				continue
+			}
+			for r := range vals {
+				xi[r] = vals[r][i]
+				xj[r] = vals[r][j]
+			}
+			c := math.Abs(stats.Correlation(xi, xj))
+			if math.IsNaN(c) {
+				continue
+			}
+			hist.Add(c)
+			absCorrs = append(absCorrs, c)
+		}
+		res.Hist[which] = hist
+		res.MedianAbs[which] = stats.Median(absCorrs)
+		limit := 3 / math.Sqrt(float64(opt.Reps))
+		below := 0
+		for _, c := range absCorrs {
+			if c < limit {
+				below++
+			}
+		}
+		res.FracBelow[which] = float64(below) / float64(len(absCorrs))
+		fmt.Fprintf(w, "Figure 3 (%s): |corr| between covariance entries over %d replicates\n", which, opt.Reps)
+		fmt.Fprintf(w, "  median |corr| = %.4f; fraction below noise floor (%.3f) = %.3f\n",
+			res.MedianAbs[which], limit, res.FracBelow[which])
+	}
+	return res, nil
+}
+
+// Fig4Result summarizes the Figure 4 QQ-plots: the maximum central-band
+// deviation of standardized covariance entries from the standard normal,
+// per dataset and entry kind.
+type Fig4Result struct {
+	// Deviations maps "dataset/kind" (kind ∈ signal, noise) to the QQ
+	// deviations of the sampled entries.
+	Deviations map[string][]float64
+}
+
+// Fig4 reproduces Figure 4: the distribution of an empirical covariance
+// entry across replicates is well approximated by a Gaussian (the §6.1
+// normality assumption), for signal and noise entries alike.
+func Fig4(opt Options, w io.Writer) (Fig4Result, error) {
+	res := Fig4Result{Deviations: map[string][]float64{}}
+	const d, t = 40, 150
+	rng := rand.New(rand.NewSource(opt.Seed + 7))
+	for _, which := range []string{"simulation", "gisette"} {
+		vals, isSignal, err := replicateCovEntries(which, d, t, opt.Reps, opt.Seed)
+		if err != nil {
+			return res, err
+		}
+		var sigIdx, noiseIdx []int
+		for i, s := range isSignal {
+			if s {
+				sigIdx = append(sigIdx, i)
+			} else {
+				noiseIdx = append(noiseIdx, i)
+			}
+		}
+		pick := func(idx []int, n int) []int {
+			if len(idx) == 0 {
+				return nil
+			}
+			out := make([]int, 0, n)
+			for len(out) < n {
+				out = append(out, idx[rng.Intn(len(idx))])
+			}
+			return out
+		}
+		series := make([]float64, len(vals))
+		for _, kind := range []struct {
+			name string
+			idx  []int
+		}{{"signal", pick(sigIdx, 2)}, {"noise", pick(noiseIdx, 2)}} {
+			for _, entry := range kind.idx {
+				for r := range vals {
+					series[r] = vals[r][entry]
+				}
+				pts := stats.QQNormal(series)
+				dev := stats.QQDeviation(pts, 0.05, 0.95)
+				key := which + "/" + kind.name
+				res.Deviations[key] = append(res.Deviations[key], dev)
+				fmt.Fprintf(w, "Figure 4 (%s, %s entry %d): max QQ deviation %.3f over %d replicates\n",
+					which, kind.name, entry, dev, opt.Reps)
+			}
+		}
+	}
+	return res, nil
+}

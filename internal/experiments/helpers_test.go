@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestFmtBytes(t *testing.T) {
+	cases := []struct {
+		in   int
+		want string
+	}{
+		{512, "512B"},
+		{2048, "2.0KB"},
+		{3 << 20, "3.0MB"},
+	}
+	for _, c := range cases {
+		if got := fmtBytes(c.in); got != c.want {
+			t.Errorf("fmtBytes(%d) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMaxInt(t *testing.T) {
+	if maxInt(2, 3) != 3 || maxInt(5, 1) != 5 {
+		t.Error("maxInt broken")
+	}
+}
+
+func TestTopCountGrid(t *testing.T) {
+	g := topCountGrid(100)
+	if !sort.IntsAreSorted(g) {
+		t.Errorf("grid not sorted: %v", g)
+	}
+	if g[len(g)-1] != 100 {
+		t.Errorf("grid must end at maxM: %v", g)
+	}
+	for i := 1; i < len(g); i++ {
+		if g[i] == g[i-1] {
+			t.Errorf("grid has duplicates: %v", g)
+		}
+	}
+	tiny := topCountGrid(0)
+	if len(tiny) == 0 || tiny[0] < 1 {
+		t.Errorf("degenerate grid: %v", tiny)
+	}
+}
+
+func TestNamesStable(t *testing.T) {
+	a := Names()
+	b := Names()
+	if strings.Join(a, ",") != strings.Join(b, ",") {
+		t.Error("Names must be deterministic")
+	}
+	if !sort.StringsAreSorted(a) {
+		t.Error("Names must be sorted")
+	}
+	for _, want := range []string{"fig1", "fig6f", "table1", "table6", "ablation-schedule"} {
+		found := false
+		for _, n := range a {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing experiment %q", want)
+		}
+	}
+}
+
+func TestAllKeys(t *testing.T) {
+	ks := allKeys(5)
+	if len(ks) != 10 {
+		t.Fatalf("allKeys(5) = %d keys", len(ks))
+	}
+	for i, k := range ks {
+		if k != uint64(i) {
+			t.Fatalf("keys must enumerate 0..p-1")
+		}
+	}
+}
+
+func TestCovEntriesOfRows(t *testing.T) {
+	rows := [][]float64{{1, 2}, {3, 6}}
+	got, err := covEntriesOfRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Population covariance of {(1,2),(3,6)}: means (2,4); cov = (1*2 + 1*2)/2 = 2.
+	if len(got) != 1 || got[0] != 2 {
+		t.Errorf("covEntries = %v", got)
+	}
+	if _, err := covEntriesOfRows([][]float64{{1}}); err == nil {
+		t.Error("single row should error")
+	}
+}

@@ -1,0 +1,292 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/countsketch"
+	"repro/internal/dataset"
+	"repro/internal/pairs"
+	"repro/internal/stream"
+)
+
+// theoremBench is the shared fixture for the theorem-validation
+// experiments (Table 1) and the SNR experiment (Figure 5): a small
+// dataset with known signal pairs, standardized samples, and the model
+// parameters (u, σ, α) the §6 theory consumes.
+type theoremBench struct {
+	name       string
+	d          int
+	samples    []stream.Sample
+	signalKeys []uint64
+	params     core.Params // Delta/DeltaStar filled by the caller
+}
+
+// newTheoremBench builds the fixture for "simulation" or "gisette".
+func newTheoremBench(which string, d, T int, seed int64) (*theoremBench, error) {
+	var ds *dataset.Dataset
+	if which == "gisette" {
+		base := dataset.GisetteLike(dataset.Scale{Dim: d, Samples: T}, seed)
+		ds = base
+	} else {
+		ds = dataset.Simulation(d, T, 0.005, seed)
+	}
+	samples, err := standardized(ds)
+	if err != nil {
+		return nil, err
+	}
+	corr, err := ds.Corr()
+	if err != nil {
+		return nil, err
+	}
+	// Signal set: pairs with |corr| ≥ 0.4; u is their minimum strength
+	// (§7.2 relaxation 1: a lower bound on signal strength).
+	var signalKeys []uint64
+	u := math.Inf(1)
+	for a := 0; a < d; a++ {
+		for b := a + 1; b < d; b++ {
+			c := math.Abs(corr.At(a, b))
+			if c >= 0.4 {
+				signalKeys = append(signalKeys, pairs.Key(a, b, d))
+				if c < u {
+					u = c
+				}
+			}
+		}
+	}
+	if len(signalKeys) == 0 {
+		return nil, fmt.Errorf("experiments: %s bench has no signal pairs", which)
+	}
+	// σ²: §7.2 relaxation 2 uses the average Var(X_i) over all pairs. On
+	// sparse data that average is dominated by pairs that are almost
+	// always zero and badly understates the *signal* pairs' own sampling
+	// variance — which is what Theorems 1–2 are protecting. The bench
+	// therefore takes the conservative max of the two (larger σ ⇒ longer
+	// exploration and gentler threshold, never the reverse).
+	p := pairs.Count(d)
+	prefix := 100
+	if prefix > len(samples) {
+		prefix = len(samples)
+	}
+	isSignal := map[uint64]bool{}
+	for _, k := range signalKeys {
+		isSignal[k] = true
+	}
+	sumX2, sigSumX2 := 0.0, 0.0
+	for _, s := range samples[:prefix] {
+		for i := 0; i < len(s.Idx); i++ {
+			for j := i + 1; j < len(s.Idx); j++ {
+				v := s.Val[i] * s.Val[j]
+				sumX2 += v * v
+				if isSignal[pairs.Key(s.Idx[i], s.Idx[j], d)] {
+					sigSumX2 += v * v
+				}
+			}
+		}
+	}
+	sigma := math.Sqrt(sumX2 / (float64(p) * float64(prefix)))
+	sigSigma := math.Sqrt(sigSumX2 / (float64(len(signalKeys)) * float64(prefix)))
+	if sigSigma > sigma {
+		sigma = sigSigma
+	}
+	if sigma <= 0 {
+		sigma = 1
+	}
+	alpha := float64(len(signalKeys)) / float64(p)
+	r := int(p) / 20
+	if r < 8 {
+		r = 8
+	}
+	return &theoremBench{
+		name:       which,
+		d:          d,
+		samples:    samples,
+		signalKeys: signalKeys,
+		params: core.Params{
+			P: p, T: len(samples), K: 5, R: r,
+			U: u, Sigma: sigma, Alpha: alpha,
+			Tau0: 1e-4, Gamma: 30,
+		},
+	}, nil
+}
+
+// runSchedule replays the bench stream through an ASCS engine with the
+// given schedule and reports, over the signal set: how many signals were
+// rejected at the first sampling step (the Theorem 1 event, counted over
+// all signals) and how many of the T0-survivors were rejected at some
+// later step (the Theorem 2 event, counted over the I(i) = 0 signals —
+// those colliding with no other signal in any table — exactly the
+// population Theorem 2 bounds). totalLater is the size of that
+// collision-free survivor population.
+func (tb *theoremBench) runSchedule(hp core.Hyperparams, seed uint64) (missedAtT0, missedLater, total, totalLater int, err error) {
+	eng, err := core.NewEngine(countsketch.Config{Tables: tb.params.K, Range: tb.params.R, Seed: seed}, hp, true)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	// I(i) = 0 detection: a signal is collision-free when no other
+	// signal shares its bucket in any table.
+	sk := eng.Sketch()
+	collisionFree := map[uint64]bool{}
+	for _, key := range tb.signalKeys {
+		collisionFree[key] = true
+	}
+	for e := 0; e < sk.K(); e++ {
+		occupied := map[int]uint64{}
+		for _, key := range tb.signalKeys {
+			b := sk.BucketOf(e, key)
+			if other, ok := occupied[b]; ok {
+				collisionFree[key] = false
+				collisionFree[other] = false
+				continue
+			}
+			occupied[b] = key
+		}
+	}
+
+	survivors := map[uint64]bool{}
+	dropped := map[uint64]bool{}
+	d := tb.d
+	for t := 1; t <= len(tb.samples); t++ {
+		eng.BeginStep(t)
+		if t == hp.T0+1 {
+			for _, key := range tb.signalKeys {
+				if eng.Admits(key) {
+					if collisionFree[key] {
+						survivors[key] = true
+						totalLater++
+					}
+				} else {
+					missedAtT0++
+				}
+			}
+		} else if t > hp.T0+1 {
+			for key := range survivors {
+				if !dropped[key] && !eng.Admits(key) {
+					dropped[key] = true
+					missedLater++
+				}
+			}
+		}
+		s := tb.samples[t-1]
+		for i := 0; i < len(s.Idx); i++ {
+			for j := i + 1; j < len(s.Idx); j++ {
+				eng.Offer(pairs.Key(s.Idx[i], s.Idx[j], d), s.Val[i]*s.Val[j])
+			}
+		}
+	}
+	return missedAtT0, missedLater, len(tb.signalKeys), totalLater, nil
+}
+
+// Table1Row is one validated bound.
+type Table1Row struct {
+	Dataset string
+	// Kind is "delta" (Theorem 1, miss at T0) or "deltaStar-delta"
+	// (Theorem 2, miss during sampling).
+	Kind   string
+	Target float64
+	Real   float64
+}
+
+// Table1Result collects all rows.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// table1DeltaGrid and table1Theta2Grid are the paper's Table 1 targets.
+var (
+	table1DeltaGrid = []float64{0.05, 0.06, 0.07, 0.08, 0.09, 0.10}
+	table1T2Grid    = []float64{0.05, 0.07, 0.09, 0.11, 0.13, 0.15}
+)
+
+// Table1 reproduces Table 1: the observed probability of missing a
+// signal at T0 stays below the Theorem 1 target δ, and the observed
+// probability of dropping a signal during sampling stays below the
+// Theorem 2 target δ*−δ, across a grid of targets.
+func Table1(opt Options, w io.Writer) (Table1Result, error) {
+	var res Table1Result
+	reps := opt.Reps / 20
+	if reps < 1 {
+		reps = 1
+	}
+	d := 50
+	T := opt.Scale.Samples
+	if T > 1500 {
+		T = 1500
+	}
+	for _, which := range []string{"simulation", "gisette"} {
+		tb, err := newTheoremBench(which, d, T, opt.Seed)
+		if err != nil {
+			return res, err
+		}
+		// Theorem 1 sweep: vary δ, fixed θ budget 0.15.
+		for _, delta := range table1DeltaGrid {
+			p := tb.params
+			p.Delta = delta
+			p.DeltaStar = delta + 0.15
+			hp, err := p.SolveConditional()
+			if err != nil {
+				return res, err
+			}
+			miss, tot := 0, 0
+			for r := 0; r < reps; r++ {
+				m, _, n, _, err := tb.runSchedule(hp, uint64(opt.Seed)+uint64(r)*101+uint64(delta*1000))
+				if err != nil {
+					return res, err
+				}
+				miss += m
+				tot += n
+			}
+			res.Rows = append(res.Rows, Table1Row{
+				Dataset: which, Kind: "delta",
+				Target: delta, Real: float64(miss) / float64(tot),
+			})
+		}
+		// Theorem 2 sweep: δ fixed at 0.05, vary the sampling budget.
+		for _, budget := range table1T2Grid {
+			p := tb.params
+			p.Delta = 0.05
+			p.DeltaStar = 0.05 + budget
+			hp, err := p.SolveConditional()
+			if err != nil {
+				return res, err
+			}
+			missLater, tot := 0, 0
+			for r := 0; r < reps; r++ {
+				_, ml, _, nl, err := tb.runSchedule(hp, uint64(opt.Seed)+uint64(r)*131+uint64(budget*1000))
+				if err != nil {
+					return res, err
+				}
+				missLater += ml
+				tot += nl
+			}
+			if tot == 0 {
+				tot = 1 // every signal collided: report 0/1 rather than NaN
+			}
+			res.Rows = append(res.Rows, Table1Row{
+				Dataset: which, Kind: "deltaStar-delta",
+				Target: budget, Real: float64(missLater) / float64(tot),
+			})
+		}
+	}
+	fmt.Fprintln(w, "Table 1: theorem targets vs observed miss probabilities")
+	for _, which := range []string{"simulation", "gisette"} {
+		for _, kind := range []string{"delta", "deltaStar-delta"} {
+			fmt.Fprintf(w, "%s target %-16s:", which, kind)
+			for _, row := range res.Rows {
+				if row.Dataset == which && row.Kind == kind {
+					fmt.Fprintf(w, " %.2f", row.Target)
+				}
+			}
+			fmt.Fprintf(w, "\n%s real   %-16s:", which, kind)
+			for _, row := range res.Rows {
+				if row.Dataset == which && row.Kind == kind {
+					fmt.Fprintf(w, " %.3f", row.Real)
+				}
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,94 @@
+// Package hashing provides the hash-function substrates used by the count
+// sketch family: per-table bucket hashes h_e : keys -> {0..R-1} and sign
+// hashes s_e : keys -> {-1,+1}.
+//
+// Three families are implemented, all seedable and deterministic:
+//
+//   - Mix: splitmix64-style avalanche mixing (fast, excellent empirical
+//     uniformity; the default).
+//   - Poly: degree-k polynomial hashing over the Mersenne prime 2^61-1,
+//     giving true k-wise independence (k=2 matches the pairwise
+//     independence assumed by the Count Sketch analysis).
+//   - Tabulation: 8x8-bit tabulation hashing (3-wise independent, strong
+//     concentration properties).
+//
+// All families implement PairHasher, the interface the sketches consume.
+package hashing
+
+import "fmt"
+
+// PairHasher supplies, for each of Tables() independent hash tables, a
+// bucket hash into [0, Range()) and a +-1 sign hash.
+type PairHasher interface {
+	// Bucket returns the bucket index of key in table e, in [0, Range()).
+	Bucket(e int, key uint64) int
+	// Sign returns the sign hash of key in table e: exactly -1 or +1.
+	Sign(e int, key uint64) float64
+	// Tables returns the number of independent tables K.
+	Tables() int
+	// Range returns the number of buckets per table R.
+	Range() int
+}
+
+// Kind selects a hash family.
+type Kind int
+
+const (
+	// KindMix selects the splitmix64 mixing family.
+	KindMix Kind = iota
+	// KindPoly selects pairwise-independent polynomial hashing.
+	KindPoly
+	// KindPoly4 selects 4-wise independent polynomial hashing.
+	KindPoly4
+	// KindTabulation selects tabulation hashing.
+	KindTabulation
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindMix:
+		return "mix"
+	case KindPoly:
+		return "poly2"
+	case KindPoly4:
+		return "poly4"
+	case KindTabulation:
+		return "tabulation"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// New constructs a PairHasher of the given kind with tables tables of
+// rng buckets each, seeded deterministically from seed.
+func New(kind Kind, tables, rng int, seed uint64) (PairHasher, error) {
+	if tables <= 0 {
+		return nil, fmt.Errorf("hashing: tables must be positive, got %d", tables)
+	}
+	if rng <= 0 {
+		return nil, fmt.Errorf("hashing: range must be positive, got %d", rng)
+	}
+	switch kind {
+	case KindMix:
+		return newMixFamily(tables, rng, seed), nil
+	case KindPoly:
+		return newPolyFamily(tables, rng, seed, 2), nil
+	case KindPoly4:
+		return newPolyFamily(tables, rng, seed, 4), nil
+	case KindTabulation:
+		return newTabulationFamily(tables, rng, seed), nil
+	default:
+		return nil, fmt.Errorf("hashing: unknown kind %v", kind)
+	}
+}
+
+// MustNew is New but panics on error; for use with compile-time-correct
+// arguments in tests and examples.
+func MustNew(kind Kind, tables, rng int, seed uint64) PairHasher {
+	h, err := New(kind, tables, rng, seed)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}

@@ -1,0 +1,314 @@
+package hashing
+
+import (
+	"math"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+var allKinds = []Kind{KindMix, KindPoly, KindPoly4, KindTabulation}
+
+func TestNewRejectsBadArgs(t *testing.T) {
+	if _, err := New(KindMix, 0, 10, 1); err == nil {
+		t.Error("expected error for zero tables")
+	}
+	if _, err := New(KindMix, 3, 0, 1); err == nil {
+		t.Error("expected error for zero range")
+	}
+	if _, err := New(Kind(99), 3, 10, 1); err == nil {
+		t.Error("expected error for unknown kind")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{KindMix: "mix", KindPoly: "poly2", KindPoly4: "poly4", KindTabulation: "tabulation"}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+	if Kind(42).String() != "Kind(42)" {
+		t.Errorf("unknown kind string = %q", Kind(42).String())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, kind := range allKinds {
+		h1 := MustNew(kind, 4, 101, 7)
+		h2 := MustNew(kind, 4, 101, 7)
+		for key := uint64(0); key < 500; key++ {
+			for e := 0; e < 4; e++ {
+				if h1.Bucket(e, key) != h2.Bucket(e, key) {
+					t.Fatalf("%v: bucket not deterministic at key %d table %d", kind, key, e)
+				}
+				if h1.Sign(e, key) != h2.Sign(e, key) {
+					t.Fatalf("%v: sign not deterministic at key %d table %d", kind, key, e)
+				}
+			}
+		}
+	}
+}
+
+func TestSeedChangesHash(t *testing.T) {
+	for _, kind := range allKinds {
+		h1 := MustNew(kind, 1, 1<<20, 1)
+		h2 := MustNew(kind, 1, 1<<20, 2)
+		same := 0
+		const n = 2000
+		for key := uint64(0); key < n; key++ {
+			if h1.Bucket(0, key) == h2.Bucket(0, key) {
+				same++
+			}
+		}
+		// With 2^20 buckets, matching more than a handful of 2000 keys
+		// means the seed is being ignored.
+		if same > 20 {
+			t.Errorf("%v: %d/%d collisions across different seeds", kind, same, n)
+		}
+	}
+}
+
+func TestBucketInRange(t *testing.T) {
+	for _, kind := range allKinds {
+		for _, r := range []int{1, 2, 3, 17, 1024, 100003} {
+			h := MustNew(kind, 3, r, 42)
+			if h.Range() != r {
+				t.Fatalf("%v: Range() = %d, want %d", kind, h.Range(), r)
+			}
+			for key := uint64(0); key < 1000; key++ {
+				for e := 0; e < 3; e++ {
+					b := h.Bucket(e, key)
+					if b < 0 || b >= r {
+						t.Fatalf("%v: bucket %d out of range [0,%d)", kind, b, r)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSignIsPlusMinusOne(t *testing.T) {
+	for _, kind := range allKinds {
+		h := MustNew(kind, 3, 64, 9)
+		for key := uint64(0); key < 2000; key++ {
+			for e := 0; e < 3; e++ {
+				s := h.Sign(e, key)
+				if s != 1 && s != -1 {
+					t.Fatalf("%v: sign = %v, want ±1", kind, s)
+				}
+			}
+		}
+	}
+}
+
+// TestBucketUniformity runs a chi-square goodness-of-fit test against the
+// uniform distribution. The 99.9% critical value for chi-square with
+// r-1 = 63 degrees of freedom is ~103.4; allow generous slack.
+func TestBucketUniformity(t *testing.T) {
+	const r = 64
+	const n = 64000
+	for _, kind := range allKinds {
+		h := MustNew(kind, 2, r, 12345)
+		for e := 0; e < 2; e++ {
+			counts := make([]int, r)
+			for key := uint64(0); key < n; key++ {
+				counts[h.Bucket(e, key)]++
+			}
+			expected := float64(n) / r
+			chi2 := 0.0
+			for _, c := range counts {
+				d := float64(c) - expected
+				chi2 += d * d / expected
+			}
+			if chi2 > 130 {
+				t.Errorf("%v table %d: chi-square %.1f too large for uniformity", kind, e, chi2)
+			}
+		}
+	}
+}
+
+func TestSignBalance(t *testing.T) {
+	const n = 40000
+	for _, kind := range allKinds {
+		h := MustNew(kind, 2, 64, 99)
+		for e := 0; e < 2; e++ {
+			sum := 0.0
+			for key := uint64(0); key < n; key++ {
+				sum += h.Sign(e, key)
+			}
+			// Mean of n ±1 variables should be within ~4/sqrt(n).
+			if math.Abs(sum/n) > 4/math.Sqrt(n) {
+				t.Errorf("%v table %d: sign bias %.4f", kind, e, sum/n)
+			}
+		}
+	}
+}
+
+// TestTableIndependence checks that bucket assignments in different tables
+// are (empirically) uncorrelated: the collision rate of (Bucket(0,k),
+// Bucket(1,k)) pairs should match r^-1 for each coordinate independently.
+func TestTableIndependence(t *testing.T) {
+	const r = 32
+	const n = 32000
+	for _, kind := range allKinds {
+		h := MustNew(kind, 2, r, 5)
+		joint := make([]int, r*r)
+		for key := uint64(0); key < n; key++ {
+			joint[h.Bucket(0, key)*r+h.Bucket(1, key)]++
+		}
+		expected := float64(n) / (r * r)
+		chi2 := 0.0
+		for _, c := range joint {
+			d := float64(c) - expected
+			chi2 += d * d / expected
+		}
+		// df = r*r-1 = 1023; 99.99% critical value ≈ 1180.
+		if chi2 > 1250 {
+			t.Errorf("%v: joint chi-square %.1f suggests dependent tables", kind, chi2)
+		}
+	}
+}
+
+func TestMix64Avalanche(t *testing.T) {
+	// Flipping one input bit should flip close to half the output bits.
+	const trials = 2000
+	sm := NewSplitMix64(77)
+	totalFlips := 0
+	for i := 0; i < trials; i++ {
+		x := sm.Next()
+		bit := uint(sm.Next() % 64)
+		diff := Mix64(x) ^ Mix64(x^(1<<bit))
+		totalFlips += popcount(diff)
+	}
+	avg := float64(totalFlips) / trials
+	if avg < 28 || avg > 36 {
+		t.Errorf("avalanche average %.2f bits, want near 32", avg)
+	}
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+func TestMix64Bijective(t *testing.T) {
+	// Spot-check injectivity on a contiguous range.
+	seen := make(map[uint64]uint64, 100000)
+	for x := uint64(0); x < 100000; x++ {
+		h := Mix64(x)
+		if prev, ok := seen[h]; ok {
+			t.Fatalf("Mix64 collision: %d and %d", prev, x)
+		}
+		seen[h] = x
+	}
+}
+
+func TestMulMod61AgainstBigInt(t *testing.T) {
+	p := new(big.Int).SetUint64(mersenne61)
+	sm := NewSplitMix64(31)
+	for i := 0; i < 5000; i++ {
+		a := sm.Next() % mersenne61
+		b := sm.Next() % mersenne61
+		got := mulMod61(a, b)
+		want := new(big.Int).Mul(new(big.Int).SetUint64(a), new(big.Int).SetUint64(b))
+		want.Mod(want, p)
+		if got != want.Uint64() {
+			t.Fatalf("mulMod61(%d,%d) = %d, want %d", a, b, got, want.Uint64())
+		}
+	}
+}
+
+func TestMulMod61Properties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 2000}
+	// Commutativity.
+	if err := quick.Check(func(a, b uint64) bool {
+		a %= mersenne61
+		b %= mersenne61
+		return mulMod61(a, b) == mulMod61(b, a)
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+	// Identity.
+	if err := quick.Check(func(a uint64) bool {
+		a %= mersenne61
+		return mulMod61(a, 1) == a
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+	// Result in range.
+	if err := quick.Check(func(a, b uint64) bool {
+		return mulMod61(a%mersenne61, b%mersenne61) < mersenne61
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddMod61(t *testing.T) {
+	if got := addMod61(mersenne61-1, 1); got != 0 {
+		t.Errorf("addMod61(p-1,1) = %d, want 0", got)
+	}
+	if got := addMod61(5, 7); got != 12 {
+		t.Errorf("addMod61(5,7) = %d, want 12", got)
+	}
+}
+
+func TestPolyEvalKnown(t *testing.T) {
+	// f(x) = 3 + 2x + x^2 at x=5 is 38.
+	coef := []uint64{3, 2, 1}
+	if got := polyEval(coef, 5); got != 38 {
+		t.Errorf("polyEval = %d, want 38", got)
+	}
+}
+
+func TestFastRangeBounds(t *testing.T) {
+	if err := quick.Check(func(h uint64) bool {
+		return fastRange(h, 17) < 17
+	}, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+	if fastRange(0, 100) != 0 {
+		t.Error("fastRange(0, n) should be 0")
+	}
+	if fastRange(^uint64(0), 100) != 99 {
+		t.Error("fastRange(max, 100) should be 99")
+	}
+}
+
+func TestSplitMix64Sequence(t *testing.T) {
+	// Known-answer: first outputs for seed 0 from the reference splitmix64.
+	sm := NewSplitMix64(0)
+	want := []uint64{0xe220a8397b1dcdaf, 0x6e789e6aa1b965f4, 0x6c45d188009454f}
+	for i, w := range want {
+		if got := sm.Next(); got != w {
+			t.Fatalf("SplitMix64 output %d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestReduceKeyInField(t *testing.T) {
+	if err := quick.Check(func(k uint64) bool {
+		return reduceKey(k) < mersenne61
+	}, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkBucketMix(b *testing.B)        { benchBucket(b, KindMix) }
+func BenchmarkBucketPoly2(b *testing.B)      { benchBucket(b, KindPoly) }
+func BenchmarkBucketPoly4(b *testing.B)      { benchBucket(b, KindPoly4) }
+func BenchmarkBucketTabulation(b *testing.B) { benchBucket(b, KindTabulation) }
+
+func benchBucket(b *testing.B, kind Kind) {
+	h := MustNew(kind, 5, 1<<20, 42)
+	b.ReportAllocs()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += h.Bucket(i%5, uint64(i))
+	}
+	_ = sink
+}

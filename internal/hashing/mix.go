@@ -1,0 +1,80 @@
+package hashing
+
+// Mix64 applies a splitmix64-style finalizer to x. It is a bijection on
+// uint64 with strong avalanche behaviour: flipping any input bit flips
+// each output bit with probability close to 1/2.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// SplitMix64 is a tiny deterministic PRNG used to derive seeds. The zero
+// value is a valid generator seeded with 0.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a generator seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 { return &SplitMix64{state: seed} }
+
+// Next returns the next pseudo-random value.
+func (s *SplitMix64) Next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// mixFamily hashes by mixing the key with a per-table random seed. The
+// bucket uses the high bits via fixed-point multiplication (Lemire's
+// fast-range) and the sign uses an independent second mix.
+type mixFamily struct {
+	bucketSeeds []uint64
+	signSeeds   []uint64
+	tables      int
+	rng         uint64
+}
+
+func newMixFamily(tables, rng int, seed uint64) *mixFamily {
+	sm := NewSplitMix64(seed)
+	f := &mixFamily{
+		bucketSeeds: make([]uint64, tables),
+		signSeeds:   make([]uint64, tables),
+		tables:      tables,
+		rng:         uint64(rng),
+	}
+	for e := 0; e < tables; e++ {
+		f.bucketSeeds[e] = sm.Next()
+		f.signSeeds[e] = sm.Next() | 1 // odd, so multiplication is a bijection
+	}
+	return f
+}
+
+func (f *mixFamily) Tables() int { return f.tables }
+func (f *mixFamily) Range() int  { return int(f.rng) }
+
+func (f *mixFamily) Bucket(e int, key uint64) int {
+	h := Mix64(key ^ f.bucketSeeds[e])
+	return int(fastRange(h, f.rng))
+}
+
+func (f *mixFamily) Sign(e int, key uint64) float64 {
+	h := Mix64(key*f.signSeeds[e] + f.bucketSeeds[e])
+	if h&1 == 1 {
+		return 1
+	}
+	return -1
+}
+
+// fastRange maps a uniform 64-bit hash onto [0, n) without modulo bias
+// beyond the negligible 2^-64 rounding, using the high 64 bits of the
+// 128-bit product (Lemire 2016).
+func fastRange(h, n uint64) uint64 {
+	hi, _ := mul64(h, n)
+	return hi
+}

@@ -1,0 +1,117 @@
+package hashing
+
+import "math/bits"
+
+// mersenne61 is the Mersenne prime 2^61 - 1, the field over which the
+// polynomial hash family operates. Arithmetic mod a Mersenne prime only
+// needs shifts and adds, which keeps k-wise independent hashing fast.
+const mersenne61 = (1 << 61) - 1
+
+func mul64(a, b uint64) (hi, lo uint64) { return bits.Mul64(a, b) }
+
+// mulMod61 returns a*b mod 2^61-1 for a, b < 2^61.
+func mulMod61(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	// a*b = hi*2^64 + lo = hi*8*2^61 + lo; reduce using 2^61 ≡ 1.
+	res := (lo & mersenne61) + (lo >> 61) + (hi << 3 & mersenne61) + (hi >> 58)
+	res = (res & mersenne61) + (res >> 61)
+	if res >= mersenne61 {
+		res -= mersenne61
+	}
+	return res
+}
+
+// addMod61 returns a+b mod 2^61-1 for a, b < 2^61-1.
+func addMod61(a, b uint64) uint64 {
+	s := a + b
+	if s >= mersenne61 {
+		s -= mersenne61
+	}
+	return s
+}
+
+// polyEval evaluates the polynomial with coefficients coef (degree
+// len(coef)-1, constant term first) at x, all mod 2^61-1.
+func polyEval(coef []uint64, x uint64) uint64 {
+	// Horner's rule, highest coefficient first.
+	acc := coef[len(coef)-1]
+	for i := len(coef) - 2; i >= 0; i-- {
+		acc = addMod61(mulMod61(acc, x), coef[i])
+	}
+	return acc
+}
+
+// polyFamily provides k-wise independent bucket and sign hashes per table
+// using independent random polynomials of degree k-1 over GF(2^61-1).
+type polyFamily struct {
+	bucketCoef [][]uint64 // per table
+	signCoef   [][]uint64
+	tables     int
+	rng        uint64
+}
+
+func newPolyFamily(tables, rng int, seed uint64, k int) *polyFamily {
+	sm := NewSplitMix64(seed)
+	draw := func() uint64 {
+		for {
+			v := sm.Next() & mersenne61
+			if v < mersenne61 {
+				return v
+			}
+		}
+	}
+	f := &polyFamily{
+		bucketCoef: make([][]uint64, tables),
+		signCoef:   make([][]uint64, tables),
+		tables:     tables,
+		rng:        uint64(rng),
+	}
+	for e := 0; e < tables; e++ {
+		bc := make([]uint64, k)
+		sc := make([]uint64, k)
+		for j := 0; j < k; j++ {
+			bc[j] = draw()
+			sc[j] = draw()
+		}
+		// Leading coefficients nonzero keeps the polynomial degree exact.
+		if bc[k-1] == 0 {
+			bc[k-1] = 1
+		}
+		if sc[k-1] == 0 {
+			sc[k-1] = 1
+		}
+		f.bucketCoef[e] = bc
+		f.signCoef[e] = sc
+	}
+	return f
+}
+
+func (f *polyFamily) Tables() int { return f.tables }
+func (f *polyFamily) Range() int  { return int(f.rng) }
+
+// reduceKey folds an arbitrary uint64 key into the field. Keys >= 2^61-1
+// are first mixed so distinct keys stay distinguishable with overwhelming
+// probability.
+func reduceKey(key uint64) uint64 {
+	v := key & mersenne61
+	if key >= mersenne61 {
+		v = Mix64(key) & mersenne61
+	}
+	if v >= mersenne61 {
+		v -= mersenne61
+	}
+	return v
+}
+
+func (f *polyFamily) Bucket(e int, key uint64) int {
+	h := polyEval(f.bucketCoef[e], reduceKey(key))
+	return int(fastRange(h<<3, f.rng)) // shift to use full 64-bit width
+}
+
+func (f *polyFamily) Sign(e int, key uint64) float64 {
+	h := polyEval(f.signCoef[e], reduceKey(key))
+	if h&1 == 1 {
+		return 1
+	}
+	return -1
+}

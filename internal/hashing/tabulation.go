@@ -1,0 +1,56 @@
+package hashing
+
+// tabulationFamily implements simple tabulation hashing: the 8 bytes of
+// the key each index a table of random 64-bit words which are XORed
+// together. Simple tabulation is 3-wise independent and enjoys
+// Chernoff-style concentration for many hashing applications
+// (Patrascu & Thorup 2012), making it a strong choice for sketches.
+type tabulationFamily struct {
+	// tab[e][byteIdx][byteVal] for the bucket hash; sign uses bit 63 of an
+	// independently seeded second tabulation.
+	bucketTab [][8][256]uint64
+	signTab   [][8][256]uint64
+	tables    int
+	rng       uint64
+}
+
+func newTabulationFamily(tables, rng int, seed uint64) *tabulationFamily {
+	sm := NewSplitMix64(seed)
+	f := &tabulationFamily{
+		bucketTab: make([][8][256]uint64, tables),
+		signTab:   make([][8][256]uint64, tables),
+		tables:    tables,
+		rng:       uint64(rng),
+	}
+	for e := 0; e < tables; e++ {
+		for b := 0; b < 8; b++ {
+			for v := 0; v < 256; v++ {
+				f.bucketTab[e][b][v] = sm.Next()
+				f.signTab[e][b][v] = sm.Next()
+			}
+		}
+	}
+	return f
+}
+
+func (f *tabulationFamily) Tables() int { return f.tables }
+func (f *tabulationFamily) Range() int  { return int(f.rng) }
+
+func tabulate(tab *[8][256]uint64, key uint64) uint64 {
+	var h uint64
+	for b := 0; b < 8; b++ {
+		h ^= tab[b][byte(key>>(8*b))]
+	}
+	return h
+}
+
+func (f *tabulationFamily) Bucket(e int, key uint64) int {
+	return int(fastRange(tabulate(&f.bucketTab[e], key), f.rng))
+}
+
+func (f *tabulationFamily) Sign(e int, key uint64) float64 {
+	if tabulate(&f.signTab[e], key)>>63 == 1 {
+		return 1
+	}
+	return -1
+}

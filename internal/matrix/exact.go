@@ -1,0 +1,107 @@
+package matrix
+
+import (
+	"fmt"
+	"math"
+)
+
+// ExactCovariance computes the two-pass sample covariance matrix (n-1
+// denominator) of rows, each a length-d observation. This is the ground
+// truth used to evaluate sketch output on small datasets (§8.3).
+func ExactCovariance(rows [][]float64) (*Sym, error) {
+	n := len(rows)
+	if n < 2 {
+		return nil, fmt.Errorf("matrix: need at least 2 rows, got %d", n)
+	}
+	d := len(rows[0])
+	mean := make([]float64, d)
+	for _, r := range rows {
+		if len(r) != d {
+			return nil, fmt.Errorf("matrix: ragged rows (%d vs %d)", len(r), d)
+		}
+		for j, v := range r {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(n)
+	}
+	cov := NewSym(d)
+	centered := make([]float64, d)
+	for _, r := range rows {
+		for j, v := range r {
+			centered[j] = v - mean[j]
+		}
+		for i := 0; i < d; i++ {
+			ci := centered[i]
+			if ci == 0 {
+				continue
+			}
+			base := cov.index(i, i)
+			rowSlice := cov.data[base : base+d-i]
+			for j := i; j < d; j++ {
+				rowSlice[j-i] += ci * centered[j]
+			}
+		}
+	}
+	inv := 1 / float64(n-1)
+	for k := range cov.data {
+		cov.data[k] *= inv
+	}
+	return cov, nil
+}
+
+// ExactCorrelation computes the sample correlation matrix of rows.
+func ExactCorrelation(rows [][]float64) (*Sym, error) {
+	cov, err := ExactCovariance(rows)
+	if err != nil {
+		return nil, err
+	}
+	return cov.ScaleToCorrelation(), nil
+}
+
+// FeatureMeans returns the per-column means of rows.
+func FeatureMeans(rows [][]float64) []float64 {
+	if len(rows) == 0 {
+		return nil
+	}
+	d := len(rows[0])
+	mean := make([]float64, d)
+	for _, r := range rows {
+		for j, v := range r {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(len(rows))
+	}
+	return mean
+}
+
+// FeatureStds returns the per-column sample standard deviations of rows.
+func FeatureStds(rows [][]float64) []float64 {
+	n := len(rows)
+	if n < 2 {
+		return nil
+	}
+	mean := FeatureMeans(rows)
+	d := len(mean)
+	vars := make([]float64, d)
+	for _, r := range rows {
+		for j, v := range r {
+			dv := v - mean[j]
+			vars[j] += dv * dv
+		}
+	}
+	for j := range vars {
+		vars[j] /= float64(n - 1)
+	}
+	for j := range vars {
+		if vars[j] <= 0 {
+			vars[j] = 0
+			continue
+		}
+		vars[j] = math.Sqrt(vars[j])
+	}
+	return vars
+}

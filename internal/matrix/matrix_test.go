@@ -1,0 +1,310 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSymSetGetSymmetry(t *testing.T) {
+	s := NewSym(4)
+	s.Set(1, 3, 2.5)
+	if s.At(1, 3) != 2.5 || s.At(3, 1) != 2.5 {
+		t.Errorf("symmetry broken: %v vs %v", s.At(1, 3), s.At(3, 1))
+	}
+	s.Set(3, 1, -1)
+	if s.At(1, 3) != -1 {
+		t.Errorf("Set with swapped indices failed: %v", s.At(1, 3))
+	}
+	s.Add(0, 0, 4)
+	if s.At(0, 0) != 4 {
+		t.Errorf("Add diag failed: %v", s.At(0, 0))
+	}
+	if s.Dim() != 4 {
+		t.Errorf("Dim = %d", s.Dim())
+	}
+}
+
+func TestSymPackedIndexBijective(t *testing.T) {
+	const d = 17
+	s := NewSym(d)
+	seen := map[int]bool{}
+	for i := 0; i < d; i++ {
+		for j := i; j < d; j++ {
+			k := s.index(i, j)
+			if k < 0 || k >= len(s.data) {
+				t.Fatalf("index(%d,%d) = %d out of range", i, j, k)
+			}
+			if seen[k] {
+				t.Fatalf("index(%d,%d) = %d collides", i, j, k)
+			}
+			seen[k] = true
+		}
+	}
+	if len(seen) != d*(d+1)/2 {
+		t.Fatalf("covered %d cells, want %d", len(seen), d*(d+1)/2)
+	}
+}
+
+func TestNewSymPanicsOnBadDim(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewSym(0)
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	s := NewSym(3)
+	s.Set(0, 1, 5)
+	c := s.Clone()
+	c.Set(0, 1, 9)
+	if s.At(0, 1) != 5 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestDiagAndOffDiagonal(t *testing.T) {
+	s := NewSym(3)
+	s.Set(0, 0, 1)
+	s.Set(1, 1, 2)
+	s.Set(2, 2, 3)
+	s.Set(0, 1, 4)
+	s.Set(0, 2, 5)
+	s.Set(1, 2, 6)
+	d := s.Diag()
+	if d[0] != 1 || d[1] != 2 || d[2] != 3 {
+		t.Errorf("Diag = %v", d)
+	}
+	od := s.OffDiagonal()
+	if len(od) != 3 || od[0] != 4 || od[1] != 5 || od[2] != 6 {
+		t.Errorf("OffDiagonal = %v", od)
+	}
+}
+
+func TestScaleToCorrelation(t *testing.T) {
+	s := NewSym(2)
+	s.Set(0, 0, 4)
+	s.Set(1, 1, 9)
+	s.Set(0, 1, 3)
+	s.ScaleToCorrelation()
+	if !almostEq(s.At(0, 0), 1, 1e-12) || !almostEq(s.At(1, 1), 1, 1e-12) {
+		t.Errorf("diag not 1: %v %v", s.At(0, 0), s.At(1, 1))
+	}
+	if !almostEq(s.At(0, 1), 0.5, 1e-12) {
+		t.Errorf("corr = %v, want 0.5", s.At(0, 1))
+	}
+	// Zero variance produces zero, not NaN.
+	z := NewSym(2)
+	z.Set(0, 0, 0)
+	z.Set(1, 1, 1)
+	z.Set(0, 1, 0.3)
+	z.ScaleToCorrelation()
+	if z.At(0, 1) != 0 {
+		t.Errorf("zero-variance corr = %v, want 0", z.At(0, 1))
+	}
+}
+
+func TestCholeskyKnown(t *testing.T) {
+	// A = [[4,2],[2,3]] has L = [[2,0],[1,sqrt(2)]].
+	a := NewSym(2)
+	a.Set(0, 0, 4)
+	a.Set(0, 1, 2)
+	a.Set(1, 1, 3)
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(l.At(0, 0), 2, 1e-12) || !almostEq(l.At(1, 0), 1, 1e-12) ||
+		!almostEq(l.At(1, 1), math.Sqrt2, 1e-12) || l.At(0, 1) != 0 {
+		t.Errorf("L = [[%v,%v],[%v,%v]]", l.At(0, 0), l.At(0, 1), l.At(1, 0), l.At(1, 1))
+	}
+	if l.Dim() != 2 {
+		t.Errorf("Dim = %d", l.Dim())
+	}
+}
+
+func TestCholeskyReconstruction(t *testing.T) {
+	// Random PSD matrix A = B·Bᵀ + I; verify L·Lᵀ = A.
+	rng := rand.New(rand.NewSource(5))
+	const d = 25
+	b := make([][]float64, d)
+	for i := range b {
+		b[i] = make([]float64, d)
+		for j := range b[i] {
+			b[i][j] = rng.NormFloat64()
+		}
+	}
+	a := NewSym(d)
+	for i := 0; i < d; i++ {
+		for j := i; j < d; j++ {
+			s := 0.0
+			for k := 0; k < d; k++ {
+				s += b[i][k] * b[j][k]
+			}
+			if i == j {
+				s += 1
+			}
+			a.Set(i, j, s)
+		}
+	}
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < d; i++ {
+		for j := i; j < d; j++ {
+			s := 0.0
+			for k := 0; k <= i; k++ {
+				s += l.At(i, k) * l.At(j, k)
+			}
+			if !almostEq(s, a.At(i, j), 1e-8) {
+				t.Fatalf("LLᵀ[%d][%d] = %v, want %v", i, j, s, a.At(i, j))
+			}
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := NewSym(2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 1, 1) // eigenvalues 3, -1
+	if _, err := Cholesky(a); err == nil {
+		t.Error("expected error for indefinite matrix")
+	}
+}
+
+func TestIsPSD(t *testing.T) {
+	a := NewSym(2)
+	a.Set(0, 0, 1)
+	a.Set(1, 1, 1)
+	a.Set(0, 1, 0.5)
+	if !IsPSD(a, 1e-9) {
+		t.Error("valid correlation matrix reported not PSD")
+	}
+	a.Set(0, 1, 2)
+	if IsPSD(a, 1e-9) {
+		t.Error("indefinite matrix reported PSD")
+	}
+}
+
+func TestLowerMulVec(t *testing.T) {
+	a := NewSym(2)
+	a.Set(0, 0, 4)
+	a.Set(0, 1, 2)
+	a.Set(1, 1, 3)
+	l, _ := Cholesky(a)
+	x := []float64{1, 1}
+	y := make([]float64, 2)
+	l.MulVec(x, y)
+	if !almostEq(y[0], 2, 1e-12) || !almostEq(y[1], 1+math.Sqrt2, 1e-12) {
+		t.Errorf("MulVec = %v", y)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on length mismatch")
+		}
+	}()
+	l.MulVec([]float64{1}, y)
+}
+
+func TestExactCovarianceSmall(t *testing.T) {
+	rows := [][]float64{
+		{1, 2},
+		{2, 4},
+		{3, 6},
+	}
+	cov, err := ExactCovariance(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(cov.At(0, 0), 1, 1e-12) || !almostEq(cov.At(1, 1), 4, 1e-12) || !almostEq(cov.At(0, 1), 2, 1e-12) {
+		t.Errorf("cov = %v %v %v", cov.At(0, 0), cov.At(1, 1), cov.At(0, 1))
+	}
+	corr, err := ExactCorrelation(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(corr.At(0, 1), 1, 1e-12) {
+		t.Errorf("corr = %v, want 1", corr.At(0, 1))
+	}
+}
+
+func TestExactCovarianceErrors(t *testing.T) {
+	if _, err := ExactCovariance([][]float64{{1, 2}}); err == nil {
+		t.Error("expected error for single row")
+	}
+	if _, err := ExactCovariance([][]float64{{1, 2}, {1}}); err == nil {
+		t.Error("expected error for ragged rows")
+	}
+	if _, err := ExactCorrelation(nil); err == nil {
+		t.Error("expected error for nil rows")
+	}
+}
+
+func TestExactCovarianceMatchesCoMomentProperty(t *testing.T) {
+	// Cross-validate the matrix path against an independent pairwise
+	// formula on random data.
+	if err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(20)
+		const d = 4
+		rows := make([][]float64, n)
+		for i := range rows {
+			rows[i] = make([]float64, d)
+			for j := range rows[i] {
+				rows[i][j] = rng.NormFloat64()
+			}
+		}
+		cov, err := ExactCovariance(rows)
+		if err != nil {
+			return false
+		}
+		for a := 0; a < d; a++ {
+			for b := a; b < d; b++ {
+				// direct two-pass formula
+				ma, mb := 0.0, 0.0
+				for _, r := range rows {
+					ma += r[a]
+					mb += r[b]
+				}
+				ma /= float64(n)
+				mb /= float64(n)
+				s := 0.0
+				for _, r := range rows {
+					s += (r[a] - ma) * (r[b] - mb)
+				}
+				s /= float64(n - 1)
+				if !almostEq(s, cov.At(a, b), 1e-10) {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFeatureMeansStds(t *testing.T) {
+	rows := [][]float64{{1, 10}, {3, 10}}
+	m := FeatureMeans(rows)
+	if m[0] != 2 || m[1] != 10 {
+		t.Errorf("means = %v", m)
+	}
+	s := FeatureStds(rows)
+	if !almostEq(s[0], math.Sqrt2, 1e-12) || s[1] != 0 {
+		t.Errorf("stds = %v", s)
+	}
+	if FeatureMeans(nil) != nil {
+		t.Error("FeatureMeans(nil) should be nil")
+	}
+	if FeatureStds([][]float64{{1}}) != nil {
+		t.Error("FeatureStds of one row should be nil")
+	}
+}

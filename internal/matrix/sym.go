@@ -1,0 +1,168 @@
+// Package matrix provides the small dense linear-algebra substrate needed
+// by the ASCS reproduction: packed symmetric matrices, Cholesky
+// factorization (for sampling from a target covariance), and exact
+// two-pass covariance/correlation of materialized datasets (ground truth
+// for the paper's small-scale experiments).
+package matrix
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sym is a symmetric d×d matrix stored packed (upper triangle including
+// the diagonal, row-major), using d(d+1)/2 float64s.
+type Sym struct {
+	d    int
+	data []float64
+}
+
+// NewSym returns a zero symmetric matrix of dimension d.
+func NewSym(d int) *Sym {
+	if d <= 0 {
+		panic(fmt.Sprintf("matrix: dimension must be positive, got %d", d))
+	}
+	return &Sym{d: d, data: make([]float64, d*(d+1)/2)}
+}
+
+// Dim returns the dimension d.
+func (s *Sym) Dim() int { return s.d }
+
+// index maps (i, j) with i ≤ j to the packed offset.
+func (s *Sym) index(i, j int) int {
+	if i > j {
+		i, j = j, i
+	}
+	return i*s.d - i*(i-1)/2 + (j - i)
+}
+
+// At returns element (i, j).
+func (s *Sym) At(i, j int) float64 { return s.data[s.index(i, j)] }
+
+// Set assigns element (i, j) (and by symmetry (j, i)).
+func (s *Sym) Set(i, j int, v float64) { s.data[s.index(i, j)] = v }
+
+// Add increments element (i, j).
+func (s *Sym) Add(i, j int, v float64) { s.data[s.index(i, j)] += v }
+
+// Clone returns a deep copy.
+func (s *Sym) Clone() *Sym {
+	c := NewSym(s.d)
+	copy(c.data, s.data)
+	return c
+}
+
+// Diag returns a copy of the diagonal.
+func (s *Sym) Diag() []float64 {
+	out := make([]float64, s.d)
+	for i := 0; i < s.d; i++ {
+		out[i] = s.At(i, i)
+	}
+	return out
+}
+
+// OffDiagonal returns all d(d-1)/2 strictly-upper-triangular entries in
+// row-major order: the vectorization X of the paper's problem statement.
+func (s *Sym) OffDiagonal() []float64 {
+	out := make([]float64, 0, s.d*(s.d-1)/2)
+	for i := 0; i < s.d; i++ {
+		for j := i + 1; j < s.d; j++ {
+			out = append(out, s.At(i, j))
+		}
+	}
+	return out
+}
+
+// ScaleToCorrelation converts a covariance matrix to the corresponding
+// correlation matrix in place and returns it. Zero-variance coordinates
+// produce zero correlations rather than NaN.
+func (s *Sym) ScaleToCorrelation() *Sym {
+	sd := make([]float64, s.d)
+	for i := range sd {
+		sd[i] = math.Sqrt(s.At(i, i))
+	}
+	for i := 0; i < s.d; i++ {
+		for j := i; j < s.d; j++ {
+			if sd[i] == 0 || sd[j] == 0 {
+				s.Set(i, j, 0)
+				continue
+			}
+			s.Set(i, j, s.At(i, j)/(sd[i]*sd[j]))
+		}
+	}
+	return s
+}
+
+// Lower is a lower-triangular d×d matrix stored packed row-major
+// (row i holds i+1 entries), produced by Cholesky.
+type Lower struct {
+	d    int
+	data []float64
+}
+
+// Dim returns the dimension.
+func (l *Lower) Dim() int { return l.d }
+
+// At returns element (i, j) for j ≤ i; zero above the diagonal.
+func (l *Lower) At(i, j int) float64 {
+	if j > i {
+		return 0
+	}
+	return l.data[i*(i+1)/2+j]
+}
+
+func (l *Lower) set(i, j int, v float64) { l.data[i*(i+1)/2+j] = v }
+
+// MulVec computes y = L·x (length d each). It panics on length mismatch.
+func (l *Lower) MulVec(x, y []float64) {
+	if len(x) != l.d || len(y) != l.d {
+		panic("matrix: MulVec dimension mismatch")
+	}
+	for i := 0; i < l.d; i++ {
+		row := l.data[i*(i+1)/2 : i*(i+1)/2+i+1]
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+}
+
+// Cholesky factors the symmetric positive-definite matrix a as L·Lᵀ and
+// returns L. It returns an error when a is not (numerically) positive
+// definite.
+func Cholesky(a *Sym) (*Lower, error) {
+	d := a.d
+	l := &Lower{d: d, data: make([]float64, d*(d+1)/2)}
+	for j := 0; j < d; j++ {
+		sum := a.At(j, j)
+		for k := 0; k < j; k++ {
+			v := l.At(j, k)
+			sum -= v * v
+		}
+		if sum <= 0 {
+			return nil, fmt.Errorf("matrix: not positive definite at pivot %d (residual %g)", j, sum)
+		}
+		diag := math.Sqrt(sum)
+		l.set(j, j, diag)
+		for i := j + 1; i < d; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.set(i, j, s/diag)
+		}
+	}
+	return l, nil
+}
+
+// IsPSD reports whether a is positive semi-definite, tested by attempting
+// a Cholesky factorization of a + eps·I.
+func IsPSD(a *Sym, eps float64) bool {
+	c := a.Clone()
+	for i := 0; i < c.d; i++ {
+		c.Add(i, i, eps)
+	}
+	_, err := Cholesky(c)
+	return err == nil
+}

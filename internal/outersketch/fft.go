@@ -1,0 +1,68 @@
+// Package outersketch implements Pagh's compressed matrix multiplication
+// (TOCT 2013) specialized to covariance sketching, as discussed in the
+// paper's related work (§2): the count sketch of a rank-1 update y⊗y is
+// the circular self-convolution of a hashed vector, computable in
+// O(nz + R log R) per sample via FFT instead of the O(nz²) explicit pair
+// enumeration. The trade-off the paper exploits is that this path cannot
+// gate individual pairs — every entry is folded in, so ASCS's active
+// sampling (the SNR repair) is impossible here. The benchmark
+// BenchmarkOuterVsPairInsertion quantifies the speed side of that trade.
+package outersketch
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// fft computes the in-place radix-2 Cooley-Tukey FFT of x (len must be a
+// power of two). inverse selects the inverse transform (scaled by 1/n).
+func fft(x []complex128, inverse bool) {
+	n := len(x)
+	if n&(n-1) != 0 {
+		panic(fmt.Sprintf("outersketch: FFT length %d is not a power of two", n))
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 1; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for size := 2; size <= n; size <<= 1 {
+		ang := 2 * math.Pi / float64(size)
+		if !inverse {
+			ang = -ang
+		}
+		wBase := complex(math.Cos(ang), math.Sin(ang))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			half := size / 2
+			for k := 0; k < half; k++ {
+				u := x[start+k]
+				v := x[start+k+half] * w
+				x[start+k] = u + v
+				x[start+k+half] = u - v
+				w *= wBase
+			}
+		}
+	}
+	if inverse {
+		inv := complex(1/float64(n), 0)
+		for i := range x {
+			x[i] *= inv
+		}
+	}
+}
+
+// circularSelfConvolve replaces buf with its circular self-convolution:
+// out[k] = Σ_{a+b ≡ k (mod n)} buf[a]·buf[b], using one forward FFT, a
+// pointwise square, and one inverse FFT.
+func circularSelfConvolve(buf []complex128) {
+	fft(buf, false)
+	for i, v := range buf {
+		buf[i] = v * v
+	}
+	fft(buf, true)
+}

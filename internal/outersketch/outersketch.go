@@ -1,0 +1,125 @@
+package outersketch
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/hashing"
+	"repro/internal/stats"
+	"repro/internal/stream"
+)
+
+// Sketch is a count sketch of the accumulated outer products
+// Σ_t scale·(y^(t) ⊗ y^(t)), with the Pagh pair-hash structure
+// h(i,j) = (h_e(i) + h_e(j)) mod R and sign s_e(i)·s_e(j). Inserting a
+// sample costs O(nz + R log R) per table.
+type Sketch struct {
+	k, r int
+	h    hashing.PairHasher
+	w    []float64 // k rows of r buckets
+
+	// scratch buffers reused across AddOuter calls
+	buf []complex128
+}
+
+// Config shapes the sketch. Range must be a power of two (FFT length).
+type Config struct {
+	Tables int
+	Range  int
+	Seed   uint64
+	Hash   hashing.Kind
+}
+
+// New builds an empty outer-product sketch.
+func New(cfg Config) (*Sketch, error) {
+	if cfg.Tables < 1 || cfg.Tables > 64 {
+		return nil, fmt.Errorf("outersketch: Tables must be in [1,64], got %d", cfg.Tables)
+	}
+	if cfg.Range < 2 || cfg.Range&(cfg.Range-1) != 0 {
+		return nil, fmt.Errorf("outersketch: Range must be a power of two ≥ 2, got %d", cfg.Range)
+	}
+	h, err := hashing.New(cfg.Hash, cfg.Tables, cfg.Range, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Sketch{
+		k:   cfg.Tables,
+		r:   cfg.Range,
+		h:   h,
+		w:   make([]float64, cfg.Tables*cfg.Range),
+		buf: make([]complex128, cfg.Range),
+	}, nil
+}
+
+// K returns the table count.
+func (s *Sketch) K() int { return s.k }
+
+// R returns the buckets per table.
+func (s *Sketch) R() int { return s.r }
+
+// Bytes reports the table footprint.
+func (s *Sketch) Bytes() int { return 8 * len(s.w) }
+
+// AddOuter folds scale·(y ⊗ y) into the sketch, where y is the sparse
+// sample. All d² entries of the outer product — including the diagonal
+// and both (i,j) and (j,i) — are represented; Estimate compensates.
+func (s *Sketch) AddOuter(sample stream.Sample, scale float64) error {
+	for _, v := range sample.Val {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("outersketch: non-finite sample value %v", v)
+		}
+	}
+	for e := 0; e < s.k; e++ {
+		for i := range s.buf {
+			s.buf[i] = 0
+		}
+		for i, ix := range sample.Idx {
+			key := uint64(ix)
+			b := s.h.Bucket(e, key)
+			s.buf[b] += complex(s.h.Sign(e, key)*sample.Val[i], 0)
+		}
+		circularSelfConvolve(s.buf)
+		row := s.w[e*s.r : (e+1)*s.r]
+		for b := 0; b < s.r; b++ {
+			row[b] += scale * real(s.buf[b])
+		}
+	}
+	return nil
+}
+
+// Estimate returns the median-of-K estimate of the accumulated (i,j)
+// outer-product entry for i ≠ j, i.e. Σ_t scale·y_i y_j. The sketch
+// stores y⊗y symmetrically, so the bucket holds both (i,j) and (j,i);
+// the estimate halves the retrieved value to match the upper-triangle
+// convention used by the pair-enumeration engines.
+func (s *Sketch) Estimate(i, j int) float64 {
+	if i == j {
+		return s.EstimateDiagonal(i)
+	}
+	var buf [64]float64
+	ki, kj := uint64(i), uint64(j)
+	for e := 0; e < s.k; e++ {
+		b := (s.h.Bucket(e, ki) + s.h.Bucket(e, kj)) % s.r
+		buf[e] = s.w[e*s.r+b] * s.h.Sign(e, ki) * s.h.Sign(e, kj) / 2
+	}
+	return stats.MedianSmall(buf[:s.k], buf[:s.k])
+}
+
+// EstimateDiagonal returns the estimate of the (i,i) entry Σ scale·y_i².
+func (s *Sketch) EstimateDiagonal(i int) float64 {
+	var buf [64]float64
+	ki := uint64(i)
+	for e := 0; e < s.k; e++ {
+		b := (2 * s.h.Bucket(e, ki)) % s.r
+		// sign(i)·sign(i) = 1.
+		buf[e] = s.w[e*s.r+b]
+	}
+	return stats.MedianSmall(buf[:s.k], buf[:s.k])
+}
+
+// Reset zeroes the tables.
+func (s *Sketch) Reset() {
+	for i := range s.w {
+		s.w[i] = 0
+	}
+}

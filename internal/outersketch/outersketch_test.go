@@ -1,0 +1,300 @@
+package outersketch
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"repro/internal/countsketch"
+	"repro/internal/pairs"
+	"repro/internal/stream"
+)
+
+func TestFFTKnownValues(t *testing.T) {
+	// DFT of [1,0,0,0] is [1,1,1,1].
+	x := []complex128{1, 0, 0, 0}
+	fft(x, false)
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("x[%d] = %v, want 1", i, v)
+		}
+	}
+	// DFT of [1,1,1,1] is [4,0,0,0].
+	y := []complex128{1, 1, 1, 1}
+	fft(y, false)
+	if cmplx.Abs(y[0]-4) > 1e-12 || cmplx.Abs(y[1]) > 1e-12 {
+		t.Fatalf("y = %v", y)
+	}
+}
+
+func TestFFTRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]complex128, 64)
+	orig := make([]complex128, 64)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		orig[i] = x[i]
+	}
+	fft(x, false)
+	fft(x, true)
+	for i := range x {
+		if cmplx.Abs(x[i]-orig[i]) > 1e-10 {
+			t.Fatalf("round trip failed at %d: %v vs %v", i, x[i], orig[i])
+		}
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 128
+	x := make([]complex128, n)
+	timeE := 0.0
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), 0)
+		timeE += real(x[i]) * real(x[i])
+	}
+	fft(x, false)
+	freqE := 0.0
+	for _, v := range x {
+		freqE += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if math.Abs(freqE/float64(n)-timeE) > 1e-9*timeE {
+		t.Errorf("Parseval violated: %v vs %v", freqE/float64(n), timeE)
+	}
+}
+
+func TestFFTPanicsOnNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	fft(make([]complex128, 6), false)
+}
+
+func TestCircularSelfConvolveMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n = 16
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = rng.NormFloat64()
+	}
+	buf := make([]complex128, n)
+	for i, v := range vals {
+		buf[i] = complex(v, 0)
+	}
+	circularSelfConvolve(buf)
+	for k := 0; k < n; k++ {
+		want := 0.0
+		for a := 0; a < n; a++ {
+			want += vals[a] * vals[(k-a+n)%n]
+		}
+		if math.Abs(real(buf[k])-want) > 1e-9 {
+			t.Fatalf("conv[%d] = %v, want %v", k, real(buf[k]), want)
+		}
+		if math.Abs(imag(buf[k])) > 1e-9 {
+			t.Fatalf("conv[%d] has imaginary residue %v", k, imag(buf[k]))
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Tables: 0, Range: 8}); err == nil {
+		t.Error("zero tables accepted")
+	}
+	if _, err := New(Config{Tables: 3, Range: 12}); err == nil {
+		t.Error("non-power-of-two range accepted")
+	}
+	if _, err := New(Config{Tables: 3, Range: 8, Hash: 99}); err == nil {
+		t.Error("bad hash kind accepted")
+	}
+}
+
+func TestAddOuterRejectsNonFinite(t *testing.T) {
+	s, _ := New(Config{Tables: 3, Range: 64, Seed: 1})
+	bad := stream.Sample{Idx: []int{0}, Val: []float64{math.NaN()}}
+	if err := s.AddOuter(bad, 1); err == nil {
+		t.Error("NaN accepted")
+	}
+}
+
+func TestOuterSketchRecoversOuterProducts(t *testing.T) {
+	// Large R: estimates of accumulated y_i·y_j should be near-exact.
+	const d, T = 10, 200
+	rng := rand.New(rand.NewSource(4))
+	s, err := New(Config{Tables: 5, Range: 1 << 14, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := make([][]float64, d)
+	for i := range exact {
+		exact[i] = make([]float64, d)
+	}
+	invT := 1.0 / T
+	for step := 0; step < T; step++ {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		for i := 0; i < d; i++ {
+			for j := 0; j < d; j++ {
+				exact[i][j] += row[i] * row[j] * invT
+			}
+		}
+		if err := s.AddOuter(stream.FromDense(row), invT); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < d; i++ {
+		for j := 0; j < d; j++ {
+			got := s.Estimate(i, j)
+			if math.Abs(got-exact[i][j]) > 0.02 {
+				t.Fatalf("estimate(%d,%d) = %v, want %v", i, j, got, exact[i][j])
+			}
+		}
+	}
+}
+
+func TestOuterSketchSymmetric(t *testing.T) {
+	s, _ := New(Config{Tables: 3, Range: 1 << 10, Seed: 2})
+	sample := stream.Sample{Idx: []int{1, 4}, Val: []float64{2, 3}}
+	if err := s.AddOuter(sample, 1); err != nil {
+		t.Fatal(err)
+	}
+	if s.Estimate(1, 4) != s.Estimate(4, 1) {
+		t.Error("estimates must be symmetric")
+	}
+	if got := s.Estimate(1, 4); math.Abs(got-6) > 1e-9 {
+		t.Errorf("estimate = %v, want 6", got)
+	}
+	if got := s.EstimateDiagonal(1); math.Abs(got-4) > 1e-9 {
+		t.Errorf("diagonal = %v, want 4", got)
+	}
+	s.Reset()
+	if s.Estimate(1, 4) != 0 {
+		t.Error("Reset should zero estimates")
+	}
+}
+
+// TestOuterSketchMatchesPairEnumeration cross-validates the FFT path
+// against the explicit pair-enumeration count sketch: same second
+// moments recovered from the same stream (different hash structures, so
+// compare against ground truth, not bucket-for-bucket).
+func TestOuterSketchMatchesPairEnumeration(t *testing.T) {
+	const d, T = 12, 300
+	rng := rand.New(rand.NewSource(5))
+	rows := make([][]float64, T)
+	for i := range rows {
+		rows[i] = make([]float64, d)
+		z := rng.NormFloat64()
+		rows[i][0] = z
+		rows[i][1] = 0.9*z + 0.436*rng.NormFloat64()
+		for j := 2; j < d; j++ {
+			rows[i][j] = rng.NormFloat64()
+		}
+	}
+	outer, _ := New(Config{Tables: 5, Range: 1 << 13, Seed: 3})
+	cs := countsketch.MustNew(countsketch.Config{Tables: 5, Range: 1 << 13, Seed: 3})
+	invT := 1.0 / T
+	for _, row := range rows {
+		sm := stream.FromDense(row)
+		if err := outer.AddOuter(sm, invT); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < len(sm.Idx); i++ {
+			for j := i + 1; j < len(sm.Idx); j++ {
+				cs.Add(pairs.Key(sm.Idx[i], sm.Idx[j], d), sm.Val[i]*sm.Val[j]*invT)
+			}
+		}
+	}
+	for a := 0; a < d; a++ {
+		for b := a + 1; b < d; b++ {
+			ov := outer.Estimate(a, b)
+			cv := cs.Estimate(pairs.Key(a, b, d))
+			if math.Abs(ov-cv) > 0.05 {
+				t.Fatalf("pair (%d,%d): outer %v vs pair-enum %v", a, b, ov, cv)
+			}
+		}
+	}
+	// Both must rank the planted pair first.
+	if outer.Estimate(0, 1) < 0.7 {
+		t.Errorf("planted pair estimate = %v", outer.Estimate(0, 1))
+	}
+}
+
+// BenchmarkOuterVsPairInsertion quantifies Pagh's speed advantage for
+// dense samples: O(nz + R log R) vs O(nz²) per sample per table.
+func BenchmarkOuterVsPairInsertion(b *testing.B) {
+	const d = 512
+	rng := rand.New(rand.NewSource(6))
+	row := make([]float64, d)
+	for j := range row {
+		row[j] = rng.NormFloat64()
+	}
+	sample := stream.FromDense(row)
+
+	b.Run("outer-fft", func(b *testing.B) {
+		s, _ := New(Config{Tables: 5, Range: 1 << 12, Seed: 1})
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := s.AddOuter(sample, 1e-6); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("pair-enum", func(b *testing.B) {
+		cs := countsketch.MustNew(countsketch.Config{Tables: 5, Range: 1 << 12, Seed: 1})
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for x := 0; x < len(sample.Idx); x++ {
+				for y := x + 1; y < len(sample.Idx); y++ {
+					cs.Add(pairs.Key(sample.Idx[x], sample.Idx[y], d), sample.Val[x]*sample.Val[y]*1e-6)
+				}
+			}
+		}
+	})
+}
+
+func TestOuterSketchLinearityProperty(t *testing.T) {
+	// Adding two streams separately and summing estimates must equal
+	// adding the concatenated stream: the tables are linear, and with a
+	// single table the estimate is too (median-of-K is not).
+	rng := rand.New(rand.NewSource(7))
+	mk := func() *Sketch {
+		s, err := New(Config{Tables: 1, Range: 256, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	combined := mk()
+	a, b := mk(), mk()
+	for i := 0; i < 40; i++ {
+		row := make([]float64, 20)
+		for j := range row {
+			if rng.Float64() < 0.5 {
+				row[j] = rng.NormFloat64()
+			}
+		}
+		sm := stream.FromDense(row)
+		if err := combined.AddOuter(sm, 0.5); err != nil {
+			t.Fatal(err)
+		}
+		target := a
+		if i%2 == 1 {
+			target = b
+		}
+		if err := target.AddOuter(sm, 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		for j := i + 1; j < 20; j++ {
+			sum := a.Estimate(i, j) + b.Estimate(i, j)
+			if math.Abs(sum-combined.Estimate(i, j)) > 1e-9 {
+				t.Fatalf("linearity violated at (%d,%d): %v vs %v", i, j, sum, combined.Estimate(i, j))
+			}
+		}
+	}
+}

@@ -1,0 +1,23 @@
+package pairs
+
+import "testing"
+
+// FuzzIndexDecode exercises the bijection across arbitrary dimensions
+// and indices, including extremes near the int64 capacity.
+func FuzzIndexDecode(f *testing.F) {
+	f.Add(uint32(2), uint64(0))
+	f.Add(uint32(1000), uint64(499499))
+	f.Add(uint32(40_000_000), uint64(1)<<49)
+	f.Fuzz(func(t *testing.T, rawD uint32, rawI uint64) {
+		d := int(rawD%50_000_000) + 2
+		p := Count(d)
+		i := int64(rawI % uint64(p))
+		a, b := Decode(i, d)
+		if a < 0 || a >= b || b >= d {
+			t.Fatalf("Decode(%d, %d) = (%d, %d) out of range", i, d, a, b)
+		}
+		if got := Index(a, b, d); got != i {
+			t.Fatalf("round trip: Decode(%d,%d)=(%d,%d) but Index=%d", i, d, a, b, got)
+		}
+	})
+}

@@ -1,0 +1,84 @@
+// Package pairs provides the canonical bijection between unordered
+// feature pairs (a, b), 0 ≤ a < b < d, and linear indices
+// i ∈ [0, d(d−1)/2). The linear index doubles as the uint64 key hashed by
+// the sketches, so the mapping must be stable, collision-free, and fast
+// in both directions even for d in the tens of millions (p up to ~10^14,
+// comfortably inside int64).
+package pairs
+
+import (
+	"fmt"
+	"math"
+)
+
+// Count returns p = d(d−1)/2, the number of unordered pairs over d items.
+func Count(d int) int64 {
+	n := int64(d)
+	return n * (n - 1) / 2
+}
+
+// Index returns the linear index of the pair (a, b) with a < b over d
+// items: pairs are ordered row-major by their smaller element, i.e.
+// (0,1), (0,2), …, (0,d−1), (1,2), …
+// It panics when the arguments do not satisfy 0 ≤ a < b < d; callers
+// enumerate pairs programmatically, so violations are programmer errors.
+func Index(a, b, d int) int64 {
+	if a < 0 || a >= b || b >= d {
+		panic(fmt.Sprintf("pairs: invalid pair (%d,%d) for d=%d", a, b, d))
+	}
+	ai, bi, di := int64(a), int64(b), int64(d)
+	// Pairs preceding row a: sum_{r<a} (d-1-r) = a(d-1) - a(a-1)/2.
+	return ai*(di-1) - ai*(ai-1)/2 + (bi - ai - 1)
+}
+
+// Key returns Index(a, b, d) as the uint64 sketch key.
+func Key(a, b, d int) uint64 { return uint64(Index(a, b, d)) }
+
+// Decode inverts Index: it returns the (a, b) with a < b whose linear
+// index is i. It panics when i is out of range for d.
+func Decode(i int64, d int) (a, b int) {
+	p := Count(d)
+	if i < 0 || i >= p {
+		panic(fmt.Sprintf("pairs: index %d out of range for d=%d (p=%d)", i, d, p))
+	}
+	// Solve a(d-1) - a(a-1)/2 ≤ i for the largest a. Use the quadratic
+	// formula for a first guess, then fix up (float error is at most ±1).
+	di := float64(d)
+	// offset(a) = a*d - a(a+1)/2; we want largest a with offset(a) ≤ i.
+	guess := int(math.Floor((2*di - 1 - math.Sqrt((2*di-1)*(2*di-1)-8*float64(i))) / 2))
+	if guess < 0 {
+		guess = 0
+	}
+	if guess > d-2 {
+		guess = d - 2
+	}
+	for guess > 0 && rowStart(guess, d) > i {
+		guess--
+	}
+	for guess < d-2 && rowStart(guess+1, d) <= i {
+		guess++
+	}
+	a = guess
+	b = a + 1 + int(i-rowStart(a, d))
+	return a, b
+}
+
+// rowStart returns the linear index of pair (a, a+1).
+func rowStart(a, d int) int64 {
+	ai, di := int64(a), int64(d)
+	return ai*(di-1) - ai*(ai-1)/2
+}
+
+// ForEach invokes fn for every pair (a, b) with a < b over d items, in
+// index order. fn returning false stops the iteration early.
+func ForEach(d int, fn func(a, b int, idx int64) bool) {
+	idx := int64(0)
+	for a := 0; a < d; a++ {
+		for b := a + 1; b < d; b++ {
+			if !fn(a, b, idx) {
+				return
+			}
+			idx++
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package pairs
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCount(t *testing.T) {
+	cases := []struct {
+		d    int
+		want int64
+	}{
+		{2, 1}, {3, 3}, {4, 6}, {1000, 499500}, {1 << 20, 549755289600},
+	}
+	for _, c := range cases {
+		if got := Count(c.d); got != c.want {
+			t.Errorf("Count(%d) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestIndexSequential(t *testing.T) {
+	// Indices must enumerate 0..p-1 in (a, then b) order.
+	const d = 9
+	want := int64(0)
+	ForEach(d, func(a, b int, idx int64) bool {
+		if idx != want {
+			t.Fatalf("ForEach idx = %d, want %d", idx, want)
+		}
+		if got := Index(a, b, d); got != want {
+			t.Fatalf("Index(%d,%d) = %d, want %d", a, b, got, want)
+		}
+		want++
+		return true
+	})
+	if want != Count(d) {
+		t.Fatalf("enumerated %d pairs, want %d", want, Count(d))
+	}
+}
+
+func TestDecodeRoundTrip(t *testing.T) {
+	for _, d := range []int{2, 3, 10, 57, 1000} {
+		for i := int64(0); i < Count(d); i++ {
+			a, b := Decode(i, d)
+			if a < 0 || a >= b || b >= d {
+				t.Fatalf("Decode(%d, %d) = (%d,%d) invalid", i, d, a, b)
+			}
+			if got := Index(a, b, d); got != i {
+				t.Fatalf("round trip failed: Decode(%d,%d)=(%d,%d), Index=%d", i, d, a, b, got)
+			}
+		}
+	}
+}
+
+func TestDecodeRoundTripLargeD(t *testing.T) {
+	// Spot-check huge dimensions where float rounding in Decode's initial
+	// guess could bite.
+	const d = 40_000_000
+	idxs := []int64{0, 1, int64(d) - 2, Count(d) - 1, Count(d) / 2, 123456789012}
+	for _, i := range idxs {
+		a, b := Decode(i, d)
+		if got := Index(a, b, d); got != i {
+			t.Fatalf("d=%d: Decode(%d) = (%d,%d) -> Index %d", d, i, a, b, got)
+		}
+	}
+}
+
+func TestDecodeRoundTripProperty(t *testing.T) {
+	if err := quick.Check(func(rawD uint16, rawI uint64) bool {
+		d := int(rawD)%5000 + 2
+		i := int64(rawI % uint64(Count(d)))
+		a, b := Decode(i, d)
+		return Index(a, b, d) == i && a < b && b < d
+	}, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIndexPanicsOnInvalid(t *testing.T) {
+	for _, c := range [][3]int{{1, 1, 3}, {2, 1, 3}, {-1, 1, 3}, {0, 3, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Index(%d,%d,%d) should panic", c[0], c[1], c[2])
+				}
+			}()
+			Index(c[0], c[1], c[2])
+		}()
+	}
+}
+
+func TestDecodePanicsOutOfRange(t *testing.T) {
+	for _, i := range []int64{-1, Count(5)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Decode(%d, 5) should panic", i)
+				}
+			}()
+			Decode(i, 5)
+		}()
+	}
+}
+
+func TestKeyMatchesIndex(t *testing.T) {
+	if Key(2, 5, 10) != uint64(Index(2, 5, 10)) {
+		t.Error("Key should equal Index as uint64")
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	n := 0
+	ForEach(10, func(a, b int, idx int64) bool {
+		n++
+		return n < 7
+	})
+	if n != 7 {
+		t.Errorf("visited %d pairs, want 7", n)
+	}
+}
+
+func BenchmarkIndex(b *testing.B) {
+	const d = 1 << 20
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += Index(i%100, i%100+1+i%50, d)
+	}
+	_ = sink
+}
+
+func BenchmarkDecode(b *testing.B) {
+	const d = 1 << 20
+	p := Count(d)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		a, bb := Decode(int64(i)%p, d)
+		sink += a + bb
+	}
+	_ = sink
+}

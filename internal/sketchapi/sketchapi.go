@@ -1,0 +1,30 @@
+// Package sketchapi defines the minimal contract shared by all sketching
+// engines in this repository: vanilla Count Sketch, ASCS, Augmented
+// Sketch, and Cold Filter. The covariance streaming layer drives any of
+// them interchangeably, which is how the paper's head-to-head comparisons
+// (§8) are orchestrated.
+package sketchapi
+
+// Ingestor consumes a stream of (key, increment) observations indexed by
+// a time step t = 1..T and answers point estimates of the per-key mean.
+//
+// The contract mirrors the paper's setup: at each time t the stream
+// carries values X_i^{(t)} for a subset of keys i; engines internally
+// scale by 1/T so that the estimate for key i after step t equals
+// (t/T)·X̄_i^{(t)} and, at t = T, the estimated mean μ̂_i.
+type Ingestor interface {
+	// BeginStep announces the 1-based time step of the observations that
+	// follow. Steps must be non-decreasing. Engines use it to advance
+	// sampling thresholds (ASCS) or other schedules.
+	BeginStep(t int)
+	// Offer presents the observation X_i^{(t)} = x for key i = key.
+	// Engines decide whether and how to absorb it.
+	Offer(key uint64, x float64)
+	// Estimate returns the engine's current estimate of μ_i scaled by
+	// t/T (so it is the final-mean estimate once the stream completes).
+	Estimate(key uint64) float64
+	// Bytes reports the engine's approximate memory footprint.
+	Bytes() int
+	// Name identifies the engine in reports ("CS", "ASCS", ...).
+	Name() string
+}

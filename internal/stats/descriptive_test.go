@@ -1,0 +1,202 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanVarianceStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); !almostEq(got, 5, 1e-12) {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	// Sample variance with n-1 = 32/7.
+	if got := Variance(xs); !almostEq(got, 32.0/7, 1e-12) {
+		t.Errorf("Variance = %v, want %v", got, 32.0/7)
+	}
+	if got := Std(xs); !almostEq(got, math.Sqrt(32.0/7), 1e-12) {
+		t.Errorf("Std = %v", got)
+	}
+}
+
+func TestEmptyAndShortInputs(t *testing.T) {
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) should be NaN")
+	}
+	if !math.IsNaN(Variance([]float64{1})) {
+		t.Error("Variance of single value should be NaN")
+	}
+	if !math.IsNaN(Median(nil)) {
+		t.Error("Median(nil) should be NaN")
+	}
+	if !math.IsNaN(Covariance([]float64{1}, []float64{1, 2})) {
+		t.Error("Covariance length mismatch should be NaN")
+	}
+	if !math.IsNaN(Correlation([]float64{1, 1, 1}, []float64{1, 2, 3})) {
+		t.Error("Correlation with zero variance should be NaN")
+	}
+}
+
+func TestCovarianceCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	if got := Correlation(xs, ys); !almostEq(got, 1, 1e-12) {
+		t.Errorf("Correlation = %v, want 1", got)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if got := Correlation(xs, neg); !almostEq(got, -1, 1e-12) {
+		t.Errorf("Correlation = %v, want -1", got)
+	}
+	if got := Covariance(xs, ys); !almostEq(got, 5, 1e-12) {
+		t.Errorf("Covariance = %v, want 5", got)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("Median odd = %v, want 2", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Errorf("Median even = %v, want 2.5", got)
+	}
+	// Median must not modify its input.
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Median modified its input")
+	}
+}
+
+func TestMedianSmallMatchesMedian(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	scratch := make([]float64, 16)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(9)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		want := Median(xs)
+		got := MedianSmall(xs, scratch)
+		if !almostEq(got, want, 1e-15) {
+			t.Fatalf("MedianSmall = %v, want %v for %v", got, want, xs)
+		}
+	}
+	if !math.IsNaN(MedianSmall(nil, scratch)) {
+		t.Error("MedianSmall(nil) should be NaN")
+	}
+}
+
+func TestWelfordMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	xs := make([]float64, 1000)
+	var w Welford
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 1
+		w.Add(xs[i])
+	}
+	if !almostEq(w.Mean(), Mean(xs), 1e-10) {
+		t.Errorf("Welford mean %v vs %v", w.Mean(), Mean(xs))
+	}
+	if !almostEq(w.Variance(), Variance(xs), 1e-9) {
+		t.Errorf("Welford variance %v vs %v", w.Variance(), Variance(xs))
+	}
+	if w.Count() != 1000 {
+		t.Errorf("Count = %d", w.Count())
+	}
+}
+
+func TestWelfordMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var all, a, b Welford
+	for i := 0; i < 500; i++ {
+		x := rng.ExpFloat64()
+		all.Add(x)
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(b)
+	if !almostEq(a.Mean(), all.Mean(), 1e-10) || !almostEq(a.Variance(), all.Variance(), 1e-9) {
+		t.Errorf("merged (%v,%v) vs full (%v,%v)", a.Mean(), a.Variance(), all.Mean(), all.Variance())
+	}
+	// Merging empty in either direction.
+	var empty Welford
+	before := a
+	a.Merge(empty)
+	if a != before {
+		t.Error("merging empty changed accumulator")
+	}
+	empty.Merge(a)
+	if empty != a {
+		t.Error("merge into empty should copy")
+	}
+}
+
+func TestWelfordZeroValue(t *testing.T) {
+	var w Welford
+	if !math.IsNaN(w.Mean()) || !math.IsNaN(w.Variance()) || !math.IsNaN(w.PopVariance()) {
+		t.Error("zero-value Welford should report NaN statistics")
+	}
+	w.AddWeighted(2, 3)
+	if w.Count() != 3 || w.Mean() != 2 {
+		t.Errorf("AddWeighted: count=%d mean=%v", w.Count(), w.Mean())
+	}
+}
+
+func TestCoMomentMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	xs := make([]float64, 800)
+	ys := make([]float64, 800)
+	var cm CoMoment
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+		ys[i] = 0.7*xs[i] + 0.3*rng.NormFloat64()
+		cm.Add(xs[i], ys[i])
+	}
+	if !almostEq(cm.Covariance(), Covariance(xs, ys), 1e-10) {
+		t.Errorf("CoMoment covariance %v vs %v", cm.Covariance(), Covariance(xs, ys))
+	}
+	if cm.Count() != 800 {
+		t.Errorf("Count = %d", cm.Count())
+	}
+	var zero CoMoment
+	if !math.IsNaN(zero.Covariance()) || !math.IsNaN(zero.PopCovariance()) {
+		t.Error("zero-value CoMoment should be NaN")
+	}
+}
+
+func TestAbsMinMax(t *testing.T) {
+	xs := []float64{-3, 1, -2}
+	a := Abs(xs)
+	if a[0] != 3 || a[1] != 1 || a[2] != 2 {
+		t.Errorf("Abs = %v", a)
+	}
+	min, max := MinMax(xs)
+	if min != -3 || max != 1 {
+		t.Errorf("MinMax = %v,%v", min, max)
+	}
+	min, max = MinMax(nil)
+	if !math.IsNaN(min) || !math.IsNaN(max) {
+		t.Error("MinMax(nil) should be NaN")
+	}
+}
+
+func TestMeanStdProperty(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+		}
+		m, s := MeanStd(xs)
+		return almostEq(m, Mean(xs), 1e-9) && almostEq(s, Std(xs), 1e-9)
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

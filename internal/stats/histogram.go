@@ -1,0 +1,117 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-width-bin histogram over [Lo, Hi); values outside
+// the range are clamped into the first/last bin.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	total  int
+}
+
+// NewHistogram creates a histogram with bins equal-width bins over
+// [lo, hi). It panics if bins ≤ 0 or hi ≤ lo, which indicate programmer
+// error rather than data error.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 || hi <= lo {
+		panic(fmt.Sprintf("stats: invalid histogram [%v,%v) with %d bins", lo, hi, bins))
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Add records x.
+func (h *Histogram) Add(x float64) {
+	b := int(float64(len(h.Counts)) * (x - h.Lo) / (h.Hi - h.Lo))
+	if b < 0 {
+		b = 0
+	}
+	if b >= len(h.Counts) {
+		b = len(h.Counts) - 1
+	}
+	h.Counts[b]++
+	h.total++
+}
+
+// AddAll records every value in xs.
+func (h *Histogram) AddAll(xs []float64) {
+	for _, x := range xs {
+		h.Add(x)
+	}
+}
+
+// Total returns the number of recorded values.
+func (h *Histogram) Total() int { return h.total }
+
+// Fraction returns the fraction of mass in bin b.
+func (h *Histogram) Fraction(b int) float64 {
+	if h.total == 0 {
+		return math.NaN()
+	}
+	return float64(h.Counts[b]) / float64(h.total)
+}
+
+// BinCenter returns the midpoint of bin b.
+func (h *Histogram) BinCenter(b int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + w*(float64(b)+0.5)
+}
+
+// String renders a compact ASCII bar chart, one line per bin.
+func (h *Histogram) String() string {
+	var sb strings.Builder
+	maxC := 1
+	for _, c := range h.Counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	for b, c := range h.Counts {
+		bar := strings.Repeat("#", c*50/maxC)
+		fmt.Fprintf(&sb, "%8.4f | %-50s %d\n", h.BinCenter(b), bar, c)
+	}
+	return sb.String()
+}
+
+// CDFCurve is a sampled empirical CDF: Y[i] is the fraction of the data
+// with value ≤ X[i]. It backs the paper's Figure 1 and Figure 2 plots.
+type CDFCurve struct {
+	X []float64
+	Y []float64
+}
+
+// NewCDFCurve evaluates the empirical CDF of xs at n log-spaced (when
+// logScale) or linearly spaced thresholds spanning [lo, hi].
+func NewCDFCurve(xs []float64, lo, hi float64, n int, logScale bool) CDFCurve {
+	ts := make([]float64, n)
+	for i := 0; i < n; i++ {
+		f := float64(i) / float64(n-1)
+		if logScale {
+			ts[i] = lo * math.Pow(hi/lo, f)
+		} else {
+			ts[i] = lo + (hi-lo)*f
+		}
+	}
+	return CDFCurve{X: ts, Y: EmpiricalCDF(xs, ts)}
+}
+
+// At returns the interpolated CDF value at x (clamped to curve ends).
+func (c CDFCurve) At(x float64) float64 {
+	if len(c.X) == 0 {
+		return math.NaN()
+	}
+	if x <= c.X[0] {
+		return c.Y[0]
+	}
+	for i := 1; i < len(c.X); i++ {
+		if x <= c.X[i] {
+			f := (x - c.X[i-1]) / (c.X[i] - c.X[i-1])
+			return c.Y[i-1]*(1-f) + c.Y[i]*f
+		}
+	}
+	return c.Y[len(c.Y)-1]
+}

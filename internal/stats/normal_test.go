@@ -1,0 +1,103 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func TestNormalCDFKnownValues(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1, 0.8413447460685429},
+		{-1, 0.15865525393145707},
+		{1.959963984540054, 0.975},
+		{2.5758293035489004, 0.995},
+		{-3, 0.0013498980316300933},
+		{6, 0.9999999990134123},
+	}
+	for _, c := range cases {
+		if got := NormalCDF(c.x); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("NormalCDF(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestNormalTailComplement(t *testing.T) {
+	for _, x := range []float64{-5, -1, 0, 0.5, 2, 8} {
+		if got := NormalTail(x) + NormalCDF(x); !almostEq(got, 1, 1e-12) {
+			t.Errorf("Φ(%v)+tail = %v, want 1", x, got)
+		}
+	}
+	// Deep tail has no catastrophic cancellation.
+	if got := NormalTail(10); got <= 0 || got > 1e-20 {
+		t.Errorf("NormalTail(10) = %v, want tiny positive", got)
+	}
+}
+
+func TestNormalPDF(t *testing.T) {
+	if got := NormalPDF(0); !almostEq(got, 1/math.Sqrt(2*math.Pi), 1e-15) {
+		t.Errorf("NormalPDF(0) = %v", got)
+	}
+	if got := NormalPDF(1); !almostEq(got, 0.24197072451914337, 1e-14) {
+		t.Errorf("NormalPDF(1) = %v", got)
+	}
+}
+
+func TestNormalQuantileKnownValues(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959963984540054},
+		{0.025, -1.959963984540054},
+		{0.8413447460685429, 1},
+		{0.0013498980316300933, -3},
+		{0.999, 3.090232306167813},
+	}
+	for _, c := range cases {
+		if got := NormalQuantile(c.p); !almostEq(got, c.want, 1e-9) {
+			t.Errorf("NormalQuantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestNormalQuantileEdges(t *testing.T) {
+	if !math.IsInf(NormalQuantile(0), -1) {
+		t.Error("NormalQuantile(0) should be -Inf")
+	}
+	if !math.IsInf(NormalQuantile(1), 1) {
+		t.Error("NormalQuantile(1) should be +Inf")
+	}
+	for _, p := range []float64{-0.1, 1.1, math.NaN()} {
+		if !math.IsNaN(NormalQuantile(p)) {
+			t.Errorf("NormalQuantile(%v) should be NaN", p)
+		}
+	}
+}
+
+func TestNormalQuantileRoundTrip(t *testing.T) {
+	if err := quick.Check(func(raw uint32) bool {
+		p := 1e-8 + (1-2e-8)*float64(raw)/float64(math.MaxUint32)
+		x := NormalQuantile(p)
+		return almostEq(NormalCDF(x), p, 1e-10)
+	}, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalQuantileMonotone(t *testing.T) {
+	prev := math.Inf(-1)
+	for p := 0.001; p < 1; p += 0.001 {
+		x := NormalQuantile(p)
+		if x <= prev {
+			t.Fatalf("quantile not strictly increasing at p=%v", p)
+		}
+		prev = x
+	}
+}

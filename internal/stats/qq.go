@@ -1,0 +1,62 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// QQPoint pairs a theoretical standard-normal quantile with the matching
+// sample quantile.
+type QQPoint struct {
+	Theoretical float64
+	Sample      float64
+}
+
+// QQNormal returns QQ-plot points comparing the standardized sample xs
+// against the standard normal distribution, as in the paper's Figure 4.
+// The sample is standardized by its own mean and standard deviation so a
+// normal sample lies on the identity line. Plot positions use the
+// (i - 0.5)/n convention.
+func QQNormal(xs []float64) []QQPoint {
+	n := len(xs)
+	if n == 0 {
+		return nil
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	mean, std := MeanStd(cp)
+	if std == 0 || math.IsNaN(std) {
+		std = 1
+	}
+	pts := make([]QQPoint, n)
+	for i := 0; i < n; i++ {
+		p := (float64(i) + 0.5) / float64(n)
+		pts[i] = QQPoint{
+			Theoretical: NormalQuantile(p),
+			Sample:      (cp[i] - mean) / std,
+		}
+	}
+	return pts
+}
+
+// QQDeviation summarizes how far the QQ points stray from the identity
+// line in the central band of the distribution (quantiles between
+// lo and hi, e.g. 0.01 and 0.99, to avoid the noisy extreme tails):
+// it returns the maximum |sample - theoretical| there. Values well below
+// ~0.15 for a few thousand points indicate approximate normality; the
+// tests use this as the Figure 4 acceptance criterion.
+func QQDeviation(pts []QQPoint, lo, hi float64) float64 {
+	n := len(pts)
+	maxDev := 0.0
+	for i, pt := range pts {
+		p := (float64(i) + 0.5) / float64(n)
+		if p < lo || p > hi {
+			continue
+		}
+		d := math.Abs(pt.Sample - pt.Theoretical)
+		if d > maxDev {
+			maxDev = d
+		}
+	}
+	return maxDev
+}

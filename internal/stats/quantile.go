@@ -1,0 +1,64 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Quantile returns the q-quantile (q in [0,1]) of xs using linear
+// interpolation between order statistics (type-7, the R/NumPy default).
+// The input is not modified. NaN for empty input or q outside [0,1].
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 || q < 0 || q > 1 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	return QuantileSorted(cp, q)
+}
+
+// QuantileSorted is Quantile for already-sorted input, with no copy.
+func QuantileSorted(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 || q < 0 || q > 1 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	h := q * float64(n-1)
+	lo := int(math.Floor(h))
+	hi := lo + 1
+	if hi >= n {
+		return sorted[n-1]
+	}
+	frac := h - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) of xs.
+func Percentile(xs []float64, p float64) float64 { return Quantile(xs, p/100) }
+
+// Quantiles returns the quantiles of xs at each q in qs, sorting once.
+func Quantiles(xs []float64, qs []float64) []float64 {
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = QuantileSorted(cp, q)
+	}
+	return out
+}
+
+// EmpiricalCDF returns, for each threshold in thresholds, the fraction of
+// xs that is ≤ the threshold. This builds the curves of the paper's
+// Figures 1 and 2 ("y is the empirical proportion of |value| ≤ x").
+func EmpiricalCDF(xs []float64, thresholds []float64) []float64 {
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	out := make([]float64, len(thresholds))
+	for i, t := range thresholds {
+		out[i] = float64(sort.SearchFloat64s(cp, math.Nextafter(t, math.Inf(1)))) / float64(len(cp))
+	}
+	return out
+}

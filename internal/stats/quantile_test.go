@@ -1,0 +1,170 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestQuantileKnown(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {0.1, 1.4},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("Quantile of empty should be NaN")
+	}
+	if !math.IsNaN(Quantile([]float64{1, 2}, -0.1)) || !math.IsNaN(Quantile([]float64{1, 2}, 1.1)) {
+		t.Error("out-of-range q should be NaN")
+	}
+	if got := Quantile([]float64{7}, 0.3); got != 7 {
+		t.Errorf("single-element quantile = %v", got)
+	}
+	// Input must be unmodified.
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 {
+		t.Error("Quantile modified input")
+	}
+}
+
+func TestPercentileAndQuantiles(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	if got := Percentile(xs, 50); got != 30 {
+		t.Errorf("Percentile(50) = %v", got)
+	}
+	qs := Quantiles(xs, []float64{0, 0.5, 1})
+	if qs[0] != 10 || qs[1] != 30 || qs[2] != 50 {
+		t.Errorf("Quantiles = %v", qs)
+	}
+}
+
+func TestEmpiricalCDF(t *testing.T) {
+	xs := []float64{1, 2, 2, 3, 4}
+	got := EmpiricalCDF(xs, []float64{0, 1, 2, 2.5, 4, 10})
+	want := []float64{0, 0.2, 0.6, 0.6, 1, 1}
+	for i := range want {
+		if !almostEq(got[i], want[i], 1e-12) {
+			t.Errorf("EmpiricalCDF[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCDFCurveMatchesUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = rng.Float64()
+	}
+	c := NewCDFCurve(xs, 0.05, 0.95, 10, false)
+	for i, x := range c.X {
+		if math.Abs(c.Y[i]-x) > 0.02 {
+			t.Errorf("uniform CDF at %v = %v", x, c.Y[i])
+		}
+	}
+	// Interpolation inside and clamping outside.
+	if got := c.At(-1); got != c.Y[0] {
+		t.Errorf("At below range = %v", got)
+	}
+	if got := c.At(2); got != c.Y[len(c.Y)-1] {
+		t.Errorf("At above range = %v", got)
+	}
+	mid := c.At((c.X[0] + c.X[1]) / 2)
+	if mid < c.Y[0] || mid > c.Y[1] {
+		t.Errorf("interpolated value %v outside [%v,%v]", mid, c.Y[0], c.Y[1])
+	}
+}
+
+func TestCDFCurveLogSpacing(t *testing.T) {
+	xs := []float64{0.001, 0.01, 0.1, 1}
+	c := NewCDFCurve(xs, 0.001, 1, 4, true)
+	for i := 1; i < len(c.X); i++ {
+		ratio := c.X[i] / c.X[i-1]
+		if !almostEq(ratio, 10, 1e-9) {
+			t.Errorf("log spacing ratio = %v, want 10", ratio)
+		}
+	}
+	if !sort.Float64sAreSorted(c.Y) {
+		t.Error("CDF values must be nondecreasing")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	h.AddAll([]float64{0.1, 0.3, 0.35, 0.9, -5, 5})
+	if h.Total() != 6 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	// -5 clamps to bin 0, 5 clamps to bin 3.
+	if h.Counts[0] != 2 || h.Counts[1] != 2 || h.Counts[2] != 0 || h.Counts[3] != 2 {
+		t.Errorf("Counts = %v", h.Counts)
+	}
+	if !almostEq(h.Fraction(0), 2.0/6, 1e-12) {
+		t.Errorf("Fraction(0) = %v", h.Fraction(0))
+	}
+	if !almostEq(h.BinCenter(0), 0.125, 1e-12) {
+		t.Errorf("BinCenter(0) = %v", h.BinCenter(0))
+	}
+	if len(h.String()) == 0 {
+		t.Error("String should render")
+	}
+}
+
+func TestHistogramPanicsOnBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for invalid histogram args")
+		}
+	}()
+	NewHistogram(1, 0, 4)
+}
+
+func TestHistogramEmptyFraction(t *testing.T) {
+	h := NewHistogram(0, 1, 2)
+	if !math.IsNaN(h.Fraction(0)) {
+		t.Error("Fraction of empty histogram should be NaN")
+	}
+}
+
+func TestQQNormalOnGaussianData(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	xs := make([]float64, 4000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*2.5 + 7 // location/scale must not matter
+	}
+	pts := QQNormal(xs)
+	if len(pts) != len(xs) {
+		t.Fatalf("len(pts) = %d", len(pts))
+	}
+	if dev := QQDeviation(pts, 0.02, 0.98); dev > 0.15 {
+		t.Errorf("gaussian QQ deviation = %v, want small", dev)
+	}
+}
+
+func TestQQNormalDetectsHeavyTails(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	xs := make([]float64, 4000)
+	for i := range xs {
+		// Exponential data is decidedly non-normal.
+		xs[i] = rng.ExpFloat64()
+	}
+	pts := QQNormal(xs)
+	if dev := QQDeviation(pts, 0.01, 0.99); dev < 0.3 {
+		t.Errorf("exponential QQ deviation = %v, want large", dev)
+	}
+}
+
+func TestQQNormalEmpty(t *testing.T) {
+	if QQNormal(nil) != nil {
+		t.Error("QQNormal(nil) should be nil")
+	}
+}

@@ -1,0 +1,75 @@
+package stream
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseLIBSVMLine checks the parser never panics and that every
+// accepted line yields a structurally valid sample.
+func FuzzParseLIBSVMLine(f *testing.F) {
+	seeds := []string{
+		"1 1:0.5 3:2",
+		"-1 2:1",
+		"0",
+		"1 1:0 2:3",
+		"x 1:1",
+		"1 0:1",
+		"1 4:1",
+		"1 2:1 1:1",
+		"1 a:1",
+		"1 1:x",
+		"1 :1",
+		"1 21",
+		"1 1:1e308 2:-1e308",
+		"  1   5:0.25  ",
+		"1 1:NaN",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		const dim = 8
+		s, _, err := ParseLIBSVMLine(line, dim)
+		if err != nil {
+			return
+		}
+		if verr := s.Validate(dim); verr != nil {
+			t.Fatalf("accepted line %q produced invalid sample: %v", line, verr)
+		}
+	})
+}
+
+// FuzzLIBSVMRoundTrip writes an accepted sample back out and re-parses
+// it, expecting identical coordinates.
+func FuzzLIBSVMRoundTrip(f *testing.F) {
+	f.Add("1 1:0.5 3:2")
+	f.Add("0")
+	f.Fuzz(func(t *testing.T, line string) {
+		const dim = 16
+		s, label, err := ParseLIBSVMLine(line, dim)
+		if err != nil {
+			return
+		}
+		var sb strings.Builder
+		w := NewLIBSVMWriter(&sb)
+		if err := w.Write(label, s); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		s2, label2, err := ParseLIBSVMLine(strings.TrimSpace(sb.String()), dim)
+		if err != nil {
+			t.Fatalf("round trip of %q failed to parse: %v", sb.String(), err)
+		}
+		if label2 != label || len(s2.Idx) != len(s.Idx) {
+			t.Fatalf("round trip mismatch: %q -> %q", line, sb.String())
+		}
+		for i := range s.Idx {
+			if s.Idx[i] != s2.Idx[i] || s.Val[i] != s2.Val[i] {
+				t.Fatalf("coordinate mismatch at %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,136 @@
+package stream
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// LIBSVMReader streams samples from LIBSVM-format text: each line is
+//
+//	<label> <index>:<value> <index>:<value> ...
+//
+// with 1-based indices, which are converted to 0-based. The label is
+// retained per sample (covariance estimation ignores it, but the format
+// is preserved for round-trips).
+type LIBSVMReader struct {
+	sc     *bufio.Scanner
+	dim    int
+	line   int
+	err    error
+	labels []float64
+}
+
+// NewLIBSVMReader reads from r; dim is the (known) feature
+// dimensionality d. Lines whose indices exceed dim produce an error.
+func NewLIBSVMReader(r io.Reader, dim int) *LIBSVMReader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	return &LIBSVMReader{sc: sc, dim: dim}
+}
+
+// Next implements Source. On malformed input it stops the stream and
+// records the error, retrievable via Err.
+func (l *LIBSVMReader) Next() (Sample, bool) {
+	for l.err == nil && l.sc.Scan() {
+		l.line++
+		text := strings.TrimSpace(l.sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		s, label, err := ParseLIBSVMLine(text, l.dim)
+		if err != nil {
+			l.err = fmt.Errorf("stream: line %d: %w", l.line, err)
+			return Sample{}, false
+		}
+		l.labels = append(l.labels, label)
+		return s, true
+	}
+	if l.err == nil {
+		l.err = l.sc.Err()
+	}
+	return Sample{}, false
+}
+
+// Dim implements Source.
+func (l *LIBSVMReader) Dim() int { return l.dim }
+
+// Err returns the first error encountered, if any.
+func (l *LIBSVMReader) Err() error { return l.err }
+
+// Labels returns the labels of the samples read so far.
+func (l *LIBSVMReader) Labels() []float64 { return l.labels }
+
+// ParseLIBSVMLine parses one LIBSVM line into a sample and its label.
+func ParseLIBSVMLine(text string, dim int) (Sample, float64, error) {
+	fields := strings.Fields(text)
+	if len(fields) == 0 {
+		return Sample{}, 0, fmt.Errorf("empty line")
+	}
+	label, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return Sample{}, 0, fmt.Errorf("bad label %q: %w", fields[0], err)
+	}
+	var s Sample
+	prev := -1
+	for _, f := range fields[1:] {
+		colon := strings.IndexByte(f, ':')
+		if colon <= 0 {
+			return Sample{}, 0, fmt.Errorf("bad feature token %q", f)
+		}
+		idx1, err := strconv.Atoi(f[:colon])
+		if err != nil {
+			return Sample{}, 0, fmt.Errorf("bad feature index in %q: %w", f, err)
+		}
+		v, err := strconv.ParseFloat(f[colon+1:], 64)
+		if err != nil {
+			return Sample{}, 0, fmt.Errorf("bad feature value in %q: %w", f, err)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return Sample{}, 0, fmt.Errorf("non-finite feature value in %q", f)
+		}
+		ix := idx1 - 1
+		if ix < 0 || ix >= dim {
+			return Sample{}, 0, fmt.Errorf("feature index %d outside [1,%d]", idx1, dim)
+		}
+		if ix <= prev {
+			return Sample{}, 0, fmt.Errorf("feature indices not increasing at %q", f)
+		}
+		prev = ix
+		if v == 0 {
+			continue
+		}
+		s.Idx = append(s.Idx, ix)
+		s.Val = append(s.Val, v)
+	}
+	return s, label, nil
+}
+
+// LIBSVMWriter writes samples in LIBSVM format (1-based indices).
+type LIBSVMWriter struct {
+	w *bufio.Writer
+}
+
+// NewLIBSVMWriter wraps w.
+func NewLIBSVMWriter(w io.Writer) *LIBSVMWriter {
+	return &LIBSVMWriter{w: bufio.NewWriter(w)}
+}
+
+// Write emits one sample with the given label.
+func (l *LIBSVMWriter) Write(label float64, s Sample) error {
+	if _, err := fmt.Fprintf(l.w, "%g", label); err != nil {
+		return err
+	}
+	for i, ix := range s.Idx {
+		if _, err := fmt.Fprintf(l.w, " %d:%g", ix+1, s.Val[i]); err != nil {
+			return err
+		}
+	}
+	return l.w.WriteByte('\n')
+}
+
+// Flush flushes buffered output.
+func (l *LIBSVMWriter) Flush() error { return l.w.Flush() }

@@ -1,0 +1,111 @@
+package stream
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestLIBSVMReaderBasic(t *testing.T) {
+	in := strings.NewReader("1 1:0.5 3:2\n-1 2:1\n\n# comment\n0\n")
+	r := NewLIBSVMReader(in, 3)
+	if r.Dim() != 3 {
+		t.Errorf("Dim = %d", r.Dim())
+	}
+	s1, ok := r.Next()
+	if !ok || s1.NNZ() != 2 || s1.Idx[0] != 0 || s1.Idx[1] != 2 || s1.Val[1] != 2 {
+		t.Fatalf("sample 1 = %+v ok=%v", s1, ok)
+	}
+	s2, ok := r.Next()
+	if !ok || s2.NNZ() != 1 || s2.Idx[0] != 1 {
+		t.Fatalf("sample 2 = %+v", s2)
+	}
+	s3, ok := r.Next() // "0" line: label only, empty sample
+	if !ok || s3.NNZ() != 0 {
+		t.Fatalf("sample 3 = %+v ok=%v", s3, ok)
+	}
+	if _, ok := r.Next(); ok {
+		t.Error("expected end of stream")
+	}
+	if r.Err() != nil {
+		t.Errorf("unexpected error: %v", r.Err())
+	}
+	labels := r.Labels()
+	if len(labels) != 3 || labels[0] != 1 || labels[1] != -1 || labels[2] != 0 {
+		t.Errorf("labels = %v", labels)
+	}
+}
+
+func TestLIBSVMReaderErrors(t *testing.T) {
+	cases := []string{
+		"x 1:1\n",     // bad label
+		"1 0:1\n",     // index below 1
+		"1 4:1\n",     // index beyond dim
+		"1 2:1 1:1\n", // not increasing
+		"1 a:1\n",     // bad index
+		"1 1:x\n",     // bad value
+		"1 :1\n",      // missing index
+		"1 21\n",      // missing colon
+	}
+	for _, c := range cases {
+		r := NewLIBSVMReader(strings.NewReader(c), 3)
+		if _, ok := r.Next(); ok {
+			t.Errorf("input %q should fail", c)
+			continue
+		}
+		if r.Err() == nil {
+			t.Errorf("input %q should record an error", c)
+		}
+	}
+}
+
+func TestLIBSVMZeroValuesDropped(t *testing.T) {
+	r := NewLIBSVMReader(strings.NewReader("1 1:0 2:3\n"), 3)
+	s, ok := r.Next()
+	if !ok || s.NNZ() != 1 || s.Idx[0] != 1 {
+		t.Errorf("sample = %+v", s)
+	}
+}
+
+func TestLIBSVMWriteReadRoundTrip(t *testing.T) {
+	samples := []Sample{
+		{Idx: []int{0, 2}, Val: []float64{0.5, -1.25}},
+		{},
+		{Idx: []int{1}, Val: []float64{3}},
+	}
+	labels := []float64{1, -1, 0}
+	var buf bytes.Buffer
+	w := NewLIBSVMWriter(&buf)
+	for i, s := range samples {
+		if err := w.Write(labels[i], s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewLIBSVMReader(&buf, 3)
+	got := Drain(r)
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	if len(got) != 3 {
+		t.Fatalf("round trip %d samples", len(got))
+	}
+	for i := range samples {
+		if len(got[i].Idx) != len(samples[i].Idx) {
+			t.Fatalf("sample %d NNZ mismatch", i)
+		}
+		for j := range samples[i].Idx {
+			if got[i].Idx[j] != samples[i].Idx[j] || got[i].Val[j] != samples[i].Val[j] {
+				t.Fatalf("sample %d coordinate %d mismatch", i, j)
+			}
+		}
+	}
+	gl := r.Labels()
+	for i := range labels {
+		if gl[i] != labels[i] {
+			t.Errorf("label %d = %v", i, gl[i])
+		}
+	}
+}

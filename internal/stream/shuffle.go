@@ -1,0 +1,53 @@
+package stream
+
+import "math/rand"
+
+// Shuffler is the buffered streaming shuffle of §3: real-world data may
+// arrive in a correlated order, so a buffer of pending samples is kept
+// and each emission draws a uniformly random buffer slot, which is then
+// refilled from the upstream source. With a buffer as large as the
+// stream this is a full Fisher-Yates shuffle; smaller buffers trade
+// memory for mixing radius.
+type Shuffler struct {
+	src Source
+	buf []Sample
+	rng *rand.Rand
+}
+
+// NewShuffler wraps src with a buffer of size bufSize (≥ 1), seeded
+// deterministically.
+func NewShuffler(src Source, bufSize int, seed int64) *Shuffler {
+	if bufSize < 1 {
+		bufSize = 1
+	}
+	sh := &Shuffler{src: src, rng: rand.New(rand.NewSource(seed))}
+	sh.buf = make([]Sample, 0, bufSize)
+	for len(sh.buf) < bufSize {
+		s, ok := src.Next()
+		if !ok {
+			break
+		}
+		sh.buf = append(sh.buf, s)
+	}
+	return sh
+}
+
+// Next implements Source.
+func (sh *Shuffler) Next() (Sample, bool) {
+	if len(sh.buf) == 0 {
+		return Sample{}, false
+	}
+	i := sh.rng.Intn(len(sh.buf))
+	out := sh.buf[i]
+	if nxt, ok := sh.src.Next(); ok {
+		sh.buf[i] = nxt
+	} else {
+		last := len(sh.buf) - 1
+		sh.buf[i] = sh.buf[last]
+		sh.buf = sh.buf[:last]
+	}
+	return out, true
+}
+
+// Dim implements Source.
+func (sh *Shuffler) Dim() int { return sh.src.Dim() }

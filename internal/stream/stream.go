@@ -1,0 +1,214 @@
+// Package stream models the online data layer of the reproduction:
+// sparse samples, one-pass sources, the buffered shuffler the paper
+// prescribes for de-correlating stored data (§3), LIBSVM file I/O, and a
+// prefix-fitted standardizer for correlation workloads.
+package stream
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample is one observation Y^(t) in sparse form: Idx lists the feature
+// indices with non-zero values, Val the matching values. Indices are
+// strictly increasing. Features absent from Idx are zero.
+type Sample struct {
+	Idx []int
+	Val []float64
+}
+
+// NNZ returns the number of stored non-zeros.
+func (s Sample) NNZ() int { return len(s.Idx) }
+
+// Validate checks structural invariants against dimension d.
+func (s Sample) Validate(d int) error {
+	if len(s.Idx) != len(s.Val) {
+		return fmt.Errorf("stream: index/value length mismatch (%d vs %d)", len(s.Idx), len(s.Val))
+	}
+	prev := -1
+	for i, ix := range s.Idx {
+		if ix <= prev {
+			return fmt.Errorf("stream: indices not strictly increasing at position %d", i)
+		}
+		if ix < 0 || ix >= d {
+			return fmt.Errorf("stream: index %d out of range [0,%d)", ix, d)
+		}
+		if math.IsNaN(s.Val[i]) || math.IsInf(s.Val[i], 0) {
+			return fmt.Errorf("stream: non-finite value %v at index %d", s.Val[i], ix)
+		}
+		prev = ix
+	}
+	return nil
+}
+
+// Dense materializes the sample as a length-d vector.
+func (s Sample) Dense(d int) []float64 {
+	out := make([]float64, d)
+	for i, ix := range s.Idx {
+		out[ix] = s.Val[i]
+	}
+	return out
+}
+
+// FromDense builds a sparse sample from a dense row, dropping zeros.
+func FromDense(row []float64) Sample {
+	var s Sample
+	for i, v := range row {
+		if v != 0 {
+			s.Idx = append(s.Idx, i)
+			s.Val = append(s.Val, v)
+		}
+	}
+	return s
+}
+
+// Clone deep-copies the sample.
+func (s Sample) Clone() Sample {
+	return Sample{Idx: append([]int(nil), s.Idx...), Val: append([]float64(nil), s.Val...)}
+}
+
+// Source yields samples one at a time; the stream ends when ok is false.
+// Dim reports the feature dimensionality d.
+type Source interface {
+	Next() (s Sample, ok bool)
+	Dim() int
+}
+
+// SliceSource replays a fixed slice of samples.
+type SliceSource struct {
+	samples []Sample
+	dim     int
+	pos     int
+}
+
+// NewSliceSource wraps samples of dimension dim.
+func NewSliceSource(samples []Sample, dim int) *SliceSource {
+	return &SliceSource{samples: samples, dim: dim}
+}
+
+// Next implements Source.
+func (s *SliceSource) Next() (Sample, bool) {
+	if s.pos >= len(s.samples) {
+		return Sample{}, false
+	}
+	out := s.samples[s.pos]
+	s.pos++
+	return out, true
+}
+
+// Dim implements Source.
+func (s *SliceSource) Dim() int { return s.dim }
+
+// Reset rewinds to the beginning.
+func (s *SliceSource) Reset() { s.pos = 0 }
+
+// Len returns the total number of samples.
+func (s *SliceSource) Len() int { return len(s.samples) }
+
+// MatrixSource streams the rows of a dense matrix as sparse samples.
+type MatrixSource struct {
+	rows [][]float64
+	pos  int
+}
+
+// NewMatrixSource wraps rows (all the same length).
+func NewMatrixSource(rows [][]float64) *MatrixSource { return &MatrixSource{rows: rows} }
+
+// Next implements Source.
+func (m *MatrixSource) Next() (Sample, bool) {
+	if m.pos >= len(m.rows) {
+		return Sample{}, false
+	}
+	s := FromDense(m.rows[m.pos])
+	m.pos++
+	return s, true
+}
+
+// Dim implements Source.
+func (m *MatrixSource) Dim() int {
+	if len(m.rows) == 0 {
+		return 0
+	}
+	return len(m.rows[0])
+}
+
+// Reset rewinds to the first row.
+func (m *MatrixSource) Reset() { m.pos = 0 }
+
+// Limit caps a source at n samples.
+type Limit struct {
+	src  Source
+	left int
+}
+
+// NewLimit wraps src to yield at most n samples.
+func NewLimit(src Source, n int) *Limit { return &Limit{src: src, left: n} }
+
+// Next implements Source.
+func (l *Limit) Next() (Sample, bool) {
+	if l.left <= 0 {
+		return Sample{}, false
+	}
+	l.left--
+	return l.src.Next()
+}
+
+// Dim implements Source.
+func (l *Limit) Dim() int { return l.src.Dim() }
+
+// FuncSource adapts a generator function to a Source.
+type FuncSource struct {
+	fn  func() (Sample, bool)
+	dim int
+}
+
+// NewFuncSource wraps fn producing samples of dimension dim.
+func NewFuncSource(dim int, fn func() (Sample, bool)) *FuncSource {
+	return &FuncSource{fn: fn, dim: dim}
+}
+
+// Next implements Source.
+func (f *FuncSource) Next() (Sample, bool) { return f.fn() }
+
+// Dim implements Source.
+func (f *FuncSource) Dim() int { return f.dim }
+
+// Drain consumes src fully and returns the samples (for tests and small
+// datasets).
+func Drain(src Source) []Sample {
+	var out []Sample
+	for {
+		s, ok := src.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, s)
+	}
+}
+
+// SortSampleInPlace restores the strictly-increasing index invariant of a
+// sample whose coordinates were assembled out of order, summing duplicate
+// indices.
+func SortSampleInPlace(s *Sample) {
+	type pair struct {
+		ix int
+		v  float64
+	}
+	ps := make([]pair, len(s.Idx))
+	for i := range s.Idx {
+		ps[i] = pair{s.Idx[i], s.Val[i]}
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].ix < ps[j].ix })
+	s.Idx = s.Idx[:0]
+	s.Val = s.Val[:0]
+	for _, p := range ps {
+		n := len(s.Idx)
+		if n > 0 && s.Idx[n-1] == p.ix {
+			s.Val[n-1] += p.v
+			continue
+		}
+		s.Idx = append(s.Idx, p.ix)
+		s.Val = append(s.Val, p.v)
+	}
+}

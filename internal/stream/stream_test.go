@@ -1,0 +1,323 @@
+package stream
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestSampleValidate(t *testing.T) {
+	good := Sample{Idx: []int{0, 3, 5}, Val: []float64{1, 2, 3}}
+	if err := good.Validate(6); err != nil {
+		t.Errorf("valid sample rejected: %v", err)
+	}
+	bad := []Sample{
+		{Idx: []int{0, 1}, Val: []float64{1}},        // length mismatch
+		{Idx: []int{1, 1}, Val: []float64{1, 2}},     // not increasing
+		{Idx: []int{2, 1}, Val: []float64{1, 2}},     // decreasing
+		{Idx: []int{-1}, Val: []float64{1}},          // negative index
+		{Idx: []int{6}, Val: []float64{1}},           // out of range
+		{Idx: []int{0}, Val: []float64{math.NaN()}},  // NaN
+		{Idx: []int{0}, Val: []float64{math.Inf(1)}}, // Inf
+	}
+	for i, s := range bad {
+		if err := s.Validate(6); err == nil {
+			t.Errorf("bad sample %d accepted", i)
+		}
+	}
+}
+
+func TestDenseFromDenseRoundTrip(t *testing.T) {
+	row := []float64{0, 1.5, 0, -2, 0}
+	s := FromDense(row)
+	if s.NNZ() != 2 {
+		t.Errorf("NNZ = %d", s.NNZ())
+	}
+	back := s.Dense(5)
+	for i := range row {
+		if back[i] != row[i] {
+			t.Errorf("round trip mismatch at %d: %v vs %v", i, back[i], row[i])
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	s := Sample{Idx: []int{1}, Val: []float64{2}}
+	c := s.Clone()
+	c.Val[0] = 9
+	if s.Val[0] != 2 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestSliceSource(t *testing.T) {
+	ss := NewSliceSource([]Sample{{Idx: []int{0}, Val: []float64{1}}, {}}, 3)
+	if ss.Dim() != 3 || ss.Len() != 2 {
+		t.Errorf("Dim/Len = %d/%d", ss.Dim(), ss.Len())
+	}
+	n := 0
+	for {
+		_, ok := ss.Next()
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 2 {
+		t.Errorf("drained %d samples", n)
+	}
+	ss.Reset()
+	if _, ok := ss.Next(); !ok {
+		t.Error("Reset should rewind")
+	}
+}
+
+func TestMatrixSource(t *testing.T) {
+	m := NewMatrixSource([][]float64{{1, 0}, {0, 2}})
+	if m.Dim() != 2 {
+		t.Errorf("Dim = %d", m.Dim())
+	}
+	s, ok := m.Next()
+	if !ok || s.NNZ() != 1 || s.Idx[0] != 0 {
+		t.Errorf("first sample = %+v", s)
+	}
+	m.Reset()
+	s2, _ := m.Next()
+	if s2.Idx[0] != 0 {
+		t.Error("Reset failed")
+	}
+	empty := NewMatrixSource(nil)
+	if empty.Dim() != 0 {
+		t.Error("empty matrix Dim should be 0")
+	}
+	if _, ok := empty.Next(); ok {
+		t.Error("empty matrix should yield nothing")
+	}
+}
+
+func TestLimit(t *testing.T) {
+	samples := make([]Sample, 10)
+	l := NewLimit(NewSliceSource(samples, 1), 3)
+	if l.Dim() != 1 {
+		t.Errorf("Dim = %d", l.Dim())
+	}
+	n := 0
+	for {
+		_, ok := l.Next()
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 3 {
+		t.Errorf("Limit yielded %d", n)
+	}
+}
+
+func TestFuncSourceAndDrain(t *testing.T) {
+	i := 0
+	f := NewFuncSource(4, func() (Sample, bool) {
+		if i >= 5 {
+			return Sample{}, false
+		}
+		i++
+		return Sample{Idx: []int{0}, Val: []float64{float64(i)}}, true
+	})
+	if f.Dim() != 4 {
+		t.Errorf("Dim = %d", f.Dim())
+	}
+	all := Drain(f)
+	if len(all) != 5 || all[4].Val[0] != 5 {
+		t.Errorf("Drain = %v", all)
+	}
+}
+
+func TestSortSampleInPlace(t *testing.T) {
+	s := Sample{Idx: []int{5, 1, 5, 3}, Val: []float64{1, 2, 4, 3}}
+	SortSampleInPlace(&s)
+	if len(s.Idx) != 3 {
+		t.Fatalf("Idx = %v", s.Idx)
+	}
+	if s.Idx[0] != 1 || s.Idx[1] != 3 || s.Idx[2] != 5 {
+		t.Errorf("Idx = %v", s.Idx)
+	}
+	if s.Val[2] != 5 { // duplicates summed: 1+4
+		t.Errorf("Val = %v", s.Val)
+	}
+	if err := s.Validate(6); err != nil {
+		t.Errorf("sorted sample invalid: %v", err)
+	}
+}
+
+func TestShufflerIsPermutation(t *testing.T) {
+	samples := make([]Sample, 100)
+	for i := range samples {
+		samples[i] = Sample{Idx: []int{0}, Val: []float64{float64(i)}}
+	}
+	sh := NewShuffler(NewSliceSource(samples, 1), 32, 7)
+	if sh.Dim() != 1 {
+		t.Errorf("Dim = %d", sh.Dim())
+	}
+	var got []float64
+	for {
+		s, ok := sh.Next()
+		if !ok {
+			break
+		}
+		got = append(got, s.Val[0])
+	}
+	if len(got) != 100 {
+		t.Fatalf("shuffler yielded %d samples", len(got))
+	}
+	sorted := append([]float64(nil), got...)
+	sort.Float64s(sorted)
+	for i, v := range sorted {
+		if v != float64(i) {
+			t.Fatalf("not a permutation: sorted[%d] = %v", i, v)
+		}
+	}
+	// And it actually shuffles (identity is astronomically unlikely).
+	identity := true
+	for i, v := range got {
+		if v != float64(i) {
+			identity = false
+			break
+		}
+	}
+	if identity {
+		t.Error("shuffler produced identity order")
+	}
+}
+
+func TestShufflerDeterministicBySeed(t *testing.T) {
+	mk := func(seed int64) []float64 {
+		samples := make([]Sample, 50)
+		for i := range samples {
+			samples[i] = Sample{Idx: []int{0}, Val: []float64{float64(i)}}
+		}
+		sh := NewShuffler(NewSliceSource(samples, 1), 16, seed)
+		var out []float64
+		for {
+			s, ok := sh.Next()
+			if !ok {
+				break
+			}
+			out = append(out, s.Val[0])
+		}
+		return out
+	}
+	a, b := mk(3), mk(3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed should give same order")
+		}
+	}
+}
+
+func TestShufflerTinyBuffer(t *testing.T) {
+	samples := make([]Sample, 5)
+	sh := NewShuffler(NewSliceSource(samples, 1), 0, 1) // clamped to 1
+	if got := len(Drain(sh)); got != 5 {
+		t.Errorf("yielded %d", got)
+	}
+}
+
+func TestStandardizerScaleOnly(t *testing.T) {
+	// Feature 0 has std 2, feature 1 std 0.5; after scaling both have
+	// unit std over the whole stream.
+	rng := rand.New(rand.NewSource(1))
+	rows := make([][]float64, 400)
+	for i := range rows {
+		rows[i] = []float64{rng.NormFloat64() * 2, rng.NormFloat64() * 0.5}
+	}
+	st, err := NewStandardizer(NewMatrixSource(rows), 200, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v0, v1 []float64
+	for {
+		s, ok := st.Next()
+		if !ok {
+			break
+		}
+		d := s.Dense(2)
+		v0 = append(v0, d[0])
+		v1 = append(v1, d[1])
+	}
+	if len(v0) != 400 {
+		t.Fatalf("standardizer dropped samples: %d", len(v0))
+	}
+	std := func(xs []float64) float64 {
+		m := 0.0
+		for _, x := range xs {
+			m += x
+		}
+		m /= float64(len(xs))
+		s := 0.0
+		for _, x := range xs {
+			s += (x - m) * (x - m)
+		}
+		return math.Sqrt(s / float64(len(xs)-1))
+	}
+	if got := std(v0); math.Abs(got-1) > 0.15 {
+		t.Errorf("feature 0 std after scaling = %v", got)
+	}
+	if got := std(v1); math.Abs(got-1) > 0.15 {
+		t.Errorf("feature 1 std after scaling = %v", got)
+	}
+}
+
+func TestStandardizerCenter(t *testing.T) {
+	rows := [][]float64{{10, 1}, {12, 1}, {14, 1}, {16, 1}}
+	st, err := NewStandardizer(NewMatrixSource(rows), 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	n := 0
+	for {
+		s, ok := st.Next()
+		if !ok {
+			break
+		}
+		sum += s.Dense(2)[0]
+		n++
+	}
+	if n != 4 || math.Abs(sum) > 1e-9 {
+		t.Errorf("centered feature sum = %v over %d", sum, n)
+	}
+	// Zero-variance feature 1 is scaled to zero, not NaN.
+	if st.InvStds()[1] != 0 {
+		t.Errorf("zero-variance invStd = %v", st.InvStds()[1])
+	}
+	if st.Means()[0] != 13 {
+		t.Errorf("mean = %v", st.Means()[0])
+	}
+}
+
+func TestStandardizerSparseZeros(t *testing.T) {
+	// Sparse feature: nonzero in half the samples. The fitted std must
+	// account for the implicit zeros.
+	samples := []Sample{
+		{Idx: []int{0}, Val: []float64{2}},
+		{},
+		{Idx: []int{0}, Val: []float64{2}},
+		{},
+	}
+	st, err := NewStandardizer(NewSliceSource(samples, 1), 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Values {2,0,2,0}: mean 1, sample std sqrt(4/3) ≈ 1.1547.
+	want := 1 / math.Sqrt(4.0/3.0)
+	if got := st.InvStds()[0]; math.Abs(got-want) > 1e-9 {
+		t.Errorf("invStd = %v, want %v", got, want)
+	}
+}
+
+func TestStandardizerValidation(t *testing.T) {
+	if _, err := NewStandardizer(NewMatrixSource(nil), 1, false); err == nil {
+		t.Error("expected error for fitN < 2")
+	}
+}

@@ -1,0 +1,164 @@
+// Package topk provides bounded top-k selection utilities: a one-shot
+// min-heap for selecting the k largest-scored keys from a scan, and an
+// updatable bounded tracker used to keep retrieval candidates when the
+// pair universe is too large to enumerate (Table 2 scale).
+package topk
+
+import "sort"
+
+// Item pairs a key with a score.
+type Item struct {
+	Key   uint64
+	Score float64
+}
+
+// Heap selects the k items with the largest scores from a stream of
+// Push calls. The zero value is unusable; construct with NewHeap.
+type Heap struct {
+	k     int
+	items []Item // min-heap ordered by Score
+}
+
+// NewHeap returns a selector for the k largest scores (k ≥ 1).
+func NewHeap(k int) *Heap {
+	if k < 1 {
+		k = 1
+	}
+	return &Heap{k: k, items: make([]Item, 0, k)}
+}
+
+// Push offers an item; it is retained only if it ranks in the current
+// top k.
+func (h *Heap) Push(key uint64, score float64) {
+	if len(h.items) < h.k {
+		h.items = append(h.items, Item{key, score})
+		h.up(len(h.items) - 1)
+		return
+	}
+	if score <= h.items[0].Score {
+		return
+	}
+	h.items[0] = Item{key, score}
+	h.down(0)
+}
+
+// Len returns the number of retained items (≤ k).
+func (h *Heap) Len() int { return len(h.items) }
+
+// Min returns the smallest retained score (the admission bar once full).
+func (h *Heap) Min() (Item, bool) {
+	if len(h.items) == 0 {
+		return Item{}, false
+	}
+	return h.items[0], true
+}
+
+// SortedDesc returns the retained items ordered by descending score,
+// consuming nothing (the heap remains valid).
+func (h *Heap) SortedDesc() []Item {
+	out := append([]Item(nil), h.items...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+func (h *Heap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].Score <= h.items[i].Score {
+			return
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+func (h *Heap) down(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h.items[l].Score < h.items[small].Score {
+			small = l
+		}
+		if r < n && h.items[r].Score < h.items[small].Score {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h.items[i], h.items[small] = h.items[small], h.items[i]
+		i = small
+	}
+}
+
+// Tracker is a bounded map from key to latest score that retains
+// (approximately) the highest-scored keys seen. Scores may be updated;
+// when the tracker exceeds twice its capacity it prunes to the capacity
+// highest scores. It backs candidate retrieval for huge pair universes,
+// where keys that ever pass the ASCS gate are the only plausible heavy
+// hitters.
+type Tracker struct {
+	cap    int
+	scores map[uint64]float64
+}
+
+// NewTracker returns a tracker retaining roughly capacity keys (≥ 1).
+func NewTracker(capacity int) *Tracker {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracker{cap: capacity, scores: make(map[uint64]float64, 2*capacity)}
+}
+
+// Offer records (or refreshes) the score for key.
+func (t *Tracker) Offer(key uint64, score float64) {
+	t.scores[key] = score
+	if len(t.scores) > 2*t.cap {
+		t.prune()
+	}
+}
+
+// Len returns the number of tracked keys.
+func (t *Tracker) Len() int { return len(t.scores) }
+
+// Capacity returns the configured retention target.
+func (t *Tracker) Capacity() int { return t.cap }
+
+// Keys returns the tracked keys in unspecified order.
+func (t *Tracker) Keys() []uint64 {
+	out := make([]uint64, 0, len(t.scores))
+	for k := range t.scores {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Top returns the k highest-scored tracked keys, rescored by rescore if
+// non-nil (e.g. the final sketch estimates), in descending order.
+func (t *Tracker) Top(k int, rescore func(uint64) float64) []Item {
+	h := NewHeap(k)
+	for key, sc := range t.scores {
+		if rescore != nil {
+			sc = rescore(key)
+		}
+		h.Push(key, sc)
+	}
+	return h.SortedDesc()
+}
+
+func (t *Tracker) prune() {
+	h := NewHeap(t.cap)
+	for key, sc := range t.scores {
+		h.Push(key, sc)
+	}
+	kept := h.SortedDesc()
+	t.scores = make(map[uint64]float64, 2*t.cap)
+	for _, it := range kept {
+		t.scores[it.Key] = it.Score
+	}
+}

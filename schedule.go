@@ -1,0 +1,114 @@
+package ascs
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// TheoryParams exposes the §6 analysis inputs for standalone use: sizing
+// a deployment, validating the theorem bounds, or solving a schedule for
+// ManualSchedule mean sketches.
+type TheoryParams struct {
+	// P is the number of stream variables (p = d(d−1)/2 for pairs).
+	P int64
+	// T is the stream length.
+	T int
+	// K and R are the sketch shape (tables × buckets).
+	K, R int
+	// U is the (lower bound on the) signal strength.
+	U float64
+	// Sigma is the common standard deviation of the variables.
+	Sigma float64
+	// Alpha is the signal sparsity.
+	Alpha float64
+	// Delta and DeltaStar are the §6 miss-probability budgets; when both
+	// are zero the §8.1 defaults (δ = max(1.01·SP, 0.05), δ* = δ+0.15)
+	// are applied.
+	Delta, DeltaStar float64
+	// Tau0 is the initial sampling threshold (default 1e-4).
+	Tau0 float64
+}
+
+func (tp TheoryParams) toCore() core.Params {
+	p := core.Params{
+		P: tp.P, T: tp.T, K: tp.K, R: tp.R,
+		U: tp.U, Sigma: tp.Sigma, Alpha: tp.Alpha,
+		Delta: tp.Delta, DeltaStar: tp.DeltaStar,
+		Tau0: tp.Tau0, Gamma: 30,
+	}
+	if p.Tau0 == 0 {
+		p.Tau0 = 1e-4
+	}
+	if p.Delta == 0 && p.DeltaStar == 0 {
+		p = p.WithSuggestedDeltas()
+	}
+	return p
+}
+
+// Schedule is the solved ASCS schedule: explore for T0 samples, then
+// sample with threshold τ(t) = Tau0 + (Theta/T)(t − T0).
+type Schedule struct {
+	T0    int
+	Theta float64
+	Tau0  float64
+	T     int
+	// SaturationProb is 1 − p0^K: the worst-case floor of the Theorem 1
+	// bound; Delta targets below it are relaxed (see DESIGN.md).
+	SaturationProb float64
+	// DeltaFeasible records whether the requested Delta was achievable
+	// as stated by Theorem 1.
+	DeltaFeasible bool
+}
+
+func scheduleFrom(h core.Hyperparams) Schedule {
+	return Schedule{
+		T0: h.T0, Theta: h.Theta, Tau0: h.Tau0, T: h.T,
+		SaturationProb: h.SaturationProb, DeltaFeasible: h.DeltaFeasible,
+	}
+}
+
+func (s Schedule) toCore() core.Hyperparams {
+	return core.Hyperparams{T0: s.T0, Theta: s.Theta, Tau0: s.Tau0, T: s.T}
+}
+
+// Threshold returns τ(t).
+func (s Schedule) Threshold(t int) float64 { return s.toCore().Threshold(t) }
+
+// String renders the schedule.
+func (s Schedule) String() string {
+	return fmt.Sprintf("explore %d/%d samples, then τ(t) = %.3g + %.4g·(t−%d)/%d",
+		s.T0, s.T, s.Tau0, s.Theta, s.T0, s.T)
+}
+
+// SolveSchedule runs Algorithm 3: it picks the exploration length T0
+// (Theorem 1) and threshold slope θ (Theorem 2) so the probability of
+// missing a signal variable is bounded by DeltaStar.
+func SolveSchedule(tp TheoryParams) (Schedule, error) {
+	hp, err := tp.toCore().Solve()
+	if err != nil {
+		return Schedule{}, err
+	}
+	return scheduleFrom(hp), nil
+}
+
+// Theorem1Bound returns the §6.4 upper bound on the probability of
+// missing a signal at time t0 with initial threshold tau0.
+func (tp TheoryParams) Theorem1Bound(t0 int, tau0 float64) float64 {
+	return tp.toCore().Theorem1Bound(t0, tau0)
+}
+
+// Theorem2Bound returns the §6.5 upper bound on the probability that a
+// surviving signal is dropped during sampling, for threshold slope theta.
+func (tp TheoryParams) Theorem2Bound(t0 int, tau0, theta float64) float64 {
+	return tp.toCore().Theorem2Bound(t0, tau0, theta)
+}
+
+// SNRGainBound returns the Theorem 3 lower bound on
+// SNR_ASCS(t)/SNR_CS for a schedule solved from these parameters.
+func (tp TheoryParams) SNRGainBound(t int, s Schedule) float64 {
+	return tp.toCore().ROSNRBound(t, s.T0, s.Theta)
+}
+
+// SaturationProb returns 1 − p0^K (§6.4).
+func (tp TheoryParams) SaturationProb() float64 { return tp.toCore().SaturationProb() }

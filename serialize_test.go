@@ -1,0 +1,122 @@
+package ascs
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestMeanSketchCheckpointResumeCS(t *testing.T) {
+	ms, err := NewMeanSketch(MeanConfig{Tables: 4, Range: 128, Samples: 100, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := NewMeanSketch(MeanConfig{Tables: 4, Range: 128, Samples: 100, Seed: 2})
+	rng := rand.New(rand.NewSource(6))
+	feed := func(s *MeanSketch, from, to int) {
+		r := rand.New(rand.NewSource(6))
+		skip := (from - 1) * 20
+		for i := 0; i < skip; i++ {
+			r.NormFloat64()
+		}
+		_ = rng
+		for step := from; step <= to; step++ {
+			s.BeginStep(step)
+			for k := uint64(0); k < 20; k++ {
+				s.Offer(k, r.NormFloat64()+float64(k)/10)
+			}
+		}
+	}
+	feed(ms, 1, 60)
+	feed(ref, 1, 60)
+	var buf bytes.Buffer
+	if _, err := ms.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadMeanSketchFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Kind() != "CS" {
+		t.Errorf("Kind = %q", restored.Kind())
+	}
+	feed(restored, 61, 100)
+	feed(ref, 61, 100)
+	for k := uint64(0); k < 20; k++ {
+		if restored.Estimate(k) != ref.Estimate(k) {
+			t.Fatalf("estimate mismatch at key %d: %v vs %v", k, restored.Estimate(k), ref.Estimate(k))
+		}
+	}
+}
+
+func TestMeanSketchCheckpointResumeASCS(t *testing.T) {
+	tp := TheoryParams{P: 500, T: 300, K: 4, R: 64, U: 0.6, Sigma: 1, Alpha: 0.01}
+	sched, err := SolveSchedule(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() *MeanSketch {
+		m, err := NewMeanSketch(MeanConfig{Tables: 4, Range: 64, Samples: 300, Seed: 3, Schedule: sched})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	ms, ref := mk(), mk()
+	feed := func(s *MeanSketch, from, to int, seed int64) {
+		r := rand.New(rand.NewSource(seed))
+		for step := from; step <= to; step++ {
+			s.BeginStep(step)
+			for k := uint64(0); k < 50; k++ {
+				x := r.NormFloat64()
+				if k < 5 {
+					x += 0.8
+				}
+				s.Offer(k, x)
+			}
+		}
+	}
+	// Checkpoint mid-sampling-period.
+	mid := sched.T0 + 50
+	if mid > 280 {
+		mid = 280
+	}
+	feed(ms, 1, mid, 9)
+	feed(ref, 1, mid, 9)
+	var buf bytes.Buffer
+	if _, err := ms.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadMeanSketchFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Kind() != "ASCS" {
+		t.Errorf("Kind = %q", restored.Kind())
+	}
+	feed(restored, mid+1, 300, 77)
+	feed(ref, mid+1, 300, 77)
+	for k := uint64(0); k < 50; k++ {
+		if restored.Estimate(k) != ref.Estimate(k) {
+			t.Fatalf("estimate mismatch at key %d", k)
+		}
+	}
+	if restored.SampledFraction() != ref.SampledFraction() {
+		t.Error("sampled fraction mismatch after resume")
+	}
+}
+
+func TestReadMeanSketchFromErrors(t *testing.T) {
+	if _, err := ReadMeanSketchFrom(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := ReadMeanSketchFrom(bytes.NewReader([]byte{7})); err == nil {
+		t.Error("unknown tag should error")
+	}
+	if _, err := ReadMeanSketchFrom(bytes.NewReader([]byte{0, 1, 2})); err == nil {
+		t.Error("truncated CS body should error")
+	}
+	if _, err := ReadMeanSketchFrom(bytes.NewReader([]byte{1, 1, 2})); err == nil {
+		t.Error("truncated ASCS body should error")
+	}
+}
