@@ -3,12 +3,16 @@
 // sub-linear-memory identification of the large entries of a sparse
 // covariance or correlation matrix with possibly trillions of entries.
 //
-// The package offers three layers:
+// The package offers four layers:
 //
 //   - Estimator: the end-to-end covariance/correlation workflow — feed
 //     samples Y^(t) ∈ R^d one at a time, retrieve the top correlated
 //     pairs at the end. Hyper-parameters are derived automatically from
 //     a warm-up prefix (§8.1 of the paper).
+//   - Sharded: the concurrent serving form of the same workflow — the
+//     pair-key space is partitioned across shard workers so ingest and
+//     live top-k queries overlap, with snapshot/restore for crash
+//     recovery. The ascsd daemon (cmd/ascsd) serves it over HTTP.
 //   - MeanSketch: the underlying abstract problem — online sparse mean
 //     estimation over arbitrary uint64 keys, with vanilla Count Sketch
 //     or ASCS active sampling.
@@ -173,14 +177,7 @@ func NewEstimator(cfg Config) (*Estimator, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
-	warmN := int(cfg.WarmupFraction * float64(cfg.Samples))
-	if warmN < 4 {
-		warmN = 4
-	}
-	if sparseFloor := 200; warmN < sparseFloor && cfg.Samples/2 >= sparseFloor {
-		warmN = sparseFloor
-	}
-	return &Estimator{cfg: cfg, warmN: warmN}, nil
+	return &Estimator{cfg: cfg, warmN: covstream.WarmupSize(cfg.WarmupFraction, cfg.Samples)}, nil
 }
 
 // Observe feeds one sparse sample: values[i] is the value of feature
@@ -282,20 +279,7 @@ func (e *Estimator) finishWarmup() error {
 		if err != nil {
 			return err
 		}
-		// §7.2 wants a *lower bound* on the signal strength; the warm-up
-		// percentile is an unbiased-but-noisy point estimate whose rank
-		// statistics skew high on sparse streams, so a safety margin is
-		// applied. Figure 6 shows ASCS is robust to under-stating u
-		// (smaller u ⇒ longer exploration and a gentler threshold).
-		u := 0.75 * warm.SignalStrength(cfg.Alpha)
-		tau0 := 1e-4
-		if u < 10*tau0 {
-			u = 10 * tau0
-		}
-		params := core.Params{
-			P: pairs.Count(cfg.Dim), T: cfg.Samples, K: cfg.Tables, R: cfg.Range,
-			U: u, Sigma: warm.Sigma, Alpha: cfg.Alpha, Tau0: tau0, Gamma: 30,
-		}.WithSuggestedDeltas()
+		params := warm.ASCSParams(cfg.Alpha, cfg.Samples, cfg.Tables, cfg.Range)
 		engine, hp, err := core.NewAuto(params, cfg.Seed, true)
 		if err != nil {
 			return err

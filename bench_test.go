@@ -9,12 +9,16 @@
 package ascs_test
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
 	"testing"
 
+	"repro/internal/countsketch"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
+	"repro/internal/shard"
+	"repro/internal/stream"
 
 	ascs "repro"
 )
@@ -276,6 +280,59 @@ func BenchmarkMeanSketchOffer(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ms.Offer(uint64(i), 1.0)
+	}
+}
+
+// BenchmarkShardIngest measures the serving subsystem's ingest path
+// (pair enumeration + routing + sharded sketch updates, no HTTP) per
+// shard count. cmd/ascsload produces the end-to-end BENCH_server.json
+// counterpart over real HTTP; shard speedups require as many cores.
+func BenchmarkShardIngest(b *testing.B) {
+	const d = 64 // 2016 pair offers per dense sample
+	rng := rand.New(rand.NewSource(1))
+	samples := make([]stream.Sample, 256)
+	for i := range samples {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		samples[i] = stream.FromDense(row)
+	}
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			mgr, err := shard.New(shard.Config{
+				Dim: d, Shards: shards,
+				Engine: shard.EngineSpec{
+					Kind:   shard.KindCS,
+					Sketch: countsketch.Config{Tables: 5, Range: 1 << 13, Seed: 1},
+					T:      b.N + 1,
+				},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer mgr.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for lo := 0; lo < b.N; lo += 64 {
+				hi := lo + 64
+				if hi > b.N {
+					hi = b.N
+				}
+				batch := make([]stream.Sample, 0, hi-lo)
+				for i := lo; i < hi; i++ {
+					batch = append(batch, samples[i%256])
+				}
+				if _, _, err := mgr.Ingest(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := mgr.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(d*(d-1)/2), "offers/op")
+		})
 	}
 }
 

@@ -1,0 +1,209 @@
+// Command ascsd is the ASCS serving daemon: a long-running, sharded
+// covariance sketching service that ingests sample streams over HTTP
+// and answers live top-k correlation queries while the stream is still
+// flowing.
+//
+//	ascsd -dim 5000 -samples 200000 -shards 8 -mem 4000000
+//	ascsd -dim 5000 -samples 200000 -engine cs -standardize=false
+//	ascsd -dim 5000 -samples 200000 -snapshot-dir /var/lib/ascsd -snapshot-every 30s
+//	ascsd -snapshot-dir /var/lib/ascsd -restore        # resume after a crash
+//
+// The API (see internal/server): POST /v1/ingest, GET /v1/topk,
+// GET /v1/estimate, GET /v1/stats, POST /v1/snapshot, POST /v1/restore.
+// SIGINT/SIGTERM drain in-flight requests, take a final snapshot when a
+// snapshot directory is configured, and exit cleanly.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/countsketch"
+	"repro/internal/covstream"
+	"repro/internal/server"
+	"repro/internal/shard"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8356", "listen address")
+		dim         = flag.Int("dim", 0, "feature dimensionality d (required unless -restore)")
+		samples     = flag.Int("samples", 100_000, "stream horizon T")
+		shards      = flag.Int("shards", runtime.GOMAXPROCS(0), "shard workers N")
+		engine      = flag.String("engine", "ascs", "serving engine: ascs or cs (snapshotable engines only)")
+		tables      = flag.Int("tables", 5, "hash tables K per shard sketch")
+		mem         = flag.Int("mem", 1_000_000, "total sketch budget in float64 cells across all shards")
+		rng         = flag.Int("range", 0, "buckets per table per shard (overrides -mem)")
+		alpha       = flag.Float64("alpha", 0.005, "assumed signal-pair sparsity for the warm-up solver")
+		warmup      = flag.Int("warmup", 0, "warm-up prefix samples (default samples/20 when a warm-up is needed)")
+		standardize = flag.Bool("standardize", true, "rescale features to unit variance from the warm-up prefix")
+		track       = flag.Int("track", 1<<14, "retrieval candidates tracked per shard")
+		queue       = flag.Int("queue", 64, "per-shard ingest queue depth (batches)")
+		flush       = flag.Int("flush", 4096, "ops per routed ingest batch")
+		maxBatch    = flag.Int("max-batch", 4096, "max samples per ingest request")
+		seed        = flag.Uint64("seed", 1, "hash seed")
+		snapDir     = flag.String("snapshot-dir", "", "snapshot directory (enables /v1/snapshot default dir and shutdown snapshot)")
+		snapEvery   = flag.Duration("snapshot-every", 0, "periodic snapshot interval (requires -snapshot-dir)")
+		restore     = flag.Bool("restore", false, "start from the snapshot in -snapshot-dir")
+	)
+	flag.Parse()
+	log.SetPrefix("ascsd: ")
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+
+	mgr, err := buildManager(managerFlags{
+		dim: *dim, samples: *samples, shards: *shards, engine: *engine,
+		tables: *tables, mem: *mem, rng: *rng, alpha: *alpha, warmup: *warmup,
+		standardize: *standardize, track: *track, queue: *queue, flush: *flush,
+		seed: *seed, snapDir: *snapDir, restore: *restore,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := server.New(mgr, server.Options{SnapshotDir: *snapDir, MaxBatch: *maxBatch})
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	if *snapEvery > 0 {
+		if *snapDir == "" {
+			log.Fatal("-snapshot-every requires -snapshot-dir")
+		}
+		go periodicSnapshots(ctx, srv, *snapDir, *snapEvery)
+	}
+
+	httpSrv := &http.Server{
+		Addr:    *addr,
+		Handler: srv.Handler(),
+		// Bound slow clients: headers must arrive promptly and idle
+		// keep-alive connections are reclaimed. No full ReadTimeout —
+		// large ingest bodies may legitimately stream for a while.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	st, _ := mgr.Stats()
+	log.Printf("serving on %s: dim=%d shards=%d engine=%s horizon=%d step=%d",
+		*addr, mgr.Dim(), st.Shards, st.Engine, mgr.Horizon(), mgr.Step())
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("listener: %v", err)
+	case <-ctx.Done():
+	}
+	log.Print("shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if *snapDir != "" {
+		if err := snapshotNow(srv, *snapDir); err != nil && !errors.Is(err, shard.ErrWarmingUp) {
+			log.Printf("final snapshot: %v", err)
+		} else if err == nil {
+			log.Printf("final snapshot written to %s", *snapDir)
+		}
+	}
+	if err := srv.Close(); err != nil {
+		log.Printf("close: %v", err)
+	}
+}
+
+type managerFlags struct {
+	dim, samples, shards int
+	engine               string
+	tables, mem, rng     int
+	alpha                float64
+	warmup               int
+	standardize          bool
+	track, queue, flush  int
+	seed                 uint64
+	snapDir              string
+	restore              bool
+}
+
+func buildManager(f managerFlags) (*shard.Manager, error) {
+	if f.restore {
+		if f.snapDir == "" {
+			return nil, fmt.Errorf("-restore requires -snapshot-dir")
+		}
+		return shard.Restore(f.snapDir)
+	}
+	if f.dim < 2 {
+		return nil, fmt.Errorf("-dim is required (got %d)", f.dim)
+	}
+	var kind shard.Kind
+	switch f.engine {
+	case "ascs":
+		kind = shard.KindASCS
+	case "cs":
+		kind = shard.KindCS
+	default:
+		return nil, fmt.Errorf("unknown engine %q (serving supports ascs and cs)", f.engine)
+	}
+	if f.tables < 1 {
+		return nil, fmt.Errorf("-tables must be ≥ 1 (got %d)", f.tables)
+	}
+	r := f.rng
+	if r == 0 {
+		if f.shards < 1 {
+			f.shards = 1
+		}
+		r = f.mem / (f.tables * f.shards)
+	}
+	if r < 2 {
+		return nil, fmt.Errorf("per-shard range %d too small: raise -mem or lower -shards/-tables", r)
+	}
+	needWarm := kind == shard.KindASCS || f.standardize
+	if needWarm && f.warmup == 0 {
+		f.warmup = covstream.WarmupSize(0.05, f.samples)
+	}
+	return shard.New(shard.Config{
+		Dim:    f.dim,
+		Shards: f.shards,
+		Engine: shard.EngineSpec{
+			Kind:   kind,
+			Sketch: countsketch.Config{Tables: f.tables, Range: r, Seed: f.seed},
+			T:      f.samples,
+		},
+		Warmup:          f.warmup,
+		Alpha:           f.alpha,
+		Standardize:     f.standardize,
+		QueueLen:        f.queue,
+		FlushOps:        f.flush,
+		TrackCandidates: f.track,
+	})
+}
+
+// periodicSnapshots checkpoints the live manager on a fixed cadence
+// until ctx is cancelled (warm-up ticks are skipped).
+func periodicSnapshots(ctx context.Context, srv *server.Server, dir string, every time.Duration) {
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			if err := snapshotNow(srv, dir); err != nil {
+				if !errors.Is(err, shard.ErrWarmingUp) {
+					log.Printf("periodic snapshot: %v", err)
+				}
+				continue
+			}
+			log.Printf("snapshot written to %s at step %d", dir, srv.Manager().Step())
+		}
+	}
+}
+
+func snapshotNow(srv *server.Server, dir string) error {
+	return srv.Manager().Snapshot(dir)
+}

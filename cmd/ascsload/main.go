@@ -1,0 +1,430 @@
+// Command ascsload is a closed-loop load generator for the ascsd
+// serving subsystem. It replays an internal/dataset stream against the
+// HTTP API with C concurrent connections (optionally paced to a target
+// request rate), mixes in live top-k queries, and reports ingest
+// throughput plus latency percentiles.
+//
+// Two modes:
+//
+//	ascsload -addr http://localhost:8356 -synthetic simulation -dim 300 -samples 4000
+//	    drive an externally started daemon.
+//
+//	ascsload -sweep 1,4,8 -out BENCH_server.json
+//	    serving benchmark: for each shard count, start an in-process
+//	    server (real HTTP over a loopback listener), replay the
+//	    stream, and emit a machine-readable baseline so future PRs
+//	    have a number to beat.
+//
+// The sweep records the environment (CPU count) alongside the numbers:
+// shard scaling is a parallel speedup and cannot exceed the core count
+// of the machine the benchmark ran on.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/countsketch"
+	"repro/internal/covstream"
+	"repro/internal/dataset"
+	"repro/internal/server"
+	"repro/internal/shard"
+	"repro/internal/stats"
+	"repro/internal/stream"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "", "target daemon base URL (empty: in-process sweep mode)")
+		sweep     = flag.String("sweep", "1,4,8", "comma-separated shard counts for in-process mode")
+		synthetic = flag.String("synthetic", "simulation", "workload: simulation, gisette, epsilon, cifar10, rcv1, sector")
+		dim       = flag.Int("dim", 160, "feature dimensionality")
+		samples   = flag.Int("samples", 4000, "stream length")
+		batch     = flag.Int("batch", 64, "samples per ingest request")
+		conns     = flag.Int("conns", 4, "concurrent closed-loop ingest connections")
+		qps       = flag.Float64("qps", 0, "target ingest requests/sec across all connections (0 = unpaced)")
+		queriers  = flag.Int("queriers", 2, "concurrent top-k query workers during ingest")
+		topk      = flag.Int("topk", 25, "k for the query workers")
+		engine    = flag.String("engine", "cs", "engine for in-process mode: cs or ascs")
+		tables    = flag.Int("tables", 5, "hash tables per shard sketch (in-process mode)")
+		rng       = flag.Int("range", 1<<14, "buckets per table per shard (in-process mode)")
+		seedFlag  = flag.Int64("seed", 42, "workload seed")
+		out       = flag.String("out", "BENCH_server.json", "output report path (in-process mode)")
+	)
+	flag.Parse()
+	log.SetPrefix("ascsload: ")
+	log.SetFlags(0)
+
+	if *engine != "cs" && *engine != "ascs" {
+		log.Fatalf("unknown engine %q (want cs or ascs)", *engine)
+	}
+	ds, err := dataset.ByName(*synthetic, dataset.Scale{Dim: *dim, Samples: *samples}, *seedFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	work := buildWorkload(ds, *batch)
+	log.Printf("workload: %s dim=%d samples=%d offers/sample≈%.0f", ds.Name, *dim, len(ds.Rows), work.offersPerSample())
+
+	loadCfg := loadConfig{
+		conns: *conns, qps: *qps, queriers: *queriers, topk: *topk,
+	}
+	if *addr != "" {
+		res := runLoad(*addr, work, loadCfg)
+		res.Shards = -1 // unknown: external daemon
+		res.print()
+		return
+	}
+
+	var shardCounts []int
+	for _, tok := range strings.Split(*sweep, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || n < 1 {
+			log.Fatalf("bad -sweep entry %q", tok)
+		}
+		shardCounts = append(shardCounts, n)
+	}
+
+	report := Report{
+		Workload: WorkloadInfo{
+			Dataset: ds.Name, Dim: *dim, Samples: len(ds.Rows),
+			Batch: *batch, Conns: *conns, Queriers: *queriers, TopK: *topk,
+			Engine: *engine, Tables: *tables, Range: *rng,
+			OffersPerSample: work.offersPerSample(),
+		},
+		Env: EnvInfo{
+			NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0),
+			GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+		},
+	}
+	for _, n := range shardCounts {
+		res := runInProcess(n, *engine, *dim, *tables, *rng, work, loadCfg)
+		res.print()
+		report.Runs = append(report.Runs, res)
+	}
+	if base := report.run(shardCounts[0]); base != nil {
+		for _, n := range shardCounts[1:] {
+			if r := report.run(n); r != nil && base.IngestOffersPerSec > 0 {
+				report.Scaling = append(report.Scaling, ScalingEntry{
+					Shards: n, Baseline: shardCounts[0],
+					IngestSpeedup: r.IngestOffersPerSec / base.IngestOffersPerSec,
+				})
+			}
+		}
+	}
+	maxShards := shardCounts[0]
+	for _, n := range shardCounts {
+		if n > maxShards {
+			maxShards = n
+		}
+	}
+	if report.Env.GOMAXPROCS < maxShards {
+		report.Notes = fmt.Sprintf("shard scaling is a parallel speedup bounded by the core count: "+
+			"this host exposes %d CPU(s) to the Go runtime, so the %d-shard run cannot exceed ~1x "+
+			"the single-shard throughput here; re-run on a host with ≥%d cores to observe the shard speedup",
+			report.Env.GOMAXPROCS, maxShards, maxShards)
+		log.Print(report.Notes)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("report written to %s", *out)
+}
+
+// workload is the pre-encoded request stream: JSON bodies are built
+// once so the generator measures the server, not the client encoder.
+// Per-body sample/offer counts let throughput be computed over what
+// the server actually accepted, not what the client attempted.
+type workload struct {
+	bodies       [][]byte
+	sampleCounts []int
+	offerCounts  []uint64
+	samples      int
+	offers       uint64
+}
+
+func (w workload) offersPerSample() float64 {
+	if w.samples == 0 {
+		return 0
+	}
+	return float64(w.offers) / float64(w.samples)
+}
+
+func buildWorkload(ds *dataset.Dataset, batch int) workload {
+	var w workload
+	rows := ds.Rows
+	w.samples = len(rows)
+	for lo := 0; lo < len(rows); lo += batch {
+		hi := lo + batch
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		req := server.IngestRequest{}
+		var offers uint64
+		for _, r := range rows[lo:hi] {
+			s := stream.FromDense(r)
+			m := uint64(s.NNZ())
+			offers += m * (m - 1) / 2
+			req.Samples = append(req.Samples, server.SampleJSON{Idx: s.Idx, Val: s.Val})
+		}
+		body, err := json.Marshal(req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w.offers += offers
+		w.bodies = append(w.bodies, body)
+		w.sampleCounts = append(w.sampleCounts, hi-lo)
+		w.offerCounts = append(w.offerCounts, offers)
+	}
+	return w
+}
+
+type loadConfig struct {
+	conns    int
+	qps      float64
+	queriers int
+	topk     int
+}
+
+// RunResult is one benchmark run (one shard count).
+type RunResult struct {
+	Shards              int     `json:"shards"`
+	Transport           string  `json:"transport"`
+	ElapsedSec          float64 `json:"elapsed_sec"`
+	IngestRequests      int     `json:"ingest_requests"`
+	IngestErrors        int     `json:"ingest_errors"`
+	IngestSamplesPerSec float64 `json:"ingest_samples_per_sec"`
+	IngestOffersPerSec  float64 `json:"ingest_offers_per_sec"`
+	IngestP50MS         float64 `json:"ingest_p50_ms"`
+	IngestP99MS         float64 `json:"ingest_p99_ms"`
+	QueryCount          int     `json:"query_count"`
+	QueryP50MS          float64 `json:"query_p50_ms"`
+	QueryP99MS          float64 `json:"query_p99_ms"`
+}
+
+func (r RunResult) print() {
+	log.Printf("shards=%d: %.0f samples/s (%.2e offers/s) over %.2fs; ingest p50=%.2fms p99=%.2fms; %d queries p50=%.2fms p99=%.2fms",
+		r.Shards, r.IngestSamplesPerSec, r.IngestOffersPerSec, r.ElapsedSec,
+		r.IngestP50MS, r.IngestP99MS, r.QueryCount, r.QueryP50MS, r.QueryP99MS)
+}
+
+// WorkloadInfo, EnvInfo, ScalingEntry, and Report form BENCH_server.json.
+type WorkloadInfo struct {
+	Dataset         string  `json:"dataset"`
+	Dim             int     `json:"dim"`
+	Samples         int     `json:"samples"`
+	Batch           int     `json:"batch"`
+	Conns           int     `json:"conns"`
+	Queriers        int     `json:"queriers"`
+	TopK            int     `json:"topk"`
+	Engine          string  `json:"engine"`
+	Tables          int     `json:"tables"`
+	Range           int     `json:"range"`
+	OffersPerSample float64 `json:"offers_per_sample"`
+}
+
+type EnvInfo struct {
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+}
+
+type ScalingEntry struct {
+	Shards        int     `json:"shards"`
+	Baseline      int     `json:"baseline_shards"`
+	IngestSpeedup float64 `json:"ingest_speedup"`
+}
+
+type Report struct {
+	Workload WorkloadInfo   `json:"workload"`
+	Env      EnvInfo        `json:"env"`
+	Runs     []RunResult    `json:"runs"`
+	Scaling  []ScalingEntry `json:"scaling,omitempty"`
+	Notes    string         `json:"notes,omitempty"`
+}
+
+func (r *Report) run(shards int) *RunResult {
+	for i := range r.Runs {
+		if r.Runs[i].Shards == shards {
+			return &r.Runs[i]
+		}
+	}
+	return nil
+}
+
+// runInProcess starts a fresh sharded server on a loopback listener and
+// replays the workload through real HTTP.
+func runInProcess(shards int, engine string, dim, tables, rng int, work workload, cfg loadConfig) RunResult {
+	kind := shard.KindCS
+	warm := 0
+	if engine == "ascs" {
+		kind = shard.KindASCS
+		warm = covstream.WarmupSize(0.05, work.samples)
+	}
+	mgr, err := shard.New(shard.Config{
+		Dim:    dim,
+		Shards: shards,
+		Engine: shard.EngineSpec{
+			Kind:   kind,
+			Sketch: countsketch.Config{Tables: tables, Range: rng, Seed: 1},
+			T:      work.samples,
+		},
+		Warmup: warm,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := server.New(mgr, server.Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+	res := runLoad(ts.URL, work, cfg)
+	res.Shards = shards
+	return res
+}
+
+// runLoad replays the workload closed-loop: every connection sends its
+// next batch, waits for the response, repeats; query workers hammer
+// /v1/topk concurrently until ingest completes.
+func runLoad(base string, work workload, cfg loadConfig) RunResult {
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: cfg.conns + cfg.queriers}}
+	var (
+		next       atomic.Int64
+		errCount   atomic.Int64
+		okSamples  atomic.Int64
+		okOffers   atomic.Uint64
+		ingestLats = make([][]float64, cfg.conns)
+		queryLats  = make([][]float64, cfg.queriers)
+		qCount     atomic.Int64
+		stop       = make(chan struct{})
+		wg, qwg    sync.WaitGroup
+	)
+	start := time.Now()
+	for c := 0; c < cfg.conns; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if int(i) >= len(work.bodies) {
+					return
+				}
+				if cfg.qps > 0 {
+					// Open-loop pacing on top of the closed loop: request i
+					// is released no earlier than its schedule slot.
+					due := start.Add(time.Duration(float64(i) / cfg.qps * float64(time.Second)))
+					if d := time.Until(due); d > 0 {
+						time.Sleep(d)
+					}
+				}
+				t0 := time.Now()
+				resp, err := client.Post(base+"/v1/ingest", "application/json", bytes.NewReader(work.bodies[i]))
+				lat := time.Since(t0)
+				if err != nil {
+					errCount.Add(1)
+					continue
+				}
+				// Drain before Close so the keep-alive connection is
+				// reusable; otherwise every request pays connection setup.
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errCount.Add(1)
+					continue
+				}
+				okSamples.Add(int64(work.sampleCounts[i]))
+				okOffers.Add(work.offerCounts[i])
+				ingestLats[c] = append(ingestLats[c], float64(lat)/float64(time.Millisecond))
+			}
+		}(c)
+	}
+	for q := 0; q < cfg.queriers; q++ {
+		qwg.Add(1)
+		go func(q int) {
+			defer qwg.Done()
+			url := fmt.Sprintf("%s/v1/topk?k=%d&magnitude=1", base, cfg.topk)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				t0 := time.Now()
+				resp, err := client.Get(url)
+				lat := time.Since(t0)
+				if err != nil {
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				// 503 while warming is expected; count only live queries.
+				if resp.StatusCode == http.StatusOK {
+					queryLats[q] = append(queryLats[q], float64(lat)/float64(time.Millisecond))
+					qCount.Add(1)
+				}
+			}
+		}(q)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(stop)
+	qwg.Wait()
+
+	var ingestAll, queryAll []float64
+	for _, l := range ingestLats {
+		ingestAll = append(ingestAll, l...)
+	}
+	for _, l := range queryLats {
+		queryAll = append(queryAll, l...)
+	}
+	sort.Float64s(ingestAll)
+	sort.Float64s(queryAll)
+	res := RunResult{
+		Transport:      "http",
+		ElapsedSec:     elapsed.Seconds(),
+		IngestRequests: len(work.bodies),
+		IngestErrors:   int(errCount.Load()),
+		QueryCount:     int(qCount.Load()),
+	}
+	if elapsed > 0 {
+		// Throughput counts only samples the server accepted (200s);
+		// errored requests must not inflate the recorded baseline.
+		res.IngestSamplesPerSec = float64(okSamples.Load()) / elapsed.Seconds()
+		res.IngestOffersPerSec = float64(okOffers.Load()) / elapsed.Seconds()
+	}
+	if len(ingestAll) > 0 {
+		res.IngestP50MS = stats.QuantileSorted(ingestAll, 0.5)
+		res.IngestP99MS = stats.QuantileSorted(ingestAll, 0.99)
+	}
+	if len(queryAll) > 0 {
+		res.QueryP50MS = stats.QuantileSorted(queryAll, 0.5)
+		res.QueryP99MS = stats.QuantileSorted(queryAll, 0.99)
+	}
+	return res
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/core"
 	"repro/internal/countsketch"
 	"repro/internal/pairs"
 	"repro/internal/sketchapi"
@@ -93,6 +94,45 @@ func (w WarmupResult) Percentile(q float64) float64 {
 // i.e. approximately the ⌈α·p⌉-th largest warm-up estimate.
 func (w WarmupResult) SignalStrength(alpha float64) float64 {
 	return w.Percentile(100 * (1 - alpha))
+}
+
+// WarmupSize is the shared warm-up sizing rule (§8.1): a fraction of
+// the stream with a floor of 4 samples, raised to 200 on long streams
+// so sparse pairs can recur during the prefix. The batch Estimator,
+// the sharded serving constructor, and the daemons all size their
+// warm-up prefixes through this one rule.
+func WarmupSize(fraction float64, samples int) int {
+	n := int(fraction * float64(samples))
+	if n < 4 {
+		n = 4
+	}
+	if sparseFloor := 200; n < sparseFloor && samples/2 >= sparseFloor {
+		n = sparseFloor
+	}
+	return n
+}
+
+// ASCSParams assembles the §8.1 data-driven solver inputs for an ASCS
+// schedule over a stream of T samples sketched with K tables × R
+// buckets: u is the (1−alpha) percentile of the warm-up census with a
+// 0.75 safety margin (§7.2 wants a *lower bound* on the signal
+// strength; the warm-up percentile is a noisy point estimate whose
+// rank statistics skew high on sparse streams, and Figure 6 shows ASCS
+// is robust to under-stating u — smaller u just means longer
+// exploration and a gentler threshold), floored at 10·τ₀; σ comes from
+// the census; the miss-probability budgets are the suggested defaults.
+// Both the end-to-end Estimator and the sharded serving layer derive
+// their schedules through this one recipe.
+func (w WarmupResult) ASCSParams(alpha float64, T, K, R int) core.Params {
+	const tau0 = 1e-4
+	u := 0.75 * w.SignalStrength(alpha)
+	if u < 10*tau0 {
+		u = 10 * tau0
+	}
+	return core.Params{
+		P: w.P, T: T, K: K, R: R,
+		U: u, Sigma: w.Sigma, Alpha: alpha, Tau0: tau0, Gamma: 30,
+	}.WithSuggestedDeltas()
 }
 
 // warmupProbe accumulates Σx² (for σ) and a distinct-key census (for the

@@ -1,0 +1,102 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// ringSize bounds the per-endpoint latency window the percentiles are
+// computed over: recent behaviour, constant memory.
+const ringSize = 4096
+
+// endpointMetrics aggregates one route's traffic. A plain mutex is fine
+// here — the cost of serving a request dwarfs a counter update, and the
+// sketch hot path never touches this.
+type endpointMetrics struct {
+	mu     sync.Mutex
+	count  uint64
+	errors uint64
+	sumMS  float64
+	ring   [ringSize]float64
+	filled int
+	pos    int
+}
+
+func (em *endpointMetrics) observe(d time.Duration, isErr bool) {
+	ms := float64(d) / float64(time.Millisecond)
+	em.mu.Lock()
+	em.count++
+	if isErr {
+		em.errors++
+	}
+	em.sumMS += ms
+	em.ring[em.pos] = ms
+	em.pos = (em.pos + 1) % ringSize
+	if em.filled < ringSize {
+		em.filled++
+	}
+	em.mu.Unlock()
+}
+
+// EndpointStats is the JSON view of one route's metrics.
+type EndpointStats struct {
+	Count  uint64  `json:"count"`
+	Errors uint64  `json:"errors"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P99MS  float64 `json:"p99_ms"`
+}
+
+func (em *endpointMetrics) snapshot() EndpointStats {
+	em.mu.Lock()
+	defer em.mu.Unlock()
+	st := EndpointStats{Count: em.count, Errors: em.errors}
+	if em.count > 0 {
+		st.MeanMS = em.sumMS / float64(em.count)
+	}
+	if em.filled > 0 {
+		window := append([]float64(nil), em.ring[:em.filled]...)
+		st.P50MS = stats.Quantile(window, 0.5)
+		st.P99MS = stats.Quantile(window, 0.99)
+	}
+	return st
+}
+
+// metrics holds one endpointMetrics per route.
+type metrics struct {
+	mu  sync.Mutex
+	per map[string]*endpointMetrics
+}
+
+func newMetrics() *metrics {
+	return &metrics{per: make(map[string]*endpointMetrics)}
+}
+
+func (m *metrics) endpoint(name string) *endpointMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	em, ok := m.per[name]
+	if !ok {
+		em = &endpointMetrics{}
+		m.per[name] = em
+	}
+	return em
+}
+
+func (m *metrics) snapshot() map[string]EndpointStats {
+	m.mu.Lock()
+	names := make([]string, 0, len(m.per))
+	ems := make([]*endpointMetrics, 0, len(m.per))
+	for name, em := range m.per {
+		names = append(names, name)
+		ems = append(ems, em)
+	}
+	m.mu.Unlock()
+	out := make(map[string]EndpointStats, len(names))
+	for i, name := range names {
+		out[name] = ems[i].snapshot()
+	}
+	return out
+}

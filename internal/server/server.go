@@ -1,0 +1,365 @@
+// Package server exposes a shard.Manager over an HTTP/JSON API — the
+// front door of the ascsd daemon. The API is deliberately small and
+// stream-shaped: clients POST batches of sparse samples and, at any
+// point while the stream is still flowing, GET live top-k correlation
+// retrievals, point estimates, and serving stats; snapshots and
+// restores round out the crash-recovery story.
+//
+//	POST /v1/ingest    {"samples":[{"idx":[0,3],"val":[1.5,-0.2]}, ...]}
+//	GET  /v1/topk?k=25[&magnitude=1]
+//	GET  /v1/estimate?i=3&j=7
+//	GET  /v1/stats
+//	POST /v1/snapshot  {"dir":"name"}   (optional local name under the configured snapshot dir)
+//	POST /v1/restore   {"dir":"name"}
+//
+// Restore swaps in a freshly restored manager atomically; requests in
+// flight against the old manager complete (or observe ErrClosed →
+// 503) before it is torn down.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/shard"
+	"repro/internal/stream"
+)
+
+// Options configures a Server.
+type Options struct {
+	// SnapshotDir is the default directory for POST /v1/snapshot and
+	// /v1/restore requests that omit "dir".
+	SnapshotDir string
+	// MaxBatch caps the samples accepted per ingest request (default
+	// 4096; oversized requests get 400).
+	MaxBatch int
+	// MaxBodyBytes caps the ingest request body (default 64 MiB;
+	// oversized bodies get 413 before they can balloon memory).
+	MaxBodyBytes int64
+	// MaxTopK caps the k accepted by /v1/topk (default 10000: the
+	// retrieval fan-out allocates proportionally to k·shards, so an
+	// unauthenticated request must not pick it freely).
+	MaxTopK int
+}
+
+// Server is the HTTP facade over a shard.Manager.
+type Server struct {
+	opts    Options
+	mgr     atomic.Pointer[shard.Manager]
+	mux     *http.ServeMux
+	metrics *metrics
+	// swapMu serializes restore swaps (and final Close) so two
+	// concurrent restores cannot interleave their close/swap pairs.
+	swapMu sync.Mutex
+}
+
+// New wraps mgr. The caller keeps ownership of nothing: Close tears
+// down the currently installed manager.
+func New(mgr *shard.Manager, opts Options) *Server {
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = 4096
+	}
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = 64 << 20
+	}
+	if opts.MaxTopK <= 0 {
+		opts.MaxTopK = 10_000
+	}
+	s := &Server{opts: opts, metrics: newMetrics()}
+	s.mgr.Store(mgr)
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/ingest", s.instrument("ingest", s.handleIngest))
+	mux.HandleFunc("GET /v1/topk", s.instrument("topk", s.handleTopK))
+	mux.HandleFunc("GET /v1/estimate", s.instrument("estimate", s.handleEstimate))
+	mux.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleStats))
+	mux.HandleFunc("POST /v1/snapshot", s.instrument("snapshot", s.handleSnapshot))
+	mux.HandleFunc("POST /v1/restore", s.instrument("restore", s.handleRestore))
+	s.mux = mux
+	return s
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Manager returns the currently installed manager.
+func (s *Server) Manager() *shard.Manager { return s.mgr.Load() }
+
+// Close tears down the installed manager (draining its workers).
+func (s *Server) Close() error {
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	return s.mgr.Load().Close()
+}
+
+// httpError wraps an error with the status it should surface as.
+type httpError struct {
+	status int
+	err    error
+}
+
+func (e *httpError) Error() string { return e.err.Error() }
+func (e *httpError) Unwrap() error { return e.err }
+
+func badRequest(format string, args ...any) *httpError {
+	return &httpError{status: http.StatusBadRequest, err: fmt.Errorf(format, args...)}
+}
+
+// statusOf maps manager errors onto HTTP statuses.
+func statusOf(err error) int {
+	var he *httpError
+	switch {
+	case errors.As(err, &he):
+		return he.status
+	case errors.Is(err, shard.ErrWarmingUp), errors.Is(err, shard.ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, shard.ErrHorizon):
+		return http.StatusConflict
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// instrument adapts a JSON handler, recording latency and errors and
+// rendering the uniform error envelope. Handlers receive w only to
+// thread it into body-size limiting; instrument owns all writes.
+func (s *Server) instrument(name string, fn func(w http.ResponseWriter, r *http.Request) (any, error)) http.HandlerFunc {
+	em := s.metrics.endpoint(name)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		resp, err := fn(w, r)
+		em.observe(time.Since(start), err != nil)
+		w.Header().Set("Content-Type", "application/json")
+		if err != nil {
+			w.WriteHeader(statusOf(err))
+			json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+			return
+		}
+		json.NewEncoder(w).Encode(resp)
+	}
+}
+
+// SampleJSON is the wire form of one sparse sample.
+type SampleJSON struct {
+	Idx []int     `json:"idx"`
+	Val []float64 `json:"val"`
+}
+
+// IngestRequest is the body of POST /v1/ingest.
+type IngestRequest struct {
+	Samples []SampleJSON `json:"samples"`
+}
+
+// IngestResponse reports the step range the batch occupies.
+type IngestResponse struct {
+	Accepted int  `json:"accepted"`
+	First    int  `json:"first"`
+	Last     int  `json:"last"`
+	Warming  bool `json:"warming"`
+}
+
+// decodeBody JSON-decodes at most limit bytes of the request body into
+// v: 413 past the cap, 400 on malformed JSON. Every body-carrying
+// endpoint goes through it so none can balloon memory; the
+// ResponseWriter lets net/http close the connection on overrun instead
+// of draining the doomed upload.
+func decodeBody(w http.ResponseWriter, r *http.Request, limit int64, v any) error {
+	body := http.MaxBytesReader(w, r.Body, limit)
+	if err := json.NewDecoder(body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return &httpError{status: http.StatusRequestEntityTooLarge,
+				err: fmt.Errorf("request body exceeds %d bytes", tooBig.Limit)}
+		}
+		return badRequest("decoding body: %v", err)
+	}
+	return nil
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) (any, error) {
+	var req IngestRequest
+	if err := decodeBody(w, r, s.opts.MaxBodyBytes, &req); err != nil {
+		return nil, err
+	}
+	if len(req.Samples) == 0 {
+		return nil, badRequest("ingest body has no samples")
+	}
+	if len(req.Samples) > s.opts.MaxBatch {
+		return nil, badRequest("batch of %d samples exceeds limit %d", len(req.Samples), s.opts.MaxBatch)
+	}
+	samples := make([]stream.Sample, len(req.Samples))
+	for i, sj := range req.Samples {
+		samples[i] = stream.Sample{Idx: sj.Idx, Val: sj.Val}
+	}
+	mgr := s.mgr.Load()
+	first, last, err := mgr.Ingest(samples)
+	if err != nil {
+		if errors.Is(err, shard.ErrInvalidSample) {
+			return nil, badRequest("%v", err)
+		}
+		// Sentinels map via statusOf; anything else (e.g. a warm-up
+		// schedule derivation failure) is a server-side 500, not the
+		// client's fault.
+		return nil, err
+	}
+	return IngestResponse{Accepted: len(samples), First: first, Last: last, Warming: mgr.Warming()}, nil
+}
+
+// PairJSON is the wire form of one retrieved pair.
+type PairJSON struct {
+	A        int     `json:"a"`
+	B        int     `json:"b"`
+	Key      uint64  `json:"key"`
+	Estimate float64 `json:"estimate"`
+}
+
+// TopKResponse is the body of GET /v1/topk.
+type TopKResponse struct {
+	Step  int        `json:"step"`
+	Pairs []PairJSON `json:"pairs"`
+}
+
+func (s *Server) handleTopK(_ http.ResponseWriter, r *http.Request) (any, error) {
+	k := 25
+	if raw := r.URL.Query().Get("k"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 1 {
+			return nil, badRequest("invalid k %q", raw)
+		}
+		if v > s.opts.MaxTopK {
+			return nil, badRequest("k=%d exceeds limit %d", v, s.opts.MaxTopK)
+		}
+		k = v
+	}
+	mgr := s.mgr.Load()
+	var (
+		pairs []shard.PairEstimate
+		err   error
+	)
+	if mag := r.URL.Query().Get("magnitude"); mag == "1" || mag == "true" {
+		pairs, err = mgr.TopKMagnitude(k)
+	} else {
+		pairs, err = mgr.TopK(k)
+	}
+	if err != nil {
+		return nil, err
+	}
+	resp := TopKResponse{Step: mgr.Step(), Pairs: make([]PairJSON, len(pairs))}
+	for i, p := range pairs {
+		resp.Pairs[i] = PairJSON{A: p.A, B: p.B, Key: p.Key, Estimate: p.Estimate}
+	}
+	return resp, nil
+}
+
+// EstimateResponse is the body of GET /v1/estimate.
+type EstimateResponse struct {
+	I        int     `json:"i"`
+	J        int     `json:"j"`
+	Step     int     `json:"step"`
+	Estimate float64 `json:"estimate"`
+}
+
+func (s *Server) handleEstimate(_ http.ResponseWriter, r *http.Request) (any, error) {
+	q := r.URL.Query()
+	i, errI := strconv.Atoi(q.Get("i"))
+	j, errJ := strconv.Atoi(q.Get("j"))
+	if errI != nil || errJ != nil {
+		return nil, badRequest("estimate needs integer query params i and j")
+	}
+	mgr := s.mgr.Load()
+	est, err := mgr.Estimate(i, j)
+	if err != nil {
+		if errors.Is(err, shard.ErrWarmingUp) || errors.Is(err, shard.ErrClosed) {
+			return nil, err
+		}
+		return nil, badRequest("%v", err)
+	}
+	return EstimateResponse{I: i, J: j, Step: mgr.Step(), Estimate: est}, nil
+}
+
+// StatsResponse is the body of GET /v1/stats.
+type StatsResponse struct {
+	Manager  shard.Stats              `json:"manager"`
+	Requests map[string]EndpointStats `json:"requests"`
+}
+
+func (s *Server) handleStats(_ http.ResponseWriter, r *http.Request) (any, error) {
+	st, err := s.mgr.Load().Stats()
+	if err != nil {
+		return nil, err
+	}
+	return StatsResponse{Manager: st, Requests: s.metrics.snapshot()}, nil
+}
+
+// SnapshotRequest selects the snapshot/restore directory: empty means
+// the server's configured default; otherwise a local (relative,
+// non-escaping) name resolved under it. Clients never name absolute
+// filesystem paths — an unauthenticated endpoint that wrote and
+// garbage-collected arbitrary directories would be a remote
+// file-create/delete primitive.
+type SnapshotRequest struct {
+	Dir string `json:"dir"`
+}
+
+// SnapshotResponse is the body of POST /v1/snapshot and /v1/restore.
+type SnapshotResponse struct {
+	Dir  string `json:"dir"`
+	Step int    `json:"step"`
+}
+
+func (s *Server) snapshotDir(w http.ResponseWriter, r *http.Request) (string, error) {
+	var req SnapshotRequest
+	if r.ContentLength != 0 {
+		// A directory name fits in well under a MiB; anything bigger is
+		// not a snapshot request.
+		if err := decodeBody(w, r, 1<<20, &req); err != nil {
+			return "", err
+		}
+	}
+	if s.opts.SnapshotDir == "" {
+		return "", badRequest("snapshots are disabled: no snapshot dir configured")
+	}
+	if req.Dir == "" {
+		return s.opts.SnapshotDir, nil
+	}
+	if !filepath.IsLocal(req.Dir) {
+		return "", badRequest("dir %q must be a local name under the configured snapshot dir", req.Dir)
+	}
+	return filepath.Join(s.opts.SnapshotDir, req.Dir), nil
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) (any, error) {
+	dir, err := s.snapshotDir(w, r)
+	if err != nil {
+		return nil, err
+	}
+	mgr := s.mgr.Load()
+	if err := mgr.Snapshot(dir); err != nil {
+		return nil, err
+	}
+	return SnapshotResponse{Dir: dir, Step: mgr.Step()}, nil
+}
+
+func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) (any, error) {
+	dir, err := s.snapshotDir(w, r)
+	if err != nil {
+		return nil, err
+	}
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	restored, err := shard.Restore(dir)
+	if err != nil {
+		return nil, fmt.Errorf("restoring %s: %w", dir, err)
+	}
+	old := s.mgr.Swap(restored)
+	if err := old.Close(); err != nil {
+		return nil, err
+	}
+	return SnapshotResponse{Dir: dir, Step: restored.Step()}, nil
+}

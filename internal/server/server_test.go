@@ -1,0 +1,245 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/countsketch"
+	"repro/internal/dataset"
+	"repro/internal/server"
+	"repro/internal/shard"
+	"repro/internal/stream"
+)
+
+func newTestServer(t *testing.T, cfg shard.Config, opts server.Options) (*server.Server, *httptest.Server) {
+	t.Helper()
+	mgr, err := shard.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(mgr, opts)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := http.Post(url, "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out.Bytes()
+}
+
+func getJSON(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func wireSamples(samples []stream.Sample) server.IngestRequest {
+	req := server.IngestRequest{Samples: make([]server.SampleJSON, len(samples))}
+	for i, s := range samples {
+		req.Samples[i] = server.SampleJSON{Idx: s.Idx, Val: s.Val}
+	}
+	return req
+}
+
+// TestServerRoundTrip drives the full serving loop over HTTP: ingest →
+// topk → snapshot → restore → identical topk.
+func TestServerRoundTrip(t *testing.T) {
+	const d, n = 50, 1000
+	ds := dataset.Simulation(d, n, 0.015, 13)
+	samples := make([]stream.Sample, n)
+	for i, r := range ds.Rows {
+		samples[i] = stream.FromDense(r)
+	}
+	skCfg := countsketch.Config{Tables: 5, Range: 2048, Seed: 29}
+	snapRoot := t.TempDir()
+	_, ts := newTestServer(t, shard.Config{
+		Dim: d, Shards: 4,
+		Engine: shard.EngineSpec{Kind: shard.KindCS, Sketch: skCfg, T: n},
+	}, server.Options{SnapshotDir: snapRoot})
+
+	for lo := 0; lo < n; lo += 200 {
+		resp, body := postJSON(t, ts.URL+"/v1/ingest", wireSamples(samples[lo:lo+200]))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest status %d: %s", resp.StatusCode, body)
+		}
+		var ir server.IngestResponse
+		if err := json.Unmarshal(body, &ir); err != nil {
+			t.Fatal(err)
+		}
+		if ir.Accepted != 200 || ir.First != lo+1 || ir.Last != lo+200 {
+			t.Fatalf("ingest response %+v at lo=%d", ir, lo)
+		}
+	}
+
+	var before server.TopKResponse
+	if resp := getJSON(t, ts.URL+"/v1/topk?k=10&magnitude=1", &before); resp.StatusCode != http.StatusOK {
+		t.Fatalf("topk status %d", resp.StatusCode)
+	}
+	if before.Step != n || len(before.Pairs) != 10 {
+		t.Fatalf("topk response step=%d pairs=%d", before.Step, len(before.Pairs))
+	}
+
+	var est server.EstimateResponse
+	top := before.Pairs[0]
+	if resp := getJSON(t, fmt.Sprintf("%s/v1/estimate?i=%d&j=%d", ts.URL, top.A, top.B), &est); resp.StatusCode != http.StatusOK {
+		t.Fatalf("estimate status %d", resp.StatusCode)
+	}
+	if est.Estimate != top.Estimate {
+		t.Fatalf("estimate %v != topk estimate %v", est.Estimate, top.Estimate)
+	}
+
+	resp, body := postJSON(t, ts.URL+"/v1/snapshot", server.SnapshotRequest{Dir: "checkpoint-1"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot status %d: %s", resp.StatusCode, body)
+	}
+	var snap server.SnapshotResponse
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Step != n {
+		t.Fatalf("snapshot at step %d, want %d", snap.Step, n)
+	}
+	if snap.Dir != filepath.Join(snapRoot, "checkpoint-1") {
+		t.Fatalf("snapshot resolved to %q, want it confined under %q", snap.Dir, snapRoot)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/restore", server.SnapshotRequest{Dir: "checkpoint-1"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("restore status %d: %s", resp.StatusCode, body)
+	}
+
+	var after server.TopKResponse
+	if resp := getJSON(t, ts.URL+"/v1/topk?k=10&magnitude=1", &after); resp.StatusCode != http.StatusOK {
+		t.Fatalf("topk-after status %d", resp.StatusCode)
+	}
+	if len(after.Pairs) != len(before.Pairs) {
+		t.Fatalf("topk after restore has %d pairs, want %d", len(after.Pairs), len(before.Pairs))
+	}
+	for i := range after.Pairs {
+		if after.Pairs[i] != before.Pairs[i] {
+			t.Fatalf("topk[%d] changed across snapshot/restore: %+v vs %+v", i, before.Pairs[i], after.Pairs[i])
+		}
+	}
+
+	var st server.StatsResponse
+	if resp := getJSON(t, ts.URL+"/v1/stats", &st); resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status %d", resp.StatusCode)
+	}
+	if st.Manager.Step != n || st.Manager.Shards != 4 {
+		t.Fatalf("stats manager %+v", st.Manager)
+	}
+	if st.Requests["ingest"].Count != 5 || st.Requests["ingest"].Errors != 0 {
+		t.Fatalf("ingest metrics %+v", st.Requests["ingest"])
+	}
+	if st.Requests["topk"].Count < 2 {
+		t.Fatalf("topk metrics %+v", st.Requests["topk"])
+	}
+}
+
+// TestServerStatusMapping covers the error envelope: 400 on malformed
+// input, 503 while warming, 409 past the horizon.
+func TestServerStatusMapping(t *testing.T) {
+	const d, n = 30, 400
+	ds := dataset.Simulation(d, n, 0.02, 5)
+	samples := make([]stream.Sample, n)
+	for i, r := range ds.Rows {
+		samples[i] = stream.FromDense(r)
+	}
+	skCfg := countsketch.Config{Tables: 4, Range: 1024, Seed: 3}
+	_, ts := newTestServer(t, shard.Config{
+		Dim: d, Shards: 2, Warmup: 100,
+		Engine: shard.EngineSpec{Kind: shard.KindASCS, Sketch: skCfg, T: n},
+	}, server.Options{SnapshotDir: t.TempDir()})
+
+	if resp, _ := postJSON(t, ts.URL+"/v1/ingest", map[string]any{"samples": []any{}}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty ingest: status %d, want 400", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/v1/estimate?i=zero&j=1", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad estimate params: status %d, want 400", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/v1/topk?k=2000000000", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("huge k: status %d, want 400", resp.StatusCode)
+	}
+	// Malformed samples are the client's fault, not a 500.
+	if resp, _ := postJSON(t, ts.URL+"/v1/ingest", server.IngestRequest{
+		Samples: []server.SampleJSON{{Idx: []int{5, 3}, Val: []float64{1, 2}}},
+	}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("decreasing indices: status %d, want 400", resp.StatusCode)
+	}
+	// Snapshot/restore paths are confined to the configured directory.
+	for _, dir := range []string{"/etc/passwd-dir", "../escape", ".."} {
+		if resp, _ := postJSON(t, ts.URL+"/v1/snapshot", server.SnapshotRequest{Dir: dir}); resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("snapshot dir %q: status %d, want 400", dir, resp.StatusCode)
+		}
+	}
+	// Body cap: a server with a tiny MaxBodyBytes rejects with 413.
+	_, tiny := newTestServer(t, shard.Config{
+		Dim: d, Shards: 1,
+		Engine: shard.EngineSpec{Kind: shard.KindCS, Sketch: skCfg, T: n},
+	}, server.Options{MaxBodyBytes: 16})
+	if resp, _ := postJSON(t, tiny.URL+"/v1/ingest", server.IngestRequest{
+		Samples: []server.SampleJSON{{Idx: []int{0, 1}, Val: []float64{1, 2}}},
+	}); resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d, want 413", resp.StatusCode)
+	}
+
+	// Warming: queries 503, ingest fine.
+	if resp, body := postJSON(t, ts.URL+"/v1/ingest", wireSamples(samples[:50])); resp.StatusCode != http.StatusOK {
+		t.Fatalf("warming ingest status %d: %s", resp.StatusCode, body)
+	}
+	if resp := getJSON(t, ts.URL+"/v1/topk?k=5", nil); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("warming topk: status %d, want 503", resp.StatusCode)
+	}
+	if resp, _ := postJSON(t, ts.URL+"/v1/snapshot", server.SnapshotRequest{Dir: "early"}); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("warming snapshot: status %d, want 503", resp.StatusCode)
+	}
+
+	// Complete the stream, then overrun the horizon.
+	if resp, body := postJSON(t, ts.URL+"/v1/ingest", wireSamples(samples[50:])); resp.StatusCode != http.StatusOK {
+		t.Fatalf("full ingest status %d: %s", resp.StatusCode, body)
+	}
+	if resp, _ := postJSON(t, ts.URL+"/v1/ingest", wireSamples(samples[:10])); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("horizon overrun: status %d, want 409", resp.StatusCode)
+	}
+
+	// Restore from a missing snapshot must not wedge the server.
+	if resp, _ := postJSON(t, ts.URL+"/v1/restore", server.SnapshotRequest{Dir: "never-written"}); resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("bogus restore: status %d, want 500", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/v1/topk?k=5", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("server wedged after failed restore: status %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,685 @@
+// Package shard is the serving layer of the reproduction: it partitions
+// the pair-key space across N shard workers so a long-running process
+// can ingest sample streams continuously and answer live top-k
+// correlation queries while the stream is still flowing — the "active"
+// regime the paper motivates, as opposed to the one-shot batch runs of
+// the cmd/ binaries.
+//
+// # Architecture
+//
+// Each worker owns one sketching engine (a sketchapi.Snapshotter: the
+// vanilla CS MeanSketch or the ASCS core.Engine) plus a bounded
+// candidate tracker, and runs a single goroutine draining one FIFO
+// channel of messages. Ingest enumerates the feature pairs of each
+// sample, routes every (key, increment) to the shard owning that key
+// (a mixed hash of the pair key modulo N), and sends batched ops down
+// the owning worker's channel. Because a key's entire history lands on
+// exactly one worker, applied in arrival order by one goroutine, the
+// hot path needs no locks at all — no sync.RWMutex around the sketch —
+// and the ASCS admission gate remains a *sequential* per-key decision,
+// which is exactly the paper's §5 constraint (the gate at step t reads
+// the estimate produced by steps 1..t−1; it cannot be replayed out of
+// order). Sharding by key is what makes ASCS parallelizable at all:
+// sample-level parallelism (covstream.ParallelSecondMoment) works only
+// for the linear CS engine.
+//
+// Queries (point estimate, top-k, stats, snapshot) are closures
+// executed on the owning worker's goroutine via the same FIFO channel,
+// so they observe a consistent engine state without synchronization
+// and are totally ordered with respect to ingest batches. Top-k fans
+// out to all shards and merges the per-shard candidates through one
+// bounded heap.
+//
+// # Linearity
+//
+// All shards share one countsketch.Config (hence identical hash
+// functions), so the Count Sketch's linearity — the property behind
+// Sketch.Split/Merge — gives a strong equivalence for the CS engine:
+// since every key is inserted into exactly one shard, the cell-wise
+// sum of the shard tables (MergedSketch) equals the table produced by
+// serial single-sketch ingestion of the same stream, up to
+// floating-point summation order. The shard tests assert this. For
+// ASCS the tables merge the same way but the admission gates were
+// evaluated against per-shard (lower-noise) estimates, so the merged
+// sketch is a valid — typically slightly better-filtered — ASCS state
+// rather than a bit-identical replay of the serial run.
+//
+// # Steps and horizon
+//
+// The manager assigns a global 1-based step to every ingested sample
+// and engines scale inserts by 1/T exactly as in the batch pipeline.
+// Concurrent Ingest calls are applied in an arbitrary interleaving;
+// workers monotonize the step sequence they announce to their engine
+// so the Ingestor contract (non-decreasing steps) holds under any
+// interleaving. The stream horizon T is fixed at construction; ingest
+// beyond it is rejected (sliding-window serving is future work, see
+// DESIGN.md).
+//
+// The ingest call that completes the warm-up prefix derives the
+// schedule and replays the buffered prefix while holding the control
+// mutex: queries and concurrent ingest block until the replay
+// finishes. That keeps op ordering trivially correct (nothing can
+// overtake the prefix); for very large warm-ups the one-time stall is
+// the trade-off (see the ROADMAP item on releasing it).
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/countsketch"
+	"repro/internal/hashing"
+	"repro/internal/pairs"
+	"repro/internal/sketchapi"
+	"repro/internal/stream"
+	"repro/internal/topk"
+)
+
+// Sentinel errors returned by Manager operations.
+var (
+	// ErrClosed is returned after Close.
+	ErrClosed = errors.New("shard: manager is closed")
+	// ErrWarmingUp is returned by queries while the manager is still
+	// buffering its warm-up prefix (auto-tuned ASCS configurations).
+	ErrWarmingUp = errors.New("shard: still warming up (ingest more samples)")
+	// ErrHorizon is returned when ingest would exceed the configured
+	// stream horizon T.
+	ErrHorizon = errors.New("shard: stream exceeds configured horizon T")
+	// ErrInvalidSample wraps sample-validation failures, so transports
+	// can blame the producer (4xx) rather than the service (5xx) —
+	// warm-up derivation failures, by contrast, are server-side.
+	ErrInvalidSample = errors.New("shard: invalid sample")
+)
+
+// Config configures a Manager.
+type Config struct {
+	// Dim is the feature dimensionality d. Required.
+	Dim int
+	// Shards is the number of shard workers N (default 1).
+	Shards int
+	// Engine describes the per-shard engine. For KindASCS with a zero
+	// Schedule the schedule is auto-derived from a warm-up prefix
+	// (Warmup must be positive).
+	Engine EngineSpec
+	// Warmup, when positive, buffers that many leading samples to derive
+	// the ASCS schedule (and standardization) before the workers start.
+	Warmup int
+	// Alpha is the assumed signal-pair sparsity used by the warm-up
+	// solver (default 0.005, as in the batch Estimator).
+	Alpha float64
+	// Standardize rescales features to unit variance using the warm-up
+	// prefix so estimates approximate correlations (requires Warmup).
+	Standardize bool
+	// QueueLen is the per-shard channel depth in batches (default 64).
+	QueueLen int
+	// FlushOps is the op-count at which a per-shard ingest batch is
+	// flushed to its worker (default 4096).
+	FlushOps int
+	// TrackCandidates bounds each shard's retrieval candidate set
+	// (default 1<<14). Serving retrieval is always candidate-tracked:
+	// at trillion-pair scale the universe cannot be enumerated.
+	TrackCandidates int
+	// InvStd, when non-nil, fixes the per-feature scaling factors
+	// directly (length Dim); used by Restore and by callers that fitted
+	// standardization elsewhere.
+	InvStd []float64
+}
+
+func (c *Config) fill() error {
+	if c.Dim < 2 {
+		return fmt.Errorf("shard: Dim must be ≥ 2, got %d", c.Dim)
+	}
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
+	if c.Shards < 1 || c.Shards > 1024 {
+		return fmt.Errorf("shard: Shards must be in [1,1024], got %d", c.Shards)
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.005
+	}
+	if c.Alpha <= 0 || c.Alpha >= 1 {
+		return fmt.Errorf("shard: Alpha must be in (0,1), got %v", c.Alpha)
+	}
+	if c.QueueLen <= 0 {
+		c.QueueLen = 64
+	}
+	if c.FlushOps <= 0 {
+		c.FlushOps = 4096
+	}
+	if c.TrackCandidates <= 0 {
+		c.TrackCandidates = 1 << 14
+	}
+	if c.InvStd != nil && len(c.InvStd) != c.Dim {
+		return fmt.Errorf("shard: InvStd has length %d, want %d", len(c.InvStd), c.Dim)
+	}
+	return nil
+}
+
+// op is one routed pair increment: apply X_key^{(t)} = x.
+type op struct {
+	t   int
+	key uint64
+	x   float64
+}
+
+// msg is the single FIFO unit consumed by a worker: either an ingest
+// batch (ops) or a control/query closure (fn). One channel for both is
+// what makes queries and snapshots totally ordered with ingest.
+type msg struct {
+	ops []op
+	fn  func()
+}
+
+// worker owns one engine. All fields below ch are touched only by the
+// worker goroutine (or inside closures it executes) — never locked.
+type worker struct {
+	id    int
+	ch    chan msg
+	eng   sketchapi.Snapshotter
+	track *topk.Tracker
+	lastT int
+	ops   uint64
+}
+
+func (w *worker) run(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for m := range w.ch {
+		if m.fn != nil {
+			m.fn()
+			continue
+		}
+		w.apply(m.ops)
+	}
+}
+
+func (w *worker) apply(ops []op) {
+	for _, o := range ops {
+		if o.t > w.lastT {
+			w.lastT = o.t
+			w.eng.BeginStep(o.t)
+		}
+		w.eng.Offer(o.key, o.x)
+		// Same candidate policy as the batch retrieval path
+		// (covstream): score by the current |estimate| and rescore at
+		// query time, so keys the gate keeps admitting stay hot.
+		w.track.Offer(o.key, math.Abs(w.eng.Estimate(o.key)))
+		w.ops++
+	}
+}
+
+// kv is a per-shard query result: a candidate key with its signed
+// estimate at the shard's current step.
+type kv struct {
+	key uint64
+	est float64
+}
+
+// localTop returns the shard's k best candidates under rank.
+func (w *worker) localTop(k int, rank func(float64) float64) []kv {
+	items := w.track.Top(k, func(key uint64) float64 { return rank(w.eng.Estimate(key)) })
+	out := make([]kv, len(items))
+	for i, it := range items {
+		out[i] = kv{key: it.Key, est: w.eng.Estimate(it.Key)}
+	}
+	return out
+}
+
+// Manager partitions the pair-key space across shard workers and fronts
+// ingest, query, and snapshot traffic for all of them.
+type Manager struct {
+	cfg Config
+
+	// mu guards lifecycle and step assignment only — the control plane.
+	// The data plane (sketch access) is lock-free by construction: each
+	// sketch is confined to its worker goroutine.
+	mu      sync.Mutex
+	t       int
+	closed  bool
+	warming bool
+	wbuf    []stream.Sample
+	invStd  []float64
+	spec    EngineSpec
+
+	sendWG   sync.WaitGroup // in-flight channel sends, for safe Close
+	workerWG sync.WaitGroup
+	workers  []*worker
+}
+
+// New validates cfg and starts the shard workers (immediately, or after
+// the warm-up prefix for auto-tuned configurations).
+func New(cfg Config) (*Manager, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	needSchedule := cfg.Engine.Kind == KindASCS && cfg.Engine.Schedule == zeroSchedule
+	if err := cfg.Engine.validate(!needSchedule); err != nil {
+		return nil, err
+	}
+	needWarm := needSchedule || cfg.Standardize
+	if needWarm && cfg.Warmup < 4 {
+		return nil, fmt.Errorf("shard: engine %q with auto schedule (or Standardize) requires Warmup ≥ 4", cfg.Engine.Kind)
+	}
+	if !needWarm && cfg.Warmup > 0 {
+		return nil, fmt.Errorf("shard: Warmup has no effect for engine %q with a fixed schedule and no Standardize; set it to 0", cfg.Engine.Kind)
+	}
+	if cfg.Warmup >= cfg.Engine.T {
+		return nil, fmt.Errorf("shard: Warmup (%d) must be below the horizon T (%d)", cfg.Warmup, cfg.Engine.T)
+	}
+	m := &Manager{cfg: cfg, spec: cfg.Engine, invStd: cfg.InvStd}
+	if needWarm {
+		m.warming = true
+		return m, nil
+	}
+	if err := m.start(cfg.Engine); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// start builds the workers from spec and launches their goroutines.
+// Callers hold mu or have exclusive access (construction).
+func (m *Manager) start(spec EngineSpec) error {
+	workers := make([]*worker, m.cfg.Shards)
+	for i := range workers {
+		eng, err := spec.build()
+		if err != nil {
+			return err
+		}
+		workers[i] = &worker{
+			id:    i,
+			ch:    make(chan msg, m.cfg.QueueLen),
+			eng:   eng,
+			track: topk.NewTracker(m.cfg.TrackCandidates),
+		}
+	}
+	m.spec = spec
+	m.workers = workers
+	m.workerWG.Add(len(workers))
+	for _, w := range workers {
+		go w.run(&m.workerWG)
+	}
+	return nil
+}
+
+// shardOf routes a pair key to its owning shard. The mix decorrelates
+// the routing from the structured linear pair index (and from the
+// sketch hashes, which mix against per-table seeds).
+func (m *Manager) shardOf(key uint64) int {
+	return int(hashing.Mix64(key) % uint64(m.cfg.Shards))
+}
+
+// Dim returns the configured feature dimensionality.
+func (m *Manager) Dim() int { return m.cfg.Dim }
+
+// Horizon returns the stream horizon T.
+func (m *Manager) Horizon() int { return m.cfg.Engine.T }
+
+// Step returns the highest assigned global step.
+func (m *Manager) Step() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.warming {
+		return len(m.wbuf)
+	}
+	return m.t
+}
+
+// Warming reports whether the manager is still buffering its warm-up
+// prefix.
+func (m *Manager) Warming() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.warming
+}
+
+// Ingest feeds a batch of samples, assigning them consecutive global
+// steps. It returns the step range [first, last] they occupy. Safe for
+// concurrent use; concurrent batches interleave in an arbitrary order.
+func (m *Manager) Ingest(samples []stream.Sample) (first, last int, err error) {
+	if len(samples) == 0 {
+		return 0, 0, nil
+	}
+	for i := range samples {
+		if err := samples[i].Validate(m.cfg.Dim); err != nil {
+			return 0, 0, fmt.Errorf("%w %d: %v", ErrInvalidSample, i, err)
+		}
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return 0, 0, ErrClosed
+	}
+	if m.warming {
+		defer m.mu.Unlock()
+		return m.ingestWarming(samples)
+	}
+	if m.t+len(samples) > m.cfg.Engine.T {
+		m.mu.Unlock()
+		return 0, 0, fmt.Errorf("%w: step %d + %d samples > T=%d", ErrHorizon, m.t, len(samples), m.cfg.Engine.T)
+	}
+	base := m.t + 1
+	m.t += len(samples)
+	m.sendWG.Add(1)
+	m.mu.Unlock()
+	defer m.sendWG.Done()
+	m.route(samples, base)
+	return base, base + len(samples) - 1, nil
+}
+
+// ingestWarming buffers samples under mu; crossing the warm-up
+// threshold derives the engine spec, starts the workers, and replays
+// the buffered prefix as steps 1..len(buf).
+func (m *Manager) ingestWarming(samples []stream.Sample) (first, last int, err error) {
+	if len(m.wbuf)+len(samples) > m.cfg.Engine.T {
+		return 0, 0, fmt.Errorf("%w: warm-up buffer %d + %d samples > T=%d", ErrHorizon, len(m.wbuf), len(samples), m.cfg.Engine.T)
+	}
+	first = len(m.wbuf) + 1
+	for _, s := range samples {
+		m.wbuf = append(m.wbuf, s.Clone())
+	}
+	last = len(m.wbuf)
+	if len(m.wbuf) < m.cfg.Warmup {
+		return first, last, nil
+	}
+	// On derivation/start failure, roll this call's samples back out of
+	// the buffer: the client sees an error and will resend them, and
+	// keeping a copy would replay them twice on the retry.
+	spec, invStd, err := m.deriveSpec()
+	if err != nil {
+		m.wbuf = m.wbuf[:first-1]
+		return 0, 0, err
+	}
+	if m.cfg.Standardize {
+		m.invStd = invStd
+	}
+	if err := m.start(spec); err != nil {
+		m.wbuf = m.wbuf[:first-1]
+		return 0, 0, err
+	}
+	m.warming = false
+	m.t = len(m.wbuf)
+	m.route(m.wbuf, 1)
+	m.wbuf = nil
+	return first, last, nil
+}
+
+// route enumerates the pair increments of samples (whose global steps
+// are base, base+1, ...), bins them by owning shard, and ships batches.
+func (m *Manager) route(samples []stream.Sample, base int) {
+	bufs := make([][]op, m.cfg.Shards)
+	var scaled []float64
+	for k := range samples {
+		s := samples[k]
+		t := base + k
+		idx, val := s.Idx, s.Val
+		if m.invStd != nil {
+			scaled = scaled[:0]
+			for i, ix := range idx {
+				scaled = append(scaled, val[i]*m.invStd[ix])
+			}
+			val = scaled
+		}
+		for i := 0; i < len(idx); i++ {
+			for j := i + 1; j < len(idx); j++ {
+				key := pairs.Key(idx[i], idx[j], m.cfg.Dim)
+				sh := m.shardOf(key)
+				bufs[sh] = append(bufs[sh], op{t: t, key: key, x: val[i] * val[j]})
+				if len(bufs[sh]) >= m.cfg.FlushOps {
+					m.workers[sh].ch <- msg{ops: bufs[sh]}
+					bufs[sh] = nil
+				}
+			}
+		}
+	}
+	for sh, b := range bufs {
+		if len(b) > 0 {
+			m.workers[sh].ch <- msg{ops: b}
+		}
+	}
+}
+
+// exec runs fn on the shard's worker goroutine and waits for it. FIFO
+// channel order means fn observes every batch enqueued before it.
+func (m *Manager) exec(sh int, fn func(w *worker)) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return ErrClosed
+	}
+	if m.warming {
+		m.mu.Unlock()
+		return ErrWarmingUp
+	}
+	m.sendWG.Add(1)
+	m.mu.Unlock()
+	defer m.sendWG.Done()
+	done := make(chan struct{})
+	w := m.workers[sh]
+	w.ch <- msg{fn: func() {
+		fn(w)
+		close(done)
+	}}
+	<-done
+	return nil
+}
+
+// execAll runs fn concurrently on every worker and waits for all. exec
+// errors are lifecycle states shared by every shard (closed, warming),
+// so the first one stands for all of them.
+func (m *Manager) execAll(fn func(w *worker)) error {
+	errs := make([]error, m.cfg.Shards)
+	var wg sync.WaitGroup
+	wg.Add(m.cfg.Shards)
+	for i := 0; i < m.cfg.Shards; i++ {
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = m.exec(i, fn)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush blocks until every shard has applied all ingest enqueued before
+// the call (a per-shard barrier, used before snapshots and by tests).
+func (m *Manager) Flush() error {
+	return m.execAll(func(*worker) {})
+}
+
+// EstimateKey returns the current estimate for a pair key, answered by
+// the owning shard (scaled by t/T before the stream completes, exactly
+// as in the batch pipeline).
+func (m *Manager) EstimateKey(key uint64) (float64, error) {
+	if key >= uint64(pairs.Count(m.cfg.Dim)) {
+		return 0, fmt.Errorf("shard: key %d out of range for Dim=%d", key, m.cfg.Dim)
+	}
+	var est float64
+	err := m.exec(m.shardOf(key), func(w *worker) { est = w.eng.Estimate(key) })
+	return est, err
+}
+
+// Estimate returns the current estimate for the feature pair (a, b).
+func (m *Manager) Estimate(a, b int) (float64, error) {
+	if a > b {
+		a, b = b, a
+	}
+	if a < 0 || a == b || b >= m.cfg.Dim {
+		return 0, fmt.Errorf("shard: invalid pair (%d,%d) for Dim=%d", a, b, m.cfg.Dim)
+	}
+	return m.EstimateKey(pairs.Key(a, b, m.cfg.Dim))
+}
+
+// PairEstimate is one retrieved pair with its estimated mean.
+type PairEstimate struct {
+	A, B     int
+	Key      uint64
+	Estimate float64
+}
+
+// TopK returns the k pairs with the largest (signed) estimates,
+// fanning the query out to every shard and merging the candidates.
+func (m *Manager) TopK(k int) ([]PairEstimate, error) {
+	return m.topK(k, func(v float64) float64 { return v })
+}
+
+// TopKMagnitude ranks by |estimate| so strong negative correlations
+// surface alongside positive ones.
+func (m *Manager) TopKMagnitude(k int) ([]PairEstimate, error) {
+	return m.topK(k, math.Abs)
+}
+
+func (m *Manager) topK(k int, rank func(float64) float64) ([]PairEstimate, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("shard: k must be ≥ 1")
+	}
+	locals := make([][]kv, m.cfg.Shards)
+	var mu sync.Mutex
+	err := m.execAll(func(w *worker) {
+		l := w.localTop(k, rank)
+		mu.Lock()
+		locals[w.id] = l
+		mu.Unlock()
+	})
+	if err != nil {
+		return nil, err
+	}
+	h := topk.NewHeap(k)
+	hint := k * m.cfg.Shards
+	if hint > 1<<16 {
+		hint = 1 << 16
+	}
+	ests := make(map[uint64]float64, hint)
+	for _, l := range locals {
+		for _, c := range l {
+			ests[c.key] = c.est
+			h.Push(c.key, rank(c.est))
+		}
+	}
+	items := h.SortedDesc()
+	out := make([]PairEstimate, len(items))
+	for i, it := range items {
+		a, b := pairs.Decode(int64(it.Key), m.cfg.Dim)
+		out[i] = PairEstimate{A: a, B: b, Key: it.Key, Estimate: ests[it.Key]}
+	}
+	return out, nil
+}
+
+// MergedSketch returns the cell-wise sum of all shard sketches. For the
+// CS engine this equals the sketch of serial single-engine ingestion
+// (linearity: every key lives in exactly one shard and the hash
+// functions are shared); see the package comment for ASCS semantics.
+func (m *Manager) MergedSketch() (*countsketch.Sketch, error) {
+	clones := make([]*countsketch.Sketch, m.cfg.Shards)
+	var mu sync.Mutex
+	err := m.execAll(func(w *worker) {
+		c := w.eng.(sketcher).Sketch().Clone()
+		mu.Lock()
+		clones[w.id] = c
+		mu.Unlock()
+	})
+	if err != nil {
+		return nil, err
+	}
+	merged := clones[0]
+	for _, c := range clones[1:] {
+		if err := merged.Merge(c); err != nil {
+			return nil, err
+		}
+	}
+	return merged, nil
+}
+
+// ShardStats describes one shard worker.
+type ShardStats struct {
+	Shard   int    `json:"shard"`
+	Engine  string `json:"engine"`
+	Step    int    `json:"step"`
+	Ops     uint64 `json:"ops"`
+	Bytes   int    `json:"bytes"`
+	Tracked int    `json:"tracked"`
+	Queue   int    `json:"queue"`
+}
+
+// Stats is a point-in-time view of the manager.
+type Stats struct {
+	Dim      int          `json:"dim"`
+	Shards   int          `json:"shards"`
+	Horizon  int          `json:"horizon"`
+	Step     int          `json:"step"`
+	Warming  bool         `json:"warming"`
+	Engine   string       `json:"engine"`
+	Ops      uint64       `json:"ops"`
+	Bytes    int          `json:"bytes"`
+	PerShard []ShardStats `json:"per_shard,omitempty"`
+}
+
+// Stats reports ingest progress and per-shard engine state. It is
+// answerable during warm-up (with zeroed shard entries).
+func (m *Manager) Stats() (Stats, error) {
+	m.mu.Lock()
+	st := Stats{
+		Dim:     m.cfg.Dim,
+		Shards:  m.cfg.Shards,
+		Horizon: m.cfg.Engine.T,
+		Step:    m.t,
+		Warming: m.warming,
+		Engine:  string(m.cfg.Engine.Kind),
+	}
+	if m.warming {
+		st.Step = len(m.wbuf)
+		m.mu.Unlock()
+		return st, nil
+	}
+	m.mu.Unlock()
+	per := make([]ShardStats, m.cfg.Shards)
+	var mu sync.Mutex
+	err := m.execAll(func(w *worker) {
+		s := ShardStats{
+			Shard:   w.id,
+			Engine:  w.eng.Name(),
+			Step:    w.lastT,
+			Ops:     w.ops,
+			Bytes:   w.eng.Bytes(),
+			Tracked: w.track.Len(),
+			Queue:   len(w.ch),
+		}
+		mu.Lock()
+		per[w.id] = s
+		mu.Unlock()
+	})
+	if err != nil {
+		return Stats{}, err
+	}
+	for _, s := range per {
+		st.Ops += s.Ops
+		st.Bytes += s.Bytes
+	}
+	st.PerShard = per
+	return st, nil
+}
+
+// Close drains in-flight operations, stops the workers, and marks the
+// manager unusable. It is idempotent.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	m.mu.Unlock()
+	m.sendWG.Wait()
+	for _, w := range m.workers {
+		close(w.ch)
+	}
+	m.workerWG.Wait()
+	return nil
+}

@@ -1,0 +1,347 @@
+package shard
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/countsketch"
+	"repro/internal/sketchapi"
+	"repro/internal/topk"
+)
+
+// Snapshot layout: a directory holding one self-describing binary blob
+// per shard (engine state via the internal/core and internal/countsketch
+// serializers, plus the candidate tracker) and a manifest.json. Each
+// Snapshot call gets a fresh snapshot id; its shard blobs carry the id
+// in their name, and the manifest — committed last via write-temp-then-
+// rename, which is atomic — is the sole pointer to the id that counts.
+// A crash mid-snapshot therefore leaves the previous manifest intact
+// and pointing at the previous, complete blob set: periodic snapshots
+// into one directory never destroy the last good recovery point.
+// Blobs from superseded or aborted snapshots are garbage-collected on
+// the next successful Snapshot.
+
+const (
+	manifestName    = "manifest.json"
+	shardFilePat    = "shard-%04d-%016x.bin"
+	manifestVersion = 1
+	shardMagic      = uint32(0xA5C5DA7A)
+)
+
+// snapshotMu serializes every Snapshot and Restore in the process,
+// across Manager instances: a restore swap hands the periodic
+// snapshotter a new manager mid-flight, and two interleaved snapshots
+// into one directory could otherwise commit a manifest whose blobs the
+// competing snapshot's GC already removed (or GC blobs out from under
+// a concurrent Restore). Snapshots are rare; a coarse process-wide
+// lock is the simple correct choice. Cross-process exclusion is the
+// operator's job (one daemon per snapshot directory).
+var snapshotMu sync.Mutex
+
+type manifest struct {
+	Version         int        `json:"version"`
+	SnapshotID      uint64     `json:"snapshot_id"`
+	Dim             int        `json:"dim"`
+	Shards          int        `json:"shards"`
+	Step            int        `json:"step"`
+	Alpha           float64    `json:"alpha"`
+	QueueLen        int        `json:"queue_len"`
+	FlushOps        int        `json:"flush_ops"`
+	TrackCandidates int        `json:"track_candidates"`
+	InvStd          []float64  `json:"inv_std,omitempty"`
+	Engine          EngineSpec `json:"engine"`
+}
+
+func shardFileName(dir string, shard int, id uint64) string {
+	return filepath.Join(dir, fmt.Sprintf(shardFilePat, shard, id))
+}
+
+// Snapshot checkpoints every shard into dir (created if needed). The
+// per-worker serialization runs through each shard's FIFO, so it
+// observes every batch enqueued before the call (no separate Flush
+// needed); under concurrent ingest the cut is per-shard-consistent,
+// not globally aligned — quiesce producers for an exact global point.
+// Returns ErrWarmingUp before the workers have started.
+func (m *Manager) Snapshot(dir string) error {
+	snapshotMu.Lock()
+	defer snapshotMu.Unlock()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("shard: snapshot dir: %w", err)
+	}
+	m.mu.Lock()
+	if m.warming {
+		m.mu.Unlock()
+		return ErrWarmingUp
+	}
+	man := manifest{
+		Version:         manifestVersion,
+		Dim:             m.cfg.Dim,
+		Shards:          m.cfg.Shards,
+		Step:            m.t,
+		Alpha:           m.cfg.Alpha,
+		QueueLen:        m.cfg.QueueLen,
+		FlushOps:        m.cfg.FlushOps,
+		TrackCandidates: m.cfg.TrackCandidates,
+		InvStd:          m.invStd,
+		Engine:          m.spec,
+	}
+	m.mu.Unlock()
+	man.SnapshotID = uint64(time.Now().UnixNano())
+	werrs := make([]error, m.cfg.Shards)
+	err := m.execAll(func(w *worker) {
+		// File IO runs on the worker goroutine: it owns the engine, and
+		// stalling one shard's queue briefly is the price of a
+		// lock-free hot path. Each closure writes its own slot.
+		werrs[w.id] = w.writeSnapshot(shardFileName(dir, w.id, man.SnapshotID))
+	})
+	if err == nil {
+		err = errors.Join(werrs...)
+	}
+	if err != nil {
+		return err
+	}
+	if err := commitManifest(dir, man); err != nil {
+		return err
+	}
+	gcStaleBlobs(dir, man.SnapshotID)
+	return nil
+}
+
+// commitManifest atomically replaces dir/manifest.json: the new
+// snapshot becomes the recovery point only once its manifest rename
+// lands, and the previous one stays valid until then. The temp file is
+// fsynced before the rename and the directory after it, so a power
+// loss cannot persist the rename ahead of the manifest's contents.
+func commitManifest(dir string, man manifest) error {
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(man); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so renames within it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// gcStaleBlobs removes shard blobs from superseded or aborted
+// snapshots (best effort: leftovers cost disk, never correctness).
+func gcStaleBlobs(dir string, keep uint64) {
+	matches, err := filepath.Glob(filepath.Join(dir, "shard-*.bin"))
+	if err != nil {
+		return
+	}
+	suffix := fmt.Sprintf("-%016x.bin", keep)
+	for _, path := range matches {
+		if !strings.HasSuffix(path, suffix) {
+			os.Remove(path)
+		}
+	}
+}
+
+func (w *worker) writeSnapshot(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	hdr := make([]byte, 4+16)
+	binary.LittleEndian.PutUint32(hdr[0:], shardMagic)
+	binary.LittleEndian.PutUint64(hdr[4:], uint64(w.lastT))
+	binary.LittleEndian.PutUint64(hdr[12:], w.ops)
+	if _, err := bw.Write(hdr); err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := w.eng.WriteTo(bw); err != nil {
+		f.Close()
+		return err
+	}
+	if err := writeTracker(bw, w.track); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeTracker(w io.Writer, t *topk.Tracker) error {
+	var cnt [4]byte
+	binary.LittleEndian.PutUint32(cnt[:], uint32(t.Len()))
+	if _, err := w.Write(cnt[:]); err != nil {
+		return err
+	}
+	buf := make([]byte, 16)
+	var werr error
+	t.Each(func(key uint64, score float64) {
+		if werr != nil {
+			return
+		}
+		binary.LittleEndian.PutUint64(buf[0:], key)
+		binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(score))
+		if _, err := w.Write(buf); err != nil {
+			werr = err
+		}
+	})
+	return werr
+}
+
+// Restore rebuilds a Manager from a directory written by Snapshot and
+// starts its workers; ingest resumes from the recorded step.
+func Restore(dir string) (*Manager, error) {
+	snapshotMu.Lock()
+	defer snapshotMu.Unlock()
+	mf, err := os.Open(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, fmt.Errorf("shard: opening manifest: %w", err)
+	}
+	var man manifest
+	err = json.NewDecoder(mf).Decode(&man)
+	mf.Close()
+	if err != nil {
+		return nil, fmt.Errorf("shard: decoding manifest: %w", err)
+	}
+	if man.Version != manifestVersion {
+		return nil, fmt.Errorf("shard: unsupported snapshot version %d", man.Version)
+	}
+	cfg := Config{
+		Dim:             man.Dim,
+		Shards:          man.Shards,
+		Engine:          man.Engine,
+		Alpha:           man.Alpha,
+		QueueLen:        man.QueueLen,
+		FlushOps:        man.FlushOps,
+		TrackCandidates: man.TrackCandidates,
+		InvStd:          man.InvStd,
+	}
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Engine.validate(true); err != nil {
+		return nil, err
+	}
+	m := &Manager{cfg: cfg, spec: cfg.Engine, invStd: cfg.InvStd, t: man.Step}
+	workers := make([]*worker, cfg.Shards)
+	for i := range workers {
+		w, err := readShard(shardFileName(dir, i, man.SnapshotID), cfg.Engine.Kind, cfg.TrackCandidates)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		w.id = i
+		w.ch = make(chan msg, cfg.QueueLen)
+		workers[i] = w
+		// Under concurrent ingest the manifest step is captured before
+		// the per-shard cuts, so the serialized engines may already be
+		// past it; resume from the furthest serialized step so freshly
+		// assigned steps never collide with ones a sketch absorbed.
+		if w.lastT > m.t {
+			m.t = w.lastT
+		}
+	}
+	m.workers = workers
+	m.workerWG.Add(len(workers))
+	for _, w := range workers {
+		go w.run(&m.workerWG)
+	}
+	return m, nil
+}
+
+func readShard(path string, kind Kind, trackCap int) (*worker, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<20)
+	hdr := make([]byte, 4+16)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("reading shard header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != shardMagic {
+		return nil, fmt.Errorf("bad shard magic")
+	}
+	w := &worker{
+		lastT: int(binary.LittleEndian.Uint64(hdr[4:])),
+		ops:   binary.LittleEndian.Uint64(hdr[12:]),
+	}
+	var eng sketchapi.Snapshotter
+	switch kind {
+	case KindCS:
+		eng, err = countsketch.ReadMeanSketchFrom(br)
+	case KindASCS:
+		eng, err = core.ReadEngineFrom(br)
+	default:
+		return nil, fmt.Errorf("unknown engine kind %q", kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	w.eng = eng
+	w.track, err = readTracker(br, trackCap)
+	if err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+func readTracker(r io.Reader, capacity int) (*topk.Tracker, error) {
+	var cnt [4]byte
+	if _, err := io.ReadFull(r, cnt[:]); err != nil {
+		return nil, fmt.Errorf("reading tracker count: %w", err)
+	}
+	n := int(binary.LittleEndian.Uint32(cnt[:]))
+	t := topk.NewTracker(capacity)
+	buf := make([]byte, 16)
+	for i := 0; i < n; i++ {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, fmt.Errorf("reading tracker entry %d: %w", i, err)
+		}
+		t.Offer(binary.LittleEndian.Uint64(buf[0:]),
+			math.Float64frombits(binary.LittleEndian.Uint64(buf[8:])))
+	}
+	return t, nil
+}

@@ -1,0 +1,154 @@
+package shard
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/countsketch"
+	"repro/internal/covstream"
+	"repro/internal/pairs"
+	"repro/internal/sketchapi"
+	"repro/internal/stream"
+)
+
+// Kind names a serving engine. Only engines that implement
+// sketchapi.Snapshotter are servable: crash recovery is part of the
+// serving contract, so ASketch and Cold Filter (no serialization) are
+// library-only baselines.
+type Kind string
+
+const (
+	// KindCS is the vanilla Count Sketch engine.
+	KindCS Kind = "CS"
+	// KindASCS is the paper's active-sampling engine.
+	KindASCS Kind = "ASCS"
+)
+
+var zeroSchedule core.Hyperparams
+
+// EngineSpec is a fully serializable description of a per-shard engine.
+// Every shard is built from the same spec: identical sketch shape,
+// seed, and hash family — that shared hashing is what makes the
+// fan-out/merge query path (MergedSketch) exact for the CS engine.
+type EngineSpec struct {
+	// Kind selects the engine.
+	Kind Kind `json:"kind"`
+	// Sketch is the per-shard sketch shape and hashing.
+	Sketch countsketch.Config `json:"sketch"`
+	// T is the stream horizon (global sample count the 1/T scaling and
+	// the τ schedule are calibrated to).
+	T int `json:"t"`
+	// Schedule is the solved ASCS schedule (ignored for KindCS). Zero
+	// with KindASCS means "derive from the warm-up prefix".
+	Schedule core.Hyperparams `json:"schedule"`
+	// OneSided selects the one-sided ASCS gate μ̂ ≥ τ (default is the
+	// two-sided |μ̂| ≥ τ of Theorems 1–2).
+	OneSided bool `json:"one_sided,omitempty"`
+}
+
+// validate checks the spec; scheduleRequired is false while the
+// schedule may still be derived from a warm-up prefix.
+func (sp EngineSpec) validate(scheduleRequired bool) error {
+	switch sp.Kind {
+	case KindCS, KindASCS:
+	default:
+		return fmt.Errorf("shard: unknown engine kind %q (want %q or %q)", sp.Kind, KindCS, KindASCS)
+	}
+	if sp.T < 1 {
+		return fmt.Errorf("shard: engine horizon T must be ≥ 1, got %d", sp.T)
+	}
+	if sp.Kind == KindASCS && scheduleRequired && sp.Schedule == zeroSchedule {
+		return fmt.Errorf("shard: ASCS spec has no schedule")
+	}
+	return nil
+}
+
+// sketcher is the table-access facet shared by both servable engines,
+// used by the merge path.
+type sketcher interface {
+	Sketch() *countsketch.Sketch
+}
+
+// build constructs one engine from the spec.
+func (sp EngineSpec) build() (sketchapi.Snapshotter, error) {
+	switch sp.Kind {
+	case KindCS:
+		return countsketch.NewMeanSketch(sp.Sketch, sp.T)
+	case KindASCS:
+		return core.NewEngine(sp.Sketch, sp.Schedule, !sp.OneSided)
+	default:
+		return nil, fmt.Errorf("shard: unknown engine kind %q", sp.Kind)
+	}
+}
+
+// AutoSpec derives an ASCS EngineSpec from a warm-up prefix, reusing
+// the batch pipeline's §8.1 recipe (covstream.Warmup + ASCSParams) but
+// solving the schedule for the *per-shard* sub-problem: key-space
+// partitioning puts only ~p/shards variables into each R-bucket
+// sketch, so the collision mass — and hence the solved exploration
+// length and threshold slope — is that of the smaller universe.
+func AutoSpec(samples []stream.Sample, dim, shards, horizon int, sk countsketch.Config, alpha float64) (EngineSpec, error) {
+	if len(samples) == 0 {
+		return EngineSpec{}, fmt.Errorf("shard: empty warm-up prefix")
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	// Roomy transient exploration sketch, as in the batch Estimator: the
+	// μ̂ census must not be buried in collision noise at tight budgets.
+	warmCfg := sk
+	if warmCfg.Range < 1<<16 {
+		warmCfg.Range = 1 << 16
+	}
+	warmCfg.Seed ^= 0x9c3
+	warm, err := covstream.Warmup(stream.NewSliceSource(samples, dim), len(samples),
+		warmCfg, covstream.SecondMoment, 0, int64(sk.Seed))
+	if err != nil {
+		return EngineSpec{}, err
+	}
+	params := warm.ASCSParams(alpha, horizon, sk.Tables, sk.Range)
+	perShard := (pairs.Count(dim) + int64(shards) - 1) / int64(shards)
+	if perShard < 2 {
+		perShard = 2
+	}
+	params.P = perShard
+	params = params.WithSuggestedDeltas()
+	hp, err := params.Solve()
+	if err != nil {
+		return EngineSpec{}, fmt.Errorf("shard: solving warm-up schedule: %w", err)
+	}
+	return EngineSpec{Kind: KindASCS, Sketch: sk, T: horizon, Schedule: hp}, nil
+}
+
+// deriveSpec turns the buffered warm-up prefix into the final engine
+// spec (and standardization factors when requested). Called under mu.
+func (m *Manager) deriveSpec() (EngineSpec, []float64, error) {
+	var invStd []float64
+	samples := m.wbuf
+	if m.cfg.Standardize {
+		st, err := stream.NewStandardizer(stream.NewSliceSource(samples, m.cfg.Dim), len(samples), false)
+		if err != nil {
+			return EngineSpec{}, nil, err
+		}
+		invStd = append([]float64(nil), st.InvStds()...)
+		scaled := make([]stream.Sample, len(samples))
+		for i, s := range samples {
+			out := stream.Sample{Idx: s.Idx, Val: make([]float64, len(s.Val))}
+			for j, ix := range s.Idx {
+				out.Val[j] = s.Val[j] * invStd[ix]
+			}
+			scaled[i] = out
+		}
+		samples = scaled
+	}
+	spec := m.cfg.Engine
+	if spec.Kind == KindASCS && spec.Schedule == zeroSchedule {
+		derived, err := AutoSpec(samples, m.cfg.Dim, m.cfg.Shards, spec.T, spec.Sketch, m.cfg.Alpha)
+		if err != nil {
+			return EngineSpec{}, nil, err
+		}
+		derived.OneSided = spec.OneSided
+		spec = derived
+	}
+	return spec, invStd, nil
+}

@@ -5,6 +5,8 @@
 // (§8) are orchestrated.
 package sketchapi
 
+import "io"
+
 // Ingestor consumes a stream of (key, increment) observations indexed by
 // a time step t = 1..T and answers point estimates of the per-key mean.
 //
@@ -27,4 +29,16 @@ type Ingestor interface {
 	Bytes() int
 	// Name identifies the engine in reports ("CS", "ASCS", ...).
 	Name() string
+}
+
+// Snapshotter is an Ingestor whose full state (schedule position,
+// counters, table contents) can be serialized for checkpoint/resume.
+// The CS and ASCS engines implement it; the serving layer
+// (internal/shard) requires it for crash recovery, and engines that do
+// not serialize (ASketch, Cold Filter) are rejected there at
+// construction time rather than failing on the first snapshot.
+type Snapshotter interface {
+	Ingestor
+	// WriteTo serializes the engine in a self-describing binary format.
+	WriteTo(w io.Writer) (int64, error)
 }

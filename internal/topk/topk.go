@@ -19,12 +19,18 @@ type Heap struct {
 	items []Item // min-heap ordered by Score
 }
 
-// NewHeap returns a selector for the k largest scores (k ≥ 1).
+// NewHeap returns a selector for the k largest scores (k ≥ 1). The
+// initial capacity reservation is bounded: k is a retention limit, not
+// a promise of k pushes, so a huge k must not preallocate huge memory.
 func NewHeap(k int) *Heap {
 	if k < 1 {
 		k = 1
 	}
-	return &Heap{k: k, items: make([]Item, 0, k)}
+	reserve := k
+	if reserve > 4096 {
+		reserve = 4096
+	}
+	return &Heap{k: k, items: make([]Item, 0, reserve)}
 }
 
 // Push offers an item; it is retained only if it ranks in the current
@@ -128,6 +134,14 @@ func (t *Tracker) Len() int { return len(t.scores) }
 
 // Capacity returns the configured retention target.
 func (t *Tracker) Capacity() int { return t.cap }
+
+// Each invokes fn for every tracked (key, score) entry in unspecified
+// order (serialization and diagnostics; do not mutate during iteration).
+func (t *Tracker) Each(fn func(key uint64, score float64)) {
+	for k, s := range t.scores {
+		fn(k, s)
+	}
+}
 
 // Keys returns the tracked keys in unspecified order.
 func (t *Tracker) Keys() []uint64 {

@@ -1,0 +1,231 @@
+package ascs
+
+import (
+	"fmt"
+
+	"repro/internal/countsketch"
+	"repro/internal/covstream"
+	"repro/internal/shard"
+	"repro/internal/stream"
+)
+
+// Serving-layer re-exports: the sharded estimator wraps internal/shard
+// so library users get the same concurrent engine the ascsd daemon
+// serves, without reaching into internal packages.
+type (
+	// ServingStats is a point-in-time view of a sharded estimator.
+	ServingStats = shard.Stats
+	// ShardStats describes one shard worker inside ServingStats.
+	ShardStats = shard.ShardStats
+)
+
+// Serving-layer sentinel errors (match with errors.Is).
+var (
+	// ErrWarmingUp: queries arrived before the warm-up prefix completed.
+	ErrWarmingUp = shard.ErrWarmingUp
+	// ErrServingClosed: the sharded estimator was closed.
+	ErrServingClosed = shard.ErrClosed
+	// ErrHorizon: ingest would exceed the configured stream length.
+	ErrHorizon = shard.ErrHorizon
+)
+
+// ShardedConfig configures a Sharded estimator. The semantics mirror
+// Config; the additional knob is Shards, the number of concurrent
+// workers the pair-key space is partitioned across.
+type ShardedConfig struct {
+	// Dim is the feature dimensionality d. Required.
+	Dim int
+	// Samples is the stream horizon T. Required.
+	Samples int
+	// Shards is the worker count N (default 1; use ~GOMAXPROCS for
+	// throughput).
+	Shards int
+	// Tables is the number of hash tables K per shard (default 5).
+	Tables int
+	// MemoryFloats is the total sketch budget in float64 cells across
+	// all shards; each shard gets MemoryFloats/(Tables·Shards) buckets
+	// per table. Required (or set Range).
+	MemoryFloats int
+	// Range overrides the per-shard buckets per table directly.
+	Range int
+	// Alpha is the assumed signal-pair sparsity (default 0.005).
+	Alpha float64
+	// Engine selects the sketching algorithm. Serving requires a
+	// snapshotable engine: EngineASCS (default) or EngineCS.
+	Engine EngineKind
+	// Standardize rescales features to unit variance from the warm-up
+	// prefix (default true, as in Estimator).
+	Standardize *bool
+	// WarmupFraction is the prefix share buffered before the workers
+	// start (default 0.05 with the same floors as Estimator).
+	WarmupFraction float64
+	// TrackCandidates bounds each shard's retrieval candidate set
+	// (default 1<<14).
+	TrackCandidates int
+	// Seed makes hashing deterministic (default 1).
+	Seed uint64
+}
+
+// Sharded is the concurrent, sharded counterpart of Estimator: safe
+// for concurrent Observe/ObserveBatch and query calls, with live top-k
+// retrieval while the stream is still flowing and snapshot/restore for
+// crash recovery. It is the library form of the ascsd daemon; see
+// internal/shard for the architecture (and the §5 constraint that
+// keeps each ASCS shard sequential).
+type Sharded struct {
+	m   *shard.Manager
+	dim int
+}
+
+// NewSharded validates cfg and starts the shard workers.
+func NewSharded(cfg ShardedConfig) (*Sharded, error) {
+	if cfg.Dim < 2 {
+		return nil, fmt.Errorf("ascs: Dim must be ≥ 2, got %d", cfg.Dim)
+	}
+	if cfg.Samples < 4 {
+		return nil, fmt.Errorf("ascs: Samples must be ≥ 4, got %d", cfg.Samples)
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Tables == 0 {
+		cfg.Tables = 5
+	}
+	if cfg.Range == 0 {
+		if cfg.MemoryFloats <= 0 {
+			return nil, fmt.Errorf("ascs: set MemoryFloats or Range")
+		}
+		cfg.Range = cfg.MemoryFloats / (cfg.Tables * cfg.Shards)
+	}
+	if cfg.Range < 2 {
+		return nil, fmt.Errorf("ascs: per-shard range %d too small (raise MemoryFloats or lower Shards)", cfg.Range)
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	var kind shard.Kind
+	switch cfg.Engine {
+	case EngineASCS:
+		kind = shard.KindASCS
+	case EngineCS:
+		kind = shard.KindCS
+	default:
+		return nil, fmt.Errorf("ascs: serving requires a snapshotable engine (ASCS or CS), got %v", cfg.Engine)
+	}
+	standardize := true
+	if cfg.Standardize != nil {
+		standardize = *cfg.Standardize
+	}
+	if cfg.WarmupFraction == 0 {
+		cfg.WarmupFraction = 0.05
+	}
+	if cfg.WarmupFraction < 0 || cfg.WarmupFraction > 0.5 {
+		return nil, fmt.Errorf("ascs: WarmupFraction must be in (0, 0.5], got %v", cfg.WarmupFraction)
+	}
+	warmN := covstream.WarmupSize(cfg.WarmupFraction, cfg.Samples)
+	if kind == shard.KindCS && !standardize {
+		warmN = 0 // nothing to fit; start the workers immediately
+	} else if warmN >= cfg.Samples {
+		return nil, fmt.Errorf("ascs: Samples=%d leaves no room after the %d-sample warm-up prefix; increase Samples", cfg.Samples, warmN)
+	}
+	m, err := shard.New(shard.Config{
+		Dim:    cfg.Dim,
+		Shards: cfg.Shards,
+		Engine: shard.EngineSpec{
+			Kind:   kind,
+			Sketch: countsketch.Config{Tables: cfg.Tables, Range: cfg.Range, Seed: cfg.Seed},
+			T:      cfg.Samples,
+		},
+		Warmup:          warmN,
+		Alpha:           cfg.Alpha,
+		Standardize:     standardize,
+		TrackCandidates: cfg.TrackCandidates,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Sharded{m: m, dim: cfg.Dim}, nil
+}
+
+// RestoreSharded rebuilds a Sharded estimator from a Snapshot directory.
+func RestoreSharded(dir string) (*Sharded, error) {
+	m, err := shard.Restore(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Sharded{m: m, dim: m.Dim()}, nil
+}
+
+// Sample is one sparse observation for batch ingestion: Values[i] is
+// the value of feature Indices[i]; indices strictly increasing.
+type Sample struct {
+	Indices []int
+	Values  []float64
+}
+
+// Observe feeds one sparse sample (see Estimator.Observe).
+func (s *Sharded) Observe(indices []int, values []float64) error {
+	return s.ObserveBatch([]Sample{{Indices: indices, Values: values}})
+}
+
+// ObserveDense feeds one dense sample of length Dim.
+func (s *Sharded) ObserveDense(row []float64) error {
+	if len(row) != s.dim {
+		return fmt.Errorf("ascs: dense row has length %d, want %d", len(row), s.dim)
+	}
+	sp := stream.FromDense(row)
+	return s.ObserveBatch([]Sample{{Indices: sp.Idx, Values: sp.Val}})
+}
+
+// ObserveBatch feeds a batch of sparse samples; batching amortizes the
+// routing overhead and is the intended high-throughput path.
+func (s *Sharded) ObserveBatch(batch []Sample) error {
+	samples := make([]stream.Sample, len(batch))
+	for i, b := range batch {
+		samples[i] = stream.Sample{Idx: b.Indices, Val: b.Values}
+	}
+	_, _, err := s.m.Ingest(samples)
+	return err
+}
+
+// Top returns the k pairs with the largest estimates (ErrWarmingUp
+// before the warm-up prefix completes).
+func (s *Sharded) Top(k int) ([]Pair, error) {
+	return s.pairs(s.m.TopK(k))
+}
+
+// TopMagnitude returns the k pairs with the largest |estimate|.
+func (s *Sharded) TopMagnitude(k int) ([]Pair, error) {
+	return s.pairs(s.m.TopKMagnitude(k))
+}
+
+func (s *Sharded) pairs(ps []shard.PairEstimate, err error) ([]Pair, error) {
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Pair, len(ps))
+	for i, p := range ps {
+		out[i] = Pair{A: p.A, B: p.B, Estimate: p.Estimate}
+	}
+	return out, nil
+}
+
+// Estimate returns the current estimate for the pair (a, b), scaled by
+// t/T before the stream completes.
+func (s *Sharded) Estimate(a, b int) (float64, error) { return s.m.Estimate(a, b) }
+
+// Observed returns the number of samples ingested so far.
+func (s *Sharded) Observed() int { return s.m.Step() }
+
+// Warming reports whether the warm-up prefix is still buffering.
+func (s *Sharded) Warming() bool { return s.m.Warming() }
+
+// Stats reports ingest progress and per-shard engine state.
+func (s *Sharded) Stats() (ServingStats, error) { return s.m.Stats() }
+
+// Snapshot checkpoints all shards into dir (observing every batch
+// ingested before the call); RestoreSharded resumes from it.
+func (s *Sharded) Snapshot(dir string) error { return s.m.Snapshot(dir) }
+
+// Close drains and stops the shard workers.
+func (s *Sharded) Close() error { return s.m.Close() }

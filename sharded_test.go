@@ -1,0 +1,107 @@
+package ascs_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+
+	ascs "repro"
+)
+
+// TestShardedPublicAPI exercises the exported serving layer: batch
+// ingest with auto-tuned ASCS, live retrieval, snapshot, restore.
+func TestShardedPublicAPI(t *testing.T) {
+	const d, n = 60, 1200
+	ds := dataset.Simulation(d, n, 0.015, 11)
+	sh, err := ascs.NewSharded(ascs.ShardedConfig{
+		Dim: d, Samples: n, Shards: 4, MemoryFloats: 200_000, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	if !sh.Warming() {
+		t.Fatal("expected warm-up buffering at start")
+	}
+	if _, err := sh.Top(5); !errors.Is(err, ascs.ErrWarmingUp) {
+		t.Fatalf("Top while warming: %v, want ErrWarmingUp", err)
+	}
+	batch := make([]ascs.Sample, 0, 100)
+	for i, row := range ds.Rows {
+		var s ascs.Sample
+		for j, v := range row {
+			if v != 0 {
+				s.Indices = append(s.Indices, j)
+				s.Values = append(s.Values, v)
+			}
+		}
+		batch = append(batch, s)
+		if len(batch) == 100 || i == len(ds.Rows)-1 {
+			if err := sh.ObserveBatch(batch); err != nil {
+				t.Fatal(err)
+			}
+			batch = batch[:0]
+		}
+	}
+	if sh.Observed() != n {
+		t.Fatalf("Observed = %d, want %d", sh.Observed(), n)
+	}
+
+	top, err := sh.TopMagnitude(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 10 {
+		t.Fatalf("TopMagnitude returned %d pairs", len(top))
+	}
+	signals := 0
+	for _, p := range top {
+		c, err := ds.Corr()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(c.At(p.A, p.B)) >= 0.5 {
+			signals++
+		}
+	}
+	if signals < 7 {
+		t.Fatalf("only %d/10 retrieved pairs are planted signals", signals)
+	}
+
+	est, err := sh.Estimate(top[0].A, top[0].B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est != top[0].Estimate {
+		t.Fatalf("Estimate %v != retrieval estimate %v", est, top[0].Estimate)
+	}
+
+	st, err := sh.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Shards != 4 || st.Step != n || st.Ops == 0 {
+		t.Fatalf("stats %+v", st)
+	}
+
+	dir := t.TempDir()
+	if err := sh.Snapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ascs.RestoreSharded(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	rtop, err := restored.TopMagnitude(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rtop {
+		if rtop[i] != top[i] {
+			t.Fatalf("restored topk[%d] = %+v, want %+v", i, rtop[i], top[i])
+		}
+	}
+}
