@@ -170,6 +170,14 @@ type Estimator struct {
 	solved Schedule
 	ready  bool
 	seen   int
+
+	// Post-warmup scratch: the steady-state Observe path rescales into
+	// scaleBuf and sparsifies dense rows into denseIdx/denseVal instead
+	// of allocating per sample (the inner estimator consumes each sample
+	// synchronously, so the buffers are free again on return).
+	scaleBuf []float64
+	denseIdx []int
+	denseVal []float64
 }
 
 // NewEstimator validates cfg and returns an empty estimator.
@@ -182,12 +190,14 @@ func NewEstimator(cfg Config) (*Estimator, error) {
 
 // Observe feeds one sparse sample: values[i] is the value of feature
 // indices[i]; indices must be strictly increasing and within [0, Dim).
+// The sample is consumed before Observe returns; the caller keeps
+// ownership of the slices.
 func (e *Estimator) Observe(indices []int, values []float64) error {
 	s := stream.Sample{Idx: indices, Val: values}
 	if err := s.Validate(e.cfg.Dim); err != nil {
 		return err
 	}
-	return e.observe(s.Clone())
+	return e.observe(s)
 }
 
 // ObserveDense feeds one dense sample of length Dim.
@@ -195,16 +205,27 @@ func (e *Estimator) ObserveDense(row []float64) error {
 	if len(row) != e.cfg.Dim {
 		return fmt.Errorf("ascs: dense row has length %d, want %d", len(row), e.cfg.Dim)
 	}
-	return e.observe(stream.FromDense(row))
+	// Sparsify into reusable scratch: observe either clones (warm-up
+	// buffering) or consumes the sample synchronously.
+	e.denseIdx, e.denseVal = e.denseIdx[:0], e.denseVal[:0]
+	for i, v := range row {
+		if v != 0 {
+			e.denseIdx = append(e.denseIdx, i)
+			e.denseVal = append(e.denseVal, v)
+		}
+	}
+	return e.observe(stream.Sample{Idx: e.denseIdx, Val: e.denseVal})
 }
 
+// observe consumes s synchronously; it clones only while the warm-up
+// prefix must be buffered.
 func (e *Estimator) observe(s stream.Sample) error {
 	if e.seen >= e.cfg.Samples {
 		return fmt.Errorf("ascs: stream exceeds configured Samples=%d", e.cfg.Samples)
 	}
 	e.seen++
 	if !e.ready {
-		e.buf = append(e.buf, s)
+		e.buf = append(e.buf, s.Clone())
 		if len(e.buf) >= e.warmN || e.seen == e.cfg.Samples {
 			if err := e.finishWarmup(); err != nil {
 				return err
@@ -212,7 +233,7 @@ func (e *Estimator) observe(s stream.Sample) error {
 		}
 		return nil
 	}
-	return e.inner.Observe(e.scale(s))
+	return e.inner.Observe(e.scaleInto(s))
 }
 
 // finishWarmup fits standardization, derives the schedule, builds the
@@ -308,12 +329,28 @@ func (e *Estimator) finishWarmup() error {
 	return nil
 }
 
+// scale returns a standardized copy of s that owns its value slice
+// (warm-up replay buffers these).
 func (e *Estimator) scale(s stream.Sample) stream.Sample {
 	out := stream.Sample{Idx: s.Idx, Val: make([]float64, len(s.Val))}
 	for i, ix := range s.Idx {
 		out.Val[i] = s.Val[i] * e.invStd[ix]
 	}
 	return out
+}
+
+// scaleInto standardizes s into the reusable scratch buffer — the
+// alloc-free steady-state path (the inner estimator consumes the sample
+// synchronously and retains nothing).
+func (e *Estimator) scaleInto(s stream.Sample) stream.Sample {
+	if cap(e.scaleBuf) < len(s.Val) {
+		e.scaleBuf = make([]float64, len(s.Val))
+	}
+	buf := e.scaleBuf[:len(s.Val)]
+	for i, ix := range s.Idx {
+		buf[i] = s.Val[i] * e.invStd[ix]
+	}
+	return stream.Sample{Idx: s.Idx, Val: buf}
 }
 
 func maxIntAscs(a, b int) int {

@@ -283,6 +283,103 @@ func BenchmarkMeanSketchOffer(b *testing.B) {
 	}
 }
 
+// benchKeys is the working set of the ingest micro-benchmarks: large
+// enough to defeat trivial caching of one key, small enough that every
+// key stays admitted through the ASCS gate once primed.
+const benchKeys = 1024
+
+// newSamplingMeanSketch builds a mean sketch in the regime the paper's
+// throughput numbers measure: ASCS in its sampling phase with a primed
+// working set every offer of which passes the τ gate (the tracked,
+// admitted-pair hot path), or vanilla CS when schedule is false.
+func newSamplingMeanSketch(b *testing.B, schedule bool) *ascs.MeanSketch {
+	b.Helper()
+	cfg := ascs.MeanConfig{Tables: 5, Range: 1 << 14, Samples: 1 << 30, Seed: 1}
+	if schedule {
+		cfg.Schedule = ascs.Schedule{T0: 1, Theta: 0, Tau0: 1e-12, T: cfg.Samples}
+	}
+	ms, err := ascs.NewMeanSketch(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ms.BeginStep(1)
+	for k := 0; k < benchKeys; k++ {
+		ms.Offer(uint64(k), 1e6)
+	}
+	ms.BeginStep(2) // past T0: ASCS is sampling; primed keys clear τ
+	return ms
+}
+
+// BenchmarkIngestPerCall* is the per-call tracked ingest pair — Offer
+// through the Ingestor interface plus the separate Estimate the
+// candidate tracker used to make — for comparison with the fused paths
+// below (ns/op is ns per offered pair in all of them).
+func BenchmarkIngestPerCallASCS(b *testing.B) { benchIngestPerCall(b, true) }
+func BenchmarkIngestPerCallCS(b *testing.B)   { benchIngestPerCall(b, false) }
+
+func benchIngestPerCall(b *testing.B, schedule bool) {
+	ms := newSamplingMeanSketch(b, schedule)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		key := uint64(i % benchKeys)
+		ms.Offer(key, 1e6)
+		sink += ms.Estimate(key)
+	}
+	_ = sink
+}
+
+// BenchmarkIngestOfferEstimate* is the fused fast path: one hash of the
+// key serves the gate, the insert, and the tracker estimate.
+func BenchmarkIngestOfferEstimateASCS(b *testing.B) { benchIngestOfferEstimate(b, true) }
+func BenchmarkIngestOfferEstimateCS(b *testing.B)   { benchIngestOfferEstimate(b, false) }
+
+func benchIngestOfferEstimate(b *testing.B, schedule bool) {
+	ms := newSamplingMeanSketch(b, schedule)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		est, _ := ms.OfferEstimate(uint64(i%benchKeys), 1e6)
+		sink += est
+	}
+	_ = sink
+}
+
+// BenchmarkIngestOfferPairs* adds batching on top of the fused path:
+// one interface call per chunk of pairs instead of one per pair.
+func BenchmarkIngestOfferPairsASCS(b *testing.B) { benchIngestOfferPairs(b, true) }
+func BenchmarkIngestOfferPairsCS(b *testing.B)   { benchIngestOfferPairs(b, false) }
+
+func benchIngestOfferPairs(b *testing.B, schedule bool) {
+	ms := newSamplingMeanSketch(b, schedule)
+	const chunk = 512
+	// The chunks walk the full primed working set so the cache footprint
+	// matches the per-call and OfferEstimate arms exactly.
+	keys := make([]uint64, benchKeys)
+	xs := make([]float64, benchKeys)
+	ests := make([]float64, benchKeys)
+	for i := range keys {
+		keys[i] = uint64(i)
+		xs[i] = 1e6
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	pos := 0
+	for lo := 0; lo < b.N; lo += chunk {
+		n := chunk
+		if lo+n > b.N {
+			n = b.N - lo
+		}
+		if pos+n > benchKeys {
+			pos = 0
+		}
+		ms.OfferPairs(keys[pos:pos+n], xs[pos:pos+n], ests[pos:pos+n])
+		pos += n
+	}
+}
+
 // BenchmarkShardIngest measures the serving subsystem's ingest path
 // (pair enumeration + routing + sharded sketch updates, no HTTP) per
 // shard count. cmd/ascsload produces the end-to-end BENCH_server.json

@@ -1,0 +1,304 @@
+// Command ascsbench benchmarks the single-thread ingest hot path — the
+// per-pair cost that bounds how fast the O(d²) pair stream of §5 can be
+// absorbed — and emits a machine-readable BENCH_ingest.json so future
+// changes have a recorded number to beat.
+//
+//	ascsbench -out BENCH_ingest.json
+//	ascsbench -engines ascs -benchtime 2s
+//
+// The workload is the paper's throughput regime: the sampling phase with
+// a primed working set whose every offer passes the τ gate (tracked,
+// admitted-pair case — the most hash-intensive path). Four modes are
+// measured per engine:
+//
+//   - legacy: the pre-fusion per-offer sequence replayed on the raw
+//     count sketch — gate Estimate, Add, tracker Estimate (three hash
+//     phases for ASCS, two for CS). This is the "before" number and
+//     stays reproducible after the fused paths land.
+//   - percall: engine Offer through the Ingestor interface plus the
+//     separate tracker Estimate (Offer is internally fused, so this
+//     costs two hash phases).
+//   - fused: OfferEstimate — one hash phase serves gate, insert, and
+//     tracker estimate.
+//   - batch: OfferPairs — fused plus batched interface dispatch.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"log"
+	"math"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/countsketch"
+	"repro/internal/sketchapi"
+)
+
+type Result struct {
+	Engine        string  `json:"engine"`
+	Mode          string  `json:"mode"`
+	HashPhases    int     `json:"hash_phases_per_pair"`
+	NsPerPair     float64 `json:"ns_per_pair"`
+	PairsPerSec   float64 `json:"pairs_per_sec"`
+	AllocsPerPair float64 `json:"allocs_per_pair"`
+	BytesPerPair  float64 `json:"bytes_per_pair"`
+}
+
+type EnvInfo struct {
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+}
+
+type SpeedupEntry struct {
+	Engine   string  `json:"engine"`
+	Mode     string  `json:"mode"`
+	Baseline string  `json:"baseline_mode"`
+	Speedup  float64 `json:"speedup"`
+}
+
+type Report struct {
+	Config struct {
+		Tables     int    `json:"tables"`
+		Range      int    `json:"range"`
+		WorkingSet int    `json:"working_set_keys"`
+		BatchChunk int    `json:"batch_chunk"`
+		BenchTime  string `json:"benchtime"`
+	} `json:"config"`
+	Env      EnvInfo        `json:"env"`
+	Results  []Result       `json:"results"`
+	Speedups []SpeedupEntry `json:"speedups,omitempty"`
+	Notes    string         `json:"notes"`
+}
+
+func main() {
+	var (
+		tables    = flag.Int("tables", 5, "hash tables K")
+		rng       = flag.Int("range", 1<<14, "buckets per table R")
+		nkeys     = flag.Int("keys", 1024, "working-set size (primed, admitted keys)")
+		chunk     = flag.Int("chunk", 512, "pairs per OfferPairs call in batch mode")
+		benchtime = flag.Duration("benchtime", time.Second, "target run time per mode")
+		engines   = flag.String("engines", "ascs,cs", "comma-separated engines: ascs, cs")
+		out       = flag.String("out", "BENCH_ingest.json", "output report path")
+	)
+	testing.Init() // registers test.benchtime, set per run in runMode
+	flag.Parse()
+	log.SetPrefix("ascsbench: ")
+	log.SetFlags(0)
+
+	report := Report{
+		Env: EnvInfo{
+			NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0),
+			GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+		},
+		Notes: "single-thread sampling-phase hot path, tracked admitted-pair case; " +
+			"legacy replays the pre-fusion per-offer hash sequence and is the before number, " +
+			"fused/batch are the after numbers",
+	}
+	report.Config.Tables = *tables
+	report.Config.Range = *rng
+	report.Config.WorkingSet = *nkeys
+	report.Config.BatchChunk = *chunk
+	report.Config.BenchTime = benchtime.String()
+
+	for _, engine := range strings.Split(*engines, ",") {
+		engine = strings.TrimSpace(engine)
+		for _, mode := range []string{"legacy", "percall", "fused", "batch"} {
+			res := runMode(engine, mode, *tables, *rng, *nkeys, *chunk, *benchtime)
+			log.Printf("%-4s %-8s %2d hash phase(s): %7.1f ns/pair (%.3e pairs/s, %.2f allocs/pair)",
+				res.Engine, res.Mode, res.HashPhases, res.NsPerPair, res.PairsPerSec, res.AllocsPerPair)
+			report.Results = append(report.Results, res)
+		}
+		base := findResult(report.Results, engine, "legacy")
+		for _, mode := range []string{"fused", "batch"} {
+			if r := findResult(report.Results, engine, mode); r != nil && base != nil && base.NsPerPair > 0 {
+				report.Speedups = append(report.Speedups, SpeedupEntry{
+					Engine: engine, Mode: mode, Baseline: "legacy",
+					Speedup: base.NsPerPair / r.NsPerPair,
+				})
+			}
+		}
+	}
+	for _, sp := range report.Speedups {
+		log.Printf("%s %s vs %s: %.2fx", sp.Engine, sp.Mode, sp.Baseline, sp.Speedup)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("report written to %s", *out)
+}
+
+func findResult(rs []Result, engine, mode string) *Result {
+	for i := range rs {
+		if rs[i].Engine == engine && rs[i].Mode == mode {
+			return &rs[i]
+		}
+	}
+	return nil
+}
+
+// benchT is the synthetic stream horizon: long enough that the primed
+// working set never exhausts it.
+const benchT = 1 << 30
+
+// newEngine builds the measured engine in its sampling phase with nkeys
+// primed, admitted keys.
+func newEngine(engine string, tables, rng, nkeys int) sketchapi.OfferEstimator {
+	cfg := countsketch.Config{Tables: tables, Range: rng, Seed: 1}
+	var eng sketchapi.OfferEstimator
+	switch engine {
+	case "ascs":
+		e, err := core.NewEngine(cfg, core.Hyperparams{T0: 1, Theta: 0, Tau0: 1e-12, T: benchT}, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eng = e
+	case "cs":
+		ms, err := countsketch.NewMeanSketch(cfg, benchT)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eng = ms
+	default:
+		log.Fatalf("unknown engine %q (want ascs or cs)", engine)
+	}
+	eng.BeginStep(1)
+	for k := 0; k < nkeys; k++ {
+		eng.Offer(uint64(k), 1e6)
+	}
+	eng.BeginStep(2) // past T0: ASCS samples; primed keys clear τ
+	return eng
+}
+
+func runMode(engine, mode string, tables, rng, nkeys, chunk int, benchtime time.Duration) Result {
+	hashPhases := map[string]int{"legacy": 3, "percall": 2, "fused": 1, "batch": 1}[mode]
+	if engine == "cs" && mode == "legacy" {
+		hashPhases = 2 // CS had no gate estimate: Add + tracker Estimate
+	}
+	var fn func(b *testing.B)
+	switch mode {
+	case "legacy":
+		fn = func(b *testing.B) { benchLegacy(b, engine, tables, rng, nkeys) }
+	case "percall":
+		fn = func(b *testing.B) { benchPerCall(b, engine, tables, rng, nkeys) }
+	case "fused":
+		fn = func(b *testing.B) { benchFused(b, engine, tables, rng, nkeys) }
+	case "batch":
+		fn = func(b *testing.B) { benchBatch(b, engine, tables, rng, nkeys, chunk) }
+	}
+	prev := flag.Lookup("test.benchtime")
+	if prev != nil {
+		_ = prev.Value.Set(benchtime.String())
+	}
+	r := testing.Benchmark(fn)
+	ns := float64(r.T.Nanoseconds()) / float64(r.N)
+	res := Result{
+		Engine: engine, Mode: mode, HashPhases: hashPhases,
+		NsPerPair:     ns,
+		AllocsPerPair: float64(r.AllocsPerOp()),
+		BytesPerPair:  float64(r.AllocedBytesPerOp()),
+	}
+	if ns > 0 {
+		res.PairsPerSec = 1e9 / ns
+	}
+	return res
+}
+
+// benchLegacy replays the exact pre-fusion per-offer hash sequence on
+// the raw count sketch: gate Estimate (ASCS only), Add, and the tracker
+// Estimate that covstream used to issue separately.
+func benchLegacy(b *testing.B, engine string, tables, rng, nkeys int) {
+	sk := countsketch.MustNew(countsketch.Config{Tables: tables, Range: rng, Seed: 1})
+	const invT, tau = 1.0 / benchT, 1e-12
+	for k := 0; k < nkeys; k++ {
+		sk.Add(uint64(k), 1e6*invT)
+	}
+	gated := engine == "ascs"
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		key := uint64(i % nkeys)
+		if gated {
+			if est := sk.Estimate(key); math.Abs(est) >= tau {
+				sk.Add(key, 1e6*invT)
+			}
+		} else {
+			sk.Add(key, 1e6*invT)
+		}
+		sink += sk.Estimate(key) // the tracker's separate estimate
+	}
+	_ = sink
+}
+
+func benchPerCall(b *testing.B, engine string, tables, rng, nkeys int) {
+	var eng sketchapi.Ingestor = newEngine(engine, tables, rng, nkeys)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		key := uint64(i % nkeys)
+		eng.Offer(key, 1e6)
+		sink += eng.Estimate(key)
+	}
+	_ = sink
+}
+
+func benchFused(b *testing.B, engine string, tables, rng, nkeys int) {
+	eng := newEngine(engine, tables, rng, nkeys)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		est, _ := eng.OfferEstimate(uint64(i%nkeys), 1e6)
+		sink += est
+	}
+	_ = sink
+}
+
+func benchBatch(b *testing.B, engine string, tables, rng, nkeys, chunk int) {
+	eng := newEngine(engine, tables, rng, nkeys)
+	if chunk > nkeys {
+		chunk = nkeys
+	}
+	// The chunks walk the full primed working set so the cache footprint
+	// matches the legacy/percall/fused arms exactly.
+	keys := make([]uint64, nkeys)
+	xs := make([]float64, nkeys)
+	ests := make([]float64, nkeys)
+	for i := range keys {
+		keys[i] = uint64(i)
+		xs[i] = 1e6
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	pos := 0
+	for lo := 0; lo < b.N; lo += chunk {
+		n := chunk
+		if lo+n > b.N {
+			n = b.N - lo
+		}
+		if pos+n > nkeys {
+			pos = 0
+		}
+		eng.OfferPairs(keys[pos:pos+n], xs[pos:pos+n], ests[pos:pos+n])
+		pos += n
+	}
+}

@@ -26,8 +26,6 @@ import (
 	"syscall"
 	"time"
 
-	"repro/internal/countsketch"
-	"repro/internal/covstream"
 	"repro/internal/server"
 	"repro/internal/shard"
 )
@@ -152,31 +150,21 @@ func buildManager(f managerFlags) (*shard.Manager, error) {
 	if f.tables < 1 {
 		return nil, fmt.Errorf("-tables must be ≥ 1 (got %d)", f.tables)
 	}
-	r := f.rng
-	if r == 0 {
-		if f.shards < 1 {
-			f.shards = 1
-		}
-		r = f.mem / (f.tables * f.shards)
-	}
-	if r < 2 {
-		return nil, fmt.Errorf("per-shard range %d too small: raise -mem or lower -shards/-tables", r)
-	}
-	needWarm := kind == shard.KindASCS || f.standardize
-	if needWarm && f.warmup == 0 {
-		f.warmup = covstream.WarmupSize(0.05, f.samples)
-	}
-	return shard.New(shard.Config{
-		Dim:    f.dim,
-		Shards: f.shards,
-		Engine: shard.EngineSpec{
-			Kind:   kind,
-			Sketch: countsketch.Config{Tables: f.tables, Range: r, Seed: f.seed},
-			T:      f.samples,
-		},
-		Warmup:          f.warmup,
+	// The mem→range split and warm-up sizing are the shared
+	// shard.NewFromOptions rules (one derivation for the library, the
+	// daemon, and the benchmark).
+	return shard.NewFromOptions(shard.ServeOptions{
+		Dim:             f.dim,
+		Samples:         f.samples,
+		Shards:          f.shards,
+		Kind:            kind,
+		Tables:          f.tables,
+		MemoryFloats:    f.mem,
+		Range:           f.rng,
+		Seed:            f.seed,
 		Alpha:           f.alpha,
 		Standardize:     f.standardize,
+		Warmup:          f.warmup,
 		QueueLen:        f.queue,
 		FlushOps:        f.flush,
 		TrackCandidates: f.track,

@@ -38,8 +38,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/countsketch"
-	"repro/internal/covstream"
 	"repro/internal/dataset"
 	"repro/internal/server"
 	"repro/internal/shard"
@@ -280,20 +278,19 @@ func (r *Report) run(shards int) *RunResult {
 // replays the workload through real HTTP.
 func runInProcess(shards int, engine string, dim, tables, rng int, work workload, cfg loadConfig) RunResult {
 	kind := shard.KindCS
-	warm := 0
 	if engine == "ascs" {
 		kind = shard.KindASCS
-		warm = covstream.WarmupSize(0.05, work.samples)
 	}
-	mgr, err := shard.New(shard.Config{
-		Dim:    dim,
-		Shards: shards,
-		Engine: shard.EngineSpec{
-			Kind:   kind,
-			Sketch: countsketch.Config{Tables: tables, Range: rng, Seed: 1},
-			T:      work.samples,
-		},
-		Warmup: warm,
+	// Same derivation rules as ascs.NewSharded and the ascsd daemon
+	// (mem→range, warm-up sizing) via the one shared helper.
+	mgr, err := shard.NewFromOptions(shard.ServeOptions{
+		Dim:     dim,
+		Samples: work.samples,
+		Shards:  shards,
+		Kind:    kind,
+		Tables:  tables,
+		Range:   rng,
+		Seed:    1,
 	})
 	if err != nil {
 		log.Fatal(err)

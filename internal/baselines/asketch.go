@@ -32,9 +32,14 @@ type ASketch struct {
 	minKey uint64
 	minAbs float64
 	t      int
+
+	// slots is the reusable slot scratch of the fused offer methods
+	// (single-writer by the Ingestor contract; kept off the stack so it
+	// does not escape through the hash-family interface call).
+	slots [countsketch.MaxTables]countsketch.Slot
 }
 
-var _ sketchapi.Ingestor = (*ASketch)(nil)
+var _ sketchapi.OfferEstimator = (*ASketch)(nil)
 
 // NewASketch builds an Augmented Sketch engine. filterCap is the number
 // of exact filter slots; totalSamples is the stream length T.
@@ -62,48 +67,93 @@ func NewASketch(cfg countsketch.Config, totalSamples, filterCap int) (*ASketch, 
 func (a *ASketch) BeginStep(t int) { a.t = t }
 
 // Offer routes the observation to the filter when the key is hot,
-// otherwise through the sketch with a promotion check.
+// otherwise through the sketch with a promotion check. Sketched keys are
+// hashed once: the insert, the promotion-check estimate, and a possible
+// promotion carve-out all reuse one Locate.
 func (a *ASketch) Offer(key uint64, x float64) {
 	v := x * a.invT
 	if cur, ok := a.filter[key]; ok {
+		a.bumpFilter(key, cur+v)
+		return
+	}
+	a.sk.Locate(key, &a.slots)
+	a.sk.AddSlots(&a.slots, v)
+	a.offerSketched(key, &a.slots)
+}
+
+// OfferEstimate implements sketchapi.OfferEstimator: Offer plus the
+// post-offer estimate off a single Locate of the key.
+func (a *ASketch) OfferEstimate(key uint64, x float64) (float64, bool) {
+	v := x * a.invT
+	if cur, ok := a.filter[key]; ok {
 		nv := cur + v
-		a.filter[key] = nv
-		// Keep the cached minimum honest when the minimum itself moved.
-		if key == a.minKey {
-			a.minAbs = math.Abs(nv)
-		} else if math.Abs(nv) < a.minAbs {
-			a.minKey, a.minAbs = key, math.Abs(nv)
+		a.bumpFilter(key, nv)
+		a.sk.Locate(key, &a.slots)
+		return nv + a.sk.EstimateSlots(&a.slots), true
+	}
+	a.sk.Locate(key, &a.slots)
+	a.sk.AddSlots(&a.slots, v)
+	est, promoted := a.offerSketched(key, &a.slots)
+	if promoted {
+		// Filtered keys answer their exact value plus the sketch residual.
+		return est + a.sk.EstimateSlots(&a.slots), true
+	}
+	return est, true
+}
+
+// OfferPairs implements the batch fast path for one time step.
+func (a *ASketch) OfferPairs(keys []uint64, xs []float64, ests []float64) {
+	for i, key := range keys {
+		if ests != nil {
+			ests[i], _ = a.OfferEstimate(key, xs[i])
+		} else {
+			a.Offer(key, xs[i])
 		}
-		return
 	}
-	a.sk.Add(key, v)
+}
+
+// bumpFilter updates a filtered key's value, keeping the cached minimum
+// honest when the minimum itself moved.
+func (a *ASketch) bumpFilter(key uint64, nv float64) {
+	a.filter[key] = nv
+	if key == a.minKey {
+		a.minAbs = math.Abs(nv)
+	} else if math.Abs(nv) < a.minAbs {
+		a.minKey, a.minAbs = key, math.Abs(nv)
+	}
+}
+
+// offerSketched runs the promotion check after a sketch insert through
+// slots, returning the post-insert estimate and whether key was
+// promoted into the filter.
+func (a *ASketch) offerSketched(key uint64, slots *[countsketch.MaxTables]countsketch.Slot) (est float64, promoted bool) {
+	est = a.sk.EstimateSlots(slots)
 	if len(a.filter) < a.cap {
-		est := a.sk.Estimate(key)
-		a.promote(key, est)
-		return
+		a.promote(key, est, slots)
+		return est, true
 	}
-	est := a.sk.Estimate(key)
 	if math.Abs(est) <= a.minAbs {
-		return
+		return est, false
 	}
 	// Verify against the true minimum (the cache may be stale-low).
 	minKey, minAbs := a.scanMin()
 	a.minKey, a.minAbs = minKey, minAbs
 	if math.Abs(est) <= minAbs {
-		return
+		return est, false
 	}
 	// Swap: evicted entry's mass returns to the sketch; the promoted
 	// key's estimated mass leaves it.
 	evicted := a.filter[minKey]
 	delete(a.filter, minKey)
 	a.sk.Add(minKey, evicted)
-	a.promote(key, est)
+	a.promote(key, est, slots)
+	return est, true
 }
 
 // promote moves key into the filter with value est, removing est from
 // the sketch so the mass is represented exactly once.
-func (a *ASketch) promote(key uint64, est float64) {
-	a.sk.Add(key, -est)
+func (a *ASketch) promote(key uint64, est float64, slots *[countsketch.MaxTables]countsketch.Slot) {
+	a.sk.AddSlots(slots, -est)
 	a.filter[key] = est
 	if math.Abs(est) < a.minAbs || len(a.filter) == 1 {
 		a.minKey, a.minAbs = key, math.Abs(est)

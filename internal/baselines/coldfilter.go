@@ -21,9 +21,14 @@ type ColdFilter struct {
 	thresh float64
 	invT   float64
 	t      int
+
+	// s1/s2 are the reusable slot scratches of the fused offer methods
+	// (single-writer by the Ingestor contract; kept off the stack so
+	// they do not escape through the hash-family interface call).
+	s1, s2 [countsketch.MaxTables]countsketch.Slot
 }
 
-var _ sketchapi.Ingestor = (*ColdFilter)(nil)
+var _ sketchapi.OfferEstimator = (*ColdFilter)(nil)
 
 // NewColdFilter builds the engine. l1cfg is typically much smaller than
 // l2cfg; threshold is in final-mean units (like the ASCS τ), i.e. a key
@@ -51,13 +56,49 @@ func NewColdFilter(l1cfg, l2cfg countsketch.Config, totalSamples int, threshold 
 func (c *ColdFilter) BeginStep(t int) { c.t = t }
 
 // Offer absorbs into layer 1 until the key saturates, then into layer 2.
+// The layer-1 saturation test and a layer-1 insert share one Locate.
 func (c *ColdFilter) Offer(key uint64, x float64) {
 	v := x * c.invT
-	if math.Abs(c.l1.Estimate(key)) < c.thresh {
-		c.l1.Add(key, v)
+	c.l1.Locate(key, &c.s1)
+	if math.Abs(c.l1.EstimateSlots(&c.s1)) < c.thresh {
+		c.l1.AddSlots(&c.s1, v)
 		return
 	}
 	c.l2.Add(key, v)
+}
+
+// OfferEstimate implements sketchapi.OfferEstimator: Offer plus the
+// post-offer estimate, hashing the key once per layer touched instead of
+// once per gate/insert/estimate phase.
+func (c *ColdFilter) OfferEstimate(key uint64, x float64) (float64, bool) {
+	v := x * c.invT
+	c.l1.Locate(key, &c.s1)
+	e1 := c.l1.EstimateSlots(&c.s1)
+	var e2 float64
+	if math.Abs(e1) < c.thresh {
+		e1 = c.l1.AddSlotsWithEstimate(&c.s1, v, e1)
+		e2 = c.l2.Estimate(key)
+	} else {
+		c.l2.Locate(key, &c.s2)
+		c.l2.AddSlots(&c.s2, v)
+		e2 = c.l2.EstimateSlots(&c.s2)
+	}
+	// Same clamped retrieval as Estimate (see that method's comment).
+	if math.Abs(e1) > c.thresh {
+		e1 = math.Copysign(c.thresh, e1)
+	}
+	return e1 + e2, true
+}
+
+// OfferPairs implements the batch fast path for one time step.
+func (c *ColdFilter) OfferPairs(keys []uint64, xs []float64, ests []float64) {
+	for i, key := range keys {
+		if ests != nil {
+			ests[i], _ = c.OfferEstimate(key, xs[i])
+		} else {
+			c.Offer(key, xs[i])
+		}
+	}
 }
 
 // Estimate reports the layer-1 estimate clamped at the saturation

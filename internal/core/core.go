@@ -30,9 +30,16 @@ type Engine struct {
 
 	offeredSampling  uint64
 	insertedSampling uint64
+
+	// slots is the reusable slot scratch of the fused ingest path. Offer
+	// mutates engine state, so the Ingestor contract already makes the
+	// offer methods single-writer; keeping the buffer here (instead of on
+	// the stack) stops it escaping through the hash-family interface
+	// call.
+	slots [countsketch.MaxTables]countsketch.Slot
 }
 
-var _ sketchapi.Ingestor = (*Engine)(nil)
+var _ sketchapi.OfferEstimator = (*Engine)(nil)
 
 // NewEngine builds an ASCS engine over a fresh count sketch with the
 // given shape and the solved schedule hp. absolute selects the two-sided
@@ -78,30 +85,87 @@ func (e *Engine) BeginStep(t int) {
 	}
 }
 
-// Admits reports whether an observation for key would be inserted at the
-// current step, without inserting anything. Exploration admits all keys.
-func (e *Engine) Admits(key uint64) bool {
-	if !e.sampling {
-		return true
-	}
-	est := e.sk.Estimate(key)
+// passes is the τ gate of Algorithm 2 applied to a current estimate:
+// two-sided |μ̂| ≥ τ when absolute, one-sided μ̂ ≥ τ otherwise. Every
+// admission decision (Admits and both fused offer paths) routes through
+// this one predicate.
+func (e *Engine) passes(est float64) bool {
 	if e.absolute {
 		return math.Abs(est) >= e.tau
 	}
 	return est >= e.tau
 }
 
-// Offer presents X_i^{(t)} = x for key i and inserts x/T if the gate
-// passes (Algorithm 2 lines 6 and 10–12).
-func (e *Engine) Offer(key uint64, x float64) {
+// Admits reports whether an observation for key would be inserted at the
+// current step, without inserting anything. Exploration admits all keys.
+func (e *Engine) Admits(key uint64) bool {
 	if !e.sampling {
-		e.sk.Add(key, x*e.invT)
-		return
+		return true
+	}
+	return e.passes(e.sk.Estimate(key))
+}
+
+// Offer presents X_i^{(t)} = x for key i and inserts x/T if the gate
+// passes (Algorithm 2 lines 6 and 10–12). The gate estimate and the
+// insertion share one Locate: the key is hashed once, not twice.
+func (e *Engine) Offer(key uint64, x float64) {
+	e.sk.Locate(key, &e.slots)
+	e.offerSlots(&e.slots, x)
+}
+
+// offerSlots runs the gate-then-insert step against precomputed slots
+// and reports whether the observation was absorbed.
+func (e *Engine) offerSlots(slots *[countsketch.MaxTables]countsketch.Slot, x float64) bool {
+	if !e.sampling {
+		e.sk.AddSlots(slots, x*e.invT)
+		return true
 	}
 	e.offeredSampling++
-	if e.Admits(key) {
+	pass := e.passes(e.sk.EstimateSlots(slots))
+	if pass {
 		e.insertedSampling++
-		e.sk.Add(key, x*e.invT)
+		e.sk.AddSlots(slots, x*e.invT)
+	}
+	return pass
+}
+
+// offerEstimateSlots is offerSlots plus the post-offer estimate, reusing
+// the slots for every read so nothing is rehashed.
+func (e *Engine) offerEstimateSlots(slots *[countsketch.MaxTables]countsketch.Slot, x float64) (float64, bool) {
+	if !e.sampling {
+		e.sk.AddSlots(slots, x*e.invT)
+		return e.sk.EstimateSlots(slots), true
+	}
+	e.offeredSampling++
+	est := e.sk.EstimateSlots(slots)
+	pass := e.passes(est)
+	if pass {
+		e.insertedSampling++
+		est = e.sk.AddSlotsWithEstimate(slots, x*e.invT, est)
+	}
+	return est, pass
+}
+
+// OfferEstimate implements sketchapi.OfferEstimator: one Locate serves
+// the τ gate, the insertion, and the returned post-offer estimate (the
+// per-call path hashes the key up to three times for the same state).
+func (e *Engine) OfferEstimate(key uint64, x float64) (float64, bool) {
+	e.sk.Locate(key, &e.slots)
+	return e.offerEstimateSlots(&e.slots, x)
+}
+
+// OfferPairs implements the batch fast path for one time step.
+func (e *Engine) OfferPairs(keys []uint64, xs []float64, ests []float64) {
+	if ests == nil {
+		for i, key := range keys {
+			e.sk.Locate(key, &e.slots)
+			e.offerSlots(&e.slots, xs[i])
+		}
+		return
+	}
+	for i, key := range keys {
+		e.sk.Locate(key, &e.slots)
+		ests[i], _ = e.offerEstimateSlots(&e.slots, xs[i])
 	}
 }
 

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/countsketch"
+)
+
+// fusedTestEngines builds twin engines with a schedule whose sampling
+// phase the seeded stream actually reaches, so both the exploration and
+// the gated branches are exercised.
+func fusedTestEngines(t *testing.T) (a, b *Engine) {
+	t.Helper()
+	cfg := countsketch.Config{Tables: 5, Range: 1 << 10, Seed: 21}
+	hp := Hyperparams{T0: 50, Theta: 0.05, Tau0: 1e-4, T: 1000}
+	var err error
+	if a, err = NewEngine(cfg, hp, true); err != nil {
+		t.Fatal(err)
+	}
+	if b, err = NewEngine(cfg, hp, true); err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+// engineBytes serializes an engine (schedule state, counters, table).
+func engineBytes(t *testing.T, e *Engine) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := e.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestOfferEstimateBitIdentical replays one seeded stream through the
+// per-call path (Offer via the interface, then Estimate — the pre-fusion
+// covstream sequence) and through OfferEstimate, requiring bit-identical
+// estimates at every step and a bit-identical serialized engine at the
+// end (tables, schedule position, gate counters).
+func TestOfferEstimateBitIdentical(t *testing.T) {
+	a, b := fusedTestEngines(t)
+	rng := rand.New(rand.NewSource(4))
+	const steps, offersPerStep = 400, 32
+	for step := 1; step <= steps; step++ {
+		a.BeginStep(step)
+		b.BeginStep(step)
+		for o := 0; o < offersPerStep; o++ {
+			key := rng.Uint64() % 2048
+			x := rng.NormFloat64()
+			if o%5 == 0 {
+				x += 3 // a heavy tail keeps some keys above the gate
+			}
+			a.Offer(key, x)
+			ea := a.Estimate(key)
+			eb, _ := b.OfferEstimate(key, x)
+			if math.Float64bits(ea) != math.Float64bits(eb) {
+				t.Fatalf("step %d offer %d: per-call est %v, fused est %v", step, o, ea, eb)
+			}
+		}
+	}
+	if !a.Sampling() || !b.Sampling() {
+		t.Fatal("stream never reached the sampling phase; gate branch untested")
+	}
+	fa, ia, oa := a.SampledFraction()
+	fb, ib, ob := b.SampledFraction()
+	if ia != ib || oa != ob || math.Float64bits(fa) != math.Float64bits(fb) {
+		t.Fatalf("gate counters diverged: per-call %v (%d/%d), fused %v (%d/%d)", fa, ia, oa, fb, ib, ob)
+	}
+	if !bytes.Equal(engineBytes(t, a), engineBytes(t, b)) {
+		t.Fatal("serialized engines diverged between per-call and fused paths")
+	}
+}
+
+// TestOfferPairsBitIdentical replays the same stream through the batch
+// entry point in randomized chunk sizes and requires the identical final
+// engine, plus estimate parity with the per-call replay.
+func TestOfferPairsBitIdentical(t *testing.T) {
+	a, b := fusedTestEngines(t)
+	rng := rand.New(rand.NewSource(4))
+	chunkRng := rand.New(rand.NewSource(9))
+	const steps, offersPerStep = 400, 32
+	keys := make([]uint64, 0, offersPerStep)
+	xs := make([]float64, 0, offersPerStep)
+	ests := make([]float64, offersPerStep)
+	for step := 1; step <= steps; step++ {
+		a.BeginStep(step)
+		b.BeginStep(step)
+		keys, xs = keys[:0], xs[:0]
+		for o := 0; o < offersPerStep; o++ {
+			key := rng.Uint64() % 2048
+			x := rng.NormFloat64()
+			if o%5 == 0 {
+				x += 3
+			}
+			keys = append(keys, key)
+			xs = append(xs, x)
+		}
+		// Per-call reference, collecting the expected estimates.
+		want := make([]float64, len(keys))
+		for i, key := range keys {
+			a.Offer(key, xs[i])
+			want[i] = a.Estimate(key)
+		}
+		// Batched replay in random chunks, alternating nil/filled ests.
+		for lo := 0; lo < len(keys); {
+			hi := lo + 1 + chunkRng.Intn(offersPerStep)
+			if hi > len(keys) {
+				hi = len(keys)
+			}
+			if chunkRng.Intn(4) == 0 {
+				b.OfferPairs(keys[lo:hi], xs[lo:hi], nil)
+			} else {
+				got := ests[:hi-lo]
+				b.OfferPairs(keys[lo:hi], xs[lo:hi], got)
+				for i, e := range got {
+					if math.Float64bits(e) != math.Float64bits(want[lo+i]) {
+						t.Fatalf("step %d offer %d: batch est %v, per-call est %v", step, lo+i, e, want[lo+i])
+					}
+				}
+			}
+			lo = hi
+		}
+	}
+	if !bytes.Equal(engineBytes(t, a), engineBytes(t, b)) {
+		t.Fatal("serialized engines diverged between per-call and batch paths")
+	}
+}
+
+// TestOfferEstimateAdmitted checks the admitted flag against Admits on
+// both sides of the gate.
+func TestOfferEstimateAdmitted(t *testing.T) {
+	eng, err := NewEngine(countsketch.Config{Tables: 5, Range: 1 << 10, Seed: 3},
+		Hyperparams{T0: 1, Theta: 0, Tau0: 0.01, T: 100}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.BeginStep(1)
+	eng.Offer(7, 10) // estimate ≈ 0.1 ≥ τ
+	eng.BeginStep(2)
+	if got := eng.Admits(7); !got {
+		t.Fatal("primed key should be admitted")
+	}
+	if _, admitted := eng.OfferEstimate(7, 1); !admitted {
+		t.Fatal("OfferEstimate reported primed key rejected")
+	}
+	if _, admitted := eng.OfferEstimate(999999, 1); admitted {
+		t.Fatal("OfferEstimate admitted a cold key below τ")
+	}
+}

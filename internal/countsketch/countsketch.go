@@ -15,7 +15,7 @@ import (
 )
 
 // MaxTables bounds K so Estimate can use a fixed stack buffer.
-const MaxTables = 64
+const MaxTables = hashing.MaxTables
 
 // Config describes the shape and hashing of a sketch.
 type Config struct {
@@ -102,6 +102,70 @@ func (s *Sketch) Estimate(key uint64) float64 {
 		buf[e] = s.w[e*s.cfg.Range+s.h.Bucket(e, key)] * s.h.Sign(e, key)
 	}
 	return medianInPlace(buf[:k])
+}
+
+// Slot is one precomputed (table cell, sign) location of a key: Off is
+// the row-major index e*R + Bucket(e, key) into the table array and Sign
+// is Sign(e, key). A filled slot array is the one-hash currency of the
+// fused ingest path: Locate hashes the key once, then any number of
+// EstimateSlots/AddSlots calls reuse the locations without rehashing.
+type Slot = hashing.Slot
+
+// Locate fills slots[0:K] with the key's (cell, sign) locations, hashing
+// the key exactly once per table (and dispatching to the hash family
+// once per key). The resulting slots are valid for the sketch they came
+// from as long as its configuration is unchanged (Reset/Merge/Scale keep
+// them valid; they index cells, not contents).
+func (s *Sketch) Locate(key uint64, slots *[MaxTables]Slot) {
+	s.h.FillSlots(key, slots)
+}
+
+// EstimateSlots returns the median-of-K estimate read through
+// precomputed slots. It is bit-identical to Estimate of the located key:
+// the same cells are read, multiplied by the same signs, and reduced by
+// the same median.
+func (s *Sketch) EstimateSlots(slots *[MaxTables]Slot) float64 {
+	var buf [MaxTables]float64
+	k := s.cfg.Tables
+	for e := 0; e < k; e++ {
+		buf[e] = s.w[slots[e].Off] * slots[e].Sign
+	}
+	return medianInPlace(buf[:k])
+}
+
+// AddSlots folds v into the cells named by precomputed slots. It is
+// bit-identical to Add of the located key (same cells, same sign
+// multiplies, same non-finite guard).
+func (s *Sketch) AddSlots(slots *[MaxTables]Slot, v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		panic(fmt.Sprintf("countsketch: non-finite update %v", v))
+	}
+	k := s.cfg.Tables
+	for e := 0; e < k; e++ {
+		s.w[slots[e].Off] += slots[e].Sign * v
+	}
+}
+
+// AddSlotsWithEstimate is AddSlots(slots, v) followed by
+// EstimateSlots(slots), given the pre-add estimate preEst — the
+// admitted-offer step of the fused ingest path, where the gate already
+// computed preEst and the caller also wants the post-add estimate.
+//
+// For odd K it returns preEst + v without re-reading the table, and the
+// result is bit-identical to a fresh EstimateSlots: adding v moves every
+// table estimate from w·s to round(w + s·v)·s = round(w·s + v) (s = ±1
+// is exact and IEEE rounding is sign-symmetric), a monotone shift that
+// preserves the order of the K estimates, so the median element is the
+// same table's, now valued round(preEst + v) — exactly preEst + v
+// computed in one float64 addition. For even K the median averages the
+// two middle order statistics, the shift does not commute with that
+// average's rounding, and the estimate is recomputed from the table.
+func (s *Sketch) AddSlotsWithEstimate(slots *[MaxTables]Slot, v, preEst float64) float64 {
+	s.AddSlots(slots, v)
+	if s.cfg.Tables%2 == 1 {
+		return preEst + v
+	}
+	return s.EstimateSlots(slots)
 }
 
 // EstimateMin returns the minimum |table estimate| with its sign, a more

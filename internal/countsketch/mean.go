@@ -16,9 +16,14 @@ type MeanSketch struct {
 	sk   *Sketch
 	invT float64
 	t    int
+
+	// slots is the reusable slot scratch of the fused offer methods
+	// (single-writer by the Ingestor contract; kept off the stack so it
+	// does not escape through the hash-family interface call).
+	slots [MaxTables]Slot
 }
 
-var _ sketchapi.Ingestor = (*MeanSketch)(nil)
+var _ sketchapi.OfferEstimator = (*MeanSketch)(nil)
 
 // NewMeanSketch creates the vanilla-CS engine for a stream of exactly (or
 // at most) totalSamples steps.
@@ -41,6 +46,25 @@ func (m *MeanSketch) Offer(key uint64, x float64) { m.sk.Add(key, x*m.invT) }
 
 // Estimate returns the current (t/T-scaled) mean estimate.
 func (m *MeanSketch) Estimate(key uint64) float64 { return m.sk.Estimate(key) }
+
+// OfferEstimate implements sketchapi.OfferEstimator: insert and
+// post-insert estimate off one Locate (the per-call path hashes twice).
+func (m *MeanSketch) OfferEstimate(key uint64, x float64) (float64, bool) {
+	m.sk.Locate(key, &m.slots)
+	m.sk.AddSlots(&m.slots, x*m.invT)
+	return m.sk.EstimateSlots(&m.slots), true
+}
+
+// OfferPairs implements the batch fast path for one time step.
+func (m *MeanSketch) OfferPairs(keys []uint64, xs []float64, ests []float64) {
+	for i, key := range keys {
+		m.sk.Locate(key, &m.slots)
+		m.sk.AddSlots(&m.slots, xs[i]*m.invT)
+		if ests != nil {
+			ests[i] = m.sk.EstimateSlots(&m.slots)
+		}
+	}
+}
 
 // Bytes reports the table footprint.
 func (m *MeanSketch) Bytes() int { return m.sk.Bytes() }

@@ -1,0 +1,111 @@
+package countsketch
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/hashing"
+)
+
+// TestSlotPathBitIdentical drives one sketch through Add/Estimate and a
+// twin through Locate+AddSlots/EstimateSlots with the same seeded stream
+// and requires bit-identical tables and estimates, for every hash family
+// and for odd and even K (the differential safety net of the fused
+// ingest refactor).
+func TestSlotPathBitIdentical(t *testing.T) {
+	kinds := []hashing.Kind{hashing.KindMix, hashing.KindPoly, hashing.KindPoly4, hashing.KindTabulation}
+	for _, kind := range kinds {
+		for _, k := range []int{1, 4, 5} {
+			cfg := Config{Tables: k, Range: 512, Seed: 99, Hash: kind}
+			a := MustNew(cfg)
+			b := MustNew(cfg)
+			rng := rand.New(rand.NewSource(7))
+			var slots [MaxTables]Slot
+			for i := 0; i < 5000; i++ {
+				key := rng.Uint64() % 4096
+				v := rng.NormFloat64() * 1e-3
+				a.Add(key, v)
+				b.Locate(key, &slots)
+				b.AddSlots(&slots, v)
+				ea := a.Estimate(key)
+				eb := b.EstimateSlots(&slots)
+				if math.Float64bits(ea) != math.Float64bits(eb) {
+					t.Fatalf("%v K=%d: estimate mismatch at op %d: %v vs %v", kind, k, i, ea, eb)
+				}
+			}
+			var bufA, bufB bytes.Buffer
+			if _, err := a.WriteTo(&bufA); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := b.WriteTo(&bufB); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+				t.Fatalf("%v K=%d: tables diverged between Add and AddSlots paths", kind, k)
+			}
+		}
+	}
+}
+
+// TestLocateMatchesPerTableHashes checks Locate against the per-table
+// Bucket/Sign interface methods cell by cell.
+func TestLocateMatchesPerTableHashes(t *testing.T) {
+	for _, kind := range []hashing.Kind{hashing.KindMix, hashing.KindPoly, hashing.KindPoly4, hashing.KindTabulation} {
+		cfg := Config{Tables: 6, Range: 321, Seed: 5, Hash: kind}
+		s := MustNew(cfg)
+		h := hashing.MustNew(kind, cfg.Tables, cfg.Range, cfg.Seed)
+		rng := rand.New(rand.NewSource(3))
+		var slots [MaxTables]Slot
+		for i := 0; i < 2000; i++ {
+			key := rng.Uint64()
+			s.Locate(key, &slots)
+			for e := 0; e < cfg.Tables; e++ {
+				wantOff := e*cfg.Range + h.Bucket(e, key)
+				wantSign := h.Sign(e, key)
+				if slots[e].Off != wantOff || slots[e].Sign != wantSign {
+					t.Fatalf("%v table %d key %d: slot {%d,%v}, want {%d,%v}",
+						kind, e, key, slots[e].Off, slots[e].Sign, wantOff, wantSign)
+				}
+			}
+		}
+	}
+}
+
+// TestAddSlotsWithEstimate verifies the shift shortcut against a fresh
+// post-add estimate, bit for bit, across odd K (shifted) and even K
+// (recomputed) and many rounding-heavy values.
+func TestAddSlotsWithEstimate(t *testing.T) {
+	for _, k := range []int{3, 4, 5, 8} {
+		cfg := Config{Tables: k, Range: 64, Seed: 12}
+		s := MustNew(cfg)
+		rng := rand.New(rand.NewSource(11))
+		var slots [MaxTables]Slot
+		for i := 0; i < 20000; i++ {
+			key := rng.Uint64() % 512
+			v := rng.NormFloat64() / 3
+			s.Locate(key, &slots)
+			pre := s.EstimateSlots(&slots)
+			got := s.AddSlotsWithEstimate(&slots, v, pre)
+			want := s.EstimateSlots(&slots)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("K=%d op %d: AddSlotsWithEstimate=%v, fresh estimate=%v", k, i, got, want)
+			}
+		}
+	}
+}
+
+// TestAddSlotsNonFinitePanics keeps the Add contract on the slot path: a
+// NaN would silently poison colliding estimates.
+func TestAddSlotsNonFinitePanics(t *testing.T) {
+	s := MustNew(Config{Tables: 3, Range: 16, Seed: 1})
+	var slots [MaxTables]Slot
+	s.Locate(42, &slots)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddSlots(NaN) did not panic")
+		}
+	}()
+	s.AddSlots(&slots, math.NaN())
+}

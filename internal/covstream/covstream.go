@@ -75,6 +75,11 @@ type PairEstimate struct {
 	Estimate float64
 }
 
+// pairBatch is the flush size of the batched pair-offer buffers: large
+// enough to amortize interface dispatch across an OfferPairs call, small
+// enough that the key/increment/estimate scratch stays cache-resident.
+const pairBatch = 2048
+
 // Estimator drives an engine over a sample stream.
 type Estimator struct {
 	cfg   Config
@@ -82,9 +87,13 @@ type Estimator struct {
 	means []float64 // running feature means (Centered mode)
 	prev  []float64 // scratch: previous means during an update
 	track *topk.Tracker
+	fast  sketchapi.OfferEstimator // non-nil when Engine supports the fused path
 
 	active []int // scratch: active feature indices of current sample
 	vals   []float64
+	keys   []uint64  // scratch: batched pair keys awaiting flush
+	xs     []float64 // scratch: matching increments
+	ests   []float64 // scratch: post-offer estimates (tracked runs)
 }
 
 // New validates cfg and builds an estimator.
@@ -118,6 +127,15 @@ func New(cfg Config) (*Estimator, error) {
 	if cfg.TrackCandidates > 0 {
 		e.track = topk.NewTracker(cfg.TrackCandidates)
 	}
+	if f, ok := cfg.Engine.(sketchapi.OfferEstimator); ok {
+		e.fast = f
+	}
+	e.keys = make([]uint64, 0, pairBatch)
+	e.xs = make([]float64, 0, pairBatch)
+	if e.fast != nil && e.track != nil {
+		// Only the fast+tracked flush branch reads the estimates.
+		e.ests = make([]float64, pairBatch)
+	}
 	return e, nil
 }
 
@@ -147,13 +165,20 @@ func (e *Estimator) Observe(s stream.Sample) error {
 }
 
 func (e *Estimator) observeSecondMoment(s stream.Sample) {
-	// x = ya·yb over non-zero pairs only: zeros contribute nothing.
+	// x = ya·yb over non-zero pairs only: zeros contribute nothing. For
+	// fixed a the pair keys of increasing b are base + b (pairs.Index is
+	// row-major), so the inner loop is a pure increment — no per-pair
+	// Index arithmetic.
 	idx, val := s.Idx, s.Val
-	for i := 0; i < len(idx); i++ {
+	d := e.cfg.Dim
+	for i := 0; i+1 < len(idx); i++ {
+		rowBase := pairs.RowBase(idx[i], d)
+		ya := val[i]
 		for j := i + 1; j < len(idx); j++ {
-			e.offer(idx[i], idx[j], val[i]*val[j])
+			e.bufferPair(uint64(rowBase+int64(idx[j])), ya*val[j])
 		}
 	}
+	e.flushPairs()
 }
 
 func (e *Estimator) observeCentered(s stream.Sample) {
@@ -182,36 +207,70 @@ func (e *Estimator) observeCentered(s stream.Sample) {
 			e.vals = append(e.vals, v)
 		}
 	}
-	for i := 0; i < len(e.active); i++ {
+	for i := 0; i+1 < len(e.active); i++ {
 		a := e.active[i]
-		ya := e.vals[i]
+		rowBase := pairs.RowBase(a, d)
+		var ya, pa float64
+		if e.cfg.Adjustment {
+			// Exact telescoping of §4: the paper's adjustment makes
+			// Σ_k X^(k) equal Σ_k (ya(k)−ȳa(t))(yb(k)−ȳb(t)) at every
+			// t. The closed form of that difference is the Welford
+			// co-moment update (one pre-update mean, one post-update
+			// mean): S(t)−S(t−1) = (ya−ȳa(t−1))·(yb−ȳb(t)).
+			ya, pa = e.vals[i], e.prev[a]
+		} else {
+			// The paper's approximation: drop the adjustment and use
+			// the current means on both sides.
+			ya, pa = e.vals[i], e.means[a]
+		}
 		for j := i + 1; j < len(e.active); j++ {
 			b := e.active[j]
-			yb := e.vals[j]
-			var x float64
-			if e.cfg.Adjustment {
-				// Exact telescoping of §4: the paper's adjustment makes
-				// Σ_k X^(k) equal Σ_k (ya(k)−ȳa(t))(yb(k)−ȳb(t)) at every
-				// t. The closed form of that difference is the Welford
-				// co-moment update (one pre-update mean, one post-update
-				// mean): S(t)−S(t−1) = (ya−ȳa(t−1))·(yb−ȳb(t)).
-				x = (ya - e.prev[a]) * (yb - e.means[b])
-			} else {
-				// The paper's approximation: drop the adjustment and use
-				// the current means on both sides.
-				x = (ya - e.means[a]) * (yb - e.means[b])
-			}
-			e.offer(a, b, x)
+			x := (ya - pa) * (e.vals[j] - e.means[b])
+			e.bufferPair(uint64(rowBase+int64(b)), x)
 		}
+	}
+	e.flushPairs()
+}
+
+// bufferPair queues one pair increment for the current step, flushing a
+// full batch through the engine.
+func (e *Estimator) bufferPair(key uint64, x float64) {
+	e.keys = append(e.keys, key)
+	e.xs = append(e.xs, x)
+	if len(e.keys) >= pairBatch {
+		e.flushPairs()
 	}
 }
 
-func (e *Estimator) offer(a, b int, x float64) {
-	key := pairs.Key(a, b, e.cfg.Dim)
-	e.cfg.Engine.Offer(key, x)
-	if e.track != nil {
-		e.track.Offer(key, math.Abs(e.cfg.Engine.Estimate(key)))
+// flushPairs drains the queued pair increments: one OfferPairs call on
+// the fused fast path (the engine hashes each key exactly once, and the
+// candidate tracker reuses the gate/insert estimates instead of
+// re-hashing), or per-call Offer+Estimate for engines without it.
+func (e *Estimator) flushPairs() {
+	keys, xs := e.keys, e.xs
+	if len(keys) == 0 {
+		return
 	}
+	switch {
+	case e.fast != nil && e.track != nil:
+		ests := e.ests[:len(keys)]
+		e.fast.OfferPairs(keys, xs, ests)
+		for i, key := range keys {
+			e.track.Offer(key, math.Abs(ests[i]))
+		}
+	case e.fast != nil:
+		e.fast.OfferPairs(keys, xs, nil)
+	default:
+		eng := e.cfg.Engine
+		for i, key := range keys {
+			eng.Offer(key, xs[i])
+			if e.track != nil {
+				e.track.Offer(key, math.Abs(eng.Estimate(key)))
+			}
+		}
+	}
+	e.keys = keys[:0]
+	e.xs = xs[:0]
 }
 
 // Run drains src through Observe, returning the number of samples

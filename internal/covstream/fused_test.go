@@ -1,0 +1,223 @@
+package covstream
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/countsketch"
+	"repro/internal/pairs"
+	"repro/internal/sketchapi"
+	"repro/internal/stream"
+)
+
+// slowShim hides an engine's fast path so the estimator falls back to
+// the per-call Offer+Estimate sequence — the pre-fusion hot path, kept
+// reachable exactly so this differential test can compare against it.
+type slowShim struct{ inner sketchapi.Ingestor }
+
+func (s slowShim) BeginStep(t int)             { s.inner.BeginStep(t) }
+func (s slowShim) Offer(key uint64, x float64) { s.inner.Offer(key, x) }
+func (s slowShim) Estimate(key uint64) float64 { return s.inner.Estimate(key) }
+func (s slowShim) Bytes() int                  { return s.inner.Bytes() }
+func (s slowShim) Name() string                { return s.inner.Name() }
+
+// fusedEngines builds a same-seeded engine pair of each kind.
+func fusedEngines(t *testing.T, T int) map[string][2]sketchapi.Ingestor {
+	t.Helper()
+	out := make(map[string][2]sketchapi.Ingestor)
+	mk := func(name string, build func() sketchapi.Ingestor) {
+		out[name] = [2]sketchapi.Ingestor{build(), build()}
+	}
+	skCfg := countsketch.Config{Tables: 5, Range: 512, Seed: 77}
+	mk("CS", func() sketchapi.Ingestor {
+		ms, err := countsketch.NewMeanSketch(skCfg, T)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ms
+	})
+	mk("ASCS", func() sketchapi.Ingestor {
+		eng, err := core.NewEngine(skCfg, core.Hyperparams{T0: T / 8, Theta: 0.05, Tau0: 1e-4, T: T}, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	})
+	mk("ASketch", func() sketchapi.Ingestor {
+		a, err := baselines.NewASketch(skCfg, T, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	})
+	mk("ColdFilter", func() sketchapi.Ingestor {
+		cf, err := baselines.NewColdFilter(
+			countsketch.Config{Tables: 5, Range: 128, Seed: 78},
+			countsketch.Config{Tables: 5, Range: 512, Seed: 77}, T, 0.002)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cf
+	})
+	return out
+}
+
+// TestFusedPathMatchesPerCall streams identical seeded samples through a
+// fast-path estimator and a per-call (shimmed) twin for every engine and
+// both retrieval regimes (tracked candidates and exhaustive), requiring
+// identical Top/TopMagnitude rankings and estimates, bit for bit — and
+// bit-identical serialized engines where the engine serializes.
+func TestFusedPathMatchesPerCall(t *testing.T) {
+	const dim, T = 48, 240
+	rng := rand.New(rand.NewSource(123))
+	samples := make([]stream.Sample, T)
+	for i := range samples {
+		row := make([]float64, dim)
+		for j := range row {
+			if rng.Float64() < 0.4 {
+				row[j] = rng.NormFloat64()
+			}
+		}
+		// A correlated pair so retrieval has real signal.
+		row[3] = row[5]*0.9 + 0.1*rng.NormFloat64()
+		samples[i] = stream.FromDense(row)
+	}
+	for _, track := range []int{0, 64} {
+		for name, pair := range fusedEngines(t, T) {
+			fast, err := New(Config{Dim: dim, T: T, Engine: pair[0], Mode: SecondMoment, TrackCandidates: track})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if track > 0 && fast.fast == nil {
+				t.Fatalf("%s: engine does not expose the fused fast path", name)
+			}
+			slow, err := New(Config{Dim: dim, T: T, Engine: slowShim{pair[1]}, Mode: SecondMoment, TrackCandidates: track})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if slow.fast != nil {
+				t.Fatal("shim leaked the fast path; differential test is vacuous")
+			}
+			for _, s := range samples {
+				if err := fast.Observe(s); err != nil {
+					t.Fatal(err)
+				}
+				if err := slow.Observe(s); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, magnitude := range []bool{false, true} {
+				var ft, st []PairEstimate
+				var err error
+				if magnitude {
+					ft, err = fast.TopMagnitude(10)
+				} else {
+					ft, err = fast.Top(10)
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				if magnitude {
+					st, err = slow.TopMagnitude(10)
+				} else {
+					st, err = slow.Top(10)
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(ft) != len(st) {
+					t.Fatalf("%s track=%d: top lengths %d vs %d", name, track, len(ft), len(st))
+				}
+				for i := range ft {
+					if ft[i] != st[i] {
+						t.Fatalf("%s track=%d magnitude=%v rank %d: fused %+v, per-call %+v",
+							name, track, magnitude, i, ft[i], st[i])
+					}
+				}
+			}
+			p := pairs.Count(dim)
+			for key := uint64(0); key < uint64(p); key += 37 {
+				ef := pair[0].Estimate(key)
+				es := pair[1].Estimate(key)
+				if math.Float64bits(ef) != math.Float64bits(es) {
+					t.Fatalf("%s track=%d key %d: fused est %v, per-call est %v", name, track, key, ef, es)
+				}
+			}
+			if fw, ok := pair[0].(sketchapi.Snapshotter); ok {
+				var fb, sb bytes.Buffer
+				if _, err := fw.WriteTo(&fb); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := pair[1].(sketchapi.Snapshotter).WriteTo(&sb); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(fb.Bytes(), sb.Bytes()) {
+					t.Fatalf("%s track=%d: serialized engines diverged", name, track)
+				}
+			}
+		}
+	}
+}
+
+// TestFusedCenteredMatchesPerCall covers the Centered mode pair loop
+// (row-base incremental keys, adjustment term) with the ASCS engine.
+func TestFusedCenteredMatchesPerCall(t *testing.T) {
+	const dim, T = 32, 160
+	rng := rand.New(rand.NewSource(321))
+	samples := make([]stream.Sample, T)
+	for i := range samples {
+		row := make([]float64, dim)
+		for j := range row {
+			if rng.Float64() < 0.5 {
+				row[j] = rng.NormFloat64() + 0.3
+			}
+		}
+		samples[i] = stream.FromDense(row)
+	}
+	for _, adjust := range []bool{false, true} {
+		pairEng := fusedEngines(t, T)["ASCS"]
+		fast, err := New(Config{Dim: dim, T: T, Engine: pairEng[0], Mode: Centered, Adjustment: adjust, TrackCandidates: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow, err := New(Config{Dim: dim, T: T, Engine: slowShim{pairEng[1]}, Mode: Centered, Adjustment: adjust, TrackCandidates: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range samples {
+			if err := fast.Observe(s); err != nil {
+				t.Fatal(err)
+			}
+			if err := slow.Observe(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ft, err := fast.TopMagnitude(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := slow.TopMagnitude(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ft {
+			if ft[i] != st[i] {
+				t.Fatalf("adjust=%v rank %d: fused %+v, per-call %+v", adjust, i, ft[i], st[i])
+			}
+		}
+		var fb, sb bytes.Buffer
+		if _, err := pairEng[0].(sketchapi.Snapshotter).WriteTo(&fb); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := pairEng[1].(sketchapi.Snapshotter).WriteTo(&sb); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(fb.Bytes(), sb.Bytes()) {
+			t.Fatalf("adjust=%v: serialized engines diverged", adjust)
+		}
+	}
+}

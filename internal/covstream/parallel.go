@@ -51,9 +51,13 @@ func ParallelSecondMoment(samples []stream.Sample, dim int, cfg countsketch.Conf
 					errs[w] = err
 					return
 				}
-				for i := 0; i < len(s.Idx); i++ {
+				for i := 0; i+1 < len(s.Idx); i++ {
+					rowBase := pairs.RowBase(s.Idx[i], dim)
+					ya := s.Val[i]
+					// ya·yb·invT in that order: bit-identical to the
+					// serial path (offer ya·yb, engine scales by 1/T).
 					for j := i + 1; j < len(s.Idx); j++ {
-						sk.Add(pairs.Key(s.Idx[i], s.Idx[j], dim), s.Val[i]*s.Val[j]*invT)
+						sk.Add(uint64(rowBase+int64(s.Idx[j])), ya*s.Val[j]*invT)
 					}
 				}
 			}

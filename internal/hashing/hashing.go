@@ -17,6 +17,18 @@ package hashing
 
 import "fmt"
 
+// MaxTables bounds the table count K so hot paths can use fixed stack
+// buffers (the count sketch re-exports it).
+const MaxTables = 64
+
+// Slot is one precomputed hash location of a key: Off is the row-major
+// cell index e*Range + Bucket(e, key) and Sign is Sign(e, key). Filled
+// slot arrays are the one-hash currency of the fused ingest path.
+type Slot struct {
+	Off  int
+	Sign float64
+}
+
 // PairHasher supplies, for each of Tables() independent hash tables, a
 // bucket hash into [0, Range()) and a +-1 sign hash.
 type PairHasher interface {
@@ -24,6 +36,14 @@ type PairHasher interface {
 	Bucket(e int, key uint64) int
 	// Sign returns the sign hash of key in table e: exactly -1 or +1.
 	Sign(e int, key uint64) float64
+	// FillSlots fills slots[e] = {e*Range() + Bucket(e, key), Sign(e, key)}
+	// for every table e in one call — the slot-fill loop of the fused
+	// ingest path. The results are exactly those of the per-table
+	// methods; fusing them devirtualizes the loop (one interface call
+	// per key instead of 2K) and lets families that share work between
+	// the two hashes (polynomial key reduction, tabulation byte walks)
+	// compute it once.
+	FillSlots(key uint64, slots *[MaxTables]Slot)
 	// Tables returns the number of independent tables K.
 	Tables() int
 	// Range returns the number of buckets per table R.

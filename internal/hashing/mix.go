@@ -71,6 +71,21 @@ func (f *mixFamily) Sign(e int, key uint64) float64 {
 	return -1
 }
 
+func (f *mixFamily) FillSlots(key uint64, slots *[MaxTables]Slot) {
+	r := int(f.rng)
+	off := 0
+	for e := 0; e < f.tables; e++ {
+		bs := f.bucketSeeds[e]
+		b := int(fastRange(Mix64(key^bs), f.rng))
+		s := float64(-1)
+		if Mix64(key*f.signSeeds[e]+bs)&1 == 1 {
+			s = 1
+		}
+		slots[e] = Slot{Off: off + b, Sign: s}
+		off += r
+	}
+}
+
 // fastRange maps a uniform 64-bit hash onto [0, n) without modulo bias
 // beyond the negligible 2^-64 rounding, using the high 64 bits of the
 // 128-bit product (Lemire 2016).

@@ -115,3 +115,20 @@ func (f *polyFamily) Sign(e int, key uint64) float64 {
 	}
 	return -1
 }
+
+// FillSlots shares the field reduction of the key across all 2K
+// polynomial evaluations.
+func (f *polyFamily) FillSlots(key uint64, slots *[MaxTables]Slot) {
+	x := reduceKey(key)
+	r := int(f.rng)
+	off := 0
+	for e := 0; e < f.tables; e++ {
+		b := int(fastRange(polyEval(f.bucketCoef[e], x)<<3, f.rng))
+		s := float64(-1)
+		if polyEval(f.signCoef[e], x)&1 == 1 {
+			s = 1
+		}
+		slots[e] = Slot{Off: off + b, Sign: s}
+		off += r
+	}
+}

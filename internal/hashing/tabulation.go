@@ -54,3 +54,25 @@ func (f *tabulationFamily) Sign(e int, key uint64) float64 {
 	}
 	return -1
 }
+
+// FillSlots walks the key's bytes once per table, XORing bucket and sign
+// table entries in the same pass.
+func (f *tabulationFamily) FillSlots(key uint64, slots *[MaxTables]Slot) {
+	r := int(f.rng)
+	off := 0
+	for e := 0; e < f.tables; e++ {
+		bt, st := &f.bucketTab[e], &f.signTab[e]
+		var hb, hs uint64
+		for b := 0; b < 8; b++ {
+			v := byte(key >> (8 * b))
+			hb ^= bt[b][v]
+			hs ^= st[b][v]
+		}
+		s := float64(-1)
+		if hs>>63 == 1 {
+			s = 1
+		}
+		slots[e] = Slot{Off: off + int(fastRange(hb, f.rng)), Sign: s}
+		off += r
+	}
+}

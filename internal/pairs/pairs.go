@@ -34,6 +34,20 @@ func Index(a, b, d int) int64 {
 // Key returns Index(a, b, d) as the uint64 sketch key.
 func Key(a, b, d int) uint64 { return uint64(Index(a, b, d)) }
 
+// RowBase returns the row offset of a such that for every b with
+// a < b < d, Index(a, b, d) = RowBase(a, d) + b. Pair indices are
+// row-major, so enumerating the partners of a fixed a only needs this
+// one base plus the partner index — the hot ingest loops use it to
+// replace the per-pair Index multiply/divide with an add. Requires
+// 0 ≤ a < d−1 (a row with at least one pair); the result may be −1
+// (for a = 0), never less.
+func RowBase(a, d int) int64 {
+	if a < 0 || a >= d-1 {
+		panic(fmt.Sprintf("pairs: invalid row %d for d=%d", a, d))
+	}
+	return rowStart(a, d) - int64(a) - 1
+}
+
 // Decode inverts Index: it returns the (a, b) with a < b whose linear
 // index is i. It panics when i is out of range for d.
 func Decode(i int64, d int) (a, b int) {

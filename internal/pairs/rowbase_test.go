@@ -1,0 +1,46 @@
+package pairs
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRowBaseMatchesIndex checks the hot-loop identity
+// Index(a, b, d) = RowBase(a, d) + b over exhaustive small dimensions
+// and random large ones.
+func TestRowBaseMatchesIndex(t *testing.T) {
+	for d := 2; d <= 40; d++ {
+		for a := 0; a < d-1; a++ {
+			base := RowBase(a, d)
+			for b := a + 1; b < d; b++ {
+				if got, want := base+int64(b), Index(a, b, d); got != want {
+					t.Fatalf("d=%d (%d,%d): RowBase+b=%d, Index=%d", d, a, b, got, want)
+				}
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		d := 2 + rng.Intn(50_000_000)
+		a := rng.Intn(d - 1)
+		b := a + 1 + rng.Intn(d-a-1)
+		if got, want := RowBase(a, d)+int64(b), Index(a, b, d); got != want {
+			t.Fatalf("d=%d (%d,%d): RowBase+b=%d, Index=%d", d, a, b, got, want)
+		}
+	}
+}
+
+// TestRowBasePanicsOnInvalidRow pins the precondition: a row must have
+// at least one pair.
+func TestRowBasePanicsOnInvalidRow(t *testing.T) {
+	for _, tc := range []struct{ a, d int }{{-1, 10}, {9, 10}, {10, 10}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("RowBase(%d, %d) did not panic", tc.a, tc.d)
+				}
+			}()
+			RowBase(tc.a, tc.d)
+		}()
+	}
+}

@@ -179,9 +179,15 @@ type worker struct {
 	id    int
 	ch    chan msg
 	eng   sketchapi.Snapshotter
+	fast  sketchapi.OfferEstimator // non-nil when eng supports the fused path
 	track *topk.Tracker
 	lastT int
 	ops   uint64
+
+	// Scratch for the batched fast path, reused across apply calls.
+	keys []uint64
+	xs   []float64
+	ests []float64
 }
 
 func (w *worker) run(wg *sync.WaitGroup) {
@@ -196,17 +202,53 @@ func (w *worker) run(wg *sync.WaitGroup) {
 }
 
 func (w *worker) apply(ops []op) {
-	for _, o := range ops {
-		if o.t > w.lastT {
-			w.lastT = o.t
-			w.eng.BeginStep(o.t)
+	if w.fast == nil {
+		for _, o := range ops {
+			if o.t > w.lastT {
+				w.lastT = o.t
+				w.eng.BeginStep(o.t)
+			}
+			w.eng.Offer(o.key, o.x)
+			// Same candidate policy as the batch retrieval path
+			// (covstream): score by the current |estimate| and rescore at
+			// query time, so keys the gate keeps admitting stay hot.
+			w.track.Offer(o.key, math.Abs(w.eng.Estimate(o.key)))
+			w.ops++
 		}
-		w.eng.Offer(o.key, o.x)
-		// Same candidate policy as the batch retrieval path
-		// (covstream): score by the current |estimate| and rescore at
-		// query time, so keys the gate keeps admitting stay hot.
-		w.track.Offer(o.key, math.Abs(w.eng.Estimate(o.key)))
-		w.ops++
+		return
+	}
+	// Fused path: group runs of ops sharing a step and push each run
+	// through one OfferPairs call; the tracker reuses the per-offer
+	// estimates instead of re-hashing every key. Within a routed batch
+	// the steps are non-decreasing (route assigns them per sample), so
+	// the runs are long — typically one per sample.
+	for lo := 0; lo < len(ops); {
+		t := ops[lo].t
+		if t > w.lastT {
+			w.lastT = t
+			w.eng.BeginStep(t)
+		}
+		hi := lo + 1
+		for hi < len(ops) && ops[hi].t == t {
+			hi++
+		}
+		run := ops[lo:hi]
+		keys, xs := w.keys[:0], w.xs[:0]
+		for _, o := range run {
+			keys = append(keys, o.key)
+			xs = append(xs, o.x)
+		}
+		if cap(w.ests) < len(run) {
+			w.ests = make([]float64, len(run))
+		}
+		ests := w.ests[:len(run)]
+		w.fast.OfferPairs(keys, xs, ests)
+		for i, o := range run {
+			w.track.Offer(o.key, math.Abs(ests[i]))
+		}
+		w.keys, w.xs = keys, xs
+		w.ops += uint64(len(run))
+		lo = hi
 	}
 }
 
@@ -288,12 +330,16 @@ func (m *Manager) start(spec EngineSpec) error {
 		if err != nil {
 			return err
 		}
-		workers[i] = &worker{
+		w := &worker{
 			id:    i,
 			ch:    make(chan msg, m.cfg.QueueLen),
 			eng:   eng,
 			track: topk.NewTracker(m.cfg.TrackCandidates),
 		}
+		if f, ok := eng.(sketchapi.OfferEstimator); ok {
+			w.fast = f
+		}
+		workers[i] = w
 	}
 	m.spec = spec
 	m.workers = workers
@@ -422,11 +468,15 @@ func (m *Manager) route(samples []stream.Sample, base int) {
 			}
 			val = scaled
 		}
-		for i := 0; i < len(idx); i++ {
+		for i := 0; i+1 < len(idx); i++ {
+			// Row-major pair keys: partners of idx[i] are rowBase + idx[j],
+			// a pure increment instead of per-pair Index arithmetic.
+			rowBase := pairs.RowBase(idx[i], m.cfg.Dim)
+			ya := val[i]
 			for j := i + 1; j < len(idx); j++ {
-				key := pairs.Key(idx[i], idx[j], m.cfg.Dim)
+				key := uint64(rowBase + int64(idx[j]))
 				sh := m.shardOf(key)
-				bufs[sh] = append(bufs[sh], op{t: t, key: key, x: val[i] * val[j]})
+				bufs[sh] = append(bufs[sh], op{t: t, key: key, x: ya * val[j]})
 				if len(bufs[sh]) >= m.cfg.FlushOps {
 					m.workers[sh].ch <- msg{ops: bufs[sh]}
 					bufs[sh] = nil

@@ -81,6 +81,117 @@ func (sp EngineSpec) build() (sketchapi.Snapshotter, error) {
 	}
 }
 
+// ServeOptions describes a serving deployment in operator-level terms —
+// total memory across all shards, a warm-up fraction — and is the single
+// translation into a shard.Config. The mem→range split, engine-kind
+// defaults, and warm-up sizing rules live here so the entry points that
+// build managers (ascs.NewSharded, the ascsd daemon, the ascsload
+// benchmark) cannot drift apart.
+type ServeOptions struct {
+	// Dim is the feature dimensionality d. Required.
+	Dim int
+	// Samples is the stream horizon T. Required.
+	Samples int
+	// Shards is the worker count N (default 1).
+	Shards int
+	// Kind selects the engine (default KindASCS).
+	Kind Kind
+	// Tables is the hash-table count K per shard sketch (default 5).
+	Tables int
+	// MemoryFloats is the total sketch budget in float64 cells across
+	// all shards; each shard gets MemoryFloats/(Tables·Shards) buckets
+	// per table. Required unless Range is set.
+	MemoryFloats int
+	// Range overrides the per-shard buckets per table directly.
+	Range int
+	// Seed makes hashing deterministic (default 1).
+	Seed uint64
+	// Alpha is the assumed signal-pair sparsity for the warm-up solver
+	// (shard.Config defaults it to 0.005).
+	Alpha float64
+	// Standardize rescales features to unit variance from the warm-up
+	// prefix.
+	Standardize bool
+	// WarmupFraction sizes the warm-up prefix via covstream.WarmupSize
+	// (default 0.05) when Warmup is zero and a warm-up is needed.
+	WarmupFraction float64
+	// Warmup overrides the warm-up prefix length directly.
+	Warmup int
+	// TrackCandidates bounds each shard's retrieval candidate set
+	// (shard.Config defaults it to 1<<14).
+	TrackCandidates int
+	// QueueLen and FlushOps tune the ingest pipeline (shard.Config
+	// defaults: 64 batches, 4096 ops).
+	QueueLen, FlushOps int
+	// OneSided selects the one-sided ASCS gate.
+	OneSided bool
+}
+
+// NewFromOptions applies the shared derivation rules and starts a
+// Manager: engines needing no warm-up (CS without standardization) start
+// immediately, ASCS derives its schedule from the sized warm-up prefix.
+func NewFromOptions(o ServeOptions) (*Manager, error) {
+	if o.Shards == 0 {
+		o.Shards = 1
+	}
+	if o.Tables == 0 {
+		o.Tables = 5
+	}
+	if o.Kind == "" {
+		o.Kind = KindASCS
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Range == 0 {
+		if o.MemoryFloats <= 0 {
+			return nil, fmt.Errorf("shard: set MemoryFloats or Range")
+		}
+		if o.Tables < 1 || o.Shards < 1 {
+			return nil, fmt.Errorf("shard: Tables (%d) and Shards (%d) must be ≥ 1", o.Tables, o.Shards)
+		}
+		o.Range = o.MemoryFloats / (o.Tables * o.Shards)
+	}
+	if o.Range < 2 {
+		return nil, fmt.Errorf("shard: per-shard range %d too small (raise MemoryFloats or lower Shards/Tables)", o.Range)
+	}
+	if fr := o.WarmupFraction; fr != 0 && (fr < 0 || fr > 0.5) {
+		return nil, fmt.Errorf("shard: WarmupFraction must be in (0, 0.5], got %v", fr)
+	}
+	// Pass an explicit Warmup through even when the engine needs none:
+	// New rejects it there, so a misconfigured flag fails fast instead
+	// of being silently dropped.
+	warm := o.Warmup
+	if o.Kind == KindASCS || o.Standardize {
+		if warm == 0 {
+			fr := o.WarmupFraction
+			if fr == 0 {
+				fr = 0.05
+			}
+			warm = covstream.WarmupSize(fr, o.Samples)
+		}
+		if warm >= o.Samples {
+			return nil, fmt.Errorf("shard: Samples=%d leaves no room after the %d-sample warm-up prefix; increase Samples", o.Samples, warm)
+		}
+	}
+	return New(Config{
+		Dim:    o.Dim,
+		Shards: o.Shards,
+		Engine: EngineSpec{
+			Kind:     o.Kind,
+			Sketch:   countsketch.Config{Tables: o.Tables, Range: o.Range, Seed: o.Seed},
+			T:        o.Samples,
+			OneSided: o.OneSided,
+		},
+		Warmup:          warm,
+		Alpha:           o.Alpha,
+		Standardize:     o.Standardize,
+		QueueLen:        o.QueueLen,
+		FlushOps:        o.FlushOps,
+		TrackCandidates: o.TrackCandidates,
+	})
+}
+
 // AutoSpec derives an ASCS EngineSpec from a warm-up prefix, reusing
 // the batch pipeline's §8.1 recipe (covstream.Warmup + ASCSParams) but
 // solving the schedule for the *per-shard* sub-problem: key-space

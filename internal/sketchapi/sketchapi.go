@@ -31,6 +31,33 @@ type Ingestor interface {
 	Name() string
 }
 
+// OfferEstimator is the fused ingest fast path: every engine in this
+// repository hashes an offered key to the same table cells whether it is
+// gating (ASCS τ test, Cold Filter saturation test), inserting, or
+// answering the estimate the retrieval tracker scores candidates with —
+// so one locate can serve all three. The per-call contract is exact
+// equivalence: OfferEstimate(key, x) leaves the engine in the bit-same
+// state as Offer(key, x) and returns the bit-same value a subsequent
+// Estimate(key) would, while hashing the key once instead of up to three
+// times. All four engines (CS MeanSketch, ASCS core.Engine, ASketch,
+// ColdFilter) implement it; covstream and the serving shards prefer it
+// when present and fall back to Offer+Estimate otherwise.
+type OfferEstimator interface {
+	Ingestor
+	// OfferEstimate presents X_i^{(t)} = x for key i and returns the
+	// engine's post-offer estimate for the key, plus whether the
+	// observation was absorbed (false only when an admission gate — the
+	// ASCS τ test — rejected it; engines without a gate always absorb).
+	OfferEstimate(key uint64, x float64) (est float64, admitted bool)
+	// OfferPairs is the batch form for one time step: it offers every
+	// (keys[i], xs[i]) in order, amortizing interface dispatch and
+	// keeping the slot buffer hot. When ests is non-nil it must have
+	// len(keys) and is filled with the per-offer post-estimates, exactly
+	// as len(keys) OfferEstimate calls would produce them; nil skips the
+	// estimates (pure ingest).
+	OfferPairs(keys []uint64, xs []float64, ests []float64)
+}
+
 // Snapshotter is an Ingestor whose full state (schedule position,
 // counters, table contents) can be serialized for checkpoint/resume.
 // The CS and ASCS engines implement it; the serving layer

@@ -85,6 +85,28 @@ func (m *MeanSketch) Estimate(key uint64) float64 {
 	return m.cs.Estimate(key)
 }
 
+// OfferEstimate is the fused fast path: Offer plus the post-offer
+// estimate off a single hash of the key (the per-call pair hashes it up
+// to three times). admitted is false only when the ASCS gate rejected
+// the observation.
+func (m *MeanSketch) OfferEstimate(key uint64, x float64) (est float64, admitted bool) {
+	if m.eng != nil {
+		return m.eng.OfferEstimate(key, x)
+	}
+	return m.cs.OfferEstimate(key, x)
+}
+
+// OfferPairs is the batch form of OfferEstimate for one time step: it
+// offers every (keys[i], xs[i]) in order and, when ests is non-nil
+// (length len(keys)), fills it with the post-offer estimates.
+func (m *MeanSketch) OfferPairs(keys []uint64, xs []float64, ests []float64) {
+	if m.eng != nil {
+		m.eng.OfferPairs(keys, xs, ests)
+		return
+	}
+	m.cs.OfferPairs(keys, xs, ests)
+}
+
 // Kind reports "CS" or "ASCS".
 func (m *MeanSketch) Kind() string { return m.kind }
 

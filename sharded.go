@@ -3,8 +3,6 @@ package ascs
 import (
 	"fmt"
 
-	"repro/internal/countsketch"
-	"repro/internal/covstream"
 	"repro/internal/shard"
 	"repro/internal/stream"
 )
@@ -77,31 +75,16 @@ type Sharded struct {
 	dim int
 }
 
-// NewSharded validates cfg and starts the shard workers.
+// NewSharded validates cfg and starts the shard workers. The mem→range
+// split and warm-up sizing are the shared shard.NewFromOptions rules, so
+// the library, the ascsd daemon, and the ascsload benchmark derive
+// identical deployments from identical knobs.
 func NewSharded(cfg ShardedConfig) (*Sharded, error) {
 	if cfg.Dim < 2 {
 		return nil, fmt.Errorf("ascs: Dim must be ≥ 2, got %d", cfg.Dim)
 	}
 	if cfg.Samples < 4 {
 		return nil, fmt.Errorf("ascs: Samples must be ≥ 4, got %d", cfg.Samples)
-	}
-	if cfg.Shards == 0 {
-		cfg.Shards = 1
-	}
-	if cfg.Tables == 0 {
-		cfg.Tables = 5
-	}
-	if cfg.Range == 0 {
-		if cfg.MemoryFloats <= 0 {
-			return nil, fmt.Errorf("ascs: set MemoryFloats or Range")
-		}
-		cfg.Range = cfg.MemoryFloats / (cfg.Tables * cfg.Shards)
-	}
-	if cfg.Range < 2 {
-		return nil, fmt.Errorf("ascs: per-shard range %d too small (raise MemoryFloats or lower Shards)", cfg.Range)
-	}
-	if cfg.Seed == 0 {
-		cfg.Seed = 1
 	}
 	var kind shard.Kind
 	switch cfg.Engine {
@@ -116,29 +99,18 @@ func NewSharded(cfg ShardedConfig) (*Sharded, error) {
 	if cfg.Standardize != nil {
 		standardize = *cfg.Standardize
 	}
-	if cfg.WarmupFraction == 0 {
-		cfg.WarmupFraction = 0.05
-	}
-	if cfg.WarmupFraction < 0 || cfg.WarmupFraction > 0.5 {
-		return nil, fmt.Errorf("ascs: WarmupFraction must be in (0, 0.5], got %v", cfg.WarmupFraction)
-	}
-	warmN := covstream.WarmupSize(cfg.WarmupFraction, cfg.Samples)
-	if kind == shard.KindCS && !standardize {
-		warmN = 0 // nothing to fit; start the workers immediately
-	} else if warmN >= cfg.Samples {
-		return nil, fmt.Errorf("ascs: Samples=%d leaves no room after the %d-sample warm-up prefix; increase Samples", cfg.Samples, warmN)
-	}
-	m, err := shard.New(shard.Config{
-		Dim:    cfg.Dim,
-		Shards: cfg.Shards,
-		Engine: shard.EngineSpec{
-			Kind:   kind,
-			Sketch: countsketch.Config{Tables: cfg.Tables, Range: cfg.Range, Seed: cfg.Seed},
-			T:      cfg.Samples,
-		},
-		Warmup:          warmN,
+	m, err := shard.NewFromOptions(shard.ServeOptions{
+		Dim:             cfg.Dim,
+		Samples:         cfg.Samples,
+		Shards:          cfg.Shards,
+		Kind:            kind,
+		Tables:          cfg.Tables,
+		MemoryFloats:    cfg.MemoryFloats,
+		Range:           cfg.Range,
+		Seed:            cfg.Seed,
 		Alpha:           cfg.Alpha,
 		Standardize:     standardize,
+		WarmupFraction:  cfg.WarmupFraction,
 		TrackCandidates: cfg.TrackCandidates,
 	})
 	if err != nil {
