@@ -21,6 +21,11 @@
 //   - fused: OfferEstimate — one hash phase serves gate, insert, and
 //     tracker estimate.
 //   - batch: OfferPairs — fused plus batched interface dispatch.
+//   - batch-decay: OfferPairs on an engine in exponential-decay
+//     (unbounded-stream) mode, with one step advance per chunk so every
+//     lazy decay tick is paid — the steady-state cost of sliding-window
+//     serving, which must match batch within noise and stay 0
+//     allocs/pair.
 package main
 
 import (
@@ -100,7 +105,9 @@ func main() {
 		},
 		Notes: "single-thread sampling-phase hot path, tracked admitted-pair case; " +
 			"legacy replays the pre-fusion per-offer hash sequence and is the before number, " +
-			"fused/batch are the after numbers",
+			"fused/batch are the after numbers; batch-decay is the batch arm on an " +
+			"exponential-decay (unbounded window) engine with one step advance per chunk, " +
+			"so the lazy aging tick is included — it must track batch within noise at 0 allocs/pair",
 	}
 	report.Config.Tables = *tables
 	report.Config.Range = *rng
@@ -110,14 +117,14 @@ func main() {
 
 	for _, engine := range strings.Split(*engines, ",") {
 		engine = strings.TrimSpace(engine)
-		for _, mode := range []string{"legacy", "percall", "fused", "batch"} {
+		for _, mode := range []string{"legacy", "percall", "fused", "batch", "batch-decay"} {
 			res := runMode(engine, mode, *tables, *rng, *nkeys, *chunk, *benchtime)
 			log.Printf("%-4s %-8s %2d hash phase(s): %7.1f ns/pair (%.3e pairs/s, %.2f allocs/pair)",
 				res.Engine, res.Mode, res.HashPhases, res.NsPerPair, res.PairsPerSec, res.AllocsPerPair)
 			report.Results = append(report.Results, res)
 		}
 		base := findResult(report.Results, engine, "legacy")
-		for _, mode := range []string{"fused", "batch"} {
+		for _, mode := range []string{"fused", "batch", "batch-decay"} {
 			if r := findResult(report.Results, engine, mode); r != nil && base != nil && base.NsPerPair > 0 {
 				report.Speedups = append(report.Speedups, SpeedupEntry{
 					Engine: engine, Mode: mode, Baseline: "legacy",
@@ -155,23 +162,44 @@ func findResult(rs []Result, engine, mode string) *Result {
 }
 
 // benchT is the synthetic stream horizon: long enough that the primed
-// working set never exhausts it.
+// working set never exhausts it. In the decayed arms it doubles as the
+// effective window (λ = 1 − 1/benchT), so the per-step aging is that of
+// a realistic long-window deployment.
 const benchT = 1 << 30
 
 // newEngine builds the measured engine in its sampling phase with nkeys
-// primed, admitted keys.
-func newEngine(engine string, tables, rng, nkeys int) sketchapi.OfferEstimator {
+// primed, admitted keys. decayed selects the unbounded (λ-weighted)
+// construction.
+func newEngine(engine string, tables, rng, nkeys int, decayed bool) sketchapi.OfferEstimator {
 	cfg := countsketch.Config{Tables: tables, Range: rng, Seed: 1}
+	lambda := 1 - 1.0/benchT
 	var eng sketchapi.OfferEstimator
 	switch engine {
 	case "ascs":
-		e, err := core.NewEngine(cfg, core.Hyperparams{T0: 1, Theta: 0, Tau0: 1e-12, T: benchT}, true)
+		hp := core.Hyperparams{T0: 1, Theta: 0, Tau0: 1e-12, T: benchT}
+		var (
+			e   *core.Engine
+			err error
+		)
+		if decayed {
+			e, err = core.NewEngineDecayed(cfg, hp, true, lambda)
+		} else {
+			e, err = core.NewEngine(cfg, hp, true)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
 		eng = e
 	case "cs":
-		ms, err := countsketch.NewMeanSketch(cfg, benchT)
+		var (
+			ms  *countsketch.MeanSketch
+			err error
+		)
+		if decayed {
+			ms, err = countsketch.NewMeanSketchDecayed(cfg, benchT, lambda)
+		} else {
+			ms, err = countsketch.NewMeanSketch(cfg, benchT)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -188,7 +216,7 @@ func newEngine(engine string, tables, rng, nkeys int) sketchapi.OfferEstimator {
 }
 
 func runMode(engine, mode string, tables, rng, nkeys, chunk int, benchtime time.Duration) Result {
-	hashPhases := map[string]int{"legacy": 3, "percall": 2, "fused": 1, "batch": 1}[mode]
+	hashPhases := map[string]int{"legacy": 3, "percall": 2, "fused": 1, "batch": 1, "batch-decay": 1}[mode]
 	if engine == "cs" && mode == "legacy" {
 		hashPhases = 2 // CS had no gate estimate: Add + tracker Estimate
 	}
@@ -201,7 +229,9 @@ func runMode(engine, mode string, tables, rng, nkeys, chunk int, benchtime time.
 	case "fused":
 		fn = func(b *testing.B) { benchFused(b, engine, tables, rng, nkeys) }
 	case "batch":
-		fn = func(b *testing.B) { benchBatch(b, engine, tables, rng, nkeys, chunk) }
+		fn = func(b *testing.B) { benchBatch(b, engine, tables, rng, nkeys, chunk, false) }
+	case "batch-decay":
+		fn = func(b *testing.B) { benchBatch(b, engine, tables, rng, nkeys, chunk, true) }
 	}
 	prev := flag.Lookup("test.benchtime")
 	if prev != nil {
@@ -249,7 +279,7 @@ func benchLegacy(b *testing.B, engine string, tables, rng, nkeys int) {
 }
 
 func benchPerCall(b *testing.B, engine string, tables, rng, nkeys int) {
-	var eng sketchapi.Ingestor = newEngine(engine, tables, rng, nkeys)
+	var eng sketchapi.Ingestor = newEngine(engine, tables, rng, nkeys, false)
 	b.ReportAllocs()
 	b.ResetTimer()
 	var sink float64
@@ -262,7 +292,7 @@ func benchPerCall(b *testing.B, engine string, tables, rng, nkeys int) {
 }
 
 func benchFused(b *testing.B, engine string, tables, rng, nkeys int) {
-	eng := newEngine(engine, tables, rng, nkeys)
+	eng := newEngine(engine, tables, rng, nkeys, false)
 	b.ReportAllocs()
 	b.ResetTimer()
 	var sink float64
@@ -273,8 +303,8 @@ func benchFused(b *testing.B, engine string, tables, rng, nkeys int) {
 	_ = sink
 }
 
-func benchBatch(b *testing.B, engine string, tables, rng, nkeys, chunk int) {
-	eng := newEngine(engine, tables, rng, nkeys)
+func benchBatch(b *testing.B, engine string, tables, rng, nkeys, chunk int, decayed bool) {
+	eng := newEngine(engine, tables, rng, nkeys, decayed)
 	if chunk > nkeys {
 		chunk = nkeys
 	}
@@ -289,7 +319,7 @@ func benchBatch(b *testing.B, engine string, tables, rng, nkeys, chunk int) {
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
-	pos := 0
+	pos, step := 0, 2
 	for lo := 0; lo < b.N; lo += chunk {
 		n := chunk
 		if lo+n > b.N {
@@ -297,6 +327,13 @@ func benchBatch(b *testing.B, engine string, tables, rng, nkeys, chunk int) {
 		}
 		if pos+n > nkeys {
 			pos = 0
+		}
+		if decayed {
+			// One chunk stands for one sample's pair run: advancing the
+			// step charges the lazy decay tick (sketch scale bump,
+			// N_eff update) to the measured loop.
+			step++
+			eng.BeginStep(step)
 		}
 		eng.OfferPairs(keys[pos:pos+n], xs[pos:pos+n], ests[pos:pos+n])
 		pos += n

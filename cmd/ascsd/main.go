@@ -5,8 +5,15 @@
 //
 //	ascsd -dim 5000 -samples 200000 -shards 8 -mem 4000000
 //	ascsd -dim 5000 -samples 200000 -engine cs -standardize=false
+//	ascsd -dim 5000 -window 500000 -shards 8           # unbounded stream, sliding window
+//	ascsd -dim 5000 -samples 200000 -decay 0.999995    # unbounded, explicit λ
 //	ascsd -dim 5000 -samples 200000 -snapshot-dir /var/lib/ascsd -snapshot-every 30s
 //	ascsd -snapshot-dir /var/lib/ascsd -restore        # resume after a crash
+//
+// With -window (or -decay) the daemon serves an unbounded stream:
+// there is no horizon to exhaust (no 409s past T), estimates track the
+// λ-weighted sliding window, and /v1/stats reports window, lambda and
+// n_eff instead of a horizon.
 //
 // The API (see internal/server): POST /v1/ingest, GET /v1/topk,
 // GET /v1/estimate, GET /v1/stats, POST /v1/snapshot, POST /v1/restore.
@@ -34,9 +41,11 @@ func main() {
 	var (
 		addr        = flag.String("addr", ":8356", "listen address")
 		dim         = flag.Int("dim", 0, "feature dimensionality d (required unless -restore)")
-		samples     = flag.Int("samples", 100_000, "stream horizon T")
+		samples     = flag.Int("samples", 100_000, "stream horizon T (ignored with -window)")
+		window      = flag.Int("window", 0, "serve an unbounded stream with this effective sample window (sets λ = 1 − 1/window)")
+		decay       = flag.Float64("decay", 0, "serve an unbounded stream with this per-step decay factor λ in (0,1]")
 		shards      = flag.Int("shards", runtime.GOMAXPROCS(0), "shard workers N")
-		engine      = flag.String("engine", "ascs", "serving engine: ascs or cs (snapshotable engines only)")
+		engine      = flag.String("engine", "ascs", "serving engine: ascs, cs, asketch or coldfilter")
 		tables      = flag.Int("tables", 5, "hash tables K per shard sketch")
 		mem         = flag.Int("mem", 1_000_000, "total sketch budget in float64 cells across all shards")
 		rng         = flag.Int("range", 0, "buckets per table per shard (overrides -mem)")
@@ -57,7 +66,8 @@ func main() {
 	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
 
 	mgr, err := buildManager(managerFlags{
-		dim: *dim, samples: *samples, shards: *shards, engine: *engine,
+		dim: *dim, samples: *samples, window: *window, decay: *decay,
+		shards: *shards, engine: *engine,
 		tables: *tables, mem: *mem, rng: *rng, alpha: *alpha, warmup: *warmup,
 		standardize: *standardize, track: *track, queue: *queue, flush: *flush,
 		seed: *seed, snapDir: *snapDir, restore: *restore,
@@ -89,8 +99,13 @@ func main() {
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	st, _ := mgr.Stats()
-	log.Printf("serving on %s: dim=%d shards=%d engine=%s horizon=%d step=%d",
-		*addr, mgr.Dim(), st.Shards, st.Engine, mgr.Horizon(), mgr.Step())
+	if mgr.Unbounded() {
+		log.Printf("serving on %s: dim=%d shards=%d engine=%s unbounded window=%d lambda=%.9g step=%d",
+			*addr, mgr.Dim(), st.Shards, st.Engine, mgr.Window(), mgr.DecayFactor(), mgr.Step())
+	} else {
+		log.Printf("serving on %s: dim=%d shards=%d engine=%s horizon=%d step=%d",
+			*addr, mgr.Dim(), st.Shards, st.Engine, mgr.Horizon(), mgr.Step())
+	}
 
 	select {
 	case err := <-errCh:
@@ -117,6 +132,8 @@ func main() {
 
 type managerFlags struct {
 	dim, samples, shards int
+	window               int
+	decay                float64
 	engine               string
 	tables, mem, rng     int
 	alpha                float64
@@ -144,8 +161,12 @@ func buildManager(f managerFlags) (*shard.Manager, error) {
 		kind = shard.KindASCS
 	case "cs":
 		kind = shard.KindCS
+	case "asketch":
+		kind = shard.KindASketch
+	case "coldfilter":
+		kind = shard.KindColdFilter
 	default:
-		return nil, fmt.Errorf("unknown engine %q (serving supports ascs and cs)", f.engine)
+		return nil, fmt.Errorf("unknown engine %q (serving supports ascs, cs, asketch, coldfilter)", f.engine)
 	}
 	if f.tables < 1 {
 		return nil, fmt.Errorf("-tables must be ≥ 1 (got %d)", f.tables)
@@ -156,6 +177,8 @@ func buildManager(f managerFlags) (*shard.Manager, error) {
 	return shard.NewFromOptions(shard.ServeOptions{
 		Dim:             f.dim,
 		Samples:         f.samples,
+		Window:          f.window,
+		Lambda:          f.decay,
 		Shards:          f.shards,
 		Kind:            kind,
 		Tables:          f.tables,

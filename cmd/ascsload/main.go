@@ -58,6 +58,7 @@ func main() {
 		queriers  = flag.Int("queriers", 2, "concurrent top-k query workers during ingest")
 		topk      = flag.Int("topk", 25, "k for the query workers")
 		engine    = flag.String("engine", "cs", "engine for in-process mode: cs or ascs")
+		window    = flag.Int("window", 0, "serve unbounded with this effective sample window (in-process mode; 0 = fixed horizon)")
 		tables    = flag.Int("tables", 5, "hash tables per shard sketch (in-process mode)")
 		rng       = flag.Int("range", 1<<14, "buckets per table per shard (in-process mode)")
 		seedFlag  = flag.Int64("seed", 42, "workload seed")
@@ -109,7 +110,7 @@ func main() {
 		},
 	}
 	for _, n := range shardCounts {
-		res := runInProcess(n, *engine, *dim, *tables, *rng, work, loadCfg)
+		res := runInProcess(n, *engine, *dim, *tables, *rng, *window, work, loadCfg)
 		res.print()
 		report.Runs = append(report.Runs, res)
 	}
@@ -276,16 +277,17 @@ func (r *Report) run(shards int) *RunResult {
 
 // runInProcess starts a fresh sharded server on a loopback listener and
 // replays the workload through real HTTP.
-func runInProcess(shards int, engine string, dim, tables, rng int, work workload, cfg loadConfig) RunResult {
+func runInProcess(shards int, engine string, dim, tables, rng, window int, work workload, cfg loadConfig) RunResult {
 	kind := shard.KindCS
 	if engine == "ascs" {
 		kind = shard.KindASCS
 	}
 	// Same derivation rules as ascs.NewSharded and the ascsd daemon
-	// (mem→range, warm-up sizing) via the one shared helper.
+	// (mem→range, warm-up sizing, window→λ) via the one shared helper.
 	mgr, err := shard.NewFromOptions(shard.ServeOptions{
 		Dim:     dim,
 		Samples: work.samples,
+		Window:  window,
 		Shards:  shards,
 		Kind:    kind,
 		Tables:  tables,

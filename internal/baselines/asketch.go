@@ -6,8 +6,11 @@
 package baselines
 
 import (
+	"encoding/binary"
 	"fmt"
+	"io"
 	"math"
+	"sort"
 
 	"repro/internal/countsketch"
 	"repro/internal/sketchapi"
@@ -23,15 +26,28 @@ import (
 // pursues by gating insertions.
 type ASketch struct {
 	sk     *countsketch.Sketch
-	filter map[uint64]float64
+	filter map[uint64]float64 // raw values; logical value = raw · fscale
 	cap    int
 	invT   float64
 
-	// cached (approximate) minimum |value| entry of the filter; verified
-	// by a scan before any swap, so staleness only costs extra scans.
+	// cached (approximate) minimum |value| entry of the filter, in raw
+	// units; verified by a scan before any swap, so staleness only
+	// costs extra scans.
 	minKey uint64
 	minAbs float64
 	t      int
+
+	// decay/lambda/neff implement sketchapi.Decayer. The sketch ages
+	// lazily through its scale accumulator, and the exact filter ages
+	// the same lazy way: fscale is the filter's decay accumulator
+	// (logical entry = raw · fscale, finv = 1/fscale applied on
+	// writes), so a decay tick is O(1) instead of a map rewrite. Raw
+	// values — and hence the raw minAbs cache — are untouched by decay.
+	decay  bool
+	lambda float64
+	neff   float64
+	fscale float64
+	finv   float64
 
 	// slots is the reusable slot scratch of the fused offer methods
 	// (single-writer by the Ingestor contract; kept off the stack so it
@@ -39,7 +55,15 @@ type ASketch struct {
 	slots [countsketch.MaxTables]countsketch.Slot
 }
 
-var _ sketchapi.OfferEstimator = (*ASketch)(nil)
+// asketchRenormFloor is the shared lazy-decay renormalization floor
+// for the filter's lazy scale.
+const asketchRenormFloor = sketchapi.RenormFloor
+
+var (
+	_ sketchapi.OfferEstimator = (*ASketch)(nil)
+	_ sketchapi.Decayer        = (*ASketch)(nil)
+	_ sketchapi.Snapshotter    = (*ASketch)(nil)
+)
 
 // NewASketch builds an Augmented Sketch engine. filterCap is the number
 // of exact filter slots; totalSamples is the stream length T.
@@ -60,11 +84,70 @@ func NewASketch(cfg countsketch.Config, totalSamples, filterCap int) (*ASketch, 
 		cap:    filterCap,
 		invT:   1 / float64(totalSamples),
 		minAbs: math.Inf(1),
+		lambda: 1,
+		fscale: 1,
+		finv:   1,
 	}, nil
 }
 
-// BeginStep records the time step (unused beyond bookkeeping).
-func (a *ASketch) BeginStep(t int) { a.t = t }
+// NewASketchDecayed builds the engine in exponential-decay
+// (unbounded-stream) mode: window replaces the horizon as the insert
+// normalizer and every step ages the sketch and the exact filter by
+// lambda. λ = 1 keeps the arithmetic bit-identical to
+// NewASketch(cfg, window, filterCap) while lifting the stream bound.
+func NewASketchDecayed(cfg countsketch.Config, window, filterCap int, lambda float64) (*ASketch, error) {
+	if err := sketchapi.ValidateDecay(lambda); err != nil {
+		return nil, err
+	}
+	a, err := NewASketch(cfg, window, filterCap)
+	if err != nil {
+		return nil, err
+	}
+	a.decay = true
+	a.lambda = lambda
+	return a, nil
+}
+
+// BeginStep records the time step, applying the decay ticks of the
+// steps advanced when in decay mode.
+func (a *ASketch) BeginStep(t int) {
+	if a.decay {
+		if steps := t - a.t; steps > 0 {
+			f := sketchapi.DecayPow(a.lambda, steps)
+			a.sk.Decay(f)
+			if f != 1 {
+				// Lazy O(1) filter aging; raw entries (and the raw
+				// minAbs cache) are untouched.
+				a.fscale *= f
+				if a.fscale < asketchRenormFloor {
+					for k, v := range a.filter {
+						a.filter[k] = v * a.fscale
+					}
+					a.minAbs *= a.fscale
+					a.fscale, a.finv = 1, 1
+				} else {
+					a.finv = 1 / a.fscale
+				}
+			}
+			a.neff = sketchapi.AdvanceEffective(a.neff, a.lambda, steps)
+		}
+	}
+	a.t = t
+}
+
+// Decaying implements sketchapi.Decayer.
+func (a *ASketch) Decaying() bool { return a.decay }
+
+// DecayFactor implements sketchapi.Decayer.
+func (a *ASketch) DecayFactor() float64 { return a.lambda }
+
+// EffectiveSamples implements sketchapi.Decayer.
+func (a *ASketch) EffectiveSamples() float64 {
+	if a.decay {
+		return a.neff
+	}
+	return float64(a.t)
+}
 
 // Offer routes the observation to the filter when the key is hot,
 // otherwise through the sketch with a promotion check. Sketched keys are
@@ -73,7 +156,7 @@ func (a *ASketch) BeginStep(t int) { a.t = t }
 func (a *ASketch) Offer(key uint64, x float64) {
 	v := x * a.invT
 	if cur, ok := a.filter[key]; ok {
-		a.bumpFilter(key, cur+v)
+		a.bumpFilter(key, cur*a.fscale+v)
 		return
 	}
 	a.sk.Locate(key, &a.slots)
@@ -86,7 +169,7 @@ func (a *ASketch) Offer(key uint64, x float64) {
 func (a *ASketch) OfferEstimate(key uint64, x float64) (float64, bool) {
 	v := x * a.invT
 	if cur, ok := a.filter[key]; ok {
-		nv := cur + v
+		nv := cur*a.fscale + v
 		a.bumpFilter(key, nv)
 		a.sk.Locate(key, &a.slots)
 		return nv + a.sk.EstimateSlots(&a.slots), true
@@ -112,14 +195,15 @@ func (a *ASketch) OfferPairs(keys []uint64, xs []float64, ests []float64) {
 	}
 }
 
-// bumpFilter updates a filtered key's value, keeping the cached minimum
-// honest when the minimum itself moved.
+// bumpFilter updates a filtered key's value (nv in logical units),
+// keeping the cached minimum honest when the minimum itself moved.
 func (a *ASketch) bumpFilter(key uint64, nv float64) {
-	a.filter[key] = nv
+	raw := nv * a.finv
+	a.filter[key] = raw
 	if key == a.minKey {
-		a.minAbs = math.Abs(nv)
-	} else if math.Abs(nv) < a.minAbs {
-		a.minKey, a.minAbs = key, math.Abs(nv)
+		a.minAbs = math.Abs(raw)
+	} else if math.Abs(raw) < a.minAbs {
+		a.minKey, a.minAbs = key, math.Abs(raw)
 	}
 }
 
@@ -132,31 +216,34 @@ func (a *ASketch) offerSketched(key uint64, slots *[countsketch.MaxTables]counts
 		a.promote(key, est, slots)
 		return est, true
 	}
-	if math.Abs(est) <= a.minAbs {
+	// minAbs is raw; the sketch estimate is logical — compare on the
+	// logical side (fscale = 1 keeps this the exact pre-decay test).
+	if math.Abs(est) <= a.minAbs*a.fscale {
 		return est, false
 	}
 	// Verify against the true minimum (the cache may be stale-low).
 	minKey, minAbs := a.scanMin()
 	a.minKey, a.minAbs = minKey, minAbs
-	if math.Abs(est) <= minAbs {
+	if math.Abs(est) <= minAbs*a.fscale {
 		return est, false
 	}
 	// Swap: evicted entry's mass returns to the sketch; the promoted
 	// key's estimated mass leaves it.
-	evicted := a.filter[minKey]
+	evicted := a.filter[minKey] * a.fscale
 	delete(a.filter, minKey)
 	a.sk.Add(minKey, evicted)
 	a.promote(key, est, slots)
 	return est, true
 }
 
-// promote moves key into the filter with value est, removing est from
-// the sketch so the mass is represented exactly once.
+// promote moves key into the filter with logical value est, removing
+// est from the sketch so the mass is represented exactly once.
 func (a *ASketch) promote(key uint64, est float64, slots *[countsketch.MaxTables]countsketch.Slot) {
 	a.sk.AddSlots(slots, -est)
-	a.filter[key] = est
-	if math.Abs(est) < a.minAbs || len(a.filter) == 1 {
-		a.minKey, a.minAbs = key, math.Abs(est)
+	raw := est * a.finv
+	a.filter[key] = raw
+	if math.Abs(raw) < a.minAbs || len(a.filter) == 1 {
+		a.minKey, a.minAbs = key, math.Abs(raw)
 	}
 }
 
@@ -175,7 +262,7 @@ func (a *ASketch) scanMin() (uint64, float64) {
 // the sketch otherwise.
 func (a *ASketch) Estimate(key uint64) float64 {
 	if v, ok := a.filter[key]; ok {
-		return v + a.sk.Estimate(key)
+		return v*a.fscale + a.sk.Estimate(key)
 	}
 	return a.sk.Estimate(key)
 }
@@ -188,3 +275,101 @@ func (a *ASketch) Bytes() int { return a.sk.Bytes() + 16*a.cap }
 
 // Name identifies the engine.
 func (a *ASketch) Name() string { return "ASketch" }
+
+const asketchMagic = uint32(0xA5C5A5E1)
+
+// WriteTo implements sketchapi.Snapshotter: normalizer, step position,
+// decay state (λ, N_eff, the filter's lazy scale), the exact filter
+// contents (raw units — restore is bit-exact), and the backing sketch.
+// The cached filter minimum is not serialized — it is a derived
+// quantity recomputed on read.
+func (a *ASketch) WriteTo(w io.Writer) (int64, error) {
+	hdr := make([]byte, 4+8*3+1+8*3+4)
+	binary.LittleEndian.PutUint32(hdr[0:], asketchMagic)
+	binary.LittleEndian.PutUint64(hdr[4:], math.Float64bits(a.invT))
+	binary.LittleEndian.PutUint64(hdr[12:], uint64(a.t))
+	binary.LittleEndian.PutUint64(hdr[20:], uint64(a.cap))
+	if a.decay {
+		hdr[28] = 1
+	}
+	binary.LittleEndian.PutUint64(hdr[29:], math.Float64bits(a.lambda))
+	binary.LittleEndian.PutUint64(hdr[37:], math.Float64bits(a.neff))
+	binary.LittleEndian.PutUint64(hdr[45:], math.Float64bits(a.fscale))
+	binary.LittleEndian.PutUint32(hdr[53:], uint32(len(a.filter)))
+	n, err := w.Write(hdr)
+	total := int64(n)
+	if err != nil {
+		return total, err
+	}
+	// Canonical key order: identical engine states serialize to
+	// identical bytes regardless of map iteration order.
+	keys := make([]uint64, 0, len(a.filter))
+	for k := range a.filter {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	ent := make([]byte, 16)
+	for _, k := range keys {
+		binary.LittleEndian.PutUint64(ent[0:], k)
+		binary.LittleEndian.PutUint64(ent[8:], math.Float64bits(a.filter[k]))
+		n, err := w.Write(ent)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	sn, err := a.sk.WriteTo(w)
+	return total + sn, err
+}
+
+// ReadASketchFrom reconstructs an ASketch written by WriteTo.
+func ReadASketchFrom(r io.Reader) (*ASketch, error) {
+	hdr := make([]byte, 4+8*3+1+8*3+4)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("baselines: reading asketch header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != asketchMagic {
+		return nil, fmt.Errorf("baselines: bad asketch magic")
+	}
+	a := &ASketch{
+		invT:   math.Float64frombits(binary.LittleEndian.Uint64(hdr[4:])),
+		t:      int(binary.LittleEndian.Uint64(hdr[12:])),
+		cap:    int(binary.LittleEndian.Uint64(hdr[20:])),
+		decay:  hdr[28] == 1,
+		lambda: math.Float64frombits(binary.LittleEndian.Uint64(hdr[29:])),
+		neff:   math.Float64frombits(binary.LittleEndian.Uint64(hdr[37:])),
+		fscale: math.Float64frombits(binary.LittleEndian.Uint64(hdr[45:])),
+	}
+	if !(a.invT > 0) || math.IsInf(a.invT, 0) {
+		return nil, fmt.Errorf("baselines: corrupt asketch normalizer %v", a.invT)
+	}
+	if a.cap < 1 {
+		return nil, fmt.Errorf("baselines: corrupt asketch filter cap %d", a.cap)
+	}
+	if err := sketchapi.ValidateDecay(a.lambda); err != nil {
+		return nil, fmt.Errorf("baselines: corrupt asketch decay factor: %w", err)
+	}
+	if !(a.fscale > 0) || math.IsInf(a.fscale, 0) {
+		return nil, fmt.Errorf("baselines: corrupt asketch filter scale %v", a.fscale)
+	}
+	a.finv = 1 / a.fscale
+	cnt := int(binary.LittleEndian.Uint32(hdr[53:]))
+	if cnt > a.cap {
+		return nil, fmt.Errorf("baselines: asketch filter count %d exceeds cap %d", cnt, a.cap)
+	}
+	a.filter = make(map[uint64]float64, a.cap)
+	ent := make([]byte, 16)
+	for i := 0; i < cnt; i++ {
+		if _, err := io.ReadFull(r, ent); err != nil {
+			return nil, fmt.Errorf("baselines: reading asketch filter entry %d: %w", i, err)
+		}
+		a.filter[binary.LittleEndian.Uint64(ent[0:])] = math.Float64frombits(binary.LittleEndian.Uint64(ent[8:]))
+	}
+	a.minKey, a.minAbs = a.scanMin()
+	sk, err := countsketch.ReadFrom(r)
+	if err != nil {
+		return nil, err
+	}
+	a.sk = sk
+	return a, nil
+}

@@ -1,7 +1,9 @@
 package baselines
 
 import (
+	"encoding/binary"
 	"fmt"
+	"io"
 	"math"
 
 	"repro/internal/countsketch"
@@ -22,13 +24,25 @@ type ColdFilter struct {
 	invT   float64
 	t      int
 
+	// decay/lambda/neff implement sketchapi.Decayer: both layers age by
+	// λ per step (lazily, via each sketch's scale accumulator). The
+	// saturation threshold stays fixed — it is in mean units, which do
+	// not decay.
+	decay  bool
+	lambda float64
+	neff   float64
+
 	// s1/s2 are the reusable slot scratches of the fused offer methods
 	// (single-writer by the Ingestor contract; kept off the stack so
 	// they do not escape through the hash-family interface call).
 	s1, s2 [countsketch.MaxTables]countsketch.Slot
 }
 
-var _ sketchapi.OfferEstimator = (*ColdFilter)(nil)
+var (
+	_ sketchapi.OfferEstimator = (*ColdFilter)(nil)
+	_ sketchapi.Decayer        = (*ColdFilter)(nil)
+	_ sketchapi.Snapshotter    = (*ColdFilter)(nil)
+)
 
 // NewColdFilter builds the engine. l1cfg is typically much smaller than
 // l2cfg; threshold is in final-mean units (like the ASCS τ), i.e. a key
@@ -49,11 +63,54 @@ func NewColdFilter(l1cfg, l2cfg countsketch.Config, totalSamples int, threshold 
 	if err != nil {
 		return nil, fmt.Errorf("baselines: layer 2: %w", err)
 	}
-	return &ColdFilter{l1: l1, l2: l2, thresh: threshold, invT: 1 / float64(totalSamples)}, nil
+	return &ColdFilter{l1: l1, l2: l2, thresh: threshold, invT: 1 / float64(totalSamples), lambda: 1}, nil
 }
 
-// BeginStep records the time step.
-func (c *ColdFilter) BeginStep(t int) { c.t = t }
+// NewColdFilterDecayed builds the engine in exponential-decay
+// (unbounded-stream) mode: window replaces the horizon as the insert
+// normalizer and every step ages both layers by lambda. λ = 1 keeps the
+// arithmetic bit-identical to NewColdFilter(l1, l2, window, threshold)
+// while lifting the stream bound.
+func NewColdFilterDecayed(l1cfg, l2cfg countsketch.Config, window int, threshold, lambda float64) (*ColdFilter, error) {
+	if err := sketchapi.ValidateDecay(lambda); err != nil {
+		return nil, err
+	}
+	c, err := NewColdFilter(l1cfg, l2cfg, window, threshold)
+	if err != nil {
+		return nil, err
+	}
+	c.decay = true
+	c.lambda = lambda
+	return c, nil
+}
+
+// BeginStep records the time step, applying the decay ticks of the
+// steps advanced when in decay mode.
+func (c *ColdFilter) BeginStep(t int) {
+	if c.decay {
+		if steps := t - c.t; steps > 0 {
+			f := sketchapi.DecayPow(c.lambda, steps)
+			c.l1.Decay(f)
+			c.l2.Decay(f)
+			c.neff = sketchapi.AdvanceEffective(c.neff, c.lambda, steps)
+		}
+	}
+	c.t = t
+}
+
+// Decaying implements sketchapi.Decayer.
+func (c *ColdFilter) Decaying() bool { return c.decay }
+
+// DecayFactor implements sketchapi.Decayer.
+func (c *ColdFilter) DecayFactor() float64 { return c.lambda }
+
+// EffectiveSamples implements sketchapi.Decayer.
+func (c *ColdFilter) EffectiveSamples() float64 {
+	if c.decay {
+		return c.neff
+	}
+	return float64(c.t)
+}
 
 // Offer absorbs into layer 1 until the key saturates, then into layer 2.
 // The layer-1 saturation test and a layer-1 insert share one Locate.
@@ -73,10 +130,10 @@ func (c *ColdFilter) Offer(key uint64, x float64) {
 func (c *ColdFilter) OfferEstimate(key uint64, x float64) (float64, bool) {
 	v := x * c.invT
 	c.l1.Locate(key, &c.s1)
-	e1 := c.l1.EstimateSlots(&c.s1)
+	e1, raw1 := c.l1.EstimateSlotsWithRaw(&c.s1)
 	var e2 float64
 	if math.Abs(e1) < c.thresh {
-		e1 = c.l1.AddSlotsWithEstimate(&c.s1, v, e1)
+		e1 = c.l1.AddSlotsWithEstimateRaw(&c.s1, v, raw1)
 		e2 = c.l2.Estimate(key)
 	} else {
 		c.l2.Locate(key, &c.s2)
@@ -123,3 +180,70 @@ func (c *ColdFilter) Bytes() int { return c.l1.Bytes() + c.l2.Bytes() }
 
 // Name identifies the engine.
 func (c *ColdFilter) Name() string { return "ColdFilter" }
+
+const coldFilterMagic = uint32(0xA5C5CF01)
+
+// WriteTo implements sketchapi.Snapshotter: normalizer, step position,
+// saturation threshold, decay state, then both layer sketches.
+func (c *ColdFilter) WriteTo(w io.Writer) (int64, error) {
+	hdr := make([]byte, 4+8*3+1+8*2)
+	binary.LittleEndian.PutUint32(hdr[0:], coldFilterMagic)
+	binary.LittleEndian.PutUint64(hdr[4:], math.Float64bits(c.invT))
+	binary.LittleEndian.PutUint64(hdr[12:], uint64(c.t))
+	binary.LittleEndian.PutUint64(hdr[20:], math.Float64bits(c.thresh))
+	if c.decay {
+		hdr[28] = 1
+	}
+	binary.LittleEndian.PutUint64(hdr[29:], math.Float64bits(c.lambda))
+	binary.LittleEndian.PutUint64(hdr[37:], math.Float64bits(c.neff))
+	n, err := w.Write(hdr)
+	total := int64(n)
+	if err != nil {
+		return total, err
+	}
+	sn, err := c.l1.WriteTo(w)
+	total += sn
+	if err != nil {
+		return total, err
+	}
+	sn, err = c.l2.WriteTo(w)
+	return total + sn, err
+}
+
+// ReadColdFilterFrom reconstructs a ColdFilter written by WriteTo.
+func ReadColdFilterFrom(r io.Reader) (*ColdFilter, error) {
+	hdr := make([]byte, 4+8*3+1+8*2)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("baselines: reading cold-filter header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != coldFilterMagic {
+		return nil, fmt.Errorf("baselines: bad cold-filter magic")
+	}
+	c := &ColdFilter{
+		invT:   math.Float64frombits(binary.LittleEndian.Uint64(hdr[4:])),
+		t:      int(binary.LittleEndian.Uint64(hdr[12:])),
+		thresh: math.Float64frombits(binary.LittleEndian.Uint64(hdr[20:])),
+		decay:  hdr[28] == 1,
+		lambda: math.Float64frombits(binary.LittleEndian.Uint64(hdr[29:])),
+		neff:   math.Float64frombits(binary.LittleEndian.Uint64(hdr[37:])),
+	}
+	if !(c.invT > 0) || math.IsInf(c.invT, 0) {
+		return nil, fmt.Errorf("baselines: corrupt cold-filter normalizer %v", c.invT)
+	}
+	if !(c.thresh > 0) || math.IsInf(c.thresh, 0) {
+		return nil, fmt.Errorf("baselines: corrupt cold-filter threshold %v", c.thresh)
+	}
+	if err := sketchapi.ValidateDecay(c.lambda); err != nil {
+		return nil, fmt.Errorf("baselines: corrupt cold-filter decay factor: %w", err)
+	}
+	l1, err := countsketch.ReadFrom(r)
+	if err != nil {
+		return nil, fmt.Errorf("baselines: layer 1: %w", err)
+	}
+	l2, err := countsketch.ReadFrom(r)
+	if err != nil {
+		return nil, fmt.Errorf("baselines: layer 2: %w", err)
+	}
+	c.l1, c.l2 = l1, l2
+	return c, nil
+}

@@ -28,6 +28,21 @@ type Engine struct {
 	// false only positive estimates pass (Algorithm 2 as written).
 	absolute bool
 
+	// Exponential-decay (unbounded-stream) mode, sketchapi.Decayer: the
+	// sketch ages by λ per step (lazily) and the schedule runs on the
+	// effective sample count N_eff(t) = (1−λ^t)/(1−λ) instead of t —
+	// hp.T is then the effective window W the schedule was solved for,
+	// not a horizon. neff/prevNeff track N_eff at the current and
+	// previous step; neff0 is N_eff(T0), the sampling-period origin of
+	// the decayed threshold ramp. At λ = 1 every quantity reduces to its
+	// fixed-horizon counterpart exactly and the classic τ formula is
+	// used verbatim, so the two modes are bit-identical.
+	decay    bool
+	lambda   float64
+	neff     float64
+	prevNeff float64
+	neff0    float64
+
 	offeredSampling  uint64
 	insertedSampling uint64
 
@@ -39,7 +54,10 @@ type Engine struct {
 	slots [countsketch.MaxTables]countsketch.Slot
 }
 
-var _ sketchapi.OfferEstimator = (*Engine)(nil)
+var (
+	_ sketchapi.OfferEstimator = (*Engine)(nil)
+	_ sketchapi.Decayer        = (*Engine)(nil)
+)
 
 // NewEngine builds an ASCS engine over a fresh count sketch with the
 // given shape and the solved schedule hp. absolute selects the two-sided
@@ -58,7 +76,29 @@ func NewEngine(cfg countsketch.Config, hp Hyperparams, absolute bool) (*Engine, 
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{sk: sk, hp: hp, invT: 1 / float64(hp.T), absolute: absolute}, nil
+	return &Engine{sk: sk, hp: hp, invT: 1 / float64(hp.T), absolute: absolute, lambda: 1}, nil
+}
+
+// NewEngineDecayed builds an ASCS engine in exponential-decay
+// (unbounded-stream) mode: hp is a schedule solved for T = W, the
+// effective window round(1/(1−λ)), and the engine substitutes the
+// decayed effective sample count N_eff(t) for t in the threshold ramp,
+// so τ saturates at τ(W) instead of growing without bound. λ = 1
+// disables aging (and leaves N_eff = t) while still serving an
+// unbounded stream — bit-identical to the fixed-horizon engine over
+// any shared prefix.
+func NewEngineDecayed(cfg countsketch.Config, hp Hyperparams, absolute bool, lambda float64) (*Engine, error) {
+	if err := sketchapi.ValidateDecay(lambda); err != nil {
+		return nil, err
+	}
+	e, err := NewEngine(cfg, hp, absolute)
+	if err != nil {
+		return nil, err
+	}
+	e.decay = true
+	e.lambda = lambda
+	e.neff0 = sketchapi.AdvanceEffective(0, lambda, hp.T0)
+	return e, nil
 }
 
 // NewAuto solves Algorithm 3 for params and builds the engine, pairing
@@ -76,12 +116,25 @@ func NewAuto(params Params, seed uint64, absolute bool) (*Engine, Hyperparams, e
 }
 
 // BeginStep advances the engine to time step t (1-based, non-decreasing)
-// and precomputes the gate τ(t−1).
+// and precomputes the gate τ(t−1). In decay mode it also applies the
+// aging ticks of the steps advanced (one lazy O(1) sketch decay) and
+// moves the effective sample count forward.
 func (e *Engine) BeginStep(t int) {
+	if e.decay {
+		if steps := t - e.t; steps > 0 {
+			e.prevNeff = sketchapi.AdvanceEffective(e.neff, e.lambda, steps-1)
+			e.neff = e.prevNeff*e.lambda + 1
+			e.sk.Decay(sketchapi.DecayPow(e.lambda, steps))
+		}
+	}
 	e.t = t
 	if t > e.hp.T0 {
 		e.sampling = true
-		e.tau = e.hp.Threshold(t - 1)
+		if e.decay && e.lambda != 1 {
+			e.tau = e.hp.ThresholdEff(e.prevNeff, e.neff0)
+		} else {
+			e.tau = e.hp.Threshold(t - 1)
+		}
 	}
 }
 
@@ -130,18 +183,20 @@ func (e *Engine) offerSlots(slots *[countsketch.MaxTables]countsketch.Slot, x fl
 }
 
 // offerEstimateSlots is offerSlots plus the post-offer estimate, reusing
-// the slots for every read so nothing is rehashed.
+// the slots for every read so nothing is rehashed. The gate reads the
+// estimate with its raw median so an admitted insert can shift the
+// median in place of a table re-read — exact at any decay scale.
 func (e *Engine) offerEstimateSlots(slots *[countsketch.MaxTables]countsketch.Slot, x float64) (float64, bool) {
 	if !e.sampling {
 		e.sk.AddSlots(slots, x*e.invT)
 		return e.sk.EstimateSlots(slots), true
 	}
 	e.offeredSampling++
-	est := e.sk.EstimateSlots(slots)
+	est, raw := e.sk.EstimateSlotsWithRaw(slots)
 	pass := e.passes(est)
 	if pass {
 		e.insertedSampling++
-		est = e.sk.AddSlotsWithEstimate(slots, x*e.invT, est)
+		est = e.sk.AddSlotsWithEstimateRaw(slots, x*e.invT, raw)
 	}
 	return est, pass
 }
@@ -187,6 +242,21 @@ func (e *Engine) Schedule() Hyperparams { return e.hp }
 
 // Sampling reports whether the engine has entered the sampling period.
 func (e *Engine) Sampling() bool { return e.sampling }
+
+// Decaying implements sketchapi.Decayer.
+func (e *Engine) Decaying() bool { return e.decay }
+
+// DecayFactor implements sketchapi.Decayer (1 in fixed-horizon mode).
+func (e *Engine) DecayFactor() float64 { return e.lambda }
+
+// EffectiveSamples implements sketchapi.Decayer (N_eff = t in fixed
+// mode and at λ = 1).
+func (e *Engine) EffectiveSamples() float64 {
+	if e.decay {
+		return e.neff
+	}
+	return float64(e.t)
+}
 
 // SampledFraction returns the fraction of offers during the sampling
 // period that passed the gate, and the raw counts. A healthy run filters

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/countsketch"
+)
+
+// decayTestSchedule is a small solved-looking schedule whose sampling
+// period starts early enough that the τ gate is exercised.
+var decayTestSchedule = Hyperparams{T0: 40, Theta: 0.02, Tau0: 1e-4, T: 400}
+
+// TestEngineDecayedLambda1Differential drives identical streams through
+// the fixed-horizon ASCS engine and the λ=1 decayed engine: per-offer
+// estimates, admission decisions, τ values, sampling counters, and the
+// final estimates must be bit-identical — the λ=1 decay path is the
+// fixed path.
+func TestEngineDecayedLambda1Differential(t *testing.T) {
+	cfg := countsketch.Config{Tables: 5, Range: 1024, Seed: 19}
+	fixed, err := NewEngine(cfg, decayTestSchedule, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewEngineDecayed(cfg, decayTestSchedule, true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	hot := []uint64{3, 17, 99, 1024}
+	for step := 1; step <= decayTestSchedule.T; step++ {
+		fixed.BeginStep(step)
+		dec.BeginStep(step)
+		if math.Float64bits(fixed.tau) != math.Float64bits(dec.tau) {
+			t.Fatalf("step %d: τ diverged: %v vs %v", step, fixed.tau, dec.tau)
+		}
+		for i := 0; i < 12; i++ {
+			var k uint64
+			var v float64
+			if i < len(hot) {
+				k, v = hot[i], 0.5+rng.Float64() // heavy signal keys
+			} else {
+				k, v = rng.Uint64()%(1<<14), rng.NormFloat64()*0.01
+			}
+			fe, fa := fixed.OfferEstimate(k, v)
+			de, da := dec.OfferEstimate(k, v)
+			if fa != da || math.Float64bits(fe) != math.Float64bits(de) {
+				t.Fatalf("step %d key %d: fixed (%v,%v) vs decayed (%v,%v)", step, k, fe, fa, de, da)
+			}
+		}
+	}
+	ff, fi, fo := fixed.SampledFraction()
+	df, di, do := dec.SampledFraction()
+	if fi != di || fo != do || math.Float64bits(ff) != math.Float64bits(df) {
+		t.Fatalf("sampling counters diverged: fixed (%v,%d,%d) vs decayed (%v,%d,%d)", ff, fi, fo, df, di, do)
+	}
+	for k := uint64(0); k < 1<<14; k += 7 {
+		if math.Float64bits(fixed.Estimate(k)) != math.Float64bits(dec.Estimate(k)) {
+			t.Fatalf("final estimate for key %d diverged", k)
+		}
+	}
+	if ne := dec.EffectiveSamples(); ne != float64(decayTestSchedule.T) {
+		t.Fatalf("λ=1 N_eff = %v, want %d", ne, decayTestSchedule.T)
+	}
+	// ...and the stream keeps going: past-T steps are fine in decay mode
+	// (the engine itself never rejected them; the serving layers do, and
+	// their decay-mode gates are tested in internal/shard).
+	dec.BeginStep(decayTestSchedule.T + 100)
+	dec.Offer(3, 1)
+}
+
+// TestEngineDecayedThresholdSaturates checks the decayed schedule runs
+// on N_eff: as t → ∞ the τ ramp converges to τ(W) instead of growing
+// linearly like the fixed formula would.
+func TestEngineDecayedThresholdSaturates(t *testing.T) {
+	hp := decayTestSchedule
+	w := float64(hp.T)
+	lambda := 1 - 1/w
+	dec, err := NewEngineDecayed(countsketch.Config{Tables: 3, Range: 256, Seed: 2}, hp, true, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec.BeginStep(hp.T * 50) // dozens of windows in
+	neffCap := 1 / (1 - lambda)
+	tauCap := hp.Tau0 + hp.Theta*(neffCap-dec.neff0)/w
+	if dec.tau > tauCap+1e-12 {
+		t.Fatalf("τ = %v exceeds the saturation cap %v", dec.tau, tauCap)
+	}
+	if dec.tau < hp.Tau0 {
+		t.Fatalf("τ = %v below τ0", dec.tau)
+	}
+	// Deep into the stream τ must sit near the cap (within 1%), i.e. the
+	// ramp saturated rather than still climbing.
+	if dec.tau < tauCap*0.99 {
+		t.Fatalf("τ = %v has not saturated toward %v", dec.tau, tauCap)
+	}
+	fixedTau := hp.Threshold(hp.T*50 - 1)
+	if fixedTau <= tauCap {
+		t.Fatalf("test vacuous: fixed τ %v did not outgrow the cap %v", fixedTau, tauCap)
+	}
+	if ne := dec.EffectiveSamples(); math.Abs(ne-neffCap) > 1e-6*neffCap {
+		t.Fatalf("N_eff = %v, want ≈ %v after many windows", ne, neffCap)
+	}
+}
+
+// TestEngineDecayedSerializationRoundTrip snapshots a decayed engine
+// mid-stream, restores it, and continues both in lockstep — estimates
+// and admissions must stay bit-identical.
+func TestEngineDecayedSerializationRoundTrip(t *testing.T) {
+	hp := decayTestSchedule
+	lambda := 1 - 1/float64(hp.T)
+	orig, err := NewEngineDecayed(countsketch.Config{Tables: 5, Range: 512, Seed: 23}, hp, true, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for step := 1; step <= 150; step++ {
+		orig.BeginStep(step)
+		for i := 0; i < 8; i++ {
+			orig.Offer(rng.Uint64()%4096, rng.NormFloat64())
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadEngineFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !restored.Decaying() || restored.DecayFactor() != lambda {
+		t.Fatalf("restored engine lost decay mode: decaying=%v λ=%v", restored.Decaying(), restored.DecayFactor())
+	}
+	if restored.EffectiveSamples() != orig.EffectiveSamples() {
+		t.Fatalf("N_eff diverged across restore: %v vs %v", restored.EffectiveSamples(), orig.EffectiveSamples())
+	}
+	for step := 151; step <= 400; step++ {
+		orig.BeginStep(step)
+		restored.BeginStep(step)
+		if math.Float64bits(orig.tau) != math.Float64bits(restored.tau) {
+			t.Fatalf("step %d: τ diverged after restore", step)
+		}
+		for i := 0; i < 8; i++ {
+			k, v := rng.Uint64()%4096, rng.NormFloat64()
+			oe, oa := orig.OfferEstimate(k, v)
+			re, ra := restored.OfferEstimate(k, v)
+			if oa != ra || math.Float64bits(oe) != math.Float64bits(re) {
+				t.Fatalf("step %d: restored engine diverged", step)
+			}
+		}
+	}
+}

@@ -40,6 +40,19 @@ func (h Hyperparams) Threshold(t int) float64 {
 	return h.Tau0 + h.Theta*float64(t-h.T0)/float64(h.T)
 }
 
+// ThresholdEff is the decayed-mode threshold: the same linear ramp with
+// the effective sample count N_eff(t) substituted for t and N_eff(T0)
+// for T0 (the exponential-decay engines run their schedule on decayed
+// mass — see core.NewEngineDecayed). Because N_eff saturates at the
+// effective window W = h.T as t → ∞, τ saturates at τ(T) instead of
+// growing without bound on an unbounded stream.
+func (h Hyperparams) ThresholdEff(neff, neff0 float64) float64 {
+	if neff <= neff0 {
+		return h.Tau0
+	}
+	return h.Tau0 + h.Theta*(neff-neff0)/float64(h.T)
+}
+
 // relaxFraction is the fallback Φ-mass target when Delta is at or below
 // the saturation probability: we then require the collision-free miss
 // term Φ(·) ≤ relaxFraction, mirroring how the paper still obtains a

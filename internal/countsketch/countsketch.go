@@ -12,6 +12,7 @@ import (
 	"math"
 
 	"repro/internal/hashing"
+	"repro/internal/sketchapi"
 )
 
 // MaxTables bounds K so Estimate can use a fixed stack buffer.
@@ -42,11 +43,36 @@ func (c Config) validate() error {
 // Sketch is a Count Sketch. Add and Estimate are safe for concurrent
 // Estimate-only use; mutation requires external synchronization (or use
 // Split/Merge for parallel ingestion — the sketch is linear).
+//
+// # Lazy decay
+//
+// Exponential decay (multiplying every logical cell by λ at a step
+// boundary) is implemented lazily: the logical value of cell i is
+// scale·w[i], so Decay(λ) is one multiplication of the scale
+// accumulator instead of an O(K·R) sweep, and there are no per-bucket
+// timestamps. Inserts are divided by the scale on the way in and
+// estimates multiplied by it on the way out; when the accumulator
+// underflows toward the float64 floor it is folded back into the cells
+// (Renormalize), which happens every ~10^5 half-lives — amortized
+// noise. With scale == 1 (every non-decayed sketch, and decayed
+// sketches at λ = 1) the extra multiplications are by exactly 1.0, so
+// tables and estimates stay bit-identical to the pre-decay code.
 type Sketch struct {
 	cfg Config
 	h   hashing.PairHasher
 	w   []float64 // Tables*Range, row-major
+
+	// scale is the lazy decay accumulator: logical cell = scale * w[i].
+	// invScale caches 1/scale for the insert path.
+	scale    float64
+	invScale float64
 }
+
+// renormFloor is the scale at which lazy decay folds into the cells:
+// small enough that renormalization is rare even under aggressive λ,
+// huge headroom above the ~1e-308 float64 underflow. Shared with the
+// other lazy-decay accumulators (tracker, ASketch filter).
+const renormFloor = sketchapi.RenormFloor
 
 // New creates an empty sketch.
 func New(cfg Config) (*Sketch, error) {
@@ -57,7 +83,7 @@ func New(cfg Config) (*Sketch, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Sketch{cfg: cfg, h: h, w: make([]float64, cfg.Tables*cfg.Range)}, nil
+	return &Sketch{cfg: cfg, h: h, w: make([]float64, cfg.Tables*cfg.Range), scale: 1, invScale: 1}, nil
 }
 
 // MustNew is New, panicking on error.
@@ -89,6 +115,7 @@ func (s *Sketch) Add(key uint64, v float64) {
 	if math.IsNaN(v) || math.IsInf(v, 0) {
 		panic(fmt.Sprintf("countsketch: non-finite update %v for key %d", v, key))
 	}
+	v *= s.invScale
 	for e := 0; e < s.cfg.Tables; e++ {
 		s.w[e*s.cfg.Range+s.h.Bucket(e, key)] += s.h.Sign(e, key) * v
 	}
@@ -101,7 +128,7 @@ func (s *Sketch) Estimate(key uint64) float64 {
 	for e := 0; e < k; e++ {
 		buf[e] = s.w[e*s.cfg.Range+s.h.Bucket(e, key)] * s.h.Sign(e, key)
 	}
-	return medianInPlace(buf[:k])
+	return medianInPlace(buf[:k]) * s.scale
 }
 
 // Slot is one precomputed (table cell, sign) location of a key: Off is
@@ -130,7 +157,23 @@ func (s *Sketch) EstimateSlots(slots *[MaxTables]Slot) float64 {
 	for e := 0; e < k; e++ {
 		buf[e] = s.w[slots[e].Off] * slots[e].Sign
 	}
-	return medianInPlace(buf[:k])
+	return medianInPlace(buf[:k]) * s.scale
+}
+
+// EstimateSlotsWithRaw is EstimateSlots returning additionally the
+// pre-scale raw median (logical estimate = raw · DecayScale()). The
+// fused decayed offer path gates on the scaled estimate but shifts the
+// raw median on insert (AddSlotsWithEstimateRaw), which keeps the
+// odd-K post-add estimate exact — no table re-read — even while a
+// decay scale is active.
+func (s *Sketch) EstimateSlotsWithRaw(slots *[MaxTables]Slot) (est, raw float64) {
+	var buf [MaxTables]float64
+	k := s.cfg.Tables
+	for e := 0; e < k; e++ {
+		buf[e] = s.w[slots[e].Off] * slots[e].Sign
+	}
+	raw = medianInPlace(buf[:k])
+	return raw * s.scale, raw
 }
 
 // AddSlots folds v into the cells named by precomputed slots. It is
@@ -140,6 +183,7 @@ func (s *Sketch) AddSlots(slots *[MaxTables]Slot, v float64) {
 	if math.IsNaN(v) || math.IsInf(v, 0) {
 		panic(fmt.Sprintf("countsketch: non-finite update %v", v))
 	}
+	v *= s.invScale
 	k := s.cfg.Tables
 	for e := 0; e < k; e++ {
 		s.w[slots[e].Off] += slots[e].Sign * v
@@ -160,10 +204,28 @@ func (s *Sketch) AddSlots(slots *[MaxTables]Slot, v float64) {
 // computed in one float64 addition. For even K the median averages the
 // two middle order statistics, the shift does not commute with that
 // average's rounding, and the estimate is recomputed from the table.
+// Under an active decay scale (≠ 1) the shift argument no longer holds
+// exactly — the insert is divided by the scale and the read multiplied
+// back, two extra roundings — so the estimate is recomputed then too.
 func (s *Sketch) AddSlotsWithEstimate(slots *[MaxTables]Slot, v, preEst float64) float64 {
 	s.AddSlots(slots, v)
-	if s.cfg.Tables%2 == 1 {
+	if s.cfg.Tables%2 == 1 && s.scale == 1 {
 		return preEst + v
+	}
+	return s.EstimateSlots(slots)
+}
+
+// AddSlotsWithEstimateRaw is the decay-scale-aware variant of
+// AddSlotsWithEstimate: the caller supplies the pre-add *raw* median
+// (from EstimateSlotsWithRaw) instead of the scaled estimate. The
+// insert shifts every raw table estimate by round(v·invScale) — the
+// exact value AddSlots folds in — so for odd K the post-add estimate
+// is (raw + v·invScale)·scale, bit-identical to a fresh EstimateSlots
+// by the same monotone-shift argument, at any scale. Even K recomputes.
+func (s *Sketch) AddSlotsWithEstimateRaw(slots *[MaxTables]Slot, v, preRaw float64) float64 {
+	s.AddSlots(slots, v)
+	if s.cfg.Tables%2 == 1 {
+		return (preRaw + v*s.invScale) * s.scale
 	}
 	return s.EstimateSlots(slots)
 }
@@ -180,25 +242,65 @@ func (s *Sketch) EstimateMin(key uint64) float64 {
 			val = v
 		}
 	}
-	return val
+	return val * s.scale
 }
+
+// Decay multiplies every logical cell by f ∈ (0,1] in O(1): only the
+// scale accumulator moves (see the type comment). Renormalization folds
+// the accumulator into the cells when it nears the float64 floor.
+// Decay(1) is an exact no-op, which is what keeps λ=1 decay mode
+// bit-identical to the fixed-horizon path.
+func (s *Sketch) Decay(f float64) {
+	if !(f > 0) || f > 1 || math.IsNaN(f) {
+		panic(fmt.Sprintf("countsketch: decay factor must be in (0,1], got %v", f))
+	}
+	if f == 1 {
+		return
+	}
+	s.scale *= f
+	if s.scale < renormFloor {
+		s.Renormalize()
+		return
+	}
+	s.invScale = 1 / s.scale
+}
+
+// Renormalize folds the lazy decay scale into the cell contents so the
+// stored values equal the logical values again (scale returns to 1).
+// O(K·R); called automatically when the accumulator nears underflow,
+// and by merge paths that need shards on a common scale.
+func (s *Sketch) Renormalize() {
+	if s.scale == 1 {
+		return
+	}
+	for i, v := range s.w {
+		s.w[i] = v * s.scale
+	}
+	s.scale, s.invScale = 1, 1
+}
+
+// DecayScale returns the current lazy decay accumulator (1 when no
+// decay has been applied since the last renormalization).
+func (s *Sketch) DecayScale() float64 { return s.scale }
 
 // BucketOf returns the bucket index of key in table e (diagnostics: the
 // theorem-validation experiments use it to detect signal-signal
 // collisions, the I(i) = 1 event excluded by Theorem 2).
 func (s *Sketch) BucketOf(e int, key uint64) int { return s.h.Bucket(e, key) }
 
-// Reset zeroes the sketch contents, keeping the hash functions.
+// Reset zeroes the sketch contents (and any decay scale), keeping the
+// hash functions.
 func (s *Sketch) Reset() {
 	for i := range s.w {
 		s.w[i] = 0
 	}
+	s.scale, s.invScale = 1, 1
 }
 
 // Clone returns a deep copy sharing no mutable state (hash functions are
 // immutable and shared).
 func (s *Sketch) Clone() *Sketch {
-	c := &Sketch{cfg: s.cfg, h: s.h, w: make([]float64, len(s.w))}
+	c := &Sketch{cfg: s.cfg, h: s.h, w: make([]float64, len(s.w)), scale: s.scale, invScale: s.invScale}
 	copy(c.w, s.w)
 	return c
 }
@@ -209,16 +311,20 @@ func (s *Sketch) Clone() *Sketch {
 func (s *Sketch) Split(n int) []*Sketch {
 	out := make([]*Sketch, n)
 	for i := range out {
-		out[i] = &Sketch{cfg: s.cfg, h: s.h, w: make([]float64, len(s.w))}
+		out[i] = &Sketch{cfg: s.cfg, h: s.h, w: make([]float64, len(s.w)), scale: s.scale, invScale: s.invScale}
 	}
 	return out
 }
 
 // Merge adds the contents of o into s. The two sketches must share the
-// same configuration (hence the same hash functions).
+// same configuration (hence the same hash functions) and the same decay
+// scale — callers merging decayed sketches Renormalize both first.
 func (s *Sketch) Merge(o *Sketch) error {
 	if s.cfg != o.cfg {
 		return fmt.Errorf("countsketch: cannot merge mismatched configs %+v vs %+v", s.cfg, o.cfg)
+	}
+	if s.scale != o.scale {
+		return fmt.Errorf("countsketch: cannot merge mismatched decay scales %v vs %v (Renormalize first)", s.scale, o.scale)
 	}
 	for i, v := range o.w {
 		s.w[i] += v
@@ -241,7 +347,7 @@ func (s *Sketch) L2Norm() float64 {
 	for _, v := range s.w {
 		sum += v * v
 	}
-	return math.Sqrt(sum)
+	return math.Sqrt(sum) * s.scale
 }
 
 // medianInPlace sorts the small slice xs and returns its median.
@@ -262,17 +368,31 @@ func medianInPlace(xs []float64) float64 {
 	return (xs[n/2-1] + xs[n/2]) / 2
 }
 
-const serialMagic = uint32(0xA5C50001)
+// Serialization magics: v1 is the original config+table layout, v2
+// appends the lazy decay scale. WriteTo emits v1 whenever the scale is
+// exactly 1 — every fixed-horizon sketch, and λ=1 decay mode — so the
+// on-disk form of the classic path is byte-identical to before; only
+// actively decayed sketches pay the format bump. ReadFrom accepts both.
+const (
+	serialMagic   = uint32(0xA5C50001)
+	serialMagicV2 = uint32(0xA5C50002)
+)
 
-// WriteTo serializes the sketch (config + table contents) in a stable
-// little-endian binary format.
+// WriteTo serializes the sketch (config + table contents, plus the
+// decay scale when one is active) in a stable little-endian binary
+// format.
 func (s *Sketch) WriteTo(w io.Writer) (int64, error) {
-	hdr := make([]byte, 4+8*4)
+	hdr := make([]byte, 4+8*4, 4+8*5)
 	binary.LittleEndian.PutUint32(hdr[0:], serialMagic)
 	binary.LittleEndian.PutUint64(hdr[4:], uint64(s.cfg.Tables))
 	binary.LittleEndian.PutUint64(hdr[12:], uint64(s.cfg.Range))
 	binary.LittleEndian.PutUint64(hdr[20:], s.cfg.Seed)
 	binary.LittleEndian.PutUint64(hdr[28:], uint64(s.cfg.Hash))
+	if s.scale != 1 {
+		binary.LittleEndian.PutUint32(hdr[0:], serialMagicV2)
+		hdr = hdr[:4+8*5]
+		binary.LittleEndian.PutUint64(hdr[36:], math.Float64bits(s.scale))
+	}
 	n, err := w.Write(hdr)
 	total := int64(n)
 	if err != nil {
@@ -287,13 +407,15 @@ func (s *Sketch) WriteTo(w io.Writer) (int64, error) {
 	return total, err
 }
 
-// ReadFrom deserializes a sketch written by WriteTo.
+// ReadFrom deserializes a sketch written by WriteTo (either format
+// version).
 func ReadFrom(r io.Reader) (*Sketch, error) {
 	hdr := make([]byte, 4+8*4)
 	if _, err := io.ReadFull(r, hdr); err != nil {
 		return nil, fmt.Errorf("countsketch: reading header: %w", err)
 	}
-	if binary.LittleEndian.Uint32(hdr[0:]) != serialMagic {
+	magic := binary.LittleEndian.Uint32(hdr[0:])
+	if magic != serialMagic && magic != serialMagicV2 {
 		return nil, fmt.Errorf("countsketch: bad magic")
 	}
 	cfg := Config{
@@ -305,6 +427,17 @@ func ReadFrom(r io.Reader) (*Sketch, error) {
 	s, err := New(cfg)
 	if err != nil {
 		return nil, err
+	}
+	if magic == serialMagicV2 {
+		var sc [8]byte
+		if _, err := io.ReadFull(r, sc[:]); err != nil {
+			return nil, fmt.Errorf("countsketch: reading decay scale: %w", err)
+		}
+		scale := math.Float64frombits(binary.LittleEndian.Uint64(sc[:]))
+		if !(scale > 0) || math.IsInf(scale, 0) {
+			return nil, fmt.Errorf("countsketch: corrupt decay scale %v", scale)
+		}
+		s.scale, s.invScale = scale, 1/scale
 	}
 	buf := make([]byte, 8*len(s.w))
 	if _, err := io.ReadFull(r, buf); err != nil {

@@ -1,0 +1,268 @@
+package countsketch
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestLazyDecayMatchesEagerScale pins the lazy decay identity: Decay(f)
+// followed by reads must equal an eager cell-wise scale by f, and
+// inserts after a decay must land at full (undecayed) weight.
+func TestLazyDecayMatchesEagerScale(t *testing.T) {
+	cfg := Config{Tables: 5, Range: 256, Seed: 7}
+	lazy, eager := MustNew(cfg), MustNew(cfg)
+	rng := rand.New(rand.NewSource(42))
+	keys := make([]uint64, 200)
+	for i := range keys {
+		keys[i] = rng.Uint64() % 4096
+	}
+	const lambda = 0.9
+	for round := 0; round < 50; round++ {
+		lazy.Decay(lambda)
+		eager.Scale(lambda) // eager reference: multiply every cell
+		for i := 0; i < 20; i++ {
+			k := keys[rng.Intn(len(keys))]
+			v := rng.NormFloat64()
+			lazy.Add(k, v)
+			eager.Add(k, v)
+		}
+	}
+	for _, k := range keys {
+		l, e := lazy.Estimate(k), eager.Estimate(k)
+		if math.Abs(l-e) > 1e-9*(1+math.Abs(e)) {
+			t.Fatalf("key %d: lazy estimate %v, eager %v", k, l, e)
+		}
+	}
+	if s := lazy.DecayScale(); s >= 1 {
+		t.Fatalf("decay scale did not move: %v", s)
+	}
+	// Renormalization folds the scale without changing logical contents.
+	before := make([]float64, len(keys))
+	for i, k := range keys {
+		before[i] = lazy.Estimate(k)
+	}
+	lazy.Renormalize()
+	if s := lazy.DecayScale(); s != 1 {
+		t.Fatalf("scale after Renormalize = %v, want 1", s)
+	}
+	for i, k := range keys {
+		after := lazy.Estimate(k)
+		if math.Abs(after-before[i]) > 1e-12*(1+math.Abs(before[i])) {
+			t.Fatalf("key %d: estimate changed across Renormalize: %v vs %v", k, after, before[i])
+		}
+	}
+}
+
+// TestDecayAutoRenormalize drives the scale past the renormalization
+// floor and checks estimates stay finite and correct.
+func TestDecayAutoRenormalize(t *testing.T) {
+	sk := MustNew(Config{Tables: 3, Range: 64, Seed: 3})
+	sk.Add(11, 1)
+	// 0.5^500 is far below the 1e-120 floor; renormalization must have
+	// kicked in (scale restored to a sane magnitude) with the logical
+	// value fully decayed toward zero.
+	for i := 0; i < 500; i++ {
+		sk.Decay(0.5)
+	}
+	if s := sk.DecayScale(); s < renormFloor {
+		t.Fatalf("scale %v below the renormalization floor", s)
+	}
+	if est := sk.Estimate(11); est != 0 && math.Abs(est) > 1e-100 {
+		t.Fatalf("estimate after 500 halvings = %v, want ~0", est)
+	}
+	// A fresh insert after heavy decay is at full weight.
+	sk.Add(11, 2)
+	if est := sk.Estimate(11); math.Abs(est-2) > 1e-9 {
+		t.Fatalf("post-decay insert estimate = %v, want 2", est)
+	}
+}
+
+// TestDecayLambda1BitIdentical asserts Decay(1) is an exact no-op: the
+// table array, every slot-path estimate, and the serialized bytes are
+// bit-identical to a sketch that never saw a Decay call.
+func TestDecayLambda1BitIdentical(t *testing.T) {
+	cfg := Config{Tables: 4, Range: 128, Seed: 9}
+	plain, decayed := MustNew(cfg), MustNew(cfg)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 2000; i++ {
+		k := rng.Uint64() % 1024
+		v := rng.NormFloat64()
+		plain.Add(k, v)
+		decayed.Decay(1)
+		decayed.Add(k, v)
+	}
+	for i, v := range plain.w {
+		if math.Float64bits(v) != math.Float64bits(decayed.w[i]) {
+			t.Fatalf("cell %d diverged: %v vs %v", i, v, decayed.w[i])
+		}
+	}
+	for k := uint64(0); k < 1024; k++ {
+		if math.Float64bits(plain.Estimate(k)) != math.Float64bits(decayed.Estimate(k)) {
+			t.Fatalf("estimate for key %d diverged", k)
+		}
+	}
+	var pb, db bytes.Buffer
+	if _, err := plain.WriteTo(&pb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := decayed.WriteTo(&db); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pb.Bytes(), db.Bytes()) {
+		t.Fatal("λ=1 serialized form diverged from the classic v1 bytes")
+	}
+}
+
+// TestDecaySerializationRoundTrip round-trips an actively decayed
+// sketch (v2 format) and checks the scale survives.
+func TestDecaySerializationRoundTrip(t *testing.T) {
+	sk := MustNew(Config{Tables: 5, Range: 64, Seed: 21})
+	sk.Add(3, 1.5)
+	sk.Decay(0.75)
+	sk.Add(9, -2.25)
+	var buf bytes.Buffer
+	if _, err := sk.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DecayScale() != sk.DecayScale() {
+		t.Fatalf("scale %v survived as %v", sk.DecayScale(), got.DecayScale())
+	}
+	for k := uint64(0); k < 64; k++ {
+		if math.Float64bits(sk.Estimate(k)) != math.Float64bits(got.Estimate(k)) {
+			t.Fatalf("estimate for key %d diverged across round trip", k)
+		}
+	}
+}
+
+// TestMeanSketchDecayedLambda1Differential drives identical streams
+// through the fixed-horizon engine and the λ=1 decayed engine and
+// requires bit-identical tables, estimates, and N_eff = t, plus a
+// serialized round trip that preserves decay mode.
+func TestMeanSketchDecayedLambda1Differential(t *testing.T) {
+	cfg := Config{Tables: 5, Range: 512, Seed: 13}
+	const T = 300
+	fixed, err := NewMeanSketch(cfg, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewMeanSketchDecayed(cfg, T, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(77))
+	for step := 1; step <= T; step++ {
+		fixed.BeginStep(step)
+		dec.BeginStep(step)
+		for i := 0; i < 10; i++ {
+			k := rng.Uint64() % 2048
+			v := rng.NormFloat64()
+			fe, _ := fixed.OfferEstimate(k, v)
+			de, _ := dec.OfferEstimate(k, v)
+			if math.Float64bits(fe) != math.Float64bits(de) {
+				t.Fatalf("step %d: offer estimates diverged: %v vs %v", step, fe, de)
+			}
+		}
+	}
+	for i, v := range fixed.sk.w {
+		if math.Float64bits(v) != math.Float64bits(dec.sk.w[i]) {
+			t.Fatalf("cell %d diverged", i)
+		}
+	}
+	if !dec.Decaying() || dec.DecayFactor() != 1 {
+		t.Fatalf("decayed engine reports Decaying=%v λ=%v", dec.Decaying(), dec.DecayFactor())
+	}
+	if ne := dec.EffectiveSamples(); ne != T {
+		t.Fatalf("N_eff = %v, want %d", ne, T)
+	}
+	// The decayed engine serializes as v2 and round-trips its mode.
+	var buf bytes.Buffer
+	if _, err := dec.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMeanSketchFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Decaying() || got.EffectiveSamples() != T {
+		t.Fatalf("restored engine lost decay state: decaying=%v neff=%v", got.Decaying(), got.EffectiveSamples())
+	}
+}
+
+// TestMeanSketchDecayHugeGapNoPanic is the regression pin for the
+// λ^steps → 0 underflow: a shard idle for more than ~745 windows used
+// to feed Decay an exact 0 factor and panic the worker goroutine. The
+// catch-up tick must instead age the state fully and keep serving.
+func TestMeanSketchDecayHugeGapNoPanic(t *testing.T) {
+	const window = 60
+	m, err := NewMeanSketchDecayed(Config{Tables: 3, Range: 64, Seed: 8}, window, 1-1.0/window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.BeginStep(1)
+	m.Offer(5, 100)
+	// (59/60)^1e8 underflows to exactly 0 in float64.
+	m.BeginStep(100_000_000)
+	if est := m.Estimate(5); est != 0 && math.Abs(est) > 1e-250 {
+		t.Fatalf("estimate after the gap = %v, want fully aged out", est)
+	}
+	m.Offer(5, 100)
+	if est := m.Estimate(5); math.Abs(est-100.0/window) > 1e-9 {
+		t.Fatalf("post-gap insert estimate = %v, want %v", est, 100.0/window)
+	}
+}
+
+// TestMeanSketchSerializeExactWindow is the regression pin for the
+// lossy uint64(1/invT) header: ~7% of integer stream lengths (93 among
+// them) round-trip to T−1 under truncation, silently re-normalizing
+// every post-restore insert. The serialized normalizer must survive
+// bit-exactly for every T.
+func TestMeanSketchSerializeExactWindow(t *testing.T) {
+	cfg := Config{Tables: 3, Range: 64, Seed: 4}
+	for T := 1; T <= 2000; T++ {
+		m, err := NewMeanSketch(cfg, T)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := m.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadMeanSketchFrom(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(got.invT) != math.Float64bits(m.invT) {
+			t.Fatalf("T=%d: invT %v survived as %v", T, m.invT, got.invT)
+		}
+	}
+}
+
+// TestMeanSketchDecayAges checks the estimator actually forgets: a key
+// hammered early then abandoned decays by λ per step, while a fresh key
+// reaches full weight.
+func TestMeanSketchDecayAges(t *testing.T) {
+	const window = 50
+	lambda := 1 - 1.0/float64(window)
+	dec, err := NewMeanSketchDecayed(Config{Tables: 5, Range: 1024, Seed: 1}, window, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec.BeginStep(1)
+	dec.Offer(7, 100)
+	peak := dec.Estimate(7)
+	dec.BeginStep(1 + 3*window)
+	got := dec.Estimate(7)
+	want := peak * math.Pow(lambda, 3*window)
+	if math.Abs(got-want) > 1e-9*math.Abs(peak) {
+		t.Fatalf("after 3 windows: estimate %v, want %v (peak %v)", got, want, peak)
+	}
+	if got >= peak*0.1 {
+		t.Fatalf("estimate %v did not age out of peak %v within 3 windows", got, peak)
+	}
+}

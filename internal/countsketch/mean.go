@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 
 	"repro/internal/sketchapi"
 )
@@ -17,13 +18,24 @@ type MeanSketch struct {
 	invT float64
 	t    int
 
+	// decay/lambda/neff implement sketchapi.Decayer: in decay mode
+	// BeginStep ages the sketch by λ per step (lazily, via the sketch's
+	// scale accumulator) and invT normalizes by the effective window
+	// instead of a stream horizon. See the Sketch type comment.
+	decay  bool
+	lambda float64
+	neff   float64
+
 	// slots is the reusable slot scratch of the fused offer methods
 	// (single-writer by the Ingestor contract; kept off the stack so it
 	// does not escape through the hash-family interface call).
 	slots [MaxTables]Slot
 }
 
-var _ sketchapi.OfferEstimator = (*MeanSketch)(nil)
+var (
+	_ sketchapi.OfferEstimator = (*MeanSketch)(nil)
+	_ sketchapi.Decayer        = (*MeanSketch)(nil)
+)
 
 // NewMeanSketch creates the vanilla-CS engine for a stream of exactly (or
 // at most) totalSamples steps.
@@ -35,11 +47,54 @@ func NewMeanSketch(cfg Config, totalSamples int) (*MeanSketch, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &MeanSketch{sk: sk, invT: 1 / float64(totalSamples)}, nil
+	return &MeanSketch{sk: sk, invT: 1 / float64(totalSamples), lambda: 1}, nil
 }
 
-// BeginStep records the current time step.
-func (m *MeanSketch) BeginStep(t int) { m.t = t }
+// NewMeanSketchDecayed creates the vanilla-CS engine in exponential-
+// decay (unbounded-stream) mode: every step ages the table by lambda
+// and inserts are normalized by the window (the λ=1−1/window analogue
+// of the horizon T), so the estimate converges to the λ-weighted mean
+// with no horizon to exhaust. lambda = 1 keeps the arithmetic
+// bit-identical to NewMeanSketch(cfg, window) while lifting the bound.
+func NewMeanSketchDecayed(cfg Config, window int, lambda float64) (*MeanSketch, error) {
+	if err := sketchapi.ValidateDecay(lambda); err != nil {
+		return nil, err
+	}
+	m, err := NewMeanSketch(cfg, window)
+	if err != nil {
+		return nil, err
+	}
+	m.decay = true
+	m.lambda = lambda
+	return m, nil
+}
+
+// BeginStep records the current time step, applying the decay ticks of
+// the steps advanced when in decay mode.
+func (m *MeanSketch) BeginStep(t int) {
+	if m.decay {
+		if steps := t - m.t; steps > 0 {
+			m.sk.Decay(sketchapi.DecayPow(m.lambda, steps))
+			m.neff = sketchapi.AdvanceEffective(m.neff, m.lambda, steps)
+		}
+	}
+	m.t = t
+}
+
+// Decaying implements sketchapi.Decayer.
+func (m *MeanSketch) Decaying() bool { return m.decay }
+
+// DecayFactor implements sketchapi.Decayer.
+func (m *MeanSketch) DecayFactor() float64 { return m.lambda }
+
+// EffectiveSamples implements sketchapi.Decayer (N_eff = t in fixed
+// mode and at λ = 1).
+func (m *MeanSketch) EffectiveSamples() float64 {
+	if m.decay {
+		return m.neff
+	}
+	return float64(m.t)
+}
 
 // Offer inserts x/T for key.
 func (m *MeanSketch) Offer(key uint64, x float64) { m.sk.Add(key, x*m.invT) }
@@ -76,16 +131,31 @@ func (m *MeanSketch) Name() string { return "CS" }
 // diagnostics and the ASCS warm-start path).
 func (m *MeanSketch) Sketch() *Sketch { return m.sk }
 
-const meanMagic = uint32(0xA5C5C501)
+// Mean-sketch serialization magics: v1 is the fixed-horizon layout, v2
+// appends the decay parameters (λ, N_eff) and marks the engine
+// unbounded. Fixed-horizon engines keep writing v1 byte-identically.
+const (
+	meanMagic   = uint32(0xA5C5C501)
+	meanMagicV2 = uint32(0xA5C5C502)
+)
 
-// WriteTo serializes the engine (stream length, step position, table
-// contents) for checkpoint/resume.
+// WriteTo serializes the engine (stream length or window, step
+// position, decay state, table contents) for checkpoint/resume.
 func (m *MeanSketch) WriteTo(w io.Writer) (int64, error) {
-	hdr := make([]byte, 4+16)
+	hdr := make([]byte, 4+16, 4+32)
 	binary.LittleEndian.PutUint32(hdr[0:], meanMagic)
-	total := uint64(1 / m.invT)
+	// Round, don't truncate: 1/(1/T) can land one ulp below T (~7% of
+	// integer T), and a truncated T-1 would silently re-normalize every
+	// post-restore insert by the wrong stream length.
+	total := uint64(math.Round(1 / m.invT))
 	binary.LittleEndian.PutUint64(hdr[4:], total)
 	binary.LittleEndian.PutUint64(hdr[12:], uint64(m.t))
+	if m.decay {
+		binary.LittleEndian.PutUint32(hdr[0:], meanMagicV2)
+		hdr = hdr[:4+32]
+		binary.LittleEndian.PutUint64(hdr[20:], math.Float64bits(m.lambda))
+		binary.LittleEndian.PutUint64(hdr[28:], math.Float64bits(m.neff))
+	}
 	n, err := w.Write(hdr)
 	written := int64(n)
 	if err != nil {
@@ -95,22 +165,38 @@ func (m *MeanSketch) WriteTo(w io.Writer) (int64, error) {
 	return written + sn, err
 }
 
-// ReadMeanSketchFrom reconstructs a MeanSketch written by WriteTo.
+// ReadMeanSketchFrom reconstructs a MeanSketch written by WriteTo
+// (either format version).
 func ReadMeanSketchFrom(r io.Reader) (*MeanSketch, error) {
 	hdr := make([]byte, 4+16)
 	if _, err := io.ReadFull(r, hdr); err != nil {
 		return nil, fmt.Errorf("countsketch: reading mean header: %w", err)
 	}
-	if binary.LittleEndian.Uint32(hdr[0:]) != meanMagic {
+	magic := binary.LittleEndian.Uint32(hdr[0:])
+	if magic != meanMagic && magic != meanMagicV2 {
 		return nil, fmt.Errorf("countsketch: bad mean-sketch magic")
 	}
 	total := binary.LittleEndian.Uint64(hdr[4:])
 	if total == 0 {
 		return nil, fmt.Errorf("countsketch: corrupt stream length")
 	}
+	m := &MeanSketch{invT: 1 / float64(total), t: int(binary.LittleEndian.Uint64(hdr[12:])), lambda: 1}
+	if magic == meanMagicV2 {
+		var ext [16]byte
+		if _, err := io.ReadFull(r, ext[:]); err != nil {
+			return nil, fmt.Errorf("countsketch: reading mean decay state: %w", err)
+		}
+		m.decay = true
+		m.lambda = math.Float64frombits(binary.LittleEndian.Uint64(ext[0:]))
+		m.neff = math.Float64frombits(binary.LittleEndian.Uint64(ext[8:]))
+		if err := sketchapi.ValidateDecay(m.lambda); err != nil {
+			return nil, fmt.Errorf("countsketch: corrupt mean decay factor: %w", err)
+		}
+	}
 	sk, err := ReadFrom(r)
 	if err != nil {
 		return nil, err
 	}
-	return &MeanSketch{sk: sk, invT: 1 / float64(total), t: int(binary.LittleEndian.Uint64(hdr[12:]))}, nil
+	m.sk = sk
+	return m, nil
 }

@@ -66,6 +66,15 @@ type Config struct {
 	TrackCandidates int
 	// MaxExhaustivePairs caps exhaustive retrieval (default 20M).
 	MaxExhaustivePairs int64
+	// Decay, when in (0,1], runs the estimator in exponential-decay
+	// (unbounded-stream) mode: Observe no longer rejects samples past T
+	// (T is then the effective window the engine normalizes by, not a
+	// horizon) and the candidate tracker ages by Decay per step so
+	// stale candidates sink. The engine must have been constructed in
+	// decay mode with the same λ (e.g. countsketch.NewMeanSketchDecayed,
+	// core.NewEngineDecayed); it applies its own table decay inside
+	// BeginStep. Zero keeps the classic fixed-horizon behavior.
+	Decay float64
 }
 
 // PairEstimate is one retrieved pair with its estimated mean.
@@ -119,6 +128,25 @@ func New(cfg Config) (*Estimator, error) {
 	if cfg.MaxExhaustivePairs == 0 {
 		cfg.MaxExhaustivePairs = 20_000_000
 	}
+	if cfg.Decay != 0 {
+		if err := sketchapi.ValidateDecay(cfg.Decay); err != nil {
+			return nil, fmt.Errorf("covstream: %w", err)
+		}
+	}
+	// Decay mode must agree between the driver and the engine: a decayed
+	// engine under a fixed-horizon estimator (or vice versa) would mix
+	// window-normalized tables with horizon bookkeeping silently.
+	dec, _ := cfg.Engine.(sketchapi.Decayer)
+	engineDecaying := dec != nil && dec.Decaying()
+	if cfg.Decay != 0 && !engineDecaying {
+		return nil, fmt.Errorf("covstream: Decay=%v but engine %s is not in decay mode", cfg.Decay, cfg.Engine.Name())
+	}
+	if cfg.Decay == 0 && engineDecaying {
+		return nil, fmt.Errorf("covstream: engine %s is in decay mode (λ=%v) but Config.Decay is unset", cfg.Engine.Name(), dec.DecayFactor())
+	}
+	if cfg.Decay != 0 && dec.DecayFactor() != cfg.Decay {
+		return nil, fmt.Errorf("covstream: Config.Decay=%v disagrees with engine λ=%v", cfg.Decay, dec.DecayFactor())
+	}
 	e := &Estimator{cfg: cfg}
 	if cfg.Mode == Centered {
 		e.means = make([]float64, cfg.Dim)
@@ -150,11 +178,16 @@ func (e *Estimator) Observe(s stream.Sample) error {
 	if err := s.Validate(e.cfg.Dim); err != nil {
 		return err
 	}
-	if e.t >= e.cfg.T {
+	// Decay mode serves unbounded streams: there is no horizon to
+	// exhaust, T is only the window normalizer.
+	if e.cfg.Decay == 0 && e.t >= e.cfg.T {
 		return fmt.Errorf("covstream: stream exceeds configured T=%d", e.cfg.T)
 	}
 	e.t++
 	e.cfg.Engine.BeginStep(e.t)
+	if e.cfg.Decay != 0 && e.track != nil {
+		e.track.Decay(e.cfg.Decay)
+	}
 	switch e.cfg.Mode {
 	case SecondMoment:
 		e.observeSecondMoment(s)

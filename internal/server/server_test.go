@@ -170,7 +170,9 @@ func TestServerRoundTrip(t *testing.T) {
 }
 
 // TestServerStatusMapping covers the error envelope: 400 on malformed
-// input, 503 while warming, 409 past the horizon.
+// input, 503 while warming, 409 past the horizon (fixed-horizon mode;
+// TestServerUnboundedDecay covers the decay-mode counterpart, which
+// never 409s).
 func TestServerStatusMapping(t *testing.T) {
 	const d, n = 30, 400
 	ds := dataset.Simulation(d, n, 0.02, 5)
@@ -241,5 +243,64 @@ func TestServerStatusMapping(t *testing.T) {
 	}
 	if resp := getJSON(t, ts.URL+"/v1/topk?k=5", nil); resp.StatusCode != http.StatusOK {
 		t.Fatalf("server wedged after failed restore: status %d", resp.StatusCode)
+	}
+}
+
+// TestServerUnboundedDecay is the decay-mode counterpart of the horizon
+// checks: ingest far past the window never 409s, and /v1/stats reports
+// window semantics (unbounded, window, lambda, n_eff) instead of a
+// misleading finite horizon.
+func TestServerUnboundedDecay(t *testing.T) {
+	const d, window = 30, 150
+	ds := dataset.Simulation(d, 4*window, 0.02, 19)
+	samples := make([]stream.Sample, len(ds.Rows))
+	for i, r := range ds.Rows {
+		samples[i] = stream.FromDense(r)
+	}
+	lambda := 1 - 1.0/window
+	skCfg := countsketch.Config{Tables: 4, Range: 1024, Seed: 7}
+	_, ts := newTestServer(t, shard.Config{
+		Dim: d, Shards: 2,
+		Engine: shard.EngineSpec{Kind: shard.KindCS, Sketch: skCfg, T: window, Lambda: lambda},
+	}, server.Options{SnapshotDir: t.TempDir()})
+
+	// 4 windows of samples: every batch lands with 200, no 409 ever.
+	for lo := 0; lo < len(samples); lo += 100 {
+		hi := lo + 100
+		if hi > len(samples) {
+			hi = len(samples)
+		}
+		if resp, body := postJSON(t, ts.URL+"/v1/ingest", wireSamples(samples[lo:hi])); resp.StatusCode != http.StatusOK {
+			t.Fatalf("unbounded ingest [%d,%d): status %d: %s", lo, hi, resp.StatusCode, body)
+		}
+	}
+
+	var st server.StatsResponse
+	if resp := getJSON(t, ts.URL+"/v1/stats", &st); resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status %d", resp.StatusCode)
+	}
+	m := st.Manager
+	if m.Horizon != 0 {
+		t.Fatalf("stats horizon = %d for an unbounded deployment, want 0", m.Horizon)
+	}
+	if !m.Unbounded || m.Window != window || m.Lambda != lambda {
+		t.Fatalf("stats lack window semantics: unbounded=%v window=%d lambda=%v", m.Unbounded, m.Window, m.Lambda)
+	}
+	if m.Step != len(samples) {
+		t.Fatalf("stats step = %d, want %d", m.Step, len(samples))
+	}
+	if m.NEff <= 0 || m.NEff > float64(window) {
+		t.Fatalf("stats n_eff = %v, want in (0,%d]", m.NEff, window)
+	}
+
+	// Snapshot/restore keeps the unbounded deployment serving.
+	if resp, body := postJSON(t, ts.URL+"/v1/snapshot", server.SnapshotRequest{Dir: "ck"}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot status %d: %s", resp.StatusCode, body)
+	}
+	if resp, body := postJSON(t, ts.URL+"/v1/restore", server.SnapshotRequest{Dir: "ck"}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("restore status %d: %s", resp.StatusCode, body)
+	}
+	if resp, body := postJSON(t, ts.URL+"/v1/ingest", wireSamples(samples[:50])); resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-restore ingest status %d: %s", resp.StatusCode, body)
 	}
 }

@@ -1,0 +1,400 @@
+package shard_test
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/countsketch"
+	"repro/internal/dataset"
+	"repro/internal/pairs"
+	"repro/internal/shard"
+	"repro/internal/stream"
+)
+
+// TestDecayUnboundedIngest is the acceptance pin for unbounded serving:
+// a decay-mode manager (auto-tuned ASCS, warm-up and all) accepts far
+// more samples than its window without ErrHorizon, and reports window
+// semantics instead of a fake horizon.
+func TestDecayUnboundedIngest(t *testing.T) {
+	const d, window = 30, 300
+	ds := dataset.Simulation(d, 4*window, 0.02, 11)
+	samples := samplesOf(ds)
+	lambda := 1 - 1.0/window
+	mgr, err := shard.New(shard.Config{
+		Dim: d, Shards: 2, Warmup: 100, Standardize: true,
+		Engine: shard.EngineSpec{
+			Kind:   shard.KindASCS,
+			Sketch: countsketch.Config{Tables: 4, Range: 2048, Seed: 15},
+			T:      window,
+			Lambda: lambda,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	if mgr.Horizon() != 0 {
+		t.Fatalf("Horizon() = %d for an unbounded deployment, want 0", mgr.Horizon())
+	}
+	if mgr.Window() != window || !mgr.Unbounded() || mgr.DecayFactor() != lambda {
+		t.Fatalf("window semantics wrong: Window=%d Unbounded=%v λ=%v", mgr.Window(), mgr.Unbounded(), mgr.DecayFactor())
+	}
+	// 4·window samples ≫ T: every batch must be accepted.
+	for lo := 0; lo < len(samples); lo += 100 {
+		hi := min(lo+100, len(samples))
+		if _, _, err := mgr.Ingest(samples[lo:hi]); err != nil {
+			t.Fatalf("ingest [%d,%d): %v", lo, hi, err)
+		}
+	}
+	if err := mgr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := mgr.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Horizon != 0 || !st.Unbounded || st.Window != window || st.Lambda != lambda {
+		t.Fatalf("stats lack window semantics: %+v", st)
+	}
+	if st.Step != len(samples) {
+		t.Fatalf("step %d, want %d", st.Step, len(samples))
+	}
+	// N_eff saturates at the window (within 5% after 4 windows).
+	if st.NEff < 0.95*float64(window) || st.NEff > float64(window) {
+		t.Fatalf("N_eff = %v, want ≈ %d", st.NEff, window)
+	}
+	if _, err := mgr.TopKMagnitude(5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// decaySpecFor builds matching fixed/λ=1 specs for every engine kind.
+func decaySpecFor(kind shard.Kind, T int, lambda float64) shard.EngineSpec {
+	sp := shard.EngineSpec{
+		Kind:   kind,
+		Sketch: countsketch.Config{Tables: 5, Range: 2048, Seed: 27},
+		T:      T,
+		Lambda: lambda,
+	}
+	if kind == shard.KindASCS {
+		sp.Schedule = core.Hyperparams{T0: 50, Theta: 0.05, Tau0: 1e-4, T: T}
+	}
+	return sp
+}
+
+// TestDecayLambda1BitIdenticalAllKinds drives the same stream through a
+// fixed-horizon manager and a λ=1 decay-mode manager for each of the
+// four engine kinds: every pair estimate and the ranked top-k must be
+// bit-identical, and only the decay-mode manager may continue past T.
+func TestDecayLambda1BitIdenticalAllKinds(t *testing.T) {
+	const d, T = 40, 400
+	ds := dataset.Simulation(d, T+50, 0.02, 23)
+	samples := samplesOf(ds)
+	for _, kind := range []shard.Kind{shard.KindCS, shard.KindASCS, shard.KindASketch, shard.KindColdFilter} {
+		fixed, err := shard.New(shard.Config{Dim: d, Engine: decaySpecFor(kind, T, 0), TrackCandidates: 1 << 12})
+		if err != nil {
+			t.Fatalf("%s fixed: %v", kind, err)
+		}
+		dec, err := shard.New(shard.Config{Dim: d, Engine: decaySpecFor(kind, T, 1), TrackCandidates: 1 << 12})
+		if err != nil {
+			t.Fatalf("%s decayed: %v", kind, err)
+		}
+		for lo := 0; lo < T; lo += 100 {
+			if _, _, err := fixed.Ingest(samples[lo : lo+100]); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := dec.Ingest(samples[lo : lo+100]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := fixed.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if err := dec.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		p := pairs.Count(d)
+		for key := uint64(0); key < uint64(p); key++ {
+			fe, err := fixed.EstimateKey(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			de, err := dec.EstimateKey(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Float64bits(fe) != math.Float64bits(de) {
+				t.Fatalf("%s key %d: fixed %v vs λ=1 %v", kind, key, fe, de)
+			}
+		}
+		ft, err := fixed.TopKMagnitude(10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dt, err := dec.TopKMagnitude(10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ft {
+			if ft[i] != dt[i] {
+				t.Fatalf("%s top-k rank %d: %+v vs %+v", kind, i, ft[i], dt[i])
+			}
+		}
+		// Past T: the fixed manager 409s, the unbounded one keeps going.
+		if _, _, err := fixed.Ingest(samples[T : T+50]); !errors.Is(err, shard.ErrHorizon) {
+			t.Fatalf("%s fixed past horizon: %v, want ErrHorizon", kind, err)
+		}
+		if _, _, err := dec.Ingest(samples[T : T+50]); err != nil {
+			t.Fatalf("%s unbounded past T: %v", kind, err)
+		}
+		fixed.Close()
+		dec.Close()
+	}
+}
+
+// TestDecayAging is the aging acceptance pin: a heavy pair that stops
+// arriving falls out of top-k within the configured window, displaced
+// by the new heavy pair.
+func TestDecayAging(t *testing.T) {
+	const d, window = 12, 60
+	lambda := 1 - 1.0/window
+	mgr, err := shard.New(shard.Config{
+		Dim: d,
+		Engine: shard.EngineSpec{
+			Kind:   shard.KindCS,
+			Sketch: countsketch.Config{Tables: 5, Range: 4096, Seed: 33},
+			T:      window,
+			Lambda: lambda,
+		},
+		TrackCandidates: 256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+
+	mkSample := func(a, b int, v float64) stream.Sample {
+		row := make([]float64, d)
+		row[a], row[b] = v, v
+		return stream.FromDense(row)
+	}
+	// Phase 1: pair (0,1) is the only signal for two windows.
+	for i := 0; i < 2*window; i++ {
+		if _, _, err := mgr.Ingest([]stream.Sample{mkSample(0, 1, 2)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := mgr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	top, err := mgr.TopKMagnitude(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldKey := pairs.Key(0, 1, d)
+	if len(top) != 1 || top[0].Key != oldKey {
+		t.Fatalf("phase 1 top-1 = %+v, want pair (0,1)", top)
+	}
+	phase1Est := top[0].Estimate
+
+	// Phase 2: (0,1) goes silent; (2,3) takes over. Within a few windows
+	// the old pair must decay out of the lead and out of the top-k.
+	for i := 0; i < 5*window; i++ {
+		if _, _, err := mgr.Ingest([]stream.Sample{mkSample(2, 3, 2)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := mgr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	top, err = mgr.TopKMagnitude(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 1 || top[0].Key != pairs.Key(2, 3, d) {
+		t.Fatalf("phase 2 top-1 = %+v, want pair (2,3)", top)
+	}
+	oldEst, err := mgr.EstimateKey(oldKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(oldEst) > 0.01*math.Abs(phase1Est) {
+		t.Fatalf("silent pair estimate %v did not decay from %v within 5 windows", oldEst, phase1Est)
+	}
+}
+
+// TestDecaySnapshotRestore round-trips an unbounded deployment through
+// snapshot/restore: manifest v2, decay state preserved, and continued
+// ingest stays bit-identical to the uninterrupted original.
+func TestDecaySnapshotRestore(t *testing.T) {
+	const d, window = 24, 200
+	ds := dataset.Simulation(d, 3*window, 0.03, 41)
+	samples := samplesOf(ds)
+	lambda := 1 - 1.0/window
+	mgr, err := shard.New(shard.Config{
+		Dim: d, Shards: 2,
+		Engine: shard.EngineSpec{
+			Kind:   shard.KindCS,
+			Sketch: countsketch.Config{Tables: 4, Range: 2048, Seed: 51},
+			T:      window,
+			Lambda: lambda,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	if _, _, err := mgr.Ingest(samples[:2*window]); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := mgr.Snapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var man struct {
+		Version int `json:"version"`
+		Engine  struct {
+			Lambda float64 `json:"lambda"`
+		} `json:"engine"`
+	}
+	if err := json.Unmarshal(raw, &man); err != nil {
+		t.Fatal(err)
+	}
+	if man.Version != 2 || man.Engine.Lambda != lambda {
+		t.Fatalf("manifest version=%d lambda=%v, want v2 with λ=%v", man.Version, man.Engine.Lambda, lambda)
+	}
+	restored, err := shard.Restore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	if !restored.Unbounded() || restored.Window() != window {
+		t.Fatalf("restored manager lost window semantics: unbounded=%v window=%d", restored.Unbounded(), restored.Window())
+	}
+	// Continue both past another window; they must stay in lockstep.
+	rest := samples[2*window:]
+	if _, _, err := mgr.Ingest(rest); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := restored.Ingest(rest); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	p := pairs.Count(d)
+	for key := uint64(0); key < uint64(p); key++ {
+		oe, err := mgr.EstimateKey(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		re, err := restored.EstimateKey(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(oe) != math.Float64bits(re) {
+			t.Fatalf("key %d diverged after restore+continue: %v vs %v", key, oe, re)
+		}
+	}
+}
+
+// TestWarmupReplayConcurrent hammers the warm-up-completing replay path
+// with concurrent producers and queriers (under -race this is the proof
+// that the chunked, mutex-released replay is sound): all samples are
+// accounted for and queries never fail with anything but ErrWarmingUp.
+func TestWarmupReplayConcurrent(t *testing.T) {
+	const (
+		d         = 30
+		producers = 4
+		perProd   = 300
+		warmup    = 600
+	)
+	n := producers * perProd
+	ds := dataset.Simulation(d, n, 0.02, 61)
+	samples := samplesOf(ds)
+	mgr, err := shard.New(shard.Config{
+		Dim: d, Shards: 2, Warmup: warmup, Standardize: true,
+		Engine: shard.EngineSpec{
+			Kind:   shard.KindASCS,
+			Sketch: countsketch.Config{Tables: 4, Range: 2048, Seed: 71},
+			T:      n,
+		},
+		QueueLen: 4, FlushOps: 128,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < producers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			chunk := samples[w*perProd : (w+1)*perProd]
+			for lo := 0; lo < len(chunk); lo += 20 {
+				if _, _, err := mgr.Ingest(chunk[lo : lo+20]); err != nil {
+					t.Errorf("producer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := mgr.TopKMagnitude(3); err != nil && !errors.Is(err, shard.ErrWarmingUp) {
+				t.Errorf("querier: %v", err)
+				return
+			}
+		}
+	}()
+	done := make(chan struct{})
+	go func() {
+		for mgr.Step() < n {
+		}
+		close(done)
+	}()
+	<-done
+	close(stop)
+	wg.Wait()
+	if err := mgr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := mgr.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Step != n {
+		t.Fatalf("step %d, want %d", st.Step, n)
+	}
+	var wantOps uint64
+	for _, s := range samples {
+		m := uint64(s.NNZ())
+		wantOps += m * (m - 1) / 2
+	}
+	if st.Ops != wantOps {
+		t.Fatalf("ops %d, want %d", st.Ops, wantOps)
+	}
+	if err := mgr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

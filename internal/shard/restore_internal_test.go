@@ -1,0 +1,50 @@
+package shard
+
+import (
+	"testing"
+
+	"repro/internal/countsketch"
+	"repro/internal/stream"
+)
+
+// TestRestoreKeepsFusedPath is the regression pin for a silent perf
+// cliff: Restore must wire the fused OfferPairs path (worker.fast)
+// exactly as Manager.start does, or every restored deployment falls
+// back to the pre-fusion per-op ingest sequence for the rest of its
+// life.
+func TestRestoreKeepsFusedPath(t *testing.T) {
+	m, err := New(Config{
+		Dim: 10,
+		Engine: EngineSpec{
+			Kind:   KindCS,
+			Sketch: countsketch.Config{Tables: 3, Range: 64, Seed: 1},
+			T:      100,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	for _, w := range m.workers {
+		if w.fast == nil {
+			t.Fatal("fresh manager worker lacks the fused path (test setup broken)")
+		}
+	}
+	if _, _, err := m.Ingest([]stream.Sample{{Idx: []int{0, 1}, Val: []float64{1, 2}}}); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := m.Snapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Restore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for i, w := range r.workers {
+		if w.fast == nil {
+			t.Fatalf("restored worker %d lost the fused OfferPairs path", i)
+		}
+	}
+}

@@ -44,23 +44,36 @@
 // sketch is a valid — typically slightly better-filtered — ASCS state
 // rather than a bit-identical replay of the serial run.
 //
-// # Steps and horizon
+// # Steps, horizon, and unbounded (decayed) serving
 //
 // The manager assigns a global 1-based step to every ingested sample
 // and engines scale inserts by 1/T exactly as in the batch pipeline.
 // Concurrent Ingest calls are applied in an arbitrary interleaving;
 // workers monotonize the step sequence they announce to their engine
 // so the Ingestor contract (non-decreasing steps) holds under any
-// interleaving. The stream horizon T is fixed at construction; ingest
-// beyond it is rejected (sliding-window serving is future work, see
-// DESIGN.md).
+// interleaving.
+//
+// In the classic fixed-horizon deployment the stream horizon T is
+// fixed at construction and ingest beyond it is rejected with
+// ErrHorizon. An EngineSpec with Lambda set instead serves an
+// *unbounded* stream: T is reinterpreted as the effective window
+// W ≈ 1/(1−λ), every engine ages its tables by λ per step (a lazy O(1)
+// scale bump inside BeginStep, on the worker goroutine — still
+// lock-free), each worker ages its candidate tracker at the same batch
+// boundary so admitted pairs fall out of top-k once they stop
+// arriving, and ErrHorizon is never returned. λ = 1 disables aging but
+// keeps the unbounded semantics, bit-identical to the fixed engines
+// over any prefix — the differential tests pin that equivalence.
 //
 // The ingest call that completes the warm-up prefix derives the
-// schedule and replays the buffered prefix while holding the control
-// mutex: queries and concurrent ingest block until the replay
-// finishes. That keeps op ordering trivially correct (nothing can
-// overtake the prefix); for very large warm-ups the one-time stall is
-// the trade-off (see the ROADMAP item on releasing it).
+// schedule, starts the workers, then replays the buffered prefix in
+// bounded chunks *without* holding the control mutex: queries proceed
+// during the replay (observing a per-shard-consistent mid-replay
+// state) instead of stalling for its duration. Concurrent ingest and
+// snapshots still wait for the replay to finish — the solved ASCS
+// exploration window T0 can be shorter than the warm-up prefix, so a
+// later-step op overtaking prefix ops into a shard FIFO would replay
+// gate decisions out of order.
 package shard
 
 import (
@@ -85,7 +98,8 @@ var (
 	// buffering its warm-up prefix (auto-tuned ASCS configurations).
 	ErrWarmingUp = errors.New("shard: still warming up (ingest more samples)")
 	// ErrHorizon is returned when ingest would exceed the configured
-	// stream horizon T.
+	// stream horizon T. Unbounded (decay-mode) deployments never return
+	// it — there is no horizon to exceed.
 	ErrHorizon = errors.New("shard: stream exceeds configured horizon T")
 	// ErrInvalidSample wraps sample-validation failures, so transports
 	// can blame the producer (4xx) rather than the service (5xx) —
@@ -184,10 +198,27 @@ type worker struct {
 	lastT int
 	ops   uint64
 
+	// lambda is the per-step decay factor of unbounded deployments
+	// (0 = fixed-horizon). The engine ages itself inside BeginStep; the
+	// worker additionally ages its candidate tracker at the same step
+	// boundary — both are lazy O(1) scale bumps on the worker goroutine,
+	// so the hot path stays lock-free and allocation-free.
+	lambda float64
+
 	// Scratch for the batched fast path, reused across apply calls.
 	keys []uint64
 	xs   []float64
 	ests []float64
+}
+
+// beginStep announces a step advance to the engine and applies the
+// tracker's decay ticks for the steps skipped.
+func (w *worker) beginStep(t int) {
+	if w.lambda != 0 {
+		w.track.Decay(sketchapi.DecayPow(w.lambda, t-w.lastT))
+	}
+	w.lastT = t
+	w.eng.BeginStep(t)
 }
 
 func (w *worker) run(wg *sync.WaitGroup) {
@@ -205,8 +236,7 @@ func (w *worker) apply(ops []op) {
 	if w.fast == nil {
 		for _, o := range ops {
 			if o.t > w.lastT {
-				w.lastT = o.t
-				w.eng.BeginStep(o.t)
+				w.beginStep(o.t)
 			}
 			w.eng.Offer(o.key, o.x)
 			// Same candidate policy as the batch retrieval path
@@ -225,8 +255,7 @@ func (w *worker) apply(ops []op) {
 	for lo := 0; lo < len(ops); {
 		t := ops[lo].t
 		if t > w.lastT {
-			w.lastT = t
-			w.eng.BeginStep(t)
+			w.beginStep(t)
 		}
 		hi := lo + 1
 		for hi < len(ops) && ops[hi].t == t {
@@ -281,9 +310,15 @@ type Manager struct {
 	t       int
 	closed  bool
 	warming bool
-	wbuf    []stream.Sample
-	invStd  []float64
-	spec    EngineSpec
+	// replaying is set while the warm-up-completing ingest routes the
+	// buffered prefix with mu released; replayCond wakes the waiters
+	// (concurrent ingest, snapshots) when it finishes. Queries do not
+	// wait — serving them during the replay is the point.
+	replaying  bool
+	replayCond *sync.Cond
+	wbuf       []stream.Sample
+	invStd     []float64
+	spec       EngineSpec
 
 	sendWG   sync.WaitGroup // in-flight channel sends, for safe Close
 	workerWG sync.WaitGroup
@@ -307,10 +342,11 @@ func New(cfg Config) (*Manager, error) {
 	if !needWarm && cfg.Warmup > 0 {
 		return nil, fmt.Errorf("shard: Warmup has no effect for engine %q with a fixed schedule and no Standardize; set it to 0", cfg.Engine.Kind)
 	}
-	if cfg.Warmup >= cfg.Engine.T {
+	if !cfg.Engine.decaying() && cfg.Warmup >= cfg.Engine.T {
 		return nil, fmt.Errorf("shard: Warmup (%d) must be below the horizon T (%d)", cfg.Warmup, cfg.Engine.T)
 	}
 	m := &Manager{cfg: cfg, spec: cfg.Engine, invStd: cfg.InvStd}
+	m.replayCond = sync.NewCond(&m.mu)
 	if needWarm {
 		m.warming = true
 		return m, nil
@@ -331,10 +367,11 @@ func (m *Manager) start(spec EngineSpec) error {
 			return err
 		}
 		w := &worker{
-			id:    i,
-			ch:    make(chan msg, m.cfg.QueueLen),
-			eng:   eng,
-			track: topk.NewTracker(m.cfg.TrackCandidates),
+			id:     i,
+			ch:     make(chan msg, m.cfg.QueueLen),
+			eng:    eng,
+			track:  topk.NewTracker(m.cfg.TrackCandidates),
+			lambda: spec.Lambda,
 		}
 		if f, ok := eng.(sketchapi.OfferEstimator); ok {
 			w.fast = f
@@ -360,8 +397,34 @@ func (m *Manager) shardOf(key uint64) int {
 // Dim returns the configured feature dimensionality.
 func (m *Manager) Dim() int { return m.cfg.Dim }
 
-// Horizon returns the stream horizon T.
-func (m *Manager) Horizon() int { return m.cfg.Engine.T }
+// Horizon returns the stream horizon T, or 0 when the deployment is
+// unbounded (decay mode) — an unbounded stream has no horizon, and
+// reporting the window here would masquerade as one. Use Window for
+// the decayed-serving analogue.
+func (m *Manager) Horizon() int {
+	if m.cfg.Engine.decaying() {
+		return 0
+	}
+	return m.cfg.Engine.T
+}
+
+// Window returns the effective sample window W of an unbounded
+// (decay-mode) deployment — the mass the estimates are normalized by,
+// W ≈ 1/(1−λ) — and 0 for fixed-horizon deployments.
+func (m *Manager) Window() int {
+	if m.cfg.Engine.decaying() {
+		return m.cfg.Engine.T
+	}
+	return 0
+}
+
+// Unbounded reports whether the deployment serves an unbounded stream
+// (exponential-decay mode).
+func (m *Manager) Unbounded() bool { return m.cfg.Engine.decaying() }
+
+// DecayFactor returns the per-step decay factor λ of an unbounded
+// deployment (0 for fixed-horizon ones).
+func (m *Manager) DecayFactor() float64 { return m.cfg.Engine.Lambda }
 
 // Step returns the highest assigned global step.
 func (m *Manager) Step() int {
@@ -399,10 +462,21 @@ func (m *Manager) Ingest(samples []stream.Sample) (first, last int, err error) {
 		return 0, 0, ErrClosed
 	}
 	if m.warming {
-		defer m.mu.Unlock()
-		return m.ingestWarming(samples)
+		return m.ingestWarming(samples) // releases mu
 	}
-	if m.t+len(samples) > m.cfg.Engine.T {
+	if m.replaying {
+		// A warm-up replay is routing the buffered prefix with mu
+		// released. Later steps must not overtake prefix ops into a
+		// shard FIFO (the solved T0 may be shorter than the prefix, so
+		// the gate would replay out of order); wait it out. Queries do
+		// not take this wait.
+		m.awaitReplay()
+		if m.closed {
+			m.mu.Unlock()
+			return 0, 0, ErrClosed
+		}
+	}
+	if !m.cfg.Engine.decaying() && m.t+len(samples) > m.cfg.Engine.T {
 		m.mu.Unlock()
 		return 0, 0, fmt.Errorf("%w: step %d + %d samples > T=%d", ErrHorizon, m.t, len(samples), m.cfg.Engine.T)
 	}
@@ -415,11 +489,28 @@ func (m *Manager) Ingest(samples []stream.Sample) (first, last int, err error) {
 	return base, base + len(samples) - 1, nil
 }
 
-// ingestWarming buffers samples under mu; crossing the warm-up
-// threshold derives the engine spec, starts the workers, and replays
-// the buffered prefix as steps 1..len(buf).
+// awaitReplay blocks (releasing mu while waiting) until no warm-up
+// replay is in flight. The caller holds mu and still holds it on
+// return; it must re-check closed afterwards.
+func (m *Manager) awaitReplay() {
+	for m.replaying {
+		m.replayCond.Wait()
+	}
+}
+
+// replayChunk bounds one route call of the warm-up replay: small enough
+// that the replaying goroutine cannot monopolize the shard FIFOs in one
+// burst, large enough to amortize the routing pass.
+const replayChunk = 256
+
+// ingestWarming buffers samples (called with mu held; releases it):
+// crossing the warm-up threshold derives the engine spec, starts the
+// workers, and replays the buffered prefix as steps 1..len(buf) in
+// bounded chunks with mu released, so queries are served during the
+// replay instead of stalling behind it.
 func (m *Manager) ingestWarming(samples []stream.Sample) (first, last int, err error) {
-	if len(m.wbuf)+len(samples) > m.cfg.Engine.T {
+	if !m.cfg.Engine.decaying() && len(m.wbuf)+len(samples) > m.cfg.Engine.T {
+		m.mu.Unlock()
 		return 0, 0, fmt.Errorf("%w: warm-up buffer %d + %d samples > T=%d", ErrHorizon, len(m.wbuf), len(samples), m.cfg.Engine.T)
 	}
 	first = len(m.wbuf) + 1
@@ -428,6 +519,7 @@ func (m *Manager) ingestWarming(samples []stream.Sample) (first, last int, err e
 	}
 	last = len(m.wbuf)
 	if len(m.wbuf) < m.cfg.Warmup {
+		m.mu.Unlock()
 		return first, last, nil
 	}
 	// On derivation/start failure, roll this call's samples back out of
@@ -436,6 +528,7 @@ func (m *Manager) ingestWarming(samples []stream.Sample) (first, last int, err e
 	spec, invStd, err := m.deriveSpec()
 	if err != nil {
 		m.wbuf = m.wbuf[:first-1]
+		m.mu.Unlock()
 		return 0, 0, err
 	}
 	if m.cfg.Standardize {
@@ -443,12 +536,32 @@ func (m *Manager) ingestWarming(samples []stream.Sample) (first, last int, err e
 	}
 	if err := m.start(spec); err != nil {
 		m.wbuf = m.wbuf[:first-1]
+		m.mu.Unlock()
 		return 0, 0, err
 	}
 	m.warming = false
 	m.t = len(m.wbuf)
-	m.route(m.wbuf, 1)
+	buf := m.wbuf
 	m.wbuf = nil
+	m.replaying = true
+	// Hold the send guard across the replay so Close drains it before
+	// closing the worker channels.
+	m.sendWG.Add(1)
+	m.mu.Unlock()
+
+	for lo := 0; lo < len(buf); lo += replayChunk {
+		hi := lo + replayChunk
+		if hi > len(buf) {
+			hi = len(buf)
+		}
+		m.route(buf[lo:hi], 1+lo)
+	}
+	m.sendWG.Done()
+
+	m.mu.Lock()
+	m.replaying = false
+	m.replayCond.Broadcast()
+	m.mu.Unlock()
 	return first, last, nil
 }
 
@@ -626,11 +739,22 @@ func (m *Manager) topK(k int, rank func(float64) float64) ([]PairEstimate, error
 // CS engine this equals the sketch of serial single-engine ingestion
 // (linearity: every key lives in exactly one shard and the hash
 // functions are shared); see the package comment for ASCS semantics.
+// The two filter baselines split key mass across exact side structures,
+// so their tables alone are not the engine state and merging them is
+// refused. Decayed shards may sit at different steps (hence different
+// lazy decay scales); each clone is renormalized onto scale 1 before
+// the merge, which preserves its logical contents exactly.
 func (m *Manager) MergedSketch() (*countsketch.Sketch, error) {
+	switch m.cfg.Engine.Kind {
+	case KindCS, KindASCS:
+	default:
+		return nil, fmt.Errorf("shard: engine %q does not expose a mergeable sketch (mass lives outside the table)", m.cfg.Engine.Kind)
+	}
 	clones := make([]*countsketch.Sketch, m.cfg.Shards)
 	var mu sync.Mutex
 	err := m.execAll(func(w *worker) {
 		c := w.eng.(sketcher).Sketch().Clone()
+		c.Renormalize()
 		mu.Lock()
 		clones[w.id] = c
 		mu.Unlock()
@@ -656,13 +780,24 @@ type ShardStats struct {
 	Bytes   int    `json:"bytes"`
 	Tracked int    `json:"tracked"`
 	Queue   int    `json:"queue"`
+	// NEff is the shard engine's effective sample count (decay mode;
+	// saturates at the window W as the stream runs on).
+	NEff float64 `json:"n_eff,omitempty"`
 }
 
 // Stats is a point-in-time view of the manager.
 type Stats struct {
-	Dim      int          `json:"dim"`
-	Shards   int          `json:"shards"`
-	Horizon  int          `json:"horizon"`
+	Dim    int `json:"dim"`
+	Shards int `json:"shards"`
+	// Horizon is the fixed stream horizon T, and 0 for unbounded
+	// (decay-mode) deployments — see Unbounded/Window/Lambda, which
+	// carry the window semantics instead of a misleading finite T.
+	Horizon   int     `json:"horizon"`
+	Unbounded bool    `json:"unbounded,omitempty"`
+	Window    int     `json:"window,omitempty"`
+	Lambda    float64 `json:"lambda,omitempty"`
+	// NEff is the largest per-shard effective sample count (decay mode).
+	NEff     float64      `json:"n_eff,omitempty"`
 	Step     int          `json:"step"`
 	Warming  bool         `json:"warming"`
 	Engine   string       `json:"engine"`
@@ -678,10 +813,16 @@ func (m *Manager) Stats() (Stats, error) {
 	st := Stats{
 		Dim:     m.cfg.Dim,
 		Shards:  m.cfg.Shards,
-		Horizon: m.cfg.Engine.T,
 		Step:    m.t,
 		Warming: m.warming,
 		Engine:  string(m.cfg.Engine.Kind),
+	}
+	if m.cfg.Engine.decaying() {
+		st.Unbounded = true
+		st.Window = m.cfg.Engine.T
+		st.Lambda = m.cfg.Engine.Lambda
+	} else {
+		st.Horizon = m.cfg.Engine.T
 	}
 	if m.warming {
 		st.Step = len(m.wbuf)
@@ -701,6 +842,9 @@ func (m *Manager) Stats() (Stats, error) {
 			Tracked: w.track.Len(),
 			Queue:   len(w.ch),
 		}
+		if d, ok := w.eng.(sketchapi.Decayer); ok && d.Decaying() {
+			s.NEff = d.EffectiveSamples()
+		}
 		mu.Lock()
 		per[w.id] = s
 		mu.Unlock()
@@ -711,6 +855,9 @@ func (m *Manager) Stats() (Stats, error) {
 	for _, s := range per {
 		st.Ops += s.Ops
 		st.Bytes += s.Bytes
+		if s.NEff > st.NEff {
+			st.NEff = s.NEff
+		}
 	}
 	st.PerShard = per
 	return st, nil

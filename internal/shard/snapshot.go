@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/baselines"
 	"repro/internal/core"
 	"repro/internal/countsketch"
 	"repro/internal/sketchapi"
@@ -33,10 +34,16 @@ import (
 // the next successful Snapshot.
 
 const (
-	manifestName    = "manifest.json"
-	shardFilePat    = "shard-%04d-%016x.bin"
-	manifestVersion = 1
-	shardMagic      = uint32(0xA5C5DA7A)
+	manifestName = "manifest.json"
+	shardFilePat = "shard-%04d-%016x.bin"
+	// manifestVersion is the classic fixed-horizon layout;
+	// manifestVersionV2 marks unbounded (decay-mode) deployments, whose
+	// engine blobs carry decay state — pre-decay readers refuse them
+	// instead of silently serving a decayed sketch with horizon
+	// semantics. Fixed deployments keep writing v1.
+	manifestVersion   = 1
+	manifestVersionV2 = 2
+	shardMagic        = uint32(0xA5C5DA7A)
 )
 
 // snapshotMu serializes every Snapshot and Restore in the process,
@@ -84,6 +91,10 @@ func (m *Manager) Snapshot(dir string) error {
 		m.mu.Unlock()
 		return ErrWarmingUp
 	}
+	// A warm-up replay in flight would make the manifest step claim a
+	// prefix the shard cuts have only partially absorbed; wait it out
+	// (queries keep flowing — only the snapshot waits).
+	m.awaitReplay()
 	man := manifest{
 		Version:         manifestVersion,
 		Dim:             m.cfg.Dim,
@@ -95,6 +106,9 @@ func (m *Manager) Snapshot(dir string) error {
 		TrackCandidates: m.cfg.TrackCandidates,
 		InvStd:          m.invStd,
 		Engine:          m.spec,
+	}
+	if m.spec.decaying() {
+		man.Version = manifestVersionV2
 	}
 	m.mu.Unlock()
 	man.SnapshotID = uint64(time.Now().UnixNano())
@@ -245,8 +259,11 @@ func Restore(dir string) (*Manager, error) {
 	if err != nil {
 		return nil, fmt.Errorf("shard: decoding manifest: %w", err)
 	}
-	if man.Version != manifestVersion {
+	if man.Version != manifestVersion && man.Version != manifestVersionV2 {
 		return nil, fmt.Errorf("shard: unsupported snapshot version %d", man.Version)
+	}
+	if man.Version == manifestVersionV2 && !man.Engine.decaying() {
+		return nil, fmt.Errorf("shard: v2 snapshot manifest without decay state")
 	}
 	cfg := Config{
 		Dim:             man.Dim,
@@ -265,6 +282,7 @@ func Restore(dir string) (*Manager, error) {
 		return nil, err
 	}
 	m := &Manager{cfg: cfg, spec: cfg.Engine, invStd: cfg.InvStd, t: man.Step}
+	m.replayCond = sync.NewCond(&m.mu)
 	workers := make([]*worker, cfg.Shards)
 	for i := range workers {
 		w, err := readShard(shardFileName(dir, i, man.SnapshotID), cfg.Engine.Kind, cfg.TrackCandidates)
@@ -273,6 +291,7 @@ func Restore(dir string) (*Manager, error) {
 		}
 		w.id = i
 		w.ch = make(chan msg, cfg.QueueLen)
+		w.lambda = cfg.Engine.Lambda
 		workers[i] = w
 		// Under concurrent ingest the manifest step is captured before
 		// the per-shard cuts, so the serialized engines may already be
@@ -314,6 +333,10 @@ func readShard(path string, kind Kind, trackCap int) (*worker, error) {
 		eng, err = countsketch.ReadMeanSketchFrom(br)
 	case KindASCS:
 		eng, err = core.ReadEngineFrom(br)
+	case KindASketch:
+		eng, err = baselines.ReadASketchFrom(br)
+	case KindColdFilter:
+		eng, err = baselines.ReadColdFilterFrom(br)
 	default:
 		return nil, fmt.Errorf("unknown engine kind %q", kind)
 	}
@@ -321,6 +344,12 @@ func readShard(path string, kind Kind, trackCap int) (*worker, error) {
 		return nil, err
 	}
 	w.eng = eng
+	// Same fused-path detection as Manager.start: without it a restored
+	// manager would silently fall back to per-op ingest (three hash
+	// phases) for the rest of its life.
+	if f, ok := eng.(sketchapi.OfferEstimator); ok {
+		w.fast = f
+	}
 	w.track, err = readTracker(br, trackCap)
 	if err != nil {
 		return nil, err

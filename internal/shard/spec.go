@@ -3,6 +3,7 @@ package shard
 import (
 	"fmt"
 
+	"repro/internal/baselines"
 	"repro/internal/core"
 	"repro/internal/countsketch"
 	"repro/internal/covstream"
@@ -12,9 +13,8 @@ import (
 )
 
 // Kind names a serving engine. Only engines that implement
-// sketchapi.Snapshotter are servable: crash recovery is part of the
-// serving contract, so ASketch and Cold Filter (no serialization) are
-// library-only baselines.
+// sketchapi.Snapshotter are servable — crash recovery is part of the
+// serving contract — and all four engines now do.
 type Kind string
 
 const (
@@ -22,6 +22,10 @@ const (
 	KindCS Kind = "CS"
 	// KindASCS is the paper's active-sampling engine.
 	KindASCS Kind = "ASCS"
+	// KindASketch is the Augmented Sketch baseline (§8.3).
+	KindASketch Kind = "ASketch"
+	// KindColdFilter is the Cold Filter baseline (§8.3).
+	KindColdFilter Kind = "ColdFilter"
 )
 
 var zeroSchedule core.Hyperparams
@@ -44,21 +48,59 @@ type EngineSpec struct {
 	// OneSided selects the one-sided ASCS gate μ̂ ≥ τ (default is the
 	// two-sided |μ̂| ≥ τ of Theorems 1–2).
 	OneSided bool `json:"one_sided,omitempty"`
+
+	// Lambda, when in (0,1], switches the deployment to exponential-
+	// decay (unbounded-stream) mode: there is no horizon — T is
+	// reinterpreted as the effective window W the engines normalize by
+	// (typically W = round(1/(1−λ))) — engines age their tables by λ per
+	// step, trackers age their candidate scores, and Ingest never
+	// returns ErrHorizon. λ = 1 serves an unbounded stream with aging
+	// disabled, bit-identical to the fixed-horizon engines over any
+	// prefix. Zero keeps the classic fixed-horizon deployment.
+	Lambda float64 `json:"lambda,omitempty"`
+
+	// FilterCap (KindASketch) is the exact-filter slot count; zero
+	// derives max(8, Tables·Range/100), the same rule as the batch
+	// pipeline.
+	FilterCap int `json:"filter_cap,omitempty"`
+	// CFThreshold (KindColdFilter) is the layer-1 saturation threshold
+	// in final-mean units; zero derives the batch pipeline default 0.05.
+	CFThreshold float64 `json:"cf_threshold,omitempty"`
+	// L1Sketch (KindColdFilter) is the layer-1 sketch shape; zero
+	// derives a quarter of Sketch's range (Sketch then keeps the rest
+	// for layer 2), the same split as the batch pipeline.
+	L1Sketch countsketch.Config `json:"l1_sketch,omitempty"`
 }
+
+// decaying reports whether the spec describes an unbounded
+// (exponential-decay) deployment.
+func (sp EngineSpec) decaying() bool { return sp.Lambda != 0 }
 
 // validate checks the spec; scheduleRequired is false while the
 // schedule may still be derived from a warm-up prefix.
 func (sp EngineSpec) validate(scheduleRequired bool) error {
 	switch sp.Kind {
-	case KindCS, KindASCS:
+	case KindCS, KindASCS, KindASketch, KindColdFilter:
 	default:
-		return fmt.Errorf("shard: unknown engine kind %q (want %q or %q)", sp.Kind, KindCS, KindASCS)
+		return fmt.Errorf("shard: unknown engine kind %q (want %q, %q, %q or %q)",
+			sp.Kind, KindCS, KindASCS, KindASketch, KindColdFilter)
 	}
 	if sp.T < 1 {
-		return fmt.Errorf("shard: engine horizon T must be ≥ 1, got %d", sp.T)
+		return fmt.Errorf("shard: engine horizon/window T must be ≥ 1, got %d", sp.T)
+	}
+	if sp.Lambda != 0 {
+		if err := sketchapi.ValidateDecay(sp.Lambda); err != nil {
+			return fmt.Errorf("shard: %w", err)
+		}
 	}
 	if sp.Kind == KindASCS && scheduleRequired && sp.Schedule == zeroSchedule {
 		return fmt.Errorf("shard: ASCS spec has no schedule")
+	}
+	if sp.FilterCap < 0 {
+		return fmt.Errorf("shard: FilterCap must be ≥ 0, got %d", sp.FilterCap)
+	}
+	if sp.CFThreshold < 0 {
+		return fmt.Errorf("shard: CFThreshold must be ≥ 0, got %v", sp.CFThreshold)
 	}
 	return nil
 }
@@ -69,13 +111,61 @@ type sketcher interface {
 	Sketch() *countsketch.Sketch
 }
 
-// build constructs one engine from the spec.
+// filterCap resolves the KindASketch exact-filter size (same derivation
+// as the batch pipeline).
+func (sp EngineSpec) filterCap() int {
+	if sp.FilterCap > 0 {
+		return sp.FilterCap
+	}
+	cap := sp.Sketch.Tables * sp.Sketch.Range / 100
+	if cap < 8 {
+		cap = 8
+	}
+	return cap
+}
+
+// coldFilterLayers resolves the KindColdFilter layer shapes and
+// saturation threshold: explicit L1Sketch/CFThreshold when set, else
+// the batch pipeline's quarter-budget split and 0.05 threshold.
+func (sp EngineSpec) coldFilterLayers() (l1, l2 countsketch.Config, thresh float64) {
+	l1 = sp.L1Sketch
+	l2 = sp.Sketch
+	if l1 == (countsketch.Config{}) {
+		l1 = countsketch.Config{Tables: sp.Sketch.Tables, Range: max(sp.Sketch.Range/4, 2), Seed: sp.Sketch.Seed ^ 0x1f}
+		l2.Range = max(sp.Sketch.Range-l1.Range, 2)
+	}
+	thresh = sp.CFThreshold
+	if thresh == 0 {
+		thresh = 0.05
+	}
+	return l1, l2, thresh
+}
+
+// build constructs one engine from the spec: the fixed-horizon
+// constructor, or the decayed (unbounded) one when Lambda is set.
 func (sp EngineSpec) build() (sketchapi.Snapshotter, error) {
 	switch sp.Kind {
 	case KindCS:
+		if sp.decaying() {
+			return countsketch.NewMeanSketchDecayed(sp.Sketch, sp.T, sp.Lambda)
+		}
 		return countsketch.NewMeanSketch(sp.Sketch, sp.T)
 	case KindASCS:
+		if sp.decaying() {
+			return core.NewEngineDecayed(sp.Sketch, sp.Schedule, !sp.OneSided, sp.Lambda)
+		}
 		return core.NewEngine(sp.Sketch, sp.Schedule, !sp.OneSided)
+	case KindASketch:
+		if sp.decaying() {
+			return baselines.NewASketchDecayed(sp.Sketch, sp.T, sp.filterCap(), sp.Lambda)
+		}
+		return baselines.NewASketch(sp.Sketch, sp.T, sp.filterCap())
+	case KindColdFilter:
+		l1, l2, thresh := sp.coldFilterLayers()
+		if sp.decaying() {
+			return baselines.NewColdFilterDecayed(l1, l2, sp.T, thresh, sp.Lambda)
+		}
+		return baselines.NewColdFilter(l1, l2, sp.T, thresh)
 	default:
 		return nil, fmt.Errorf("shard: unknown engine kind %q", sp.Kind)
 	}
@@ -125,11 +215,26 @@ type ServeOptions struct {
 	QueueLen, FlushOps int
 	// OneSided selects the one-sided ASCS gate.
 	OneSided bool
+
+	// Window, when positive, serves an unbounded stream with a sliding
+	// effective window of that many samples: λ = 1 − 1/Window, the
+	// engines normalize by Window instead of a horizon, and Samples is
+	// ignored (warm-up sizing uses the window). Mutually exclusive with
+	// Lambda.
+	Window int
+	// Lambda, when in (0,1], sets the decay factor directly; the
+	// effective window is round(1/(1−λ)) (λ = 1: unbounded with aging
+	// disabled, normalized by Samples). Mutually exclusive with Window.
+	Lambda float64
 }
 
 // NewFromOptions applies the shared derivation rules and starts a
 // Manager: engines needing no warm-up (CS without standardization) start
 // immediately, ASCS derives its schedule from the sized warm-up prefix.
+// Window/Lambda switch the deployment to unbounded exponential-decay
+// serving; the window↔λ coupling lives here so every entry point (the
+// library, the ascsd daemon, the ascsload benchmark) derives it
+// identically.
 func NewFromOptions(o ServeOptions) (*Manager, error) {
 	if o.Shards == 0 {
 		o.Shards = 1
@@ -142,6 +247,34 @@ func NewFromOptions(o ServeOptions) (*Manager, error) {
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
+	}
+	if o.Window != 0 && o.Lambda != 0 {
+		return nil, fmt.Errorf("shard: set Window or Lambda, not both")
+	}
+	if o.Window < 0 {
+		return nil, fmt.Errorf("shard: Window must be positive, got %d", o.Window)
+	}
+	if o.Window > 0 {
+		if o.Window < 4 {
+			return nil, fmt.Errorf("shard: Window must be ≥ 4 samples, got %d", o.Window)
+		}
+		o.Lambda = sketchapi.WindowLambda(float64(o.Window))
+		o.Samples = o.Window
+	} else if o.Lambda != 0 {
+		if err := sketchapi.ValidateDecay(o.Lambda); err != nil {
+			return nil, fmt.Errorf("shard: %w", err)
+		}
+		if o.Lambda < 1 {
+			// The effective window replaces the horizon as the engines'
+			// normalizer and as the warm-up sizing basis.
+			w := int(sketchapi.EffectiveWindow(o.Lambda) + 0.5)
+			if w < 4 {
+				return nil, fmt.Errorf("shard: Lambda=%v has an effective window of %d samples; use a factor closer to 1", o.Lambda, w)
+			}
+			o.Samples = w
+		}
+		// λ = 1: unbounded with aging disabled; Samples stays the
+		// normalizer, exactly matching the fixed-horizon arithmetic.
 	}
 	if o.Range == 0 {
 		if o.MemoryFloats <= 0 {
@@ -170,7 +303,7 @@ func NewFromOptions(o ServeOptions) (*Manager, error) {
 			}
 			warm = covstream.WarmupSize(fr, o.Samples)
 		}
-		if warm >= o.Samples {
+		if o.Lambda == 0 && warm >= o.Samples {
 			return nil, fmt.Errorf("shard: Samples=%d leaves no room after the %d-sample warm-up prefix; increase Samples", o.Samples, warm)
 		}
 	}
@@ -182,6 +315,7 @@ func NewFromOptions(o ServeOptions) (*Manager, error) {
 			Sketch:   countsketch.Config{Tables: o.Tables, Range: o.Range, Seed: o.Seed},
 			T:        o.Samples,
 			OneSided: o.OneSided,
+			Lambda:   o.Lambda,
 		},
 		Warmup:          warm,
 		Alpha:           o.Alpha,
@@ -259,6 +393,10 @@ func (m *Manager) deriveSpec() (EngineSpec, []float64, error) {
 			return EngineSpec{}, nil, err
 		}
 		derived.OneSided = spec.OneSided
+		// Decay mode survives schedule derivation: the solved schedule is
+		// for T = the effective window, which is exactly what AutoSpec
+		// received as the horizon.
+		derived.Lambda = spec.Lambda
 		spec = derived
 	}
 	return spec, invStd, nil

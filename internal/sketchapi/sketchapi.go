@@ -5,7 +5,11 @@
 // (§8) are orchestrated.
 package sketchapi
 
-import "io"
+import (
+	"fmt"
+	"io"
+	"math"
+)
 
 // Ingestor consumes a stream of (key, increment) observations indexed by
 // a time step t = 1..T and answers point estimates of the per-key mean.
@@ -58,12 +62,112 @@ type OfferEstimator interface {
 	OfferPairs(keys []uint64, xs []float64, ests []float64)
 }
 
+// Decayer is the unbounded-stream capability: an engine constructed in
+// exponential-decay mode ages every absorbed observation by a factor
+// λ ∈ (0,1] per time step, so the estimate for key i converges to the
+// λ-weighted mean Σ_k λ^{t−k}·X_i^{(k)} / N_eff(t) instead of the
+// fixed-horizon mean — the stream no longer needs a horizon T at all.
+// λ = 1 keeps the fixed-horizon arithmetic bit-for-bit (nothing ages)
+// while still declaring the engine unbounded, which is what lets the
+// differential tests pin the decay path against the classic one.
+//
+// All four engines implement Decayer; engines built by the classic
+// constructors report Decaying() == false and behave exactly as before.
+type Decayer interface {
+	Ingestor
+	// Decaying reports whether the engine runs in exponential-decay
+	// (unbounded-stream) mode.
+	Decaying() bool
+	// DecayFactor returns the per-step decay factor λ (1 when the engine
+	// is not decaying, or is unbounded with aging disabled).
+	DecayFactor() float64
+	// EffectiveSamples returns N_eff(t) = Σ_{k=1..t} λ^{t−k} =
+	// (1−λ^t)/(1−λ), the decayed mass the current estimates are built
+	// from. It equals t exactly when λ = 1 (and in fixed-horizon mode)
+	// and saturates at the effective window W = 1/(1−λ) as t → ∞.
+	EffectiveSamples() float64
+}
+
+// AdvanceEffective advances an effective-sample count by `steps` decayed
+// steps (N ← λ·N + 1 per step), using the closed form
+// N·λ^s + (1−λ^s)/(1−λ) so skipped steps cost one Pow, not a loop.
+// λ = 1 reduces to N + steps exactly (pure float additions of integers),
+// which is what keeps the λ=1 schedule bit-identical to the fixed one.
+func AdvanceEffective(neff, lambda float64, steps int) float64 {
+	if steps <= 0 {
+		return neff
+	}
+	if lambda == 1 {
+		return neff + float64(steps)
+	}
+	f := lambda
+	if steps > 1 {
+		f = math.Pow(lambda, float64(steps))
+	}
+	return neff*f + (1-f)/(1-lambda)
+}
+
+// RenormFloor is the shared lazy-decay renormalization floor: when a
+// scale accumulator (sketch cells, tracker scores, the ASketch filter)
+// drops below it, the owner folds the scale into the stored values.
+// One constant so the lazy-decay implementations cannot drift apart.
+const RenormFloor = 1e-120
+
+// minDecayFactor floors DecayPow against float64 underflow: λ^steps
+// rounds to exactly 0 once steps exceeds ~745 effective windows (for
+// any λ), and a zero factor is not a valid scale multiplier. At
+// 1e-300 the stored mass folds to (sub)normal zero on the next
+// renormalization anyway, so the clamp only removes the panic, not
+// any observable mass.
+const minDecayFactor = 1e-300
+
+// DecayPow returns λ^steps clamped away from underflow, keeping the
+// two hot cases (λ = 1, a single step) free of math.Pow — the
+// per-sample decay tick of every engine and shard worker routes
+// through it.
+func DecayPow(lambda float64, steps int) float64 {
+	if lambda == 1 || steps <= 0 {
+		return 1
+	}
+	if steps == 1 {
+		return lambda
+	}
+	f := math.Pow(lambda, float64(steps))
+	if f < minDecayFactor {
+		// A long-idle engine catching up on a huge step gap: fully aged
+		// out, but the factor must stay a positive number.
+		f = minDecayFactor
+	}
+	return f
+}
+
+// EffectiveWindow returns W = 1/(1−λ), the asymptotic effective sample
+// count of decay factor λ (Inf at λ = 1: nothing ages out).
+func EffectiveWindow(lambda float64) float64 {
+	if lambda >= 1 {
+		return math.Inf(1)
+	}
+	return 1 / (1 - lambda)
+}
+
+// WindowLambda inverts EffectiveWindow: the decay factor whose effective
+// window is w samples, λ = 1 − 1/w.
+func WindowLambda(w float64) float64 { return 1 - 1/w }
+
+// ValidateDecay checks a decay factor: λ must be in (0,1] and finite.
+// It is the one shared guard every decayed constructor routes through.
+func ValidateDecay(lambda float64) error {
+	if !(lambda > 0) || lambda > 1 || math.IsNaN(lambda) {
+		return fmt.Errorf("sketchapi: decay factor must be in (0,1], got %v", lambda)
+	}
+	return nil
+}
+
 // Snapshotter is an Ingestor whose full state (schedule position,
 // counters, table contents) can be serialized for checkpoint/resume.
-// The CS and ASCS engines implement it; the serving layer
-// (internal/shard) requires it for crash recovery, and engines that do
-// not serialize (ASketch, Cold Filter) are rejected there at
-// construction time rather than failing on the first snapshot.
+// All four engines (CS, ASCS, ASketch, Cold Filter) implement it, which
+// is what makes every engine servable: the serving layer
+// (internal/shard) requires it for crash recovery.
 type Snapshotter interface {
 	Ingestor
 	// WriteTo serializes the engine in a self-describing binary format.

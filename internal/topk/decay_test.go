@@ -1,0 +1,72 @@
+package topk
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTrackerDecayAges checks lazy aging: a once-hot key that stops
+// being offered sinks below fresh offers and is pruned out.
+func TestTrackerDecayAges(t *testing.T) {
+	tr := NewTracker(4)
+	tr.Offer(100, 10) // the old heavy hitter
+	for i := 0; i < 200; i++ {
+		tr.Decay(0.9)
+		tr.Offer(uint64(i), 1) // fresh modest candidates
+	}
+	// 10·0.9^200 ≈ 7e-9 ≪ 1: key 100 must have pruned away.
+	for _, it := range tr.Top(tr.Len(), nil) {
+		if it.Key == 100 {
+			t.Fatalf("aged-out key 100 still tracked with score %v", it.Score)
+		}
+	}
+}
+
+// TestTrackerDecayLogicalScores checks Each/Top report logical
+// (decayed) units and that renormalization preserves them.
+func TestTrackerDecayLogicalScores(t *testing.T) {
+	tr := NewTracker(8)
+	tr.Offer(1, 8)
+	tr.Decay(0.5)
+	tr.Offer(2, 8)
+	want := map[uint64]float64{1: 4, 2: 8}
+	check := func() {
+		got := map[uint64]float64{}
+		tr.Each(func(k uint64, s float64) { got[k] = s })
+		for k, w := range want {
+			if math.Abs(got[k]-w) > 1e-12 {
+				t.Fatalf("key %d: logical score %v, want %v", k, got[k], w)
+			}
+		}
+		top := tr.Top(2, nil)
+		if top[0].Key != 2 || math.Abs(top[0].Score-8) > 1e-12 {
+			t.Fatalf("top entry %+v, want key 2 score 8", top[0])
+		}
+	}
+	check()
+	// Drive the scale past the renormalization floor; logical values
+	// must survive the fold (up to the decayed magnitudes themselves).
+	tr2 := NewTracker(8)
+	tr2.Offer(1, 1)
+	for i := 0; i < 90; i++ {
+		tr2.Decay(0.05)
+	}
+	tr2.Offer(2, 1)
+	top := tr2.Top(1, nil)
+	if top[0].Key != 2 || math.Abs(top[0].Score-1) > 1e-12 {
+		t.Fatalf("post-renormalization top %+v, want key 2 score 1", top[0])
+	}
+}
+
+// TestTrackerDecayIdentity checks Decay(1) changes nothing, bitwise.
+func TestTrackerDecayIdentity(t *testing.T) {
+	tr := NewTracker(4)
+	tr.Offer(9, 3.25)
+	tr.Decay(1)
+	tr.Offer(11, 1.5)
+	got := map[uint64]float64{}
+	tr.Each(func(k uint64, s float64) { got[k] = s })
+	if math.Float64bits(got[9]) != math.Float64bits(3.25) || math.Float64bits(got[11]) != math.Float64bits(1.5) {
+		t.Fatalf("Decay(1) perturbed scores: %v", got)
+	}
+}

@@ -4,7 +4,11 @@
 // pair universe is too large to enumerate (Table 2 scale).
 package topk
 
-import "sort"
+import (
+	"sort"
+
+	"repro/internal/sketchapi"
+)
 
 // Item pairs a key with a score.
 type Item struct {
@@ -108,25 +112,57 @@ func (h *Heap) down(i int) {
 // highest scores. It backs candidate retrieval for huge pair universes,
 // where keys that ever pass the ASCS gate are the only plausible heavy
 // hitters.
+//
+// For exponential-decay serving the tracker supports O(1) aging: Decay
+// multiplies every retained score by a factor lazily (a global scale,
+// exactly like the count sketch's lazy decay), so candidates that stop
+// being offered sink relative to fresh ones and eventually prune out —
+// admitted pairs age out of top-k instead of squatting forever.
 type Tracker struct {
 	cap    int
-	scores map[uint64]float64
+	scores map[uint64]float64 // raw scores; logical score = raw · scale
+
+	scale float64 // lazy decay accumulator
+	inv   float64 // 1/scale, applied on Offer
 }
+
+// trackerRenormFloor is the shared lazy-decay renormalization floor:
+// fold the lazy scale into the raw scores before it underflows.
+const trackerRenormFloor = sketchapi.RenormFloor
 
 // NewTracker returns a tracker retaining roughly capacity keys (≥ 1).
 func NewTracker(capacity int) *Tracker {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &Tracker{cap: capacity, scores: make(map[uint64]float64, 2*capacity)}
+	return &Tracker{cap: capacity, scores: make(map[uint64]float64, 2*capacity), scale: 1, inv: 1}
 }
 
 // Offer records (or refreshes) the score for key.
 func (t *Tracker) Offer(key uint64, score float64) {
-	t.scores[key] = score
+	t.scores[key] = score * t.inv
 	if len(t.scores) > 2*t.cap {
 		t.prune()
 	}
+}
+
+// Decay multiplies every retained score by f ∈ (0,1] in O(1) via the
+// lazy scale accumulator. Decay(1) is an exact no-op; relative order of
+// retained scores never changes, only their weight against future
+// offers.
+func (t *Tracker) Decay(f float64) {
+	if f == 1 {
+		return
+	}
+	t.scale *= f
+	if t.scale < trackerRenormFloor {
+		for k, v := range t.scores {
+			t.scores[k] = v * t.scale
+		}
+		t.scale, t.inv = 1, 1
+		return
+	}
+	t.inv = 1 / t.scale
 }
 
 // Len returns the number of tracked keys.
@@ -136,10 +172,11 @@ func (t *Tracker) Len() int { return len(t.scores) }
 func (t *Tracker) Capacity() int { return t.cap }
 
 // Each invokes fn for every tracked (key, score) entry in unspecified
-// order (serialization and diagnostics; do not mutate during iteration).
+// order, with scores in logical (decayed) units (serialization and
+// diagnostics; do not mutate during iteration).
 func (t *Tracker) Each(fn func(key uint64, score float64)) {
 	for k, s := range t.scores {
-		fn(k, s)
+		fn(k, s*t.scale)
 	}
 }
 
@@ -154,11 +191,15 @@ func (t *Tracker) Keys() []uint64 {
 
 // Top returns the k highest-scored tracked keys, rescored by rescore if
 // non-nil (e.g. the final sketch estimates), in descending order.
+// Without a rescore the retained scores are reported in logical
+// (decayed) units.
 func (t *Tracker) Top(k int, rescore func(uint64) float64) []Item {
 	h := NewHeap(k)
 	for key, sc := range t.scores {
 		if rescore != nil {
 			sc = rescore(key)
+		} else {
+			sc *= t.scale
 		}
 		h.Push(key, sc)
 	}

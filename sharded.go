@@ -23,7 +23,9 @@ var (
 	ErrWarmingUp = shard.ErrWarmingUp
 	// ErrServingClosed: the sharded estimator was closed.
 	ErrServingClosed = shard.ErrClosed
-	// ErrHorizon: ingest would exceed the configured stream length.
+	// ErrHorizon: ingest would exceed the configured stream length
+	// (fixed-horizon mode only; unbounded Window/DecayLambda estimators
+	// never return it).
 	ErrHorizon = shard.ErrHorizon
 )
 
@@ -48,8 +50,9 @@ type ShardedConfig struct {
 	Range int
 	// Alpha is the assumed signal-pair sparsity (default 0.005).
 	Alpha float64
-	// Engine selects the sketching algorithm. Serving requires a
-	// snapshotable engine: EngineASCS (default) or EngineCS.
+	// Engine selects the sketching algorithm. All four engines are
+	// servable (they all snapshot): EngineASCS (default), EngineCS,
+	// EngineASketch, EngineColdFilter.
 	Engine EngineKind
 	// Standardize rescales features to unit variance from the warm-up
 	// prefix (default true, as in Estimator).
@@ -62,6 +65,19 @@ type ShardedConfig struct {
 	TrackCandidates int
 	// Seed makes hashing deterministic (default 1).
 	Seed uint64
+
+	// Window, when positive, serves an *unbounded* stream with a
+	// sliding effective window of that many samples: the engines age
+	// every observation by λ = 1 − 1/Window per step, estimates
+	// approximate the window-weighted mean, stale pairs fall out of
+	// top-k, and Observe never fails with ErrHorizon. Samples is
+	// ignored. Mutually exclusive with DecayLambda.
+	Window int
+	// DecayLambda sets the per-step decay factor λ ∈ (0,1] directly
+	// (the effective window is 1/(1−λ); λ = 1 serves an unbounded
+	// stream with aging disabled, normalized by Samples). Mutually
+	// exclusive with Window.
+	DecayLambda float64
 }
 
 // Sharded is the concurrent, sharded counterpart of Estimator: safe
@@ -83,7 +99,11 @@ func NewSharded(cfg ShardedConfig) (*Sharded, error) {
 	if cfg.Dim < 2 {
 		return nil, fmt.Errorf("ascs: Dim must be ≥ 2, got %d", cfg.Dim)
 	}
-	if cfg.Samples < 4 {
+	// Samples is the normalizer only when neither Window nor a λ<1
+	// DecayLambda supplies one (λ<1 derives it from the effective
+	// window; λ=1 still normalizes by Samples).
+	derivesWindow := cfg.Window > 0 || (cfg.DecayLambda > 0 && cfg.DecayLambda < 1)
+	if !derivesWindow && cfg.Samples < 4 {
 		return nil, fmt.Errorf("ascs: Samples must be ≥ 4, got %d", cfg.Samples)
 	}
 	var kind shard.Kind
@@ -92,8 +112,12 @@ func NewSharded(cfg ShardedConfig) (*Sharded, error) {
 		kind = shard.KindASCS
 	case EngineCS:
 		kind = shard.KindCS
+	case EngineASketch:
+		kind = shard.KindASketch
+	case EngineColdFilter:
+		kind = shard.KindColdFilter
 	default:
-		return nil, fmt.Errorf("ascs: serving requires a snapshotable engine (ASCS or CS), got %v", cfg.Engine)
+		return nil, fmt.Errorf("ascs: unknown serving engine %v", cfg.Engine)
 	}
 	standardize := true
 	if cfg.Standardize != nil {
@@ -112,6 +136,8 @@ func NewSharded(cfg ShardedConfig) (*Sharded, error) {
 		Standardize:     standardize,
 		WarmupFraction:  cfg.WarmupFraction,
 		TrackCandidates: cfg.TrackCandidates,
+		Window:          cfg.Window,
+		Lambda:          cfg.DecayLambda,
 	})
 	if err != nil {
 		return nil, err
@@ -188,6 +214,14 @@ func (s *Sharded) Estimate(a, b int) (float64, error) { return s.m.Estimate(a, b
 
 // Observed returns the number of samples ingested so far.
 func (s *Sharded) Observed() int { return s.m.Step() }
+
+// Unbounded reports whether the estimator serves an unbounded stream
+// (exponential-decay mode; Observe never fails with ErrHorizon).
+func (s *Sharded) Unbounded() bool { return s.m.Unbounded() }
+
+// Window returns the effective sample window of an unbounded estimator
+// (0 in fixed-horizon mode).
+func (s *Sharded) Window() int { return s.m.Window() }
 
 // Warming reports whether the warm-up prefix is still buffering.
 func (s *Sharded) Warming() bool { return s.m.Warming() }

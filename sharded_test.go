@@ -105,3 +105,26 @@ func TestShardedPublicAPI(t *testing.T) {
 		}
 	}
 }
+
+// TestShardedDecayLambdaOnly pins the config fix: DecayLambda in (0,1)
+// derives its own normalizer from the effective window, so Samples may
+// be left zero.
+func TestShardedDecayLambdaOnly(t *testing.T) {
+	sh, err := ascs.NewSharded(ascs.ShardedConfig{
+		Dim: 20, Shards: 2, MemoryFloats: 40_000,
+		Engine: ascs.EngineCS, Standardize: boolPtr(false),
+		DecayLambda: 0.999, // window ≈ 1000, Samples intentionally unset
+	})
+	if err != nil {
+		t.Fatalf("DecayLambda-only config rejected: %v", err)
+	}
+	defer sh.Close()
+	if !sh.Unbounded() || sh.Window() != 1000 {
+		t.Fatalf("unbounded=%v window=%d, want unbounded with window 1000", sh.Unbounded(), sh.Window())
+	}
+	if err := sh.Observe([]int{0, 1}, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func boolPtr(b bool) *bool { return &b }
