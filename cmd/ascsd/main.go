@@ -15,6 +15,12 @@
 // λ-weighted sliding window, and /v1/stats reports window, lambda and
 // n_eff instead of a horizon.
 //
+// -consistency picks the default query lane: "fresh" (queries ride
+// each shard's ingest FIFO and observe every prior batch) or "fast"
+// (bounded priority lane — queries are served ahead of queued ingest
+// batches, bounding p99 under ingest pressure at the cost of bounded
+// staleness). Clients override per request with ?consistency=.
+//
 // The API (see internal/server): POST /v1/ingest, GET /v1/topk,
 // GET /v1/estimate, GET /v1/stats, POST /v1/snapshot, POST /v1/restore.
 // SIGINT/SIGTERM drain in-flight requests, take a final snapshot when a
@@ -53,6 +59,7 @@ func main() {
 		warmup      = flag.Int("warmup", 0, "warm-up prefix samples (default samples/20 when a warm-up is needed)")
 		standardize = flag.Bool("standardize", true, "rescale features to unit variance from the warm-up prefix")
 		track       = flag.Int("track", 1<<14, "retrieval candidates tracked per shard")
+		consistency = flag.String("consistency", "fresh", "default query lane: fresh (queries ride the ingest FIFO, observe every prior batch) or fast (bounded priority lane: bounded tail latency under ingest pressure, bounded staleness); requests override with ?consistency=")
 		queue       = flag.Int("queue", 64, "per-shard ingest queue depth (batches)")
 		flush       = flag.Int("flush", 4096, "ops per routed ingest batch")
 		maxBatch    = flag.Int("max-batch", 4096, "max samples per ingest request")
@@ -70,7 +77,8 @@ func main() {
 		shards: *shards, engine: *engine,
 		tables: *tables, mem: *mem, rng: *rng, alpha: *alpha, warmup: *warmup,
 		standardize: *standardize, track: *track, queue: *queue, flush: *flush,
-		seed: *seed, snapDir: *snapDir, restore: *restore,
+		consistency: *consistency,
+		seed:        *seed, snapDir: *snapDir, restore: *restore,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -100,11 +108,11 @@ func main() {
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	st, _ := mgr.Stats()
 	if mgr.Unbounded() {
-		log.Printf("serving on %s: dim=%d shards=%d engine=%s unbounded window=%d lambda=%.9g step=%d",
-			*addr, mgr.Dim(), st.Shards, st.Engine, mgr.Window(), mgr.DecayFactor(), mgr.Step())
+		log.Printf("serving on %s: dim=%d shards=%d engine=%s unbounded window=%d lambda=%.9g step=%d consistency=%s",
+			*addr, mgr.Dim(), st.Shards, st.Engine, mgr.Window(), mgr.DecayFactor(), mgr.Step(), mgr.QueryConsistency())
 	} else {
-		log.Printf("serving on %s: dim=%d shards=%d engine=%s horizon=%d step=%d",
-			*addr, mgr.Dim(), st.Shards, st.Engine, mgr.Horizon(), mgr.Step())
+		log.Printf("serving on %s: dim=%d shards=%d engine=%s horizon=%d step=%d consistency=%s",
+			*addr, mgr.Dim(), st.Shards, st.Engine, mgr.Horizon(), mgr.Step(), mgr.QueryConsistency())
 	}
 
 	select {
@@ -140,17 +148,34 @@ type managerFlags struct {
 	warmup               int
 	standardize          bool
 	track, queue, flush  int
+	consistency          string
 	seed                 uint64
 	snapDir              string
 	restore              bool
 }
 
 func buildManager(f managerFlags) (*shard.Manager, error) {
+	// Validate the lane before any branch so `-restore -consistency
+	// bogus` fails as fast as the same typo without -restore.
+	lane, err := shard.ParseConsistency(f.consistency)
+	if err != nil {
+		return nil, err
+	}
 	if f.restore {
 		if f.snapDir == "" {
 			return nil, fmt.Errorf("-restore requires -snapshot-dir")
 		}
-		return shard.Restore(f.snapDir)
+		mgr, err := shard.Restore(f.snapDir)
+		if err != nil {
+			return nil, err
+		}
+		// The snapshot records the deployment's default lane; a
+		// differing -consistency cannot silently win or silently lose.
+		if lane != "" && lane != mgr.QueryConsistency() {
+			log.Printf("restored snapshot's default query lane %q overrides -consistency %q (override per request with ?consistency=, or snapshot a deployment started with the desired default)",
+				mgr.QueryConsistency(), lane)
+		}
+		return mgr, nil
 	}
 	if f.dim < 2 {
 		return nil, fmt.Errorf("-dim is required (got %d)", f.dim)
@@ -175,22 +200,23 @@ func buildManager(f managerFlags) (*shard.Manager, error) {
 	// shard.NewFromOptions rules (one derivation for the library, the
 	// daemon, and the benchmark).
 	return shard.NewFromOptions(shard.ServeOptions{
-		Dim:             f.dim,
-		Samples:         f.samples,
-		Window:          f.window,
-		Lambda:          f.decay,
-		Shards:          f.shards,
-		Kind:            kind,
-		Tables:          f.tables,
-		MemoryFloats:    f.mem,
-		Range:           f.rng,
-		Seed:            f.seed,
-		Alpha:           f.alpha,
-		Standardize:     f.standardize,
-		Warmup:          f.warmup,
-		QueueLen:        f.queue,
-		FlushOps:        f.flush,
-		TrackCandidates: f.track,
+		Dim:              f.dim,
+		Samples:          f.samples,
+		Window:           f.window,
+		Lambda:           f.decay,
+		Shards:           f.shards,
+		Kind:             kind,
+		Tables:           f.tables,
+		MemoryFloats:     f.mem,
+		Range:            f.rng,
+		Seed:             f.seed,
+		Alpha:            f.alpha,
+		Standardize:      f.standardize,
+		Warmup:           f.warmup,
+		QueueLen:         f.queue,
+		FlushOps:         f.flush,
+		TrackCandidates:  f.track,
+		QueryConsistency: lane,
 	})
 }
 

@@ -13,7 +13,18 @@
 //	    serving benchmark: for each shard count, start an in-process
 //	    server (real HTTP over a loopback listener), replay the
 //	    stream, and emit a machine-readable baseline so future PRs
-//	    have a number to beat.
+//	    have a number to beat. Unless -mixed=false, the sweep is
+//	    followed by a mixed-workload arm: the same ingest-saturation
+//	    loop with queriers pinned to the fresh lane and then to the
+//	    fast (priority) lane, recording query p50/p99 with the lane
+//	    off vs on.
+//
+// Latency accounting: ingest percentiles are reported both as service
+// time (send → response) and as response time measured from the -qps
+// schedule slot, so a paced run cannot hide client-side backlog behind
+// the pacing sleep (coordinated omission). Query workers count
+// transport errors, non-200s, and warm-up 503s instead of silently
+// dropping them.
 //
 // The sweep records the environment (CPU count) alongside the numbers:
 // shard scaling is a parallel speedup and cannot exceed the core count
@@ -47,22 +58,24 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", "", "target daemon base URL (empty: in-process sweep mode)")
-		sweep     = flag.String("sweep", "1,4,8", "comma-separated shard counts for in-process mode")
-		synthetic = flag.String("synthetic", "simulation", "workload: simulation, gisette, epsilon, cifar10, rcv1, sector")
-		dim       = flag.Int("dim", 160, "feature dimensionality")
-		samples   = flag.Int("samples", 4000, "stream length")
-		batch     = flag.Int("batch", 64, "samples per ingest request")
-		conns     = flag.Int("conns", 4, "concurrent closed-loop ingest connections")
-		qps       = flag.Float64("qps", 0, "target ingest requests/sec across all connections (0 = unpaced)")
-		queriers  = flag.Int("queriers", 2, "concurrent top-k query workers during ingest")
-		topk      = flag.Int("topk", 25, "k for the query workers")
-		engine    = flag.String("engine", "cs", "engine for in-process mode: cs or ascs")
-		window    = flag.Int("window", 0, "serve unbounded with this effective sample window (in-process mode; 0 = fixed horizon)")
-		tables    = flag.Int("tables", 5, "hash tables per shard sketch (in-process mode)")
-		rng       = flag.Int("range", 1<<14, "buckets per table per shard (in-process mode)")
-		seedFlag  = flag.Int64("seed", 42, "workload seed")
-		out       = flag.String("out", "BENCH_server.json", "output report path (in-process mode)")
+		addr        = flag.String("addr", "", "target daemon base URL (empty: in-process sweep mode)")
+		sweep       = flag.String("sweep", "1,4,8", "comma-separated shard counts for in-process mode")
+		synthetic   = flag.String("synthetic", "simulation", "workload: simulation, gisette, epsilon, cifar10, rcv1, sector")
+		dim         = flag.Int("dim", 160, "feature dimensionality")
+		samples     = flag.Int("samples", 4000, "stream length")
+		batch       = flag.Int("batch", 64, "samples per ingest request")
+		conns       = flag.Int("conns", 4, "concurrent closed-loop ingest connections")
+		qps         = flag.Float64("qps", 0, "target ingest requests/sec across all connections (0 = unpaced)")
+		queriers    = flag.Int("queriers", 2, "concurrent top-k query workers during ingest")
+		topk        = flag.Int("topk", 25, "k for the query workers")
+		consistency = flag.String("consistency", "", "query lane the query workers request (?consistency=): fresh, fast, or empty for the server default")
+		mixed       = flag.Bool("mixed", true, "in-process mode: after the sweep, run the mixed ingest-saturation arm twice (query lane fresh vs fast) and record both")
+		engine      = flag.String("engine", "cs", "engine for in-process mode: cs or ascs")
+		window      = flag.Int("window", 0, "serve unbounded with this effective sample window (in-process mode; 0 = fixed horizon)")
+		tables      = flag.Int("tables", 5, "hash tables per shard sketch (in-process mode)")
+		rng         = flag.Int("range", 1<<14, "buckets per table per shard (in-process mode)")
+		seedFlag    = flag.Int64("seed", 42, "workload seed")
+		out         = flag.String("out", "BENCH_server.json", "output report path (in-process mode)")
 	)
 	flag.Parse()
 	log.SetPrefix("ascsload: ")
@@ -70,6 +83,9 @@ func main() {
 
 	if *engine != "cs" && *engine != "ascs" {
 		log.Fatalf("unknown engine %q (want cs or ascs)", *engine)
+	}
+	if _, err := shard.ParseConsistency(*consistency); err != nil {
+		log.Fatal(err)
 	}
 	ds, err := dataset.ByName(*synthetic, dataset.Scale{Dim: *dim, Samples: *samples}, *seedFlag)
 	if err != nil {
@@ -80,6 +96,7 @@ func main() {
 
 	loadCfg := loadConfig{
 		conns: *conns, qps: *qps, queriers: *queriers, topk: *topk,
+		consistency: *consistency,
 	}
 	if *addr != "" {
 		res := runLoad(*addr, work, loadCfg)
@@ -122,6 +139,31 @@ func main() {
 					IngestSpeedup: r.IngestOffersPerSec / base.IngestOffersPerSec,
 				})
 			}
+		}
+	}
+	if *mixed {
+		// Mixed-workload arm: same closed-loop ingest saturation plus
+		// queriers, once per query lane, so BENCH_server.json records
+		// query p99 under ingest pressure with the priority lane off
+		// ("fresh") vs on ("fast") on the same host. Run at the smallest
+		// shard count: fewer shards concentrate the per-shard queue, the
+		// exact regime the lane exists for.
+		mcfg := loadCfg
+		if mcfg.queriers < 1 {
+			mcfg.queriers = 2
+			log.Printf("mixed arm: -queriers %d has no query side to measure; using %d query workers (recorded per run)", loadCfg.queriers, mcfg.queriers)
+		}
+		minShards := shardCounts[0]
+		for _, n := range shardCounts {
+			if n < minShards {
+				minShards = n
+			}
+		}
+		for _, lane := range []string{"fresh", "fast"} {
+			mcfg.consistency = lane
+			res := runInProcess(minShards, *engine, *dim, *tables, *rng, *window, work, mcfg)
+			res.print()
+			report.Mixed = append(report.Mixed, res)
 		}
 	}
 	maxShards := shardCounts[0]
@@ -205,28 +247,57 @@ type loadConfig struct {
 	qps      float64
 	queriers int
 	topk     int
+	// consistency is the lane the query workers request per call
+	// (?consistency=); empty leaves the server default in charge.
+	consistency string
 }
 
-// RunResult is one benchmark run (one shard count).
+// RunResult is one benchmark run (one shard count, one query lane).
 type RunResult struct {
-	Shards              int     `json:"shards"`
+	Shards int `json:"shards"`
+	// QueryConsistency is the lane the query workers requested (empty:
+	// the server default, which is fresh); Queriers is the actual query
+	// worker count of this run — the mixed arm forces it to ≥ 1 even
+	// when -queriers is 0, so the per-run value, not the workload
+	// block's flag value, is what reproduces the run.
+	QueryConsistency    string  `json:"query_consistency,omitempty"`
+	Queriers            int     `json:"queriers"`
 	Transport           string  `json:"transport"`
 	ElapsedSec          float64 `json:"elapsed_sec"`
 	IngestRequests      int     `json:"ingest_requests"`
 	IngestErrors        int     `json:"ingest_errors"`
 	IngestSamplesPerSec float64 `json:"ingest_samples_per_sec"`
 	IngestOffersPerSec  float64 `json:"ingest_offers_per_sec"`
-	IngestP50MS         float64 `json:"ingest_p50_ms"`
-	IngestP99MS         float64 `json:"ingest_p99_ms"`
-	QueryCount          int     `json:"query_count"`
-	QueryP50MS          float64 `json:"query_p50_ms"`
-	QueryP99MS          float64 `json:"query_p99_ms"`
+	// Service time: request send → response, excluding any client-side
+	// wait for the -qps schedule slot.
+	IngestP50MS float64 `json:"ingest_p50_ms"`
+	IngestP99MS float64 `json:"ingest_p99_ms"`
+	// Response time: scheduled slot → response. Under -qps pacing this
+	// includes the backlog a server that falls behind the schedule
+	// pushes onto the client (the coordinated-omission correction);
+	// unpaced closed-loop runs have response == service by definition.
+	IngestRespP50MS float64 `json:"ingest_resp_p50_ms"`
+	IngestRespP99MS float64 `json:"ingest_resp_p99_ms"`
+	QueryCount      int     `json:"query_count"`
+	// QueryErrors counts transport failures and non-200/non-503 query
+	// responses; QueryWarming503 counts warm-up 503s. Neither
+	// contributes a latency sample, so both must be visible — a run
+	// that errored half its queries cannot report a clean p99.
+	QueryErrors     int     `json:"query_errors"`
+	QueryWarming503 int     `json:"query_warming_503"`
+	QueryP50MS      float64 `json:"query_p50_ms"`
+	QueryP99MS      float64 `json:"query_p99_ms"`
 }
 
 func (r RunResult) print() {
-	log.Printf("shards=%d: %.0f samples/s (%.2e offers/s) over %.2fs; ingest p50=%.2fms p99=%.2fms; %d queries p50=%.2fms p99=%.2fms",
-		r.Shards, r.IngestSamplesPerSec, r.IngestOffersPerSec, r.ElapsedSec,
-		r.IngestP50MS, r.IngestP99MS, r.QueryCount, r.QueryP50MS, r.QueryP99MS)
+	lane := r.QueryConsistency
+	if lane == "" {
+		lane = "default"
+	}
+	log.Printf("shards=%d lane=%s: %.0f samples/s (%.2e offers/s) over %.2fs; ingest svc p50=%.2fms p99=%.2fms resp p99=%.2fms; %d queries (%d errs, %d warming) p50=%.2fms p99=%.2fms",
+		r.Shards, lane, r.IngestSamplesPerSec, r.IngestOffersPerSec, r.ElapsedSec,
+		r.IngestP50MS, r.IngestP99MS, r.IngestRespP99MS,
+		r.QueryCount, r.QueryErrors, r.QueryWarming503, r.QueryP50MS, r.QueryP99MS)
 }
 
 // WorkloadInfo, EnvInfo, ScalingEntry, and Report form BENCH_server.json.
@@ -259,11 +330,16 @@ type ScalingEntry struct {
 }
 
 type Report struct {
-	Workload WorkloadInfo   `json:"workload"`
-	Env      EnvInfo        `json:"env"`
-	Runs     []RunResult    `json:"runs"`
-	Scaling  []ScalingEntry `json:"scaling,omitempty"`
-	Notes    string         `json:"notes,omitempty"`
+	Workload WorkloadInfo `json:"workload"`
+	Env      EnvInfo      `json:"env"`
+	Runs     []RunResult  `json:"runs"`
+	// Mixed is the mixed-workload arm: the same ingest-saturation
+	// closed loop with concurrent queriers, once per query lane
+	// (fresh, then fast), quantifying what the priority lane buys the
+	// query tail under ingest pressure.
+	Mixed   []RunResult    `json:"mixed_workload,omitempty"`
+	Scaling []ScalingEntry `json:"scaling,omitempty"`
+	Notes   string         `json:"notes,omitempty"`
 }
 
 func (r *Report) run(shards int) *RunResult {
@@ -314,15 +390,24 @@ func runInProcess(shards int, engine string, dim, tables, rng, window int, work 
 func runLoad(base string, work workload, cfg loadConfig) RunResult {
 	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: cfg.conns + cfg.queriers}}
 	var (
-		next       atomic.Int64
-		errCount   atomic.Int64
-		okSamples  atomic.Int64
-		okOffers   atomic.Uint64
-		ingestLats = make([][]float64, cfg.conns)
-		queryLats  = make([][]float64, cfg.queriers)
-		qCount     atomic.Int64
-		stop       = make(chan struct{})
-		wg, qwg    sync.WaitGroup
+		next      atomic.Int64
+		errCount  atomic.Int64
+		okSamples atomic.Int64
+		okOffers  atomic.Uint64
+		// Per-connection service-time and response-time samples. Service
+		// time starts at the actual send; response time starts at the
+		// -qps schedule slot, so a server that falls behind the schedule
+		// is charged for the client-side backlog instead of hiding it
+		// (the classic coordinated-omission mistake this replaces:
+		// timing from after the pacing sleep).
+		svcLats   = make([][]float64, cfg.conns)
+		respLats  = make([][]float64, cfg.conns)
+		queryLats = make([][]float64, cfg.queriers)
+		qCount    atomic.Int64
+		qErrs     atomic.Int64
+		qWarming  atomic.Int64
+		stop      = make(chan struct{})
+		wg, qwg   sync.WaitGroup
 	)
 	start := time.Now()
 	for c := 0; c < cfg.conns; c++ {
@@ -334,17 +419,21 @@ func runLoad(base string, work workload, cfg loadConfig) RunResult {
 				if int(i) >= len(work.bodies) {
 					return
 				}
+				sent := time.Now()
+				sched := sent
 				if cfg.qps > 0 {
 					// Open-loop pacing on top of the closed loop: request i
-					// is released no earlier than its schedule slot.
-					due := start.Add(time.Duration(float64(i) / cfg.qps * float64(time.Second)))
-					if d := time.Until(due); d > 0 {
+					// is released no earlier than its schedule slot, and
+					// its response time is measured from that slot even
+					// when the loop is already running late.
+					sched = start.Add(time.Duration(float64(i) / cfg.qps * float64(time.Second)))
+					if d := time.Until(sched); d > 0 {
 						time.Sleep(d)
 					}
+					sent = time.Now()
 				}
-				t0 := time.Now()
 				resp, err := client.Post(base+"/v1/ingest", "application/json", bytes.NewReader(work.bodies[i]))
-				lat := time.Since(t0)
+				end := time.Now()
 				if err != nil {
 					errCount.Add(1)
 					continue
@@ -359,7 +448,8 @@ func runLoad(base string, work workload, cfg loadConfig) RunResult {
 				}
 				okSamples.Add(int64(work.sampleCounts[i]))
 				okOffers.Add(work.offerCounts[i])
-				ingestLats[c] = append(ingestLats[c], float64(lat)/float64(time.Millisecond))
+				svcLats[c] = append(svcLats[c], float64(end.Sub(sent))/float64(time.Millisecond))
+				respLats[c] = append(respLats[c], float64(end.Sub(sched))/float64(time.Millisecond))
 			}
 		}(c)
 	}
@@ -368,6 +458,9 @@ func runLoad(base string, work workload, cfg loadConfig) RunResult {
 		go func(q int) {
 			defer qwg.Done()
 			url := fmt.Sprintf("%s/v1/topk?k=%d&magnitude=1", base, cfg.topk)
+			if cfg.consistency != "" {
+				url += "&consistency=" + cfg.consistency
+			}
 			for {
 				select {
 				case <-stop:
@@ -378,14 +471,22 @@ func runLoad(base string, work workload, cfg loadConfig) RunResult {
 				resp, err := client.Get(url)
 				lat := time.Since(t0)
 				if err != nil {
+					qErrs.Add(1)
 					continue
 				}
 				io.Copy(io.Discard, resp.Body)
 				resp.Body.Close()
-				// 503 while warming is expected; count only live queries.
-				if resp.StatusCode == http.StatusOK {
+				// 503 while warming is expected but still counted — a run
+				// that spent half its queries warming must say so; any
+				// other non-200 is an error, not a silently dropped sample.
+				switch resp.StatusCode {
+				case http.StatusOK:
 					queryLats[q] = append(queryLats[q], float64(lat)/float64(time.Millisecond))
 					qCount.Add(1)
+				case http.StatusServiceUnavailable:
+					qWarming.Add(1)
+				default:
+					qErrs.Add(1)
 				}
 			}
 		}(q)
@@ -395,21 +496,27 @@ func runLoad(base string, work workload, cfg loadConfig) RunResult {
 	close(stop)
 	qwg.Wait()
 
-	var ingestAll, queryAll []float64
-	for _, l := range ingestLats {
-		ingestAll = append(ingestAll, l...)
+	var svcAll, respAll, queryAll []float64
+	for c := range svcLats {
+		svcAll = append(svcAll, svcLats[c]...)
+		respAll = append(respAll, respLats[c]...)
 	}
 	for _, l := range queryLats {
 		queryAll = append(queryAll, l...)
 	}
-	sort.Float64s(ingestAll)
+	sort.Float64s(svcAll)
+	sort.Float64s(respAll)
 	sort.Float64s(queryAll)
 	res := RunResult{
-		Transport:      "http",
-		ElapsedSec:     elapsed.Seconds(),
-		IngestRequests: len(work.bodies),
-		IngestErrors:   int(errCount.Load()),
-		QueryCount:     int(qCount.Load()),
+		QueryConsistency: cfg.consistency,
+		Queriers:         cfg.queriers,
+		Transport:        "http",
+		ElapsedSec:       elapsed.Seconds(),
+		IngestRequests:   len(work.bodies),
+		IngestErrors:     int(errCount.Load()),
+		QueryCount:       int(qCount.Load()),
+		QueryErrors:      int(qErrs.Load()),
+		QueryWarming503:  int(qWarming.Load()),
 	}
 	if elapsed > 0 {
 		// Throughput counts only samples the server accepted (200s);
@@ -417,9 +524,11 @@ func runLoad(base string, work workload, cfg loadConfig) RunResult {
 		res.IngestSamplesPerSec = float64(okSamples.Load()) / elapsed.Seconds()
 		res.IngestOffersPerSec = float64(okOffers.Load()) / elapsed.Seconds()
 	}
-	if len(ingestAll) > 0 {
-		res.IngestP50MS = stats.QuantileSorted(ingestAll, 0.5)
-		res.IngestP99MS = stats.QuantileSorted(ingestAll, 0.99)
+	if len(svcAll) > 0 {
+		res.IngestP50MS = stats.QuantileSorted(svcAll, 0.5)
+		res.IngestP99MS = stats.QuantileSorted(svcAll, 0.99)
+		res.IngestRespP50MS = stats.QuantileSorted(respAll, 0.5)
+		res.IngestRespP99MS = stats.QuantileSorted(respAll, 0.99)
 	}
 	if len(queryAll) > 0 {
 		res.QueryP50MS = stats.QuantileSorted(queryAll, 0.5)

@@ -40,24 +40,37 @@ func (em *endpointMetrics) observe(d time.Duration, isErr bool) {
 	em.mu.Unlock()
 }
 
-// EndpointStats is the JSON view of one route's metrics.
+// EndpointStats is the JSON view of one route's metrics. MeanMS, P50MS
+// and P99MS all cover the same window — the last Window requests
+// (Window ≤ 4096) — so they are mutually comparable; LifetimeMeanMS is
+// the only lifetime aggregate, labeled as such. Pre-lane versions
+// reported a lifetime mean next to windowed percentiles under one
+// roof, which made a latency regression invisible until it had paid
+// off the history.
 type EndpointStats struct {
-	Count  uint64  `json:"count"`
-	Errors uint64  `json:"errors"`
-	MeanMS float64 `json:"mean_ms"`
-	P50MS  float64 `json:"p50_ms"`
-	P99MS  float64 `json:"p99_ms"`
+	Count          uint64  `json:"count"`
+	Errors         uint64  `json:"errors"`
+	Window         int     `json:"window"`
+	MeanMS         float64 `json:"mean_ms"`
+	LifetimeMeanMS float64 `json:"lifetime_mean_ms"`
+	P50MS          float64 `json:"p50_ms"`
+	P99MS          float64 `json:"p99_ms"`
 }
 
 func (em *endpointMetrics) snapshot() EndpointStats {
 	em.mu.Lock()
 	defer em.mu.Unlock()
-	st := EndpointStats{Count: em.count, Errors: em.errors}
+	st := EndpointStats{Count: em.count, Errors: em.errors, Window: em.filled}
 	if em.count > 0 {
-		st.MeanMS = em.sumMS / float64(em.count)
+		st.LifetimeMeanMS = em.sumMS / float64(em.count)
 	}
 	if em.filled > 0 {
 		window := append([]float64(nil), em.ring[:em.filled]...)
+		var sum float64
+		for _, v := range window {
+			sum += v
+		}
+		st.MeanMS = sum / float64(em.filled)
 		st.P50MS = stats.Quantile(window, 0.5)
 		st.P99MS = stats.Quantile(window, 0.99)
 	}

@@ -1,0 +1,69 @@
+package server
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestEndpointMetricsWindowed pins the stats-window contract: count and
+// the lifetime mean cover every request, while mean/p50/p99 cover the
+// same last-ringSize window — mixing a lifetime mean with windowed
+// percentiles is the bug this replaces.
+func TestEndpointMetricsWindowed(t *testing.T) {
+	em := &endpointMetrics{}
+	// Partially filled ring first: window == count.
+	for i := 0; i < 10; i++ {
+		em.observe(2*time.Millisecond, false)
+	}
+	st := em.snapshot()
+	if st.Count != 10 || st.Window != 10 {
+		t.Fatalf("partial ring: count=%d window=%d, want 10/10", st.Count, st.Window)
+	}
+	if math.Abs(st.MeanMS-2) > 1e-9 || math.Abs(st.LifetimeMeanMS-2) > 1e-9 {
+		t.Fatalf("partial ring means %v/%v, want 2/2", st.MeanMS, st.LifetimeMeanMS)
+	}
+
+	// Wrap the ring: ringSize slow 10ms observations displace the 2ms
+	// ones entirely, then 100 fast 1ms ones overwrite the oldest slot
+	// range again.
+	for i := 0; i < ringSize; i++ {
+		em.observe(10*time.Millisecond, false)
+	}
+	for i := 0; i < 100; i++ {
+		em.observe(time.Millisecond, true)
+	}
+	st = em.snapshot()
+	wantCount := uint64(10 + ringSize + 100)
+	if st.Count != wantCount || st.Errors != 100 {
+		t.Fatalf("count=%d errors=%d, want %d/100", st.Count, st.Errors, wantCount)
+	}
+	if st.Window != ringSize {
+		t.Fatalf("window=%d after wraparound, want %d", st.Window, ringSize)
+	}
+	// The window holds exactly ringSize-100 tens and 100 ones; the 2ms
+	// prefix must have aged out.
+	wantMean := (float64(ringSize-100)*10 + 100*1) / float64(ringSize)
+	if math.Abs(st.MeanMS-wantMean) > 1e-9 {
+		t.Fatalf("windowed mean %v, want %v", st.MeanMS, wantMean)
+	}
+	wantLifetime := (10*2 + float64(ringSize)*10 + 100*1) / float64(wantCount)
+	if math.Abs(st.LifetimeMeanMS-wantLifetime) > 1e-9 {
+		t.Fatalf("lifetime mean %v, want %v", st.LifetimeMeanMS, wantLifetime)
+	}
+	if st.P50MS != 10 {
+		t.Fatalf("windowed p50 %v, want 10", st.P50MS)
+	}
+	// A lifetime mean would sit near 10 forever; the windowed p99 and
+	// mean must move once the window is dominated by recent samples.
+	for i := 0; i < ringSize; i++ {
+		em.observe(time.Millisecond, false)
+	}
+	st = em.snapshot()
+	if st.MeanMS != 1 || st.P50MS != 1 || st.P99MS != 1 {
+		t.Fatalf("fully recycled window stats mean=%v p50=%v p99=%v, want all 1", st.MeanMS, st.P50MS, st.P99MS)
+	}
+	if st.LifetimeMeanMS <= 1 {
+		t.Fatalf("lifetime mean %v should still carry the slow history", st.LifetimeMeanMS)
+	}
+}

@@ -6,11 +6,18 @@
 // restores round out the crash-recovery story.
 //
 //	POST /v1/ingest    {"samples":[{"idx":[0,3],"val":[1.5,-0.2]}, ...]}
-//	GET  /v1/topk?k=25[&magnitude=1]
-//	GET  /v1/estimate?i=3&j=7
-//	GET  /v1/stats
+//	GET  /v1/topk?k=25[&magnitude=1][&consistency=fresh|fast]
+//	GET  /v1/estimate?i=3&j=7[&consistency=fresh|fast]
+//	GET  /v1/stats[?consistency=fresh|fast]
 //	POST /v1/snapshot  {"dir":"name"}   (optional local name under the configured snapshot dir)
 //	POST /v1/restore   {"dir":"name"}
+//
+// The consistency query parameter overrides the deployment's default
+// query lane per request: "fresh" rides the per-shard ingest FIFO (the
+// answer observes every batch ingested before it, but waits behind the
+// whole queue under ingest pressure), "fast" rides the bounded
+// priority lane (served ahead of queued ingest batches — bounded tail
+// latency, bounded staleness). Snapshots always cut fresh.
 //
 // Restore swaps in a freshly restored manager atomically; requests in
 // flight against the old manager complete (or observe ErrClosed →
@@ -225,6 +232,16 @@ type TopKResponse struct {
 	Pairs []PairJSON `json:"pairs"`
 }
 
+// queryLane parses the optional consistency override ("" = the
+// deployment default lane).
+func queryLane(r *http.Request) (shard.Consistency, error) {
+	c, err := shard.ParseConsistency(r.URL.Query().Get("consistency"))
+	if err != nil {
+		return "", badRequest("%v", err)
+	}
+	return c, nil
+}
+
 func (s *Server) handleTopK(_ http.ResponseWriter, r *http.Request) (any, error) {
 	k := 25
 	if raw := r.URL.Query().Get("k"); raw != "" {
@@ -237,15 +254,16 @@ func (s *Server) handleTopK(_ http.ResponseWriter, r *http.Request) (any, error)
 		}
 		k = v
 	}
+	lane, err := queryLane(r)
+	if err != nil {
+		return nil, err
+	}
 	mgr := s.mgr.Load()
-	var (
-		pairs []shard.PairEstimate
-		err   error
-	)
+	var pairs []shard.PairEstimate
 	if mag := r.URL.Query().Get("magnitude"); mag == "1" || mag == "true" {
-		pairs, err = mgr.TopKMagnitude(k)
+		pairs, err = mgr.TopKMagnitudeC(k, lane)
 	} else {
-		pairs, err = mgr.TopK(k)
+		pairs, err = mgr.TopKC(k, lane)
 	}
 	if err != nil {
 		return nil, err
@@ -272,8 +290,12 @@ func (s *Server) handleEstimate(_ http.ResponseWriter, r *http.Request) (any, er
 	if errI != nil || errJ != nil {
 		return nil, badRequest("estimate needs integer query params i and j")
 	}
+	lane, err := queryLane(r)
+	if err != nil {
+		return nil, err
+	}
 	mgr := s.mgr.Load()
-	est, err := mgr.Estimate(i, j)
+	est, err := mgr.EstimateC(i, j, lane)
 	if err != nil {
 		if errors.Is(err, shard.ErrWarmingUp) || errors.Is(err, shard.ErrClosed) {
 			return nil, err
@@ -290,7 +312,11 @@ type StatsResponse struct {
 }
 
 func (s *Server) handleStats(_ http.ResponseWriter, r *http.Request) (any, error) {
-	st, err := s.mgr.Load().Stats()
+	lane, err := queryLane(r)
+	if err != nil {
+		return nil, err
+	}
+	st, err := s.mgr.Load().StatsC(lane)
 	if err != nil {
 		return nil, err
 	}

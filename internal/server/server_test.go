@@ -121,6 +121,29 @@ func TestServerRoundTrip(t *testing.T) {
 		t.Fatalf("estimate %v != topk estimate %v", est.Estimate, top.Estimate)
 	}
 
+	// Per-request lane overrides: with no ingest in flight both lanes
+	// serve identical answers on every query endpoint.
+	for _, lane := range []string{"fresh", "fast"} {
+		var fest server.EstimateResponse
+		url := fmt.Sprintf("%s/v1/estimate?i=%d&j=%d&consistency=%s", ts.URL, top.A, top.B, lane)
+		if resp := getJSON(t, url, &fest); resp.StatusCode != http.StatusOK {
+			t.Fatalf("estimate consistency=%s status %d", lane, resp.StatusCode)
+		}
+		if fest.Estimate != top.Estimate {
+			t.Fatalf("consistency=%s estimate %v != %v", lane, fest.Estimate, top.Estimate)
+		}
+		var ftop server.TopKResponse
+		if resp := getJSON(t, ts.URL+"/v1/topk?k=10&magnitude=1&consistency="+lane, &ftop); resp.StatusCode != http.StatusOK {
+			t.Fatalf("topk consistency=%s status %d", lane, resp.StatusCode)
+		}
+		if len(ftop.Pairs) != len(before.Pairs) || ftop.Pairs[0] != before.Pairs[0] {
+			t.Fatalf("consistency=%s topk diverges: %+v", lane, ftop.Pairs)
+		}
+		if resp := getJSON(t, ts.URL+"/v1/stats?consistency="+lane, nil); resp.StatusCode != http.StatusOK {
+			t.Fatalf("stats consistency=%s status %d", lane, resp.StatusCode)
+		}
+	}
+
 	resp, body := postJSON(t, ts.URL+"/v1/snapshot", server.SnapshotRequest{Dir: "checkpoint-1"})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("snapshot status %d: %s", resp.StatusCode, body)
@@ -194,6 +217,12 @@ func TestServerStatusMapping(t *testing.T) {
 	}
 	if resp := getJSON(t, ts.URL+"/v1/topk?k=2000000000", nil); resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("huge k: status %d, want 400", resp.StatusCode)
+	}
+	// Unknown query lanes are the client's fault on every endpoint.
+	for _, url := range []string{"/v1/topk?k=5&consistency=eventually", "/v1/estimate?i=0&j=1&consistency=0", "/v1/stats?consistency=slow"} {
+		if resp := getJSON(t, ts.URL+url, nil); resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", url, resp.StatusCode)
+		}
 	}
 	// Malformed samples are the client's fault, not a 500.
 	if resp, _ := postJSON(t, ts.URL+"/v1/ingest", server.IngestRequest{

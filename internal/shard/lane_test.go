@@ -1,0 +1,371 @@
+package shard
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/countsketch"
+	"repro/internal/dataset"
+	"repro/internal/pairs"
+	"repro/internal/stream"
+)
+
+// laneSamples builds n deterministic sparse samples of dimensionality d
+// with 3 nonzeros each, so every sample contributes exactly 3 pair ops.
+func laneSamples(d, n int) []stream.Sample {
+	out := make([]stream.Sample, n)
+	for i := range out {
+		a := i % (d - 2)
+		out[i] = stream.Sample{Idx: []int{a, a + 1, a + 2}, Val: []float64{1, 2, 3}}
+	}
+	return out
+}
+
+// newLaneManager builds a 1-shard CS manager whose route emits one
+// FIFO message per Ingest call (3 ops < FlushOps), so the test can
+// count queued batches exactly.
+func newLaneManager(t *testing.T, lane Consistency) *Manager {
+	t.Helper()
+	m, err := New(Config{
+		Dim: 16,
+		Engine: EngineSpec{
+			Kind:   KindCS,
+			Sketch: countsketch.Config{Tables: 3, Range: 512, Seed: 9},
+			T:      10_000,
+		},
+		QueueLen:         64,
+		FlushOps:         8,
+		QueryConsistency: lane,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	return m
+}
+
+// TestFastLaneJumpsSaturatedQueue is the deterministic priority proof:
+// with the worker gated and its ingest FIFO saturated with queued
+// batches, a fast-lane query is served before any of them, while a
+// fresh query enqueued behind them observes every one. This is the
+// bounded-wait guarantee the lane exists for — without it the query
+// would wait behind up to QueueLen batches.
+func TestFastLaneJumpsSaturatedQueue(t *testing.T) {
+	const queued = 20
+	m := newLaneManager(t, ConsistencyFresh)
+	w := m.workers[0]
+
+	// Gate the worker inside a control message so everything enqueued
+	// next stays queued until the test releases it.
+	gate := make(chan struct{})
+	w.ch <- msg{fn: func() { <-gate }}
+
+	samples := laneSamples(m.cfg.Dim, queued)
+	for i := range samples {
+		if _, _, err := m.Ingest(samples[i : i+1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantOps := uint64(3 * queued)
+
+	// The fast query is enqueued while the FIFO holds all batches; the
+	// fresh query lands on the FIFO after them. Both record the ops the
+	// worker had applied when they ran.
+	fastOps := make(chan uint64, 1)
+	w.qch <- msg{fn: func() { fastOps <- w.ops }}
+	freshOps := make(chan uint64, 1)
+	go func() {
+		if err := m.exec(0, ConsistencyFresh, func(w *worker) { freshOps <- w.ops }); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	close(gate)
+	if got := <-fastOps; got != 0 {
+		t.Fatalf("fast-lane query ran after %d ops; want 0 (served ahead of all queued batches)", got)
+	}
+	if got := <-freshOps; got != wantOps {
+		t.Fatalf("fresh query observed %d ops, want all %d enqueued before it", got, wantOps)
+	}
+	if err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.ops != wantOps {
+		t.Fatalf("worker applied %d ops, want %d", w.ops, wantOps)
+	}
+}
+
+// TestFreshOverrideOnFastDefault pins that a deployment defaulting to
+// the fast lane still honors an explicit fresh override: the fresh
+// query observes every batch enqueued before it even while the FIFO is
+// saturated, and Flush remains a true barrier.
+func TestFreshOverrideOnFastDefault(t *testing.T) {
+	const queued = 12
+	m := newLaneManager(t, ConsistencyFast)
+	w := m.workers[0]
+
+	gate := make(chan struct{})
+	w.ch <- msg{fn: func() { <-gate }}
+	samples := laneSamples(m.cfg.Dim, queued)
+	for i := range samples {
+		if _, _, err := m.Ingest(samples[i : i+1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantOps := uint64(3 * queued)
+
+	type obs struct {
+		ops  uint64
+		lane string
+	}
+	results := make(chan obs, 2)
+	// Default lane (fast) — may legally miss every queued batch.
+	go func() {
+		if err := m.exec(0, m.lane(""), func(w *worker) { results <- obs{w.ops, "fast"} }); err != nil {
+			t.Error(err)
+		}
+	}()
+	// Explicit fresh override — must see all of them.
+	go func() {
+		if err := m.exec(0, m.lane(ConsistencyFresh), func(w *worker) { results <- obs{w.ops, "fresh"} }); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	close(gate)
+	for i := 0; i < 2; i++ {
+		r := <-results
+		if r.lane == "fresh" && r.ops != wantOps {
+			t.Fatalf("fresh override observed %d ops, want %d", r.ops, wantOps)
+		}
+		if r.lane == "fast" && r.ops > wantOps {
+			t.Fatalf("fast query observed %d ops, more than the %d enqueued", r.ops, wantOps)
+		}
+	}
+	if err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.ops != wantOps {
+		t.Fatalf("Flush barrier left %d ops applied, want %d", w.ops, wantOps)
+	}
+}
+
+// TestLaneDoesNotTouchIngestState drives one stream through a
+// fresh-default manager (the pre-lane execution model) and a
+// fast-default manager hammered with fast queries throughout, for both
+// the fixed-horizon and the λ=1 decay execution paths. Every estimate
+// must be bit-identical and Stats must reconcile: the lane changes only
+// what a query waits behind, never the engine state — re-proving the
+// FIFO ordering guarantees (decay ticks on batch boundaries, fresh
+// total order) under the two-channel worker loop. Run with -race this
+// is also the priority-lane concurrency proof.
+func TestLaneDoesNotTouchIngestState(t *testing.T) {
+	const d, T = 30, 600
+	ds := dataset.Simulation(d, T, 0.02, 37)
+	samples := make([]stream.Sample, len(ds.Rows))
+	for i, r := range ds.Rows {
+		samples[i] = stream.FromDense(r)
+	}
+	for _, lambda := range []float64{0, 1} {
+		spec := EngineSpec{
+			Kind:   KindCS,
+			Sketch: countsketch.Config{Tables: 4, Range: 1024, Seed: 31},
+			T:      T,
+			Lambda: lambda,
+		}
+		fresh, err := New(Config{Dim: d, Shards: 2, Engine: spec, FlushOps: 64, TrackCandidates: 1 << 12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := New(Config{Dim: d, Shards: 2, Engine: spec, FlushOps: 64,
+			TrackCandidates: 1 << 12, QueryConsistency: ConsistencyFast})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		stop := make(chan struct{})
+		var qwg sync.WaitGroup
+		for q := 0; q < 2; q++ {
+			qwg.Add(1)
+			go func() {
+				defer qwg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if _, err := fast.TopKMagnitude(5); err != nil {
+						t.Error(err)
+						return
+					}
+					if _, err := fast.EstimateKey(1); err != nil {
+						t.Error(err)
+						return
+					}
+					if _, err := fast.Stats(); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}()
+		}
+		for lo := 0; lo < T; lo += 50 {
+			if _, _, err := fresh.Ingest(samples[lo : lo+50]); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := fast.Ingest(samples[lo : lo+50]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		close(stop)
+		qwg.Wait()
+		if err := fresh.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if err := fast.Flush(); err != nil {
+			t.Fatal(err)
+		}
+
+		for key := uint64(0); key < uint64(pairs.Count(d)); key++ {
+			fe, err := fresh.EstimateKey(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Explicit fresh read from the fast-default manager: post-
+			// Flush both lanes must agree anyway, but the equivalence
+			// claim is about state, not lane timing.
+			ge, err := fast.EstimateKeyC(key, ConsistencyFresh)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Float64bits(fe) != math.Float64bits(ge) {
+				t.Fatalf("λ=%v key %d: fresh-default %v vs fast-default %v", lambda, key, fe, ge)
+			}
+		}
+		fs, err := fresh.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gs, err := fast.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fs.Ops != gs.Ops || fs.Step != gs.Step {
+			t.Fatalf("λ=%v stats diverge: fresh ops=%d step=%d vs fast ops=%d step=%d",
+				lambda, fs.Ops, fs.Step, gs.Ops, gs.Step)
+		}
+		if gs.QueryConsistency != string(ConsistencyFast) || fs.QueryConsistency != string(ConsistencyFresh) {
+			t.Fatalf("stats lanes: fresh=%q fast=%q", fs.QueryConsistency, gs.QueryConsistency)
+		}
+		fresh.Close()
+		fast.Close()
+	}
+}
+
+// TestSnapshotBarrierUnaffectedByLane snapshots a fast-default manager
+// while fast queries are in flight: the cut must still observe every
+// batch ingested before the call (fresh barrier), and the restored
+// manager must keep the lane default and serve identical answers.
+func TestSnapshotBarrierUnaffectedByLane(t *testing.T) {
+	const d, n = 24, 500
+	ds := dataset.Simulation(d, n, 0.03, 41)
+	samples := make([]stream.Sample, len(ds.Rows))
+	for i, r := range ds.Rows {
+		samples[i] = stream.FromDense(r)
+	}
+	m, err := New(Config{
+		Dim: d, Shards: 2,
+		Engine: EngineSpec{
+			Kind:   KindCS,
+			Sketch: countsketch.Config{Tables: 4, Range: 1024, Seed: 43},
+			T:      n,
+		},
+		QueryConsistency: ConsistencyFast,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if _, _, err := m.Ingest(samples); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var qwg sync.WaitGroup
+	qwg.Add(1)
+	go func() {
+		defer qwg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := m.TopKMagnitude(5); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	dir := t.TempDir()
+	if err := m.Snapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	qwg.Wait()
+
+	r, err := Restore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if got := r.QueryConsistency(); got != ConsistencyFast {
+		t.Fatalf("restored lane default = %q, want %q", got, ConsistencyFast)
+	}
+	if r.Step() != n {
+		t.Fatalf("snapshot cut at step %d, want %d (barrier must observe all prior ingest)", r.Step(), n)
+	}
+	want, err := m.TopKMagnitudeC(10, ConsistencyFresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.TopKMagnitude(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("topk[%d] diverges across snapshot/restore: %+v vs %+v", i, want[i], got[i])
+		}
+	}
+}
+
+// TestConsistencyValidation covers the knob's input surface.
+func TestConsistencyValidation(t *testing.T) {
+	if _, err := ParseConsistency("eventually"); err == nil {
+		t.Fatal("ParseConsistency accepted an unknown lane")
+	}
+	for _, ok := range []string{"", "fresh", "fast"} {
+		if _, err := ParseConsistency(ok); err != nil {
+			t.Fatalf("ParseConsistency(%q): %v", ok, err)
+		}
+	}
+	_, err := New(Config{
+		Dim: 8,
+		Engine: EngineSpec{
+			Kind:   KindCS,
+			Sketch: countsketch.Config{Tables: 2, Range: 64, Seed: 1},
+			T:      100,
+		},
+		QueryConsistency: Consistency("eventually"),
+	})
+	if err == nil {
+		t.Fatal("New accepted an unknown QueryConsistency")
+	}
+	if errors.Is(err, ErrClosed) || errors.Is(err, ErrWarmingUp) {
+		t.Fatalf("unexpected sentinel: %v", err)
+	}
+}

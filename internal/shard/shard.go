@@ -24,11 +24,22 @@
 // for the linear CS engine.
 //
 // Queries (point estimate, top-k, stats, snapshot) are closures
-// executed on the owning worker's goroutine via the same FIFO channel,
-// so they observe a consistent engine state without synchronization
-// and are totally ordered with respect to ingest batches. Top-k fans
-// out to all shards and merges the per-shard candidates through one
-// bounded heap.
+// executed on the owning worker's goroutine, so they observe a
+// consistent engine state without synchronization. Each worker owns
+// two channels: the ingest FIFO and a bounded priority lane for
+// read-only query closures. Which lane a query rides is the
+// Consistency knob: ConsistencyFresh sends it down the ingest FIFO —
+// the query observes every batch enqueued before it and is totally
+// ordered with ingest (the classic semantics; Flush, snapshots, and
+// the differential tests always use this lane) — while ConsistencyFast
+// sends it down the priority lane, which the worker drains ahead of
+// queued ingest batches: the query waits only for the message in
+// flight instead of the whole queue, at the cost of bounded staleness
+// (it may miss up to QueueLen enqueued-but-unapplied batches). Both
+// lanes execute on the worker goroutine, so either way a query sees a
+// batch-boundary-consistent engine state and the hot path stays
+// lock-free. Top-k fans out to all shards and merges the per-shard
+// candidates through one bounded heap.
 //
 // # Linearity
 //
@@ -107,6 +118,34 @@ var (
 	ErrInvalidSample = errors.New("shard: invalid sample")
 )
 
+// Consistency selects the lane a query rides to its shard worker.
+type Consistency string
+
+const (
+	// ConsistencyFresh routes the query through the shard's ingest
+	// FIFO: it observes every batch enqueued before it, totally ordered
+	// with ingest. Under ingest pressure it waits behind the whole
+	// queue (up to QueueLen batches). The default.
+	ConsistencyFresh Consistency = "fresh"
+	// ConsistencyFast routes the query down the bounded priority lane:
+	// the worker serves it ahead of queued ingest batches, so it waits
+	// only for the message currently being applied. The price is
+	// bounded staleness — the answer may miss batches that were
+	// enqueued but not yet applied (at most the in-flight queue depth).
+	ConsistencyFast Consistency = "fast"
+)
+
+// ParseConsistency maps the wire/flag form onto a Consistency; the
+// empty string means "use the deployment default".
+func ParseConsistency(s string) (Consistency, error) {
+	switch c := Consistency(s); c {
+	case "", ConsistencyFresh, ConsistencyFast:
+		return c, nil
+	default:
+		return "", fmt.Errorf("shard: unknown consistency %q (want %q or %q)", s, ConsistencyFresh, ConsistencyFast)
+	}
+}
+
 // Config configures a Manager.
 type Config struct {
 	// Dim is the feature dimensionality d. Required.
@@ -139,6 +178,11 @@ type Config struct {
 	// directly (length Dim); used by Restore and by callers that fitted
 	// standardization elsewhere.
 	InvStd []float64
+	// QueryConsistency is the default lane for queries that do not pick
+	// one explicitly (default ConsistencyFresh, the classic FIFO
+	// semantics). Flush, snapshots, and MergedSketch always run fresh
+	// regardless — they are barriers, not queries.
+	QueryConsistency Consistency
 }
 
 func (c *Config) fill() error {
@@ -169,6 +213,12 @@ func (c *Config) fill() error {
 	if c.InvStd != nil && len(c.InvStd) != c.Dim {
 		return fmt.Errorf("shard: InvStd has length %d, want %d", len(c.InvStd), c.Dim)
 	}
+	if c.QueryConsistency == "" {
+		c.QueryConsistency = ConsistencyFresh
+	}
+	if _, err := ParseConsistency(string(c.QueryConsistency)); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -179,19 +229,26 @@ type op struct {
 	x   float64
 }
 
-// msg is the single FIFO unit consumed by a worker: either an ingest
-// batch (ops) or a control/query closure (fn). One channel for both is
-// what makes queries and snapshots totally ordered with ingest.
+// msg is the unit consumed by a worker: either an ingest batch (ops)
+// or a control/query closure (fn). The ingest FIFO carries both kinds
+// — one ordered channel is what makes fresh queries and snapshots
+// totally ordered with ingest; the priority lane carries closures only.
 type msg struct {
 	ops []op
 	fn  func()
 }
 
-// worker owns one engine. All fields below ch are touched only by the
+// worker owns one engine. All fields below qch are touched only by the
 // worker goroutine (or inside closures it executes) — never locked.
 type worker struct {
-	id    int
-	ch    chan msg
+	id int
+	// ch is the ingest FIFO: batches plus fresh-lane closures, applied
+	// strictly in enqueue order.
+	ch chan msg
+	// qch is the bounded priority lane: query closures the run loop
+	// drains ahead of queued ingest batches, so a fast-lane query's
+	// wait is the message in flight, not the queue depth.
+	qch   chan msg
 	eng   sketchapi.Snapshotter
 	fast  sketchapi.OfferEstimator // non-nil when eng supports the fused path
 	track *topk.Tracker
@@ -223,12 +280,56 @@ func (w *worker) beginStep(t int) {
 
 func (w *worker) run(wg *sync.WaitGroup) {
 	defer wg.Done()
-	for m := range w.ch {
-		if m.fn != nil {
-			m.fn()
-			continue
+	// Local copies go nil once their channel closes and drains; a nil
+	// channel blocks its select case, which is exactly the retirement
+	// semantics wanted here.
+	ch, qch := w.ch, w.qch
+	for ch != nil || qch != nil {
+		// Priority pass: serve the fast-lane queries already queued at
+		// the pass start before the next ingest FIFO message. Queries
+		// and batches alike run on this goroutine, so both lanes observe
+		// batch-boundary-consistent engine state; the lanes differ only
+		// in what a query waits behind. The pass is bounded by the
+		// backlog sampled once — queries arriving mid-pass wait for the
+		// next message boundary — so a sustained stream of fast queries
+		// cannot starve ingest: at least one FIFO message progresses
+		// between passes.
+	drain:
+		for n := len(qch); qch != nil && n > 0; n-- {
+			select {
+			case m, ok := <-qch:
+				if !ok {
+					qch = nil
+				} else {
+					m.fn()
+				}
+			default:
+				break drain
+			}
 		}
-		w.apply(m.ops)
+		if ch == nil && qch == nil {
+			// The pass may have retired the last live channel; reaching
+			// the select below with both nil would block forever.
+			break
+		}
+		select {
+		case m, ok := <-ch:
+			if !ok {
+				ch = nil
+				continue
+			}
+			if m.fn != nil {
+				m.fn()
+				continue
+			}
+			w.apply(m.ops)
+		case m, ok := <-qch:
+			if !ok {
+				qch = nil
+				continue
+			}
+			m.fn()
+		}
 	}
 }
 
@@ -369,6 +470,7 @@ func (m *Manager) start(spec EngineSpec) error {
 		w := &worker{
 			id:     i,
 			ch:     make(chan msg, m.cfg.QueueLen),
+			qch:    make(chan msg, m.cfg.QueueLen),
 			eng:    eng,
 			track:  topk.NewTracker(m.cfg.TrackCandidates),
 			lambda: spec.Lambda,
@@ -604,9 +706,23 @@ func (m *Manager) route(samples []stream.Sample, base int) {
 	}
 }
 
-// exec runs fn on the shard's worker goroutine and waits for it. FIFO
-// channel order means fn observes every batch enqueued before it.
-func (m *Manager) exec(sh int, fn func(w *worker)) error {
+// lane resolves a per-call consistency override against the deployment
+// default (empty override → Config.QueryConsistency, itself defaulted
+// to fresh by fill).
+func (m *Manager) lane(c Consistency) Consistency {
+	if c == "" {
+		return m.cfg.QueryConsistency
+	}
+	return c
+}
+
+// QueryConsistency returns the deployment's default query lane.
+func (m *Manager) QueryConsistency() Consistency { return m.cfg.QueryConsistency }
+
+// exec runs fn on the shard's worker goroutine and waits for it. On the
+// fresh lane FIFO order means fn observes every batch enqueued before
+// it; on the fast lane the worker serves fn ahead of queued batches.
+func (m *Manager) exec(sh int, c Consistency, fn func(w *worker)) error {
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
@@ -621,10 +737,15 @@ func (m *Manager) exec(sh int, fn func(w *worker)) error {
 	defer m.sendWG.Done()
 	done := make(chan struct{})
 	w := m.workers[sh]
-	w.ch <- msg{fn: func() {
+	wrapped := msg{fn: func() {
 		fn(w)
 		close(done)
 	}}
+	if c == ConsistencyFast {
+		w.qch <- wrapped
+	} else {
+		w.ch <- wrapped
+	}
 	<-done
 	return nil
 }
@@ -632,14 +753,14 @@ func (m *Manager) exec(sh int, fn func(w *worker)) error {
 // execAll runs fn concurrently on every worker and waits for all. exec
 // errors are lifecycle states shared by every shard (closed, warming),
 // so the first one stands for all of them.
-func (m *Manager) execAll(fn func(w *worker)) error {
+func (m *Manager) execAll(c Consistency, fn func(w *worker)) error {
 	errs := make([]error, m.cfg.Shards)
 	var wg sync.WaitGroup
 	wg.Add(m.cfg.Shards)
 	for i := 0; i < m.cfg.Shards; i++ {
 		go func(i int) {
 			defer wg.Done()
-			errs[i] = m.exec(i, fn)
+			errs[i] = m.exec(i, c, fn)
 		}(i)
 	}
 	wg.Wait()
@@ -653,31 +774,44 @@ func (m *Manager) execAll(fn func(w *worker)) error {
 
 // Flush blocks until every shard has applied all ingest enqueued before
 // the call (a per-shard barrier, used before snapshots and by tests).
+// It always rides the fresh lane — a barrier that could jump the queue
+// would not be one.
 func (m *Manager) Flush() error {
-	return m.execAll(func(*worker) {})
+	return m.execAll(ConsistencyFresh, func(*worker) {})
 }
 
 // EstimateKey returns the current estimate for a pair key, answered by
-// the owning shard (scaled by t/T before the stream completes, exactly
-// as in the batch pipeline).
+// the owning shard on the deployment's default lane (scaled by t/T
+// before the stream completes, exactly as in the batch pipeline).
 func (m *Manager) EstimateKey(key uint64) (float64, error) {
+	return m.EstimateKeyC(key, "")
+}
+
+// EstimateKeyC is EstimateKey on an explicit lane (empty = default).
+func (m *Manager) EstimateKeyC(key uint64, c Consistency) (float64, error) {
 	if key >= uint64(pairs.Count(m.cfg.Dim)) {
 		return 0, fmt.Errorf("shard: key %d out of range for Dim=%d", key, m.cfg.Dim)
 	}
 	var est float64
-	err := m.exec(m.shardOf(key), func(w *worker) { est = w.eng.Estimate(key) })
+	err := m.exec(m.shardOf(key), m.lane(c), func(w *worker) { est = w.eng.Estimate(key) })
 	return est, err
 }
 
-// Estimate returns the current estimate for the feature pair (a, b).
+// Estimate returns the current estimate for the feature pair (a, b) on
+// the deployment's default lane.
 func (m *Manager) Estimate(a, b int) (float64, error) {
+	return m.EstimateC(a, b, "")
+}
+
+// EstimateC is Estimate on an explicit lane (empty = default).
+func (m *Manager) EstimateC(a, b int, c Consistency) (float64, error) {
 	if a > b {
 		a, b = b, a
 	}
 	if a < 0 || a == b || b >= m.cfg.Dim {
 		return 0, fmt.Errorf("shard: invalid pair (%d,%d) for Dim=%d", a, b, m.cfg.Dim)
 	}
-	return m.EstimateKey(pairs.Key(a, b, m.cfg.Dim))
+	return m.EstimateKeyC(pairs.Key(a, b, m.cfg.Dim), c)
 }
 
 // PairEstimate is one retrieved pair with its estimated mean.
@@ -688,24 +822,35 @@ type PairEstimate struct {
 }
 
 // TopK returns the k pairs with the largest (signed) estimates,
-// fanning the query out to every shard and merging the candidates.
+// fanning the query out to every shard on the deployment's default
+// lane and merging the candidates.
 func (m *Manager) TopK(k int) ([]PairEstimate, error) {
-	return m.topK(k, func(v float64) float64 { return v })
+	return m.TopKC(k, "")
+}
+
+// TopKC is TopK on an explicit lane (empty = default).
+func (m *Manager) TopKC(k int, c Consistency) ([]PairEstimate, error) {
+	return m.topK(k, c, func(v float64) float64 { return v })
 }
 
 // TopKMagnitude ranks by |estimate| so strong negative correlations
 // surface alongside positive ones.
 func (m *Manager) TopKMagnitude(k int) ([]PairEstimate, error) {
-	return m.topK(k, math.Abs)
+	return m.TopKMagnitudeC(k, "")
 }
 
-func (m *Manager) topK(k int, rank func(float64) float64) ([]PairEstimate, error) {
+// TopKMagnitudeC is TopKMagnitude on an explicit lane (empty = default).
+func (m *Manager) TopKMagnitudeC(k int, c Consistency) ([]PairEstimate, error) {
+	return m.topK(k, c, math.Abs)
+}
+
+func (m *Manager) topK(k int, c Consistency, rank func(float64) float64) ([]PairEstimate, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("shard: k must be ≥ 1")
 	}
 	locals := make([][]kv, m.cfg.Shards)
 	var mu sync.Mutex
-	err := m.execAll(func(w *worker) {
+	err := m.execAll(m.lane(c), func(w *worker) {
 		l := w.localTop(k, rank)
 		mu.Lock()
 		locals[w.id] = l
@@ -752,7 +897,9 @@ func (m *Manager) MergedSketch() (*countsketch.Sketch, error) {
 	}
 	clones := make([]*countsketch.Sketch, m.cfg.Shards)
 	var mu sync.Mutex
-	err := m.execAll(func(w *worker) {
+	// Always fresh: the merge is an equivalence artifact (tests, tools),
+	// and its contract is "every batch enqueued before the call".
+	err := m.execAll(ConsistencyFresh, func(w *worker) {
 		c := w.eng.(sketcher).Sketch().Clone()
 		c.Renormalize()
 		mu.Lock()
@@ -780,6 +927,9 @@ type ShardStats struct {
 	Bytes   int    `json:"bytes"`
 	Tracked int    `json:"tracked"`
 	Queue   int    `json:"queue"`
+	// FastQueue is the priority-lane backlog (queries waiting to jump
+	// the ingest FIFO).
+	FastQueue int `json:"fast_queue,omitempty"`
 	// NEff is the shard engine's effective sample count (decay mode;
 	// saturates at the window W as the stream runs on).
 	NEff float64 `json:"n_eff,omitempty"`
@@ -797,25 +947,35 @@ type Stats struct {
 	Window    int     `json:"window,omitempty"`
 	Lambda    float64 `json:"lambda,omitempty"`
 	// NEff is the largest per-shard effective sample count (decay mode).
-	NEff     float64      `json:"n_eff,omitempty"`
-	Step     int          `json:"step"`
-	Warming  bool         `json:"warming"`
-	Engine   string       `json:"engine"`
-	Ops      uint64       `json:"ops"`
-	Bytes    int          `json:"bytes"`
-	PerShard []ShardStats `json:"per_shard,omitempty"`
+	NEff    float64 `json:"n_eff,omitempty"`
+	Step    int     `json:"step"`
+	Warming bool    `json:"warming"`
+	Engine  string  `json:"engine"`
+	// QueryConsistency is the deployment's default query lane
+	// ("fresh" or "fast"); per-request overrides are not reflected here.
+	QueryConsistency string       `json:"query_consistency"`
+	Ops              uint64       `json:"ops"`
+	Bytes            int          `json:"bytes"`
+	PerShard         []ShardStats `json:"per_shard,omitempty"`
 }
 
-// Stats reports ingest progress and per-shard engine state. It is
-// answerable during warm-up (with zeroed shard entries).
+// Stats reports ingest progress and per-shard engine state on the
+// deployment's default lane. It is answerable during warm-up (with
+// zeroed shard entries).
 func (m *Manager) Stats() (Stats, error) {
+	return m.StatsC("")
+}
+
+// StatsC is Stats on an explicit lane (empty = default).
+func (m *Manager) StatsC(c Consistency) (Stats, error) {
 	m.mu.Lock()
 	st := Stats{
-		Dim:     m.cfg.Dim,
-		Shards:  m.cfg.Shards,
-		Step:    m.t,
-		Warming: m.warming,
-		Engine:  string(m.cfg.Engine.Kind),
+		Dim:              m.cfg.Dim,
+		Shards:           m.cfg.Shards,
+		Step:             m.t,
+		Warming:          m.warming,
+		Engine:           string(m.cfg.Engine.Kind),
+		QueryConsistency: string(m.cfg.QueryConsistency),
 	}
 	if m.cfg.Engine.decaying() {
 		st.Unbounded = true
@@ -832,15 +992,16 @@ func (m *Manager) Stats() (Stats, error) {
 	m.mu.Unlock()
 	per := make([]ShardStats, m.cfg.Shards)
 	var mu sync.Mutex
-	err := m.execAll(func(w *worker) {
+	err := m.execAll(m.lane(c), func(w *worker) {
 		s := ShardStats{
-			Shard:   w.id,
-			Engine:  w.eng.Name(),
-			Step:    w.lastT,
-			Ops:     w.ops,
-			Bytes:   w.eng.Bytes(),
-			Tracked: w.track.Len(),
-			Queue:   len(w.ch),
+			Shard:     w.id,
+			Engine:    w.eng.Name(),
+			Step:      w.lastT,
+			Ops:       w.ops,
+			Bytes:     w.eng.Bytes(),
+			Tracked:   w.track.Len(),
+			Queue:     len(w.ch),
+			FastQueue: len(w.qch),
 		}
 		if d, ok := w.eng.(sketchapi.Decayer); ok && d.Decaying() {
 			s.NEff = d.EffectiveSamples()
@@ -876,6 +1037,7 @@ func (m *Manager) Close() error {
 	m.sendWG.Wait()
 	for _, w := range m.workers {
 		close(w.ch)
+		close(w.qch)
 	}
 	m.workerWG.Wait()
 	return nil

@@ -68,6 +68,10 @@ type manifest struct {
 	TrackCandidates int        `json:"track_candidates"`
 	InvStd          []float64  `json:"inv_std,omitempty"`
 	Engine          EngineSpec `json:"engine"`
+	// QueryConsistency is the deployment's default query lane; absent
+	// in pre-lane snapshots, which restore as "fresh" (the semantics
+	// they were written under).
+	QueryConsistency Consistency `json:"query_consistency,omitempty"`
 }
 
 func shardFileName(dir string, shard int, id uint64) string {
@@ -96,16 +100,17 @@ func (m *Manager) Snapshot(dir string) error {
 	// (queries keep flowing — only the snapshot waits).
 	m.awaitReplay()
 	man := manifest{
-		Version:         manifestVersion,
-		Dim:             m.cfg.Dim,
-		Shards:          m.cfg.Shards,
-		Step:            m.t,
-		Alpha:           m.cfg.Alpha,
-		QueueLen:        m.cfg.QueueLen,
-		FlushOps:        m.cfg.FlushOps,
-		TrackCandidates: m.cfg.TrackCandidates,
-		InvStd:          m.invStd,
-		Engine:          m.spec,
+		Version:          manifestVersion,
+		Dim:              m.cfg.Dim,
+		Shards:           m.cfg.Shards,
+		Step:             m.t,
+		Alpha:            m.cfg.Alpha,
+		QueueLen:         m.cfg.QueueLen,
+		FlushOps:         m.cfg.FlushOps,
+		TrackCandidates:  m.cfg.TrackCandidates,
+		InvStd:           m.invStd,
+		Engine:           m.spec,
+		QueryConsistency: m.cfg.QueryConsistency,
 	}
 	if m.spec.decaying() {
 		man.Version = manifestVersionV2
@@ -113,7 +118,10 @@ func (m *Manager) Snapshot(dir string) error {
 	m.mu.Unlock()
 	man.SnapshotID = uint64(time.Now().UnixNano())
 	werrs := make([]error, m.cfg.Shards)
-	err := m.execAll(func(w *worker) {
+	// The snapshot cut must ride the ingest FIFO (fresh lane) so it
+	// observes every batch enqueued before the call, whatever the
+	// deployment's default query lane is.
+	err := m.execAll(ConsistencyFresh, func(w *worker) {
 		// File IO runs on the worker goroutine: it owns the engine, and
 		// stalling one shard's queue briefly is the price of a
 		// lock-free hot path. Each closure writes its own slot.
@@ -266,14 +274,15 @@ func Restore(dir string) (*Manager, error) {
 		return nil, fmt.Errorf("shard: v2 snapshot manifest without decay state")
 	}
 	cfg := Config{
-		Dim:             man.Dim,
-		Shards:          man.Shards,
-		Engine:          man.Engine,
-		Alpha:           man.Alpha,
-		QueueLen:        man.QueueLen,
-		FlushOps:        man.FlushOps,
-		TrackCandidates: man.TrackCandidates,
-		InvStd:          man.InvStd,
+		Dim:              man.Dim,
+		Shards:           man.Shards,
+		Engine:           man.Engine,
+		Alpha:            man.Alpha,
+		QueueLen:         man.QueueLen,
+		FlushOps:         man.FlushOps,
+		TrackCandidates:  man.TrackCandidates,
+		InvStd:           man.InvStd,
+		QueryConsistency: man.QueryConsistency,
 	}
 	if err := cfg.fill(); err != nil {
 		return nil, err
@@ -291,6 +300,7 @@ func Restore(dir string) (*Manager, error) {
 		}
 		w.id = i
 		w.ch = make(chan msg, cfg.QueueLen)
+		w.qch = make(chan msg, cfg.QueueLen)
 		w.lambda = cfg.Engine.Lambda
 		workers[i] = w
 		// Under concurrent ingest the manifest step is captured before

@@ -215,6 +215,12 @@ type ServeOptions struct {
 	QueueLen, FlushOps int
 	// OneSided selects the one-sided ASCS gate.
 	OneSided bool
+	// QueryConsistency is the default query lane: ConsistencyFresh
+	// (queries ride the ingest FIFO and observe every prior batch — the
+	// default) or ConsistencyFast (bounded priority lane: queries jump
+	// queued ingest batches for bounded tail latency at the cost of
+	// bounded staleness). Per-query overrides are available either way.
+	QueryConsistency Consistency
 
 	// Window, when positive, serves an unbounded stream with a sliding
 	// effective window of that many samples: λ = 1 − 1/Window, the
@@ -317,12 +323,13 @@ func NewFromOptions(o ServeOptions) (*Manager, error) {
 			OneSided: o.OneSided,
 			Lambda:   o.Lambda,
 		},
-		Warmup:          warm,
-		Alpha:           o.Alpha,
-		Standardize:     o.Standardize,
-		QueueLen:        o.QueueLen,
-		FlushOps:        o.FlushOps,
-		TrackCandidates: o.TrackCandidates,
+		Warmup:           warm,
+		Alpha:            o.Alpha,
+		Standardize:      o.Standardize,
+		QueueLen:         o.QueueLen,
+		FlushOps:         o.FlushOps,
+		TrackCandidates:  o.TrackCandidates,
+		QueryConsistency: o.QueryConsistency,
 	})
 }
 

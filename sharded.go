@@ -15,6 +15,21 @@ type (
 	ServingStats = shard.Stats
 	// ShardStats describes one shard worker inside ServingStats.
 	ShardStats = shard.ShardStats
+	// Consistency selects the lane a query rides: ConsistencyFresh or
+	// ConsistencyFast.
+	Consistency = shard.Consistency
+)
+
+// Query lanes for ShardedConfig.QueryConsistency and the *C query
+// variants.
+const (
+	// ConsistencyFresh: queries ride the ingest FIFO and observe every
+	// batch ingested before them (the default).
+	ConsistencyFresh = shard.ConsistencyFresh
+	// ConsistencyFast: queries ride a bounded priority lane, served
+	// ahead of queued ingest batches — bounded tail latency under
+	// ingest pressure, bounded staleness (at most the in-flight queue).
+	ConsistencyFast = shard.ConsistencyFast
 )
 
 // Serving-layer sentinel errors (match with errors.Is).
@@ -78,6 +93,14 @@ type ShardedConfig struct {
 	// stream with aging disabled, normalized by Samples). Mutually
 	// exclusive with Window.
 	DecayLambda float64
+
+	// QueryConsistency is the default query lane (ConsistencyFresh
+	// when empty). ConsistencyFast bounds query tail latency under
+	// ingest pressure: queries are served ahead of queued ingest
+	// batches instead of waiting behind the whole per-shard queue, and
+	// may miss at most the batches still in that queue. The *C query
+	// variants override it per call.
+	QueryConsistency Consistency
 }
 
 // Sharded is the concurrent, sharded counterpart of Estimator: safe
@@ -124,20 +147,21 @@ func NewSharded(cfg ShardedConfig) (*Sharded, error) {
 		standardize = *cfg.Standardize
 	}
 	m, err := shard.NewFromOptions(shard.ServeOptions{
-		Dim:             cfg.Dim,
-		Samples:         cfg.Samples,
-		Shards:          cfg.Shards,
-		Kind:            kind,
-		Tables:          cfg.Tables,
-		MemoryFloats:    cfg.MemoryFloats,
-		Range:           cfg.Range,
-		Seed:            cfg.Seed,
-		Alpha:           cfg.Alpha,
-		Standardize:     standardize,
-		WarmupFraction:  cfg.WarmupFraction,
-		TrackCandidates: cfg.TrackCandidates,
-		Window:          cfg.Window,
-		Lambda:          cfg.DecayLambda,
+		Dim:              cfg.Dim,
+		Samples:          cfg.Samples,
+		Shards:           cfg.Shards,
+		Kind:             kind,
+		Tables:           cfg.Tables,
+		MemoryFloats:     cfg.MemoryFloats,
+		Range:            cfg.Range,
+		Seed:             cfg.Seed,
+		Alpha:            cfg.Alpha,
+		Standardize:      standardize,
+		WarmupFraction:   cfg.WarmupFraction,
+		TrackCandidates:  cfg.TrackCandidates,
+		Window:           cfg.Window,
+		Lambda:           cfg.DecayLambda,
+		QueryConsistency: cfg.QueryConsistency,
 	})
 	if err != nil {
 		return nil, err
@@ -187,14 +211,24 @@ func (s *Sharded) ObserveBatch(batch []Sample) error {
 }
 
 // Top returns the k pairs with the largest estimates (ErrWarmingUp
-// before the warm-up prefix completes).
+// before the warm-up prefix completes), on the configured default lane.
 func (s *Sharded) Top(k int) ([]Pair, error) {
 	return s.pairs(s.m.TopK(k))
+}
+
+// TopC is Top on an explicit query lane (empty = configured default).
+func (s *Sharded) TopC(k int, c Consistency) ([]Pair, error) {
+	return s.pairs(s.m.TopKC(k, c))
 }
 
 // TopMagnitude returns the k pairs with the largest |estimate|.
 func (s *Sharded) TopMagnitude(k int) ([]Pair, error) {
 	return s.pairs(s.m.TopKMagnitude(k))
+}
+
+// TopMagnitudeC is TopMagnitude on an explicit query lane.
+func (s *Sharded) TopMagnitudeC(k int, c Consistency) ([]Pair, error) {
+	return s.pairs(s.m.TopKMagnitudeC(k, c))
 }
 
 func (s *Sharded) pairs(ps []shard.PairEstimate, err error) ([]Pair, error) {
@@ -209,8 +243,13 @@ func (s *Sharded) pairs(ps []shard.PairEstimate, err error) ([]Pair, error) {
 }
 
 // Estimate returns the current estimate for the pair (a, b), scaled by
-// t/T before the stream completes.
+// t/T before the stream completes, on the configured default lane.
 func (s *Sharded) Estimate(a, b int) (float64, error) { return s.m.Estimate(a, b) }
+
+// EstimateC is Estimate on an explicit query lane (empty = default).
+func (s *Sharded) EstimateC(a, b int, c Consistency) (float64, error) {
+	return s.m.EstimateC(a, b, c)
+}
 
 // Observed returns the number of samples ingested so far.
 func (s *Sharded) Observed() int { return s.m.Step() }
@@ -226,8 +265,14 @@ func (s *Sharded) Window() int { return s.m.Window() }
 // Warming reports whether the warm-up prefix is still buffering.
 func (s *Sharded) Warming() bool { return s.m.Warming() }
 
-// Stats reports ingest progress and per-shard engine state.
+// Stats reports ingest progress and per-shard engine state on the
+// configured default lane.
 func (s *Sharded) Stats() (ServingStats, error) { return s.m.Stats() }
+
+// StatsC is Stats on an explicit query lane (empty = default) — e.g. a
+// fresh-ordered read that observes every batch ingested before it even
+// on a fast-default deployment.
+func (s *Sharded) StatsC(c Consistency) (ServingStats, error) { return s.m.StatsC(c) }
 
 // Snapshot checkpoints all shards into dir (observing every batch
 // ingested before the call); RestoreSharded resumes from it.

@@ -78,12 +78,33 @@ func TestShardedPublicAPI(t *testing.T) {
 		t.Fatalf("Estimate %v != retrieval estimate %v", est, top[0].Estimate)
 	}
 
+	// With no ingest in flight both query lanes serve identical answers.
+	for _, lane := range []ascs.Consistency{ascs.ConsistencyFresh, ascs.ConsistencyFast} {
+		lest, err := sh.EstimateC(top[0].A, top[0].B, lane)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lest != est {
+			t.Fatalf("EstimateC(%s) = %v, want %v", lane, lest, est)
+		}
+		ltop, err := sh.TopMagnitudeC(10, lane)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ltop) != len(top) || ltop[0] != top[0] {
+			t.Fatalf("TopMagnitudeC(%s) diverges: %+v", lane, ltop[0])
+		}
+	}
+
 	st, err := sh.Stats()
 	if err != nil {
 		t.Fatal(err)
 	}
 	if st.Shards != 4 || st.Step != n || st.Ops == 0 {
 		t.Fatalf("stats %+v", st)
+	}
+	if st.QueryConsistency != string(ascs.ConsistencyFresh) {
+		t.Fatalf("default query lane = %q, want fresh", st.QueryConsistency)
 	}
 
 	dir := t.TempDir()
