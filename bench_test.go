@@ -292,7 +292,7 @@ const benchKeys = 1024
 // throughput numbers measure: ASCS in its sampling phase with a primed
 // working set every offer of which passes the τ gate (the tracked,
 // admitted-pair hot path), or vanilla CS when schedule is false.
-func newSamplingMeanSketch(b *testing.B, schedule bool) *ascs.MeanSketch {
+func newSamplingMeanSketch(b testing.TB, schedule bool) *ascs.MeanSketch {
 	b.Helper()
 	cfg := ascs.MeanConfig{Tables: 5, Range: 1 << 14, Samples: 1 << 30, Seed: 1}
 	if schedule {
@@ -348,12 +348,27 @@ func benchIngestOfferEstimate(b *testing.B, schedule bool) {
 }
 
 // BenchmarkIngestOfferPairs* adds batching on top of the fused path:
-// one interface call per chunk of pairs instead of one per pair.
-func BenchmarkIngestOfferPairsASCS(b *testing.B) { benchIngestOfferPairs(b, true) }
-func BenchmarkIngestOfferPairsCS(b *testing.B)   { benchIngestOfferPairs(b, false) }
+// one interface call per chunk of pairs instead of one per pair (wave
+// group pinned to 1 — the scalar batch loop, the pre-wave number).
+func BenchmarkIngestOfferPairsASCS(b *testing.B) { benchIngestOfferPairs(b, true, 1) }
+func BenchmarkIngestOfferPairsCS(b *testing.B)   { benchIngestOfferPairs(b, false, 1) }
 
-func benchIngestOfferPairs(b *testing.B, schedule bool) {
+// BenchmarkIngestOfferPairsWave* is the wave-pipelined group path at
+// the default group size: group hashing, touch/prefetch of the K·G
+// cells so their misses overlap, gather, gate/scatter. At this
+// cache-resident record config the win over the scalar batch loop is
+// modest; the range sweep in cmd/ascsbench shows the DRAM-resident
+// regime the pipeline exists for.
+func BenchmarkIngestOfferPairsWaveASCS(b *testing.B) { benchIngestOfferPairs(b, true, 0) }
+func BenchmarkIngestOfferPairsWaveCS(b *testing.B)   { benchIngestOfferPairs(b, false, 0) }
+
+// benchIngestOfferPairs measures OfferPairs with the given wave group
+// (0 = default wave group, 1 = scalar batch loop).
+func benchIngestOfferPairs(b *testing.B, schedule bool, group int) {
 	ms := newSamplingMeanSketch(b, schedule)
+	if group > 0 {
+		ms.SetWaveGroup(group)
+	}
 	const chunk = 512
 	// The chunks walk the full primed working set so the cache footprint
 	// matches the per-call and OfferEstimate arms exactly.
@@ -377,6 +392,76 @@ func benchIngestOfferPairs(b *testing.B, schedule bool) {
 		}
 		ms.OfferPairs(keys[pos:pos+n], xs[pos:pos+n], ests[pos:pos+n])
 		pos += n
+	}
+}
+
+// TestWaveOfferPairsZeroAllocs guards the wave group pipeline's scratch
+// discipline at the engine layer: once the per-engine Wave scratch is
+// built (first OfferPairs call), the steady-state group path — group
+// hashing, touch, screen, gather, gate/scatter — performs zero
+// allocations per batch, for ASCS and CS alike.
+func TestWaveOfferPairsZeroAllocs(t *testing.T) {
+	for _, schedule := range []bool{true, false} {
+		ms := newSamplingMeanSketch(t, schedule)
+		keys := make([]uint64, 512)
+		xs := make([]float64, 512)
+		ests := make([]float64, 512)
+		for i := range keys {
+			keys[i] = uint64(i % benchKeys)
+			xs[i] = 1e6
+		}
+		ms.OfferPairs(keys, xs, ests) // builds the lazy wave scratch
+		avg := testing.AllocsPerRun(50, func() {
+			ms.OfferPairs(keys, xs, ests)
+		})
+		if avg != 0 {
+			t.Fatalf("schedule=%v: wave OfferPairs allocates %.1f per batch; group scratch is not being reused", schedule, avg)
+		}
+	}
+}
+
+// TestShardIngestSteadyStateAllocs guards the serving-layer scratch
+// discipline end to end: after warm-up, Manager.Ingest (pair
+// enumeration, staging buffers, channel ship, worker apply through the
+// wave group pipeline) must not allocate per call — the route staging
+// freelist and the per-worker slot/estimate scratch are both on this
+// path. A small allowance absorbs worker-goroutine noise picked up by
+// AllocsPerRun's global counters.
+func TestShardIngestSteadyStateAllocs(t *testing.T) {
+	const d = 48
+	rng := rand.New(rand.NewSource(5))
+	row := make([]float64, d)
+	for j := range row {
+		row[j] = rng.NormFloat64()
+	}
+	batch := []stream.Sample{stream.FromDense(row)}
+	mgr, err := shard.New(shard.Config{
+		Dim: d, Shards: 2,
+		Engine: shard.EngineSpec{
+			Kind:   shard.KindCS,
+			Sketch: countsketch.Config{Tables: 5, Range: 1 << 12, Seed: 1},
+			T:      1 << 30,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	for i := 0; i < 50; i++ {
+		if _, _, err := mgr.Ingest(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := mgr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		if _, _, err := mgr.Ingest(batch); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 3 {
+		t.Fatalf("shard ingest steady state allocates %.1f per call; staging/worker scratch is not being reused", avg)
 	}
 }
 

@@ -20,21 +20,39 @@
 //     costs two hash phases).
 //   - fused: OfferEstimate — one hash phase serves gate, insert, and
 //     tracker estimate.
-//   - batch: OfferPairs — fused plus batched interface dispatch.
-//   - batch-decay: OfferPairs on an engine in exponential-decay
+//   - batch: OfferPairs with the wave group pinned to 1 — fused plus
+//     batched interface dispatch, the scalar batch loop (the pre-wave
+//     number, kept measurable as the wave baseline).
+//   - batch-decay: the batch arm on an engine in exponential-decay
 //     (unbounded-stream) mode, with one step advance per chunk so every
 //     lazy decay tick is paid — the steady-state cost of sliding-window
 //     serving, which must match batch within noise and stay 0
 //     allocs/pair.
+//   - wave: OfferPairs at the default wave group — staged group ingest
+//     (group hashing → touch/prefetch of the K·G cells → gather →
+//     gate/scatter) that overlaps the per-pair table-cell misses.
+//   - wave-decay: the wave arm on a decayed engine (same contract as
+//     batch-decay: within noise of wave, 0 allocs/pair).
+//
+// The -sweepranges flag additionally runs a batch-vs-wave sweep across
+// table ranges from cache-resident to DRAM-resident (working set
+// scaled with the range), because the wave win lives where the tables
+// miss: at the cache-resident record config the touch pass mostly
+// re-reads L2-resident lines, while at production ranges the K
+// dependent misses dominate the per-pair cost and overlapping them is
+// the remaining constant factor. The env block records the CPU model
+// and cache sizes so sweep files from different hosts are comparable.
 package main
 
 import (
 	"encoding/json"
 	"flag"
+	"fmt"
 	"log"
 	"math"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -60,6 +78,68 @@ type EnvInfo struct {
 	GoVersion  string `json:"go_version"`
 	GOOS       string `json:"goos"`
 	GOARCH     string `json:"goarch"`
+	// CPUModel and CPUCache come from /proc/cpuinfo ("model name" and
+	// "cache size"); Caches lists the per-level cache sizes from sysfs
+	// when readable. Sweep numbers are only comparable between hosts
+	// with comparable cache hierarchies, so the file records them.
+	CPUModel string   `json:"cpu_model,omitempty"`
+	CPUCache string   `json:"cpu_cache,omitempty"`
+	Caches   []string `json:"caches,omitempty"`
+}
+
+// readCPUInfo extracts the first "model name" and "cache size" entries
+// of /proc/cpuinfo (best effort; absent on non-Linux hosts).
+func readCPUInfo() (model, cache string) {
+	b, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return "", ""
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		k, v, ok := strings.Cut(line, ":")
+		if !ok {
+			continue
+		}
+		k, v = strings.TrimSpace(k), strings.TrimSpace(v)
+		switch {
+		case model == "" && k == "model name":
+			model = v
+		case cache == "" && k == "cache size":
+			cache = v
+		}
+		if model != "" && cache != "" {
+			break
+		}
+	}
+	return model, cache
+}
+
+// readSysCaches lists cpu0's cache levels from sysfs, e.g.
+// ["L1d 32K", "L2 1024K", "L3 36864K"] (best effort).
+func readSysCaches() []string {
+	var out []string
+	for i := 0; i < 8; i++ {
+		dir := fmt.Sprintf("/sys/devices/system/cpu/cpu0/cache/index%d", i)
+		read := func(name string) string {
+			b, err := os.ReadFile(dir + "/" + name)
+			if err != nil {
+				return ""
+			}
+			return strings.TrimSpace(string(b))
+		}
+		level, size, typ := read("level"), read("size"), read("type")
+		if level == "" || size == "" {
+			break
+		}
+		suffix := ""
+		switch typ {
+		case "Data":
+			suffix = "d"
+		case "Instruction":
+			suffix = "i"
+		}
+		out = append(out, fmt.Sprintf("L%s%s %s", level, suffix, size))
+	}
+	return out
 }
 
 type SpeedupEntry struct {
@@ -69,29 +149,52 @@ type SpeedupEntry struct {
 	Speedup  float64 `json:"speedup"`
 }
 
+// SweepPoint is one table range of the batch-vs-wave sweep: the scalar
+// batch loop against the wave pipeline at identical working sets, with
+// the footprints recorded so the cache-vs-DRAM regime is legible.
+type SweepPoint struct {
+	RangeLog2  int `json:"range_log2"`
+	Range      int `json:"range"`
+	WorkingSet int `json:"working_set_keys"`
+	// TableBytes is the sketch's table footprint K·R·8; TouchedBytes
+	// approximates the bytes the working set actually addresses
+	// (K·keys·8, ignoring line rounding) — the number to compare
+	// against the cache sizes in env.
+	TableBytes   int64    `json:"table_bytes"`
+	TouchedBytes int64    `json:"touched_bytes_approx"`
+	Results      []Result `json:"results"`
+	// WaveSpeedup is batch ns/pair ÷ wave ns/pair at this range.
+	WaveSpeedup float64 `json:"wave_speedup"`
+}
+
 type Report struct {
 	Config struct {
 		Tables     int    `json:"tables"`
 		Range      int    `json:"range"`
 		WorkingSet int    `json:"working_set_keys"`
 		BatchChunk int    `json:"batch_chunk"`
+		WaveGroup  int    `json:"wave_group"`
 		BenchTime  string `json:"benchtime"`
 	} `json:"config"`
-	Env      EnvInfo        `json:"env"`
-	Results  []Result       `json:"results"`
-	Speedups []SpeedupEntry `json:"speedups,omitempty"`
-	Notes    string         `json:"notes"`
+	Env        EnvInfo        `json:"env"`
+	Results    []Result       `json:"results"`
+	Speedups   []SpeedupEntry `json:"speedups,omitempty"`
+	RangeSweep []SweepPoint   `json:"range_sweep,omitempty"`
+	Notes      string         `json:"notes"`
 }
 
 func main() {
 	var (
-		tables    = flag.Int("tables", 5, "hash tables K")
-		rng       = flag.Int("range", 1<<14, "buckets per table R")
-		nkeys     = flag.Int("keys", 1024, "working-set size (primed, admitted keys)")
-		chunk     = flag.Int("chunk", 512, "pairs per OfferPairs call in batch mode")
-		benchtime = flag.Duration("benchtime", time.Second, "target run time per mode")
-		engines   = flag.String("engines", "ascs,cs", "comma-separated engines: ascs, cs")
-		out       = flag.String("out", "BENCH_ingest.json", "output report path")
+		tables      = flag.Int("tables", 5, "hash tables K")
+		rng         = flag.Int("range", 1<<14, "buckets per table R")
+		nkeys       = flag.Int("keys", 1024, "working-set size (primed, admitted keys)")
+		chunk       = flag.Int("chunk", 512, "pairs per OfferPairs call in batch mode")
+		benchtime   = flag.Duration("benchtime", time.Second, "target run time per mode")
+		engines     = flag.String("engines", "ascs,cs", "comma-separated engines: ascs, cs")
+		out         = flag.String("out", "BENCH_ingest.json", "output report path")
+		sweepRanges = flag.String("sweepranges", "14,16,18,20,22",
+			"comma-separated log2 table ranges for the batch-vs-wave sweep (cache-resident → DRAM-resident; empty disables)")
+		sweepEngine = flag.String("sweepengine", "ascs", "engine measured by the range sweep")
 	)
 	testing.Init() // registers test.benchtime, set per run in runMode
 	flag.Parse()
@@ -105,26 +208,34 @@ func main() {
 		},
 		Notes: "single-thread sampling-phase hot path, tracked admitted-pair case; " +
 			"legacy replays the pre-fusion per-offer hash sequence and is the before number, " +
-			"fused/batch are the after numbers; batch-decay is the batch arm on an " +
-			"exponential-decay (unbounded window) engine with one step advance per chunk, " +
-			"so the lazy aging tick is included — it must track batch within noise at 0 allocs/pair",
+			"fused/batch are the after numbers (batch pins the wave group to 1 — the scalar " +
+			"batch loop); wave is the wave-pipelined group path (hash → touch/prefetch → " +
+			"gather → gate/scatter); the *-decay arms run the same loop on an exponential-decay " +
+			"(unbounded window) engine with one step advance per chunk so the lazy aging tick " +
+			"is included — they must track their fixed arms within noise at 0 allocs/pair; " +
+			"range_sweep compares batch vs wave from cache-resident to DRAM-resident tables " +
+			"(working set scaled with the range) — the miss-bound regime is where the wave " +
+			"pipeline's overlapped loads pay",
 	}
+	report.Env.CPUModel, report.Env.CPUCache = readCPUInfo()
+	report.Env.Caches = readSysCaches()
 	report.Config.Tables = *tables
 	report.Config.Range = *rng
 	report.Config.WorkingSet = *nkeys
 	report.Config.BatchChunk = *chunk
+	report.Config.WaveGroup = countsketch.WaveGroup
 	report.Config.BenchTime = benchtime.String()
 
 	for _, engine := range strings.Split(*engines, ",") {
 		engine = strings.TrimSpace(engine)
-		for _, mode := range []string{"legacy", "percall", "fused", "batch", "batch-decay"} {
+		for _, mode := range []string{"legacy", "percall", "fused", "batch", "batch-decay", "wave", "wave-decay"} {
 			res := runMode(engine, mode, *tables, *rng, *nkeys, *chunk, *benchtime)
-			log.Printf("%-4s %-8s %2d hash phase(s): %7.1f ns/pair (%.3e pairs/s, %.2f allocs/pair)",
+			log.Printf("%-4s %-10s %2d hash phase(s): %7.1f ns/pair (%.3e pairs/s, %.2f allocs/pair)",
 				res.Engine, res.Mode, res.HashPhases, res.NsPerPair, res.PairsPerSec, res.AllocsPerPair)
 			report.Results = append(report.Results, res)
 		}
 		base := findResult(report.Results, engine, "legacy")
-		for _, mode := range []string{"fused", "batch", "batch-decay"} {
+		for _, mode := range []string{"fused", "batch", "batch-decay", "wave", "wave-decay"} {
 			if r := findResult(report.Results, engine, mode); r != nil && base != nil && base.NsPerPair > 0 {
 				report.Speedups = append(report.Speedups, SpeedupEntry{
 					Engine: engine, Mode: mode, Baseline: "legacy",
@@ -135,6 +246,49 @@ func main() {
 	}
 	for _, sp := range report.Speedups {
 		log.Printf("%s %s vs %s: %.2fx", sp.Engine, sp.Mode, sp.Baseline, sp.Speedup)
+	}
+
+	if *sweepRanges != "" {
+		for _, tok := range strings.Split(*sweepRanges, ",") {
+			tok = strings.TrimSpace(tok)
+			if tok == "" {
+				continue
+			}
+			pow, err := strconv.Atoi(tok)
+			if err != nil || pow < 8 || pow > 28 {
+				log.Fatalf("bad -sweepranges entry %q (want log2 range in [8,28])", tok)
+			}
+			r := 1 << pow
+			// Scale the working set with the table so large ranges are
+			// genuinely miss-bound: a fixed 1024-key set would touch a
+			// few hundred KB of a 160 MB table and measure the cache,
+			// not DRAM.
+			wkeys := r / 4
+			if wkeys < 1024 {
+				wkeys = 1024
+			}
+			if wkeys > 1<<20 {
+				wkeys = 1 << 20
+			}
+			pt := SweepPoint{
+				RangeLog2:    pow,
+				Range:        r,
+				WorkingSet:   wkeys,
+				TableBytes:   int64(*tables) * int64(r) * 8,
+				TouchedBytes: int64(*tables) * int64(wkeys) * 8,
+			}
+			for _, mode := range []string{"batch", "wave"} {
+				res := runMode(*sweepEngine, mode, *tables, r, wkeys, *chunk, *benchtime)
+				log.Printf("sweep R=2^%-2d keys=%-8d %-5s: %7.1f ns/pair (%.3e pairs/s, %.2f allocs/pair)",
+					pow, wkeys, res.Mode, res.NsPerPair, res.PairsPerSec, res.AllocsPerPair)
+				pt.Results = append(pt.Results, res)
+			}
+			if b, w := findResult(pt.Results, *sweepEngine, "batch"), findResult(pt.Results, *sweepEngine, "wave"); b != nil && w != nil && w.NsPerPair > 0 {
+				pt.WaveSpeedup = b.NsPerPair / w.NsPerPair
+				log.Printf("sweep R=2^%-2d wave vs batch: %.2fx", pow, pt.WaveSpeedup)
+			}
+			report.RangeSweep = append(report.RangeSweep, pt)
+		}
 	}
 
 	f, err := os.Create(*out)
@@ -216,7 +370,10 @@ func newEngine(engine string, tables, rng, nkeys int, decayed bool) sketchapi.Of
 }
 
 func runMode(engine, mode string, tables, rng, nkeys, chunk int, benchtime time.Duration) Result {
-	hashPhases := map[string]int{"legacy": 3, "percall": 2, "fused": 1, "batch": 1, "batch-decay": 1}[mode]
+	hashPhases := map[string]int{
+		"legacy": 3, "percall": 2, "fused": 1,
+		"batch": 1, "batch-decay": 1, "wave": 1, "wave-decay": 1,
+	}[mode]
 	if engine == "cs" && mode == "legacy" {
 		hashPhases = 2 // CS had no gate estimate: Add + tracker Estimate
 	}
@@ -229,9 +386,13 @@ func runMode(engine, mode string, tables, rng, nkeys, chunk int, benchtime time.
 	case "fused":
 		fn = func(b *testing.B) { benchFused(b, engine, tables, rng, nkeys) }
 	case "batch":
-		fn = func(b *testing.B) { benchBatch(b, engine, tables, rng, nkeys, chunk, false) }
+		fn = func(b *testing.B) { benchBatch(b, engine, tables, rng, nkeys, chunk, false, 1) }
 	case "batch-decay":
-		fn = func(b *testing.B) { benchBatch(b, engine, tables, rng, nkeys, chunk, true) }
+		fn = func(b *testing.B) { benchBatch(b, engine, tables, rng, nkeys, chunk, true, 1) }
+	case "wave":
+		fn = func(b *testing.B) { benchBatch(b, engine, tables, rng, nkeys, chunk, false, 0) }
+	case "wave-decay":
+		fn = func(b *testing.B) { benchBatch(b, engine, tables, rng, nkeys, chunk, true, 0) }
 	}
 	prev := flag.Lookup("test.benchtime")
 	if prev != nil {
@@ -303,8 +464,14 @@ func benchFused(b *testing.B, engine string, tables, rng, nkeys int) {
 	_ = sink
 }
 
-func benchBatch(b *testing.B, engine string, tables, rng, nkeys, chunk int, decayed bool) {
+// benchBatch measures OfferPairs with the given wave group: 1 pins the
+// scalar batch loop ("batch"), 0 keeps the engine's default wave group
+// ("wave").
+func benchBatch(b *testing.B, engine string, tables, rng, nkeys, chunk int, decayed bool, group int) {
 	eng := newEngine(engine, tables, rng, nkeys, decayed)
+	if group > 0 {
+		eng.(sketchapi.WaveTuner).SetWaveGroup(group)
+	}
 	if chunk > nkeys {
 		chunk = nkeys
 	}

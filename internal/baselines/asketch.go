@@ -53,6 +53,10 @@ type ASketch struct {
 	// (single-writer by the Ingestor contract; kept off the stack so it
 	// does not escape through the hash-family interface call).
 	slots [countsketch.MaxTables]countsketch.Slot
+
+	// wave is the group-size state and lazily built scratch of the
+	// wave-pipelined OfferPairs path (sketchapi.WaveTuner).
+	wave countsketch.WaveTune
 }
 
 // asketchRenormFloor is the shared lazy-decay renormalization floor
@@ -63,6 +67,7 @@ var (
 	_ sketchapi.OfferEstimator = (*ASketch)(nil)
 	_ sketchapi.Decayer        = (*ASketch)(nil)
 	_ sketchapi.Snapshotter    = (*ASketch)(nil)
+	_ sketchapi.WaveTuner      = (*ASketch)(nil)
 )
 
 // NewASketch builds an Augmented Sketch engine. filterCap is the number
@@ -154,38 +159,86 @@ func (a *ASketch) EffectiveSamples() float64 {
 // hashed once: the insert, the promotion-check estimate, and a possible
 // promotion carve-out all reuse one Locate.
 func (a *ASketch) Offer(key uint64, x float64) {
+	if cur, ok := a.filter[key]; ok {
+		a.bumpFilter(key, cur*a.fscale+x*a.invT)
+		return
+	}
+	a.sk.Locate(key, &a.slots)
+	a.offerWith(key, x, &a.slots)
+}
+
+// offerWith is Offer against slots already located for key (the wave
+// path pre-hashes whole groups; filtered keys never read them).
+func (a *ASketch) offerWith(key uint64, x float64, slots *[countsketch.MaxTables]countsketch.Slot) {
 	v := x * a.invT
 	if cur, ok := a.filter[key]; ok {
 		a.bumpFilter(key, cur*a.fscale+v)
 		return
 	}
-	a.sk.Locate(key, &a.slots)
-	a.sk.AddSlots(&a.slots, v)
-	a.offerSketched(key, &a.slots)
+	a.sk.AddSlots(slots, v)
+	a.offerSketched(key, slots)
 }
 
 // OfferEstimate implements sketchapi.OfferEstimator: Offer plus the
 // post-offer estimate off a single Locate of the key.
 func (a *ASketch) OfferEstimate(key uint64, x float64) (float64, bool) {
+	a.sk.Locate(key, &a.slots)
+	return a.offerEstimateWith(key, x, &a.slots)
+}
+
+// offerEstimateWith is OfferEstimate against pre-located slots.
+func (a *ASketch) offerEstimateWith(key uint64, x float64, slots *[countsketch.MaxTables]countsketch.Slot) (float64, bool) {
 	v := x * a.invT
 	if cur, ok := a.filter[key]; ok {
 		nv := cur*a.fscale + v
 		a.bumpFilter(key, nv)
-		a.sk.Locate(key, &a.slots)
-		return nv + a.sk.EstimateSlots(&a.slots), true
+		return nv + a.sk.EstimateSlots(slots), true
 	}
-	a.sk.Locate(key, &a.slots)
-	a.sk.AddSlots(&a.slots, v)
-	est, promoted := a.offerSketched(key, &a.slots)
+	a.sk.AddSlots(slots, v)
+	est, promoted := a.offerSketched(key, slots)
 	if promoted {
 		// Filtered keys answer their exact value plus the sketch residual.
-		return est + a.sk.EstimateSlots(&a.slots), true
+		return est + a.sk.EstimateSlots(slots), true
 	}
 	return est, true
 }
 
-// OfferPairs implements the batch fast path for one time step.
+// OfferPairs implements the batch fast path for one time step via the
+// wave pipeline's hash/touch stages: each group of G keys is hashed in
+// one dispatch and its sketch cells touched so the misses overlap, then
+// the filter/promotion logic replays the exact per-key order on warm
+// lines (the filter's swap decisions are inherently sequential, so
+// there is no gather/scatter stage here). Bit-identical to the scalar
+// loop at any G.
 func (a *ASketch) OfferPairs(keys []uint64, xs []float64, ests []float64) {
+	w, g := a.wave.Scratch(a.sk.K())
+	if g <= 1 {
+		a.offerPairsScalar(keys, xs, ests)
+		return
+	}
+	for lo := 0; lo < len(keys); lo += g {
+		hi := lo + g
+		if hi > len(keys) {
+			hi = len(keys)
+		}
+		n := hi - lo
+		slots := w.Slots(n)
+		a.sk.LocateBatch(keys[lo:hi], slots)
+		w.Sink += a.sk.TouchSlots(slots)
+		for i := 0; i < n; i++ {
+			sl := w.At(i)
+			if ests != nil {
+				ests[lo+i], _ = a.offerEstimateWith(keys[lo+i], xs[lo+i], sl)
+			} else {
+				a.offerWith(keys[lo+i], xs[lo+i], sl)
+			}
+		}
+	}
+}
+
+// offerPairsScalar is the pre-wave batch loop, kept as the wave path's
+// differential reference (sketchapi.WaveTuner, g = 1).
+func (a *ASketch) offerPairsScalar(keys []uint64, xs []float64, ests []float64) {
 	for i, key := range keys {
 		if ests != nil {
 			ests[i], _ = a.OfferEstimate(key, xs[i])
@@ -194,6 +247,13 @@ func (a *ASketch) OfferPairs(keys []uint64, xs []float64, ests []float64) {
 		}
 	}
 }
+
+// SetWaveGroup implements sketchapi.WaveTuner (g ≤ 1 = scalar loop).
+// Not safe concurrently with offers.
+func (a *ASketch) SetWaveGroup(g int) { a.wave.Set(g) }
+
+// WaveGroup implements sketchapi.WaveTuner.
+func (a *ASketch) WaveGroup() int { return a.wave.Group() }
 
 // bumpFilter updates a filtered key's value (nv in logical units),
 // keeping the cached minimum honest when the minimum itself moved.
@@ -250,7 +310,14 @@ func (a *ASketch) promote(key uint64, est float64, slots *[countsketch.MaxTables
 func (a *ASketch) scanMin() (uint64, float64) {
 	minKey, minAbs := uint64(0), math.Inf(1)
 	for k, v := range a.filter {
-		if av := math.Abs(v); av < minAbs {
+		av := math.Abs(v)
+		// Tie-break on the key: map iteration order is randomized, and
+		// an eviction choice depending on it would let identical offer
+		// streams produce different filters — replays, restores, and
+		// the wave/scalar differential tests (whose fuzzer caught this)
+		// all rely on the engine being a deterministic function of its
+		// offer sequence.
+		if av < minAbs || (av == minAbs && k < minKey) {
 			minKey, minAbs = k, av
 		}
 	}

@@ -36,12 +36,19 @@ type ColdFilter struct {
 	// (single-writer by the Ingestor contract; kept off the stack so
 	// they do not escape through the hash-family interface call).
 	s1, s2 [countsketch.MaxTables]countsketch.Slot
+
+	// wave is the group-size state and lazily built scratch of the
+	// wave-pipelined OfferPairs path over the layer-1 sketch
+	// (sketchapi.WaveTuner). Layer 2 sees only the overflow trickle of
+	// saturated keys, so it stays on per-key locates.
+	wave countsketch.WaveTune
 }
 
 var (
 	_ sketchapi.OfferEstimator = (*ColdFilter)(nil)
 	_ sketchapi.Decayer        = (*ColdFilter)(nil)
 	_ sketchapi.Snapshotter    = (*ColdFilter)(nil)
+	_ sketchapi.WaveTuner      = (*ColdFilter)(nil)
 )
 
 // NewColdFilter builds the engine. l1cfg is typically much smaller than
@@ -115,10 +122,16 @@ func (c *ColdFilter) EffectiveSamples() float64 {
 // Offer absorbs into layer 1 until the key saturates, then into layer 2.
 // The layer-1 saturation test and a layer-1 insert share one Locate.
 func (c *ColdFilter) Offer(key uint64, x float64) {
-	v := x * c.invT
 	c.l1.Locate(key, &c.s1)
-	if math.Abs(c.l1.EstimateSlots(&c.s1)) < c.thresh {
-		c.l1.AddSlots(&c.s1, v)
+	c.offerWith(key, x, &c.s1)
+}
+
+// offerWith is Offer against layer-1 slots already located for key
+// (the wave path pre-hashes whole groups).
+func (c *ColdFilter) offerWith(key uint64, x float64, s1 *[countsketch.MaxTables]countsketch.Slot) {
+	v := x * c.invT
+	if math.Abs(c.l1.EstimateSlots(s1)) < c.thresh {
+		c.l1.AddSlots(s1, v)
 		return
 	}
 	c.l2.Add(key, v)
@@ -128,12 +141,17 @@ func (c *ColdFilter) Offer(key uint64, x float64) {
 // post-offer estimate, hashing the key once per layer touched instead of
 // once per gate/insert/estimate phase.
 func (c *ColdFilter) OfferEstimate(key uint64, x float64) (float64, bool) {
-	v := x * c.invT
 	c.l1.Locate(key, &c.s1)
-	e1, raw1 := c.l1.EstimateSlotsWithRaw(&c.s1)
+	return c.offerEstimateWith(key, x, &c.s1)
+}
+
+// offerEstimateWith is OfferEstimate against pre-located layer-1 slots.
+func (c *ColdFilter) offerEstimateWith(key uint64, x float64, s1 *[countsketch.MaxTables]countsketch.Slot) (float64, bool) {
+	v := x * c.invT
+	e1, raw1 := c.l1.EstimateSlotsWithRaw(s1)
 	var e2 float64
 	if math.Abs(e1) < c.thresh {
-		e1 = c.l1.AddSlotsWithEstimateRaw(&c.s1, v, raw1)
+		e1 = c.l1.AddSlotsWithEstimateRaw(s1, v, raw1)
 		e2 = c.l2.Estimate(key)
 	} else {
 		c.l2.Locate(key, &c.s2)
@@ -147,8 +165,41 @@ func (c *ColdFilter) OfferEstimate(key uint64, x float64) (float64, bool) {
 	return e1 + e2, true
 }
 
-// OfferPairs implements the batch fast path for one time step.
+// OfferPairs implements the batch fast path for one time step via the
+// wave pipeline's hash/touch stages over layer 1: each group of G keys
+// is hashed in one dispatch and its layer-1 cells touched so the
+// saturation-test misses overlap, then the per-key saturate-or-overflow
+// logic replays the exact scalar order on warm lines. Bit-identical to
+// the scalar loop at any G.
 func (c *ColdFilter) OfferPairs(keys []uint64, xs []float64, ests []float64) {
+	w, g := c.wave.Scratch(c.l1.K())
+	if g <= 1 {
+		c.offerPairsScalar(keys, xs, ests)
+		return
+	}
+	for lo := 0; lo < len(keys); lo += g {
+		hi := lo + g
+		if hi > len(keys) {
+			hi = len(keys)
+		}
+		n := hi - lo
+		slots := w.Slots(n)
+		c.l1.LocateBatch(keys[lo:hi], slots)
+		w.Sink += c.l1.TouchSlots(slots)
+		for i := 0; i < n; i++ {
+			sl := w.At(i)
+			if ests != nil {
+				ests[lo+i], _ = c.offerEstimateWith(keys[lo+i], xs[lo+i], sl)
+			} else {
+				c.offerWith(keys[lo+i], xs[lo+i], sl)
+			}
+		}
+	}
+}
+
+// offerPairsScalar is the pre-wave batch loop, kept as the wave path's
+// differential reference (sketchapi.WaveTuner, g = 1).
+func (c *ColdFilter) offerPairsScalar(keys []uint64, xs []float64, ests []float64) {
 	for i, key := range keys {
 		if ests != nil {
 			ests[i], _ = c.OfferEstimate(key, xs[i])
@@ -157,6 +208,13 @@ func (c *ColdFilter) OfferPairs(keys []uint64, xs []float64, ests []float64) {
 		}
 	}
 }
+
+// SetWaveGroup implements sketchapi.WaveTuner (g ≤ 1 = scalar loop).
+// Not safe concurrently with offers.
+func (c *ColdFilter) SetWaveGroup(g int) { c.wave.Set(g) }
+
+// WaveGroup implements sketchapi.WaveTuner.
+func (c *ColdFilter) WaveGroup() int { return c.wave.Group() }
 
 // Estimate reports the layer-1 estimate clamped at the saturation
 // threshold plus the layer-2 estimate, mirroring the original Cold

@@ -52,11 +52,16 @@ type Engine struct {
 	// the stack) stops it escaping through the hash-family interface
 	// call.
 	slots [countsketch.MaxTables]countsketch.Slot
+
+	// wave is the group-size state and lazily built scratch of the
+	// wave-pipelined OfferPairs path (sketchapi.WaveTuner).
+	wave countsketch.WaveTune
 }
 
 var (
 	_ sketchapi.OfferEstimator = (*Engine)(nil)
 	_ sketchapi.Decayer        = (*Engine)(nil)
+	_ sketchapi.WaveTuner      = (*Engine)(nil)
 )
 
 // NewEngine builds an ASCS engine over a fresh count sketch with the
@@ -209,8 +214,38 @@ func (e *Engine) OfferEstimate(key uint64, x float64) (float64, bool) {
 	return e.offerEstimateSlots(&e.slots, x)
 }
 
-// OfferPairs implements the batch fast path for one time step.
+// OfferPairs implements the batch fast path for one time step. It runs
+// the wave pipeline: the batch is split into groups of G pairs
+// (SetWaveGroup; default countsketch.WaveGroup) and each group is
+// staged — group hashing, a touch/prefetch pass that overlaps the K·G
+// table-cell misses, a group-wide gather of gate estimates, then the τ
+// decisions and the scatter of admitted inserts. Groups whose pairs
+// share a table cell (the same key twice, or a cross-key bucket
+// collision) fall back to the exact per-pair order on the
+// already-touched cells, so the resulting state and estimates are
+// bit-identical to the scalar fused path at any G.
 func (e *Engine) OfferPairs(keys []uint64, xs []float64, ests []float64) {
+	w, g := e.wave.Scratch(e.sk.K())
+	if g <= 1 {
+		e.offerPairsScalar(keys, xs, ests)
+		return
+	}
+	for lo := 0; lo < len(keys); lo += g {
+		hi := lo + g
+		if hi > len(keys) {
+			hi = len(keys)
+		}
+		var sub []float64
+		if ests != nil {
+			sub = ests[lo:hi]
+		}
+		e.offerWave(w, keys[lo:hi], xs[lo:hi], sub)
+	}
+}
+
+// offerPairsScalar is the pre-wave batch loop: the per-pair fused path
+// with dispatch amortized — the wave path's differential reference.
+func (e *Engine) offerPairsScalar(keys []uint64, xs []float64, ests []float64) {
 	if ests == nil {
 		for i, key := range keys {
 			e.sk.Locate(key, &e.slots)
@@ -223,6 +258,66 @@ func (e *Engine) OfferPairs(keys []uint64, xs []float64, ests []float64) {
 		ests[i], _ = e.offerEstimateSlots(&e.slots, xs[i])
 	}
 }
+
+// offerWave processes one group of ≤ G pairs through the staged
+// pipeline. ests is nil or len(keys).
+func (e *Engine) offerWave(w *countsketch.Wave, keys []uint64, xs []float64, ests []float64) {
+	n := len(keys)
+	slots := w.Slots(n)
+	e.sk.LocateBatch(keys, slots)       // stage 1: group hashing
+	w.Sink += e.sk.TouchSlots(slots)    // stage 2: overlap the misses
+	if !e.sampling || !w.Clean(slots) { // stage 2b: conflict screen
+		// Exploration inserts every pair (post-add estimates recompute
+		// from the table, exactly as the scalar path does), and a group
+		// with intra-group cell sharing must replay the scalar order so
+		// later gates observe earlier inserts. Either way the cells are
+		// touched, so the per-pair loop runs on warm lines.
+		for i := 0; i < n; i++ {
+			sl := w.At(i)
+			if ests == nil {
+				e.offerSlots(sl, xs[i])
+			} else {
+				ests[i], _ = e.offerEstimateSlots(sl, xs[i])
+			}
+		}
+		return
+	}
+	// Stage 3: gather every gate estimate (with its raw median) before
+	// any insert — exact, because the screen proved the group touches
+	// pairwise-disjoint cells.
+	gests, raws := w.Ests(n), w.Raws(n)
+	e.sk.EstimateSlotsBatch(slots, gests, raws)
+	// Stage 4: τ decisions, then scatter the admitted inserts.
+	vs, admit := w.Vs(n), w.Admit(n)
+	admitted := 0
+	for i := 0; i < n; i++ {
+		pass := e.passes(gests[i])
+		admit[i] = pass
+		if pass {
+			vs[i] = xs[i] * e.invT
+			admitted++
+		}
+	}
+	e.offeredSampling += uint64(n)
+	e.insertedSampling += uint64(admitted)
+	if ests == nil {
+		e.sk.AddSlotsBatch(slots, vs, admit, nil, nil)
+		return
+	}
+	// Rejected pairs answer their pre-add estimate, admitted ones the
+	// raw-median shift — the exact per-pair contract.
+	copy(ests, gests)
+	e.sk.AddSlotsBatch(slots, vs, admit, raws, ests)
+}
+
+// SetWaveGroup implements sketchapi.WaveTuner: it sets the wave group
+// size G of OfferPairs (g ≤ 1 selects the scalar per-pair loop). State
+// and estimates are bit-identical at any setting; only the staging
+// changes. Not safe concurrently with offers.
+func (e *Engine) SetWaveGroup(g int) { e.wave.Set(g) }
+
+// WaveGroup implements sketchapi.WaveTuner.
+func (e *Engine) WaveGroup() int { return e.wave.Group() }
 
 // Estimate returns the current estimate μ̂_i^{(t)} (which is the final
 // mean estimate after the stream completes).

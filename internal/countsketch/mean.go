@@ -30,11 +30,16 @@ type MeanSketch struct {
 	// (single-writer by the Ingestor contract; kept off the stack so it
 	// does not escape through the hash-family interface call).
 	slots [MaxTables]Slot
+
+	// wave is the group-size state and lazily built scratch of the
+	// wave-pipelined OfferPairs path (sketchapi.WaveTuner).
+	wave WaveTune
 }
 
 var (
 	_ sketchapi.OfferEstimator = (*MeanSketch)(nil)
 	_ sketchapi.Decayer        = (*MeanSketch)(nil)
+	_ sketchapi.WaveTuner      = (*MeanSketch)(nil)
 )
 
 // NewMeanSketch creates the vanilla-CS engine for a stream of exactly (or
@@ -110,8 +115,50 @@ func (m *MeanSketch) OfferEstimate(key uint64, x float64) (float64, bool) {
 	return m.sk.EstimateSlots(&m.slots), true
 }
 
-// OfferPairs implements the batch fast path for one time step.
+// OfferPairs implements the batch fast path for one time step via the
+// wave pipeline: each group of G pairs is hashed in one dispatch
+// (LocateBatch), its K·G cells are touched so the misses overlap, and
+// the inserts then run on warm lines. CS has no admission gate, so the
+// per-pair insert order is replayed exactly (adds to a shared cell
+// land in the same order as the scalar loop) and the result is
+// bit-identical at any G with no conflict screening needed.
 func (m *MeanSketch) OfferPairs(keys []uint64, xs []float64, ests []float64) {
+	w, g := m.wave.Scratch(m.sk.K())
+	if g <= 1 {
+		m.offerPairsScalar(keys, xs, ests)
+		return
+	}
+	for lo := 0; lo < len(keys); lo += g {
+		hi := lo + g
+		if hi > len(keys) {
+			hi = len(keys)
+		}
+		n := hi - lo
+		slots := w.Slots(n)
+		m.sk.LocateBatch(keys[lo:hi], slots)
+		w.Sink += m.sk.TouchSlots(slots)
+		if ests == nil {
+			vs := w.Vs(n)
+			for i := 0; i < n; i++ {
+				vs[i] = xs[lo+i] * m.invT
+			}
+			m.sk.AddSlotsBatch(slots, vs, nil, nil, nil)
+			continue
+		}
+		// The scalar contract recomputes the post-add estimate from the
+		// table (not the median shift), so the estimating path replays
+		// the per-pair order on the touched cells.
+		for i := 0; i < n; i++ {
+			sl := w.At(i)
+			m.sk.AddSlots(sl, xs[lo+i]*m.invT)
+			ests[lo+i] = m.sk.EstimateSlots(sl)
+		}
+	}
+}
+
+// offerPairsScalar is the pre-wave batch loop, kept as the wave path's
+// differential reference (sketchapi.WaveTuner, g = 1).
+func (m *MeanSketch) offerPairsScalar(keys []uint64, xs []float64, ests []float64) {
 	for i, key := range keys {
 		m.sk.Locate(key, &m.slots)
 		m.sk.AddSlots(&m.slots, xs[i]*m.invT)
@@ -120,6 +167,13 @@ func (m *MeanSketch) OfferPairs(keys []uint64, xs []float64, ests []float64) {
 		}
 	}
 }
+
+// SetWaveGroup implements sketchapi.WaveTuner (g ≤ 1 = scalar loop).
+// Not safe concurrently with offers.
+func (m *MeanSketch) SetWaveGroup(g int) { m.wave.Set(g) }
+
+// WaveGroup implements sketchapi.WaveTuner.
+func (m *MeanSketch) WaveGroup() int { return m.wave.Group() }
 
 // Bytes reports the table footprint.
 func (m *MeanSketch) Bytes() int { return m.sk.Bytes() }

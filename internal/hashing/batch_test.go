@@ -1,0 +1,50 @@
+package hashing
+
+import "testing"
+
+// TestFillSlotsBatchMatchesFillSlots pins the group-hashing stage of
+// the wave pipeline: FillSlotsBatch must produce bit-identical slots to
+// per-key FillSlots for every family.
+func TestFillSlotsBatchMatchesFillSlots(t *testing.T) {
+	const tables, rng = 7, 1 << 10
+	kinds := []Kind{KindMix, KindPoly, KindPoly4, KindTabulation}
+	sm := NewSplitMix64(99)
+	keys := make([]uint64, 129) // deliberately not a multiple of anything
+	for i := range keys {
+		switch i % 3 {
+		case 0:
+			keys[i] = sm.Next()
+		case 1:
+			keys[i] = uint64(i) // small structured keys
+		default:
+			keys[i] = mersenne61 + uint64(i) // above the poly field
+		}
+	}
+	for _, kind := range kinds {
+		h := MustNew(kind, tables, rng, 42)
+		batch := make([]Slot, len(keys)*tables)
+		h.FillSlotsBatch(keys, batch)
+		var one [MaxTables]Slot
+		for i, key := range keys {
+			h.FillSlots(key, &one)
+			for e := 0; e < tables; e++ {
+				got := batch[i*tables+e]
+				if got != one[e] {
+					t.Fatalf("%v: key %d table %d: batch slot %+v != scalar %+v", kind, key, e, got, one[e])
+				}
+			}
+		}
+	}
+}
+
+// TestFillSlotsBatchLengthGuard pins the misuse panic: a slot buffer of
+// the wrong length is a programmer error, not silent corruption.
+func TestFillSlotsBatchLengthGuard(t *testing.T) {
+	h := MustNew(KindMix, 3, 64, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for short slot buffer")
+		}
+	}()
+	h.FillSlotsBatch(make([]uint64, 4), make([]Slot, 11))
+}

@@ -44,6 +44,14 @@ type PairHasher interface {
 	// the two hashes (polynomial key reduction, tabulation byte walks)
 	// compute it once.
 	FillSlots(key uint64, slots *[MaxTables]Slot)
+	// FillSlotsBatch fills slots[i*Tables()+e] with the slot FillSlots
+	// would produce for keys[i] and table e, for every key — the group
+	// hashing stage of the wave-pipelined ingest path. len(slots) must
+	// be len(keys)*Tables(). The results are bit-identical to per-key
+	// FillSlots calls; batching hoists the one remaining interface
+	// dispatch and the family's table-pointer loads out of the per-key
+	// loop.
+	FillSlotsBatch(keys []uint64, slots []Slot)
 	// Tables returns the number of independent tables K.
 	Tables() int
 	// Range returns the number of buckets per table R.

@@ -86,6 +86,31 @@ func (f *mixFamily) FillSlots(key uint64, slots *[MaxTables]Slot) {
 	}
 }
 
+// FillSlotsBatch hoists the seed-slice loads out of the per-key loop;
+// each key's slots are filled exactly as FillSlots fills them.
+func (f *mixFamily) FillSlotsBatch(keys []uint64, slots []Slot) {
+	k := f.tables
+	if len(slots) != len(keys)*k {
+		panic("hashing: FillSlotsBatch slot buffer has wrong length")
+	}
+	r := int(f.rng)
+	bseeds, sseeds := f.bucketSeeds, f.signSeeds
+	for i, key := range keys {
+		out := slots[i*k : i*k+k]
+		off := 0
+		for e := 0; e < k; e++ {
+			bs := bseeds[e]
+			b := int(fastRange(Mix64(key^bs), f.rng))
+			s := float64(-1)
+			if Mix64(key*sseeds[e]+bs)&1 == 1 {
+				s = 1
+			}
+			out[e] = Slot{Off: off + b, Sign: s}
+			off += r
+		}
+	}
+}
+
 // fastRange maps a uniform 64-bit hash onto [0, n) without modulo bias
 // beyond the negligible 2^-64 rounding, using the high 64 bits of the
 // 128-bit product (Lemire 2016).

@@ -116,6 +116,32 @@ func (f *polyFamily) Sign(e int, key uint64) float64 {
 	return -1
 }
 
+// FillSlotsBatch performs the field reduction once per key and hoists
+// the coefficient-slice headers out of the per-key loop; each key's
+// slots are filled exactly as FillSlots fills them.
+func (f *polyFamily) FillSlotsBatch(keys []uint64, slots []Slot) {
+	k := f.tables
+	if len(slots) != len(keys)*k {
+		panic("hashing: FillSlotsBatch slot buffer has wrong length")
+	}
+	r := int(f.rng)
+	bcoef, scoef := f.bucketCoef, f.signCoef
+	for i, key := range keys {
+		x := reduceKey(key)
+		out := slots[i*k : i*k+k]
+		off := 0
+		for e := 0; e < k; e++ {
+			b := int(fastRange(polyEval(bcoef[e], x)<<3, f.rng))
+			s := float64(-1)
+			if polyEval(scoef[e], x)&1 == 1 {
+				s = 1
+			}
+			out[e] = Slot{Off: off + b, Sign: s}
+			off += r
+		}
+	}
+}
+
 // FillSlots shares the field reduction of the key across all 2K
 // polynomial evaluations.
 func (f *polyFamily) FillSlots(key uint64, slots *[MaxTables]Slot) {

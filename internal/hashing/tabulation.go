@@ -55,6 +55,39 @@ func (f *tabulationFamily) Sign(e int, key uint64) float64 {
 	return -1
 }
 
+// FillSlotsBatch decomposes each key into its bytes once (instead of
+// once per table) and keeps the tabulation-table walk of FillSlots;
+// each key's slots are filled exactly as FillSlots fills them.
+func (f *tabulationFamily) FillSlotsBatch(keys []uint64, slots []Slot) {
+	k := f.tables
+	if len(slots) != len(keys)*k {
+		panic("hashing: FillSlotsBatch slot buffer has wrong length")
+	}
+	r := int(f.rng)
+	for i, key := range keys {
+		var kb [8]byte
+		for b := 0; b < 8; b++ {
+			kb[b] = byte(key >> (8 * b))
+		}
+		out := slots[i*k : i*k+k]
+		off := 0
+		for e := 0; e < k; e++ {
+			bt, st := &f.bucketTab[e], &f.signTab[e]
+			var hb, hs uint64
+			for b := 0; b < 8; b++ {
+				hb ^= bt[b][kb[b]]
+				hs ^= st[b][kb[b]]
+			}
+			s := float64(-1)
+			if hs>>63 == 1 {
+				s = 1
+			}
+			out[e] = Slot{Off: off + int(fastRange(hb, f.rng)), Sign: s}
+			off += r
+		}
+	}
+}
+
 // FillSlots walks the key's bytes once per table, XORing bucket and sign
 // table entries in the same pass.
 func (f *tabulationFamily) FillSlots(key uint64, slots *[MaxTables]Slot) {

@@ -255,6 +255,12 @@ type worker struct {
 	lastT int
 	ops   uint64
 
+	// free is the manager's op-buffer freelist: applied ingest batches
+	// are returned here so route can reuse them instead of growing fresh
+	// slices per call (the worker is the only goroutine that knows when
+	// a batch is done).
+	free chan []op
+
 	// lambda is the per-step decay factor of unbounded deployments
 	// (0 = fixed-horizon). The engine ages itself inside BeginStep; the
 	// worker additionally ages its candidate tracker at the same step
@@ -323,6 +329,12 @@ func (w *worker) run(wg *sync.WaitGroup) {
 				continue
 			}
 			w.apply(m.ops)
+			// Batch applied: recycle its staging buffer (drop it when
+			// the freelist is full — bounded memory beats retention).
+			select {
+			case w.free <- m.ops[:0]:
+			default:
+			}
 		case m, ok := <-qch:
 			if !ok {
 				qch = nil
@@ -424,6 +436,15 @@ type Manager struct {
 	sendWG   sync.WaitGroup // in-flight channel sends, for safe Close
 	workerWG sync.WaitGroup
 	workers  []*worker
+
+	// opFree / bufFree recycle the per-shard ingest staging: opFree
+	// holds op slices (returned by workers after apply), bufFree holds
+	// the per-call shard-indexed buffer tables. Both are bounded
+	// channels used as lock-free freelists — an empty freelist
+	// allocates, a full one drops — so steady-state Ingest performs no
+	// per-call staging allocations while memory stays bounded.
+	opFree  chan []op
+	bufFree chan [][]op
 }
 
 // New validates cfg and starts the shard workers (immediately, or after
@@ -448,6 +469,14 @@ func New(cfg Config) (*Manager, error) {
 	}
 	m := &Manager{cfg: cfg, spec: cfg.Engine, invStd: cfg.InvStd}
 	m.replayCond = sync.NewCond(&m.mu)
+	// A few recycled op buffers per shard covers steady-state routing
+	// (route stages at most one buffer per shard at a time; workers
+	// return them promptly). Deliberately much smaller than
+	// Shards×QueueLen: a saturation burst's extra buffers drop to GC
+	// instead of pinning worst-case staging memory for the manager's
+	// lifetime.
+	m.opFree = make(chan []op, 4*cfg.Shards)
+	m.bufFree = make(chan [][]op, 8)
 	if needWarm {
 		m.warming = true
 		return m, nil
@@ -474,6 +503,7 @@ func (m *Manager) start(spec EngineSpec) error {
 			eng:    eng,
 			track:  topk.NewTracker(m.cfg.TrackCandidates),
 			lambda: spec.Lambda,
+			free:   m.opFree,
 		}
 		if f, ok := eng.(sketchapi.OfferEstimator); ok {
 			w.fast = f
@@ -667,10 +697,46 @@ func (m *Manager) ingestWarming(samples []stream.Sample) (first, last int, err e
 	return first, last, nil
 }
 
+// getOps returns an empty op staging buffer of capacity FlushOps,
+// recycled from an applied batch when one is available.
+func (m *Manager) getOps() []op {
+	select {
+	case b := <-m.opFree:
+		return b
+	default:
+		return make([]op, 0, m.cfg.FlushOps)
+	}
+}
+
+// getBufs returns a zeroed shard-indexed staging table for one route
+// call; putBufs returns it (entries already shipped or nil).
+func (m *Manager) getBufs() [][]op {
+	select {
+	case b := <-m.bufFree:
+		return b
+	default:
+		return make([][]op, m.cfg.Shards)
+	}
+}
+
+func (m *Manager) putBufs(bufs [][]op) {
+	for i := range bufs {
+		bufs[i] = nil
+	}
+	select {
+	case m.bufFree <- bufs:
+	default:
+	}
+}
+
 // route enumerates the pair increments of samples (whose global steps
 // are base, base+1, ...), bins them by owning shard, and ships batches.
+// The per-shard staging buffers are recycled through the manager
+// freelists (workers return each batch after applying it), so
+// steady-state routing re-slices nothing: a buffer's capacity is always
+// FlushOps and the flush check fires exactly at capacity.
 func (m *Manager) route(samples []stream.Sample, base int) {
-	bufs := make([][]op, m.cfg.Shards)
+	bufs := m.getBufs()
 	var scaled []float64
 	for k := range samples {
 		s := samples[k]
@@ -691,19 +757,26 @@ func (m *Manager) route(samples []stream.Sample, base int) {
 			for j := i + 1; j < len(idx); j++ {
 				key := uint64(rowBase + int64(idx[j]))
 				sh := m.shardOf(key)
-				bufs[sh] = append(bufs[sh], op{t: t, key: key, x: ya * val[j]})
-				if len(bufs[sh]) >= m.cfg.FlushOps {
-					m.workers[sh].ch <- msg{ops: bufs[sh]}
-					bufs[sh] = nil
+				b := bufs[sh]
+				if b == nil {
+					b = m.getOps()
 				}
+				b = append(b, op{t: t, key: key, x: ya * val[j]})
+				if len(b) >= m.cfg.FlushOps {
+					m.workers[sh].ch <- msg{ops: b}
+					b = nil
+				}
+				bufs[sh] = b
 			}
 		}
 	}
 	for sh, b := range bufs {
 		if len(b) > 0 {
 			m.workers[sh].ch <- msg{ops: b}
+			bufs[sh] = nil
 		}
 	}
+	m.putBufs(bufs)
 }
 
 // lane resolves a per-call consistency override against the deployment

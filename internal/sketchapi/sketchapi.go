@@ -62,6 +62,26 @@ type OfferEstimator interface {
 	OfferPairs(keys []uint64, xs []float64, ests []float64)
 }
 
+// WaveTuner exposes the group size G of an engine's wave-pipelined
+// OfferPairs path (staged group ingest: group hashing → cell
+// touch/prefetch → gather → gate/scatter; see countsketch.WaveGroup
+// for the G rationale). All four engines implement it. g ≤ 1 selects
+// the scalar per-pair loop — the wave path's differential reference,
+// and the "batch" arm of the ingest benchmarks. Both settings produce
+// bit-identical engine state and estimates; the knob trades
+// memory-level parallelism against scratch footprint only.
+//
+// SetWaveGroup is not safe for concurrent use with offers; set it
+// before ingest starts (the differential tests and benches do).
+type WaveTuner interface {
+	Ingestor
+	// SetWaveGroup sets the group size G (clamped to a sane maximum);
+	// g ≤ 1 disables grouping.
+	SetWaveGroup(g int)
+	// WaveGroup returns the group size in force (1 = scalar).
+	WaveGroup() int
+}
+
 // Decayer is the unbounded-stream capability: an engine constructed in
 // exponential-decay mode ages every absorbed observation by a factor
 // λ ∈ (0,1] per time step, so the estimate for key i converges to the

@@ -107,6 +107,28 @@ func (m *MeanSketch) OfferPairs(keys []uint64, xs []float64, ests []float64) {
 	m.cs.OfferPairs(keys, xs, ests)
 }
 
+// SetWaveGroup sets the group size G of the wave-pipelined OfferPairs
+// path of the underlying engine (g ≤ 1 selects the scalar per-pair
+// loop; the default is the tuned group of internal/countsketch). State
+// and estimates are bit-identical at any setting — the knob only
+// controls how aggressively the batch path overlaps its table-cell
+// cache misses. Not safe concurrently with offers.
+func (m *MeanSketch) SetWaveGroup(g int) {
+	if m.eng != nil {
+		m.eng.SetWaveGroup(g)
+		return
+	}
+	m.cs.SetWaveGroup(g)
+}
+
+// WaveGroup reports the wave group size in force (1 = scalar path).
+func (m *MeanSketch) WaveGroup() int {
+	if m.eng != nil {
+		return m.eng.WaveGroup()
+	}
+	return m.cs.WaveGroup()
+}
+
 // Kind reports "CS" or "ASCS".
 func (m *MeanSketch) Kind() string { return m.kind }
 
