@@ -22,18 +22,29 @@
 // staleness). Clients override per request with ?consistency=.
 //
 // The API (see internal/server): POST /v1/ingest, GET /v1/topk,
-// GET /v1/estimate, GET /v1/stats, POST /v1/snapshot, POST /v1/restore.
+// GET /v1/estimate, GET /v1/stats, POST /v1/snapshot, POST /v1/restore,
+// GET /metrics (Prometheus text format).
 // SIGINT/SIGTERM drain in-flight requests, take a final snapshot when a
 // snapshot directory is configured, and exit cleanly.
+//
+// Observability: -debug-addr starts a second listener serving
+// net/http/pprof under /debug/pprof/, expvar under /debug/vars, and the
+// same /metrics page as the main listener — keep it on loopback or a
+// management network; profiling endpoints are not for the public edge.
+// -trace-every N samples 1-in-N requests for span tracing (queue wait,
+// shard apply, merge), emitted as structured log lines with the
+// request's X-Request-ID.
 package main
 
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os/signal"
 	"runtime"
 	"syscall"
@@ -67,6 +78,8 @@ func main() {
 		snapDir     = flag.String("snapshot-dir", "", "snapshot directory (enables /v1/snapshot default dir and shutdown snapshot)")
 		snapEvery   = flag.Duration("snapshot-every", 0, "periodic snapshot interval (requires -snapshot-dir)")
 		restore     = flag.Bool("restore", false, "start from the snapshot in -snapshot-dir")
+		debugAddr   = flag.String("debug-addr", "", "side listener for /debug/pprof/, /debug/vars and /metrics (keep on loopback; empty disables)")
+		traceEvery  = flag.Int("trace-every", 0, "sample 1-in-N requests for span tracing to the log (0 disables)")
 	)
 	flag.Parse()
 	log.SetPrefix("ascsd: ")
@@ -83,10 +96,25 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := server.New(mgr, server.Options{SnapshotDir: *snapDir, MaxBatch: *maxBatch})
+	srv := server.New(mgr, server.Options{SnapshotDir: *snapDir, MaxBatch: *maxBatch, TraceEvery: *traceEvery})
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		debugSrv = &http.Server{
+			Addr:              *debugAddr,
+			Handler:           debugMux(srv),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			log.Printf("debug listener on %s (/debug/pprof/, /debug/vars, /metrics)", *debugAddr)
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
+	}
 
 	if *snapEvery > 0 {
 		if *snapDir == "" {
@@ -125,6 +153,11 @@ func main() {
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil {
 		log.Printf("http shutdown: %v", err)
+	}
+	if debugSrv != nil {
+		if err := debugSrv.Shutdown(shutCtx); err != nil {
+			log.Printf("debug shutdown: %v", err)
+		}
 	}
 	if *snapDir != "" {
 		if err := snapshotNow(srv, *snapDir); err != nil && !errors.Is(err, shard.ErrWarmingUp) {
@@ -218,6 +251,23 @@ func buildManager(f managerFlags) (*shard.Manager, error) {
 		TrackCandidates:  f.track,
 		QueryConsistency: lane,
 	})
+}
+
+// debugMux assembles the side listener's handler tree: the pprof
+// profiling endpoints, expvar's process counters, and the same
+// Prometheus exposition the main listener mounts. Registered on a
+// private mux — importing net/http/pprof for its DefaultServeMux side
+// effect would silently expose profiling on the *service* port too.
+func debugMux(srv *server.Server) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("GET /metrics", srv.MetricsHandler())
+	return mux
 }
 
 // periodicSnapshots checkpoints the live manager on a fixed cadence

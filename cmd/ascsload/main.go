@@ -50,6 +50,7 @@ import (
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/shard"
 	"repro/internal/stats"
@@ -287,6 +288,65 @@ type RunResult struct {
 	QueryWarming503 int     `json:"query_warming_503"`
 	QueryP50MS      float64 `json:"query_p50_ms"`
 	QueryP99MS      float64 `json:"query_p99_ms"`
+	// Server holds the /metrics counter deltas scraped around the run —
+	// what the server says happened, next to what the client measured.
+	// Absent when the target does not expose /metrics.
+	Server *ServerCounters `json:"server,omitempty"`
+}
+
+// ServerCounters are summed-across-shards deltas of the daemon's
+// /metrics page between the start and end of one run (high-water marks
+// are the end-of-run peaks, not deltas — they only ratchet up).
+type ServerCounters struct {
+	IngestBatches float64 `json:"ingest_batches"`
+	AdmittedMass  float64 `json:"admitted_mass"`
+	RejectedMass  float64 `json:"rejected_mass"`
+	LaneJumps     float64 `json:"lane_jumps"`
+	// QueueHighWater / FastQueueHighWater: the deepest per-shard backlog
+	// any shard reached, observed at enqueue (max across shards).
+	QueueHighWater     float64 `json:"queue_high_water"`
+	FastQueueHighWater float64 `json:"fast_queue_high_water"`
+	WaveGroups         float64 `json:"wave_groups"`
+	WaveFallbacks      float64 `json:"wave_fallbacks"`
+}
+
+// scrapeFamilies fetches and aggregates the target's /metrics page
+// (nil when the target does not serve one — e.g. an older daemon).
+func scrapeFamilies(client *http.Client, base string) obs.Families {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	fams, err := obs.Parse(resp.Body)
+	if err != nil {
+		log.Printf("parsing /metrics: %v", err)
+		return nil
+	}
+	return fams
+}
+
+// counterDelta folds a before/after scrape pair into the recorded
+// counters.
+func counterDelta(before, after obs.Families) *ServerCounters {
+	if before == nil || after == nil {
+		return nil
+	}
+	d := func(name string) float64 { return after[name].Sum - before[name].Sum }
+	return &ServerCounters{
+		IngestBatches:      d("ascs_shard_ingest_batches_total"),
+		AdmittedMass:       d("ascs_gate_admitted_mass_total"),
+		RejectedMass:       d("ascs_gate_rejected_mass_total"),
+		LaneJumps:          d("ascs_shard_lane_jumps_total"),
+		QueueHighWater:     after["ascs_shard_queue_high_water"].Max,
+		FastQueueHighWater: after["ascs_shard_fast_queue_high_water"].Max,
+		WaveGroups:         d("ascs_wave_groups_total"),
+		WaveFallbacks:      d("ascs_wave_fallback_total"),
+	}
 }
 
 func (r RunResult) print() {
@@ -409,6 +469,9 @@ func runLoad(base string, work workload, cfg loadConfig) RunResult {
 		stop      = make(chan struct{})
 		wg, qwg   sync.WaitGroup
 	)
+	// Scrape the server's own counters around the run so BENCH_server.json
+	// records what the daemon saw, not just what the client measured.
+	before := scrapeFamilies(client, base)
 	start := time.Now()
 	for c := 0; c < cfg.conns; c++ {
 		wg.Add(1)
@@ -534,5 +597,6 @@ func runLoad(base string, work workload, cfg loadConfig) RunResult {
 		res.QueryP50MS = stats.QuantileSorted(queryAll, 0.5)
 		res.QueryP99MS = stats.QuantileSorted(queryAll, 0.99)
 	}
+	res.Server = counterDelta(before, scrapeFamilies(client, base))
 	return res
 }

@@ -1,0 +1,44 @@
+// Command promlint validates a Prometheus text-format (0.0.4)
+// exposition page with the internal checker (internal/obs.Lint): HELP/
+// TYPE comment shape, name and label charsets, family contiguity,
+// duplicate series, and cumulative-histogram consistency.
+//
+//	promlint page.txt            # lint a file
+//	curl -s :8356/metrics | promlint   # lint a live scrape
+//
+// Exit status 0 when the page is well-formed, 1 with a diagnostic on
+// the first violation. CI runs it against a live ascsd scrape so a
+// malformed metric cannot ship.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	var in io.Reader = os.Stdin
+	name := "<stdin>"
+	switch len(os.Args) {
+	case 1:
+	case 2:
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "promlint: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+		name = os.Args[1]
+	default:
+		fmt.Fprintln(os.Stderr, "usage: promlint [file]  (reads stdin without a file)")
+		os.Exit(2)
+	}
+	if err := obs.Lint(in); err != nil {
+		fmt.Fprintf(os.Stderr, "promlint: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+}

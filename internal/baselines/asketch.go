@@ -57,6 +57,12 @@ type ASketch struct {
 	// wave is the group-size state and lazily built scratch of the
 	// wave-pipelined OfferPairs path (sketchapi.WaveTuner).
 	wave countsketch.WaveTune
+
+	// Health telemetry: ASketch absorbs every offer (no gate), so all
+	// mass is admitted; waveGroups counts hash/touch-staged groups.
+	inserts    uint64
+	mass       float64
+	waveGroups uint64
 }
 
 // asketchRenormFloor is the shared lazy-decay renormalization floor
@@ -68,6 +74,7 @@ var (
 	_ sketchapi.Decayer        = (*ASketch)(nil)
 	_ sketchapi.Snapshotter    = (*ASketch)(nil)
 	_ sketchapi.WaveTuner      = (*ASketch)(nil)
+	_ sketchapi.HealthReporter = (*ASketch)(nil)
 )
 
 // NewASketch builds an Augmented Sketch engine. filterCap is the number
@@ -160,6 +167,8 @@ func (a *ASketch) EffectiveSamples() float64 {
 // promotion carve-out all reuse one Locate.
 func (a *ASketch) Offer(key uint64, x float64) {
 	if cur, ok := a.filter[key]; ok {
+		a.inserts++
+		a.mass += math.Abs(x)
 		a.bumpFilter(key, cur*a.fscale+x*a.invT)
 		return
 	}
@@ -170,6 +179,8 @@ func (a *ASketch) Offer(key uint64, x float64) {
 // offerWith is Offer against slots already located for key (the wave
 // path pre-hashes whole groups; filtered keys never read them).
 func (a *ASketch) offerWith(key uint64, x float64, slots *[countsketch.MaxTables]countsketch.Slot) {
+	a.inserts++
+	a.mass += math.Abs(x)
 	v := x * a.invT
 	if cur, ok := a.filter[key]; ok {
 		a.bumpFilter(key, cur*a.fscale+v)
@@ -188,6 +199,8 @@ func (a *ASketch) OfferEstimate(key uint64, x float64) (float64, bool) {
 
 // offerEstimateWith is OfferEstimate against pre-located slots.
 func (a *ASketch) offerEstimateWith(key uint64, x float64, slots *[countsketch.MaxTables]countsketch.Slot) (float64, bool) {
+	a.inserts++
+	a.mass += math.Abs(x)
 	v := x * a.invT
 	if cur, ok := a.filter[key]; ok {
 		nv := cur*a.fscale + v
@@ -222,6 +235,7 @@ func (a *ASketch) OfferPairs(keys []uint64, xs []float64, ests []float64) {
 			hi = len(keys)
 		}
 		n := hi - lo
+		a.waveGroups++
 		slots := w.Slots(n)
 		a.sk.LocateBatch(keys[lo:hi], slots)
 		w.Sink += a.sk.TouchSlots(slots)
@@ -332,6 +346,18 @@ func (a *ASketch) Estimate(key uint64) float64 {
 		return v*a.fscale + a.sk.Estimate(key)
 	}
 	return a.sk.Estimate(key)
+}
+
+// Health implements sketchapi.HealthReporter: the engine has no
+// admission gate, so every offer is admitted mass. Call from the
+// owning goroutine.
+func (a *ASketch) Health() sketchapi.Health {
+	return sketchapi.Health{
+		ExplorationInserts: a.inserts,
+		AdmittedMass:       a.mass,
+		DecayRenorms:       a.sk.Renorms(),
+		WaveGroups:         a.waveGroups,
+	}
 }
 
 // FilterLen returns the current number of filtered keys.

@@ -42,6 +42,13 @@ type ColdFilter struct {
 	// (sketchapi.WaveTuner). Layer 2 sees only the overflow trickle of
 	// saturated keys, so it stays on per-key locates.
 	wave countsketch.WaveTune
+
+	// Health telemetry: the filter absorbs every offer (no rejection),
+	// so all mass is admitted; waveGroups counts hash/touch-staged
+	// groups over layer 1.
+	inserts    uint64
+	mass       float64
+	waveGroups uint64
 }
 
 var (
@@ -49,6 +56,7 @@ var (
 	_ sketchapi.Decayer        = (*ColdFilter)(nil)
 	_ sketchapi.Snapshotter    = (*ColdFilter)(nil)
 	_ sketchapi.WaveTuner      = (*ColdFilter)(nil)
+	_ sketchapi.HealthReporter = (*ColdFilter)(nil)
 )
 
 // NewColdFilter builds the engine. l1cfg is typically much smaller than
@@ -129,6 +137,8 @@ func (c *ColdFilter) Offer(key uint64, x float64) {
 // offerWith is Offer against layer-1 slots already located for key
 // (the wave path pre-hashes whole groups).
 func (c *ColdFilter) offerWith(key uint64, x float64, s1 *[countsketch.MaxTables]countsketch.Slot) {
+	c.inserts++
+	c.mass += math.Abs(x)
 	v := x * c.invT
 	if math.Abs(c.l1.EstimateSlots(s1)) < c.thresh {
 		c.l1.AddSlots(s1, v)
@@ -147,6 +157,8 @@ func (c *ColdFilter) OfferEstimate(key uint64, x float64) (float64, bool) {
 
 // offerEstimateWith is OfferEstimate against pre-located layer-1 slots.
 func (c *ColdFilter) offerEstimateWith(key uint64, x float64, s1 *[countsketch.MaxTables]countsketch.Slot) (float64, bool) {
+	c.inserts++
+	c.mass += math.Abs(x)
 	v := x * c.invT
 	e1, raw1 := c.l1.EstimateSlotsWithRaw(s1)
 	var e2 float64
@@ -183,6 +195,7 @@ func (c *ColdFilter) OfferPairs(keys []uint64, xs []float64, ests []float64) {
 			hi = len(keys)
 		}
 		n := hi - lo
+		c.waveGroups++
 		slots := w.Slots(n)
 		c.l1.LocateBatch(keys[lo:hi], slots)
 		w.Sink += c.l1.TouchSlots(slots)
@@ -231,6 +244,18 @@ func (c *ColdFilter) Estimate(key uint64) float64 {
 		e1 = math.Copysign(c.thresh, e1)
 	}
 	return e1 + c.l2.Estimate(key)
+}
+
+// Health implements sketchapi.HealthReporter: the filter never rejects
+// an offer, so every offer is admitted mass. Call from the owning
+// goroutine.
+func (c *ColdFilter) Health() sketchapi.Health {
+	return sketchapi.Health{
+		ExplorationInserts: c.inserts,
+		AdmittedMass:       c.mass,
+		DecayRenorms:       c.l1.Renorms() + c.l2.Renorms(),
+		WaveGroups:         c.waveGroups,
+	}
 }
 
 // Bytes sums both layers.

@@ -46,6 +46,17 @@ type Engine struct {
 	offeredSampling  uint64
 	insertedSampling uint64
 
+	// Health telemetry (sketchapi.HealthReporter): exploration-period
+	// insert count, Σ|x| mass split by gate outcome (raw offered values,
+	// pre-1/T), and wave-pipeline staging counters. Owned single-writer
+	// by the ingest path like every other engine counter.
+	explorationInserts uint64
+	admittedMass       float64
+	rejectedMass       float64
+	waveGroups         uint64
+	waveFbConflict     uint64
+	waveFbExploration  uint64
+
 	// slots is the reusable slot scratch of the fused ingest path. Offer
 	// mutates engine state, so the Ingestor contract already makes the
 	// offer methods single-writer; keeping the buffer here (instead of on
@@ -62,6 +73,7 @@ var (
 	_ sketchapi.OfferEstimator = (*Engine)(nil)
 	_ sketchapi.Decayer        = (*Engine)(nil)
 	_ sketchapi.WaveTuner      = (*Engine)(nil)
+	_ sketchapi.HealthReporter = (*Engine)(nil)
 )
 
 // NewEngine builds an ASCS engine over a fresh count sketch with the
@@ -175,6 +187,8 @@ func (e *Engine) Offer(key uint64, x float64) {
 // and reports whether the observation was absorbed.
 func (e *Engine) offerSlots(slots *[countsketch.MaxTables]countsketch.Slot, x float64) bool {
 	if !e.sampling {
+		e.explorationInserts++
+		e.admittedMass += math.Abs(x)
 		e.sk.AddSlots(slots, x*e.invT)
 		return true
 	}
@@ -182,7 +196,10 @@ func (e *Engine) offerSlots(slots *[countsketch.MaxTables]countsketch.Slot, x fl
 	pass := e.passes(e.sk.EstimateSlots(slots))
 	if pass {
 		e.insertedSampling++
+		e.admittedMass += math.Abs(x)
 		e.sk.AddSlots(slots, x*e.invT)
+	} else {
+		e.rejectedMass += math.Abs(x)
 	}
 	return pass
 }
@@ -193,6 +210,8 @@ func (e *Engine) offerSlots(slots *[countsketch.MaxTables]countsketch.Slot, x fl
 // median in place of a table re-read — exact at any decay scale.
 func (e *Engine) offerEstimateSlots(slots *[countsketch.MaxTables]countsketch.Slot, x float64) (float64, bool) {
 	if !e.sampling {
+		e.explorationInserts++
+		e.admittedMass += math.Abs(x)
 		e.sk.AddSlots(slots, x*e.invT)
 		return e.sk.EstimateSlots(slots), true
 	}
@@ -201,7 +220,10 @@ func (e *Engine) offerEstimateSlots(slots *[countsketch.MaxTables]countsketch.Sl
 	pass := e.passes(est)
 	if pass {
 		e.insertedSampling++
+		e.admittedMass += math.Abs(x)
 		est = e.sk.AddSlotsWithEstimateRaw(slots, x*e.invT, raw)
+	} else {
+		e.rejectedMass += math.Abs(x)
 	}
 	return est, pass
 }
@@ -263,10 +285,19 @@ func (e *Engine) offerPairsScalar(keys []uint64, xs []float64, ests []float64) {
 // pipeline. ests is nil or len(keys).
 func (e *Engine) offerWave(w *countsketch.Wave, keys []uint64, xs []float64, ests []float64) {
 	n := len(keys)
+	e.waveGroups++
 	slots := w.Slots(n)
-	e.sk.LocateBatch(keys, slots)       // stage 1: group hashing
-	w.Sink += e.sk.TouchSlots(slots)    // stage 2: overlap the misses
-	if !e.sampling || !w.Clean(slots) { // stage 2b: conflict screen
+	e.sk.LocateBatch(keys, slots)    // stage 1: group hashing
+	w.Sink += e.sk.TouchSlots(slots) // stage 2: overlap the misses
+	fallback := false
+	if !e.sampling { // stage 2b: conflict screen (with cause telemetry)
+		e.waveFbExploration++
+		fallback = true
+	} else if !w.Clean(slots) {
+		e.waveFbConflict++
+		fallback = true
+	}
+	if fallback {
 		// Exploration inserts every pair (post-add estimates recompute
 		// from the table, exactly as the scalar path does), and a group
 		// with intra-group cell sharing must replay the scalar order so
@@ -296,6 +327,9 @@ func (e *Engine) offerWave(w *countsketch.Wave, keys []uint64, xs []float64, est
 		if pass {
 			vs[i] = xs[i] * e.invT
 			admitted++
+			e.admittedMass += math.Abs(xs[i])
+		} else {
+			e.rejectedMass += math.Abs(xs[i])
 		}
 	}
 	e.offeredSampling += uint64(n)
@@ -361,4 +395,21 @@ func (e *Engine) SampledFraction() (frac float64, inserted, offered uint64) {
 		return math.NaN(), 0, 0
 	}
 	return float64(e.insertedSampling) / float64(e.offeredSampling), e.insertedSampling, e.offeredSampling
+}
+
+// Health implements sketchapi.HealthReporter. Call from the goroutine
+// that owns the engine (the counters are unsynchronized by design).
+func (e *Engine) Health() sketchapi.Health {
+	return sketchapi.Health{
+		ExplorationInserts:      e.explorationInserts,
+		GateOffered:             e.offeredSampling,
+		GateAdmitted:            e.insertedSampling,
+		AdmittedMass:            e.admittedMass,
+		RejectedMass:            e.rejectedMass,
+		Tau:                     e.tau,
+		DecayRenorms:            e.sk.Renorms(),
+		WaveGroups:              e.waveGroups,
+		WaveFallbackConflict:    e.waveFbConflict,
+		WaveFallbackExploration: e.waveFbExploration,
+	}
 }

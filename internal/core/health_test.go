@@ -1,0 +1,87 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/countsketch"
+)
+
+// TestEngineHealthCounters drives the engine through exploration and
+// sampling and checks the Health snapshot's accounting identities:
+// admitted+rejected mass equals the total offered mass, gate counts
+// match SampledFraction, and the wave counters see the groups.
+func TestEngineHealthCounters(t *testing.T) {
+	hp := Hyperparams{T: 64, T0: 8, Theta: 2}
+	eng, err := NewEngine(countsketch.Config{Tables: 5, Range: 1 << 10, Seed: 7}, hp, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const batch = 64
+	keys := make([]uint64, batch)
+	xs := make([]float64, batch)
+	totalMass := 0.0
+	for step := 1; step <= hp.T; step++ {
+		eng.BeginStep(step)
+		for i := range keys {
+			keys[i] = uint64(i)
+			xs[i] = float64(i%7) - 3
+			totalMass += math.Abs(xs[i])
+		}
+		eng.OfferPairs(keys, xs, nil)
+	}
+
+	h := eng.Health()
+	if h.ExplorationInserts != uint64(hp.T0*batch) {
+		t.Errorf("ExplorationInserts = %d, want %d", h.ExplorationInserts, hp.T0*batch)
+	}
+	_, inserted, offered := eng.SampledFraction()
+	if h.GateOffered != offered || h.GateAdmitted != inserted {
+		t.Errorf("gate counters (%d,%d) disagree with SampledFraction (%d,%d)",
+			h.GateOffered, h.GateAdmitted, offered, inserted)
+	}
+	if got := h.AdmittedMass + h.RejectedMass; math.Abs(got-totalMass) > 1e-9*totalMass {
+		t.Errorf("mass split %v + %v = %v, want total %v", h.AdmittedMass, h.RejectedMass, got, totalMass)
+	}
+	if h.AdmittedMass <= 0 || h.RejectedMass <= 0 {
+		t.Errorf("expected both admitted (%v) and rejected (%v) mass after sampling", h.AdmittedMass, h.RejectedMass)
+	}
+	if h.Tau <= 0 {
+		t.Errorf("Tau = %v, want > 0 during sampling", h.Tau)
+	}
+	wantGroups := uint64(hp.T * ((batch + countsketch.WaveGroup - 1) / countsketch.WaveGroup))
+	if h.WaveGroups != wantGroups {
+		t.Errorf("WaveGroups = %d, want %d", h.WaveGroups, wantGroups)
+	}
+	// Exploration steps' groups must be attributed to the exploration
+	// fallback cause.
+	wantExpl := uint64(hp.T0 * ((batch + countsketch.WaveGroup - 1) / countsketch.WaveGroup))
+	if h.WaveFallbackExploration != wantExpl {
+		t.Errorf("WaveFallbackExploration = %d, want %d", h.WaveFallbackExploration, wantExpl)
+	}
+	if h.WaveFallbackShape != 0 {
+		t.Errorf("ASCS pure-ingest path must not report shape fallbacks, got %d", h.WaveFallbackShape)
+	}
+
+	// The health mass accounting must be identical between the wave and
+	// scalar paths (the counters ride the bit-identical ingest contract).
+	eng2, err := NewEngine(countsketch.Config{Tables: 5, Range: 1 << 10, Seed: 7}, hp, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng2.SetWaveGroup(1)
+	for step := 1; step <= hp.T; step++ {
+		eng2.BeginStep(step)
+		for i := range keys {
+			keys[i] = uint64(i)
+			xs[i] = float64(i%7) - 3
+		}
+		eng2.OfferPairs(keys, xs, nil)
+	}
+	h2 := eng2.Health()
+	if h2.AdmittedMass != h.AdmittedMass || h2.RejectedMass != h.RejectedMass ||
+		h2.GateOffered != h.GateOffered || h2.GateAdmitted != h.GateAdmitted {
+		t.Errorf("scalar/wave health mismatch:\nwave   %+v\nscalar %+v", h, h2)
+	}
+}

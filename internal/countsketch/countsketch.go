@@ -66,6 +66,10 @@ type Sketch struct {
 	// invScale caches 1/scale for the insert path.
 	scale    float64
 	invScale float64
+
+	// renorms counts completed Renormalize sweeps (telemetry; owned by
+	// the single writer, not serialized — it restarts at 0 on restore).
+	renorms uint64
 }
 
 // renormFloor is the scale at which lazy decay folds into the cells:
@@ -277,7 +281,12 @@ func (s *Sketch) Renormalize() {
 		s.w[i] = v * s.scale
 	}
 	s.scale, s.invScale = 1, 1
+	s.renorms++
 }
+
+// Renorms returns the number of completed renormalization sweeps since
+// construction (or restore) — decay maintenance telemetry.
+func (s *Sketch) Renorms() uint64 { return s.renorms }
 
 // DecayScale returns the current lazy decay accumulator (1 when no
 // decay has been applied since the last renormalization).
@@ -300,7 +309,7 @@ func (s *Sketch) Reset() {
 // Clone returns a deep copy sharing no mutable state (hash functions are
 // immutable and shared).
 func (s *Sketch) Clone() *Sketch {
-	c := &Sketch{cfg: s.cfg, h: s.h, w: make([]float64, len(s.w)), scale: s.scale, invScale: s.invScale}
+	c := &Sketch{cfg: s.cfg, h: s.h, w: make([]float64, len(s.w)), scale: s.scale, invScale: s.invScale, renorms: s.renorms}
 	copy(c.w, s.w)
 	return c
 }

@@ -34,12 +34,22 @@ type MeanSketch struct {
 	// wave is the group-size state and lazily built scratch of the
 	// wave-pipelined OfferPairs path (sketchapi.WaveTuner).
 	wave WaveTune
+
+	// Health telemetry: CS has no gate, so every offer is admitted mass;
+	// wave groups split into the staged pure-ingest path and the
+	// estimate-shape fallback (post-add estimates recompute from the
+	// table per pair).
+	inserts     uint64
+	mass        float64
+	waveGroups  uint64
+	waveFbShape uint64
 }
 
 var (
 	_ sketchapi.OfferEstimator = (*MeanSketch)(nil)
 	_ sketchapi.Decayer        = (*MeanSketch)(nil)
 	_ sketchapi.WaveTuner      = (*MeanSketch)(nil)
+	_ sketchapi.HealthReporter = (*MeanSketch)(nil)
 )
 
 // NewMeanSketch creates the vanilla-CS engine for a stream of exactly (or
@@ -102,7 +112,11 @@ func (m *MeanSketch) EffectiveSamples() float64 {
 }
 
 // Offer inserts x/T for key.
-func (m *MeanSketch) Offer(key uint64, x float64) { m.sk.Add(key, x*m.invT) }
+func (m *MeanSketch) Offer(key uint64, x float64) {
+	m.inserts++
+	m.mass += math.Abs(x)
+	m.sk.Add(key, x*m.invT)
+}
 
 // Estimate returns the current (t/T-scaled) mean estimate.
 func (m *MeanSketch) Estimate(key uint64) float64 { return m.sk.Estimate(key) }
@@ -110,6 +124,8 @@ func (m *MeanSketch) Estimate(key uint64) float64 { return m.sk.Estimate(key) }
 // OfferEstimate implements sketchapi.OfferEstimator: insert and
 // post-insert estimate off one Locate (the per-call path hashes twice).
 func (m *MeanSketch) OfferEstimate(key uint64, x float64) (float64, bool) {
+	m.inserts++
+	m.mass += math.Abs(x)
 	m.sk.Locate(key, &m.slots)
 	m.sk.AddSlots(&m.slots, x*m.invT)
 	return m.sk.EstimateSlots(&m.slots), true
@@ -134,6 +150,7 @@ func (m *MeanSketch) OfferPairs(keys []uint64, xs []float64, ests []float64) {
 			hi = len(keys)
 		}
 		n := hi - lo
+		m.waveGroups++
 		slots := w.Slots(n)
 		m.sk.LocateBatch(keys[lo:hi], slots)
 		w.Sink += m.sk.TouchSlots(slots)
@@ -141,15 +158,20 @@ func (m *MeanSketch) OfferPairs(keys []uint64, xs []float64, ests []float64) {
 			vs := w.Vs(n)
 			for i := 0; i < n; i++ {
 				vs[i] = xs[lo+i] * m.invT
+				m.mass += math.Abs(xs[lo+i])
 			}
+			m.inserts += uint64(n)
 			m.sk.AddSlotsBatch(slots, vs, nil, nil, nil)
 			continue
 		}
 		// The scalar contract recomputes the post-add estimate from the
 		// table (not the median shift), so the estimating path replays
 		// the per-pair order on the touched cells.
+		m.waveFbShape++
 		for i := 0; i < n; i++ {
 			sl := w.At(i)
+			m.inserts++
+			m.mass += math.Abs(xs[lo+i])
 			m.sk.AddSlots(sl, xs[lo+i]*m.invT)
 			ests[lo+i] = m.sk.EstimateSlots(sl)
 		}
@@ -160,6 +182,8 @@ func (m *MeanSketch) OfferPairs(keys []uint64, xs []float64, ests []float64) {
 // differential reference (sketchapi.WaveTuner, g = 1).
 func (m *MeanSketch) offerPairsScalar(keys []uint64, xs []float64, ests []float64) {
 	for i, key := range keys {
+		m.inserts++
+		m.mass += math.Abs(xs[i])
 		m.sk.Locate(key, &m.slots)
 		m.sk.AddSlots(&m.slots, xs[i]*m.invT)
 		if ests != nil {
@@ -174,6 +198,19 @@ func (m *MeanSketch) SetWaveGroup(g int) { m.wave.Set(g) }
 
 // WaveGroup implements sketchapi.WaveTuner.
 func (m *MeanSketch) WaveGroup() int { return m.wave.Group() }
+
+// Health implements sketchapi.HealthReporter: CS has no admission
+// gate, so every offer lands in ExplorationInserts/AdmittedMass and the
+// gate counters stay zero. Call from the owning goroutine.
+func (m *MeanSketch) Health() sketchapi.Health {
+	return sketchapi.Health{
+		ExplorationInserts: m.inserts,
+		AdmittedMass:       m.mass,
+		DecayRenorms:       m.sk.Renorms(),
+		WaveGroups:         m.waveGroups,
+		WaveFallbackShape:  m.waveFbShape,
+	}
+}
 
 // Bytes reports the table footprint.
 func (m *MeanSketch) Bytes() int { return m.sk.Bytes() }

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// HistBuckets is the fixed bucket count of every Hist: one bucket per
+// power of two of the observed value, which covers the full non-negative
+// int64 range (64 ns histograms span <1ns to ~292 years).
+const HistBuckets = 64
+
+// Hist is a lock-free log2-bucketed histogram. Observe is a single
+// atomic add (plus one for the sum): safe from any number of goroutines,
+// no allocation, no lock — the replacement for the server's mutex-ringed
+// latency window and the primitive behind every worker-owned latency and
+// batch-size distribution.
+//
+// Bucket i counts observations v with bits.Len64(v) == i, i.e.
+// v ∈ [2^(i-1), 2^i - 1]; bucket 0 counts v ≤ 0. The upper bound of
+// bucket i is therefore 2^i - 1 (inclusive), exposed by BucketUpper.
+// The coarse (≤2× relative error) buckets are the price of a wait-free
+// hot path; quantiles interpolate linearly within a bucket.
+type Hist struct {
+	buckets [HistBuckets]atomic.Uint64
+	sum     atomic.Int64
+}
+
+// bucketOf maps an observation to its bucket index.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(v))
+	if b >= HistBuckets {
+		return HistBuckets - 1
+	}
+	return b
+}
+
+// BucketUpper returns the inclusive upper bound of bucket i; the last
+// bucket is unbounded (+Inf).
+func BucketUpper(i int) float64 {
+	if i >= HistBuckets-1 {
+		return math.Inf(1)
+	}
+	return float64(uint64(1)<<uint(i) - 1)
+}
+
+// Observe records one value (durations in nanoseconds, sizes in units).
+func (h *Hist) Observe(v int64) {
+	h.buckets[bucketOf(v)].Add(1)
+	h.sum.Add(v)
+}
+
+// Snapshot captures a point-in-time copy into dst (reused across
+// scrapes; no allocation). Concurrent Observes may land in some buckets
+// and not others — each bucket is individually consistent, which is all
+// a monitoring scrape needs.
+func (h *Hist) Snapshot(dst *HistSnap) {
+	var count uint64
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		dst.Buckets[i] = c
+		count += c
+	}
+	dst.Count = count
+	dst.Sum = h.sum.Load()
+}
+
+// HistSnap is a plain (non-atomic) histogram snapshot: mergeable across
+// shards and queryable for quantiles.
+type HistSnap struct {
+	Buckets [HistBuckets]uint64
+	Count   uint64
+	Sum     int64
+}
+
+// Reset zeroes the snapshot for reuse.
+func (s *HistSnap) Reset() { *s = HistSnap{} }
+
+// Merge adds other's counts into s (bucket-wise). Because buckets are
+// fixed powers of two, merging never re-bins: bucket boundaries
+// round-trip exactly through any merge order.
+func (s *HistSnap) Merge(other *HistSnap) {
+	for i := range s.Buckets {
+		s.Buckets[i] += other.Buckets[i]
+	}
+	s.Count += other.Count
+	s.Sum += other.Sum
+}
+
+// Mean returns the average observed value, or 0 when empty.
+func (s *HistSnap) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile returns an estimate of the q-quantile (q ∈ [0,1]) by linear
+// interpolation within the containing bucket. Empty snapshots return 0.
+func (s *HistSnap) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i := range s.Buckets {
+		c := float64(s.Buckets[i])
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = float64(uint64(1) << uint(i-1))
+			}
+			hi := BucketUpper(i)
+			if math.IsInf(hi, 1) {
+				return lo
+			}
+			frac := 0.0
+			if c > 0 {
+				frac = (rank - cum) / c
+			}
+			return lo + frac*(hi+1-lo)
+		}
+		cum += c
+	}
+	return BucketUpper(HistBuckets - 1)
+}

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestHistBucketBoundaries pins the log2 binning contract: v lands in
+// bucket bits.Len64(v), whose inclusive upper bound is 2^i - 1.
+func TestHistBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1023, 10}, {1024, 11}, {1 << 40, 41}, {math.MaxInt64, 63},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+		// The value must not exceed its bucket's upper bound, and must
+		// exceed the previous bucket's bound.
+		if up := BucketUpper(c.want); float64(c.v) > up {
+			t.Errorf("v=%d above BucketUpper(%d)=%v", c.v, c.want, up)
+		}
+		if c.want > 0 && c.v > 0 {
+			if prev := BucketUpper(c.want - 1); float64(c.v) <= prev {
+				t.Errorf("v=%d not above BucketUpper(%d)=%v", c.v, c.want-1, prev)
+			}
+		}
+	}
+	if !math.IsInf(BucketUpper(HistBuckets-1), 1) {
+		t.Fatalf("last bucket must be +Inf, got %v", BucketUpper(HistBuckets-1))
+	}
+}
+
+// TestHistMergeRoundTrip is the satellite-mandated check: bucket
+// boundaries round-trip through merge — observing a value set into one
+// histogram equals observing disjoint subsets into several histograms
+// and merging their snapshots, bucket for bucket, in any merge order.
+func TestHistMergeRoundTrip(t *testing.T) {
+	vals := []int64{0, 1, 1, 2, 3, 5, 8, 13, 100, 1023, 1024, 1025, 1 << 20, 1 << 41, math.MaxInt64 / 2}
+
+	var whole Hist
+	parts := make([]Hist, 3)
+	for i, v := range vals {
+		whole.Observe(v)
+		parts[i%3].Observe(v)
+	}
+
+	var want, got, tmp HistSnap
+	whole.Snapshot(&want)
+
+	// Merge in two different orders; both must match the whole.
+	for _, order := range [][]int{{0, 1, 2}, {2, 0, 1}} {
+		got.Reset()
+		for _, i := range order {
+			parts[i].Snapshot(&tmp)
+			got.Merge(&tmp)
+		}
+		if got != want {
+			t.Fatalf("merge order %v: merged snapshot differs from whole\n got %+v\nwant %+v", order, got, want)
+		}
+	}
+	if got.Count != uint64(len(vals)) {
+		t.Fatalf("Count = %d, want %d", got.Count, len(vals))
+	}
+}
+
+func TestHistQuantile(t *testing.T) {
+	var h Hist
+	var s HistSnap
+	h.Snapshot(&s)
+	if q := s.Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %v, want 0", q)
+	}
+
+	// 1000 observations of 100 (bucket 7: [64,127]): every quantile
+	// must land inside that bucket.
+	for i := 0; i < 1000; i++ {
+		h.Observe(100)
+	}
+	h.Snapshot(&s)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		v := s.Quantile(q)
+		if v < 64 || v > 128 {
+			t.Errorf("Quantile(%v) = %v, want within bucket [64,128]", q, v)
+		}
+	}
+	if m := s.Mean(); m != 100 {
+		t.Errorf("Mean = %v, want 100", m)
+	}
+
+	// Skewed mixture: p50 below the tail bucket, p99 inside it.
+	var h2 Hist
+	for i := 0; i < 99; i++ {
+		h2.Observe(10)
+	}
+	for i := 0; i < 901; i++ {
+		h2.Observe(1 << 20)
+	}
+	h2.Snapshot(&s)
+	if p01 := s.Quantile(0.05); p01 > 16 {
+		t.Errorf("Quantile(0.05) = %v, want ≤ 16", p01)
+	}
+	if p99 := s.Quantile(0.99); p99 < 1<<19 {
+		t.Errorf("Quantile(0.99) = %v, want ≥ 2^19", p99)
+	}
+}
+
+// TestHistConcurrent exercises Observe/Snapshot under the race
+// detector and checks no observations are lost once writers stop.
+func TestHistConcurrent(t *testing.T) {
+	var h Hist
+	const writers, per = 8, 5000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // concurrent scraper
+		defer wg.Done()
+		var s HistSnap
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				h.Snapshot(&s)
+			}
+		}
+	}()
+	var ww sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		ww.Add(1)
+		go func(w int) {
+			defer ww.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(int64(w*1000 + i))
+			}
+		}(w)
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+	var s HistSnap
+	h.Snapshot(&s)
+	if s.Count != writers*per {
+		t.Fatalf("Count = %d, want %d", s.Count, writers*per)
+	}
+}
+
+func TestHistObserveAllocs(t *testing.T) {
+	var h Hist
+	var s HistSnap
+	if a := testing.AllocsPerRun(1000, func() { h.Observe(123456) }); a != 0 {
+		t.Fatalf("Observe allocates %v/op, want 0", a)
+	}
+	if a := testing.AllocsPerRun(100, func() { h.Snapshot(&s) }); a != 0 {
+		t.Fatalf("Snapshot allocates %v/op, want 0", a)
+	}
+}

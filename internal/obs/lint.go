@@ -1,0 +1,408 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Lint validates a Prometheus text-format (0.0.4) exposition page: the
+// internal checker CI runs against ascsd's /metrics and the golden test
+// runs against the handler. It checks:
+//
+//   - HELP/TYPE comment syntax and known TYPE keywords;
+//   - metric and label name character sets;
+//   - every sample belongs to a family whose TYPE precedes it;
+//   - families are contiguous (no interleaving after another family);
+//   - no duplicate series (same name + label set);
+//   - parseable sample values;
+//   - histogram shape: cumulative non-decreasing buckets, a le="+Inf"
+//     bucket equal to _count, and _sum/_count present.
+//
+// It is deliberately a subset validator — it accepts any page real
+// Prometheus would, and rejects the malformations this codebase could
+// plausibly produce.
+func Lint(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+
+	types := map[string]string{}   // family → TYPE
+	closed := map[string]bool{}    // family → a different family started after it
+	var current string             // family of the last sample/header
+	seen := map[string]bool{}      // full series (name+labels) → emitted
+	hists := map[string]*histAcc{} // histogram family → shape accumulator
+
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if strings.TrimSpace(text) == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			family, typ, err := parseComment(text)
+			if err != nil {
+				return fmt.Errorf("line %d: %w", line, err)
+			}
+			if family == "" {
+				continue // free-form comment
+			}
+			if closed[family] {
+				return fmt.Errorf("line %d: family %q reopened after another family", line, family)
+			}
+			if current != "" && current != family {
+				closed[current] = true
+			}
+			current = family
+			if typ != "" {
+				if old, ok := types[family]; ok && old != typ {
+					return fmt.Errorf("line %d: family %q TYPE changed %q -> %q", line, family, old, typ)
+				}
+				types[family] = typ
+			}
+			continue
+		}
+
+		name, labels, value, err := parseSample(text)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", line, err)
+		}
+		family := familyOf(name, types)
+		if types[family] == "" {
+			return fmt.Errorf("line %d: sample %q has no preceding # TYPE", line, name)
+		}
+		if closed[family] {
+			return fmt.Errorf("line %d: family %q interleaved after another family", line, family)
+		}
+		if current != "" && current != family {
+			closed[current] = true
+		}
+		current = family
+
+		series := name + "{" + canonLabels(labels) + "}"
+		if seen[series] {
+			return fmt.Errorf("line %d: duplicate series %s", line, series)
+		}
+		seen[series] = true
+
+		if types[family] == "histogram" {
+			h := hists[family+"{"+canonLabels(stripLe(labels))+"}"]
+			if h == nil {
+				h = &histAcc{lastCum: -1}
+				hists[family+"{"+canonLabels(stripLe(labels))+"}"] = h
+			}
+			if err := h.add(name, family, labels, value); err != nil {
+				return fmt.Errorf("line %d: %w", line, err)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for series, h := range hists {
+		if err := h.finish(series); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// histAcc accumulates one histogram series' shape checks.
+type histAcc struct {
+	lastCum  float64 // cumulative monotonicity; -1 = none yet
+	infCum   float64
+	count    float64
+	hasInf   bool
+	hasCount bool
+	hasSum   bool
+}
+
+func (h *histAcc) add(name, family string, labels []label, value float64) error {
+	switch {
+	case strings.HasSuffix(name, "_bucket"):
+		le := ""
+		for _, l := range labels {
+			if l.k == "le" {
+				le = l.v
+			}
+		}
+		if le == "" {
+			return fmt.Errorf("histogram %s bucket without le label", family)
+		}
+		bound, err := parsePromFloat(le)
+		if err != nil {
+			return fmt.Errorf("histogram %s bad le %q: %v", family, le, err)
+		}
+		if h.lastCum >= 0 && value < h.lastCum {
+			return fmt.Errorf("histogram %s buckets not cumulative at le=%q (%v < %v)", family, le, value, h.lastCum)
+		}
+		h.lastCum = value
+		if math.IsInf(bound, 1) {
+			h.hasInf = true
+			h.infCum = value
+		}
+	case strings.HasSuffix(name, "_count"):
+		h.hasCount = true
+		h.count = value
+	case strings.HasSuffix(name, "_sum"):
+		h.hasSum = true
+	default:
+		return fmt.Errorf("histogram family %s has stray sample %s", family, name)
+	}
+	return nil
+}
+
+func (h *histAcc) finish(series string) error {
+	if !h.hasInf {
+		return fmt.Errorf("histogram %s missing le=\"+Inf\" bucket", series)
+	}
+	if !h.hasCount || !h.hasSum {
+		return fmt.Errorf("histogram %s missing _sum or _count", series)
+	}
+	if h.infCum != h.count {
+		return fmt.Errorf("histogram %s +Inf bucket %v != _count %v", series, h.infCum, h.count)
+	}
+	return nil
+}
+
+// familyOf strips a histogram sample suffix when its base family has a
+// histogram TYPE; plain metrics are their own family.
+func familyOf(name string, types map[string]string) string {
+	for _, suf := range [...]string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok && types[base] == "histogram" {
+			return base
+		}
+	}
+	return name
+}
+
+func parseComment(text string) (family, typ string, err error) {
+	fields := strings.SplitN(text, " ", 4)
+	if len(fields) < 2 {
+		return "", "", nil
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 4 || !validName(fields[2]) {
+			return "", "", fmt.Errorf("malformed HELP comment %q", text)
+		}
+		return fields[2], "", nil
+	case "TYPE":
+		if len(fields) != 4 || !validName(fields[2]) {
+			return "", "", fmt.Errorf("malformed TYPE comment %q", text)
+		}
+		switch fields[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return "", "", fmt.Errorf("unknown TYPE %q", fields[3])
+		}
+		return fields[2], fields[3], nil
+	}
+	return "", "", nil
+}
+
+type label struct{ k, v string }
+
+// parseSample splits `name{labels} value [timestamp]`.
+func parseSample(text string) (string, []label, float64, error) {
+	rest := text
+	brace := strings.IndexByte(rest, '{')
+	var name string
+	var labels []label
+	if brace >= 0 {
+		name = rest[:brace]
+		end := strings.LastIndexByte(rest, '}')
+		if end < brace {
+			return "", nil, 0, fmt.Errorf("unterminated label set in %q", text)
+		}
+		var err error
+		labels, err = parseLabels(rest[brace+1 : end])
+		if err != nil {
+			return "", nil, 0, err
+		}
+		rest = rest[end+1:]
+	} else {
+		sp := strings.IndexByte(rest, ' ')
+		if sp < 0 {
+			return "", nil, 0, fmt.Errorf("sample without value: %q", text)
+		}
+		name = rest[:sp]
+		rest = rest[sp:]
+	}
+	if !validName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("malformed sample %q", text)
+	}
+	v, err := parsePromFloat(fields[0])
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad value %q: %v", fields[0], err)
+	}
+	return name, labels, v, nil
+}
+
+func parseLabels(s string) ([]label, error) {
+	var out []label
+	for s != "" {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("label without '=' in %q", s)
+		}
+		k := s[:eq]
+		if !validLabelName(k) {
+			return nil, fmt.Errorf("invalid label name %q", k)
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return nil, fmt.Errorf("unquoted label value after %q", k)
+		}
+		s = s[1:]
+		var v strings.Builder
+		for {
+			if len(s) == 0 {
+				return nil, fmt.Errorf("unterminated label value for %q", k)
+			}
+			c := s[0]
+			s = s[1:]
+			if c == '"' {
+				break
+			}
+			if c == '\\' {
+				if len(s) == 0 {
+					return nil, fmt.Errorf("dangling escape in label %q", k)
+				}
+				switch s[0] {
+				case '"', '\\':
+					v.WriteByte(s[0])
+				case 'n':
+					v.WriteByte('\n')
+				default:
+					return nil, fmt.Errorf("bad escape \\%c in label %q", s[0], k)
+				}
+				s = s[1:]
+				continue
+			}
+			v.WriteByte(c)
+		}
+		out = append(out, label{k, v.String()})
+		if s != "" {
+			if s[0] != ',' {
+				return nil, fmt.Errorf("expected ',' between labels, got %q", s)
+			}
+			s = s[1:]
+		}
+	}
+	return out, nil
+}
+
+func canonLabels(labels []label) string {
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		parts[i] = l.k + "=" + l.v
+	}
+	// Insertion sort: label sets here are tiny.
+	for i := 1; i < len(parts); i++ {
+		for j := i; j > 0 && parts[j] < parts[j-1]; j-- {
+			parts[j], parts[j-1] = parts[j-1], parts[j]
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+func stripLe(labels []label) []label {
+	out := labels[:0:0]
+	for _, l := range labels {
+		if l.k != "le" {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+func parsePromFloat(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Families parses an exposition page into per-family aggregates: the
+// sum of all plain samples per family name, and (for convenience when
+// diffing scrapes) the max. Histogram families aggregate their _sum and
+// _count. ascsload uses this to turn two scrapes into counter deltas.
+type Families map[string]FamilyAgg
+
+// FamilyAgg summarizes one family's samples on a page.
+type FamilyAgg struct {
+	Sum   float64
+	Max   float64
+	Count int
+}
+
+// Parse reads an exposition page into family aggregates. It assumes a
+// well-formed page (run Lint first when provenance is untrusted);
+// malformed lines are skipped rather than failing a bench run.
+func Parse(r io.Reader) (Families, error) {
+	fams := Families{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		text := sc.Text()
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		name, _, value, err := parseSample(text)
+		if err != nil {
+			continue
+		}
+		agg := fams[name]
+		agg.Sum += value
+		if agg.Count == 0 || value > agg.Max {
+			agg.Max = value
+		}
+		agg.Count++
+		fams[name] = agg
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return fams, nil
+}

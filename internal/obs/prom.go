@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strconv"
+)
+
+// Expo builds a Prometheus text-format (version 0.0.4) exposition page
+// into a caller-owned buffer. It is scrape-time machinery: handlers pool
+// the buffer, and the page is rebuilt from atomic snapshots on each
+// scrape.
+//
+// Usage contract: call Header once per family (before any of its
+// samples), then Sample/Histogram lines. Label strings are prerendered
+// by the caller (e.g. `shard="3"`) so the hot shard loop does no
+// formatting beyond the value itself.
+type Expo struct {
+	B bytes.Buffer
+}
+
+// Reset clears the page for reuse.
+func (e *Expo) Reset() { e.B.Reset() }
+
+// Header emits the # HELP / # TYPE preamble for a family.
+func (e *Expo) Header(name, typ, help string) {
+	e.B.WriteString("# HELP ")
+	e.B.WriteString(name)
+	e.B.WriteByte(' ')
+	e.B.WriteString(help)
+	e.B.WriteByte('\n')
+	e.B.WriteString("# TYPE ")
+	e.B.WriteString(name)
+	e.B.WriteByte(' ')
+	e.B.WriteString(typ)
+	e.B.WriteByte('\n')
+}
+
+// writeFloat appends v in Prometheus notation (+Inf/-Inf/NaN spellings).
+func (e *Expo) writeFloat(v float64) {
+	switch {
+	case math.IsInf(v, 1):
+		e.B.WriteString("+Inf")
+	case math.IsInf(v, -1):
+		e.B.WriteString("-Inf")
+	case math.IsNaN(v):
+		e.B.WriteString("NaN")
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		e.B.Write(strconv.AppendInt(e.scratch(), int64(v), 10))
+	default:
+		e.B.Write(strconv.AppendFloat(e.scratch(), v, 'g', -1, 64))
+	}
+}
+
+// scratch returns a zero-length slice backed by a small stack array;
+// strconv appends into it and the result is copied into the buffer.
+func (e *Expo) scratch() []byte { return make([]byte, 0, 24) }
+
+// Sample emits one sample line: name{labels} value. labels is the raw
+// comma-joined pair list without braces ("" for none).
+func (e *Expo) Sample(name, labels string, value float64) {
+	e.B.WriteString(name)
+	if labels != "" {
+		e.B.WriteByte('{')
+		e.B.WriteString(labels)
+		e.B.WriteByte('}')
+	}
+	e.B.WriteByte(' ')
+	e.writeFloat(value)
+	e.B.WriteByte('\n')
+}
+
+// Histogram emits the cumulative-bucket series for one histogram
+// snapshot: non-empty buckets plus the mandatory le="+Inf" bucket, then
+// _sum and _count. scale converts stored units to exposition units
+// (1e-9 for ns→s; 1 for counts). labels is the base label list for the
+// series ("" for none); the le label is appended to it.
+//
+// Empty buckets are elided (except +Inf) to keep pages small — the
+// cumulative encoding loses nothing by it.
+func (e *Expo) Histogram(name, labels string, s *HistSnap, scale float64) {
+	var cum uint64
+	for i := 0; i < HistBuckets-1; i++ {
+		c := s.Buckets[i]
+		if c == 0 {
+			continue
+		}
+		cum += c
+		e.bucketLine(name, labels, BucketUpper(i)*scale, cum)
+	}
+	e.bucketLine(name, labels, math.Inf(1), s.Count)
+
+	e.B.WriteString(name)
+	e.B.WriteString("_sum")
+	if labels != "" {
+		e.B.WriteByte('{')
+		e.B.WriteString(labels)
+		e.B.WriteByte('}')
+	}
+	e.B.WriteByte(' ')
+	e.writeFloat(float64(s.Sum) * scale)
+	e.B.WriteByte('\n')
+
+	e.B.WriteString(name)
+	e.B.WriteString("_count")
+	if labels != "" {
+		e.B.WriteByte('{')
+		e.B.WriteString(labels)
+		e.B.WriteByte('}')
+	}
+	e.B.WriteByte(' ')
+	e.writeFloat(float64(s.Count))
+	e.B.WriteByte('\n')
+}
+
+func (e *Expo) bucketLine(name, labels string, le float64, cum uint64) {
+	e.B.WriteString(name)
+	e.B.WriteString("_bucket{")
+	if labels != "" {
+		e.B.WriteString(labels)
+		e.B.WriteByte(',')
+	}
+	e.B.WriteString(`le="`)
+	e.writeFloat(le)
+	e.B.WriteString(`"} `)
+	e.writeFloat(float64(cum))
+	e.B.WriteByte('\n')
+}

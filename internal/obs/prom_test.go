@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExpoLintRoundTrip renders a page with every primitive the real
+// /metrics handler uses and requires the internal linter to accept it.
+func TestExpoLintRoundTrip(t *testing.T) {
+	var e Expo
+	e.Header("ascs_demo_total", "counter", "A demo counter.")
+	e.Sample("ascs_demo_total", `shard="0"`, 41)
+	e.Sample("ascs_demo_total", `shard="1"`, 1.5)
+	e.Header("ascs_wave_fallback_total", "counter", "Fallbacks by cause.")
+	e.Sample("ascs_wave_fallback_total", `cause="conflict"`, 2)
+	e.Sample("ascs_wave_fallback_total", `cause="shape"`, 0)
+	e.Header("ascs_demo_gauge", "gauge", "A demo gauge.")
+	e.Sample("ascs_demo_gauge", "", -3.25)
+
+	var h Hist
+	for _, v := range []int64{50, 900, 900, 1 << 20} {
+		h.Observe(v)
+	}
+	var s HistSnap
+	h.Snapshot(&s)
+	e.Header("ascs_demo_seconds", "histogram", "A demo duration histogram.")
+	e.Histogram("ascs_demo_seconds", `endpoint="topk"`, &s, 1e-9)
+
+	page := e.B.String()
+	if err := Lint(strings.NewReader(page)); err != nil {
+		t.Fatalf("Lint rejected Expo output: %v\npage:\n%s", err, page)
+	}
+	for _, want := range []string{
+		"# TYPE ascs_demo_total counter",
+		`ascs_demo_total{shard="0"} 41`,
+		`ascs_wave_fallback_total{cause="conflict"} 2`,
+		`ascs_demo_seconds_bucket{endpoint="topk",le="+Inf"} 4`,
+		`ascs_demo_seconds_count{endpoint="topk"} 4`,
+	} {
+		if !strings.Contains(page, want+"\n") {
+			t.Errorf("page missing %q\npage:\n%s", want, page)
+		}
+	}
+}
+
+func TestLintRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"no TYPE":     "ascs_x_total 1\n",
+		"bad name":    "# TYPE 9bad counter\n9bad 1\n",
+		"dup series":  "# TYPE a_total counter\na_total{x=\"1\"} 1\na_total{x=\"1\"} 2\n",
+		"interleaved": "# TYPE a_total counter\na_total 1\n# TYPE b_total counter\nb_total 1\n# TYPE a_total counter\na_total{x=\"2\"} 1\n",
+		"bad value":   "# TYPE a_total counter\na_total one\n",
+		"bad TYPE":    "# TYPE a_total chart\na_total 1\n",
+		"non-cumulative histogram": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+		"missing +Inf": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_sum 1\nh_count 5\n",
+		"+Inf != count": "# TYPE h histogram\n" +
+			"h_bucket{le=\"+Inf\"} 4\nh_sum 1\nh_count 5\n",
+		"unquoted label": "# TYPE a_total counter\na_total{x=1} 1\n",
+	}
+	for name, page := range cases {
+		if err := Lint(strings.NewReader(page)); err == nil {
+			t.Errorf("%s: Lint accepted malformed page:\n%s", name, page)
+		}
+	}
+}
+
+func TestLintAcceptsWellFormed(t *testing.T) {
+	page := "# HELP go_goroutines Number of goroutines.\n" +
+		"# TYPE go_goroutines gauge\n" +
+		"go_goroutines 12\n" +
+		"# TYPE h histogram\n" +
+		"h_bucket{le=\"0.5\"} 2\n" +
+		"h_bucket{le=\"+Inf\"} 7\n" +
+		"h_sum 3.5\n" +
+		"h_count 7\n"
+	if err := Lint(strings.NewReader(page)); err != nil {
+		t.Fatalf("Lint rejected well-formed page: %v", err)
+	}
+}
+
+func TestParseFamilies(t *testing.T) {
+	page := "# TYPE ascs_shard_ops_total counter\n" +
+		"ascs_shard_ops_total{shard=\"0\"} 10\n" +
+		"ascs_shard_ops_total{shard=\"1\"} 32\n" +
+		"# TYPE ascs_shard_queue_high_water gauge\n" +
+		"ascs_shard_queue_high_water{shard=\"0\"} 3\n" +
+		"ascs_shard_queue_high_water{shard=\"1\"} 7\n"
+	fams, err := Parse(strings.NewReader(page))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fams["ascs_shard_ops_total"].Sum; got != 42 {
+		t.Errorf("ops sum = %v, want 42", got)
+	}
+	if got := fams["ascs_shard_queue_high_water"].Max; got != 7 {
+		t.Errorf("queue HW max = %v, want 7", got)
+	}
+	if got := fams["ascs_shard_ops_total"].Count; got != 2 {
+		t.Errorf("ops sample count = %v, want 2", got)
+	}
+}

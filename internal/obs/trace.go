@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Request tracing is deliberately minimal: a propagated ID, a handful
+// of named span durations collected as the request crosses layers
+// (route → queue-wait → shard-apply → merge), and a sampler deciding
+// which requests get a structured log line. No spans are allocated for
+// unsampled requests — the hot path cost of an unsampled request is one
+// atomic add in the sampler and a context lookup.
+
+// idEntropy is a per-process random prefix so request IDs from
+// different daemon instances do not collide; idSeq disambiguates within
+// the process.
+var (
+	idEntropy = func() uint64 {
+		var b [8]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			return uint64(time.Now().UnixNano())
+		}
+		return binary.LittleEndian.Uint64(b[:])
+	}()
+	idSeq atomic.Uint64
+)
+
+// NewRequestID returns a process-unique request identifier of the form
+// <entropy16hex>-<seq>. Callers propagate it via X-Request-ID.
+func NewRequestID() string {
+	n := idSeq.Add(1)
+	buf := make([]byte, 0, 16+1+20)
+	buf = strconv.AppendUint(buf, idEntropy, 16)
+	buf = append(buf, '-')
+	buf = strconv.AppendUint(buf, n, 10)
+	return string(buf)
+}
+
+// MaxSpans bounds the spans recorded per trace; a request crosses a
+// fixed number of layers, so overflow indicates a bug and is dropped.
+const MaxSpans = 8
+
+// SpanTiming is one named duration inside a request.
+type SpanTiming struct {
+	Name string
+	D    time.Duration
+}
+
+// Trace collects span timings for one sampled request. It is carried in
+// the request context; layers call Span as they finish their stage.
+// A nil *Trace is a valid no-op receiver, so call sites never branch on
+// sampling.
+type Trace struct {
+	ID    string
+	Start time.Time
+	spans [MaxSpans]SpanTiming
+	n     int
+}
+
+// NewTrace starts a trace for a sampled request.
+func NewTrace(id string) *Trace {
+	return &Trace{ID: id, Start: time.Now()}
+}
+
+// Span records one named duration; no-op on a nil trace or overflow.
+func (t *Trace) Span(name string, d time.Duration) {
+	if t == nil || t.n >= MaxSpans {
+		return
+	}
+	t.spans[t.n] = SpanTiming{Name: name, D: d}
+	t.n++
+}
+
+// Spans returns the recorded timings in record order.
+func (t *Trace) Spans() []SpanTiming {
+	if t == nil {
+		return nil
+	}
+	return t.spans[:t.n]
+}
+
+// Sampler admits every Nth request for tracing. every ≤ 0 disables
+// sampling entirely (Sample always false). Safe for concurrent use.
+type Sampler struct {
+	every int64
+	n     atomic.Int64
+}
+
+// NewSampler returns a 1-in-every sampler (0 or negative: never).
+func NewSampler(every int) *Sampler { return &Sampler{every: int64(every)} }
+
+// Sample reports whether this request should be traced.
+func (s *Sampler) Sample() bool {
+	if s == nil || s.every <= 0 {
+		return false
+	}
+	return s.n.Add(1)%s.every == 0
+}
+
+type traceKey struct{}
+
+// WithTrace attaches a trace to the context.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// FromContext returns the request's trace, or nil when unsampled —
+// which every Trace method accepts.
+func FromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}

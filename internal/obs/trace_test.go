@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestRequestIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		id := NewRequestID()
+		if seen[id] {
+			t.Fatalf("duplicate request ID %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestTraceSpansAndNilSafety(t *testing.T) {
+	var nilTrace *Trace
+	nilTrace.Span("route", time.Millisecond) // must not panic
+	if s := nilTrace.Spans(); s != nil {
+		t.Fatalf("nil trace Spans = %v, want nil", s)
+	}
+
+	tr := NewTrace("abc-1")
+	tr.Span("route", 2*time.Millisecond)
+	tr.Span("queue_wait", time.Millisecond)
+	spans := tr.Spans()
+	if len(spans) != 2 || spans[0].Name != "route" || spans[1].D != time.Millisecond {
+		t.Fatalf("unexpected spans %v", spans)
+	}
+	// Overflow past MaxSpans is dropped, not panicking.
+	for i := 0; i < 2*MaxSpans; i++ {
+		tr.Span("x", 1)
+	}
+	if len(tr.Spans()) != MaxSpans {
+		t.Fatalf("span cap not enforced: %d", len(tr.Spans()))
+	}
+}
+
+func TestSampler(t *testing.T) {
+	if NewSampler(0).Sample() {
+		t.Fatal("every=0 sampler must never sample")
+	}
+	var none *Sampler
+	if none.Sample() {
+		t.Fatal("nil sampler must never sample")
+	}
+	s := NewSampler(4)
+	hits := 0
+	for i := 0; i < 100; i++ {
+		if s.Sample() {
+			hits++
+		}
+	}
+	if hits != 25 {
+		t.Fatalf("1-in-4 sampler hit %d/100, want 25", hits)
+	}
+}
+
+func TestTraceContext(t *testing.T) {
+	if got := FromContext(context.Background()); got != nil {
+		t.Fatalf("empty context trace = %v, want nil", got)
+	}
+	tr := NewTrace("id-1")
+	ctx := WithTrace(context.Background(), tr)
+	if got := FromContext(ctx); got != tr {
+		t.Fatal("trace did not round-trip through context")
+	}
+}
+
+func TestSnapFloatAndMax(t *testing.T) {
+	var s Snap
+	s.StoreFloat(ShardAdmittedMass, 3.5)
+	if got := s.LoadFloat(ShardAdmittedMass); got != 3.5 {
+		t.Fatalf("LoadFloat = %v, want 3.5", got)
+	}
+	if got := s.Value(ShardAdmittedMass); got != 3.5 {
+		t.Fatalf("Value(float slot) = %v, want 3.5", got)
+	}
+	s.Store(ShardOps, 7)
+	if got := s.Value(ShardOps); got != 7 {
+		t.Fatalf("Value(int slot) = %v, want 7", got)
+	}
+	s.Max(ShardQueueHighWater, 5)
+	s.Max(ShardQueueHighWater, 3)
+	s.Max(ShardQueueHighWater, 9)
+	if got := s.Load(ShardQueueHighWater); got != 9 {
+		t.Fatalf("Max high-water = %d, want 9", got)
+	}
+}
+
+func TestShardDefsComplete(t *testing.T) {
+	seenFamily := map[string]int{}
+	for i, d := range ShardDefs {
+		if d.Name == "" || d.Help == "" {
+			t.Fatalf("slot %d has empty Name/Help", i)
+		}
+		if last, ok := seenFamily[d.Name]; ok && last != i-1 {
+			t.Fatalf("family %q not contiguous in ShardDefs (slots %d and %d)", d.Name, last, i)
+		}
+		seenFamily[d.Name] = i
+		if (d.LabelK == "") != (d.LabelV == "") {
+			t.Fatalf("slot %d has half a label", i)
+		}
+	}
+}

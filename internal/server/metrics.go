@@ -1,83 +1,63 @@
 package server
 
 import (
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
-	"repro/internal/stats"
+	"repro/internal/obs"
 )
 
-// ringSize bounds the per-endpoint latency window the percentiles are
-// computed over: recent behaviour, constant memory.
-const ringSize = 4096
-
-// endpointMetrics aggregates one route's traffic. A plain mutex is fine
-// here — the cost of serving a request dwarfs a counter update, and the
-// sketch hot path never touches this.
+// endpointMetrics aggregates one route's traffic on a lock-free
+// log2-bucketed latency histogram (nanoseconds). The previous design
+// kept a mutexed 4096-slot ring and copied + sorted it on every
+// /v1/stats call — a scrape cost that grew with scrape *and* request
+// traffic; the histogram makes observe two atomic adds and snapshot an
+// alloc-free 64-slot copy (BenchmarkEndpointMetricsSnapshot pins it).
 type endpointMetrics struct {
-	mu     sync.Mutex
-	count  uint64
-	errors uint64
-	sumMS  float64
-	ring   [ringSize]float64
-	filled int
-	pos    int
+	errors atomic.Uint64
+	hist   obs.Hist
 }
 
 func (em *endpointMetrics) observe(d time.Duration, isErr bool) {
-	ms := float64(d) / float64(time.Millisecond)
-	em.mu.Lock()
-	em.count++
 	if isErr {
-		em.errors++
+		em.errors.Add(1)
 	}
-	em.sumMS += ms
-	em.ring[em.pos] = ms
-	em.pos = (em.pos + 1) % ringSize
-	if em.filled < ringSize {
-		em.filled++
-	}
-	em.mu.Unlock()
+	em.hist.Observe(int64(d))
 }
 
-// EndpointStats is the JSON view of one route's metrics. MeanMS, P50MS
-// and P99MS all cover the same window — the last Window requests
-// (Window ≤ 4096) — so they are mutually comparable; LifetimeMeanMS is
-// the only lifetime aggregate, labeled as such. Pre-lane versions
-// reported a lifetime mean next to windowed percentiles under one
-// roof, which made a latency regression invisible until it had paid
-// off the history.
+// EndpointStats is the JSON view of one route's metrics, cumulative
+// since process start. The mean is exact; P50MS/P99MS are read off the
+// log2 histogram by linear interpolation inside the holding bucket, so
+// they carry at most one-octave resolution error — the price of a
+// bounded, lock-free, merge-exact representation (the same buckets are
+// exposed raw on /metrics for cross-scrape rate math).
 type EndpointStats struct {
-	Count          uint64  `json:"count"`
-	Errors         uint64  `json:"errors"`
-	Window         int     `json:"window"`
-	MeanMS         float64 `json:"mean_ms"`
-	LifetimeMeanMS float64 `json:"lifetime_mean_ms"`
-	P50MS          float64 `json:"p50_ms"`
-	P99MS          float64 `json:"p99_ms"`
+	Count  uint64  `json:"count"`
+	Errors uint64  `json:"errors"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P99MS  float64 `json:"p99_ms"`
 }
 
-func (em *endpointMetrics) snapshot() EndpointStats {
-	em.mu.Lock()
-	defer em.mu.Unlock()
-	st := EndpointStats{Count: em.count, Errors: em.errors, Window: em.filled}
-	if em.count > 0 {
-		st.LifetimeMeanMS = em.sumMS / float64(em.count)
-	}
-	if em.filled > 0 {
-		window := append([]float64(nil), em.ring[:em.filled]...)
-		var sum float64
-		for _, v := range window {
-			sum += v
-		}
-		st.MeanMS = sum / float64(em.filled)
-		st.P50MS = stats.Quantile(window, 0.5)
-		st.P99MS = stats.Quantile(window, 0.99)
+// snapshot reads the histogram through the caller's scratch HistSnap
+// (keeping the read path alloc-free) and derives the JSON view.
+func (em *endpointMetrics) snapshot(hs *obs.HistSnap) EndpointStats {
+	em.hist.Snapshot(hs)
+	st := EndpointStats{Count: hs.Count, Errors: em.errors.Load()}
+	if hs.Count > 0 {
+		st.MeanMS = hs.Mean() / float64(time.Millisecond)
+		st.P50MS = hs.Quantile(0.5) / float64(time.Millisecond)
+		st.P99MS = hs.Quantile(0.99) / float64(time.Millisecond)
 	}
 	return st
 }
 
-// metrics holds one endpointMetrics per route.
+// metrics holds one endpointMetrics per route. The per-route structs
+// are resolved once at handler registration; the map is read-only
+// afterwards, so lookups during serving take no lock (the mutex guards
+// the registration window only).
 type metrics struct {
 	mu  sync.Mutex
 	per map[string]*endpointMetrics
@@ -98,18 +78,24 @@ func (m *metrics) endpoint(name string) *endpointMetrics {
 	return em
 }
 
-func (m *metrics) snapshot() map[string]EndpointStats {
+// names returns the registered route names, sorted — the stable
+// iteration order the Prometheus exposition needs.
+func (m *metrics) names() []string {
 	m.mu.Lock()
-	names := make([]string, 0, len(m.per))
-	ems := make([]*endpointMetrics, 0, len(m.per))
-	for name, em := range m.per {
-		names = append(names, name)
-		ems = append(ems, em)
+	out := make([]string, 0, len(m.per))
+	for name := range m.per {
+		out = append(out, name)
 	}
 	m.mu.Unlock()
-	out := make(map[string]EndpointStats, len(names))
-	for i, name := range names {
-		out[name] = ems[i].snapshot()
+	sort.Strings(out)
+	return out
+}
+
+func (m *metrics) snapshot() map[string]EndpointStats {
+	var hs obs.HistSnap
+	out := make(map[string]EndpointStats, len(m.per))
+	for _, name := range m.names() {
+		out[name] = m.endpoint(name).snapshot(&hs)
 	}
 	return out
 }

@@ -1,69 +1,85 @@
 package server
 
 import (
-	"math"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
-// TestEndpointMetricsWindowed pins the stats-window contract: count and
-// the lifetime mean cover every request, while mean/p50/p99 cover the
-// same last-ringSize window — mixing a lifetime mean with windowed
-// percentiles is the bug this replaces.
-func TestEndpointMetricsWindowed(t *testing.T) {
+// TestEndpointMetricsHistogram pins the histogram-backed stats
+// contract: counts and errors are exact, the mean is exact, and the
+// quantiles land within the log2 bucket holding the true value (the
+// documented one-octave resolution).
+func TestEndpointMetricsHistogram(t *testing.T) {
 	em := &endpointMetrics{}
-	// Partially filled ring first: window == count.
-	for i := 0; i < 10; i++ {
-		em.observe(2*time.Millisecond, false)
-	}
-	st := em.snapshot()
-	if st.Count != 10 || st.Window != 10 {
-		t.Fatalf("partial ring: count=%d window=%d, want 10/10", st.Count, st.Window)
-	}
-	if math.Abs(st.MeanMS-2) > 1e-9 || math.Abs(st.LifetimeMeanMS-2) > 1e-9 {
-		t.Fatalf("partial ring means %v/%v, want 2/2", st.MeanMS, st.LifetimeMeanMS)
-	}
-
-	// Wrap the ring: ringSize slow 10ms observations displace the 2ms
-	// ones entirely, then 100 fast 1ms ones overwrite the oldest slot
-	// range again.
-	for i := 0; i < ringSize; i++ {
-		em.observe(10*time.Millisecond, false)
-	}
-	for i := 0; i < 100; i++ {
-		em.observe(time.Millisecond, true)
-	}
-	st = em.snapshot()
-	wantCount := uint64(10 + ringSize + 100)
-	if st.Count != wantCount || st.Errors != 100 {
-		t.Fatalf("count=%d errors=%d, want %d/100", st.Count, st.Errors, wantCount)
-	}
-	if st.Window != ringSize {
-		t.Fatalf("window=%d after wraparound, want %d", st.Window, ringSize)
-	}
-	// The window holds exactly ringSize-100 tens and 100 ones; the 2ms
-	// prefix must have aged out.
-	wantMean := (float64(ringSize-100)*10 + 100*1) / float64(ringSize)
-	if math.Abs(st.MeanMS-wantMean) > 1e-9 {
-		t.Fatalf("windowed mean %v, want %v", st.MeanMS, wantMean)
-	}
-	wantLifetime := (10*2 + float64(ringSize)*10 + 100*1) / float64(wantCount)
-	if math.Abs(st.LifetimeMeanMS-wantLifetime) > 1e-9 {
-		t.Fatalf("lifetime mean %v, want %v", st.LifetimeMeanMS, wantLifetime)
-	}
-	if st.P50MS != 10 {
-		t.Fatalf("windowed p50 %v, want 10", st.P50MS)
-	}
-	// A lifetime mean would sit near 10 forever; the windowed p99 and
-	// mean must move once the window is dominated by recent samples.
-	for i := 0; i < ringSize; i++ {
+	for i := 0; i < 90; i++ {
 		em.observe(time.Millisecond, false)
 	}
-	st = em.snapshot()
-	if st.MeanMS != 1 || st.P50MS != 1 || st.P99MS != 1 {
-		t.Fatalf("fully recycled window stats mean=%v p50=%v p99=%v, want all 1", st.MeanMS, st.P50MS, st.P99MS)
+	for i := 0; i < 10; i++ {
+		em.observe(100*time.Millisecond, true)
 	}
-	if st.LifetimeMeanMS <= 1 {
-		t.Fatalf("lifetime mean %v should still carry the slow history", st.LifetimeMeanMS)
+	var hs obs.HistSnap
+	st := em.snapshot(&hs)
+	if st.Count != 100 || st.Errors != 10 {
+		t.Fatalf("count=%d errors=%d, want 100/10", st.Count, st.Errors)
+	}
+	wantMean := (90*1.0 + 10*100.0) / 100
+	// The histogram mean is exact up to float accumulation of the raw
+	// nanosecond sum.
+	if st.MeanMS < wantMean*0.999 || st.MeanMS > wantMean*1.001 {
+		t.Fatalf("mean %v ms, want ~%v", st.MeanMS, wantMean)
+	}
+	// p50 sits in 1ms's bucket [2^19, 2^20) ns ≈ [0.52, 1.05] ms; p99 in
+	// 100ms's bucket [2^26, 2^27) ns ≈ [67, 134] ms.
+	if st.P50MS < 0.5 || st.P50MS > 1.1 {
+		t.Fatalf("p50 %v ms outside 1ms bucket", st.P50MS)
+	}
+	if st.P99MS < 67 || st.P99MS > 135 {
+		t.Fatalf("p99 %v ms outside 100ms bucket", st.P99MS)
+	}
+}
+
+// TestMetricsSnapshotStableNames pins that snapshot covers every
+// registered route and names() is sorted (the exposition order).
+func TestMetricsSnapshotStableNames(t *testing.T) {
+	m := newMetrics()
+	m.endpoint("zeta").observe(time.Millisecond, false)
+	m.endpoint("alpha").observe(time.Millisecond, true)
+	names := m.names()
+	if len(names) != 2 || names[0] != "alpha" || names[1] != "zeta" {
+		t.Fatalf("names = %v, want sorted [alpha zeta]", names)
+	}
+	snap := m.snapshot()
+	if snap["alpha"].Errors != 1 || snap["zeta"].Count != 1 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+// BenchmarkEndpointMetricsSnapshot is the satellite's scrape-cost
+// proof: the pre-histogram design copied and sorted a 4096-slot ring
+// per endpoint per scrape; the histogram snapshot is a fixed 64-slot
+// atomic copy with zero heap allocations.
+func BenchmarkEndpointMetricsSnapshot(b *testing.B) {
+	em := &endpointMetrics{}
+	for i := 0; i < 10_000; i++ {
+		em.observe(time.Duration(i)*time.Microsecond, i%97 == 0)
+	}
+	var hs obs.HistSnap
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = em.snapshot(&hs)
+	}
+}
+
+// BenchmarkEndpointMetricsObserve measures the per-request recording
+// cost on the hot serving path (two atomic adds).
+func BenchmarkEndpointMetricsObserve(b *testing.B) {
+	em := &endpointMetrics{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		em.observe(time.Millisecond, false)
 	}
 }

@@ -1,0 +1,149 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// promPage is the pooled scratch of one /metrics scrape: the exposition
+// buffer, a histogram snapshot, and the prerendered per-shard label
+// strings (rebuilt only when the shard count changes, e.g. across a
+// restore swap).
+type promPage struct {
+	expo   obs.Expo
+	hs     obs.HistSnap
+	labels []string
+}
+
+var promPool = sync.Pool{New: func() any { return &promPage{} }}
+
+// shardLabels returns `shard="i"` strings for n shards, reusing the
+// page's cache.
+func (p *promPage) shardLabels(n int) []string {
+	if len(p.labels) != n {
+		p.labels = make([]string, n)
+		for i := range p.labels {
+			p.labels[i] = `shard="` + strconv.Itoa(i) + `"`
+		}
+	}
+	return p.labels
+}
+
+// nsToSec converts the nanosecond histograms to seconds on exposition.
+const nsToSec = 1e-9
+
+// MetricsHandler returns the Prometheus text-format exposition handler
+// for GET /metrics. The page is rebuilt per scrape from the wait-free
+// telemetry surfaces — per-shard atomic Snap blocks, lock-free
+// histograms, and the manager's control-plane accessors — so a scrape
+// never enqueues work onto a shard worker and never waits behind
+// ingest. ascsd serves it on the -debug-addr side listener; it is also
+// mounted here so single-port deployments can scrape the main listener.
+func (s *Server) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		p := promPool.Get().(*promPage)
+		defer promPool.Put(p)
+		e := &p.expo
+		e.Reset()
+		s.writeMetrics(p)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Write(e.B.Bytes())
+	})
+}
+
+func (s *Server) writeMetrics(p *promPage) {
+	e := &p.expo
+	mgr := s.mgr.Load()
+	n := mgr.NumShards()
+	labels := p.shardLabels(n)
+
+	// Manager-level gauges (control plane; no worker involvement).
+	e.Header("ascs_step", "gauge", "Highest assigned global stream step.")
+	e.Sample("ascs_step", "", float64(mgr.Step()))
+	e.Header("ascs_warming", "gauge", "1 while buffering the warm-up prefix, else 0.")
+	warming := 0.0
+	if mgr.Warming() {
+		warming = 1
+	}
+	e.Sample("ascs_warming", "", warming)
+	e.Header("ascs_shards", "gauge", "Number of shard workers.")
+	e.Sample("ascs_shards", "", float64(n))
+
+	// Per-shard counter blocks: families sharing a name (the wave
+	// fallback causes) are adjacent in ShardDefs, so the header is
+	// emitted once per run and every sample of the family stays
+	// contiguous, as the text format requires.
+	for lo := 0; lo < obs.NumShardCounters; {
+		hi := lo + 1
+		for hi < obs.NumShardCounters && obs.ShardDefs[hi].Name == obs.ShardDefs[lo].Name {
+			hi++
+		}
+		def := obs.ShardDefs[lo]
+		e.Header(def.Name, def.Kind.String(), def.Help)
+		for slot := lo; slot < hi; slot++ {
+			d := obs.ShardDefs[slot]
+			for i := 0; i < n; i++ {
+				lbl := labels[i]
+				if d.LabelK != "" {
+					lbl = lbl + "," + d.LabelK + `="` + d.LabelV + `"`
+				}
+				e.Sample(d.Name, lbl, mgr.Tel(i).Snap.Value(slot))
+			}
+		}
+		lo = hi
+	}
+
+	// Instantaneous queue depths (the high-water marks above are the
+	// peaks; these are the now).
+	e.Header("ascs_shard_queue_depth", "gauge", "Current per-shard backlog by lane (ingest: batches; fast: closures).")
+	for i := 0; i < n; i++ {
+		ingest, fast := mgr.QueueDepth(i)
+		e.Sample("ascs_shard_queue_depth", labels[i]+`,lane="ingest"`, float64(ingest))
+		e.Sample("ascs_shard_queue_depth", labels[i]+`,lane="fast"`, float64(fast))
+	}
+
+	// Per-shard histograms.
+	e.Header("ascs_shard_batch_ops", "histogram", "Applied ingest batch sizes (pair ops per batch).")
+	for i := 0; i < n; i++ {
+		mgr.Tel(i).BatchSize.Snapshot(&p.hs)
+		e.Histogram("ascs_shard_batch_ops", labels[i], &p.hs, 1)
+	}
+	e.Header("ascs_shard_ingest_wait_seconds", "histogram", "Batch queue wait: enqueue to apply start.")
+	for i := 0; i < n; i++ {
+		mgr.Tel(i).IngestWait.Snapshot(&p.hs)
+		e.Histogram("ascs_shard_ingest_wait_seconds", labels[i], &p.hs, nsToSec)
+	}
+	e.Header("ascs_shard_apply_seconds", "histogram", "Per-batch apply duration on the worker goroutine.")
+	for i := 0; i < n; i++ {
+		mgr.Tel(i).Apply.Snapshot(&p.hs)
+		e.Histogram("ascs_shard_apply_seconds", labels[i], &p.hs, nsToSec)
+	}
+	e.Header("ascs_shard_query_wait_seconds", "histogram", "Query closure wait by lane: enqueue to run start.")
+	for i := 0; i < n; i++ {
+		mgr.Tel(i).FreshWait.Snapshot(&p.hs)
+		e.Histogram("ascs_shard_query_wait_seconds", labels[i]+`,lane="fresh"`, &p.hs, nsToSec)
+		mgr.Tel(i).FastWait.Snapshot(&p.hs)
+		e.Histogram("ascs_shard_query_wait_seconds", labels[i]+`,lane="fast"`, &p.hs, nsToSec)
+	}
+
+	// HTTP route metrics, from the same histograms /v1/stats summarizes.
+	routes := s.metrics.names()
+	e.Header("ascs_http_requests_total", "counter", "HTTP requests served, by route.")
+	for _, name := range routes {
+		em := s.metrics.endpoint(name)
+		em.hist.Snapshot(&p.hs)
+		e.Sample("ascs_http_requests_total", `route="`+name+`"`, float64(p.hs.Count))
+	}
+	e.Header("ascs_http_request_errors_total", "counter", "HTTP requests that returned an error, by route.")
+	for _, name := range routes {
+		e.Sample("ascs_http_request_errors_total", `route="`+name+`"`, float64(s.metrics.endpoint(name).errors.Load()))
+	}
+	e.Header("ascs_http_request_duration_seconds", "histogram", "HTTP request duration, by route.")
+	for _, name := range routes {
+		s.metrics.endpoint(name).hist.Snapshot(&p.hs)
+		e.Histogram("ascs_http_request_duration_seconds", `route="`+name+`"`, &p.hs, nsToSec)
+	}
+}

@@ -25,9 +25,11 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"path/filepath"
 	"strconv"
@@ -35,6 +37,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/shard"
 	"repro/internal/stream"
 )
@@ -54,6 +57,15 @@ type Options struct {
 	// retrieval fan-out allocates proportionally to k·shards, so an
 	// unauthenticated request must not pick it freely).
 	MaxTopK int
+	// TraceEvery samples 1-in-N requests for span tracing: the sampled
+	// request's queue-wait / shard-apply / merge spans are collected and
+	// emitted as one structured log line. 0 disables tracing entirely
+	// (no per-request trace state is allocated either way for the
+	// unsampled majority).
+	TraceEvery int
+	// TraceLogger receives the sampled span logs (default
+	// slog.Default()).
+	TraceLogger *slog.Logger
 }
 
 // Server is the HTTP facade over a shard.Manager.
@@ -62,6 +74,8 @@ type Server struct {
 	mgr     atomic.Pointer[shard.Manager]
 	mux     *http.ServeMux
 	metrics *metrics
+	sampler *obs.Sampler
+	log     *slog.Logger
 	// swapMu serializes restore swaps (and final Close) so two
 	// concurrent restores cannot interleave their close/swap pairs.
 	swapMu sync.Mutex
@@ -80,6 +94,13 @@ func New(mgr *shard.Manager, opts Options) *Server {
 		opts.MaxTopK = 10_000
 	}
 	s := &Server{opts: opts, metrics: newMetrics()}
+	if opts.TraceEvery > 0 {
+		s.sampler = obs.NewSampler(opts.TraceEvery)
+		s.log = opts.TraceLogger
+		if s.log == nil {
+			s.log = slog.Default()
+		}
+	}
 	s.mgr.Store(mgr)
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/ingest", s.instrument("ingest", s.handleIngest))
@@ -88,6 +109,7 @@ func New(mgr *shard.Manager, opts Options) *Server {
 	mux.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleStats))
 	mux.HandleFunc("POST /v1/snapshot", s.instrument("snapshot", s.handleSnapshot))
 	mux.HandleFunc("POST /v1/restore", s.instrument("restore", s.handleRestore))
+	mux.Handle("GET /metrics", s.MetricsHandler())
 	s.mux = mux
 	return s
 }
@@ -133,22 +155,73 @@ func statusOf(err error) int {
 	}
 }
 
+// qtKey carries the sampled request's shard span collector through the
+// handler context; handlers thread it into the manager's traced query
+// variants (a nil collector is a no-op there).
+type qtKey struct{}
+
+// queryTraceFrom returns the request's span collector, or nil when the
+// request is not sampled.
+func queryTraceFrom(ctx context.Context) *shard.QueryTrace {
+	qt, _ := ctx.Value(qtKey{}).(*shard.QueryTrace)
+	return qt
+}
+
 // instrument adapts a JSON handler, recording latency and errors and
 // rendering the uniform error envelope. Handlers receive w only to
 // thread it into body-size limiting; instrument owns all writes.
+//
+// Request identity and tracing: every response echoes the caller's
+// X-Request-ID (generating one when absent), so a request can be
+// correlated across client and server logs. When Options.TraceEvery is
+// set, 1-in-N requests additionally collect span timings — total route
+// time, worst per-shard queue wait, worst on-worker apply, cross-shard
+// merge — and emit them as one structured log line keyed by the
+// request id.
 func (s *Server) instrument(name string, fn func(w http.ResponseWriter, r *http.Request) (any, error)) http.HandlerFunc {
 	em := s.metrics.endpoint(name)
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		resp, err := fn(w, r)
-		em.observe(time.Since(start), err != nil)
-		w.Header().Set("Content-Type", "application/json")
-		if err != nil {
-			w.WriteHeader(statusOf(err))
-			json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
-			return
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = obs.NewRequestID()
 		}
-		json.NewEncoder(w).Encode(resp)
+		w.Header().Set("X-Request-ID", id)
+		var qt *shard.QueryTrace
+		if s.sampler.Sample() {
+			qt = &shard.QueryTrace{}
+			r = r.WithContext(context.WithValue(r.Context(), qtKey{}, qt))
+		}
+		resp, err := fn(w, r)
+		total := time.Since(start)
+		em.observe(total, err != nil)
+		w.Header().Set("Content-Type", "application/json")
+		status := http.StatusOK
+		if err != nil {
+			status = statusOf(err)
+			w.WriteHeader(status)
+			json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+		} else {
+			json.NewEncoder(w).Encode(resp)
+		}
+		if qt != nil {
+			// One span record per stage, in request order — the trace's
+			// span anatomy documented in DESIGN.md.
+			tr := obs.NewTrace(id)
+			tr.Span("route", total)
+			tr.Span("queue_wait", qt.QueueWait)
+			tr.Span("shard_apply", qt.Apply)
+			tr.Span("merge", qt.Merge)
+			attrs := []slog.Attr{
+				slog.String("request_id", tr.ID),
+				slog.String("route", name),
+				slog.Int("status", status),
+			}
+			for _, sp := range tr.Spans() {
+				attrs = append(attrs, slog.Duration(sp.Name, sp.D))
+			}
+			s.log.LogAttrs(r.Context(), slog.LevelInfo, "trace", attrs...)
+		}
 	}
 }
 
@@ -259,12 +332,8 @@ func (s *Server) handleTopK(_ http.ResponseWriter, r *http.Request) (any, error)
 		return nil, err
 	}
 	mgr := s.mgr.Load()
-	var pairs []shard.PairEstimate
-	if mag := r.URL.Query().Get("magnitude"); mag == "1" || mag == "true" {
-		pairs, err = mgr.TopKMagnitudeC(k, lane)
-	} else {
-		pairs, err = mgr.TopKC(k, lane)
-	}
+	mag := r.URL.Query().Get("magnitude")
+	pairs, err := mgr.TopKT(k, lane, mag == "1" || mag == "true", queryTraceFrom(r.Context()))
 	if err != nil {
 		return nil, err
 	}
@@ -295,7 +364,7 @@ func (s *Server) handleEstimate(_ http.ResponseWriter, r *http.Request) (any, er
 		return nil, err
 	}
 	mgr := s.mgr.Load()
-	est, err := mgr.EstimateC(i, j, lane)
+	est, err := mgr.EstimateT(i, j, lane, queryTraceFrom(r.Context()))
 	if err != nil {
 		if errors.Is(err, shard.ErrWarmingUp) || errors.Is(err, shard.ErrClosed) {
 			return nil, err
@@ -316,7 +385,7 @@ func (s *Server) handleStats(_ http.ResponseWriter, r *http.Request) (any, error
 	if err != nil {
 		return nil, err
 	}
-	st, err := s.mgr.Load().StatsC(lane)
+	st, err := s.mgr.Load().StatsT(lane, queryTraceFrom(r.Context()))
 	if err != nil {
 		return nil, err
 	}

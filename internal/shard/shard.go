@@ -92,9 +92,11 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"repro/internal/countsketch"
 	"repro/internal/hashing"
+	"repro/internal/obs"
 	"repro/internal/pairs"
 	"repro/internal/sketchapi"
 	"repro/internal/stream"
@@ -233,9 +235,12 @@ type op struct {
 // or a control/query closure (fn). The ingest FIFO carries both kinds
 // — one ordered channel is what makes fresh queries and snapshots
 // totally ordered with ingest; the priority lane carries closures only.
+// enq is the enqueue timestamp, observed by the worker into the
+// queue-wait histograms (closures self-time; batches use this field).
 type msg struct {
 	ops []op
 	fn  func()
+	enq time.Time
 }
 
 // worker owns one engine. All fields below qch are touched only by the
@@ -255,6 +260,18 @@ type worker struct {
 	lastT int
 	ops   uint64
 
+	// Telemetry. tel is the shard's published counter block (may be nil
+	// in unit tests that build workers by hand); health and decayer cache
+	// the engine's optional interfaces so publish does not re-assert per
+	// batch. batches and laneJumps are plain single-writer counters — the
+	// worker goroutine owns them and copies them into tel.Snap with
+	// atomic stores at message boundaries (see publish).
+	tel       *obs.ShardTel
+	health    sketchapi.HealthReporter
+	decayer   sketchapi.Decayer
+	batches   uint64
+	laneJumps uint64
+
 	// free is the manager's op-buffer freelist: applied ingest batches
 	// are returned here so route can reuse them instead of growing fresh
 	// slices per call (the worker is the only goroutine that knows when
@@ -272,6 +289,59 @@ type worker struct {
 	keys []uint64
 	xs   []float64
 	ests []float64
+}
+
+// wire attaches the telemetry block and caches the engine's optional
+// telemetry interfaces. Called before the worker goroutine starts (or
+// with the worker quiescent), then publishes once so restored state
+// (ops, step) is visible to scrapes before the first batch lands.
+func (w *worker) wire(tel *obs.ShardTel) {
+	w.tel = tel
+	if h, ok := w.eng.(sketchapi.HealthReporter); ok {
+		w.health = h
+	}
+	if d, ok := w.eng.(sketchapi.Decayer); ok && d.Decaying() {
+		w.decayer = d
+	}
+	w.publish()
+}
+
+// publish copies the worker-owned counters and the engine's health
+// snapshot into the shard's atomic telemetry block. Called on the
+// worker goroutine at message boundaries: every store is a plain
+// atomic.Uint64.Store, so the cost is ~25 uncontended stores per batch
+// (4096 ops) and zero allocations — scrapers read the slots wait-free
+// without ever enqueuing onto this goroutine.
+func (w *worker) publish() {
+	tel := w.tel
+	if tel == nil {
+		return
+	}
+	s := &tel.Snap
+	s.Store(obs.ShardBatches, w.batches)
+	s.Store(obs.ShardOps, w.ops)
+	s.Store(obs.ShardLaneJumps, w.laneJumps)
+	s.Store(obs.ShardStep, uint64(w.lastT))
+	s.Store(obs.ShardTracked, uint64(w.track.Len()))
+	s.Store(obs.ShardTrackerPruned, w.track.Pruned())
+	s.Store(obs.ShardEngineBytes, uint64(w.eng.Bytes()))
+	if w.health != nil {
+		h := w.health.Health()
+		s.Store(obs.ShardGateOffered, h.GateOffered)
+		s.Store(obs.ShardGateAdmitted, h.GateAdmitted)
+		s.Store(obs.ShardExplorationInserts, h.ExplorationInserts)
+		s.StoreFloat(obs.ShardAdmittedMass, h.AdmittedMass)
+		s.StoreFloat(obs.ShardRejectedMass, h.RejectedMass)
+		s.StoreFloat(obs.ShardGateTau, h.Tau)
+		s.Store(obs.ShardDecayRenorms, h.DecayRenorms)
+		s.Store(obs.ShardWaveGroups, h.WaveGroups)
+		s.Store(obs.ShardWaveFallbackConflict, h.WaveFallbackConflict)
+		s.Store(obs.ShardWaveFallbackExploration, h.WaveFallbackExploration)
+		s.Store(obs.ShardWaveFallbackShape, h.WaveFallbackShape)
+	}
+	if w.decayer != nil {
+		s.StoreFloat(obs.ShardNEff, w.decayer.EffectiveSamples())
+	}
 }
 
 // beginStep announces a step advance to the engine and applies the
@@ -308,6 +378,7 @@ func (w *worker) run(wg *sync.WaitGroup) {
 					qch = nil
 				} else {
 					m.fn()
+					w.publish()
 				}
 			default:
 				break drain
@@ -326,23 +397,44 @@ func (w *worker) run(wg *sync.WaitGroup) {
 			}
 			if m.fn != nil {
 				m.fn()
+				w.publish()
 				continue
 			}
-			w.apply(m.ops)
+			w.applyBatch(m)
 			// Batch applied: recycle its staging buffer (drop it when
 			// the freelist is full — bounded memory beats retention).
 			select {
 			case w.free <- m.ops[:0]:
 			default:
 			}
+			w.publish()
 		case m, ok := <-qch:
 			if !ok {
 				qch = nil
 				continue
 			}
 			m.fn()
+			w.publish()
 		}
 	}
+}
+
+// applyBatch applies one ingest batch, observing queue wait, apply
+// time, and batch size into the shard histograms (two time.Now calls
+// per ~4096-op batch — noise next to the sketch work, and no
+// allocations either way).
+func (w *worker) applyBatch(m msg) {
+	if w.tel == nil {
+		w.apply(m.ops)
+		w.batches++
+		return
+	}
+	w.tel.IngestWait.Observe(int64(time.Since(m.enq)))
+	start := time.Now()
+	w.apply(m.ops)
+	w.tel.Apply.Observe(int64(time.Since(start)))
+	w.tel.BatchSize.Observe(int64(len(m.ops)))
+	w.batches++
 }
 
 func (w *worker) apply(ops []op) {
@@ -437,6 +529,13 @@ type Manager struct {
 	workerWG sync.WaitGroup
 	workers  []*worker
 
+	// tels holds one telemetry block per shard, allocated at
+	// construction (before the workers exist) so /metrics scrapes are
+	// answerable during warm-up and never touch the control mutex: the
+	// slice itself is immutable after New/Restore and every slot is
+	// atomics all the way down.
+	tels []*obs.ShardTel
+
 	// opFree / bufFree recycle the per-shard ingest staging: opFree
 	// holds op slices (returned by workers after apply), bufFree holds
 	// the per-call shard-indexed buffer tables. Both are bounded
@@ -469,6 +568,10 @@ func New(cfg Config) (*Manager, error) {
 	}
 	m := &Manager{cfg: cfg, spec: cfg.Engine, invStd: cfg.InvStd}
 	m.replayCond = sync.NewCond(&m.mu)
+	m.tels = make([]*obs.ShardTel, cfg.Shards)
+	for i := range m.tels {
+		m.tels[i] = &obs.ShardTel{}
+	}
 	// A few recycled op buffers per shard covers steady-state routing
 	// (route stages at most one buffer per shard at a time; workers
 	// return them promptly). Deliberately much smaller than
@@ -508,6 +611,7 @@ func (m *Manager) start(spec EngineSpec) error {
 		if f, ok := eng.(sketchapi.OfferEstimator); ok {
 			w.fast = f
 		}
+		w.wire(m.tels[i])
 		workers[i] = w
 	}
 	m.spec = spec
@@ -763,7 +867,7 @@ func (m *Manager) route(samples []stream.Sample, base int) {
 				}
 				b = append(b, op{t: t, key: key, x: ya * val[j]})
 				if len(b) >= m.cfg.FlushOps {
-					m.workers[sh].ch <- msg{ops: b}
+					m.ship(sh, b)
 					b = nil
 				}
 				bufs[sh] = b
@@ -772,11 +876,22 @@ func (m *Manager) route(samples []stream.Sample, base int) {
 	}
 	for sh, b := range bufs {
 		if len(b) > 0 {
-			m.workers[sh].ch <- msg{ops: b}
+			m.ship(sh, b)
 			bufs[sh] = nil
 		}
 	}
 	m.putBufs(bufs)
+}
+
+// ship sends one staged batch to its shard worker, stamping the
+// enqueue time and racking the ingest-queue high-water mark. The
+// high-water is CAS-raised on the *sender* side — concurrent Ingest
+// calls all observe the depth they helped create, so the mark reflects
+// peak pressure rather than whatever depth a later scrape happens to
+// see.
+func (m *Manager) ship(sh int, b []op) {
+	m.workers[sh].ch <- msg{ops: b, enq: time.Now()}
+	m.tels[sh].Snap.Max(obs.ShardQueueHighWater, uint64(len(m.workers[sh].ch)))
 }
 
 // lane resolves a per-call consistency override against the deployment
@@ -792,10 +907,51 @@ func (m *Manager) lane(c Consistency) Consistency {
 // QueryConsistency returns the deployment's default query lane.
 func (m *Manager) QueryConsistency() Consistency { return m.cfg.QueryConsistency }
 
+// QueryTrace collects per-request span timings for one query: how long
+// the closure waited in its lane, how long it ran on the worker
+// goroutine, and how long the cross-shard merge took. Fan-out queries
+// record the *maximum* wait and apply across shards — the shard on the
+// critical path is the one the caller actually waited behind. Pass nil
+// to skip tracing (the accounting is a mutex tap per shard, so it is
+// reserved for sampled requests, not the steady query path).
+type QueryTrace struct {
+	mu        sync.Mutex
+	QueueWait time.Duration
+	Apply     time.Duration
+	Merge     time.Duration
+}
+
+// note folds one shard's wait/apply pair into the trace (max-merge).
+func (tr *QueryTrace) note(wait, apply time.Duration) {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	if wait > tr.QueueWait {
+		tr.QueueWait = wait
+	}
+	if apply > tr.Apply {
+		tr.Apply = apply
+	}
+	tr.mu.Unlock()
+}
+
+// noteMerge records the cross-shard merge duration.
+func (tr *QueryTrace) noteMerge(d time.Duration) {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	tr.Merge = d
+	tr.mu.Unlock()
+}
+
 // exec runs fn on the shard's worker goroutine and waits for it. On the
 // fresh lane FIFO order means fn observes every batch enqueued before
 // it; on the fast lane the worker serves fn ahead of queued batches.
-func (m *Manager) exec(sh int, c Consistency, fn func(w *worker)) error {
+// The wait and run times land in the shard's lane histograms (and in
+// tr when non-nil); fast-lane executions count as lane jumps.
+func (m *Manager) exec(sh int, c Consistency, tr *QueryTrace, fn func(w *worker)) error {
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
@@ -810,14 +966,36 @@ func (m *Manager) exec(sh int, c Consistency, fn func(w *worker)) error {
 	defer m.sendWG.Done()
 	done := make(chan struct{})
 	w := m.workers[sh]
+	fast := c == ConsistencyFast
+	enq := time.Now()
 	wrapped := msg{fn: func() {
+		// Runs on the worker goroutine: the plain-counter bump and the
+		// histogram observes follow the same single-writer/atomic rules
+		// as the ingest path.
+		wait := time.Since(enq)
+		if w.tel != nil {
+			if fast {
+				w.laneJumps++
+				w.tel.FastWait.Observe(int64(wait))
+			} else {
+				w.tel.FreshWait.Observe(int64(wait))
+			}
+		}
+		start := time.Now()
 		fn(w)
+		tr.note(wait, time.Since(start))
 		close(done)
 	}}
-	if c == ConsistencyFast {
+	if fast {
 		w.qch <- wrapped
+		if w.tel != nil {
+			w.tel.Snap.Max(obs.ShardFastQueueHighWater, uint64(len(w.qch)))
+		}
 	} else {
 		w.ch <- wrapped
+		if w.tel != nil {
+			w.tel.Snap.Max(obs.ShardQueueHighWater, uint64(len(w.ch)))
+		}
 	}
 	<-done
 	return nil
@@ -826,14 +1004,14 @@ func (m *Manager) exec(sh int, c Consistency, fn func(w *worker)) error {
 // execAll runs fn concurrently on every worker and waits for all. exec
 // errors are lifecycle states shared by every shard (closed, warming),
 // so the first one stands for all of them.
-func (m *Manager) execAll(c Consistency, fn func(w *worker)) error {
+func (m *Manager) execAll(c Consistency, tr *QueryTrace, fn func(w *worker)) error {
 	errs := make([]error, m.cfg.Shards)
 	var wg sync.WaitGroup
 	wg.Add(m.cfg.Shards)
 	for i := 0; i < m.cfg.Shards; i++ {
 		go func(i int) {
 			defer wg.Done()
-			errs[i] = m.exec(i, c, fn)
+			errs[i] = m.exec(i, c, tr, fn)
 		}(i)
 	}
 	wg.Wait()
@@ -850,7 +1028,7 @@ func (m *Manager) execAll(c Consistency, fn func(w *worker)) error {
 // It always rides the fresh lane — a barrier that could jump the queue
 // would not be one.
 func (m *Manager) Flush() error {
-	return m.execAll(ConsistencyFresh, func(*worker) {})
+	return m.execAll(ConsistencyFresh, nil, func(*worker) {})
 }
 
 // EstimateKey returns the current estimate for a pair key, answered by
@@ -862,11 +1040,17 @@ func (m *Manager) EstimateKey(key uint64) (float64, error) {
 
 // EstimateKeyC is EstimateKey on an explicit lane (empty = default).
 func (m *Manager) EstimateKeyC(key uint64, c Consistency) (float64, error) {
+	return m.EstimateKeyT(key, c, nil)
+}
+
+// EstimateKeyT is EstimateKeyC with optional span tracing: when tr is
+// non-nil the queue wait and on-worker apply time land in it.
+func (m *Manager) EstimateKeyT(key uint64, c Consistency, tr *QueryTrace) (float64, error) {
 	if key >= uint64(pairs.Count(m.cfg.Dim)) {
 		return 0, fmt.Errorf("shard: key %d out of range for Dim=%d", key, m.cfg.Dim)
 	}
 	var est float64
-	err := m.exec(m.shardOf(key), m.lane(c), func(w *worker) { est = w.eng.Estimate(key) })
+	err := m.exec(m.shardOf(key), m.lane(c), tr, func(w *worker) { est = w.eng.Estimate(key) })
 	return est, err
 }
 
@@ -878,13 +1062,18 @@ func (m *Manager) Estimate(a, b int) (float64, error) {
 
 // EstimateC is Estimate on an explicit lane (empty = default).
 func (m *Manager) EstimateC(a, b int, c Consistency) (float64, error) {
+	return m.EstimateT(a, b, c, nil)
+}
+
+// EstimateT is EstimateC with optional span tracing.
+func (m *Manager) EstimateT(a, b int, c Consistency, tr *QueryTrace) (float64, error) {
 	if a > b {
 		a, b = b, a
 	}
 	if a < 0 || a == b || b >= m.cfg.Dim {
 		return 0, fmt.Errorf("shard: invalid pair (%d,%d) for Dim=%d", a, b, m.cfg.Dim)
 	}
-	return m.EstimateKeyC(pairs.Key(a, b, m.cfg.Dim), c)
+	return m.EstimateKeyT(pairs.Key(a, b, m.cfg.Dim), c, tr)
 }
 
 // PairEstimate is one retrieved pair with its estimated mean.
@@ -903,7 +1092,17 @@ func (m *Manager) TopK(k int) ([]PairEstimate, error) {
 
 // TopKC is TopK on an explicit lane (empty = default).
 func (m *Manager) TopKC(k int, c Consistency) ([]PairEstimate, error) {
-	return m.topK(k, c, func(v float64) float64 { return v })
+	return m.topK(k, c, nil, func(v float64) float64 { return v })
+}
+
+// TopKT is TopKC with optional span tracing: the per-shard critical
+// path (max wait/apply) and the heap-merge time land in tr.
+func (m *Manager) TopKT(k int, c Consistency, magnitude bool, tr *QueryTrace) ([]PairEstimate, error) {
+	rank := func(v float64) float64 { return v }
+	if magnitude {
+		rank = math.Abs
+	}
+	return m.topK(k, c, tr, rank)
 }
 
 // TopKMagnitude ranks by |estimate| so strong negative correlations
@@ -914,16 +1113,16 @@ func (m *Manager) TopKMagnitude(k int) ([]PairEstimate, error) {
 
 // TopKMagnitudeC is TopKMagnitude on an explicit lane (empty = default).
 func (m *Manager) TopKMagnitudeC(k int, c Consistency) ([]PairEstimate, error) {
-	return m.topK(k, c, math.Abs)
+	return m.topK(k, c, nil, math.Abs)
 }
 
-func (m *Manager) topK(k int, c Consistency, rank func(float64) float64) ([]PairEstimate, error) {
+func (m *Manager) topK(k int, c Consistency, tr *QueryTrace, rank func(float64) float64) ([]PairEstimate, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("shard: k must be ≥ 1")
 	}
 	locals := make([][]kv, m.cfg.Shards)
 	var mu sync.Mutex
-	err := m.execAll(m.lane(c), func(w *worker) {
+	err := m.execAll(m.lane(c), tr, func(w *worker) {
 		l := w.localTop(k, rank)
 		mu.Lock()
 		locals[w.id] = l
@@ -932,6 +1131,7 @@ func (m *Manager) topK(k int, c Consistency, rank func(float64) float64) ([]Pair
 	if err != nil {
 		return nil, err
 	}
+	mergeStart := time.Now()
 	h := topk.NewHeap(k)
 	hint := k * m.cfg.Shards
 	if hint > 1<<16 {
@@ -950,6 +1150,7 @@ func (m *Manager) topK(k int, c Consistency, rank func(float64) float64) ([]Pair
 		a, b := pairs.Decode(int64(it.Key), m.cfg.Dim)
 		out[i] = PairEstimate{A: a, B: b, Key: it.Key, Estimate: ests[it.Key]}
 	}
+	tr.noteMerge(time.Since(mergeStart))
 	return out, nil
 }
 
@@ -972,7 +1173,7 @@ func (m *Manager) MergedSketch() (*countsketch.Sketch, error) {
 	var mu sync.Mutex
 	// Always fresh: the merge is an equivalence artifact (tests, tools),
 	// and its contract is "every batch enqueued before the call".
-	err := m.execAll(ConsistencyFresh, func(w *worker) {
+	err := m.execAll(ConsistencyFresh, nil, func(w *worker) {
 		c := w.eng.(sketcher).Sketch().Clone()
 		c.Renormalize()
 		mu.Lock()
@@ -991,6 +1192,33 @@ func (m *Manager) MergedSketch() (*countsketch.Sketch, error) {
 	return merged, nil
 }
 
+// ShardHealth is the structured superset of the /metrics shard gauges
+// exposed through /v1/stats: the engine's sketch-health counters plus
+// the worker's pressure marks. Counts are cumulative since construction
+// (telemetry is not serialized; they restart at 0 after Restore).
+type ShardHealth struct {
+	Batches   uint64 `json:"batches"`
+	LaneJumps uint64 `json:"lane_jumps"`
+	// QueueHighWater / FastQueueHighWater are the peak backlogs observed
+	// at enqueue time (batches resp. closures), not the instantaneous
+	// depths reported by Queue/FastQueue.
+	QueueHighWater     uint64 `json:"queue_high_water"`
+	FastQueueHighWater uint64 `json:"fast_queue_high_water"`
+	// Gate/mass accounting — see sketchapi.Health for the semantics.
+	GateOffered             uint64  `json:"gate_offered"`
+	GateAdmitted            uint64  `json:"gate_admitted"`
+	ExplorationInserts      uint64  `json:"exploration_inserts"`
+	AdmittedMass            float64 `json:"admitted_mass"`
+	RejectedMass            float64 `json:"rejected_mass"`
+	Tau                     float64 `json:"tau,omitempty"`
+	DecayRenorms            uint64  `json:"decay_renorms,omitempty"`
+	WaveGroups              uint64  `json:"wave_groups"`
+	WaveFallbackConflict    uint64  `json:"wave_fallback_conflict"`
+	WaveFallbackExploration uint64  `json:"wave_fallback_exploration"`
+	WaveFallbackShape       uint64  `json:"wave_fallback_shape"`
+	TrackerPruned           uint64  `json:"tracker_pruned"`
+}
+
 // ShardStats describes one shard worker.
 type ShardStats struct {
 	Shard   int    `json:"shard"`
@@ -1006,6 +1234,8 @@ type ShardStats struct {
 	// NEff is the shard engine's effective sample count (decay mode;
 	// saturates at the window W as the stream runs on).
 	NEff float64 `json:"n_eff,omitempty"`
+	// Health carries the sketch-health and pressure telemetry.
+	Health ShardHealth `json:"health"`
 }
 
 // Stats is a point-in-time view of the manager.
@@ -1026,10 +1256,15 @@ type Stats struct {
 	Engine  string  `json:"engine"`
 	// QueryConsistency is the deployment's default query lane
 	// ("fresh" or "fast"); per-request overrides are not reflected here.
-	QueryConsistency string       `json:"query_consistency"`
-	Ops              uint64       `json:"ops"`
-	Bytes            int          `json:"bytes"`
-	PerShard         []ShardStats `json:"per_shard,omitempty"`
+	QueryConsistency string `json:"query_consistency"`
+	Ops              uint64 `json:"ops"`
+	Bytes            int    `json:"bytes"`
+	// AdmittedMass / RejectedMass aggregate the per-shard gate mass
+	// split (Σ|x| of raw offered values): the admitted fraction is the
+	// live signal the ROADMAP's drift-trigger work wants to watch.
+	AdmittedMass float64      `json:"admitted_mass,omitempty"`
+	RejectedMass float64      `json:"rejected_mass,omitempty"`
+	PerShard     []ShardStats `json:"per_shard,omitempty"`
 }
 
 // Stats reports ingest progress and per-shard engine state on the
@@ -1041,6 +1276,11 @@ func (m *Manager) Stats() (Stats, error) {
 
 // StatsC is Stats on an explicit lane (empty = default).
 func (m *Manager) StatsC(c Consistency) (Stats, error) {
+	return m.StatsT(c, nil)
+}
+
+// StatsT is StatsC with optional span tracing.
+func (m *Manager) StatsT(c Consistency, tr *QueryTrace) (Stats, error) {
 	m.mu.Lock()
 	st := Stats{
 		Dim:              m.cfg.Dim,
@@ -1065,7 +1305,7 @@ func (m *Manager) StatsC(c Consistency) (Stats, error) {
 	m.mu.Unlock()
 	per := make([]ShardStats, m.cfg.Shards)
 	var mu sync.Mutex
-	err := m.execAll(m.lane(c), func(w *worker) {
+	err := m.execAll(m.lane(c), tr, func(w *worker) {
 		s := ShardStats{
 			Shard:     w.id,
 			Engine:    w.eng.Name(),
@@ -1075,6 +1315,29 @@ func (m *Manager) StatsC(c Consistency) (Stats, error) {
 			Tracked:   w.track.Len(),
 			Queue:     len(w.ch),
 			FastQueue: len(w.qch),
+		}
+		s.Health = ShardHealth{
+			Batches:       w.batches,
+			LaneJumps:     w.laneJumps,
+			TrackerPruned: w.track.Pruned(),
+		}
+		if w.tel != nil {
+			s.Health.QueueHighWater = w.tel.Snap.Load(obs.ShardQueueHighWater)
+			s.Health.FastQueueHighWater = w.tel.Snap.Load(obs.ShardFastQueueHighWater)
+		}
+		if w.health != nil {
+			h := w.health.Health()
+			s.Health.GateOffered = h.GateOffered
+			s.Health.GateAdmitted = h.GateAdmitted
+			s.Health.ExplorationInserts = h.ExplorationInserts
+			s.Health.AdmittedMass = h.AdmittedMass
+			s.Health.RejectedMass = h.RejectedMass
+			s.Health.Tau = h.Tau
+			s.Health.DecayRenorms = h.DecayRenorms
+			s.Health.WaveGroups = h.WaveGroups
+			s.Health.WaveFallbackConflict = h.WaveFallbackConflict
+			s.Health.WaveFallbackExploration = h.WaveFallbackExploration
+			s.Health.WaveFallbackShape = h.WaveFallbackShape
 		}
 		if d, ok := w.eng.(sketchapi.Decayer); ok && d.Decaying() {
 			s.NEff = d.EffectiveSamples()
@@ -1092,9 +1355,34 @@ func (m *Manager) StatsC(c Consistency) (Stats, error) {
 		if s.NEff > st.NEff {
 			st.NEff = s.NEff
 		}
+		st.AdmittedMass += s.Health.AdmittedMass
+		st.RejectedMass += s.Health.RejectedMass
 	}
 	st.PerShard = per
 	return st, nil
+}
+
+// NumShards returns the shard count.
+func (m *Manager) NumShards() int { return m.cfg.Shards }
+
+// Tel returns shard i's telemetry block. The block is atomics all the
+// way down and the backing slice is immutable after construction, so
+// scrapers read it wait-free — a /metrics scrape never enqueues onto a
+// worker and never touches the control mutex.
+func (m *Manager) Tel(i int) *obs.ShardTel { return m.tels[i] }
+
+// QueueDepth reports shard i's instantaneous ingest and fast-lane
+// backlogs without enqueuing anything. During warm-up (no workers yet)
+// both are zero. It takes the control mutex briefly — never a worker's
+// queue — so a scrape cannot stall behind ingest.
+func (m *Manager) QueueDepth(i int) (ingest, fast int) {
+	m.mu.Lock()
+	ws := m.workers
+	m.mu.Unlock()
+	if ws == nil {
+		return 0, 0
+	}
+	return len(ws[i].ch), len(ws[i].qch)
 }
 
 // Close drains in-flight operations, stops the workers, and marks the

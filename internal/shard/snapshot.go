@@ -17,6 +17,7 @@ import (
 	"repro/internal/baselines"
 	"repro/internal/core"
 	"repro/internal/countsketch"
+	"repro/internal/obs"
 	"repro/internal/sketchapi"
 	"repro/internal/topk"
 )
@@ -121,7 +122,7 @@ func (m *Manager) Snapshot(dir string) error {
 	// The snapshot cut must ride the ingest FIFO (fresh lane) so it
 	// observes every batch enqueued before the call, whatever the
 	// deployment's default query lane is.
-	err := m.execAll(ConsistencyFresh, func(w *worker) {
+	err := m.execAll(ConsistencyFresh, nil, func(w *worker) {
 		// File IO runs on the worker goroutine: it owns the engine, and
 		// stalling one shard's queue briefly is the price of a
 		// lock-free hot path. Each closure writes its own slot.
@@ -292,6 +293,10 @@ func Restore(dir string) (*Manager, error) {
 	}
 	m := &Manager{cfg: cfg, spec: cfg.Engine, invStd: cfg.InvStd, t: man.Step}
 	m.replayCond = sync.NewCond(&m.mu)
+	m.tels = make([]*obs.ShardTel, cfg.Shards)
+	for i := range m.tels {
+		m.tels[i] = &obs.ShardTel{}
+	}
 	workers := make([]*worker, cfg.Shards)
 	for i := range workers {
 		w, err := readShard(shardFileName(dir, i, man.SnapshotID), cfg.Engine.Kind, cfg.TrackCandidates)
@@ -302,6 +307,10 @@ func Restore(dir string) (*Manager, error) {
 		w.ch = make(chan msg, cfg.QueueLen)
 		w.qch = make(chan msg, cfg.QueueLen)
 		w.lambda = cfg.Engine.Lambda
+		// Telemetry is not serialized: the counters restart at zero, but
+		// wiring publishes the restored ops/step so the first scrape
+		// after Restore is not blank.
+		w.wire(m.tels[i])
 		workers[i] = w
 		// Under concurrent ingest the manifest step is captured before
 		// the per-shard cuts, so the serialized engines may already be

@@ -1,0 +1,177 @@
+package shard
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/countsketch"
+	"repro/internal/obs"
+	"repro/internal/stream"
+)
+
+// telSamples builds n deterministic sparse samples of dimensionality d
+// with 4 nonzeros each (6 pair ops per sample).
+func telSamples(d, n int) []stream.Sample {
+	out := make([]stream.Sample, n)
+	for i := range out {
+		a := i % (d - 3)
+		out[i] = stream.Sample{Idx: []int{a, a + 1, a + 2, a + 3}, Val: []float64{1, -2, 3, 0.5}}
+	}
+	return out
+}
+
+// TestShardTelemetryPublish drives an ASCS deployment through its
+// exploration window and checks the published atomic snapshots against
+// the structured stats: the wait-free /metrics view and the /v1/stats
+// view must be two reads of the same counters.
+func TestShardTelemetryPublish(t *testing.T) {
+	m, err := New(Config{
+		Dim:    24,
+		Shards: 4,
+		Engine: EngineSpec{
+			Kind:     KindASCS,
+			Sketch:   countsketch.Config{Tables: 3, Range: 512, Seed: 11},
+			T:        4096,
+			Schedule: core.Hyperparams{T: 4096, T0: 32, Theta: 0.05, Tau0: 1e-5},
+		},
+		FlushOps: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	const n = 512
+	if _, _, err := m.Ingest(telSamples(24, n)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := m.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOps := uint64(6 * n)
+	if st.Ops != wantOps {
+		t.Fatalf("Stats.Ops = %d, want %d", st.Ops, wantOps)
+	}
+	if st.AdmittedMass <= 0 {
+		t.Fatalf("Stats.AdmittedMass = %v, want > 0", st.AdmittedMass)
+	}
+
+	// The atomic telemetry blocks must agree with the structured stats.
+	var ops, batches, offered, admitted, expl uint64
+	var admMass, rejMass float64
+	for i := 0; i < m.NumShards(); i++ {
+		s := &m.Tel(i).Snap
+		ops += s.Load(obs.ShardOps)
+		batches += s.Load(obs.ShardBatches)
+		offered += s.Load(obs.ShardGateOffered)
+		admitted += s.Load(obs.ShardGateAdmitted)
+		expl += s.Load(obs.ShardExplorationInserts)
+		admMass += s.LoadFloat(obs.ShardAdmittedMass)
+		rejMass += s.LoadFloat(obs.ShardRejectedMass)
+		if s.Load(obs.ShardStep) == 0 {
+			t.Errorf("shard %d: published step is 0 after ingest", i)
+		}
+		if s.Load(obs.ShardQueueHighWater) == 0 {
+			t.Errorf("shard %d: queue high-water never racked despite %d batches", i, s.Load(obs.ShardBatches))
+		}
+		if s.Load(obs.ShardEngineBytes) == 0 {
+			t.Errorf("shard %d: engine bytes gauge is 0", i)
+		}
+	}
+	if ops != wantOps {
+		t.Errorf("published ops sum = %d, want %d", ops, wantOps)
+	}
+	if batches == 0 {
+		t.Error("no batches published")
+	}
+	if expl == 0 {
+		t.Error("no exploration inserts published after T0 window")
+	}
+	if offered == 0 || admitted == 0 {
+		t.Errorf("gate counters (offered=%d admitted=%d) empty after sampling began", offered, admitted)
+	}
+	if admMass != st.AdmittedMass || rejMass != st.RejectedMass {
+		t.Errorf("published mass (%v, %v) disagrees with Stats (%v, %v)",
+			admMass, rejMass, st.AdmittedMass, st.RejectedMass)
+	}
+	// The per-shard health block mirrors the same counters.
+	var hOps uint64
+	for _, ps := range st.PerShard {
+		hOps += ps.Health.GateOffered
+		if ps.Health.Batches == 0 {
+			t.Errorf("shard %d: health batches = 0", ps.Shard)
+		}
+	}
+	if hOps != offered {
+		t.Errorf("per-shard health gate offered sum = %d, published sum = %d", hOps, offered)
+	}
+
+	// Histograms: batch sizes and applies were observed.
+	var hs obs.HistSnap
+	var batchObs uint64
+	for i := 0; i < m.NumShards(); i++ {
+		m.Tel(i).BatchSize.Snapshot(&hs)
+		batchObs += hs.Count
+	}
+	if batchObs != batches {
+		t.Errorf("batch-size histogram count = %d, want %d (one observe per batch)", batchObs, batches)
+	}
+}
+
+// TestShardTelemetryLaneJumpsAndTrace pins that fast-lane queries count
+// as lane jumps, land in the fast-wait histogram, and that a traced
+// top-k fills all three spans.
+func TestShardTelemetryLaneJumpsAndTrace(t *testing.T) {
+	m := newLaneManager(t, ConsistencyFresh)
+	if _, _, err := m.Ingest(laneSamples(m.cfg.Dim, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	const fastQs = 5
+	for i := 0; i < fastQs; i++ {
+		if _, err := m.TopKC(3, ConsistencyFast); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := m.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jumps uint64
+	for _, ps := range st.PerShard {
+		jumps += ps.Health.LaneJumps
+	}
+	// Stats itself rides the fresh lane; only the fast top-k queries jump.
+	if jumps != fastQs {
+		t.Errorf("lane jumps = %d, want %d", jumps, fastQs)
+	}
+	var hs obs.HistSnap
+	m.Tel(0).FastWait.Snapshot(&hs)
+	if hs.Count != fastQs {
+		t.Errorf("fast-wait histogram count = %d, want %d", hs.Count, fastQs)
+	}
+
+	var tr QueryTrace
+	if _, err := m.TopKT(3, ConsistencyFresh, true, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.QueueWait <= 0 || tr.Apply <= 0 || tr.Merge <= 0 {
+		t.Errorf("trace spans not all filled: wait=%v apply=%v merge=%v", tr.QueueWait, tr.Apply, tr.Merge)
+	}
+
+	var str QueryTrace
+	if _, err := m.StatsT("", &str); err != nil {
+		t.Fatal(err)
+	}
+	if str.QueueWait <= 0 || str.Apply <= 0 {
+		t.Errorf("stats trace spans not filled: wait=%v apply=%v", str.QueueWait, str.Apply)
+	}
+}

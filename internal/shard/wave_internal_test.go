@@ -16,7 +16,7 @@ import (
 // fresh-lane closure.
 func setWaveGroup(t *testing.T, m *Manager, g int) {
 	t.Helper()
-	err := m.execAll(ConsistencyFresh, func(w *worker) {
+	err := m.execAll(ConsistencyFresh, nil, func(w *worker) {
 		w.fast.(sketchapi.WaveTuner).SetWaveGroup(g)
 	})
 	if err != nil {

@@ -183,6 +183,52 @@ func ValidateDecay(lambda float64) error {
 	return nil
 }
 
+// Health is an engine's self-reported operating state for telemetry:
+// admission-gate activity and the mass (Σ|x| of raw offered values,
+// before any 1/T or decay scaling) it admitted versus rejected, the
+// gate position, decay maintenance, and wave-pipeline staging counts.
+// All counters are cumulative since construction; engines without a
+// given mechanism leave its fields zero (e.g. CS has no gate, so every
+// offer contributes to AdmittedMass and the Gate* counts stay 0).
+//
+// The struct is a plain value snapshot: engines own the underlying
+// counters single-writer on their ingest path (no atomics — the
+// Ingestor contract already serializes mutation) and Health() copies
+// them out. Callers needing a coherent read must call it from the
+// goroutine that owns the engine (the shard workers do).
+type Health struct {
+	// ExplorationInserts counts pre-T0 inserts (gate admits all).
+	ExplorationInserts uint64
+	// GateOffered / GateAdmitted count sampling-period gate decisions.
+	GateOffered  uint64
+	GateAdmitted uint64
+	// AdmittedMass / RejectedMass accumulate Σ|x| by gate outcome.
+	AdmittedMass float64
+	RejectedMass float64
+	// Tau is the current admission threshold (0 for ungated engines and
+	// during exploration).
+	Tau float64
+	// DecayRenorms counts lazy-decay renormalization sweeps.
+	DecayRenorms uint64
+	// WaveGroups counts groups staged by the wave-pipelined OfferPairs
+	// path; the WaveFallback* counters split out groups that replayed
+	// the scalar per-pair order, by cause: an intra-group cell conflict,
+	// the exploration period, or an estimate-shape contract that must
+	// recompute from the table per pair.
+	WaveGroups              uint64
+	WaveFallbackConflict    uint64
+	WaveFallbackExploration uint64
+	WaveFallbackShape       uint64
+}
+
+// HealthReporter is implemented by engines that expose Health. All four
+// engines in this repository do; the serving layer publishes the
+// snapshot per shard and /metrics aggregates it.
+type HealthReporter interface {
+	Ingestor
+	Health() Health
+}
+
 // Snapshotter is an Ingestor whose full state (schedule position,
 // counters, table contents) can be serialized for checkpoint/resume.
 // All four engines (CS, ASCS, ASketch, Cold Filter) implement it, which

@@ -124,6 +124,8 @@ type Tracker struct {
 
 	scale float64 // lazy decay accumulator
 	inv   float64 // 1/scale, applied on Offer
+
+	pruned uint64 // cumulative keys evicted by prune (churn telemetry)
 }
 
 // trackerRenormFloor is the shared lazy-decay renormalization floor:
@@ -212,8 +214,14 @@ func (t *Tracker) prune() {
 		h.Push(key, sc)
 	}
 	kept := h.SortedDesc()
+	t.pruned += uint64(len(t.scores) - len(kept))
 	t.scores = make(map[uint64]float64, 2*t.cap)
 	for _, it := range kept {
 		t.scores[it.Key] = it.Score
 	}
 }
+
+// Pruned returns the cumulative number of keys evicted by pruning —
+// the top-k churn signal: how many once-admitted candidates have been
+// displaced by fresher or heavier ones.
+func (t *Tracker) Pruned() uint64 { return t.pruned }
