@@ -435,33 +435,42 @@ func TestShardIngestSteadyStateAllocs(t *testing.T) {
 		row[j] = rng.NormFloat64()
 	}
 	batch := []stream.Sample{stream.FromDense(row)}
-	mgr, err := shard.New(shard.Config{
-		Dim: d, Shards: 2,
-		Engine: shard.EngineSpec{
-			Kind:   shard.KindCS,
-			Sketch: countsketch.Config{Tables: 5, Range: 1 << 12, Seed: 1},
-			T:      1 << 30,
-		},
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer mgr.Close()
-	for i := 0; i < 50; i++ {
-		if _, _, err := mgr.Ingest(batch); err != nil {
-			t.Fatal(err)
-		}
-	}
-	if err := mgr.Flush(); err != nil {
-		t.Fatal(err)
-	}
-	avg := testing.AllocsPerRun(100, func() {
-		if _, _, err := mgr.Ingest(batch); err != nil {
-			t.Fatal(err)
-		}
-	})
-	if avg > 3 {
-		t.Fatalf("shard ingest steady state allocates %.1f per call; staging/worker scratch is not being reused", avg)
+	// The admission front door (shed bound check, governor pressure
+	// read) sits on this same path and must not add allocations under
+	// any policy. The queue is deep enough that the measurement loop
+	// can outrun the workers without tripping the bound — the check
+	// itself still runs on every call.
+	for _, adm := range []shard.AdmissionPolicy{shard.AdmitBlock, shard.AdmitShed, shard.AdmitDegrade} {
+		t.Run(string(adm), func(t *testing.T) {
+			mgr, err := shard.New(shard.Config{
+				Dim: d, Shards: 2, Admission: adm, QueueLen: 1 << 12,
+				Engine: shard.EngineSpec{
+					Kind:   shard.KindCS,
+					Sketch: countsketch.Config{Tables: 5, Range: 1 << 12, Seed: 1},
+					T:      1 << 30,
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer mgr.Close()
+			for i := 0; i < 50; i++ {
+				if _, _, err := mgr.Ingest(batch); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := mgr.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			avg := testing.AllocsPerRun(100, func() {
+				if _, _, err := mgr.Ingest(batch); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if avg > 3 {
+				t.Fatalf("shard ingest steady state (admission=%s) allocates %.1f per call; staging/worker scratch is not being reused", adm, avg)
+			}
+		})
 	}
 }
 

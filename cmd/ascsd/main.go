@@ -50,6 +50,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/server"
 	"repro/internal/shard"
 )
@@ -80,10 +81,27 @@ func main() {
 		restore     = flag.Bool("restore", false, "start from the snapshot in -snapshot-dir")
 		debugAddr   = flag.String("debug-addr", "", "side listener for /debug/pprof/, /debug/vars and /metrics (keep on loopback; empty disables)")
 		traceEvery  = flag.Int("trace-every", 0, "sample 1-in-N requests for span tracing to the log (0 disables)")
+		admission   = flag.String("admission", "block", "ingest admission policy: block (backpressure on the shard FIFO), shed (429 + Retry-After when a shard queue is at bound) or degrade (shed + overload governor auto-routing fresh queries to the fast lane)")
+		shedHW      = flag.Float64("shed-high-water", 1.0, "shard queue fill fraction that trips shedding (shed/degrade policies)")
+		queryTO     = flag.Duration("query-timeout", 0, "default per-request deadline on query endpoints; past it queued work is abandoned and the request gets 503 (0 = client-disconnect bound only; ?timeout= overrides)")
+		ingestTO    = flag.Duration("ingest-timeout", 0, "default per-request deadline on ingest delivery into the shard FIFOs (0 = client-disconnect bound only)")
+		faultSpec   = flag.String("faults", "", "deterministic fault injection spec for chaos drills, e.g. 'latency=2ms@0.1,stall=0:50ms,drop=0.01,dup=0.01,fsyncerr,torn,seed=42' (never set in production)")
 	)
 	flag.Parse()
 	log.SetPrefix("ascsd: ")
 	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+
+	policy, err := shard.ParseAdmission(*admission)
+	if err != nil {
+		log.Fatal(err)
+	}
+	injector, err := faults.Parse(*faultSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if injector != nil {
+		log.Printf("FAULT INJECTION ACTIVE: %s (chaos drill mode — never production)", *faultSpec)
+	}
 
 	mgr, err := buildManager(managerFlags{
 		dim: *dim, samples: *samples, window: *window, decay: *decay,
@@ -92,11 +110,21 @@ func main() {
 		standardize: *standardize, track: *track, queue: *queue, flush: *flush,
 		consistency: *consistency,
 		seed:        *seed, snapDir: *snapDir, restore: *restore,
+		admission: policy, shedHighWater: *shedHW, faults: injector,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := server.New(mgr, server.Options{SnapshotDir: *snapDir, MaxBatch: *maxBatch, TraceEvery: *traceEvery})
+	srv := server.New(mgr, server.Options{
+		SnapshotDir:   *snapDir,
+		MaxBatch:      *maxBatch,
+		TraceEvery:    *traceEvery,
+		QueryTimeout:  *queryTO,
+		IngestTimeout: *ingestTO,
+		// Managers built by POST /v1/restore keep the deployment's
+		// admission policy and injector instead of the manifest's.
+		RestoreOverrides: shard.RestoreOverrides{Admission: policy, Faults: injector},
+	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -185,6 +213,9 @@ type managerFlags struct {
 	seed                 uint64
 	snapDir              string
 	restore              bool
+	admission            shard.AdmissionPolicy
+	shedHighWater        float64
+	faults               *faults.Injector
 }
 
 func buildManager(f managerFlags) (*shard.Manager, error) {
@@ -198,7 +229,9 @@ func buildManager(f managerFlags) (*shard.Manager, error) {
 		if f.snapDir == "" {
 			return nil, fmt.Errorf("-restore requires -snapshot-dir")
 		}
-		mgr, err := shard.Restore(f.snapDir)
+		mgr, err := shard.RestoreWith(f.snapDir, shard.RestoreOverrides{
+			Admission: f.admission, Faults: f.faults,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -250,6 +283,9 @@ func buildManager(f managerFlags) (*shard.Manager, error) {
 		FlushOps:         f.flush,
 		TrackCandidates:  f.track,
 		QueryConsistency: lane,
+		Admission:        f.admission,
+		ShedHighWater:    f.shedHighWater,
+		Faults:           f.faults,
 	})
 }
 

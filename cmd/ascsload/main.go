@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -69,6 +70,7 @@ func main() {
 		qps         = flag.Float64("qps", 0, "target ingest requests/sec across all connections (0 = unpaced)")
 		queriers    = flag.Int("queriers", 2, "concurrent top-k query workers during ingest")
 		topk        = flag.Int("topk", 25, "k for the query workers")
+		retries     = flag.Int("retries", 8, "max retries per shed (429) ingest request, honoring Retry-After with capped exponential backoff + jitter; 0 disables")
 		consistency = flag.String("consistency", "", "query lane the query workers request (?consistency=): fresh, fast, or empty for the server default")
 		mixed       = flag.Bool("mixed", true, "in-process mode: after the sweep, run the mixed ingest-saturation arm twice (query lane fresh vs fast) and record both")
 		engine      = flag.String("engine", "cs", "engine for in-process mode: cs or ascs")
@@ -97,7 +99,7 @@ func main() {
 
 	loadCfg := loadConfig{
 		conns: *conns, qps: *qps, queriers: *queriers, topk: *topk,
-		consistency: *consistency,
+		consistency: *consistency, retries: *retries,
 	}
 	if *addr != "" {
 		res := runLoad(*addr, work, loadCfg)
@@ -251,6 +253,32 @@ type loadConfig struct {
 	// consistency is the lane the query workers request per call
 	// (?consistency=); empty leaves the server default in charge.
 	consistency string
+	// retries caps the per-request retry budget for shed (429) ingest
+	// responses.
+	retries int
+}
+
+// Backoff bounds for shed retries: capped exponential with full
+// jitter, overridden by the server's Retry-After when present.
+const (
+	baseBackoff = 25 * time.Millisecond
+	maxBackoff  = 2 * time.Second
+)
+
+// retryDelay returns how long to wait before retry attempt+1: the
+// server's Retry-After verbatim when it sent one (the server knows its
+// drain rate; second-guessing it re-creates the stampede it exists to
+// spread), otherwise capped exponential backoff with jitter in
+// [d/2, 3d/2) so shed connections don't re-arrive in lockstep.
+func retryDelay(attempt int, retryAfter string) time.Duration {
+	if sec, err := strconv.Atoi(retryAfter); err == nil && sec > 0 {
+		return time.Duration(sec) * time.Second
+	}
+	d := baseBackoff << uint(attempt)
+	if d > maxBackoff || d <= 0 {
+		d = maxBackoff
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
 }
 
 // RunResult is one benchmark run (one shard count, one query lane).
@@ -261,14 +289,24 @@ type RunResult struct {
 	// worker count of this run — the mixed arm forces it to ≥ 1 even
 	// when -queriers is 0, so the per-run value, not the workload
 	// block's flag value, is what reproduces the run.
-	QueryConsistency    string  `json:"query_consistency,omitempty"`
-	Queriers            int     `json:"queriers"`
-	Transport           string  `json:"transport"`
-	ElapsedSec          float64 `json:"elapsed_sec"`
-	IngestRequests      int     `json:"ingest_requests"`
-	IngestErrors        int     `json:"ingest_errors"`
-	IngestSamplesPerSec float64 `json:"ingest_samples_per_sec"`
-	IngestOffersPerSec  float64 `json:"ingest_offers_per_sec"`
+	QueryConsistency string  `json:"query_consistency,omitempty"`
+	Queriers         int     `json:"queriers"`
+	Transport        string  `json:"transport"`
+	ElapsedSec       float64 `json:"elapsed_sec"`
+	IngestRequests   int     `json:"ingest_requests"`
+	IngestErrors     int     `json:"ingest_errors"`
+	// IngestShed counts 429 responses (each a refused-whole request the
+	// server asked the client to retry); IngestRetries counts the
+	// re-sends the backoff loop actually issued. IngestDeadlineExceeded
+	// counts 503s on ingest — never retried, because delivery may have
+	// been partial and a blind replay would double-apply the shipped
+	// prefix. All three are separate from IngestErrors so a shed-heavy
+	// run reads as overload, not as failure.
+	IngestShed             int     `json:"ingest_shed,omitempty"`
+	IngestRetries          int     `json:"ingest_retries,omitempty"`
+	IngestDeadlineExceeded int     `json:"ingest_deadline_exceeded,omitempty"`
+	IngestSamplesPerSec    float64 `json:"ingest_samples_per_sec"`
+	IngestOffersPerSec     float64 `json:"ingest_offers_per_sec"`
 	// Service time: request send → response, excluding any client-side
 	// wait for the -qps schedule slot.
 	IngestP50MS float64 `json:"ingest_p50_ms"`
@@ -308,6 +346,12 @@ type ServerCounters struct {
 	FastQueueHighWater float64 `json:"fast_queue_high_water"`
 	WaveGroups         float64 `json:"wave_groups"`
 	WaveFallbacks      float64 `json:"wave_fallbacks"`
+	// Robustness deltas: the server's own shed/deadline accounting, to
+	// reconcile against the client-side IngestShed / deadline counts.
+	ShedRequests float64 `json:"shed_requests,omitempty"`
+	HTTPShed     float64 `json:"http_shed,omitempty"`
+	DeadlineOps  float64 `json:"deadline_ops,omitempty"`
+	HTTPDeadline float64 `json:"http_deadline_exceeded,omitempty"`
 }
 
 // scrapeFamilies fetches and aggregates the target's /metrics page
@@ -346,6 +390,10 @@ func counterDelta(before, after obs.Families) *ServerCounters {
 		FastQueueHighWater: after["ascs_shard_fast_queue_high_water"].Max,
 		WaveGroups:         d("ascs_wave_groups_total"),
 		WaveFallbacks:      d("ascs_wave_fallback_total"),
+		ShedRequests:       d("ascs_shed_requests_total"),
+		HTTPShed:           d("ascs_http_shed_total"),
+		DeadlineOps:        d("ascs_deadline_ops_total"),
+		HTTPDeadline:       d("ascs_http_deadline_exceeded_total"),
 	}
 }
 
@@ -354,9 +402,10 @@ func (r RunResult) print() {
 	if lane == "" {
 		lane = "default"
 	}
-	log.Printf("shards=%d lane=%s: %.0f samples/s (%.2e offers/s) over %.2fs; ingest svc p50=%.2fms p99=%.2fms resp p99=%.2fms; %d queries (%d errs, %d warming) p50=%.2fms p99=%.2fms",
+	log.Printf("shards=%d lane=%s: %.0f samples/s (%.2e offers/s) over %.2fs; ingest svc p50=%.2fms p99=%.2fms resp p99=%.2fms shed=%d retries=%d ddl=%d; %d queries (%d errs, %d warming) p50=%.2fms p99=%.2fms",
 		r.Shards, lane, r.IngestSamplesPerSec, r.IngestOffersPerSec, r.ElapsedSec,
 		r.IngestP50MS, r.IngestP99MS, r.IngestRespP99MS,
+		r.IngestShed, r.IngestRetries, r.IngestDeadlineExceeded,
 		r.QueryCount, r.QueryErrors, r.QueryWarming503, r.QueryP50MS, r.QueryP99MS)
 }
 
@@ -450,10 +499,13 @@ func runInProcess(shards int, engine string, dim, tables, rng, window int, work 
 func runLoad(base string, work workload, cfg loadConfig) RunResult {
 	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: cfg.conns + cfg.queriers}}
 	var (
-		next      atomic.Int64
-		errCount  atomic.Int64
-		okSamples atomic.Int64
-		okOffers  atomic.Uint64
+		next       atomic.Int64
+		errCount   atomic.Int64
+		shedCount  atomic.Int64
+		retryCount atomic.Int64
+		ddlCount   atomic.Int64
+		okSamples  atomic.Int64
+		okOffers   atomic.Uint64
 		// Per-connection service-time and response-time samples. Service
 		// time starts at the actual send; response time starts at the
 		// -qps schedule slot, so a server that falls behind the schedule
@@ -493,24 +545,55 @@ func runLoad(base string, work workload, cfg loadConfig) RunResult {
 					if d := time.Until(sched); d > 0 {
 						time.Sleep(d)
 					}
+				}
+				var end time.Time
+				ok := false
+				for attempt := 0; ; attempt++ {
 					sent = time.Now()
-				}
-				resp, err := client.Post(base+"/v1/ingest", "application/json", bytes.NewReader(work.bodies[i]))
-				end := time.Now()
-				if err != nil {
+					resp, err := client.Post(base+"/v1/ingest", "application/json", bytes.NewReader(work.bodies[i]))
+					end = time.Now()
+					if err != nil {
+						errCount.Add(1)
+						break
+					}
+					retryAfter := resp.Header.Get("Retry-After")
+					// Drain before Close so the keep-alive connection is
+					// reusable; otherwise every request pays connection setup.
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode == http.StatusOK {
+						ok = true
+						break
+					}
+					if resp.StatusCode == http.StatusTooManyRequests {
+						// Shed whole at admission: safe to replay verbatim.
+						shedCount.Add(1)
+						if attempt < cfg.retries {
+							retryCount.Add(1)
+							time.Sleep(retryDelay(attempt, retryAfter))
+							continue
+						}
+						errCount.Add(1)
+						break
+					}
+					if resp.StatusCode == http.StatusServiceUnavailable {
+						// Deadline (or lifecycle) 503 on ingest: delivery may
+						// have been partial, so a blind replay would
+						// double-apply the shipped prefix — count, don't retry.
+						ddlCount.Add(1)
+						break
+					}
 					errCount.Add(1)
-					continue
+					break
 				}
-				// Drain before Close so the keep-alive connection is
-				// reusable; otherwise every request pays connection setup.
-				io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
-				if resp.StatusCode != http.StatusOK {
-					errCount.Add(1)
+				if !ok {
 					continue
 				}
 				okSamples.Add(int64(work.sampleCounts[i]))
 				okOffers.Add(work.offerCounts[i])
+				// Service time covers the successful attempt only; response
+				// time runs from the schedule slot, so shed-and-retry waits
+				// are charged to the tail like any other server-imposed delay.
 				svcLats[c] = append(svcLats[c], float64(end.Sub(sent))/float64(time.Millisecond))
 				respLats[c] = append(respLats[c], float64(end.Sub(sched))/float64(time.Millisecond))
 			}
@@ -571,15 +654,18 @@ func runLoad(base string, work workload, cfg loadConfig) RunResult {
 	sort.Float64s(respAll)
 	sort.Float64s(queryAll)
 	res := RunResult{
-		QueryConsistency: cfg.consistency,
-		Queriers:         cfg.queriers,
-		Transport:        "http",
-		ElapsedSec:       elapsed.Seconds(),
-		IngestRequests:   len(work.bodies),
-		IngestErrors:     int(errCount.Load()),
-		QueryCount:       int(qCount.Load()),
-		QueryErrors:      int(qErrs.Load()),
-		QueryWarming503:  int(qWarming.Load()),
+		QueryConsistency:       cfg.consistency,
+		Queriers:               cfg.queriers,
+		Transport:              "http",
+		ElapsedSec:             elapsed.Seconds(),
+		IngestRequests:         len(work.bodies),
+		IngestErrors:           int(errCount.Load()),
+		IngestShed:             int(shedCount.Load()),
+		IngestRetries:          int(retryCount.Load()),
+		IngestDeadlineExceeded: int(ddlCount.Load()),
+		QueryCount:             int(qCount.Load()),
+		QueryErrors:            int(qErrs.Load()),
+		QueryWarming503:        int(qWarming.Load()),
 	}
 	if elapsed > 0 {
 		// Throughput counts only samples the server accepted (200s);

@@ -1,0 +1,421 @@
+// Package chaostest is the chaos harness of the serving stack: it runs
+// the HTTP server and the shard manager under injected faults
+// (internal/faults) and asserts the robustness invariants the failure
+// model promises — no deadlock, every request terminates within its
+// deadline budget, shed accounting reconciles exactly with the 429s
+// served, timing-only faults never change sketch state, and corrupt
+// snapshots fail closed while the old manager keeps serving.
+package chaostest
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/countsketch"
+	"repro/internal/dataset"
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/server"
+	"repro/internal/shard"
+	"repro/internal/stream"
+)
+
+// budget is the hard per-request termination bound the harness
+// enforces: far above any configured deadline, far below a hang.
+const budget = 5 * time.Second
+
+func chaosSamples(d, n int) []stream.Sample {
+	out := make([]stream.Sample, n)
+	for i := range out {
+		a := i % (d - 2)
+		out[i] = stream.Sample{Idx: []int{a, a + 1, a + 2}, Val: []float64{1, -0.5, 2}}
+	}
+	return out
+}
+
+// newChaosServer builds a small 2-shard CS server with the given
+// injector and options. The injector's stalls are released in cleanup
+// before the manager closes, so a failing test never deadlocks
+// teardown.
+func newChaosServer(t *testing.T, in *faults.Injector, cfg shard.Config, opts server.Options) (*server.Server, *httptest.Server) {
+	t.Helper()
+	cfg.Dim = 16
+	cfg.Shards = 2
+	cfg.Faults = in
+	cfg.Engine = shard.EngineSpec{
+		Kind:   shard.KindCS,
+		Sketch: countsketch.Config{Tables: 3, Range: 512, Seed: 21},
+		T:      1 << 20,
+	}
+	mgr, err := shard.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(mgr, opts)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		in.ReleaseStalls()
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts
+}
+
+func postIngest(t *testing.T, base string, samples []stream.Sample) *http.Response {
+	t.Helper()
+	req := server.IngestRequest{Samples: make([]server.SampleJSON, len(samples))}
+	for i, s := range samples {
+		req.Samples[i] = server.SampleJSON{Idx: s.Idx, Val: s.Val}
+	}
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(req); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/ingest", "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp
+}
+
+func scrapeFamilies(t *testing.T, base string) obs.Families {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	fams, err := obs.Parse(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fams
+}
+
+// TestStalledShardDeadlines is the tentpole acceptance drill: with one
+// shard's worker stalled indefinitely, every query and every ingest
+// bounded by a 100ms deadline must terminate as a 503 within budget —
+// never hang — and the server's deadline accounting must match the
+// 503s observed. After ReleaseStalls the backlog drains and the
+// service recovers.
+func TestStalledShardDeadlines(t *testing.T) {
+	in, err := faults.Parse("stall=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newChaosServer(t, in, shard.Config{QueueLen: 8},
+		server.Options{QueryTimeout: 100 * time.Millisecond, IngestTimeout: 100 * time.Millisecond})
+	samples := chaosSamples(16, 64)
+
+	// Feed batches until shard 0's worker has picked one up and parked.
+	i := 0
+	for in.Stalls.Load() == 0 && i < len(samples) {
+		if resp := postIngest(t, ts.URL, samples[i:i+1]); resp.StatusCode != http.StatusOK &&
+			resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("priming ingest %d: status %d", i, resp.StatusCode)
+		}
+		i++
+	}
+	if in.Stalls.Load() == 0 {
+		t.Fatal("stall fault never fired")
+	}
+
+	deadline503 := 0
+	for q := 0; q < 5; q++ {
+		start := time.Now()
+		resp, err := http.Get(ts.URL + "/v1/topk?k=5")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if el := time.Since(start); el > budget {
+			t.Fatalf("query %d took %v against a stalled shard (budget %v)", q, el, budget)
+		}
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("query %d against a stalled shard: status %d, want 503", q, resp.StatusCode)
+		}
+		deadline503++
+	}
+
+	// Keep ingesting until the stalled shard's FIFO is full and the
+	// 100ms ingest deadline fires — it must 503 within budget too.
+	sawIngest503 := false
+	for r := 0; r < 64 && !sawIngest503; r++ {
+		start := time.Now()
+		resp := postIngest(t, ts.URL, samples[r%len(samples):r%len(samples)+1])
+		if el := time.Since(start); el > budget {
+			t.Fatalf("ingest %d took %v against a full stalled FIFO (budget %v)", r, el, budget)
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			sawIngest503 = true
+			deadline503++
+		} else if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest %d: status %d", r, resp.StatusCode)
+		}
+	}
+	if !sawIngest503 {
+		t.Fatal("full-FIFO ingest never hit its deadline")
+	}
+
+	fams := scrapeFamilies(t, ts.URL)
+	if got := fams["ascs_http_deadline_exceeded_total"].Sum; got != float64(deadline503) {
+		t.Fatalf("ascs_http_deadline_exceeded_total = %v, want %d", got, deadline503)
+	}
+
+	// Recovery: release the stall, drain, and the same query succeeds.
+	in.ReleaseStalls()
+	okDeadline := time.Now().Add(budget)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/topk?k=5")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			break
+		}
+		if time.Now().After(okDeadline) {
+			t.Fatalf("service did not recover after ReleaseStalls (last status %d)", resp.StatusCode)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestShedCountsMatch429s reconciles the three shed ledgers under the
+// shed admission policy with a stalled shard: the 429s the client saw,
+// the HTTP layer's ascs_http_shed_total, and the manager's
+// ascs_shed_requests_total must agree exactly, and every 429 must
+// carry a positive integral Retry-After.
+func TestShedCountsMatch429s(t *testing.T) {
+	in, err := faults.Parse("stall=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newChaosServer(t, in, shard.Config{QueueLen: 4, Admission: shard.AdmitShed}, server.Options{})
+	samples := chaosSamples(16, 256)
+
+	client429 := 0
+	for i := range samples {
+		resp := postIngest(t, ts.URL, samples[i:i+1])
+		switch resp.StatusCode {
+		case http.StatusOK:
+		case http.StatusTooManyRequests:
+			client429++
+			ra := resp.Header.Get("Retry-After")
+			if ra == "" {
+				t.Fatal("429 without Retry-After")
+			}
+			if !strings.ContainsAny(ra, "123456789") {
+				t.Fatalf("Retry-After %q is not a positive duration", ra)
+			}
+		default:
+			t.Fatalf("ingest %d: status %d", i, resp.StatusCode)
+		}
+		if client429 >= 20 {
+			break
+		}
+	}
+	if client429 == 0 {
+		t.Fatal("stalled shard with a 4-deep queue never shed")
+	}
+
+	fams := scrapeFamilies(t, ts.URL)
+	if got := fams["ascs_http_shed_total"].Sum; got != float64(client429) {
+		t.Fatalf("ascs_http_shed_total = %v, want %d", got, client429)
+	}
+	if got := fams["ascs_shed_requests_total"].Sum; got != float64(client429) {
+		t.Fatalf("ascs_shed_requests_total = %v, want %d", got, client429)
+	}
+	if got := fams["ascs_shard_admission_rejects_total"].Sum; got != float64(client429) {
+		t.Fatalf("ascs_shard_admission_rejects_total = %v, want %d", got, client429)
+	}
+}
+
+// TestTimingFaultsPreserveTables pins the state-integrity invariant:
+// timing-only faults (latency spikes on every batch) may slow the
+// pipeline but must never change what gets applied — the full query
+// surface of a faulted run (every pair estimate, the top-k list, the
+// op/step ledger) is bit-identical to an unfaulted reference fed the
+// same stream.
+func TestTimingFaultsPreserveTables(t *testing.T) {
+	const d, n = 30, 500
+	ds := dataset.Simulation(d, n, 0.02, 23)
+	samples := make([]stream.Sample, n)
+	for i, r := range ds.Rows {
+		samples[i] = stream.FromDense(r)
+	}
+
+	in, err := faults.Parse("latency=100us@1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.TimingOnly() {
+		t.Fatal("latency spec must be timing-only")
+	}
+
+	run := func(in *faults.Injector) (shard.Stats, []shard.PairEstimate, []float64) {
+		mgr, err := shard.New(shard.Config{
+			Dim: d, Shards: 2, Faults: in,
+			Engine: shard.EngineSpec{Kind: shard.KindCS, Sketch: countsketch.Config{Tables: 4, Range: 1024, Seed: 3}, T: n},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer mgr.Close()
+		if _, _, err := mgr.Ingest(samples); err != nil {
+			t.Fatal(err)
+		}
+		if err := mgr.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		st, err := mgr.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		top, err := mgr.TopKMagnitude(20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ests []float64
+		for i := 0; i < d; i++ {
+			for j := i + 1; j < d; j++ {
+				e, err := mgr.EstimateC(i, j, shard.ConsistencyFresh)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ests = append(ests, e)
+			}
+		}
+		return st, top, ests
+	}
+
+	cleanSt, cleanTop, cleanEsts := run(nil)
+	faultSt, faultTop, faultEsts := run(in)
+	if in.Latencies.Load() == 0 {
+		t.Fatal("latency fault never fired")
+	}
+	if cleanSt.Ops != faultSt.Ops || cleanSt.Step != faultSt.Step {
+		t.Fatalf("op/step ledger diverges under timing-only faults: %+v vs %+v", cleanSt, faultSt)
+	}
+	if len(cleanTop) != len(faultTop) {
+		t.Fatalf("topk lengths differ: %d vs %d", len(cleanTop), len(faultTop))
+	}
+	for i := range cleanTop {
+		if cleanTop[i] != faultTop[i] {
+			t.Fatalf("topk[%d] diverges under timing-only faults: %+v vs %+v", i, cleanTop[i], faultTop[i])
+		}
+	}
+	for i := range cleanEsts {
+		if cleanEsts[i] != faultEsts[i] {
+			t.Fatalf("pair estimate %d diverges under timing-only faults: %v vs %v", i, cleanEsts[i], faultEsts[i])
+		}
+	}
+}
+
+// TestDropDupFaultsObserved: delivery faults actually fire, are
+// counted by the injector, and the pipeline survives them — dropped
+// and duplicated batches change the tables, never the liveness.
+func TestDropDupFaultsObserved(t *testing.T) {
+	in, err := faults.Parse("drop=0.2,dup=0.2,seed=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := shard.New(shard.Config{
+		Dim: 16, Shards: 2, Faults: in, FlushOps: 8,
+		Engine: shard.EngineSpec{Kind: shard.KindCS, Sketch: countsketch.Config{Tables: 3, Range: 512, Seed: 21}, T: 1 << 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	samples := chaosSamples(16, 400)
+	for i := range samples {
+		if _, _, err := mgr.Ingest(samples[i : i+1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := mgr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if in.Drops.Load() == 0 || in.Dups.Load() == 0 {
+		t.Fatalf("delivery faults never fired: drops=%d dups=%d", in.Drops.Load(), in.Dups.Load())
+	}
+	if _, err := mgr.TopKMagnitude(5); err != nil {
+		t.Fatalf("retrieval after delivery faults: %v", err)
+	}
+	st, err := mgr.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Step != len(samples) {
+		t.Fatalf("step = %d, want %d (steps are assigned at admission, not delivery)", st.Step, len(samples))
+	}
+}
+
+// TestTornSnapshotFailsClosedOverHTTP: a torn manifest committed by a
+// faulted snapshot must make POST /v1/restore fail (500) while the old
+// manager keeps serving at its current step — corruption never swaps
+// in.
+func TestTornSnapshotFailsClosedOverHTTP(t *testing.T) {
+	in, err := faults.Parse("torn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapDir := t.TempDir()
+	srv, ts := newChaosServer(t, in, shard.Config{QueueLen: 16}, server.Options{SnapshotDir: snapDir})
+	samples := chaosSamples(16, 100)
+	if resp := postIngest(t, ts.URL, samples); resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: status %d", resp.StatusCode)
+	}
+	if err := srv.Manager().Flush(); err != nil {
+		t.Fatal(err)
+	}
+	stepBefore := srv.Manager().Step()
+
+	resp, err := http.Post(ts.URL+"/v1/snapshot", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot: status %d", resp.StatusCode)
+	}
+
+	resp, err = http.Post(ts.URL+"/v1/restore", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("restore of torn snapshot: status %d (%s), want 500", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "corrupt") {
+		t.Fatalf("restore error does not name the corruption: %s", body)
+	}
+
+	// The old manager is still the serving one, at the same step.
+	if got := srv.Manager().Step(); got != stepBefore {
+		t.Fatalf("step moved across a failed restore: %d -> %d", stepBefore, got)
+	}
+	r2, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, r2.Body)
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusOK {
+		t.Fatalf("stats after failed restore: status %d", r2.StatusCode)
+	}
+}

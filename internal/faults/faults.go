@@ -1,0 +1,344 @@
+// Package faults is the deterministic fault-injection layer of the
+// serving stack: a seeded Injector that the shard workers, the batch
+// router, and the snapshot writer consult at a handful of well-defined
+// points, so chaos tests (internal/chaostest) and the `ascsd -faults`
+// flag can exercise the failure model — latency spikes, stalled
+// workers, dropped and duplicated batch delivery, snapshot I/O errors,
+// torn manifests — without patching production code paths per test.
+//
+// # Design constraints
+//
+//   - Deterministic. Every probabilistic decision is drawn from a
+//     splitmix64 stream seeded at construction and advanced by an
+//     atomic counter, so a single-sender run replays the exact same
+//     drop/dup/latency sequence for a given seed. (With concurrent
+//     senders the interleaving of decisions is scheduler-dependent —
+//     inherent — but each decision sequence is still the seeded one.)
+//
+//   - Nil-safe and hot-path-cheap. Every method is safe on a nil
+//     *Injector (the production configuration), so call sites guard
+//     with a single pointer check and disabled deployments pay one
+//     predictable branch per *batch*, never per pair.
+//
+//   - Observable. The injector counts what it injected (Latencies,
+//     Stalls, Drops, Dups, WriteErrs) so harnesses can assert that the
+//     system's shed/error accounting matches the faults actually fired
+//     rather than trusting the probabilities.
+//
+// Injected errors wrap ErrInjected, so tests can tell a synthetic
+// failure from a real one with errors.Is.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the root of every synthetic error this package
+// produces.
+var ErrInjected = errors.New("faults: injected error")
+
+// Injector holds a parsed fault scenario. The zero value injects
+// nothing; a nil *Injector is valid everywhere.
+type Injector struct {
+	seed uint64
+	ctr  atomic.Uint64 // decision counter: one draw per probabilistic choice
+
+	// Apply-side timing faults (worker goroutine, per batch).
+	applyLatency  time.Duration // latency spike duration
+	applyLatencyP float64       // per-batch spike probability
+	// stallShard is the shard whose worker stalls (-1: none). Atomic:
+	// ReleaseStalls clears it while workers read it per batch.
+	stallShard atomic.Int64
+	stallFor   time.Duration // 0: stall until ReleaseStalls
+
+	// Delivery faults (sender side, per shipped batch).
+	dropP float64
+	dupP  float64
+
+	// Snapshot I/O faults.
+	snapWriteAfter int64 // inject a write error after this many bytes (-1: off)
+	snapFsyncErr   bool
+	tornManifest   bool
+
+	stallMu sync.Mutex
+	stallCh chan struct{} // closed by ReleaseStalls
+
+	// Injection counters, for harness assertions.
+	Latencies atomic.Uint64
+	Stalls    atomic.Uint64
+	Drops     atomic.Uint64
+	Dups      atomic.Uint64
+	WriteErrs atomic.Uint64
+}
+
+// New returns an empty (inject-nothing) Injector with the given seed;
+// configure it via Parse in normal use.
+func New(seed uint64) *Injector {
+	in := &Injector{seed: seed, snapWriteAfter: -1}
+	in.stallShard.Store(-1)
+	return in
+}
+
+// Parse builds an Injector from a comma-separated scenario spec:
+//
+//	seed=N            decision-stream seed (default 1)
+//	latency=DUR@P     per-batch apply latency spike of DUR with probability P
+//	                  (@P optional; default 1 = every batch)
+//	stall=SHARD[:DUR] shard SHARD's worker blocks in its next apply — for DUR,
+//	                  or until ReleaseStalls when DUR is omitted
+//	drop=P            a shipped batch is silently dropped with probability P
+//	dup=P             a shipped batch is delivered twice with probability P
+//	snapwrite=BYTES   snapshot blob writes fail after BYTES bytes
+//	fsyncerr          snapshot blob fsync fails
+//	torn              the snapshot manifest is committed truncated (torn write)
+//
+// Example: "seed=7,latency=2ms@0.2,drop=0.01,torn". An empty spec
+// returns (nil, nil): no injector at all.
+func Parse(spec string) (*Injector, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	in := New(1)
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		key, val, hasVal := strings.Cut(tok, "=")
+		switch key {
+		case "seed":
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faults: bad seed %q: %v", val, err)
+			}
+			in.seed = n
+		case "latency":
+			durStr, pStr, hasP := strings.Cut(val, "@")
+			d, err := time.ParseDuration(durStr)
+			if err != nil || d <= 0 {
+				return nil, fmt.Errorf("faults: bad latency duration %q", durStr)
+			}
+			p := 1.0
+			if hasP {
+				if p, err = parseProb(pStr); err != nil {
+					return nil, err
+				}
+			}
+			in.applyLatency, in.applyLatencyP = d, p
+		case "stall":
+			shStr, durStr, hasDur := strings.Cut(val, ":")
+			sh, err := strconv.Atoi(shStr)
+			if err != nil || sh < 0 {
+				return nil, fmt.Errorf("faults: bad stall shard %q", shStr)
+			}
+			in.stallShard.Store(int64(sh))
+			if hasDur {
+				d, err := time.ParseDuration(durStr)
+				if err != nil || d <= 0 {
+					return nil, fmt.Errorf("faults: bad stall duration %q", durStr)
+				}
+				in.stallFor = d
+			}
+		case "drop":
+			p, err := parseProb(val)
+			if err != nil {
+				return nil, err
+			}
+			in.dropP = p
+		case "dup":
+			p, err := parseProb(val)
+			if err != nil {
+				return nil, err
+			}
+			in.dupP = p
+		case "snapwrite":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("faults: bad snapwrite byte count %q", val)
+			}
+			in.snapWriteAfter = n
+		case "fsyncerr":
+			if hasVal {
+				return nil, fmt.Errorf("faults: fsyncerr takes no value")
+			}
+			in.snapFsyncErr = true
+		case "torn":
+			if hasVal {
+				return nil, fmt.Errorf("faults: torn takes no value")
+			}
+			in.tornManifest = true
+		default:
+			return nil, fmt.Errorf("faults: unknown fault %q", key)
+		}
+	}
+	return in, nil
+}
+
+func parseProb(s string) (float64, error) {
+	p, err := strconv.ParseFloat(s, 64)
+	if err != nil || p < 0 || p > 1 {
+		return 0, fmt.Errorf("faults: probability %q must be in [0,1]", s)
+	}
+	return p, nil
+}
+
+// splitmix64 is the decision-stream generator: stateless per draw, so
+// decision i is a pure function of (seed, i).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// draw returns the next uniform value in [0,1) from the decision
+// stream.
+func (in *Injector) draw() float64 {
+	i := in.ctr.Add(1)
+	return float64(splitmix64(in.seed+i)>>11) / float64(1<<53)
+}
+
+// BeforeApply runs on the worker goroutine immediately before a batch
+// is applied: it injects the configured latency spike and, for the
+// stalled shard, blocks (for stallFor, or until ReleaseStalls). Safe on
+// nil.
+func (in *Injector) BeforeApply(shard int) {
+	if in == nil {
+		return
+	}
+	if in.stallShard.Load() == int64(shard) {
+		in.Stalls.Add(1)
+		if in.stallFor > 0 {
+			time.Sleep(in.stallFor)
+		} else {
+			<-in.stallChan()
+		}
+	}
+	if in.applyLatency > 0 && in.draw() < in.applyLatencyP {
+		in.Latencies.Add(1)
+		time.Sleep(in.applyLatency)
+	}
+}
+
+func (in *Injector) stallChan() chan struct{} {
+	in.stallMu.Lock()
+	defer in.stallMu.Unlock()
+	if in.stallCh == nil {
+		in.stallCh = make(chan struct{})
+	}
+	return in.stallCh
+}
+
+// ReleaseStalls unblocks every worker parked by an open-ended stall and
+// disables further stalling, so harnesses can drain and close cleanly.
+// Idempotent.
+func (in *Injector) ReleaseStalls() {
+	if in == nil {
+		return
+	}
+	in.stallMu.Lock()
+	defer in.stallMu.Unlock()
+	in.stallShard.Store(-1)
+	if in.stallCh == nil {
+		in.stallCh = make(chan struct{})
+		close(in.stallCh)
+		return
+	}
+	select {
+	case <-in.stallCh:
+	default:
+		close(in.stallCh)
+	}
+}
+
+// Delivery is one batch's delivery fate.
+type Delivery struct {
+	// Drop: the batch silently never arrives.
+	Drop bool
+	// Dup: the batch is delivered twice (the duplicate must be a copy —
+	// the worker recycles applied buffers).
+	Dup bool
+}
+
+// Deliver draws the delivery fate of one shipped batch. Safe on nil
+// (always a clean delivery).
+func (in *Injector) Deliver(shard int) Delivery {
+	if in == nil || (in.dropP == 0 && in.dupP == 0) {
+		return Delivery{}
+	}
+	var d Delivery
+	if in.dropP > 0 && in.draw() < in.dropP {
+		d.Drop = true
+		in.Drops.Add(1)
+		return d
+	}
+	if in.dupP > 0 && in.draw() < in.dupP {
+		d.Dup = true
+		in.Dups.Add(1)
+	}
+	return d
+}
+
+// TimingOnly reports whether the scenario injects only timing faults
+// (latency, stall) — the class under which the chaos harness asserts
+// bit-identical tables versus an unfaulted run.
+func (in *Injector) TimingOnly() bool {
+	if in == nil {
+		return true
+	}
+	return in.dropP == 0 && in.dupP == 0 && in.snapWriteAfter < 0 &&
+		!in.snapFsyncErr && !in.tornManifest
+}
+
+// faultyWriter fails with ErrInjected once n bytes have passed.
+type faultyWriter struct {
+	w    io.Writer
+	left int64
+	in   *Injector
+}
+
+func (fw *faultyWriter) Write(p []byte) (int, error) {
+	if fw.left <= 0 {
+		fw.in.WriteErrs.Add(1)
+		return 0, fmt.Errorf("snapshot write past %d bytes: %w", fw.left, ErrInjected)
+	}
+	if int64(len(p)) > fw.left {
+		fw.in.WriteErrs.Add(1)
+		n, _ := fw.w.Write(p[:fw.left])
+		fw.left = 0
+		return n, fmt.Errorf("snapshot write truncated: %w", ErrInjected)
+	}
+	fw.left -= int64(len(p))
+	return fw.w.Write(p)
+}
+
+// SnapshotWriter wraps a snapshot blob writer with the configured write
+// fault (error after N bytes). Safe on nil (returns w unchanged).
+func (in *Injector) SnapshotWriter(w io.Writer) io.Writer {
+	if in == nil || in.snapWriteAfter < 0 {
+		return w
+	}
+	return &faultyWriter{w: w, left: in.snapWriteAfter, in: in}
+}
+
+// FsyncErr returns the injected fsync failure for snapshot blobs, or
+// nil. Safe on nil.
+func (in *Injector) FsyncErr() error {
+	if in == nil || !in.snapFsyncErr {
+		return nil
+	}
+	in.WriteErrs.Add(1)
+	return fmt.Errorf("snapshot fsync: %w", ErrInjected)
+}
+
+// TornManifest reports whether the manifest commit should simulate a
+// torn write (truncated JSON reaching the final name). Safe on nil.
+func (in *Injector) TornManifest() bool { return in != nil && in.tornManifest }

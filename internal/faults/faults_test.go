@@ -1,0 +1,165 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestParse(t *testing.T) {
+	if in, err := Parse(""); in != nil || err != nil {
+		t.Fatalf("empty spec: got (%v, %v), want (nil, nil)", in, err)
+	}
+	in, err := Parse("seed=7,latency=2ms@0.25,stall=1:50ms,drop=0.01,dup=0.02,snapwrite=4096,fsyncerr,torn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.seed != 7 || in.applyLatency != 2*time.Millisecond || in.applyLatencyP != 0.25 {
+		t.Fatalf("latency fields wrong: %+v", in)
+	}
+	if in.stallShard.Load() != 1 || in.stallFor != 50*time.Millisecond {
+		t.Fatalf("stall fields wrong: shard=%d for=%v", in.stallShard.Load(), in.stallFor)
+	}
+	if in.dropP != 0.01 || in.dupP != 0.02 {
+		t.Fatalf("delivery fields wrong: drop=%v dup=%v", in.dropP, in.dupP)
+	}
+	if in.snapWriteAfter != 4096 || !in.snapFsyncErr || !in.tornManifest {
+		t.Fatalf("snapshot fields wrong: %+v", in)
+	}
+	if in.TimingOnly() {
+		t.Fatal("spec with delivery+snapshot faults reported TimingOnly")
+	}
+	timing, err := Parse("latency=1ms@0.5,stall=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !timing.TimingOnly() {
+		t.Fatal("latency+stall spec must be TimingOnly")
+	}
+
+	for _, bad := range []string{
+		"seed=x", "latency=0s", "latency=2ms@1.5", "stall=-1", "stall=0:0s",
+		"drop=2", "dup=-0.1", "snapwrite=-1", "fsyncerr=1", "torn=1", "unknown=1",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+// TestDeliveryDeterminism pins the seeded decision stream: two
+// injectors with the same seed draw the identical drop/dup sequence,
+// and a different seed draws a different one.
+func TestDeliveryDeterminism(t *testing.T) {
+	const n = 2000
+	fates := func(spec string) []Delivery {
+		in, err := Parse(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]Delivery, n)
+		for i := range out {
+			out[i] = in.Deliver(0)
+		}
+		return out
+	}
+	a := fates("seed=42,drop=0.1,dup=0.1")
+	b := fates("seed=42,drop=0.1,dup=0.1")
+	c := fates("seed=43,drop=0.1,dup=0.1")
+	var drops, diff int
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at decision %d: %+v vs %+v", i, a[i], b[i])
+		}
+		if a[i].Drop {
+			drops++
+		}
+		if a[i] != c[i] {
+			diff++
+		}
+	}
+	if drops == 0 {
+		t.Fatal("0 drops over 2000 draws at p=0.1")
+	}
+	if diff == 0 {
+		t.Fatal("different seeds drew identical fate sequences")
+	}
+}
+
+// TestNilInjectorIsInert: every hook must be a no-op on nil — the
+// production configuration.
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	in.BeforeApply(0)
+	in.ReleaseStalls()
+	if d := in.Deliver(3); d.Drop || d.Dup {
+		t.Fatalf("nil Deliver = %+v", d)
+	}
+	if !in.TimingOnly() {
+		t.Fatal("nil injector must be TimingOnly")
+	}
+	var buf bytes.Buffer
+	if w := in.SnapshotWriter(&buf); w != &buf {
+		t.Fatal("nil SnapshotWriter must return the writer unchanged")
+	}
+	if err := in.FsyncErr(); err != nil {
+		t.Fatal(err)
+	}
+	if in.TornManifest() {
+		t.Fatal("nil TornManifest")
+	}
+}
+
+// TestStallReleases: an open-ended stall parks BeforeApply until
+// ReleaseStalls, which is idempotent and disables further stalling.
+func TestStallReleases(t *testing.T) {
+	in, err := Parse("stall=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		in.BeforeApply(0)
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("BeforeApply returned before ReleaseStalls")
+	case <-time.After(20 * time.Millisecond):
+	}
+	in.ReleaseStalls()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("BeforeApply still parked after ReleaseStalls")
+	}
+	in.ReleaseStalls() // idempotent
+	in.BeforeApply(0)  // stalling disabled: returns immediately
+	if got := in.Stalls.Load(); got != 1 {
+		t.Fatalf("Stalls = %d, want 1", got)
+	}
+}
+
+// TestSnapshotWriterFaults: the write fault fires past the byte budget
+// and wraps ErrInjected; fsyncerr reports the same root.
+func TestSnapshotWriterFaults(t *testing.T) {
+	in, err := Parse("snapwrite=8,fsyncerr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := in.SnapshotWriter(&buf)
+	if _, err := w.Write(make([]byte, 8)); err != nil {
+		t.Fatalf("write inside the budget: %v", err)
+	}
+	if _, err := w.Write([]byte{1}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write past the budget: got %v, want ErrInjected", err)
+	}
+	if err := in.FsyncErr(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("FsyncErr: got %v, want ErrInjected", err)
+	}
+	if in.WriteErrs.Load() == 0 {
+		t.Fatal("write errors not counted")
+	}
+}

@@ -122,6 +122,15 @@ const (
 	// ShardTrackerPruned counts candidate-tracker evictions (top-k
 	// churn: keys pruned to keep the tracker bounded).
 	ShardTrackerPruned
+	// ShardAdmissionRejects counts ingest requests shed at admission
+	// because THIS shard's queue crossed the bound (the shard that
+	// triggered the 429). Sender-side multi-writer: updated with
+	// Snap.Add, never Stored by the worker's publish.
+	ShardAdmissionRejects
+	// ShardDeadlineAbandons counts operations (queued batches or query
+	// closures) abandoned at their caller's deadline while waiting for
+	// this shard. Sender-side multi-writer, like ShardAdmissionRejects.
+	ShardDeadlineAbandons
 	// ShardTracked is the current candidate-tracker size (gauge).
 	ShardTracked
 	// ShardStep is the highest step the shard has applied (gauge).
@@ -156,10 +165,12 @@ var ShardDefs = [NumShardCounters]Def{
 		LabelK: "cause", LabelV: "exploration"},
 	ShardWaveFallbackShape: {Name: "ascs_wave_fallback_total", Kind: Counter, Help: "Wave groups replayed per-pair, by cause.",
 		LabelK: "cause", LabelV: "shape"},
-	ShardTrackerPruned: {Name: "ascs_topk_tracker_pruned_total", Kind: Counter, Help: "Candidate-tracker evictions (top-k churn)."},
-	ShardTracked:       {Name: "ascs_topk_tracked", Kind: Gauge, Help: "Candidate keys currently tracked."},
-	ShardStep:          {Name: "ascs_shard_step", Kind: Gauge, Help: "Highest stream step applied by the shard."},
-	ShardEngineBytes:   {Name: "ascs_shard_engine_bytes", Kind: Gauge, Help: "Engine memory footprint in bytes."},
+	ShardTrackerPruned:    {Name: "ascs_topk_tracker_pruned_total", Kind: Counter, Help: "Candidate-tracker evictions (top-k churn)."},
+	ShardAdmissionRejects: {Name: "ascs_shard_admission_rejects_total", Kind: Counter, Help: "Ingest requests shed because this shard's queue crossed the admission bound."},
+	ShardDeadlineAbandons: {Name: "ascs_shard_deadline_abandons_total", Kind: Counter, Help: "Operations abandoned at their deadline while queued for this shard."},
+	ShardTracked:          {Name: "ascs_topk_tracked", Kind: Gauge, Help: "Candidate keys currently tracked."},
+	ShardStep:             {Name: "ascs_shard_step", Kind: Gauge, Help: "Highest stream step applied by the shard."},
+	ShardEngineBytes:      {Name: "ascs_shard_engine_bytes", Kind: Gauge, Help: "Engine memory footprint in bytes."},
 }
 
 // Snap is the atomically readable mirror of a single-writer counter
@@ -173,6 +184,12 @@ func (s *Snap) Store(i int, v uint64) { s[i].Store(v) }
 
 // StoreFloat publishes a float64 slot (as IEEE bits).
 func (s *Snap) StoreFloat(i int, v float64) { s[i].Store(math.Float64bits(v)) }
+
+// Add atomically increments slot i by v. For multi-writer slots
+// (admission rejects, deadline abandons) that senders bump directly —
+// such slots must never also be Stored by the worker's publish, or the
+// store would clobber concurrent adds.
+func (s *Snap) Add(i int, v uint64) { s[i].Add(v) }
 
 // Max raises slot i to at least v (high-water marks; any goroutine may
 // call it, so it CASes instead of assuming single-writer ownership).

@@ -72,6 +72,34 @@ func (s *Server) writeMetrics(p *promPage) {
 	e.Header("ascs_shards", "gauge", "Number of shard workers.")
 	e.Sample("ascs_shards", "", float64(n))
 
+	// Overload / degradation state (tentpole of the failure model): the
+	// governor's current verdict, its flip count, and how much work was
+	// refused or re-routed. ascs_shed_requests_total is the manager-side
+	// twin of ascs_http_shed_total — the chaos harness asserts they agree.
+	adm := mgr.AdmissionState()
+	e.Header("ascs_shed_requests_total", "counter", "Ingest requests refused whole at admission (queue at bound).")
+	e.Sample("ascs_shed_requests_total", "", float64(adm.ShedRequests))
+	e.Header("ascs_deadline_ops_total", "counter", "Routed pair ops abandoned at the caller's deadline before shard delivery.")
+	e.Sample("ascs_deadline_ops_total", "", float64(adm.DeadlineOps))
+	e.Header("ascs_deadline_queries_total", "counter", "Query closures abandoned at the caller's deadline before running.")
+	e.Sample("ascs_deadline_queries_total", "", float64(adm.DeadlineQueries))
+	e.Header("ascs_degraded", "gauge", "1 while the overload governor routes fresh queries down the fast lane, else 0.")
+	degraded := 0.0
+	if adm.Degraded {
+		degraded = 1
+	}
+	e.Sample("ascs_degraded", "", degraded)
+	e.Header("ascs_degrade_transitions_total", "counter", "Overload governor state flips (either direction).")
+	e.Sample("ascs_degrade_transitions_total", "", float64(adm.DegradeTransitions))
+	e.Header("ascs_degraded_queries_total", "counter", "Queries the overload governor re-routed to the fast lane.")
+	e.Sample("ascs_degraded_queries_total", "", float64(adm.DegradedQueries))
+	e.Header("ascs_retry_after_seconds", "gauge", "Last Retry-After advertised on a 429, in seconds (0 = never shed).")
+	e.Sample("ascs_retry_after_seconds", "", float64(s.retryAfterSec.Load()))
+	e.Header("ascs_http_shed_total", "counter", "HTTP 429 responses served with Retry-After.")
+	e.Sample("ascs_http_shed_total", "", float64(s.shed429.Load()))
+	e.Header("ascs_http_deadline_exceeded_total", "counter", "HTTP 503 responses caused by request deadline expiry.")
+	e.Sample("ascs_http_deadline_exceeded_total", "", float64(s.deadline503.Load()))
+
 	// Per-shard counter blocks: families sharing a name (the wave
 	// fallback causes) are adjacent in ShardDefs, so the header is
 	// emitted once per run and every sample of the family stays

@@ -81,6 +81,17 @@ func TestMetricsExposition(t *testing.T) {
 		`ascs_shard_ingest_wait_seconds_bucket{shard="0",le="+Inf"}`,
 		`ascs_http_request_duration_seconds_bucket{route="ingest",le="+Inf"}`,
 		`ascs_http_requests_total{route="topk"}`,
+		`ascs_shard_admission_rejects_total{shard="0"}`,
+		`ascs_shard_deadline_abandons_total{shard="0"}`,
+		"# TYPE ascs_shed_requests_total counter",
+		"# TYPE ascs_deadline_ops_total counter",
+		"# TYPE ascs_deadline_queries_total counter",
+		"# TYPE ascs_degraded gauge",
+		"# TYPE ascs_degrade_transitions_total counter",
+		"# TYPE ascs_degraded_queries_total counter",
+		"# TYPE ascs_retry_after_seconds gauge",
+		"# TYPE ascs_http_shed_total counter",
+		"# TYPE ascs_http_deadline_exceeded_total counter",
 		"# TYPE ascs_shard_apply_seconds histogram",
 		"# TYPE ascs_shard_ops_total counter",
 		"ascs_step 400",

@@ -1,0 +1,219 @@
+package server_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/countsketch"
+	"repro/internal/dataset"
+	"repro/internal/server"
+	"repro/internal/shard"
+	"repro/internal/stream"
+)
+
+// TestRestoreSwapUnderLoad hammers the server with concurrent ingest
+// and query traffic while the manager is swapped out by repeated
+// restores. Every request must terminate with a well-formed status —
+// never a connection error, torn response, or data race (this test is
+// in the CI -race step) — and the server must still serve after the
+// last swap. A decay-mode engine is used so continuous ingest never
+// trips the fixed horizon.
+func TestRestoreSwapUnderLoad(t *testing.T) {
+	const d, window = 30, 200
+	ds := dataset.Simulation(d, window, 0.02, 31)
+	samples := make([]stream.Sample, len(ds.Rows))
+	for i, r := range ds.Rows {
+		samples[i] = stream.FromDense(r)
+	}
+	snapRoot := t.TempDir()
+	_, ts := newTestServer(t, shard.Config{
+		Dim: d, Shards: 2,
+		Engine: shard.EngineSpec{
+			Kind:   shard.KindCS,
+			Sketch: countsketch.Config{Tables: 4, Range: 1024, Seed: 17},
+			T:      window, Lambda: 1 - 1.0/window,
+		},
+	}, server.Options{SnapshotDir: snapRoot})
+
+	// Seed some state and commit the recovery point the swaps restore.
+	if resp, body := postJSON(t, ts.URL+"/v1/ingest", wireSamples(samples)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("seed ingest status %d: %s", resp.StatusCode, body)
+	}
+	if resp, body := postJSON(t, ts.URL+"/v1/snapshot", server.SnapshotRequest{Dir: "swap-point"}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot status %d: %s", resp.StatusCode, body)
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	fail := make(chan string, 16)
+	report := func(msg string) {
+		select {
+		case fail <- msg:
+		default:
+		}
+	}
+
+	// Ingest load: small batches, forever. 200 is the happy path; 409
+	// can appear transiently when a restore swaps in a manager whose
+	// decay window bookkeeping lags the traffic — both are well-formed.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				lo := (g*17 + i*3) % (len(samples) - 4)
+				resp, body := postJSON(t, ts.URL+"/v1/ingest", wireSamples(samples[lo:lo+4]))
+				if resp.StatusCode != http.StatusOK {
+					report("ingest status " + resp.Status + ": " + string(body))
+					return
+				}
+			}
+		}(g)
+	}
+
+	// Query load: topk + estimate, forever.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				var top server.TopKResponse
+				if resp := getJSON(t, ts.URL+"/v1/topk?k=5&magnitude=1", &top); resp.StatusCode != http.StatusOK {
+					report("topk status " + resp.Status)
+					return
+				}
+				if len(top.Pairs) == 0 {
+					report("topk returned no pairs mid-swap")
+					return
+				}
+				var est server.EstimateResponse
+				if resp := getJSON(t, ts.URL+"/v1/estimate?i=0&j=1", &est); resp.StatusCode != http.StatusOK {
+					report("estimate status " + resp.Status)
+					return
+				}
+			}
+		}()
+	}
+
+	// The swapper: restore the committed point repeatedly under load.
+	for swap := 0; swap < 5; swap++ {
+		resp, body := postJSON(t, ts.URL+"/v1/restore", server.SnapshotRequest{Dir: "swap-point"})
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("restore swap %d status %d: %s", swap, resp.StatusCode, body)
+			break
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	select {
+	case msg := <-fail:
+		t.Fatal(msg)
+	default:
+	}
+
+	// The survivor serves: state is the swap point plus whatever ingest
+	// landed after the last swap.
+	var st server.StatsResponse
+	if resp := getJSON(t, ts.URL+"/v1/stats", &st); resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats after swaps: status %d", resp.StatusCode)
+	}
+	if st.Manager.Step < window {
+		t.Fatalf("post-swap step %d below the snapshot point %d", st.Manager.Step, window)
+	}
+}
+
+// TestRestoreChecksumFailureKeepsServing corrupts a committed snapshot
+// blob and requires the restore to fail closed over HTTP — a 500 with
+// the corruption named — while the old manager keeps serving with its
+// state untouched: a failed swap must never take down or taint the
+// survivor.
+func TestRestoreChecksumFailureKeepsServing(t *testing.T) {
+	const d, n = 30, 400
+	ds := dataset.Simulation(d, n, 0.02, 37)
+	samples := make([]stream.Sample, len(ds.Rows))
+	for i, r := range ds.Rows {
+		samples[i] = stream.FromDense(r)
+	}
+	snapRoot := t.TempDir()
+	_, ts := newTestServer(t, shard.Config{
+		Dim: d, Shards: 2,
+		Engine: shard.EngineSpec{
+			Kind:   shard.KindCS,
+			Sketch: countsketch.Config{Tables: 4, Range: 1024, Seed: 23},
+			T:      2 * n,
+		},
+	}, server.Options{SnapshotDir: snapRoot})
+
+	if resp, body := postJSON(t, ts.URL+"/v1/ingest", wireSamples(samples)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d: %s", resp.StatusCode, body)
+	}
+	if resp, body := postJSON(t, ts.URL+"/v1/snapshot", server.SnapshotRequest{Dir: "ck"}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot status %d: %s", resp.StatusCode, body)
+	}
+
+	var before server.TopKResponse
+	if resp := getJSON(t, ts.URL+"/v1/topk?k=10&magnitude=1", &before); resp.StatusCode != http.StatusOK {
+		t.Fatalf("topk before: status %d", resp.StatusCode)
+	}
+
+	// Flip one byte in the first shard blob the manifest lists.
+	dir := filepath.Join(snapRoot, "ck")
+	raw, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var man struct {
+		Files []struct {
+			Name string `json:"name"`
+		} `json:"files"`
+	}
+	if err := json.Unmarshal(raw, &man); err != nil {
+		t.Fatal(err)
+	}
+	if len(man.Files) == 0 {
+		t.Fatal("manifest lists no files to corrupt")
+	}
+	blobPath := filepath.Join(dir, man.Files[0].Name)
+	blob, err := os.ReadFile(blobPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)/2] ^= 0x40
+	if err := os.WriteFile(blobPath, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body := postJSON(t, ts.URL+"/v1/restore", server.SnapshotRequest{Dir: "ck"})
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("corrupt restore: status %d, want 500 (%s)", resp.StatusCode, body)
+	}
+	var errResp struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &errResp); err != nil || errResp.Error == "" {
+		t.Fatalf("corrupt restore error envelope: %q (%v)", body, err)
+	}
+
+	// Old manager survives the failed swap with identical state.
+	var st server.StatsResponse
+	if resp := getJSON(t, ts.URL+"/v1/stats", &st); resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats after failed restore: status %d", resp.StatusCode)
+	}
+	if st.Manager.Step != n {
+		t.Fatalf("step after failed restore = %d, want %d", st.Manager.Step, n)
+	}
+	var after server.TopKResponse
+	if resp := getJSON(t, ts.URL+"/v1/topk?k=10&magnitude=1", &after); resp.StatusCode != http.StatusOK {
+		t.Fatalf("topk after failed restore: status %d", resp.StatusCode)
+	}
+	for i := range after.Pairs {
+		if after.Pairs[i] != before.Pairs[i] {
+			t.Fatalf("topk[%d] changed across a FAILED restore: %+v vs %+v", i, before.Pairs[i], after.Pairs[i])
+		}
+	}
+}

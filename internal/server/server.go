@@ -30,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"math"
 	"net/http"
 	"path/filepath"
 	"strconv"
@@ -39,6 +40,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/shard"
+	"repro/internal/sketchapi"
 	"repro/internal/stream"
 )
 
@@ -66,6 +68,24 @@ type Options struct {
 	// TraceLogger receives the sampled span logs (default
 	// slog.Default()).
 	TraceLogger *slog.Logger
+
+	// QueryTimeout bounds each query request (topk/estimate/stats) end
+	// to end: past it the manager abandons the queued work race-free and
+	// the request gets 503. 0 leaves queries bounded only by client
+	// disconnect (the request context still cancels abandoned waits).
+	QueryTimeout time.Duration
+	// IngestTimeout bounds each ingest request's delivery into the
+	// shard FIFOs; expiry abandons the undelivered remainder (counted)
+	// and returns 503. 0 = client-disconnect bound only.
+	IngestTimeout time.Duration
+	// MaxTimeout caps the per-request `timeout` query parameter
+	// override (default 30s) so a client cannot park requests for
+	// arbitrary durations.
+	MaxTimeout time.Duration
+	// RestoreOverrides configures managers created by POST /v1/restore
+	// (admission policy, fault injector) so a restored daemon keeps its
+	// deployment knobs instead of silently reverting to the manifest's.
+	RestoreOverrides shard.RestoreOverrides
 }
 
 // Server is the HTTP facade over a shard.Manager.
@@ -79,6 +99,12 @@ type Server struct {
 	// swapMu serializes restore swaps (and final Close) so two
 	// concurrent restores cannot interleave their close/swap pairs.
 	swapMu sync.Mutex
+
+	// Robustness accounting, reconciled by the chaos harness against
+	// the manager's own counters (shed requests == 429s served).
+	shed429       atomic.Uint64
+	deadline503   atomic.Uint64
+	retryAfterSec atomic.Int64 // last Retry-After advertised, seconds
 }
 
 // New wraps mgr. The caller keeps ownership of nothing: Close tears
@@ -92,6 +118,9 @@ func New(mgr *shard.Manager, opts Options) *Server {
 	}
 	if opts.MaxTopK <= 0 {
 		opts.MaxTopK = 10_000
+	}
+	if opts.MaxTimeout <= 0 {
+		opts.MaxTimeout = 30 * time.Second
 	}
 	s := &Server{opts: opts, metrics: newMetrics()}
 	if opts.TraceEvery > 0 {
@@ -140,12 +169,20 @@ func badRequest(format string, args ...any) *httpError {
 	return &httpError{status: http.StatusBadRequest, err: fmt.Errorf(format, args...)}
 }
 
-// statusOf maps manager errors onto HTTP statuses.
+// statusOf maps manager errors onto HTTP statuses via the sketchapi
+// error taxonomy: overload class → 429 (with Retry-After, set by
+// instrument), deadline class → 503, everything lifecycle-unavailable
+// → 503, integrity failures → 500 (the restore failed closed; the old
+// state keeps serving).
 func statusOf(err error) int {
 	var he *httpError
 	switch {
 	case errors.As(err, &he):
 		return he.status
+	case errors.Is(err, sketchapi.ErrOverload):
+		return http.StatusTooManyRequests
+	case errors.Is(err, sketchapi.ErrDeadline), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable
 	case errors.Is(err, shard.ErrWarmingUp), errors.Is(err, shard.ErrClosed):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, shard.ErrHorizon):
@@ -153,6 +190,35 @@ func statusOf(err error) int {
 	default:
 		return http.StatusInternalServerError
 	}
+}
+
+// isDeadline reports whether err is a deadline-class failure (for the
+// shed-vs-deadline split in the counters; both surface as 503).
+func isDeadline(err error) bool {
+	return errors.Is(err, sketchapi.ErrDeadline) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// requestCtx derives a handler's context: the request context (so a
+// client disconnect cancels queued work even without a configured
+// timeout) bounded by def, overridable per request with
+// ?timeout=DURATION up to Options.MaxTimeout.
+func (s *Server) requestCtx(r *http.Request, def time.Duration) (context.Context, context.CancelFunc, error) {
+	d := def
+	if raw := r.URL.Query().Get("timeout"); raw != "" {
+		v, err := time.ParseDuration(raw)
+		if err != nil || v <= 0 {
+			return nil, nil, badRequest("invalid timeout %q", raw)
+		}
+		d = v
+	}
+	if d > s.opts.MaxTimeout {
+		d = s.opts.MaxTimeout
+	}
+	if d <= 0 {
+		return r.Context(), func() {}, nil
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	return ctx, cancel, nil
 }
 
 // qtKey carries the sampled request's shard span collector through the
@@ -199,6 +265,19 @@ func (s *Server) instrument(name string, fn func(w http.ResponseWriter, r *http.
 		status := http.StatusOK
 		if err != nil {
 			status = statusOf(err)
+			switch {
+			case status == http.StatusTooManyRequests:
+				// Advertise how long the shed producer should back off,
+				// derived from queue depth × observed drain rate, clamped
+				// to [1s, 60s] and whole seconds per RFC 9110 §10.2.3.
+				ra := int64(math.Ceil(s.mgr.Load().RetryAfter().Seconds()))
+				ra = min(max(ra, 1), 60)
+				s.retryAfterSec.Store(ra)
+				s.shed429.Add(1)
+				w.Header().Set("Retry-After", strconv.FormatInt(ra, 10))
+			case status == http.StatusServiceUnavailable && isDeadline(err):
+				s.deadline503.Add(1)
+			}
 			w.WriteHeader(status)
 			json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
 		} else {
@@ -278,7 +357,12 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) (any, erro
 		samples[i] = stream.Sample{Idx: sj.Idx, Val: sj.Val}
 	}
 	mgr := s.mgr.Load()
-	first, last, err := mgr.Ingest(samples)
+	ctx, cancel, err := s.requestCtx(r, s.opts.IngestTimeout)
+	if err != nil {
+		return nil, err
+	}
+	defer cancel()
+	first, last, err := mgr.IngestCtx(ctx, samples)
 	if err != nil {
 		if errors.Is(err, shard.ErrInvalidSample) {
 			return nil, badRequest("%v", err)
@@ -333,7 +417,12 @@ func (s *Server) handleTopK(_ http.ResponseWriter, r *http.Request) (any, error)
 	}
 	mgr := s.mgr.Load()
 	mag := r.URL.Query().Get("magnitude")
-	pairs, err := mgr.TopKT(k, lane, mag == "1" || mag == "true", queryTraceFrom(r.Context()))
+	ctx, cancel, err := s.requestCtx(r, s.opts.QueryTimeout)
+	if err != nil {
+		return nil, err
+	}
+	defer cancel()
+	pairs, err := mgr.TopKT(ctx, k, lane, mag == "1" || mag == "true", queryTraceFrom(r.Context()))
 	if err != nil {
 		return nil, err
 	}
@@ -364,9 +453,14 @@ func (s *Server) handleEstimate(_ http.ResponseWriter, r *http.Request) (any, er
 		return nil, err
 	}
 	mgr := s.mgr.Load()
-	est, err := mgr.EstimateT(i, j, lane, queryTraceFrom(r.Context()))
+	ctx, cancel, err := s.requestCtx(r, s.opts.QueryTimeout)
 	if err != nil {
-		if errors.Is(err, shard.ErrWarmingUp) || errors.Is(err, shard.ErrClosed) {
+		return nil, err
+	}
+	defer cancel()
+	est, err := mgr.EstimateT(ctx, i, j, lane, queryTraceFrom(r.Context()))
+	if err != nil {
+		if errors.Is(err, shard.ErrWarmingUp) || errors.Is(err, shard.ErrClosed) || isDeadline(err) {
 			return nil, err
 		}
 		return nil, badRequest("%v", err)
@@ -385,7 +479,12 @@ func (s *Server) handleStats(_ http.ResponseWriter, r *http.Request) (any, error
 	if err != nil {
 		return nil, err
 	}
-	st, err := s.mgr.Load().StatsT(lane, queryTraceFrom(r.Context()))
+	ctx, cancel, err := s.requestCtx(r, s.opts.QueryTimeout)
+	if err != nil {
+		return nil, err
+	}
+	defer cancel()
+	st, err := s.mgr.Load().StatsT(ctx, lane, queryTraceFrom(r.Context()))
 	if err != nil {
 		return nil, err
 	}
@@ -448,8 +547,11 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) (any, err
 	}
 	s.swapMu.Lock()
 	defer s.swapMu.Unlock()
-	restored, err := shard.Restore(dir)
+	restored, err := shard.RestoreWith(dir, s.opts.RestoreOverrides)
 	if err != nil {
+		// Fail closed: the old manager was never swapped out and keeps
+		// serving; corrupt snapshots surface as 500 with the checksum
+		// detail in the envelope.
 		return nil, fmt.Errorf("restoring %s: %w", dir, err)
 	}
 	old := s.mgr.Swap(restored)

@@ -1,0 +1,222 @@
+package shard
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/sketchapi"
+)
+
+// Failure-model sentinels. Each wraps its sketchapi class, so callers
+// can match the specific condition (errors.Is(err, ErrQueueFull)) or
+// the transport-level class (errors.Is(err, sketchapi.ErrOverload))
+// without this package and the HTTP layer importing each other.
+var (
+	// ErrQueueFull rejects ingest at admission under the shed/degrade
+	// policies: a shard FIFO has crossed the configured bound and the
+	// request was refused whole — nothing was queued, no steps were
+	// consumed, so a retry (after Manager.RetryAfter) replays cleanly.
+	ErrQueueFull = fmt.Errorf("shard: ingest queue at bound: %w", sketchapi.ErrOverload)
+	// ErrDeadline terminates a call whose context expired while its work
+	// was still queued. For queries nothing ran; for ingest the batches
+	// shipped before expiry were applied and the remainder abandoned
+	// (counted in ascs_shard_deadline_abandons_total) — the one partial-
+	// delivery case in the API, inherent to deadline-bounded fan-out.
+	ErrDeadline = fmt.Errorf("shard: %w", sketchapi.ErrDeadline)
+	// ErrSnapshotCorrupt fails a restore closed: a snapshot file or its
+	// manifest did not survive integrity verification (checksum
+	// mismatch, truncation, torn manifest JSON).
+	ErrSnapshotCorrupt = fmt.Errorf("shard: snapshot: %w", sketchapi.ErrCorrupt)
+)
+
+// AdmissionPolicy selects what ingest does when a shard FIFO is at its
+// bound: the classic backpressure of blocking on the channel, or
+// fail-fast shedding so the caller can back off and retry.
+type AdmissionPolicy string
+
+const (
+	// AdmitBlock is the classic policy: ingest blocks on the full shard
+	// FIFO until the worker drains it (bounded by the caller's context
+	// deadline, if any). Backpressure without failure — right for
+	// trusted in-process producers and batch replays.
+	AdmitBlock AdmissionPolicy = "block"
+	// AdmitShed refuses the whole ingest request with ErrQueueFull when
+	// any shard FIFO has reached the ShedHighWater bound, before any
+	// step is assigned. Transports map it to HTTP 429 + Retry-After.
+	AdmitShed AdmissionPolicy = "shed"
+	// AdmitDegrade is AdmitShed plus the overload governor: while queue
+	// pressure exceeds DegradeHigh, fresh-lane queries are auto-routed
+	// down the fast lane (bounded staleness instead of queue waits),
+	// recovering only when pressure falls below DegradeLow.
+	AdmitDegrade AdmissionPolicy = "degrade"
+)
+
+// ParseAdmission maps the wire/flag form onto an AdmissionPolicy; the
+// empty string means AdmitBlock (the historical behavior).
+func ParseAdmission(s string) (AdmissionPolicy, error) {
+	switch p := AdmissionPolicy(s); p {
+	case "":
+		return AdmitBlock, nil
+	case AdmitBlock, AdmitShed, AdmitDegrade:
+		return p, nil
+	default:
+		return "", fmt.Errorf("shard: unknown admission policy %q (want %q, %q or %q)",
+			s, AdmitBlock, AdmitShed, AdmitDegrade)
+	}
+}
+
+// governor is the hysteretic overload state machine of AdmitDegrade:
+// degraded flips on when pressure (max shard FIFO fill fraction)
+// crosses high, and off only once it falls to low — the gap prevents
+// flapping at the threshold. All state is atomic; the check runs on
+// query paths without locks.
+type governor struct {
+	high, low       float64
+	degraded        atomic.Bool
+	transitions     atomic.Uint64
+	degradedQueries atomic.Uint64
+}
+
+// degradeNow folds one pressure observation into the state machine and
+// reports whether the calling query should be degraded to the fast
+// lane.
+func (g *governor) degradeNow(p float64) bool {
+	if g.degraded.Load() {
+		if p <= g.low {
+			if g.degraded.CompareAndSwap(true, false) {
+				g.transitions.Add(1)
+			}
+			return false
+		}
+		g.degradedQueries.Add(1)
+		return true
+	}
+	if p >= g.high {
+		if g.degraded.CompareAndSwap(false, true) {
+			g.transitions.Add(1)
+		}
+		g.degradedQueries.Add(1)
+		return true
+	}
+	return false
+}
+
+// initAdmission derives the robustness runtime state from the filled
+// config: the shed depth in batches, the governor (AdmitDegrade only),
+// and the fault injector. Called from New and Restore before any
+// worker starts.
+func (m *Manager) initAdmission() {
+	m.shedAt = int(math.Ceil(m.cfg.ShedHighWater * float64(m.cfg.QueueLen)))
+	if m.shedAt < 1 {
+		m.shedAt = 1
+	}
+	if m.cfg.Admission == AdmitDegrade {
+		m.gov = &governor{high: m.cfg.DegradeHigh, low: m.cfg.DegradeLow}
+	}
+	m.faults = m.cfg.Faults
+}
+
+// pressure returns the worst shard FIFO fill fraction (len/QueueLen):
+// the governor's and Retry-After's load signal. Zero during warm-up.
+func (m *Manager) pressure() float64 {
+	m.mu.Lock()
+	ws := m.workers
+	m.mu.Unlock()
+	depth := 0
+	for _, w := range ws {
+		if d := len(w.ch); d > depth {
+			depth = d
+		}
+	}
+	return float64(depth) / float64(m.cfg.QueueLen)
+}
+
+// overfullShard returns the first shard whose ingest FIFO has reached
+// the admission bound, or -1. Called under mu with workers started; a
+// handful of channel length reads, no allocation — the hot ingest path
+// pays only this when shedding is enabled.
+func (m *Manager) overfullShard() int {
+	for i, w := range m.workers {
+		if len(w.ch) >= m.shedAt {
+			return i
+		}
+	}
+	return -1
+}
+
+// RetryAfter estimates how long a shed producer should back off: the
+// worst shard backlog (batches) times the observed mean batch apply
+// time. Before any batch has been applied it falls back to a
+// conservative default per queued batch. Transports ceil this to whole
+// seconds for the Retry-After header.
+func (m *Manager) RetryAfter() time.Duration {
+	m.mu.Lock()
+	ws := m.workers
+	m.mu.Unlock()
+	depth := 1
+	for _, w := range ws {
+		if d := len(w.ch); d > depth {
+			depth = d
+		}
+	}
+	var snap, merged obs.HistSnap
+	for _, tel := range m.tels {
+		tel.Apply.Snapshot(&snap)
+		merged.Merge(&snap)
+	}
+	per := time.Duration(merged.Mean())
+	if per <= 0 {
+		per = 10 * time.Millisecond
+	}
+	return time.Duration(depth) * per
+}
+
+// AdmissionState is the robustness layer's observable state, exposed
+// through /v1/stats and /metrics: how much work was refused, abandoned,
+// or degraded, and what the governor currently thinks of the load.
+type AdmissionState struct {
+	Policy AdmissionPolicy `json:"policy"`
+	// ShedRequests counts whole ingest requests refused with
+	// ErrQueueFull. The chaos harness asserts this equals the HTTP
+	// layer's 429 count.
+	ShedRequests uint64 `json:"shed_requests"`
+	// DeadlineOps counts routed pair increments abandoned because the
+	// caller's deadline expired before their shard accepted them.
+	DeadlineOps uint64 `json:"deadline_ops"`
+	// DeadlineQueries counts query closures abandoned at their deadline
+	// before running.
+	DeadlineQueries uint64 `json:"deadline_queries"`
+	// Degraded reports whether the governor is currently routing fresh
+	// queries down the fast lane.
+	Degraded bool `json:"degraded,omitempty"`
+	// DegradeTransitions counts governor state flips (either direction).
+	DegradeTransitions uint64 `json:"degrade_transitions,omitempty"`
+	// DegradedQueries counts queries the governor re-routed.
+	DegradedQueries uint64 `json:"degraded_queries,omitempty"`
+	// RetryAfterSeconds is the current backoff estimate for shed
+	// producers.
+	RetryAfterSeconds float64 `json:"retry_after_seconds,omitempty"`
+}
+
+// AdmissionState reports the robustness counters. Safe at any time,
+// including during warm-up.
+func (m *Manager) AdmissionState() AdmissionState {
+	st := AdmissionState{
+		Policy:          m.cfg.Admission,
+		ShedRequests:    m.shedRequests.Load(),
+		DeadlineOps:     m.deadlineOps.Load(),
+		DeadlineQueries: m.deadlineQueries.Load(),
+	}
+	if m.gov != nil {
+		st.Degraded = m.gov.degraded.Load()
+		st.DegradeTransitions = m.gov.transitions.Load()
+		st.DegradedQueries = m.gov.degradedQueries.Load()
+	}
+	if m.cfg.Admission != AdmitBlock {
+		st.RetryAfterSeconds = m.RetryAfter().Seconds()
+	}
+	return st
+}

@@ -1,0 +1,252 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/countsketch"
+	"repro/internal/obs"
+	"repro/internal/sketchapi"
+)
+
+// newAdmissionManager builds a 1-shard CS manager with a tiny ingest
+// FIFO so admission bounds are reached with a handful of batches (each
+// 1-sample Ingest emits one FIFO message: 3 ops < FlushOps).
+func newAdmissionManager(t *testing.T, cfg Config) *Manager {
+	t.Helper()
+	cfg.Dim = 16
+	cfg.Engine = EngineSpec{
+		Kind:   KindCS,
+		Sketch: countsketch.Config{Tables: 3, Range: 512, Seed: 11},
+		T:      100_000,
+	}
+	cfg.FlushOps = 8
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	return m
+}
+
+// gateWorker parks shard 0's worker inside a control message and waits
+// until it is actually parked, so the FIFO fill the test creates next
+// is deterministic. The returned release func is idempotent.
+func gateWorker(t *testing.T, m *Manager) func() {
+	t.Helper()
+	w := m.workers[0]
+	entered := make(chan struct{})
+	gate := make(chan struct{})
+	w.ch <- msg{fn: func() { close(entered); <-gate }}
+	<-entered
+	released := false
+	return func() {
+		if !released {
+			released = true
+			close(gate)
+		}
+	}
+}
+
+func TestParseAdmission(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want AdmissionPolicy
+		ok   bool
+	}{
+		{"", AdmitBlock, true},
+		{"block", AdmitBlock, true},
+		{"shed", AdmitShed, true},
+		{"degrade", AdmitDegrade, true},
+		{"bogus", "", false},
+	} {
+		got, err := ParseAdmission(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Errorf("ParseAdmission(%q) = (%q, %v), want (%q, ok=%v)", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+}
+
+// TestShedRefusesWholeRequest pins the shed contract: with a shard
+// FIFO at the bound, ingest is refused whole — typed ErrQueueFull in
+// the sketchapi overload class, no step consumed, counters bumped —
+// and admission recovers as soon as the queue drains.
+func TestShedRefusesWholeRequest(t *testing.T) {
+	m := newAdmissionManager(t, Config{QueueLen: 4, Admission: AdmitShed})
+	release := gateWorker(t, m)
+	defer release()
+
+	samples := laneSamples(m.cfg.Dim, 5)
+	for i := 0; i < 4; i++ {
+		if _, _, err := m.Ingest(samples[i : i+1]); err != nil {
+			t.Fatalf("ingest %d below the bound: %v", i, err)
+		}
+	}
+	stepBefore := m.Step()
+
+	_, _, err := m.Ingest(samples[4:5])
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("ingest at the bound: got %v, want ErrQueueFull", err)
+	}
+	if !errors.Is(err, sketchapi.ErrOverload) {
+		t.Fatalf("ErrQueueFull must wrap sketchapi.ErrOverload (got %v)", err)
+	}
+	if got := m.Step(); got != stepBefore {
+		t.Fatalf("refused request consumed steps: %d -> %d", stepBefore, got)
+	}
+	st := m.AdmissionState()
+	if st.ShedRequests != 1 {
+		t.Fatalf("ShedRequests = %d, want 1", st.ShedRequests)
+	}
+	if got := m.tels[0].Snap.Value(obs.ShardAdmissionRejects); got != 1 {
+		t.Fatalf("shard admission rejects counter = %v, want 1", got)
+	}
+	if ra := m.RetryAfter(); ra <= 0 {
+		t.Fatalf("RetryAfter = %v, want > 0", ra)
+	}
+
+	release()
+	if err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Ingest(samples[4:5]); err != nil {
+		t.Fatalf("ingest after drain still refused: %v", err)
+	}
+}
+
+// TestIngestDeadlineAbandons pins the deadline contract on the ingest
+// path: with the FIFO full under the block policy, an expired context
+// terminates the request with ErrDeadline instead of blocking forever,
+// and the abandoned ops are counted.
+func TestIngestDeadlineAbandons(t *testing.T) {
+	m := newAdmissionManager(t, Config{QueueLen: 2})
+	release := gateWorker(t, m)
+	defer release()
+
+	samples := laneSamples(m.cfg.Dim, 3)
+	for i := 0; i < 2; i++ {
+		if _, _, err := m.Ingest(samples[i : i+1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := m.IngestCtx(ctx, samples[2:3])
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrDeadline) || !errors.Is(err, sketchapi.ErrDeadline) {
+			t.Fatalf("full-queue ingest past deadline: got %v, want ErrDeadline", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ingest hung past its deadline")
+	}
+	if st := m.AdmissionState(); st.DeadlineOps == 0 {
+		t.Fatal("abandoned ops not counted in DeadlineOps")
+	}
+}
+
+// TestQueryDeadlineAbandons pins the deadline contract on the query
+// path: a query stuck behind a stalled worker returns ErrDeadline at
+// its deadline, the abandoned closure is claimed race-free (it must
+// not touch the caller's result after return), and the worker serves
+// normally once released.
+func TestQueryDeadlineAbandons(t *testing.T) {
+	m := newAdmissionManager(t, Config{QueueLen: 8})
+	release := gateWorker(t, m)
+	defer release()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, err := m.EstimateT(ctx, 0, 1, ConsistencyFresh, nil)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrDeadline) {
+			t.Fatalf("stalled query past deadline: got %v, want ErrDeadline", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("query hung past its deadline")
+	}
+	if st := m.AdmissionState(); st.DeadlineQueries == 0 {
+		t.Fatal("abandoned query not counted in DeadlineQueries")
+	}
+
+	release()
+	if _, err := m.EstimateC(0, 1, ConsistencyFresh); err != nil {
+		t.Fatalf("query after release: %v", err)
+	}
+}
+
+// TestGovernorHysteresis drives the state machine through a pressure
+// swing: it degrades at high, stays degraded in the gap, and recovers
+// only at low — two transitions total.
+func TestGovernorHysteresis(t *testing.T) {
+	g := &governor{high: 0.8, low: 0.3}
+	if g.degradeNow(0.5) {
+		t.Fatal("degraded below high before ever tripping")
+	}
+	if !g.degradeNow(0.9) {
+		t.Fatal("not degraded at pressure ≥ high")
+	}
+	if !g.degradeNow(0.5) {
+		t.Fatal("recovered inside the hysteresis gap")
+	}
+	if g.degradeNow(0.2) {
+		t.Fatal("still degraded at pressure ≤ low")
+	}
+	if got := g.transitions.Load(); got != 2 {
+		t.Fatalf("transitions = %d, want 2", got)
+	}
+	if g.degradedQueries.Load() != 2 {
+		t.Fatalf("degradedQueries = %d, want 2", g.degradedQueries.Load())
+	}
+}
+
+// TestDegradePolicyRoutesFreshToFast is the governor end to end: under
+// queue pressure past DegradeHigh, the fresh lane is re-routed to the
+// fast lane (served ahead of the backlog); after the queue drains the
+// governor recovers and fresh queries ride the FIFO again.
+func TestDegradePolicyRoutesFreshToFast(t *testing.T) {
+	m := newAdmissionManager(t, Config{
+		QueueLen: 4, Admission: AdmitDegrade,
+		DegradeHigh: 0.5, DegradeLow: 0.26,
+	})
+	release := gateWorker(t, m)
+	defer release()
+
+	samples := laneSamples(m.cfg.Dim, 3)
+	for i := 0; i < 3; i++ {
+		if _, _, err := m.Ingest(samples[i : i+1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Pressure 3/4 ≥ 0.5: fresh must be re-routed.
+	if got := m.lane(ConsistencyFresh); got != ConsistencyFast {
+		t.Fatalf("lane under pressure = %q, want fast", got)
+	}
+	st := m.AdmissionState()
+	if !st.Degraded || st.DegradedQueries == 0 {
+		t.Fatalf("governor state not reflected: %+v", st)
+	}
+	release()
+	if err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Pressure 0 ≤ 0.26: recovered.
+	if got := m.lane(ConsistencyFresh); got != ConsistencyFresh {
+		t.Fatalf("lane after drain = %q, want fresh", got)
+	}
+	if st := m.AdmissionState(); st.Degraded || st.DegradeTransitions != 2 {
+		t.Fatalf("governor did not recover: %+v", st)
+	}
+}

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"errors"
 	"math"
 	"sync"
@@ -77,7 +78,7 @@ func TestFastLaneJumpsSaturatedQueue(t *testing.T) {
 	w.qch <- msg{fn: func() { fastOps <- w.ops }}
 	freshOps := make(chan uint64, 1)
 	go func() {
-		if err := m.exec(0, ConsistencyFresh, nil, func(w *worker) { freshOps <- w.ops }); err != nil {
+		if err := m.exec(context.Background(), 0, ConsistencyFresh, nil, func(w *worker) { freshOps <- w.ops }); err != nil {
 			t.Error(err)
 		}
 	}()
@@ -123,13 +124,13 @@ func TestFreshOverrideOnFastDefault(t *testing.T) {
 	results := make(chan obs, 2)
 	// Default lane (fast) — may legally miss every queued batch.
 	go func() {
-		if err := m.exec(0, m.lane(""), nil, func(w *worker) { results <- obs{w.ops, "fast"} }); err != nil {
+		if err := m.exec(context.Background(), 0, m.lane(""), nil, func(w *worker) { results <- obs{w.ops, "fast"} }); err != nil {
 			t.Error(err)
 		}
 	}()
 	// Explicit fresh override — must see all of them.
 	go func() {
-		if err := m.exec(0, m.lane(ConsistencyFresh), nil, func(w *worker) { results <- obs{w.ops, "fresh"} }); err != nil {
+		if err := m.exec(context.Background(), 0, m.lane(ConsistencyFresh), nil, func(w *worker) { results <- obs{w.ops, "fresh"} }); err != nil {
 			t.Error(err)
 		}
 	}()

@@ -88,13 +88,16 @@
 package shard
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/countsketch"
+	"repro/internal/faults"
 	"repro/internal/hashing"
 	"repro/internal/obs"
 	"repro/internal/pairs"
@@ -185,6 +188,24 @@ type Config struct {
 	// semantics). Flush, snapshots, and MergedSketch always run fresh
 	// regardless — they are barriers, not queries.
 	QueryConsistency Consistency
+
+	// Admission selects what ingest does when a shard FIFO is at its
+	// bound: AdmitBlock (default — classic backpressure), AdmitShed
+	// (fail fast with ErrQueueFull), or AdmitDegrade (shed + the
+	// overload governor re-routing fresh queries to the fast lane).
+	Admission AdmissionPolicy
+	// ShedHighWater is the FIFO fill fraction at which shed/degrade
+	// refuse ingest (default 1.0: a full queue). Lower values shed
+	// earlier, trading peak throughput for headroom.
+	ShedHighWater float64
+	// DegradeHigh / DegradeLow are the governor's hysteresis thresholds
+	// as FIFO fill fractions (defaults 0.8 and 0.3): fresh queries
+	// degrade to the fast lane above High and recover below Low.
+	DegradeHigh, DegradeLow float64
+	// Faults, when non-nil, wires the deterministic fault injector into
+	// the workers and the snapshot path. Test/chaos use only; never
+	// serialized.
+	Faults *faults.Injector
 }
 
 func (c *Config) fill() error {
@@ -220,6 +241,28 @@ func (c *Config) fill() error {
 	}
 	if _, err := ParseConsistency(string(c.QueryConsistency)); err != nil {
 		return err
+	}
+	if c.Admission == "" {
+		c.Admission = AdmitBlock
+	}
+	if _, err := ParseAdmission(string(c.Admission)); err != nil {
+		return err
+	}
+	if c.ShedHighWater == 0 {
+		c.ShedHighWater = 1.0
+	}
+	if c.ShedHighWater <= 0 || c.ShedHighWater > 1 {
+		return fmt.Errorf("shard: ShedHighWater must be in (0,1], got %v", c.ShedHighWater)
+	}
+	if c.DegradeHigh == 0 {
+		c.DegradeHigh = 0.8
+	}
+	if c.DegradeLow == 0 {
+		c.DegradeLow = 0.3
+	}
+	if c.DegradeLow <= 0 || c.DegradeHigh > 1 || c.DegradeLow >= c.DegradeHigh {
+		return fmt.Errorf("shard: governor thresholds must satisfy 0 < DegradeLow < DegradeHigh ≤ 1, got low=%v high=%v",
+			c.DegradeLow, c.DegradeHigh)
 	}
 	return nil
 }
@@ -277,6 +320,10 @@ type worker struct {
 	// slices per call (the worker is the only goroutine that knows when
 	// a batch is done).
 	free chan []op
+
+	// faults is the optional chaos injector (nil in production: every
+	// hook is nil-safe, so the hot path pays one branch per batch).
+	faults *faults.Injector
 
 	// lambda is the per-step decay factor of unbounded deployments
 	// (0 = fixed-horizon). The engine ages itself inside BeginStep; the
@@ -424,6 +471,7 @@ func (w *worker) run(wg *sync.WaitGroup) {
 // per ~4096-op batch — noise next to the sketch work, and no
 // allocations either way).
 func (w *worker) applyBatch(m msg) {
+	w.faults.BeforeApply(w.id)
 	if w.tel == nil {
 		w.apply(m.ops)
 		w.batches++
@@ -544,6 +592,19 @@ type Manager struct {
 	// per-call staging allocations while memory stays bounded.
 	opFree  chan []op
 	bufFree chan [][]op
+
+	// Robustness layer. shedAt is the precomputed FIFO depth (batches)
+	// at which shed/degrade refuse ingest; gov is the hysteretic
+	// overload governor (non-nil only under AdmitDegrade); faults is the
+	// optional chaos injector. The counters are the manager-level view
+	// the chaos harness reconciles against the HTTP layer's 429/503
+	// accounting.
+	shedAt          int
+	gov             *governor
+	faults          *faults.Injector
+	shedRequests    atomic.Uint64
+	deadlineOps     atomic.Uint64
+	deadlineQueries atomic.Uint64
 }
 
 // New validates cfg and starts the shard workers (immediately, or after
@@ -572,6 +633,7 @@ func New(cfg Config) (*Manager, error) {
 	for i := range m.tels {
 		m.tels[i] = &obs.ShardTel{}
 	}
+	m.initAdmission()
 	// A few recycled op buffers per shard covers steady-state routing
 	// (route stages at most one buffer per shard at a time; workers
 	// return them promptly). Deliberately much smaller than
@@ -607,6 +669,7 @@ func (m *Manager) start(spec EngineSpec) error {
 			track:  topk.NewTracker(m.cfg.TrackCandidates),
 			lambda: spec.Lambda,
 			free:   m.opFree,
+			faults: m.faults,
 		}
 		if f, ok := eng.(sketchapi.OfferEstimator); ok {
 			w.fast = f
@@ -684,6 +747,18 @@ func (m *Manager) Warming() bool {
 // steps. It returns the step range [first, last] they occupy. Safe for
 // concurrent use; concurrent batches interleave in an arbitrary order.
 func (m *Manager) Ingest(samples []stream.Sample) (first, last int, err error) {
+	return m.IngestCtx(context.Background(), samples)
+}
+
+// IngestCtx is Ingest bounded by a context: if ctx expires while a full
+// shard FIFO is blocking delivery, the remaining ops are abandoned
+// (counted in ascs_shard_deadline_abandons_total) and ErrDeadline is
+// returned — the batches delivered before expiry stay applied, the one
+// partial-delivery case in the API. Under the shed/degrade admission
+// policies a request arriving while any shard FIFO is at its bound is
+// refused whole with ErrQueueFull before any step is assigned, so a
+// backed-off retry replays cleanly.
+func (m *Manager) IngestCtx(ctx context.Context, samples []stream.Sample) (first, last int, err error) {
 	if len(samples) == 0 {
 		return 0, 0, nil
 	}
@@ -712,6 +787,18 @@ func (m *Manager) Ingest(samples []stream.Sample) (first, last int, err error) {
 			return 0, 0, ErrClosed
 		}
 	}
+	if m.cfg.Admission != AdmitBlock {
+		// Admission front door: all-or-nothing, before step assignment.
+		// A handful of channel length reads under mu — no allocation, so
+		// the pinned 0 allocs/op steady-state ingest bound holds with
+		// shedding enabled.
+		if sh := m.overfullShard(); sh >= 0 {
+			m.mu.Unlock()
+			m.tels[sh].Snap.Add(obs.ShardAdmissionRejects, 1)
+			m.shedRequests.Add(1)
+			return 0, 0, fmt.Errorf("shard %d at depth ≥ %d: %w", sh, m.shedAt, ErrQueueFull)
+		}
+	}
 	if !m.cfg.Engine.decaying() && m.t+len(samples) > m.cfg.Engine.T {
 		m.mu.Unlock()
 		return 0, 0, fmt.Errorf("%w: step %d + %d samples > T=%d", ErrHorizon, m.t, len(samples), m.cfg.Engine.T)
@@ -721,7 +808,9 @@ func (m *Manager) Ingest(samples []stream.Sample) (first, last int, err error) {
 	m.sendWG.Add(1)
 	m.mu.Unlock()
 	defer m.sendWG.Done()
-	m.route(samples, base)
+	if err := m.route(ctx, samples, base); err != nil {
+		return base, base + len(samples) - 1, err
+	}
 	return base, base + len(samples) - 1, nil
 }
 
@@ -790,7 +879,9 @@ func (m *Manager) ingestWarming(samples []stream.Sample) (first, last int, err e
 		if hi > len(buf) {
 			hi = len(buf)
 		}
-		m.route(buf[lo:hi], 1+lo)
+		// The replay rides Background: a warm-up prefix is never shed or
+		// deadline-abandoned (route cannot fail without a Done channel).
+		m.route(context.Background(), buf[lo:hi], 1+lo)
 	}
 	m.sendWG.Done()
 
@@ -838,8 +929,10 @@ func (m *Manager) putBufs(bufs [][]op) {
 // The per-shard staging buffers are recycled through the manager
 // freelists (workers return each batch after applying it), so
 // steady-state routing re-slices nothing: a buffer's capacity is always
-// FlushOps and the flush check fires exactly at capacity.
-func (m *Manager) route(samples []stream.Sample, base int) {
+// FlushOps and the flush check fires exactly at capacity. When ctx
+// expires mid-route the staged remainder is abandoned (counted) and
+// ErrDeadline propagates.
+func (m *Manager) route(ctx context.Context, samples []stream.Sample, base int) error {
 	bufs := m.getBufs()
 	var scaled []float64
 	for k := range samples {
@@ -867,7 +960,11 @@ func (m *Manager) route(samples []stream.Sample, base int) {
 				}
 				b = append(b, op{t: t, key: key, x: ya * val[j]})
 				if len(b) >= m.cfg.FlushOps {
-					m.ship(sh, b)
+					if err := m.ship(ctx, sh, b); err != nil {
+						bufs[sh] = nil
+						m.abandon(bufs)
+						return err
+					}
 					b = nil
 				}
 				bufs[sh] = b
@@ -876,30 +973,97 @@ func (m *Manager) route(samples []stream.Sample, base int) {
 	}
 	for sh, b := range bufs {
 		if len(b) > 0 {
-			m.ship(sh, b)
+			if err := m.ship(ctx, sh, b); err != nil {
+				bufs[sh] = nil
+				m.abandon(bufs)
+				return err
+			}
 			bufs[sh] = nil
+		}
+	}
+	m.putBufs(bufs)
+	return nil
+}
+
+// abandon accounts and recycles staged-but-unshipped batches after a
+// mid-route deadline: every op that never reached its shard is counted
+// against that shard's deadline-abandon slot so the books reconcile
+// (applied + abandoned = routed).
+func (m *Manager) abandon(bufs [][]op) {
+	for sh, b := range bufs {
+		if len(b) > 0 {
+			m.tels[sh].Snap.Add(obs.ShardDeadlineAbandons, uint64(len(b)))
+			m.deadlineOps.Add(uint64(len(b)))
+			select {
+			case m.opFree <- b[:0]:
+			default:
+			}
 		}
 	}
 	m.putBufs(bufs)
 }
 
-// ship sends one staged batch to its shard worker, stamping the
+// ship delivers one staged batch to its shard worker, stamping the
 // enqueue time and racking the ingest-queue high-water mark. The
 // high-water is CAS-raised on the *sender* side — concurrent Ingest
 // calls all observe the depth they helped create, so the mark reflects
 // peak pressure rather than whatever depth a later scrape happens to
-// see.
-func (m *Manager) ship(sh int, b []op) {
-	m.workers[sh].ch <- msg{ops: b, enq: time.Now()}
-	m.tels[sh].Snap.Max(obs.ShardQueueHighWater, uint64(len(m.workers[sh].ch)))
+// see. A context with a deadline bounds the blocking send; the chaos
+// injector (when wired) may drop the batch or deliver it twice.
+func (m *Manager) ship(ctx context.Context, sh int, b []op) error {
+	if in := m.faults; in != nil {
+		d := in.Deliver(sh)
+		if d.Drop {
+			select {
+			case m.opFree <- b[:0]:
+			default:
+			}
+			return nil
+		}
+		if d.Dup {
+			// The worker recycles applied batches through the freelist,
+			// so the duplicate must be a private copy.
+			dup := append([]op(nil), b...)
+			if err := m.send(ctx, sh, dup); err != nil {
+				return err
+			}
+		}
+	}
+	return m.send(ctx, sh, b)
+}
+
+// send performs the (possibly deadline-bounded) channel send of one
+// batch. context.Background()'s Done channel is nil, so the production
+// library path keeps the plain blocking send — no select overhead.
+func (m *Manager) send(ctx context.Context, sh int, b []op) error {
+	w := m.workers[sh]
+	if done := ctx.Done(); done != nil {
+		select {
+		case w.ch <- msg{ops: b, enq: time.Now()}:
+		case <-done:
+			m.tels[sh].Snap.Add(obs.ShardDeadlineAbandons, uint64(len(b)))
+			m.deadlineOps.Add(uint64(len(b)))
+			return fmt.Errorf("ingest to shard %d abandoned %d ops: %w", sh, len(b), ErrDeadline)
+		}
+	} else {
+		w.ch <- msg{ops: b, enq: time.Now()}
+	}
+	m.tels[sh].Snap.Max(obs.ShardQueueHighWater, uint64(len(w.ch)))
+	return nil
 }
 
 // lane resolves a per-call consistency override against the deployment
 // default (empty override → Config.QueryConsistency, itself defaulted
-// to fresh by fill).
+// to fresh by fill). Under AdmitDegrade the overload governor may
+// re-route a fresh query to the fast lane while pressure is high —
+// bounded staleness instead of a queue wait; Flush, snapshots, and
+// MergedSketch bypass lane() entirely, so barriers are never degraded.
 func (m *Manager) lane(c Consistency) Consistency {
 	if c == "" {
-		return m.cfg.QueryConsistency
+		c = m.cfg.QueryConsistency
+	}
+	if c == ConsistencyFresh && m.gov != nil && m.gov.degradeNow(m.pressure()) {
+		return ConsistencyFast
 	}
 	return c
 }
@@ -951,7 +1115,16 @@ func (tr *QueryTrace) noteMerge(d time.Duration) {
 // it; on the fast lane the worker serves fn ahead of queued batches.
 // The wait and run times land in the shard's lane histograms (and in
 // tr when non-nil); fast-lane executions count as lane jumps.
-func (m *Manager) exec(sh int, c Consistency, tr *QueryTrace, fn func(w *worker)) error {
+//
+// A context with a deadline bounds both phases: the enqueue (a full
+// lane refuses within the deadline instead of blocking forever) and the
+// wait for a stalled worker. Abandonment is race-free by construction:
+// caller and worker settle ownership of the closure through one
+// CompareAndSwap on claimed, so either the worker runs fn to completion
+// (and exec waits for it — results stay safe to read) or the worker
+// provably never runs it (and exec returns ErrDeadline). fn never runs
+// concurrently with an exec return.
+func (m *Manager) exec(ctx context.Context, sh int, c Consistency, tr *QueryTrace, fn func(w *worker)) error {
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
@@ -965,6 +1138,7 @@ func (m *Manager) exec(sh int, c Consistency, tr *QueryTrace, fn func(w *worker)
 	m.mu.Unlock()
 	defer m.sendWG.Done()
 	done := make(chan struct{})
+	var claimed atomic.Bool
 	w := m.workers[sh]
 	fast := c == ConsistencyFast
 	enq := time.Now()
@@ -972,6 +1146,12 @@ func (m *Manager) exec(sh int, c Consistency, tr *QueryTrace, fn func(w *worker)
 		// Runs on the worker goroutine: the plain-counter bump and the
 		// histogram observes follow the same single-writer/atomic rules
 		// as the ingest path.
+		if !claimed.CompareAndSwap(false, true) {
+			// The caller abandoned at its deadline; fn must not run (it
+			// would race the caller's result variables).
+			close(done)
+			return
+		}
 		wait := time.Since(enq)
 		if w.tel != nil {
 			if fast {
@@ -986,32 +1166,66 @@ func (m *Manager) exec(sh int, c Consistency, tr *QueryTrace, fn func(w *worker)
 		tr.note(wait, time.Since(start))
 		close(done)
 	}}
+	cdone := ctx.Done()
+	lane := w.ch
+	hw := obs.ShardQueueHighWater
 	if fast {
-		w.qch <- wrapped
-		if w.tel != nil {
-			w.tel.Snap.Max(obs.ShardFastQueueHighWater, uint64(len(w.qch)))
-		}
+		lane = w.qch
+		hw = obs.ShardFastQueueHighWater
+	}
+	if cdone == nil {
+		lane <- wrapped
 	} else {
-		w.ch <- wrapped
-		if w.tel != nil {
-			w.tel.Snap.Max(obs.ShardQueueHighWater, uint64(len(w.ch)))
+		select {
+		case lane <- wrapped:
+		case <-cdone:
+			m.noteQueryDeadline(sh)
+			return fmt.Errorf("query enqueue to shard %d: %w", sh, ErrDeadline)
 		}
 	}
-	<-done
-	return nil
+	if w.tel != nil {
+		w.tel.Snap.Max(hw, uint64(len(lane)))
+	}
+	if cdone == nil {
+		<-done
+		return nil
+	}
+	select {
+	case <-done:
+		return nil
+	case <-cdone:
+		if claimed.CompareAndSwap(false, true) {
+			// Won the claim: the worker will skip fn when it reaches the
+			// message, so returning now cannot race the caller's results.
+			m.noteQueryDeadline(sh)
+			return fmt.Errorf("query on shard %d: %w", sh, ErrDeadline)
+		}
+		// The worker claimed fn first — it is running right now. Wait it
+		// out (it finishes promptly) so the caller's results are whole.
+		<-done
+		return nil
+	}
+}
+
+// noteQueryDeadline accounts one query closure abandoned at its
+// deadline against its shard and the manager totals.
+func (m *Manager) noteQueryDeadline(sh int) {
+	m.tels[sh].Snap.Add(obs.ShardDeadlineAbandons, 1)
+	m.deadlineQueries.Add(1)
 }
 
 // execAll runs fn concurrently on every worker and waits for all. exec
-// errors are lifecycle states shared by every shard (closed, warming),
-// so the first one stands for all of them.
-func (m *Manager) execAll(c Consistency, tr *QueryTrace, fn func(w *worker)) error {
+// errors are lifecycle states shared by every shard (closed, warming)
+// or the caller's own deadline, so the first one stands for all of
+// them.
+func (m *Manager) execAll(ctx context.Context, c Consistency, tr *QueryTrace, fn func(w *worker)) error {
 	errs := make([]error, m.cfg.Shards)
 	var wg sync.WaitGroup
 	wg.Add(m.cfg.Shards)
 	for i := 0; i < m.cfg.Shards; i++ {
 		go func(i int) {
 			defer wg.Done()
-			errs[i] = m.exec(i, c, tr, fn)
+			errs[i] = m.exec(ctx, i, c, tr, fn)
 		}(i)
 	}
 	wg.Wait()
@@ -1028,7 +1242,7 @@ func (m *Manager) execAll(c Consistency, tr *QueryTrace, fn func(w *worker)) err
 // It always rides the fresh lane — a barrier that could jump the queue
 // would not be one.
 func (m *Manager) Flush() error {
-	return m.execAll(ConsistencyFresh, nil, func(*worker) {})
+	return m.execAll(context.Background(), ConsistencyFresh, nil, func(*worker) {})
 }
 
 // EstimateKey returns the current estimate for a pair key, answered by
@@ -1040,17 +1254,19 @@ func (m *Manager) EstimateKey(key uint64) (float64, error) {
 
 // EstimateKeyC is EstimateKey on an explicit lane (empty = default).
 func (m *Manager) EstimateKeyC(key uint64, c Consistency) (float64, error) {
-	return m.EstimateKeyT(key, c, nil)
+	return m.EstimateKeyT(context.Background(), key, c, nil)
 }
 
-// EstimateKeyT is EstimateKeyC with optional span tracing: when tr is
-// non-nil the queue wait and on-worker apply time land in it.
-func (m *Manager) EstimateKeyT(key uint64, c Consistency, tr *QueryTrace) (float64, error) {
+// EstimateKeyT is EstimateKeyC with deadline propagation and optional
+// span tracing: ctx bounds the queue wait (expiry returns ErrDeadline,
+// the answer is abandoned race-free) and when tr is non-nil the queue
+// wait and on-worker apply time land in it.
+func (m *Manager) EstimateKeyT(ctx context.Context, key uint64, c Consistency, tr *QueryTrace) (float64, error) {
 	if key >= uint64(pairs.Count(m.cfg.Dim)) {
 		return 0, fmt.Errorf("shard: key %d out of range for Dim=%d", key, m.cfg.Dim)
 	}
 	var est float64
-	err := m.exec(m.shardOf(key), m.lane(c), tr, func(w *worker) { est = w.eng.Estimate(key) })
+	err := m.exec(ctx, m.shardOf(key), m.lane(c), tr, func(w *worker) { est = w.eng.Estimate(key) })
 	return est, err
 }
 
@@ -1062,18 +1278,19 @@ func (m *Manager) Estimate(a, b int) (float64, error) {
 
 // EstimateC is Estimate on an explicit lane (empty = default).
 func (m *Manager) EstimateC(a, b int, c Consistency) (float64, error) {
-	return m.EstimateT(a, b, c, nil)
+	return m.EstimateT(context.Background(), a, b, c, nil)
 }
 
-// EstimateT is EstimateC with optional span tracing.
-func (m *Manager) EstimateT(a, b int, c Consistency, tr *QueryTrace) (float64, error) {
+// EstimateT is EstimateC with deadline propagation and optional span
+// tracing.
+func (m *Manager) EstimateT(ctx context.Context, a, b int, c Consistency, tr *QueryTrace) (float64, error) {
 	if a > b {
 		a, b = b, a
 	}
 	if a < 0 || a == b || b >= m.cfg.Dim {
 		return 0, fmt.Errorf("shard: invalid pair (%d,%d) for Dim=%d", a, b, m.cfg.Dim)
 	}
-	return m.EstimateKeyT(pairs.Key(a, b, m.cfg.Dim), c, tr)
+	return m.EstimateKeyT(ctx, pairs.Key(a, b, m.cfg.Dim), c, tr)
 }
 
 // PairEstimate is one retrieved pair with its estimated mean.
@@ -1092,17 +1309,19 @@ func (m *Manager) TopK(k int) ([]PairEstimate, error) {
 
 // TopKC is TopK on an explicit lane (empty = default).
 func (m *Manager) TopKC(k int, c Consistency) ([]PairEstimate, error) {
-	return m.topK(k, c, nil, func(v float64) float64 { return v })
+	return m.topK(context.Background(), k, c, nil, func(v float64) float64 { return v })
 }
 
-// TopKT is TopKC with optional span tracing: the per-shard critical
-// path (max wait/apply) and the heap-merge time land in tr.
-func (m *Manager) TopKT(k int, c Consistency, magnitude bool, tr *QueryTrace) ([]PairEstimate, error) {
+// TopKT is TopKC with deadline propagation and optional span tracing:
+// ctx bounds the fan-out (any shard missing the deadline fails the
+// query with ErrDeadline) and the per-shard critical path (max
+// wait/apply) and heap-merge time land in tr.
+func (m *Manager) TopKT(ctx context.Context, k int, c Consistency, magnitude bool, tr *QueryTrace) ([]PairEstimate, error) {
 	rank := func(v float64) float64 { return v }
 	if magnitude {
 		rank = math.Abs
 	}
-	return m.topK(k, c, tr, rank)
+	return m.topK(ctx, k, c, tr, rank)
 }
 
 // TopKMagnitude ranks by |estimate| so strong negative correlations
@@ -1113,16 +1332,16 @@ func (m *Manager) TopKMagnitude(k int) ([]PairEstimate, error) {
 
 // TopKMagnitudeC is TopKMagnitude on an explicit lane (empty = default).
 func (m *Manager) TopKMagnitudeC(k int, c Consistency) ([]PairEstimate, error) {
-	return m.topK(k, c, nil, math.Abs)
+	return m.topK(context.Background(), k, c, nil, math.Abs)
 }
 
-func (m *Manager) topK(k int, c Consistency, tr *QueryTrace, rank func(float64) float64) ([]PairEstimate, error) {
+func (m *Manager) topK(ctx context.Context, k int, c Consistency, tr *QueryTrace, rank func(float64) float64) ([]PairEstimate, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("shard: k must be ≥ 1")
 	}
 	locals := make([][]kv, m.cfg.Shards)
 	var mu sync.Mutex
-	err := m.execAll(m.lane(c), tr, func(w *worker) {
+	err := m.execAll(ctx, m.lane(c), tr, func(w *worker) {
 		l := w.localTop(k, rank)
 		mu.Lock()
 		locals[w.id] = l
@@ -1173,7 +1392,7 @@ func (m *Manager) MergedSketch() (*countsketch.Sketch, error) {
 	var mu sync.Mutex
 	// Always fresh: the merge is an equivalence artifact (tests, tools),
 	// and its contract is "every batch enqueued before the call".
-	err := m.execAll(ConsistencyFresh, nil, func(w *worker) {
+	err := m.execAll(context.Background(), ConsistencyFresh, nil, func(w *worker) {
 		c := w.eng.(sketcher).Sketch().Clone()
 		c.Renormalize()
 		mu.Lock()
@@ -1265,6 +1484,9 @@ type Stats struct {
 	AdmittedMass float64      `json:"admitted_mass,omitempty"`
 	RejectedMass float64      `json:"rejected_mass,omitempty"`
 	PerShard     []ShardStats `json:"per_shard,omitempty"`
+	// Admission is the robustness layer's state: policy, shed/deadline
+	// counts, governor status, and the current Retry-After estimate.
+	Admission AdmissionState `json:"admission"`
 }
 
 // Stats reports ingest progress and per-shard engine state on the
@@ -1276,11 +1498,11 @@ func (m *Manager) Stats() (Stats, error) {
 
 // StatsC is Stats on an explicit lane (empty = default).
 func (m *Manager) StatsC(c Consistency) (Stats, error) {
-	return m.StatsT(c, nil)
+	return m.StatsT(context.Background(), c, nil)
 }
 
-// StatsT is StatsC with optional span tracing.
-func (m *Manager) StatsT(c Consistency, tr *QueryTrace) (Stats, error) {
+// StatsT is StatsC with deadline propagation and optional span tracing.
+func (m *Manager) StatsT(ctx context.Context, c Consistency, tr *QueryTrace) (Stats, error) {
 	m.mu.Lock()
 	st := Stats{
 		Dim:              m.cfg.Dim,
@@ -1300,12 +1522,13 @@ func (m *Manager) StatsT(c Consistency, tr *QueryTrace) (Stats, error) {
 	if m.warming {
 		st.Step = len(m.wbuf)
 		m.mu.Unlock()
+		st.Admission = m.AdmissionState()
 		return st, nil
 	}
 	m.mu.Unlock()
 	per := make([]ShardStats, m.cfg.Shards)
 	var mu sync.Mutex
-	err := m.execAll(m.lane(c), tr, func(w *worker) {
+	err := m.execAll(ctx, m.lane(c), tr, func(w *worker) {
 		s := ShardStats{
 			Shard:     w.id,
 			Engine:    w.eng.Name(),
@@ -1359,6 +1582,7 @@ func (m *Manager) StatsT(c Consistency, tr *QueryTrace) (Stats, error) {
 		st.RejectedMass += s.Health.RejectedMass
 	}
 	st.PerShard = per
+	st.Admission = m.AdmissionState()
 	return st, nil
 }
 

@@ -2,10 +2,13 @@ package shard
 
 import (
 	"bufio"
+	"bytes"
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"os"
@@ -17,6 +20,7 @@ import (
 	"repro/internal/baselines"
 	"repro/internal/core"
 	"repro/internal/countsketch"
+	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/sketchapi"
 	"repro/internal/topk"
@@ -57,6 +61,21 @@ const (
 // operator's job (one daemon per snapshot directory).
 var snapshotMu sync.Mutex
 
+// castagnoli is the CRC32C polynomial table used for snapshot file
+// checksums (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// shardFileInfo records one shard blob's integrity facts in the
+// manifest: its base name, byte length, and CRC32C over the whole file.
+// Restore re-hashes each blob and refuses a mismatch with
+// ErrSnapshotCorrupt — a truncated or bit-flipped sketch must fail
+// closed, never load.
+type shardFileInfo struct {
+	Name   string `json:"name"`
+	Bytes  int64  `json:"bytes"`
+	CRC32C uint32 `json:"crc32c"`
+}
+
 type manifest struct {
 	Version         int        `json:"version"`
 	SnapshotID      uint64     `json:"snapshot_id"`
@@ -73,6 +92,14 @@ type manifest struct {
 	// in pre-lane snapshots, which restore as "fresh" (the semantics
 	// they were written under).
 	QueryConsistency Consistency `json:"query_consistency,omitempty"`
+	// Admission is the deployment's ingest admission policy; absent in
+	// pre-robustness snapshots, which restore as "block" (the semantics
+	// they were written under).
+	Admission AdmissionPolicy `json:"admission,omitempty"`
+	// Files, indexed by shard, carries per-blob checksums. Absent in
+	// pre-checksum manifests, which restore without verification (they
+	// have nothing to verify against).
+	Files []shardFileInfo `json:"files,omitempty"`
 }
 
 func shardFileName(dir string, shard int, id uint64) string {
@@ -112,21 +139,26 @@ func (m *Manager) Snapshot(dir string) error {
 		InvStd:           m.invStd,
 		Engine:           m.spec,
 		QueryConsistency: m.cfg.QueryConsistency,
+		Admission:        m.cfg.Admission,
 	}
 	if m.spec.decaying() {
 		man.Version = manifestVersionV2
 	}
 	m.mu.Unlock()
 	man.SnapshotID = uint64(time.Now().UnixNano())
+	man.Files = make([]shardFileInfo, m.cfg.Shards)
 	werrs := make([]error, m.cfg.Shards)
 	// The snapshot cut must ride the ingest FIFO (fresh lane) so it
 	// observes every batch enqueued before the call, whatever the
 	// deployment's default query lane is.
-	err := m.execAll(ConsistencyFresh, nil, func(w *worker) {
+	err := m.execAll(context.Background(), ConsistencyFresh, nil, func(w *worker) {
 		// File IO runs on the worker goroutine: it owns the engine, and
 		// stalling one shard's queue briefly is the price of a
 		// lock-free hot path. Each closure writes its own slot.
-		werrs[w.id] = w.writeSnapshot(shardFileName(dir, w.id, man.SnapshotID))
+		path := shardFileName(dir, w.id, man.SnapshotID)
+		crc, size, err := w.writeSnapshot(path)
+		werrs[w.id] = err
+		man.Files[w.id] = shardFileInfo{Name: filepath.Base(path), Bytes: size, CRC32C: crc}
 	})
 	if err == nil {
 		err = errors.Join(werrs...)
@@ -134,7 +166,7 @@ func (m *Manager) Snapshot(dir string) error {
 	if err != nil {
 		return err
 	}
-	if err := commitManifest(dir, man); err != nil {
+	if err := commitManifest(dir, man, m.faults); err != nil {
 		return err
 	}
 	gcStaleBlobs(dir, man.SnapshotID)
@@ -145,16 +177,28 @@ func (m *Manager) Snapshot(dir string) error {
 // snapshot becomes the recovery point only once its manifest rename
 // lands, and the previous one stays valid until then. The temp file is
 // fsynced before the rename and the directory after it, so a power
-// loss cannot persist the rename ahead of the manifest's contents.
-func commitManifest(dir string, man manifest) error {
+// loss cannot persist the rename ahead of the manifest's contents. The
+// injector's torn-manifest fault commits a truncated JSON body through
+// the same rename path — simulating exactly the on-disk state a
+// non-atomic writer would leave, so restore's fail-closed behavior is
+// testable.
+func commitManifest(dir string, man manifest, in *faults.Injector) error {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(man); err != nil {
+		return err
+	}
+	body := buf.Bytes()
+	if in.TornManifest() {
+		body = body[:len(body)/2]
+	}
 	tmp := filepath.Join(dir, manifestName+".tmp")
 	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(man); err != nil {
+	if _, err := f.Write(body); err != nil {
 		f.Close()
 		return err
 	}
@@ -199,37 +243,63 @@ func gcStaleBlobs(dir string, keep uint64) {
 	}
 }
 
-func (w *worker) writeSnapshot(path string) error {
+// writeSnapshot serializes the worker's state to path and returns the
+// CRC32C and byte length of the written file for the manifest. The
+// checksum is computed over the exact bytes headed to disk (a tee on
+// the buffered writer), so restore's re-hash of the file verifies the
+// whole storage round trip. Injected write/fsync faults (chaos runs)
+// surface as ordinary errors here, which abort the snapshot before the
+// manifest commit — the previous recovery point stays intact.
+func (w *worker) writeSnapshot(path string) (crc uint32, size int64, err error) {
 	f, err := os.Create(path)
 	if err != nil {
-		return err
+		return 0, 0, err
 	}
-	bw := bufio.NewWriterSize(f, 1<<20)
+	bw := bufio.NewWriterSize(w.faults.SnapshotWriter(f), 1<<20)
+	sum := crc32.New(castagnoli)
+	cw := &countingWriter{w: io.MultiWriter(bw, sum)}
 	hdr := make([]byte, 4+16)
 	binary.LittleEndian.PutUint32(hdr[0:], shardMagic)
 	binary.LittleEndian.PutUint64(hdr[4:], uint64(w.lastT))
 	binary.LittleEndian.PutUint64(hdr[12:], w.ops)
-	if _, err := bw.Write(hdr); err != nil {
+	if _, err := cw.Write(hdr); err != nil {
 		f.Close()
-		return err
+		return 0, 0, err
 	}
-	if _, err := w.eng.WriteTo(bw); err != nil {
+	if _, err := w.eng.WriteTo(cw); err != nil {
 		f.Close()
-		return err
+		return 0, 0, err
 	}
-	if err := writeTracker(bw, w.track); err != nil {
+	if err := writeTracker(cw, w.track); err != nil {
 		f.Close()
-		return err
+		return 0, 0, err
 	}
 	if err := bw.Flush(); err != nil {
 		f.Close()
-		return err
+		return 0, 0, err
+	}
+	if err := w.faults.FsyncErr(); err != nil {
+		f.Close()
+		return 0, 0, err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		return err
+		return 0, 0, err
 	}
-	return f.Close()
+	return sum.Sum32(), cw.n, f.Close()
+}
+
+// countingWriter tallies bytes through a writer (the manifest's Bytes
+// field, cross-checked against file size on restore).
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
 }
 
 func writeTracker(w io.Writer, t *topk.Tracker) error {
@@ -253,9 +323,30 @@ func writeTracker(w io.Writer, t *topk.Tracker) error {
 	return werr
 }
 
+// RestoreOverrides carries deployment knobs a restored daemon applies
+// on top of the manifest: none of them change the serialized sketch
+// state, only how the new process serves it.
+type RestoreOverrides struct {
+	// Admission, when non-empty, overrides the manifest's admission
+	// policy (the manifest records what the snapshotting deployment
+	// ran; the restoring one may differ).
+	Admission AdmissionPolicy
+	// Faults wires the chaos injector into the restored manager.
+	Faults *faults.Injector
+}
+
 // Restore rebuilds a Manager from a directory written by Snapshot and
 // starts its workers; ingest resumes from the recorded step.
 func Restore(dir string) (*Manager, error) {
+	return RestoreWith(dir, RestoreOverrides{})
+}
+
+// RestoreWith is Restore with deployment overrides. It fails closed on
+// integrity damage: a torn (truncated) manifest, or a shard blob whose
+// size or CRC32C disagrees with a checksummed manifest, aborts with
+// ErrSnapshotCorrupt before any state is served. Pre-checksum
+// manifests (no files section) restore without verification.
+func RestoreWith(dir string, o RestoreOverrides) (*Manager, error) {
 	snapshotMu.Lock()
 	defer snapshotMu.Unlock()
 	mf, err := os.Open(filepath.Join(dir, manifestName))
@@ -266,13 +357,20 @@ func Restore(dir string) (*Manager, error) {
 	err = json.NewDecoder(mf).Decode(&man)
 	mf.Close()
 	if err != nil {
-		return nil, fmt.Errorf("shard: decoding manifest: %w", err)
+		// Undecodable JSON at the committed name means the manifest did
+		// not survive storage intact (torn write, truncation): integrity
+		// damage, not a version problem.
+		return nil, fmt.Errorf("shard: decoding manifest: %v: %w", err, ErrSnapshotCorrupt)
 	}
 	if man.Version != manifestVersion && man.Version != manifestVersionV2 {
 		return nil, fmt.Errorf("shard: unsupported snapshot version %d", man.Version)
 	}
 	if man.Version == manifestVersionV2 && !man.Engine.decaying() {
 		return nil, fmt.Errorf("shard: v2 snapshot manifest without decay state")
+	}
+	admission := man.Admission
+	if o.Admission != "" {
+		admission = o.Admission
 	}
 	cfg := Config{
 		Dim:              man.Dim,
@@ -284,6 +382,8 @@ func Restore(dir string) (*Manager, error) {
 		TrackCandidates:  man.TrackCandidates,
 		InvStd:           man.InvStd,
 		QueryConsistency: man.QueryConsistency,
+		Admission:        admission,
+		Faults:           o.Faults,
 	}
 	if err := cfg.fill(); err != nil {
 		return nil, err
@@ -291,12 +391,29 @@ func Restore(dir string) (*Manager, error) {
 	if err := cfg.Engine.validate(true); err != nil {
 		return nil, err
 	}
+	// Integrity pre-pass: re-hash every blob against the manifest before
+	// parsing any of it. Restore is rare; reading each file twice is a
+	// fair price for never feeding a damaged byte to a deserializer.
+	if len(man.Files) > 0 {
+		if len(man.Files) != man.Shards {
+			return nil, fmt.Errorf("shard: manifest lists %d files for %d shards: %w",
+				len(man.Files), man.Shards, ErrSnapshotCorrupt)
+		}
+		for i, info := range man.Files {
+			if err := verifyShardFile(filepath.Join(dir, info.Name), info); err != nil {
+				return nil, fmt.Errorf("shard %d: %w", i, err)
+			}
+		}
+	}
 	m := &Manager{cfg: cfg, spec: cfg.Engine, invStd: cfg.InvStd, t: man.Step}
 	m.replayCond = sync.NewCond(&m.mu)
 	m.tels = make([]*obs.ShardTel, cfg.Shards)
 	for i := range m.tels {
 		m.tels[i] = &obs.ShardTel{}
 	}
+	m.opFree = make(chan []op, 4*cfg.Shards)
+	m.bufFree = make(chan [][]op, 8)
+	m.initAdmission()
 	workers := make([]*worker, cfg.Shards)
 	for i := range workers {
 		w, err := readShard(shardFileName(dir, i, man.SnapshotID), cfg.Engine.Kind, cfg.TrackCandidates)
@@ -307,6 +424,8 @@ func Restore(dir string) (*Manager, error) {
 		w.ch = make(chan msg, cfg.QueueLen)
 		w.qch = make(chan msg, cfg.QueueLen)
 		w.lambda = cfg.Engine.Lambda
+		w.free = m.opFree
+		w.faults = m.faults
 		// Telemetry is not serialized: the counters restart at zero, but
 		// wiring publishes the restored ops/step so the first scrape
 		// after Restore is not blank.
@@ -326,6 +445,29 @@ func Restore(dir string) (*Manager, error) {
 		go w.run(&m.workerWG)
 	}
 	return m, nil
+}
+
+// verifyShardFile re-hashes one snapshot blob and checks it against the
+// manifest record. Any disagreement — wrong length, wrong checksum —
+// is ErrSnapshotCorrupt.
+func verifyShardFile(path string, info shardFileInfo) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("opening %s: %v: %w", info.Name, err, ErrSnapshotCorrupt)
+	}
+	defer f.Close()
+	sum := crc32.New(castagnoli)
+	n, err := io.Copy(sum, f)
+	if err != nil {
+		return fmt.Errorf("reading %s: %v: %w", info.Name, err, ErrSnapshotCorrupt)
+	}
+	if n != info.Bytes {
+		return fmt.Errorf("%s is %d bytes, manifest says %d: %w", info.Name, n, info.Bytes, ErrSnapshotCorrupt)
+	}
+	if got := sum.Sum32(); got != info.CRC32C {
+		return fmt.Errorf("%s crc32c %08x, manifest says %08x: %w", info.Name, got, info.CRC32C, ErrSnapshotCorrupt)
+	}
+	return nil
 }
 
 func readShard(path string, kind Kind, trackCap int) (*worker, error) {

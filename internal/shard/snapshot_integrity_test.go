@@ -1,0 +1,202 @@
+package shard_test
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/countsketch"
+	"repro/internal/dataset"
+	"repro/internal/faults"
+	"repro/internal/shard"
+	"repro/internal/sketchapi"
+)
+
+// snapshotFixture ingests a short stream into a fresh 2-shard manager
+// and snapshots it, returning the manager and the snapshot dir.
+func snapshotFixture(t *testing.T, in *faults.Injector) (*shard.Manager, string) {
+	t.Helper()
+	const d, n = 30, 500
+	ds := dataset.Simulation(d, n, 0.02, 19)
+	mgr, err := shard.New(shard.Config{
+		Dim: d, Shards: 2, Faults: in,
+		Engine: shard.EngineSpec{Kind: shard.KindCS, Sketch: countsketch.Config{Tables: 4, Range: 1024, Seed: 3}, T: n},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mgr.Close() })
+	if _, _, err := mgr.Ingest(samplesOf(ds)); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := mgr.Snapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	return mgr, dir
+}
+
+// manifestFiles reads the per-shard blob list out of the committed
+// manifest, so tests can corrupt a specific shard file.
+func manifestFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var man struct {
+		Files []struct {
+			Name string `json:"name"`
+		} `json:"files"`
+	}
+	if err := json.Unmarshal(raw, &man); err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, f := range man.Files {
+		names = append(names, f.Name)
+	}
+	return names
+}
+
+// TestRestoreChecksumFailsClosed flips a single byte in one shard blob
+// and requires restore to fail with the named corruption error — the
+// CRC32C pre-pass must catch silent bit rot before any state is
+// deserialized. A truncated blob must fail the same way.
+func TestRestoreChecksumFailsClosed(t *testing.T) {
+	_, dir := snapshotFixture(t, nil)
+	names := manifestFiles(t, dir)
+	if len(names) != 2 {
+		t.Fatalf("manifest lists %d files, want 2", len(names))
+	}
+
+	// Control: the intact snapshot restores.
+	ctrl, err := shard.Restore(dir)
+	if err != nil {
+		t.Fatalf("intact restore: %v", err)
+	}
+	ctrl.Close()
+
+	// Bit flip in the middle of shard 0's blob.
+	path := filepath.Join(dir, names[0])
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipped := append([]byte(nil), blob...)
+	flipped[len(flipped)/2] ^= 0x01
+	if err := os.WriteFile(path, flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := shard.Restore(dir); !errors.Is(err, shard.ErrSnapshotCorrupt) {
+		t.Fatalf("bit-flipped restore: got %v, want ErrSnapshotCorrupt", err)
+	} else if !errors.Is(err, sketchapi.ErrCorrupt) {
+		t.Fatalf("ErrSnapshotCorrupt must wrap sketchapi.ErrCorrupt (got %v)", err)
+	}
+
+	// Truncation (fsync lost the tail) must also fail closed.
+	if err := os.WriteFile(path, blob[:len(blob)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := shard.Restore(dir); !errors.Is(err, shard.ErrSnapshotCorrupt) {
+		t.Fatalf("truncated restore: got %v, want ErrSnapshotCorrupt", err)
+	}
+
+	// Repair and restore again: the failure was the data, not the dir.
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	repaired, err := shard.Restore(dir)
+	if err != nil {
+		t.Fatalf("repaired restore: %v", err)
+	}
+	repaired.Close()
+}
+
+// TestRestorePreChecksumManifest strips the files section from the
+// manifest — the shape every snapshot written before per-file CRCs had
+// — and requires restore to still succeed: integrity verification is
+// skipped, not demanded, for old snapshots.
+func TestRestorePreChecksumManifest(t *testing.T) {
+	mgr, dir := snapshotFixture(t, nil)
+	manPath := filepath.Join(dir, "manifest.json")
+	raw, err := os.ReadFile(manPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var man map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &man); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := man["files"]; !ok {
+		t.Fatal("fixture manifest has no files section to strip")
+	}
+	delete(man, "files")
+	stripped, err := json.Marshal(man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(manPath, stripped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := shard.Restore(dir)
+	if err != nil {
+		t.Fatalf("pre-checksum manifest restore: %v", err)
+	}
+	defer restored.Close()
+	if restored.Step() != mgr.Step() {
+		t.Fatalf("restored Step = %d, want %d", restored.Step(), mgr.Step())
+	}
+}
+
+// TestTornManifestFailsClosed commits a torn (truncated JSON) manifest
+// through the real rename path via fault injection and requires restore
+// to fail with the corruption error, never to serve half a recovery
+// point.
+func TestTornManifestFailsClosed(t *testing.T) {
+	in, err := faults.Parse("torn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, dir := snapshotFixture(t, in)
+	if _, err := shard.Restore(dir); !errors.Is(err, shard.ErrSnapshotCorrupt) {
+		t.Fatalf("torn manifest restore: got %v, want ErrSnapshotCorrupt", err)
+	}
+}
+
+// TestSnapshotWriteFaultKeepsCommittedPoint injects blob write and
+// fsync errors into a later snapshot of the same directory: the
+// snapshot must fail loudly, and the previously committed recovery
+// point must keep restoring (the failed attempt never reaches the
+// manifest rename).
+func TestSnapshotWriteFaultKeepsCommittedPoint(t *testing.T) {
+	mgr, dir := snapshotFixture(t, nil)
+	step := mgr.Step()
+
+	for _, spec := range []string{"snapwrite=256", "fsyncerr"} {
+		in, err := faults.Parse(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		faulty, err := shard.RestoreWith(dir, shard.RestoreOverrides{Faults: in})
+		if err != nil {
+			t.Fatalf("restore before %s: %v", spec, err)
+		}
+		if err := faulty.Snapshot(dir); !errors.Is(err, faults.ErrInjected) {
+			faulty.Close()
+			t.Fatalf("snapshot under %s: got %v, want ErrInjected", spec, err)
+		}
+		faulty.Close()
+
+		restored, err := shard.Restore(dir)
+		if err != nil {
+			t.Fatalf("committed point lost after failed %s snapshot: %v", spec, err)
+		}
+		if restored.Step() != step {
+			t.Fatalf("committed point moved after failed %s snapshot: step %d, want %d", spec, restored.Step(), step)
+		}
+		restored.Close()
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/countsketch"
 	"repro/internal/covstream"
+	"repro/internal/faults"
 	"repro/internal/pairs"
 	"repro/internal/sketchapi"
 	"repro/internal/stream"
@@ -232,6 +233,17 @@ type ServeOptions struct {
 	// effective window is round(1/(1−λ)) (λ = 1: unbounded with aging
 	// disabled, normalized by Samples). Mutually exclusive with Window.
 	Lambda float64
+
+	// Admission selects the ingest admission policy: AdmitBlock
+	// (default), AdmitShed, or AdmitDegrade — see the AdmissionPolicy
+	// docs for the semantics.
+	Admission AdmissionPolicy
+	// ShedHighWater, DegradeHigh, DegradeLow tune the admission bound
+	// and governor hysteresis (shard.Config defaults: 1.0, 0.8, 0.3).
+	ShedHighWater, DegradeHigh, DegradeLow float64
+	// Faults wires the deterministic chaos injector (nil in
+	// production).
+	Faults *faults.Injector
 }
 
 // NewFromOptions applies the shared derivation rules and starts a
@@ -330,6 +342,11 @@ func NewFromOptions(o ServeOptions) (*Manager, error) {
 		FlushOps:         o.FlushOps,
 		TrackCandidates:  o.TrackCandidates,
 		QueryConsistency: o.QueryConsistency,
+		Admission:        o.Admission,
+		ShedHighWater:    o.ShedHighWater,
+		DegradeHigh:      o.DegradeHigh,
+		DegradeLow:       o.DegradeLow,
+		Faults:           o.Faults,
 	})
 }
 

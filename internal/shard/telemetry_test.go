@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -160,7 +161,7 @@ func TestShardTelemetryLaneJumpsAndTrace(t *testing.T) {
 	}
 
 	var tr QueryTrace
-	if _, err := m.TopKT(3, ConsistencyFresh, true, &tr); err != nil {
+	if _, err := m.TopKT(context.Background(), 3, ConsistencyFresh, true, &tr); err != nil {
 		t.Fatal(err)
 	}
 	if tr.QueueWait <= 0 || tr.Apply <= 0 || tr.Merge <= 0 {
@@ -168,7 +169,7 @@ func TestShardTelemetryLaneJumpsAndTrace(t *testing.T) {
 	}
 
 	var str QueryTrace
-	if _, err := m.StatsT("", &str); err != nil {
+	if _, err := m.StatsT(context.Background(), "", &str); err != nil {
 		t.Fatal(err)
 	}
 	if str.QueueWait <= 0 || str.Apply <= 0 {

@@ -2,6 +2,7 @@ package shard
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"testing"
 
@@ -16,7 +17,7 @@ import (
 // fresh-lane closure.
 func setWaveGroup(t *testing.T, m *Manager, g int) {
 	t.Helper()
-	err := m.execAll(ConsistencyFresh, nil, func(w *worker) {
+	err := m.execAll(context.Background(), ConsistencyFresh, nil, func(w *worker) {
 		w.fast.(sketchapi.WaveTuner).SetWaveGroup(g)
 	})
 	if err != nil {

@@ -1,0 +1,31 @@
+package sketchapi
+
+import "errors"
+
+// Error taxonomy shared by every layer of the serving stack. The
+// categories below are the *classes* transports branch on — a layer
+// wraps them into richer sentinels (e.g. shard.ErrQueueFull wraps
+// ErrOverload) so callers can match either the specific condition or
+// the class with errors.Is. Keeping the taxonomy here, one package
+// below both shard and server, is what lets the HTTP status mapping
+// and the load generator's accounting agree on what an error *means*
+// without importing each other.
+var (
+	// ErrOverload classifies resource-exhaustion rejections: the work
+	// was refused (not queued, not partially applied) because a bounded
+	// resource was at capacity. The correct client response is to back
+	// off and retry; transports surface it as HTTP 429 + Retry-After.
+	ErrOverload = errors.New("overloaded")
+
+	// ErrDeadline classifies deadline/cancellation terminations: the
+	// caller's context expired before the work completed. The request
+	// terminated within its budget by construction — the system sheds
+	// the wait, not the invariant. Transports surface it as HTTP 503.
+	ErrDeadline = errors.New("deadline exceeded")
+
+	// ErrCorrupt classifies integrity failures: persisted state that
+	// fails its checksum or structural validation. Loading must fail
+	// closed — serving corrupt sketch state silently is the one failure
+	// mode a monitoring stack cannot see.
+	ErrCorrupt = errors.New("corrupt state")
+)
