@@ -17,6 +17,7 @@ import (
 	"repro/internal/countsketch"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
+	"repro/internal/pairs"
 	"repro/internal/shard"
 	"repro/internal/stream"
 
@@ -293,6 +294,13 @@ const benchKeys = 1024
 // working set every offer of which passes the τ gate (the tracked,
 // admitted-pair hot path), or vanilla CS when schedule is false.
 func newSamplingMeanSketch(b testing.TB, schedule bool) *ascs.MeanSketch {
+	return newSamplingMeanSketchKeys(b, schedule, benchKeys)
+}
+
+// newSamplingMeanSketchKeys is newSamplingMeanSketch with an explicit
+// primed-working-set size (the row arms prime a whole triangle's pair
+// range, which is slightly larger than benchKeys).
+func newSamplingMeanSketchKeys(b testing.TB, schedule bool, nkeys int) *ascs.MeanSketch {
 	b.Helper()
 	cfg := ascs.MeanConfig{Tables: 5, Range: 1 << 14, Samples: 1 << 30, Seed: 1}
 	if schedule {
@@ -303,7 +311,7 @@ func newSamplingMeanSketch(b testing.TB, schedule bool) *ascs.MeanSketch {
 		b.Fatal(err)
 	}
 	ms.BeginStep(1)
-	for k := 0; k < benchKeys; k++ {
+	for k := 0; k < nkeys; k++ {
 		ms.Offer(uint64(k), 1e6)
 	}
 	ms.BeginStep(2) // past T0: ASCS is sampling; primed keys clear τ
@@ -416,6 +424,77 @@ func TestWaveOfferPairsZeroAllocs(t *testing.T) {
 		})
 		if avg != 0 {
 			t.Fatalf("schedule=%v: wave OfferPairs allocates %.1f per batch; group scratch is not being reused", schedule, avg)
+		}
+	}
+}
+
+// BenchmarkIngestOfferRowsWave* is the row-wave path: one OfferRows
+// call per upper triangle with m(m−1)/2 ≈ benchKeys pairs, so the
+// engine expands base+partner keys internally into the same wave
+// pipeline (ns/op is still ns per offered pair; x = left·right = 1e6
+// matches the pair arms).
+func BenchmarkIngestOfferRowsWaveASCS(b *testing.B) { benchIngestOfferRows(b, true) }
+func BenchmarkIngestOfferRowsWaveCS(b *testing.B)   { benchIngestOfferRows(b, false) }
+
+// rowTriangle builds the OfferRows arguments of an upper triangle whose
+// pair keys enumerate exactly [0, m(m−1)/2) — the primed working set —
+// with every product left·right = 1e6.
+func rowTriangle(m int) (bases, ids []uint64, left, right []float64) {
+	bases = make([]uint64, m-1)
+	left = make([]float64, m-1)
+	ids = make([]uint64, m)
+	right = make([]float64, m)
+	for i := range bases {
+		bases[i] = uint64(pairs.RowBase(i, m))
+		left[i] = 1000
+	}
+	for j := range ids {
+		ids[j] = uint64(j)
+		right[j] = 1000
+	}
+	return bases, ids, left, right
+}
+
+func benchIngestOfferRows(b *testing.B, schedule bool) {
+	// Smallest m whose triangle covers the benchKeys working set.
+	m := 2
+	for m*(m-1)/2 < benchKeys {
+		m++
+	}
+	p := m * (m - 1) / 2
+	ms := newSamplingMeanSketchKeys(b, schedule, p)
+	bases, ids, left, right := rowTriangle(m)
+	ests := make([]float64, p)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for done := 0; done < b.N; done += p {
+		ms.OfferRows(bases, ids, left, right, ests)
+	}
+}
+
+// TestRowWaveOfferZeroAllocs guards the row path's scratch discipline
+// at the engine layer: once the wave scratch exists, steady-state
+// OfferRow and OfferRows — key expansion included — allocate nothing,
+// for ASCS and CS alike.
+func TestRowWaveOfferZeroAllocs(t *testing.T) {
+	const m = 46 // triangle of 1035 pairs ≈ the benchKeys working set
+	p := m * (m - 1) / 2
+	for _, schedule := range []bool{true, false} {
+		ms := newSamplingMeanSketchKeys(t, schedule, p)
+		bases, ids, left, right := rowTriangle(m)
+		ests := make([]float64, p)
+		partners := ids[1:]
+		rowEsts := make([]float64, len(partners))
+		ms.OfferRows(bases, ids, left, right, ests) // builds the lazy wave scratch
+		if avg := testing.AllocsPerRun(50, func() {
+			ms.OfferRows(bases, ids, left, right, ests)
+		}); avg != 0 {
+			t.Fatalf("schedule=%v: OfferRows allocates %.1f per triangle; row expansion scratch is not being reused", schedule, avg)
+		}
+		if avg := testing.AllocsPerRun(50, func() {
+			ms.OfferRow(bases[0], partners, right[1:], rowEsts)
+		}); avg != 0 {
+			t.Fatalf("schedule=%v: OfferRow allocates %.1f per row", schedule, avg)
 		}
 	}
 }

@@ -71,6 +71,7 @@ const asketchRenormFloor = sketchapi.RenormFloor
 
 var (
 	_ sketchapi.OfferEstimator = (*ASketch)(nil)
+	_ sketchapi.RowOfferer     = (*ASketch)(nil)
 	_ sketchapi.Decayer        = (*ASketch)(nil)
 	_ sketchapi.Snapshotter    = (*ASketch)(nil)
 	_ sketchapi.WaveTuner      = (*ASketch)(nil)
@@ -234,20 +235,76 @@ func (a *ASketch) OfferPairs(keys []uint64, xs []float64, ests []float64) {
 		if hi > len(keys) {
 			hi = len(keys)
 		}
-		n := hi - lo
-		a.waveGroups++
-		slots := w.Slots(n)
-		a.sk.LocateBatch(keys[lo:hi], slots)
-		w.Sink += a.sk.TouchSlots(slots)
-		for i := 0; i < n; i++ {
-			sl := w.At(i)
-			if ests != nil {
-				ests[lo+i], _ = a.offerEstimateWith(keys[lo+i], xs[lo+i], sl)
-			} else {
-				a.offerWith(keys[lo+i], xs[lo+i], sl)
-			}
+		var sub []float64
+		if ests != nil {
+			sub = ests[lo:hi]
+		}
+		a.offerWave(w, keys[lo:hi], xs[lo:hi], sub)
+	}
+}
+
+// offerWave processes one group of ≤ G pairs through the hash/touch
+// stages, then replays the exact per-key filter logic on warm lines —
+// the shared wave group body of OfferPairs and the RowOfferer path.
+func (a *ASketch) offerWave(w *countsketch.Wave, keys []uint64, xs []float64, ests []float64) {
+	n := len(keys)
+	a.waveGroups++
+	slots := w.Slots(n)
+	a.sk.LocateBatch(keys, slots)
+	w.Sink += a.sk.TouchSlots(slots)
+	for i := 0; i < n; i++ {
+		sl := w.At(i)
+		if ests != nil {
+			ests[i], _ = a.offerEstimateWith(keys[i], xs[i], sl)
+		} else {
+			a.offerWith(keys[i], xs[i], sl)
 		}
 	}
+}
+
+// OfferRow implements sketchapi.RowOfferer: one row's pairs
+// (rowBase+partners[j], x[j]) with key materialization amortized to one
+// wrapping vector add per wave group, then the same group body as
+// OfferPairs (hash/touch staging + exact sequential filter replay).
+// Bit-identical to OfferPairs over the materialized keys at any group
+// size (scalar per-pair at g ≤ 1).
+func (a *ASketch) OfferRow(rowBase uint64, partners []uint64, x []float64, ests []float64) {
+	w, g := a.wave.Scratch(a.sk.K())
+	if g <= 1 {
+		for j, p := range partners {
+			if ests == nil {
+				a.Offer(rowBase+p, x[j])
+			} else {
+				ests[j], _ = a.OfferEstimate(rowBase+p, x[j])
+			}
+		}
+		return
+	}
+	countsketch.WalkRowGroups(w, g, rowBase, partners, x, ests,
+		func(keys []uint64, xs []float64, sub []float64) { a.offerWave(w, keys, xs, sub) })
+}
+
+// OfferRows implements sketchapi.RowOfferer: one sample's whole upper
+// triangle in row-major order, groups packed across row boundaries.
+func (a *ASketch) OfferRows(bases, ids []uint64, left, right []float64, ests []float64) {
+	w, g := a.wave.Scratch(a.sk.K())
+	if g <= 1 {
+		p := 0
+		for i := 0; i+1 < len(ids); i++ {
+			base, li := bases[i], left[i]
+			for j := i + 1; j < len(ids); j++ {
+				if ests == nil {
+					a.Offer(base+ids[j], li*right[j])
+				} else {
+					ests[p], _ = a.OfferEstimate(base+ids[j], li*right[j])
+				}
+				p++
+			}
+		}
+		return
+	}
+	countsketch.WalkRowsGroups(w, g, bases, ids, left, right, ests,
+		func(keys []uint64, xs []float64, sub []float64) { a.offerWave(w, keys, xs, sub) })
 }
 
 // offerPairsScalar is the pre-wave batch loop, kept as the wave path's

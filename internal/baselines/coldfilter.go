@@ -53,6 +53,7 @@ type ColdFilter struct {
 
 var (
 	_ sketchapi.OfferEstimator = (*ColdFilter)(nil)
+	_ sketchapi.RowOfferer     = (*ColdFilter)(nil)
 	_ sketchapi.Decayer        = (*ColdFilter)(nil)
 	_ sketchapi.Snapshotter    = (*ColdFilter)(nil)
 	_ sketchapi.WaveTuner      = (*ColdFilter)(nil)
@@ -194,20 +195,77 @@ func (c *ColdFilter) OfferPairs(keys []uint64, xs []float64, ests []float64) {
 		if hi > len(keys) {
 			hi = len(keys)
 		}
-		n := hi - lo
-		c.waveGroups++
-		slots := w.Slots(n)
-		c.l1.LocateBatch(keys[lo:hi], slots)
-		w.Sink += c.l1.TouchSlots(slots)
-		for i := 0; i < n; i++ {
-			sl := w.At(i)
-			if ests != nil {
-				ests[lo+i], _ = c.offerEstimateWith(keys[lo+i], xs[lo+i], sl)
-			} else {
-				c.offerWith(keys[lo+i], xs[lo+i], sl)
-			}
+		var sub []float64
+		if ests != nil {
+			sub = ests[lo:hi]
+		}
+		c.offerWave(w, keys[lo:hi], xs[lo:hi], sub)
+	}
+}
+
+// offerWave processes one group of ≤ G pairs through the layer-1
+// hash/touch stages, then replays the exact per-key saturate-or-
+// overflow logic on warm lines — the shared wave group body of
+// OfferPairs and the RowOfferer path.
+func (c *ColdFilter) offerWave(w *countsketch.Wave, keys []uint64, xs []float64, ests []float64) {
+	n := len(keys)
+	c.waveGroups++
+	slots := w.Slots(n)
+	c.l1.LocateBatch(keys, slots)
+	w.Sink += c.l1.TouchSlots(slots)
+	for i := 0; i < n; i++ {
+		sl := w.At(i)
+		if ests != nil {
+			ests[i], _ = c.offerEstimateWith(keys[i], xs[i], sl)
+		} else {
+			c.offerWith(keys[i], xs[i], sl)
 		}
 	}
+}
+
+// OfferRow implements sketchapi.RowOfferer: one row's pairs
+// (rowBase+partners[j], x[j]) with key materialization amortized to one
+// wrapping vector add per wave group, then the same group body as
+// OfferPairs (layer-1 hash/touch staging + exact sequential replay).
+// Bit-identical to OfferPairs over the materialized keys at any group
+// size (scalar per-pair at g ≤ 1).
+func (c *ColdFilter) OfferRow(rowBase uint64, partners []uint64, x []float64, ests []float64) {
+	w, g := c.wave.Scratch(c.l1.K())
+	if g <= 1 {
+		for j, p := range partners {
+			if ests == nil {
+				c.Offer(rowBase+p, x[j])
+			} else {
+				ests[j], _ = c.OfferEstimate(rowBase+p, x[j])
+			}
+		}
+		return
+	}
+	countsketch.WalkRowGroups(w, g, rowBase, partners, x, ests,
+		func(keys []uint64, xs []float64, sub []float64) { c.offerWave(w, keys, xs, sub) })
+}
+
+// OfferRows implements sketchapi.RowOfferer: one sample's whole upper
+// triangle in row-major order, groups packed across row boundaries.
+func (c *ColdFilter) OfferRows(bases, ids []uint64, left, right []float64, ests []float64) {
+	w, g := c.wave.Scratch(c.l1.K())
+	if g <= 1 {
+		p := 0
+		for i := 0; i+1 < len(ids); i++ {
+			base, li := bases[i], left[i]
+			for j := i + 1; j < len(ids); j++ {
+				if ests == nil {
+					c.Offer(base+ids[j], li*right[j])
+				} else {
+					ests[p], _ = c.OfferEstimate(base+ids[j], li*right[j])
+				}
+				p++
+			}
+		}
+		return
+	}
+	countsketch.WalkRowsGroups(w, g, bases, ids, left, right, ests,
+		func(keys []uint64, xs []float64, sub []float64) { c.offerWave(w, keys, xs, sub) })
 }
 
 // offerPairsScalar is the pre-wave batch loop, kept as the wave path's

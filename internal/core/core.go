@@ -71,6 +71,7 @@ type Engine struct {
 
 var (
 	_ sketchapi.OfferEstimator = (*Engine)(nil)
+	_ sketchapi.RowOfferer     = (*Engine)(nil)
 	_ sketchapi.Decayer        = (*Engine)(nil)
 	_ sketchapi.WaveTuner      = (*Engine)(nil)
 	_ sketchapi.HealthReporter = (*Engine)(nil)
@@ -342,6 +343,55 @@ func (e *Engine) offerWave(w *countsketch.Wave, keys []uint64, xs []float64, est
 	// raw-median shift — the exact per-pair contract.
 	copy(ests, gests)
 	e.sk.AddSlotsBatch(slots, vs, admit, raws, ests)
+}
+
+// OfferRow implements sketchapi.RowOfferer: the τ-gated ingest of one
+// row's pairs (rowBase+partners[j], x[j]) with the key materialization
+// amortized — per wave group one wrapping vector add of the shared row
+// base replaces per-pair key arithmetic, and the groups then run the
+// same staged body as OfferPairs. Bit-identical to OfferPairs over the
+// materialized keys at any group size (scalar per-pair at g ≤ 1).
+func (e *Engine) OfferRow(rowBase uint64, partners []uint64, x []float64, ests []float64) {
+	w, g := e.wave.Scratch(e.sk.K())
+	if g <= 1 {
+		for j, p := range partners {
+			e.sk.Locate(rowBase+p, &e.slots)
+			if ests == nil {
+				e.offerSlots(&e.slots, x[j])
+			} else {
+				ests[j], _ = e.offerEstimateSlots(&e.slots, x[j])
+			}
+		}
+		return
+	}
+	countsketch.WalkRowGroups(w, g, rowBase, partners, x, ests,
+		func(keys []uint64, xs []float64, sub []float64) { e.offerWave(w, keys, xs, sub) })
+}
+
+// OfferRows implements sketchapi.RowOfferer: one sample's whole upper
+// triangle in row-major order, with pair keys and left·right increments
+// expanded inside the wave staging and groups packed across row
+// boundaries. See OfferRow for the equivalence contract.
+func (e *Engine) OfferRows(bases, ids []uint64, left, right []float64, ests []float64) {
+	w, g := e.wave.Scratch(e.sk.K())
+	if g <= 1 {
+		p := 0
+		for i := 0; i+1 < len(ids); i++ {
+			base, li := bases[i], left[i]
+			for j := i + 1; j < len(ids); j++ {
+				e.sk.Locate(base+ids[j], &e.slots)
+				if ests == nil {
+					e.offerSlots(&e.slots, li*right[j])
+				} else {
+					ests[p], _ = e.offerEstimateSlots(&e.slots, li*right[j])
+				}
+				p++
+			}
+		}
+		return
+	}
+	countsketch.WalkRowsGroups(w, g, bases, ids, left, right, ests,
+		func(keys []uint64, xs []float64, sub []float64) { e.offerWave(w, keys, xs, sub) })
 }
 
 // SetWaveGroup implements sketchapi.WaveTuner: it sets the wave group

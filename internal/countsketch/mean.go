@@ -47,6 +47,7 @@ type MeanSketch struct {
 
 var (
 	_ sketchapi.OfferEstimator = (*MeanSketch)(nil)
+	_ sketchapi.RowOfferer     = (*MeanSketch)(nil)
 	_ sketchapi.Decayer        = (*MeanSketch)(nil)
 	_ sketchapi.WaveTuner      = (*MeanSketch)(nil)
 	_ sketchapi.HealthReporter = (*MeanSketch)(nil)
@@ -149,33 +150,87 @@ func (m *MeanSketch) OfferPairs(keys []uint64, xs []float64, ests []float64) {
 		if hi > len(keys) {
 			hi = len(keys)
 		}
-		n := hi - lo
-		m.waveGroups++
-		slots := w.Slots(n)
-		m.sk.LocateBatch(keys[lo:hi], slots)
-		w.Sink += m.sk.TouchSlots(slots)
-		if ests == nil {
-			vs := w.Vs(n)
-			for i := 0; i < n; i++ {
-				vs[i] = xs[lo+i] * m.invT
-				m.mass += math.Abs(xs[lo+i])
-			}
-			m.inserts += uint64(n)
-			m.sk.AddSlotsBatch(slots, vs, nil, nil, nil)
-			continue
+		var sub []float64
+		if ests != nil {
+			sub = ests[lo:hi]
 		}
-		// The scalar contract recomputes the post-add estimate from the
-		// table (not the median shift), so the estimating path replays
-		// the per-pair order on the touched cells.
-		m.waveFbShape++
-		for i := 0; i < n; i++ {
-			sl := w.At(i)
-			m.inserts++
-			m.mass += math.Abs(xs[lo+i])
-			m.sk.AddSlots(sl, xs[lo+i]*m.invT)
-			ests[lo+i] = m.sk.EstimateSlots(sl)
-		}
+		m.offerWave(w, keys[lo:hi], xs[lo:hi], sub)
 	}
+}
+
+// offerWave processes one group of ≤ G pairs — the shared wave group
+// body of OfferPairs and the RowOfferer path. ests is nil or len(keys).
+func (m *MeanSketch) offerWave(w *Wave, keys []uint64, xs []float64, ests []float64) {
+	n := len(keys)
+	m.waveGroups++
+	slots := w.Slots(n)
+	m.sk.LocateBatch(keys, slots)
+	w.Sink += m.sk.TouchSlots(slots)
+	if ests == nil {
+		vs := w.Vs(n)
+		for i := 0; i < n; i++ {
+			vs[i] = xs[i] * m.invT
+			m.mass += math.Abs(xs[i])
+		}
+		m.inserts += uint64(n)
+		m.sk.AddSlotsBatch(slots, vs, nil, nil, nil)
+		return
+	}
+	// The scalar contract recomputes the post-add estimate from the
+	// table (not the median shift), so the estimating path replays
+	// the per-pair order on the touched cells.
+	m.waveFbShape++
+	for i := 0; i < n; i++ {
+		sl := w.At(i)
+		m.inserts++
+		m.mass += math.Abs(xs[i])
+		m.sk.AddSlots(sl, xs[i]*m.invT)
+		ests[i] = m.sk.EstimateSlots(sl)
+	}
+}
+
+// OfferRow implements sketchapi.RowOfferer: one row's pairs
+// (rowBase+partners[j], x[j]) with the key materialization amortized to
+// one wrapping vector add per wave group, then the same group body as
+// OfferPairs. Bit-identical to OfferPairs over the materialized keys
+// at any group size (scalar per-pair at g ≤ 1).
+func (m *MeanSketch) OfferRow(rowBase uint64, partners []uint64, x []float64, ests []float64) {
+	w, g := m.wave.Scratch(m.sk.K())
+	if g <= 1 {
+		for j, p := range partners {
+			if ests == nil {
+				m.Offer(rowBase+p, x[j])
+			} else {
+				ests[j], _ = m.OfferEstimate(rowBase+p, x[j])
+			}
+		}
+		return
+	}
+	WalkRowGroups(w, g, rowBase, partners, x, ests,
+		func(keys []uint64, xs []float64, sub []float64) { m.offerWave(w, keys, xs, sub) })
+}
+
+// OfferRows implements sketchapi.RowOfferer: one sample's whole upper
+// triangle in row-major order, groups packed across row boundaries.
+func (m *MeanSketch) OfferRows(bases, ids []uint64, left, right []float64, ests []float64) {
+	w, g := m.wave.Scratch(m.sk.K())
+	if g <= 1 {
+		p := 0
+		for i := 0; i+1 < len(ids); i++ {
+			base, li := bases[i], left[i]
+			for j := i + 1; j < len(ids); j++ {
+				if ests == nil {
+					m.Offer(base+ids[j], li*right[j])
+				} else {
+					ests[p], _ = m.OfferEstimate(base+ids[j], li*right[j])
+				}
+				p++
+			}
+		}
+		return
+	}
+	WalkRowsGroups(w, g, bases, ids, left, right, ests,
+		func(keys []uint64, xs []float64, sub []float64) { m.offerWave(w, keys, xs, sub) })
 }
 
 // offerPairsScalar is the pre-wave batch loop, kept as the wave path's

@@ -94,6 +94,15 @@ type Wave struct {
 	vs    []float64
 	admit []bool
 
+	// rowKeys/rowXs are the row-expansion staging of the RowOfferer
+	// path (WalkRowGroups / WalkRowsGroups): per group, partner ids are
+	// materialized into pair keys by one vector add of the row base,
+	// and triangle increments into left·right products, so the group
+	// bodies see ordinary key/x slices. L1-resident like the rest of
+	// the scratch.
+	rowKeys []uint64
+	rowXs   []float64
+
 	// Epoch-stamped open-addressing set over cell offsets, used by
 	// Clean to detect intra-group cell sharing without clearing between
 	// groups. Tiny (a few KiB) so probing stays in L1.
@@ -129,6 +138,8 @@ func NewWave(k, g int) *Wave {
 		raws:     make([]float64, g),
 		vs:       make([]float64, g),
 		admit:    make([]bool, g),
+		rowKeys:  make([]uint64, g),
+		rowXs:    make([]float64, g),
 		scrOff:   make([]int, sc),
 		scrEpoch: make([]uint32, sc),
 	}
@@ -195,6 +206,74 @@ func (w *Wave) Clean(slots []Slot) bool {
 		w.scrOff[h] = off
 	}
 	return true
+}
+
+// WalkRowGroups drives one row of the RowOfferer path through an
+// engine's wave pipeline: partners[lo:hi] chunks of ≤ g are expanded
+// into pair keys rowBase+partner (one wrapping vector add into the
+// Wave's row staging) and handed to group together with the matching
+// x and ests windows. group is each engine's wave group body — the
+// same body its OfferPairs path runs — so the resulting state is
+// bit-identical to OfferPairs over the materialized keys, which is in
+// turn pinned bit-identical to the scalar per-pair path. Shared by all
+// four engines so the expansion cannot drift between them; g must be
+// w.Group() (engines pass their WaveTune.Scratch results straight in).
+func WalkRowGroups(w *Wave, g int, rowBase uint64, partners []uint64, x []float64, ests []float64,
+	group func(keys []uint64, xs []float64, ests []float64)) {
+	for lo := 0; lo < len(partners); lo += g {
+		hi := lo + g
+		if hi > len(partners) {
+			hi = len(partners)
+		}
+		keys := w.rowKeys[:hi-lo]
+		for i, p := range partners[lo:hi] {
+			keys[i] = rowBase + p
+		}
+		var sub []float64
+		if ests != nil {
+			sub = ests[lo:hi]
+		}
+		group(keys, x[lo:hi], sub)
+	}
+}
+
+// WalkRowsGroups drives one sample's whole upper triangle through an
+// engine's wave pipeline (the OfferRows form): pairs
+// (bases[i]+ids[j], left[i]·right[j]) for i < j stream in row-major
+// order through the Wave's row staging, packing groups across row
+// boundaries so short rows do not drain the pipeline — exactly the
+// grouping OfferPairs would apply to the materialized pair sequence.
+// ests is nil or m(m−1)/2 entries consumed in the same order. See
+// WalkRowGroups for the group contract.
+func WalkRowsGroups(w *Wave, g int, bases, ids []uint64, left, right []float64, ests []float64,
+	group func(keys []uint64, xs []float64, ests []float64)) {
+	m := len(ids)
+	keys, xs := w.rowKeys[:g], w.rowXs[:g]
+	n, epos := 0, 0
+	for i := 0; i+1 < m; i++ {
+		base, li := bases[i], left[i]
+		for j := i + 1; j < m; j++ {
+			keys[n] = base + ids[j]
+			xs[n] = li * right[j]
+			n++
+			if n == g {
+				var sub []float64
+				if ests != nil {
+					sub = ests[epos : epos+n]
+				}
+				group(keys, xs, sub)
+				epos += n
+				n = 0
+			}
+		}
+	}
+	if n > 0 {
+		var sub []float64
+		if ests != nil {
+			sub = ests[epos : epos+n]
+		}
+		group(keys[:n], xs[:n], sub)
+	}
 }
 
 // LocateBatch fills slots (length len(keys)·K, e.g. Wave.Slots) with

@@ -84,10 +84,18 @@ type PairEstimate struct {
 	Estimate float64
 }
 
-// pairBatch is the flush size of the batched pair-offer buffers: large
-// enough to amortize interface dispatch across an OfferPairs call, small
-// enough that the key/increment/estimate scratch stays cache-resident.
+// pairBatch is the flush threshold of the batched pair-offer buffers:
+// large enough to amortize interface dispatch across an OfferPairs call,
+// small enough that the key/increment/estimate scratch stays
+// cache-resident. Flushes happen only on row boundaries, so a buffer may
+// exceed it by up to one row before draining.
 const pairBatch = 2048
+
+// maxRowEsts caps the per-sample estimate scratch of the tracked row
+// path (OfferRows needs m(m−1)/2 estimate slots for a sample with m
+// active features). Denser samples fall back to the row-aligned
+// pair-buffer path, which flushes in bounded batches.
+const maxRowEsts = 1 << 20
 
 // Estimator drives an engine over a sample stream.
 type Estimator struct {
@@ -97,12 +105,19 @@ type Estimator struct {
 	prev  []float64 // scratch: previous means during an update
 	track *topk.Tracker
 	fast  sketchapi.OfferEstimator // non-nil when Engine supports the fused path
+	row   sketchapi.RowOfferer     // non-nil when Engine supports the row path
 
 	active []int // scratch: active feature indices of current sample
 	vals   []float64
 	keys   []uint64  // scratch: batched pair keys awaiting flush
 	xs     []float64 // scratch: matching increments
 	ests   []float64 // scratch: post-offer estimates (tracked runs)
+
+	rowBases []uint64  // scratch: per-row pair bases of current sample
+	rowIDs   []uint64  // scratch: active feature ids as uint64
+	rowLeft  []float64 // scratch: row factors (Centered mode)
+	rowRight []float64 // scratch: partner factors (Centered mode)
+	rowEsts  []float64 // scratch: OfferRows estimates (tracked runs)
 }
 
 // New validates cfg and builds an estimator.
@@ -158,6 +173,9 @@ func New(cfg Config) (*Estimator, error) {
 	if f, ok := cfg.Engine.(sketchapi.OfferEstimator); ok {
 		e.fast = f
 	}
+	if r, ok := cfg.Engine.(sketchapi.RowOfferer); ok {
+		e.row = r
+	}
 	e.keys = make([]uint64, 0, pairBatch)
 	e.xs = make([]float64, 0, pairBatch)
 	if e.fast != nil && e.track != nil {
@@ -200,18 +218,63 @@ func (e *Estimator) Observe(s stream.Sample) error {
 func (e *Estimator) observeSecondMoment(s stream.Sample) {
 	// x = ya·yb over non-zero pairs only: zeros contribute nothing. For
 	// fixed a the pair keys of increasing b are base + b (pairs.Index is
-	// row-major), so the inner loop is a pure increment — no per-pair
-	// Index arithmetic.
+	// row-major), so the whole sample is a set of rows sharing one base
+	// each — exactly the RowOfferer triangle shape: ids are the active
+	// features, left = right = their values.
 	idx, val := s.Idx, s.Val
 	d := e.cfg.Dim
+	if e.row != nil && len(idx) > 1 {
+		e.rowIDs = e.rowIDs[:0]
+		e.rowBases = e.rowBases[:0]
+		for i, ix := range idx {
+			e.rowIDs = append(e.rowIDs, uint64(ix))
+			if i+1 < len(idx) {
+				e.rowBases = append(e.rowBases, uint64(pairs.RowBase(ix, d)))
+			}
+		}
+		if e.observeRows(e.rowBases, e.rowIDs, val, val) {
+			return
+		}
+	}
 	for i := 0; i+1 < len(idx); i++ {
 		rowBase := pairs.RowBase(idx[i], d)
 		ya := val[i]
 		for j := i + 1; j < len(idx); j++ {
 			e.bufferPair(uint64(rowBase+int64(idx[j])), ya*val[j])
 		}
+		e.flushRowAligned()
 	}
 	e.flushPairs()
+}
+
+// observeRows feeds one sample's upper triangle through the engine's
+// row path. It reports false when the tracked estimate scratch would
+// exceed maxRowEsts, in which case the caller must run the buffered
+// pair path instead.
+func (e *Estimator) observeRows(bases, ids []uint64, left, right []float64) bool {
+	m := len(ids)
+	if e.track == nil {
+		e.row.OfferRows(bases, ids, left, right, nil)
+		return true
+	}
+	p := m * (m - 1) / 2
+	if p > maxRowEsts {
+		return false
+	}
+	if cap(e.rowEsts) < p {
+		e.rowEsts = make([]float64, p)
+	}
+	ests := e.rowEsts[:p]
+	e.row.OfferRows(bases, ids, left, right, ests)
+	n := 0
+	for i := 0; i+1 < m; i++ {
+		base := bases[i]
+		for j := i + 1; j < m; j++ {
+			e.track.Offer(base+ids[j], math.Abs(ests[n]))
+			n++
+		}
+	}
+	return true
 }
 
 func (e *Estimator) observeCentered(s stream.Sample) {
@@ -240,36 +303,72 @@ func (e *Estimator) observeCentered(s stream.Sample) {
 			e.vals = append(e.vals, v)
 		}
 	}
-	for i := 0; i+1 < len(e.active); i++ {
+	// Both factors of the centered increment are row- or sample-constant:
+	// x = (ya − pa)·(yb − ȳb(t)) with pa fixed per row and ȳb(t) fixed
+	// per sample — so the triangle factors into left[i]·right[j] and fits
+	// the RowOfferer shape exactly (the products are formed in the same
+	// order with the same operands, so they are bit-identical).
+	m := len(e.active)
+	if e.row != nil && m > 1 {
+		e.rowIDs, e.rowBases = e.rowIDs[:0], e.rowBases[:0]
+		e.rowLeft, e.rowRight = e.rowLeft[:0], e.rowRight[:0]
+		for i, a := range e.active {
+			e.rowIDs = append(e.rowIDs, uint64(a))
+			e.rowRight = append(e.rowRight, e.vals[i]-e.means[a])
+			if i+1 < m {
+				e.rowBases = append(e.rowBases, uint64(pairs.RowBase(a, d)))
+				pa := e.means[a]
+				if e.cfg.Adjustment {
+					// Exact telescoping of §4: the paper's adjustment
+					// makes Σ_k X^(k) equal Σ_k (ya(k)−ȳa(t))(yb(k)−ȳb(t))
+					// at every t. The closed form of that difference is
+					// the Welford co-moment update (one pre-update mean,
+					// one post-update mean):
+					// S(t)−S(t−1) = (ya−ȳa(t−1))·(yb−ȳb(t)).
+					pa = e.prev[a]
+				}
+				e.rowLeft = append(e.rowLeft, e.vals[i]-pa)
+			}
+		}
+		if e.observeRows(e.rowBases, e.rowIDs, e.rowLeft, e.rowRight) {
+			return
+		}
+	}
+	for i := 0; i+1 < m; i++ {
 		a := e.active[i]
 		rowBase := pairs.RowBase(a, d)
 		var ya, pa float64
 		if e.cfg.Adjustment {
-			// Exact telescoping of §4: the paper's adjustment makes
-			// Σ_k X^(k) equal Σ_k (ya(k)−ȳa(t))(yb(k)−ȳb(t)) at every
-			// t. The closed form of that difference is the Welford
-			// co-moment update (one pre-update mean, one post-update
-			// mean): S(t)−S(t−1) = (ya−ȳa(t−1))·(yb−ȳb(t)).
 			ya, pa = e.vals[i], e.prev[a]
 		} else {
 			// The paper's approximation: drop the adjustment and use
 			// the current means on both sides.
 			ya, pa = e.vals[i], e.means[a]
 		}
-		for j := i + 1; j < len(e.active); j++ {
+		for j := i + 1; j < m; j++ {
 			b := e.active[j]
 			x := (ya - pa) * (e.vals[j] - e.means[b])
 			e.bufferPair(uint64(rowBase+int64(b)), x)
 		}
+		e.flushRowAligned()
 	}
 	e.flushPairs()
 }
 
-// bufferPair queues one pair increment for the current step, flushing a
-// full batch through the engine.
+// bufferPair queues one pair increment for the current step. It never
+// flushes on its own: flushes must land on row boundaries (a row split
+// across two OfferPairs calls would split its wave groups differently
+// than the row path does), so the observe loops call flushRowAligned at
+// the end of each row instead.
 func (e *Estimator) bufferPair(key uint64, x float64) {
 	e.keys = append(e.keys, key)
 	e.xs = append(e.xs, x)
+}
+
+// flushRowAligned drains the pair buffer when it has reached the batch
+// threshold. Called only at row boundaries, so batches may exceed
+// pairBatch by up to one row but never split a row.
+func (e *Estimator) flushRowAligned() {
 	if len(e.keys) >= pairBatch {
 		e.flushPairs()
 	}
@@ -286,6 +385,10 @@ func (e *Estimator) flushPairs() {
 	}
 	switch {
 	case e.fast != nil && e.track != nil:
+		if cap(e.ests) < len(keys) {
+			// Row-aligned batches can overshoot pairBatch by one row.
+			e.ests = make([]float64, len(keys))
+		}
 		ests := e.ests[:len(keys)]
 		e.fast.OfferPairs(keys, xs, ests)
 		for i, key := range keys {

@@ -1,0 +1,17 @@
+package hashing
+
+// CPUFeatures reports the instruction-set extensions the slot-fill
+// kernels detected at startup, as lowercase tags ("avx2", "bmi2").
+// Empty on architectures or builds (purego) without assembly kernels —
+// the benchmark reports record it next to the CPU model so BENCH file
+// numbers carry the code path that produced them.
+func CPUFeatures() []string {
+	var fs []string
+	if cpuAVX2 {
+		fs = append(fs, "avx2")
+	}
+	if cpuBMI2 {
+		fs = append(fs, "bmi2")
+	}
+	return fs
+}

@@ -87,20 +87,34 @@ func (f *mixFamily) FillSlots(key uint64, slots *[MaxTables]Slot) {
 }
 
 // FillSlotsBatch hoists the seed-slice loads out of the per-key loop;
-// each key's slots are filled exactly as FillSlots fills them.
+// each key's slots are filled exactly as FillSlots fills them. The
+// inner loop dispatches to an architecture kernel (AVX2 on amd64 when
+// the CPU has it; see slotfill_amd64.s) that is bit-identical to the
+// portable reference mixFillSlotsBatchGo.
 func (f *mixFamily) FillSlotsBatch(keys []uint64, slots []Slot) {
 	k := f.tables
 	if len(slots) != len(keys)*k {
 		panic("hashing: FillSlotsBatch slot buffer has wrong length")
 	}
-	r := int(f.rng)
-	bseeds, sseeds := f.bucketSeeds, f.signSeeds
+	mixFillSlotsBatch(keys, slots, f.bucketSeeds, f.signSeeds, f.rng)
+}
+
+// mixFillSlotsBatchGo is the portable reference kernel of the mix
+// family's batch slot fill: for every keys[i] and table e it stores
+// slots[i*K+e] = {e*R + fastRange(Mix64(key^bs[e]), R),
+// sign(Mix64(key*ss[e]+bs[e]))}. The AVX2 kernel must match it bit for
+// bit (the simd differential tests pin this); K = len(bseeds) =
+// len(sseeds) ≥ 1 and len(slots) = len(keys)·K are the caller's
+// invariants.
+func mixFillSlotsBatchGo(keys []uint64, slots []Slot, bseeds, sseeds []uint64, rng uint64) {
+	k := len(bseeds)
+	r := int(rng)
 	for i, key := range keys {
 		out := slots[i*k : i*k+k]
 		off := 0
 		for e := 0; e < k; e++ {
 			bs := bseeds[e]
-			b := int(fastRange(Mix64(key^bs), f.rng))
+			b := int(fastRange(Mix64(key^bs), rng))
 			s := float64(-1)
 			if Mix64(key*sseeds[e]+bs)&1 == 1 {
 				s = 1

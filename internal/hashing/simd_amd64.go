@@ -1,0 +1,68 @@
+//go:build amd64 && !purego
+
+package hashing
+
+// cpuAVX2 / cpuBMI2 record the runtime CPU-feature detection that gates
+// the assembly kernels (CPUID + XGETBV; see cpu_amd64.s). BMI2 is not
+// required by any kernel today — it is detected so benchmarks can record
+// the host's capability next to AVX2 (CPUFeatures).
+var cpuAVX2, cpuBMI2 = detectFeatures()
+
+// mixFillSlotsBatch dispatches the mix family's batch slot fill: quads
+// of keys go through the AVX2 kernel, the ≤ 3 remaining keys (and every
+// key when AVX2 is absent) through the portable reference.
+//
+// The vector fastRange computes hi64(h·R) with two 32×32-bit products,
+// which is exact only for R < 2^32 (any practical table: 2^32 buckets
+// is a 32 GiB table). Larger ranges — and the purego build — take the
+// reference kernel unconditionally.
+func mixFillSlotsBatch(keys []uint64, slots []Slot, bseeds, sseeds []uint64, rng uint64) {
+	if cpuAVX2 && rng < 1<<32 && len(keys) >= 4 {
+		q := len(keys) &^ 3
+		k := len(bseeds)
+		mixFillSlotsAVX2(keys[:q], slots[:q*k], bseeds, sseeds, rng)
+		keys = keys[q:]
+		slots = slots[q*k:]
+	}
+	mixFillSlotsBatchGo(keys, slots, bseeds, sseeds, rng)
+}
+
+// mixFillSlotsAVX2 fills slots for len(keys) keys (a multiple of 4,
+// ≥ 4) across K = len(bseeds) tables, bit-identically to
+// mixFillSlotsBatchGo. Requires AVX2 and rng < 2^32. Implemented in
+// slotfill_amd64.s.
+//
+//go:noescape
+func mixFillSlotsAVX2(keys []uint64, slots []Slot, bseeds, sseeds []uint64, rng uint64)
+
+// cpuid executes CPUID with the given leaf/subleaf. Implemented in
+// cpu_amd64.s.
+func cpuid(leaf, subleaf uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads XCR0 (requires OSXSAVE). Implemented in cpu_amd64.s.
+func xgetbv0() (eax, edx uint32)
+
+// detectFeatures checks for AVX2 (including the OS XMM/YMM state-save
+// support the kernels rely on) and BMI2.
+func detectFeatures() (avx2, bmi2 bool) {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return false, false
+	}
+	_, _, c1, _ := cpuid(1, 0)
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	_, b7, _, _ := cpuid(7, 0)
+	bmi2 = b7&(1<<8) != 0
+	if c1&osxsave == 0 || c1&avx == 0 {
+		return false, bmi2
+	}
+	// XCR0 bits 1 (SSE) and 2 (AVX): the OS saves YMM state on context
+	// switch. Without them, executing the kernels would corrupt other
+	// threads' registers.
+	xl, _ := xgetbv0()
+	if xl&0x6 != 0x6 {
+		return false, bmi2
+	}
+	return b7&(1<<5) != 0, bmi2
+}

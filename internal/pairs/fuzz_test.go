@@ -21,3 +21,45 @@ func FuzzIndexDecode(f *testing.F) {
 		}
 	})
 }
+
+// FuzzRowBaseRoundTrip ties the three primitives together: for any
+// dimension and in-range index, Decode must invert Index AND the
+// hot-loop identity Index(a, b, d) = RowBase(a, d) + b must hold —
+// both in int64 arithmetic and under the wrapping uint64 add the row
+// ingest path uses (RowBase(0, d) is −1, i.e. an all-ones key base,
+// so base+partner must wrap mod 2^64 back to the true key). A slice
+// of the corpus is pinned to the 2^26 neighborhood, the dimension
+// scale the trillion-pair covariance workloads target.
+func FuzzRowBaseRoundTrip(f *testing.F) {
+	f.Add(uint32(2), uint64(0))
+	f.Add(uint32(1<<26), uint64(0))
+	f.Add(uint32(1<<26-1), uint64(1)<<51)
+	f.Add(uint32(1<<26+1), uint64(1)<<50)
+	f.Add(uint32(67_108_863), ^uint64(0))
+	f.Fuzz(func(t *testing.T, rawD uint32, rawI uint64) {
+		d := int(rawD%(1<<27)) + 2
+		if rawI%5 == 0 {
+			// Bias a fifth of the corpus into d ≈ 2^26 so the quadratic
+			// Decode guess is exercised where float64 rounding of
+			// (2d−1)² − 8i is tightest relative to the row starts.
+			d = 1<<26 - 64 + int(rawD%129)
+		}
+		p := Count(d)
+		i := int64(rawI % uint64(p))
+		a, b := Decode(i, d)
+		if a < 0 || a >= b || b >= d {
+			t.Fatalf("Decode(%d, %d) = (%d, %d) out of range", i, d, a, b)
+		}
+		if got := Index(a, b, d); got != i {
+			t.Fatalf("Decode(%d,%d)=(%d,%d) but Index=%d", i, d, a, b, got)
+		}
+		base := RowBase(a, d)
+		if got := base + int64(b); got != i {
+			t.Fatalf("RowBase(%d,%d)+%d = %d, want %d", a, d, b, got, i)
+		}
+		if got := uint64(base) + uint64(b); got != uint64(i) {
+			t.Fatalf("wrapping key base: uint64(RowBase(%d,%d))+%d = %d, want %d",
+				a, d, b, got, uint64(i))
+		}
+	})
+}

@@ -267,11 +267,48 @@ func (c *Config) fill() error {
 	return nil
 }
 
-// op is one routed pair increment: apply X_key^{(t)} = x.
-type op struct {
-	t   int
-	key uint64
-	x   float64
+// rowHdr describes one run of routed pair increments sharing a row
+// base and a step: the run's pair keys are base + prt[i] (a wrapping
+// uint64 add), its increments xs[i]. RowBase is strictly monotone in
+// the row feature for a fixed Dim and the step distinguishes samples,
+// so (base, t) identifies a row run unambiguously.
+type rowHdr struct {
+	base uint64
+	t    int
+	n    int
+}
+
+// rowBatch is the routed ingest unit: a columnar batch of pair
+// increments grouped into row runs. Shipping (base, partners, xs) runs
+// instead of flat (key, x) ops keeps the row structure intact across
+// the channel, so the worker can feed each run straight into the
+// engine's OfferRow fast path (the engine materializes the keys as a
+// vector add inside its wave pipeline) — and it is smaller on the wire:
+// one base per run instead of a full key per pair.
+type rowBatch struct {
+	hdrs []rowHdr
+	prt  []uint64  // partner ids, Σ hdrs[i].n entries, run-contiguous
+	xs   []float64 // pre-multiplied increments, same length as prt
+}
+
+// add appends one pair increment, extending the current run when the
+// (base, step) pair matches and opening a new run otherwise.
+func (b *rowBatch) add(base uint64, t int, partner uint64, x float64) {
+	if n := len(b.hdrs); n == 0 || b.hdrs[n-1].base != base || b.hdrs[n-1].t != t {
+		b.hdrs = append(b.hdrs, rowHdr{base: base, t: t})
+	}
+	b.hdrs[len(b.hdrs)-1].n++
+	b.prt = append(b.prt, partner)
+	b.xs = append(b.xs, x)
+}
+
+// pairs returns the number of pair increments staged in the batch.
+func (b *rowBatch) pairs() int { return len(b.prt) }
+
+// reset empties the batch for freelist reuse, keeping capacity.
+func (b *rowBatch) reset() *rowBatch {
+	b.hdrs, b.prt, b.xs = b.hdrs[:0], b.prt[:0], b.xs[:0]
+	return b
 }
 
 // msg is the unit consumed by a worker: either an ingest batch (ops)
@@ -281,7 +318,7 @@ type op struct {
 // enq is the enqueue timestamp, observed by the worker into the
 // queue-wait histograms (closures self-time; batches use this field).
 type msg struct {
-	ops []op
+	ops *rowBatch
 	fn  func()
 	enq time.Time
 }
@@ -299,6 +336,7 @@ type worker struct {
 	qch   chan msg
 	eng   sketchapi.Snapshotter
 	fast  sketchapi.OfferEstimator // non-nil when eng supports the fused path
+	row   sketchapi.RowOfferer     // non-nil when eng supports the row path
 	track *topk.Tracker
 	lastT int
 	ops   uint64
@@ -315,11 +353,11 @@ type worker struct {
 	batches   uint64
 	laneJumps uint64
 
-	// free is the manager's op-buffer freelist: applied ingest batches
-	// are returned here so route can reuse them instead of growing fresh
-	// slices per call (the worker is the only goroutine that knows when
-	// a batch is done).
-	free chan []op
+	// free is the manager's batch freelist: applied ingest batches are
+	// returned here so route can reuse them instead of growing fresh
+	// ones per call (the worker is the only goroutine that knows when a
+	// batch is done).
+	free chan *rowBatch
 
 	// faults is the optional chaos injector (nil in production: every
 	// hook is nil-safe, so the hot path pays one branch per batch).
@@ -332,9 +370,9 @@ type worker struct {
 	// so the hot path stays lock-free and allocation-free.
 	lambda float64
 
-	// Scratch for the batched fast path, reused across apply calls.
+	// Scratch for the batched fast paths, reused across apply calls
+	// (keys only for engines without OfferRow; ests for the tracker).
 	keys []uint64
-	xs   []float64
 	ests []float64
 }
 
@@ -451,7 +489,7 @@ func (w *worker) run(wg *sync.WaitGroup) {
 			// Batch applied: recycle its staging buffer (drop it when
 			// the freelist is full — bounded memory beats retention).
 			select {
-			case w.free <- m.ops[:0]:
+			case w.free <- m.ops.reset():
 			default:
 			}
 			w.publish()
@@ -481,56 +519,60 @@ func (w *worker) applyBatch(m msg) {
 	start := time.Now()
 	w.apply(m.ops)
 	w.tel.Apply.Observe(int64(time.Since(start)))
-	w.tel.BatchSize.Observe(int64(len(m.ops)))
+	w.tel.BatchSize.Observe(int64(m.ops.pairs()))
 	w.batches++
 }
 
-func (w *worker) apply(ops []op) {
-	if w.fast == nil {
-		for _, o := range ops {
-			if o.t > w.lastT {
-				w.beginStep(o.t)
+func (w *worker) apply(b *rowBatch) {
+	o := 0
+	for _, h := range b.hdrs {
+		prt := b.prt[o : o+h.n]
+		xs := b.xs[o : o+h.n]
+		o += h.n
+		if h.t > w.lastT {
+			w.beginStep(h.t)
+		}
+		switch {
+		case w.row != nil:
+			// Row fast path: the engine expands base+partner keys inside
+			// its wave pipeline; the tracker reuses the per-offer
+			// estimates (one locate serves gate, insert, and score) and
+			// re-derives each key with the same wrapping add.
+			if cap(w.ests) < h.n {
+				w.ests = make([]float64, h.n)
 			}
-			w.eng.Offer(o.key, o.x)
-			// Same candidate policy as the batch retrieval path
-			// (covstream): score by the current |estimate| and rescore at
-			// query time, so keys the gate keeps admitting stay hot.
-			w.track.Offer(o.key, math.Abs(w.eng.Estimate(o.key)))
-			w.ops++
+			ests := w.ests[:h.n]
+			w.row.OfferRow(h.base, prt, xs, ests)
+			for i, p := range prt {
+				w.track.Offer(h.base+p, math.Abs(ests[i]))
+			}
+		case w.fast != nil:
+			// Fused pair path for engines without OfferRow: materialize
+			// the run's keys into worker scratch and push one OfferPairs.
+			keys := w.keys[:0]
+			for _, p := range prt {
+				keys = append(keys, h.base+p)
+			}
+			if cap(w.ests) < h.n {
+				w.ests = make([]float64, h.n)
+			}
+			ests := w.ests[:h.n]
+			w.fast.OfferPairs(keys, xs, ests)
+			for i, key := range keys {
+				w.track.Offer(key, math.Abs(ests[i]))
+			}
+			w.keys = keys
+		default:
+			for i, p := range prt {
+				key := h.base + p
+				w.eng.Offer(key, xs[i])
+				// Same candidate policy as the batch retrieval path
+				// (covstream): score by the current |estimate| and rescore
+				// at query time, so keys the gate keeps admitting stay hot.
+				w.track.Offer(key, math.Abs(w.eng.Estimate(key)))
+			}
 		}
-		return
-	}
-	// Fused path: group runs of ops sharing a step and push each run
-	// through one OfferPairs call; the tracker reuses the per-offer
-	// estimates instead of re-hashing every key. Within a routed batch
-	// the steps are non-decreasing (route assigns them per sample), so
-	// the runs are long — typically one per sample.
-	for lo := 0; lo < len(ops); {
-		t := ops[lo].t
-		if t > w.lastT {
-			w.beginStep(t)
-		}
-		hi := lo + 1
-		for hi < len(ops) && ops[hi].t == t {
-			hi++
-		}
-		run := ops[lo:hi]
-		keys, xs := w.keys[:0], w.xs[:0]
-		for _, o := range run {
-			keys = append(keys, o.key)
-			xs = append(xs, o.x)
-		}
-		if cap(w.ests) < len(run) {
-			w.ests = make([]float64, len(run))
-		}
-		ests := w.ests[:len(run)]
-		w.fast.OfferPairs(keys, xs, ests)
-		for i, o := range run {
-			w.track.Offer(o.key, math.Abs(ests[i]))
-		}
-		w.keys, w.xs = keys, xs
-		w.ops += uint64(len(run))
-		lo = hi
+		w.ops += uint64(h.n)
 	}
 }
 
@@ -585,13 +627,13 @@ type Manager struct {
 	tels []*obs.ShardTel
 
 	// opFree / bufFree recycle the per-shard ingest staging: opFree
-	// holds op slices (returned by workers after apply), bufFree holds
-	// the per-call shard-indexed buffer tables. Both are bounded
+	// holds row batches (returned by workers after apply), bufFree
+	// holds the per-call shard-indexed buffer tables. Both are bounded
 	// channels used as lock-free freelists — an empty freelist
 	// allocates, a full one drops — so steady-state Ingest performs no
 	// per-call staging allocations while memory stays bounded.
-	opFree  chan []op
-	bufFree chan [][]op
+	opFree  chan *rowBatch
+	bufFree chan []*rowBatch
 
 	// Robustness layer. shedAt is the precomputed FIFO depth (batches)
 	// at which shed/degrade refuse ingest; gov is the hysteretic
@@ -640,8 +682,8 @@ func New(cfg Config) (*Manager, error) {
 	// Shards×QueueLen: a saturation burst's extra buffers drop to GC
 	// instead of pinning worst-case staging memory for the manager's
 	// lifetime.
-	m.opFree = make(chan []op, 4*cfg.Shards)
-	m.bufFree = make(chan [][]op, 8)
+	m.opFree = make(chan *rowBatch, 4*cfg.Shards)
+	m.bufFree = make(chan []*rowBatch, 8)
 	if needWarm {
 		m.warming = true
 		return m, nil
@@ -673,6 +715,9 @@ func (m *Manager) start(spec EngineSpec) error {
 		}
 		if f, ok := eng.(sketchapi.OfferEstimator); ok {
 			w.fast = f
+		}
+		if r, ok := eng.(sketchapi.RowOfferer); ok {
+			w.row = r
 		}
 		w.wire(m.tels[i])
 		workers[i] = w
@@ -892,29 +937,63 @@ func (m *Manager) ingestWarming(samples []stream.Sample) (first, last int, err e
 	return first, last, nil
 }
 
-// getOps returns an empty op staging buffer of capacity FlushOps,
+// batchChunk is how many staging batches getBatch carves out of one
+// set of backing slabs when the freelist runs dry. Chunking keeps the
+// routing path at well under one allocation per shipped batch even
+// when the appliers lag route (e.g. a single-CPU box under a tight
+// ingest loop starves the freelist): ~4 allocations buy batchChunk
+// batches and the spares seed the freelist.
+const batchChunk = 8
+
+// batchHdrCap is the initial per-batch run-header capacity. A batch
+// whose pairs span more runs grows its hdrs slice on demand (and keeps
+// the larger capacity through the freelist).
+const batchHdrCap = 64
+
+// getBatch returns an empty staging batch with pair capacity FlushOps,
 // recycled from an applied batch when one is available.
-func (m *Manager) getOps() []op {
+func (m *Manager) getBatch() *rowBatch {
 	select {
 	case b := <-m.opFree:
 		return b
 	default:
-		return make([]op, 0, m.cfg.FlushOps)
 	}
+	f := m.cfg.FlushOps
+	bs := make([]rowBatch, batchChunk)
+	hdrs := make([]rowHdr, batchChunk*batchHdrCap)
+	prt := make([]uint64, batchChunk*f)
+	xs := make([]float64, batchChunk*f)
+	for i := range bs {
+		// Three-index slices wall each batch off from its slab
+		// neighbors: an append past capacity reallocates privately
+		// instead of clobbering the next batch.
+		bs[i] = rowBatch{
+			hdrs: hdrs[i*batchHdrCap : i*batchHdrCap : (i+1)*batchHdrCap],
+			prt:  prt[i*f : i*f : (i+1)*f],
+			xs:   xs[i*f : i*f : (i+1)*f],
+		}
+	}
+	for i := 1; i < batchChunk; i++ {
+		select {
+		case m.opFree <- &bs[i]:
+		default:
+		}
+	}
+	return &bs[0]
 }
 
 // getBufs returns a zeroed shard-indexed staging table for one route
 // call; putBufs returns it (entries already shipped or nil).
-func (m *Manager) getBufs() [][]op {
+func (m *Manager) getBufs() []*rowBatch {
 	select {
 	case b := <-m.bufFree:
 		return b
 	default:
-		return make([][]op, m.cfg.Shards)
+		return make([]*rowBatch, m.cfg.Shards)
 	}
 }
 
-func (m *Manager) putBufs(bufs [][]op) {
+func (m *Manager) putBufs(bufs []*rowBatch) {
 	for i := range bufs {
 		bufs[i] = nil
 	}
@@ -925,13 +1004,15 @@ func (m *Manager) putBufs(bufs [][]op) {
 }
 
 // route enumerates the pair increments of samples (whose global steps
-// are base, base+1, ...), bins them by owning shard, and ships batches.
-// The per-shard staging buffers are recycled through the manager
-// freelists (workers return each batch after applying it), so
-// steady-state routing re-slices nothing: a buffer's capacity is always
-// FlushOps and the flush check fires exactly at capacity. When ctx
-// expires mid-route the staged remainder is abandoned (counted) and
-// ErrDeadline propagates.
+// are base, base+1, ...), bins them by owning shard as row runs, and
+// ships batches. The per-shard staging buffers are recycled through the
+// manager freelists (workers return each batch after applying it), so
+// steady-state routing re-slices nothing: a batch's pair capacity is
+// always FlushOps and the flush check fires exactly at capacity — a
+// run crossing the flush boundary continues as a fresh run in the next
+// batch, which the worker applies identically (OfferRow call splits
+// never change engine state). When ctx expires mid-route the staged
+// remainder is abandoned (counted) and ErrDeadline propagates.
 func (m *Manager) route(ctx context.Context, samples []stream.Sample, base int) error {
 	bufs := m.getBufs()
 	var scaled []float64
@@ -948,31 +1029,34 @@ func (m *Manager) route(ctx context.Context, samples []stream.Sample, base int) 
 		}
 		for i := 0; i+1 < len(idx); i++ {
 			// Row-major pair keys: partners of idx[i] are rowBase + idx[j],
-			// a pure increment instead of per-pair Index arithmetic.
-			rowBase := pairs.RowBase(idx[i], m.cfg.Dim)
+			// a pure increment instead of per-pair Index arithmetic. The
+			// base and partner travel separately so the worker can feed
+			// OfferRow; shardOf still sees the full key, keeping the
+			// key-partitioned routing semantics intact.
+			rowBase := uint64(pairs.RowBase(idx[i], m.cfg.Dim))
 			ya := val[i]
 			for j := i + 1; j < len(idx); j++ {
-				key := uint64(rowBase + int64(idx[j]))
-				sh := m.shardOf(key)
+				p := uint64(idx[j])
+				sh := m.shardOf(rowBase + p)
 				b := bufs[sh]
 				if b == nil {
-					b = m.getOps()
+					b = m.getBatch()
+					bufs[sh] = b
 				}
-				b = append(b, op{t: t, key: key, x: ya * val[j]})
-				if len(b) >= m.cfg.FlushOps {
+				b.add(rowBase, t, p, ya*val[j])
+				if b.pairs() >= m.cfg.FlushOps {
 					if err := m.ship(ctx, sh, b); err != nil {
 						bufs[sh] = nil
 						m.abandon(bufs)
 						return err
 					}
-					b = nil
+					bufs[sh] = nil
 				}
-				bufs[sh] = b
 			}
 		}
 	}
 	for sh, b := range bufs {
-		if len(b) > 0 {
+		if b != nil && b.pairs() > 0 {
 			if err := m.ship(ctx, sh, b); err != nil {
 				bufs[sh] = nil
 				m.abandon(bufs)
@@ -986,16 +1070,16 @@ func (m *Manager) route(ctx context.Context, samples []stream.Sample, base int) 
 }
 
 // abandon accounts and recycles staged-but-unshipped batches after a
-// mid-route deadline: every op that never reached its shard is counted
-// against that shard's deadline-abandon slot so the books reconcile
-// (applied + abandoned = routed).
-func (m *Manager) abandon(bufs [][]op) {
+// mid-route deadline: every pair that never reached its shard is
+// counted against that shard's deadline-abandon slot so the books
+// reconcile (applied + abandoned = routed).
+func (m *Manager) abandon(bufs []*rowBatch) {
 	for sh, b := range bufs {
-		if len(b) > 0 {
-			m.tels[sh].Snap.Add(obs.ShardDeadlineAbandons, uint64(len(b)))
-			m.deadlineOps.Add(uint64(len(b)))
+		if b != nil && b.pairs() > 0 {
+			m.tels[sh].Snap.Add(obs.ShardDeadlineAbandons, uint64(b.pairs()))
+			m.deadlineOps.Add(uint64(b.pairs()))
 			select {
-			case m.opFree <- b[:0]:
+			case m.opFree <- b.reset():
 			default:
 			}
 		}
@@ -1010,12 +1094,12 @@ func (m *Manager) abandon(bufs [][]op) {
 // peak pressure rather than whatever depth a later scrape happens to
 // see. A context with a deadline bounds the blocking send; the chaos
 // injector (when wired) may drop the batch or deliver it twice.
-func (m *Manager) ship(ctx context.Context, sh int, b []op) error {
+func (m *Manager) ship(ctx context.Context, sh int, b *rowBatch) error {
 	if in := m.faults; in != nil {
 		d := in.Deliver(sh)
 		if d.Drop {
 			select {
-			case m.opFree <- b[:0]:
+			case m.opFree <- b.reset():
 			default:
 			}
 			return nil
@@ -1023,7 +1107,11 @@ func (m *Manager) ship(ctx context.Context, sh int, b []op) error {
 		if d.Dup {
 			// The worker recycles applied batches through the freelist,
 			// so the duplicate must be a private copy.
-			dup := append([]op(nil), b...)
+			dup := &rowBatch{
+				hdrs: append([]rowHdr(nil), b.hdrs...),
+				prt:  append([]uint64(nil), b.prt...),
+				xs:   append([]float64(nil), b.xs...),
+			}
 			if err := m.send(ctx, sh, dup); err != nil {
 				return err
 			}
@@ -1035,15 +1123,15 @@ func (m *Manager) ship(ctx context.Context, sh int, b []op) error {
 // send performs the (possibly deadline-bounded) channel send of one
 // batch. context.Background()'s Done channel is nil, so the production
 // library path keeps the plain blocking send — no select overhead.
-func (m *Manager) send(ctx context.Context, sh int, b []op) error {
+func (m *Manager) send(ctx context.Context, sh int, b *rowBatch) error {
 	w := m.workers[sh]
 	if done := ctx.Done(); done != nil {
 		select {
 		case w.ch <- msg{ops: b, enq: time.Now()}:
 		case <-done:
-			m.tels[sh].Snap.Add(obs.ShardDeadlineAbandons, uint64(len(b)))
-			m.deadlineOps.Add(uint64(len(b)))
-			return fmt.Errorf("ingest to shard %d abandoned %d ops: %w", sh, len(b), ErrDeadline)
+			m.tels[sh].Snap.Add(obs.ShardDeadlineAbandons, uint64(b.pairs()))
+			m.deadlineOps.Add(uint64(b.pairs()))
+			return fmt.Errorf("ingest to shard %d abandoned %d ops: %w", sh, b.pairs(), ErrDeadline)
 		}
 	} else {
 		w.ch <- msg{ops: b, enq: time.Now()}

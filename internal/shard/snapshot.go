@@ -411,8 +411,8 @@ func RestoreWith(dir string, o RestoreOverrides) (*Manager, error) {
 	for i := range m.tels {
 		m.tels[i] = &obs.ShardTel{}
 	}
-	m.opFree = make(chan []op, 4*cfg.Shards)
-	m.bufFree = make(chan [][]op, 8)
+	m.opFree = make(chan *rowBatch, 4*cfg.Shards)
+	m.bufFree = make(chan []*rowBatch, 8)
 	m.initAdmission()
 	workers := make([]*worker, cfg.Shards)
 	for i := range workers {
@@ -505,11 +505,14 @@ func readShard(path string, kind Kind, trackCap int) (*worker, error) {
 		return nil, err
 	}
 	w.eng = eng
-	// Same fused-path detection as Manager.start: without it a restored
+	// Same fast-path detection as Manager.start: without it a restored
 	// manager would silently fall back to per-op ingest (three hash
 	// phases) for the rest of its life.
 	if f, ok := eng.(sketchapi.OfferEstimator); ok {
 		w.fast = f
+	}
+	if r, ok := eng.(sketchapi.RowOfferer); ok {
+		w.row = r
 	}
 	w.track, err = readTracker(br, trackCap)
 	if err != nil {

@@ -62,6 +62,44 @@ type OfferEstimator interface {
 	OfferPairs(keys []uint64, xs []float64, ests []float64)
 }
 
+// RowOfferer is the row-level ingest fast path: covariance streams
+// offer pairs row by row — a sample with nonzero features a < b₁ < b₂ …
+// contributes, for each row feature a, the pair keys rowBase(a) + b for
+// every later feature b — so the natural batch unit is the row (and the
+// whole sample), not the pair. A RowOfferer receives the shared row
+// base and the partner list once and expands the pair keys internally
+// (a vector add per group) straight into its wave pipeline, instead of
+// the caller enumerating keys into an intermediate pair buffer.
+//
+// The contract is exact equivalence: OfferRow(rowBase, partners, x,
+// ests) leaves the engine in the bit-same state as OfferPairs(keys, x,
+// ests) with keys[j] = rowBase + partners[j] (a wrapping uint64 add —
+// pairs.RowBase(0, d) is the two's complement of −1, and base+partner
+// wraps back to the intended pair index), and fills ests identically.
+// All four engines implement it; covstream and the shard workers prefer
+// it when present.
+type RowOfferer interface {
+	OfferEstimator
+	// OfferRow offers partner j of one row as the pair
+	// (rowBase+partners[j], x[j]), in order. x must have len(partners);
+	// ests is nil (pure ingest) or len(partners), filled with the
+	// per-offer post-estimates exactly as OfferEstimate would return
+	// them.
+	OfferRow(rowBase uint64, partners []uint64, x []float64, ests []float64)
+	// OfferRows offers one sample's whole upper triangle: for each row
+	// i in [0, len(ids)-1), every pair (bases[i]+ids[j], left[i]*right[j])
+	// for j in (i, len(ids)), in row-major order — equivalent to the
+	// corresponding OfferRow sequence with the caller's per-pair
+	// increments materialized as left[i]·right[j], but letting the
+	// engine pack wave groups across row boundaries so short rows do
+	// not drain the pipeline. bases[i] is the row base of ids[i] and is
+	// read only for i < len(ids)-1 (the last id is only ever a partner),
+	// so len(bases) and len(left) need only be len(ids)-1; right must
+	// have len(ids). ests is nil or holds m(m−1)/2 entries (m =
+	// len(ids)) in the same row-major pair order.
+	OfferRows(bases, ids []uint64, left, right []float64, ests []float64)
+}
+
 // WaveTuner exposes the group size G of an engine's wave-pipelined
 // OfferPairs path (staged group ingest: group hashing → cell
 // touch/prefetch → gather → gate/scatter; see countsketch.WaveGroup

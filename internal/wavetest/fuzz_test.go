@@ -18,10 +18,12 @@ import (
 )
 
 // engine bundles a Snapshotter with the fast-path interfaces the
-// harness needs.
+// harness needs (RowOfferer doubles as the compile-time pin that every
+// engine — including every restored engine — carries the row path).
 type engine interface {
 	sketchapi.Snapshotter
 	sketchapi.OfferEstimator
+	sketchapi.RowOfferer
 	sketchapi.WaveTuner
 }
 

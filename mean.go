@@ -107,6 +107,35 @@ func (m *MeanSketch) OfferPairs(keys []uint64, xs []float64, ests []float64) {
 	m.cs.OfferPairs(keys, xs, ests)
 }
 
+// OfferRow is the row-level form of OfferPairs: it offers partner j as
+// the pair (rowBase+partners[j], xs[j]) in order — bit-identical to
+// OfferPairs over caller-materialized keys (the add wraps mod 2^64;
+// pairs row bases may be −1 as a uint64) — but lets the engine expand
+// the keys internally with a vector add per wave group. ests is nil or
+// len(partners), filled with the per-offer post-estimates.
+func (m *MeanSketch) OfferRow(rowBase uint64, partners []uint64, xs []float64, ests []float64) {
+	if m.eng != nil {
+		m.eng.OfferRow(rowBase, partners, xs, ests)
+		return
+	}
+	m.cs.OfferRow(rowBase, partners, xs, ests)
+}
+
+// OfferRows offers one sample's whole upper triangle: for each row i,
+// every pair (bases[i]+ids[j], left[i]·right[j]) for j > i in row-major
+// order, packing wave groups across row boundaries so short rows do not
+// drain the pipeline. bases and left need only len(ids)−1 entries;
+// right needs len(ids); ests is nil or m(m−1)/2 entries (m = len(ids))
+// in the same order. This is the preferred ingest call for covariance
+// streams — one call per sample, no caller-side pair enumeration.
+func (m *MeanSketch) OfferRows(bases, ids []uint64, left, right []float64, ests []float64) {
+	if m.eng != nil {
+		m.eng.OfferRows(bases, ids, left, right, ests)
+		return
+	}
+	m.cs.OfferRows(bases, ids, left, right, ests)
+}
+
 // SetWaveGroup sets the group size G of the wave-pipelined OfferPairs
 // path of the underlying engine (g ≤ 1 selects the scalar per-pair
 // loop; the default is the tuned group of internal/countsketch). State
