@@ -51,9 +51,17 @@
 // dependent misses dominate the per-pair cost and overlapping them is
 // the remaining constant factor. The env block records the CPU model
 // and cache sizes so sweep files from different hosts are comparable.
+//
+// The -foldsweep flag runs the elastic-memory sweep: each engine is fed
+// a varied stream, then folded level by level, recording the serialized
+// snapshot bytes (the 2^L shrink that folded snapshots buy) and the RMS
+// estimate deviation each level introduces against the engine's own
+// unfolded estimates (the collision noise the fold trades for memory,
+// expected to grow ~2^(L/2)).
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -185,6 +193,21 @@ type SweepPoint struct {
 	RowWaveSpeedup float64 `json:"row_wave_speedup"`
 }
 
+// FoldPoint is one level of the -foldsweep arm: the serialized size of
+// the engine folded to that level and the RMS estimate deviation the
+// fold introduces over the primed working set, measured against the
+// engine's own unfolded estimates. Level 0 is the uncompressed
+// reference (shrink 1, deviation 0); SignalRMS is the reference
+// estimates' own RMS magnitude, the scale the deviation is read against.
+type FoldPoint struct {
+	Engine       string  `json:"engine"`
+	Level        int     `json:"level"`
+	Bytes        int     `json:"serialized_bytes"`
+	Shrink       float64 `json:"shrink_vs_full"`
+	RMSDeviation float64 `json:"rms_deviation"`
+	SignalRMS    float64 `json:"signal_rms"`
+}
+
 type Report struct {
 	Config struct {
 		Tables     int    `json:"tables"`
@@ -198,6 +221,7 @@ type Report struct {
 	Results    []Result       `json:"results"`
 	Speedups   []SpeedupEntry `json:"speedups,omitempty"`
 	RangeSweep []SweepPoint   `json:"range_sweep,omitempty"`
+	FoldSweep  []FoldPoint    `json:"fold_sweep,omitempty"`
 	Notes      string         `json:"notes"`
 }
 
@@ -213,6 +237,8 @@ func main() {
 		sweepRanges = flag.String("sweepranges", "14,16,18,20,22",
 			"comma-separated log2 table ranges for the batch-vs-wave sweep (cache-resident → DRAM-resident; empty disables)")
 		sweepEngine = flag.String("sweepengine", "ascs", "engine measured by the range sweep")
+		foldSweep   = flag.Int("foldsweep", 3,
+			"deepest fold level for the accuracy/bytes-vs-level fold sweep over -engines (0 disables)")
 	)
 	testing.Init() // registers test.benchtime, set per run in runMode
 	flag.Parse()
@@ -315,6 +341,14 @@ func main() {
 				log.Printf("sweep R=2^%-2d row-wave vs batch: %.2fx", pow, pt.RowWaveSpeedup)
 			}
 			report.RangeSweep = append(report.RangeSweep, pt)
+		}
+	}
+
+	if *foldSweep > 0 {
+		for _, engine := range strings.Split(*engines, ",") {
+			engine = strings.TrimSpace(engine)
+			report.FoldSweep = append(report.FoldSweep,
+				runFoldSweep(engine, *tables, *rng, *nkeys, *foldSweep)...)
 		}
 	}
 
@@ -602,4 +636,77 @@ func benchRows(b *testing.B, engine string, tables, rng, nkeys int, decayed bool
 		}
 		row.OfferRows(bases, ids, left, right, ests)
 	}
+}
+
+// runFoldSweep folds one engine level by level, recording the
+// serialized snapshot size and the RMS estimate deviation versus the
+// engine's own unfolded estimates. The stream carries varied magnitudes
+// (not the uniform priming constant) so fold collisions have real
+// signal to perturb; the reference estimates are taken from the very
+// engine being folded, so the deviation isolates the fold's collision
+// noise from the sketch's level-0 error.
+func runFoldSweep(engine string, tables, rng, nkeys, maxLevel int) []FoldPoint {
+	eng := newEngine(engine, tables, rng, nkeys, false)
+	sm := hashing.NewSplitMix64(9)
+	const chunk = 1 << 10
+	keys := make([]uint64, chunk)
+	xs := make([]float64, chunk)
+	for off := 0; off < 8*nkeys; off += chunk {
+		for i := range keys {
+			r := sm.Next()
+			keys[i] = r % uint64(nkeys)
+			xs[i] = float64(int64((r>>32)%2001) - 1000)
+		}
+		eng.OfferPairs(keys, xs, nil)
+	}
+
+	ref := make([]float64, nkeys)
+	var energy float64
+	for k := range ref {
+		ref[k] = eng.Estimate(uint64(k))
+		energy += ref[k] * ref[k]
+	}
+	signal := math.Sqrt(energy / float64(nkeys))
+
+	folder, ok := eng.(sketchapi.Folder)
+	if !ok {
+		log.Fatalf("engine %q does not implement sketchapi.Folder", engine)
+	}
+	snap, ok := eng.(sketchapi.Snapshotter)
+	if !ok {
+		log.Fatalf("engine %q does not implement sketchapi.Snapshotter", engine)
+	}
+	size := func() int {
+		var buf bytes.Buffer
+		if _, err := snap.WriteTo(&buf); err != nil {
+			log.Fatal(err)
+		}
+		return buf.Len()
+	}
+	if max := folder.MaxFoldLevels(); maxLevel > max {
+		maxLevel = max
+	}
+	full := size()
+	pts := []FoldPoint{{Engine: engine, Level: 0, Bytes: full, Shrink: 1, SignalRMS: signal}}
+	for level := 1; level <= maxLevel; level++ {
+		if err := folder.Fold(1); err != nil {
+			log.Fatal(err)
+		}
+		var sum float64
+		for k, want := range ref {
+			d := eng.Estimate(uint64(k)) - want
+			sum += d * d
+		}
+		b := size()
+		pt := FoldPoint{
+			Engine: engine, Level: level, Bytes: b,
+			Shrink:       float64(full) / float64(b),
+			RMSDeviation: math.Sqrt(sum / float64(nkeys)),
+			SignalRMS:    signal,
+		}
+		log.Printf("foldsweep %-4s L%d: %8d B (%5.2fx smaller), rms fold deviation %.4g (signal rms %.4g)",
+			engine, level, pt.Bytes, pt.Shrink, pt.RMSDeviation, pt.SignalRMS)
+		pts = append(pts, pt)
+	}
+	return pts
 }

@@ -9,6 +9,7 @@
 //	ascsd -dim 5000 -samples 200000 -decay 0.999995    # unbounded, explicit λ
 //	ascsd -dim 5000 -samples 200000 -snapshot-dir /var/lib/ascsd -snapshot-every 30s
 //	ascsd -snapshot-dir /var/lib/ascsd -restore        # resume after a crash
+//	ascsd -dim 5000 -samples 200000 -fold-idle 30s -snapshot-fold 2
 //
 // With -window (or -decay) the daemon serves an unbounded stream:
 // there is no horizon to exhaust (no 409s past T), estimates track the
@@ -86,6 +87,10 @@ func main() {
 		queryTO     = flag.Duration("query-timeout", 0, "default per-request deadline on query endpoints; past it queued work is abandoned and the request gets 503 (0 = client-disconnect bound only; ?timeout= overrides)")
 		ingestTO    = flag.Duration("ingest-timeout", 0, "default per-request deadline on ingest delivery into the shard FIFOs (0 = client-disconnect bound only)")
 		faultSpec   = flag.String("faults", "", "deterministic fault injection spec for chaos drills, e.g. 'latency=2ms@0.1,stall=0:50ms,drop=0.01,dup=0.01,fsyncerr,torn,seed=42' (never set in production)")
+		foldIdle    = flag.Duration("fold-idle", 0, "fold idle shards to a coarser sketch after this much quiet time, reclaiming memory; the next ingest batch unfolds them (0 disables)")
+		foldTicks   = flag.Int("fold-idle-ticks", 2, "consecutive quiet -fold-idle ticks before a shard folds")
+		foldLevels  = flag.Int("fold-levels", 3, "fold depth for idle shards: each level halves sketch width (clamped to the sketch's maximum)")
+		snapFold    = flag.Int("snapshot-fold", 0, "write snapshot blobs pre-folded by this many levels (2^L fewer sketch bytes; restored shards unfold on first ingest; 0 = full resolution)")
 	)
 	flag.Parse()
 	log.SetPrefix("ascsd: ")
@@ -111,6 +116,8 @@ func main() {
 		consistency: *consistency,
 		seed:        *seed, snapDir: *snapDir, restore: *restore,
 		admission: policy, shedHighWater: *shedHW, faults: injector,
+		foldIdle: *foldIdle, foldTicks: *foldTicks, foldLevels: *foldLevels,
+		snapshotFold: *snapFold,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -216,6 +223,10 @@ type managerFlags struct {
 	admission            shard.AdmissionPolicy
 	shedHighWater        float64
 	faults               *faults.Injector
+	foldIdle             time.Duration
+	foldTicks            int
+	foldLevels           int
+	snapshotFold         int
 }
 
 func buildManager(f managerFlags) (*shard.Manager, error) {
@@ -286,6 +297,10 @@ func buildManager(f managerFlags) (*shard.Manager, error) {
 		Admission:        f.admission,
 		ShedHighWater:    f.shedHighWater,
 		Faults:           f.faults,
+		FoldIdle:         f.foldIdle,
+		FoldIdleTicks:    f.foldTicks,
+		FoldLevels:       f.foldLevels,
+		SnapshotFold:     f.snapshotFold,
 	})
 }
 

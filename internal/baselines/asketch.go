@@ -76,6 +76,8 @@ var (
 	_ sketchapi.Snapshotter    = (*ASketch)(nil)
 	_ sketchapi.WaveTuner      = (*ASketch)(nil)
 	_ sketchapi.HealthReporter = (*ASketch)(nil)
+	_ sketchapi.Folder         = (*ASketch)(nil)
+	_ sketchapi.FoldedWriter   = (*ASketch)(nil)
 )
 
 // NewASketch builds an Augmented Sketch engine. filterCap is the number
@@ -420,6 +422,19 @@ func (a *ASketch) Health() sketchapi.Health {
 // FilterLen returns the current number of filtered keys.
 func (a *ASketch) FilterLen() int { return len(a.filter) }
 
+// Fold implements sketchapi.Folder by folding the backing sketch; the
+// exact filter is width-independent and keeps answering exactly.
+func (a *ASketch) Fold(levels int) error { return a.sk.Fold(levels) }
+
+// Unfold implements sketchapi.Folder.
+func (a *ASketch) Unfold() { a.sk.Unfold() }
+
+// FoldLevel implements sketchapi.Folder.
+func (a *ASketch) FoldLevel() int { return a.sk.FoldLevel() }
+
+// MaxFoldLevels implements sketchapi.Folder.
+func (a *ASketch) MaxFoldLevels() int { return a.sk.MaxFoldLevels() }
+
 // Bytes accounts the sketch plus 16 bytes (key+value) per filter slot.
 func (a *ASketch) Bytes() int { return a.sk.Bytes() + 16*a.cap }
 
@@ -434,6 +449,16 @@ const asketchMagic = uint32(0xA5C5A5E1)
 // The cached filter minimum is not serialized — it is a derived
 // quantity recomputed on read.
 func (a *ASketch) WriteTo(w io.Writer) (int64, error) {
+	return a.writeTo(w, a.sk.WriteTo)
+}
+
+// WriteToFolded implements sketchapi.FoldedWriter: identical header and
+// filter bytes, backing sketch streamed pre-folded to the given level.
+func (a *ASketch) WriteToFolded(w io.Writer, level int) (int64, error) {
+	return a.writeTo(w, func(w io.Writer) (int64, error) { return a.sk.WriteToFolded(w, level) })
+}
+
+func (a *ASketch) writeTo(w io.Writer, writeSketch func(io.Writer) (int64, error)) (int64, error) {
 	hdr := make([]byte, 4+8*3+1+8*3+4)
 	binary.LittleEndian.PutUint32(hdr[0:], asketchMagic)
 	binary.LittleEndian.PutUint64(hdr[4:], math.Float64bits(a.invT))
@@ -468,7 +493,7 @@ func (a *ASketch) WriteTo(w io.Writer) (int64, error) {
 			return total, err
 		}
 	}
-	sn, err := a.sk.WriteTo(w)
+	sn, err := writeSketch(w)
 	return total + sn, err
 }
 

@@ -58,6 +58,8 @@ var (
 	_ sketchapi.Snapshotter    = (*ColdFilter)(nil)
 	_ sketchapi.WaveTuner      = (*ColdFilter)(nil)
 	_ sketchapi.HealthReporter = (*ColdFilter)(nil)
+	_ sketchapi.Folder         = (*ColdFilter)(nil)
+	_ sketchapi.FoldedWriter   = (*ColdFilter)(nil)
 )
 
 // NewColdFilter builds the engine. l1cfg is typically much smaller than
@@ -319,6 +321,42 @@ func (c *ColdFilter) Health() sketchapi.Health {
 // Bytes sums both layers.
 func (c *ColdFilter) Bytes() int { return c.l1.Bytes() + c.l2.Bytes() }
 
+// Fold implements sketchapi.Folder by folding both layers together, so
+// the saturation gate and the retrieval read matching resolutions. Both
+// layers must support the target level (see MaxFoldLevels); validation
+// runs before either layer mutates, so a failed Fold changes nothing.
+func (c *ColdFilter) Fold(levels int) error {
+	if levels <= 0 {
+		return fmt.Errorf("baselines: fold levels must be positive, got %d", levels)
+	}
+	if target := c.l1.FoldLevel() + levels; target > c.MaxFoldLevels() {
+		return fmt.Errorf("baselines: cannot fold cold filter to level %d: layers support at most %d levels", target, c.MaxFoldLevels())
+	}
+	if err := c.l1.Fold(levels); err != nil {
+		return err
+	}
+	return c.l2.Fold(levels)
+}
+
+// Unfold implements sketchapi.Folder.
+func (c *ColdFilter) Unfold() {
+	c.l1.Unfold()
+	c.l2.Unfold()
+}
+
+// FoldLevel implements sketchapi.Folder (the layers move together).
+func (c *ColdFilter) FoldLevel() int { return c.l1.FoldLevel() }
+
+// MaxFoldLevels implements sketchapi.Folder: the shallower of the two
+// layers' limits, since the layers fold in lockstep.
+func (c *ColdFilter) MaxFoldLevels() int {
+	if m1, m2 := c.l1.MaxFoldLevels(), c.l2.MaxFoldLevels(); m1 < m2 {
+		return m1
+	} else {
+		return m2
+	}
+}
+
 // Name identifies the engine.
 func (c *ColdFilter) Name() string { return "ColdFilter" }
 
@@ -327,6 +365,18 @@ const coldFilterMagic = uint32(0xA5C5CF01)
 // WriteTo implements sketchapi.Snapshotter: normalizer, step position,
 // saturation threshold, decay state, then both layer sketches.
 func (c *ColdFilter) WriteTo(w io.Writer) (int64, error) {
+	return c.writeTo(w, -1)
+}
+
+// WriteToFolded implements sketchapi.FoldedWriter: both layers stream
+// pre-folded to the given level (each clamped to its own geometry).
+func (c *ColdFilter) WriteToFolded(w io.Writer, level int) (int64, error) {
+	return c.writeTo(w, level)
+}
+
+// writeTo serializes with both layers folded to level (< 0 writes the
+// live resolution).
+func (c *ColdFilter) writeTo(w io.Writer, level int) (int64, error) {
 	hdr := make([]byte, 4+8*3+1+8*2)
 	binary.LittleEndian.PutUint32(hdr[0:], coldFilterMagic)
 	binary.LittleEndian.PutUint64(hdr[4:], math.Float64bits(c.invT))
@@ -342,12 +392,18 @@ func (c *ColdFilter) WriteTo(w io.Writer) (int64, error) {
 	if err != nil {
 		return total, err
 	}
-	sn, err := c.l1.WriteTo(w)
+	writeSketch := func(sk *countsketch.Sketch, w io.Writer) (int64, error) {
+		if level < 0 {
+			return sk.WriteTo(w)
+		}
+		return sk.WriteToFolded(w, level)
+	}
+	sn, err := writeSketch(c.l1, w)
 	total += sn
 	if err != nil {
 		return total, err
 	}
-	sn, err = c.l2.WriteTo(w)
+	sn, err = writeSketch(c.l2, w)
 	return total + sn, err
 }
 

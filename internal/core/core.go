@@ -75,6 +75,8 @@ var (
 	_ sketchapi.Decayer        = (*Engine)(nil)
 	_ sketchapi.WaveTuner      = (*Engine)(nil)
 	_ sketchapi.HealthReporter = (*Engine)(nil)
+	_ sketchapi.Folder         = (*Engine)(nil)
+	_ sketchapi.FoldedWriter   = (*Engine)(nil)
 )
 
 // NewEngine builds an ASCS engine over a fresh count sketch with the
@@ -415,6 +417,19 @@ func (e *Engine) Name() string { return "ASCS" }
 
 // Sketch exposes the underlying count sketch (diagnostics, serialization).
 func (e *Engine) Sketch() *countsketch.Sketch { return e.sk }
+
+// Fold implements sketchapi.Folder by folding the underlying table; the
+// τ gate and schedule state are width-independent and carry over.
+func (e *Engine) Fold(levels int) error { return e.sk.Fold(levels) }
+
+// Unfold implements sketchapi.Folder.
+func (e *Engine) Unfold() { e.sk.Unfold() }
+
+// FoldLevel implements sketchapi.Folder.
+func (e *Engine) FoldLevel() int { return e.sk.FoldLevel() }
+
+// MaxFoldLevels implements sketchapi.Folder.
+func (e *Engine) MaxFoldLevels() int { return e.sk.MaxFoldLevels() }
 
 // Schedule returns the threshold schedule in force.
 func (e *Engine) Schedule() Hyperparams { return e.hp }

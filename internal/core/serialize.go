@@ -24,6 +24,16 @@ const (
 // decay state and the underlying sketch — so a long sketching job can
 // be checkpointed and resumed (or shipped for offline retrieval).
 func (e *Engine) WriteTo(w io.Writer) (int64, error) {
+	return e.writeTo(w, e.sk.WriteTo)
+}
+
+// WriteToFolded implements sketchapi.FoldedWriter: identical engine
+// header, sketch streamed pre-folded to the given level.
+func (e *Engine) WriteToFolded(w io.Writer, level int) (int64, error) {
+	return e.writeTo(w, func(w io.Writer) (int64, error) { return e.sk.WriteToFolded(w, level) })
+}
+
+func (e *Engine) writeTo(w io.Writer, writeSketch func(io.Writer) (int64, error)) (int64, error) {
 	hdr := make([]byte, 4+8*8+1, 4+8*11+1)
 	binary.LittleEndian.PutUint32(hdr[0:], engineMagic)
 	binary.LittleEndian.PutUint64(hdr[4:], uint64(e.hp.T0))
@@ -49,7 +59,7 @@ func (e *Engine) WriteTo(w io.Writer) (int64, error) {
 	if err != nil {
 		return total, err
 	}
-	sn, err := e.sk.WriteTo(w)
+	sn, err := writeSketch(w)
 	return total + sn, err
 }
 

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/bits"
 
 	"repro/internal/hashing"
 	"repro/internal/sketchapi"
@@ -60,7 +61,7 @@ func (c Config) validate() error {
 type Sketch struct {
 	cfg Config
 	h   hashing.PairHasher
-	w   []float64 // Tables*Range, row-major
+	w   []float64 // Tables*(Range>>level), row-major
 
 	// scale is the lazy decay accumulator: logical cell = scale * w[i].
 	// invScale caches 1/scale for the insert path.
@@ -70,6 +71,22 @@ type Sketch struct {
 	// renorms counts completed Renormalize sweeps (telemetry; owned by
 	// the single writer, not serialized — it restarts at 0 on restore).
 	renorms uint64
+
+	// Fold state (see Fold). level is the current fold level: the live
+	// table holds Range>>level buckets per row and h hashes into that
+	// width. h0 is the full-resolution hasher, kept so Unfold never has
+	// to rebuild (tabulation rebuilds are not free). base/baseLevel are
+	// the refold compensation baseline recorded by Unfold: base is the
+	// pre-unfold table (raw units, level baseLevel) whose replicated
+	// image is embedded in w, so the next Fold can subtract the
+	// replication overcount instead of inflating idle mass. Invariant:
+	// base != nil implies level == 0 (Unfold is the only producer and
+	// Fold the only consumer).
+	h0        hashing.PairHasher
+	level     int
+	rng       int // physical buckets per row: cfg.Range >> level
+	base      []float64
+	baseLevel int
 }
 
 // renormFloor is the scale at which lazy decay folds into the cells:
@@ -87,7 +104,7 @@ func New(cfg Config) (*Sketch, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Sketch{cfg: cfg, h: h, w: make([]float64, cfg.Tables*cfg.Range), scale: 1, invScale: 1}, nil
+	return &Sketch{cfg: cfg, h: h, h0: h, rng: cfg.Range, w: make([]float64, cfg.Tables*cfg.Range), scale: 1, invScale: 1}, nil
 }
 
 // MustNew is New, panicking on error.
@@ -108,9 +125,10 @@ func (s *Sketch) K() int { return s.cfg.Tables }
 // R returns the buckets per table.
 func (s *Sketch) R() int { return s.cfg.Range }
 
-// Bytes returns the approximate heap footprint of the table array (the
-// dominant cost; hash seeds are negligible except for tabulation).
-func (s *Sketch) Bytes() int { return 8 * len(s.w) }
+// Bytes returns the approximate heap footprint of the table array plus
+// any refold baseline (the dominant cost; hash seeds are negligible
+// except for tabulation). A folded sketch reports its folded footprint.
+func (s *Sketch) Bytes() int { return 8 * (len(s.w) + len(s.base)) }
 
 // Add folds v into the buckets of key. It panics on non-finite v: a NaN
 // would silently poison every colliding estimate, so it is treated as a
@@ -121,7 +139,7 @@ func (s *Sketch) Add(key uint64, v float64) {
 	}
 	v *= s.invScale
 	for e := 0; e < s.cfg.Tables; e++ {
-		s.w[e*s.cfg.Range+s.h.Bucket(e, key)] += s.h.Sign(e, key) * v
+		s.w[e*s.rng+s.h.Bucket(e, key)] += s.h.Sign(e, key) * v
 	}
 }
 
@@ -130,7 +148,7 @@ func (s *Sketch) Estimate(key uint64) float64 {
 	var buf [MaxTables]float64
 	k := s.cfg.Tables
 	for e := 0; e < k; e++ {
-		buf[e] = s.w[e*s.cfg.Range+s.h.Bucket(e, key)] * s.h.Sign(e, key)
+		buf[e] = s.w[e*s.rng+s.h.Bucket(e, key)] * s.h.Sign(e, key)
 	}
 	return medianInPlace(buf[:k]) * s.scale
 }
@@ -240,7 +258,7 @@ func (s *Sketch) EstimateMin(key uint64) float64 {
 	best := math.Inf(1)
 	val := 0.0
 	for e := 0; e < s.cfg.Tables; e++ {
-		v := s.w[e*s.cfg.Range+s.h.Bucket(e, key)] * s.h.Sign(e, key)
+		v := s.w[e*s.rng+s.h.Bucket(e, key)] * s.h.Sign(e, key)
 		if a := math.Abs(v); a < best {
 			best = a
 			val = v
@@ -280,6 +298,9 @@ func (s *Sketch) Renormalize() {
 	for i, v := range s.w {
 		s.w[i] = v * s.scale
 	}
+	for i, v := range s.base {
+		s.base[i] = v * s.scale
+	}
 	s.scale, s.invScale = 1, 1
 	s.renorms++
 }
@@ -297,43 +318,67 @@ func (s *Sketch) DecayScale() float64 { return s.scale }
 // collisions, the I(i) = 1 event excluded by Theorem 2).
 func (s *Sketch) BucketOf(e int, key uint64) int { return s.h.Bucket(e, key) }
 
-// Reset zeroes the sketch contents (and any decay scale), keeping the
-// hash functions.
+// Reset zeroes the sketch contents (and any decay scale and refold
+// baseline), keeping the hash functions and the current fold level.
 func (s *Sketch) Reset() {
 	for i := range s.w {
 		s.w[i] = 0
 	}
 	s.scale, s.invScale = 1, 1
+	s.base, s.baseLevel = nil, 0
 }
 
 // Clone returns a deep copy sharing no mutable state (hash functions are
 // immutable and shared).
 func (s *Sketch) Clone() *Sketch {
-	c := &Sketch{cfg: s.cfg, h: s.h, w: make([]float64, len(s.w)), scale: s.scale, invScale: s.invScale, renorms: s.renorms}
+	c := &Sketch{cfg: s.cfg, h: s.h, h0: s.h0, rng: s.rng, level: s.level, baseLevel: s.baseLevel, w: make([]float64, len(s.w)), scale: s.scale, invScale: s.invScale, renorms: s.renorms}
 	copy(c.w, s.w)
+	if s.base != nil {
+		c.base = append([]float64(nil), s.base...)
+	}
 	return c
 }
 
-// Split returns n empty sketches with identical hash functions, suitable
-// for parallel ingestion followed by Merge (the sketch is linear: the sum
-// of the tables of shards equals the table of serial ingestion).
+// Split returns n empty sketches with identical hash functions (and the
+// same fold level), suitable for parallel ingestion followed by Merge
+// (the sketch is linear: the sum of the tables of shards equals the
+// table of serial ingestion).
 func (s *Sketch) Split(n int) []*Sketch {
 	out := make([]*Sketch, n)
 	for i := range out {
-		out[i] = &Sketch{cfg: s.cfg, h: s.h, w: make([]float64, len(s.w)), scale: s.scale, invScale: s.invScale}
+		out[i] = &Sketch{cfg: s.cfg, h: s.h, h0: s.h0, rng: s.rng, level: s.level, w: make([]float64, len(s.w)), scale: s.scale, invScale: s.invScale}
 	}
 	return out
 }
 
 // Merge adds the contents of o into s. The two sketches must share the
-// same configuration (hence the same hash functions) and the same decay
-// scale — callers merging decayed sketches Renormalize both first.
+// same configuration (hence the same hash functions), the same fold
+// level, and the same decay scale — callers merging decayed sketches
+// Renormalize both first, and callers merging mixed-resolution sketches
+// Fold or Unfold to a common level first. Refold baselines are linear
+// too and merge alongside the tables (they must sit at the same level
+// when both sides carry one).
 func (s *Sketch) Merge(o *Sketch) error {
 	if s.cfg != o.cfg {
 		return fmt.Errorf("countsketch: cannot merge mismatched configs %+v vs %+v", s.cfg, o.cfg)
 	}
+	if s.level != o.level {
+		return fmt.Errorf("countsketch: cannot merge mismatched fold levels %d vs %d (Fold/Unfold to a common level first)", s.level, o.level)
+	}
 	if s.scale != o.scale {
 		return fmt.Errorf("countsketch: cannot merge mismatched decay scales %v vs %v (Renormalize first)", s.scale, o.scale)
+	}
+	switch {
+	case s.base != nil && o.base != nil:
+		if s.baseLevel != o.baseLevel {
+			return fmt.Errorf("countsketch: cannot merge mismatched refold baselines at levels %d vs %d (DropFoldBase first)", s.baseLevel, o.baseLevel)
+		}
+		for i, v := range o.base {
+			s.base[i] += v
+		}
+	case o.base != nil:
+		s.base = append([]float64(nil), o.base...)
+		s.baseLevel = o.baseLevel
 	}
 	for i, v := range o.w {
 		s.w[i] += v
@@ -342,12 +387,158 @@ func (s *Sketch) Merge(o *Sketch) error {
 }
 
 // Scale multiplies every cell by f (the sketch is linear, so this equals
-// scaling every inserted value).
+// scaling every inserted value). Any refold baseline scales alongside so
+// compensation stays exact.
 func (s *Sketch) Scale(f float64) {
 	for i := range s.w {
 		s.w[i] *= f
 	}
+	for i := range s.base {
+		s.base[i] *= f
+	}
 }
+
+// FoldLevel returns the current fold level: 0 is full resolution, each
+// level halves the physical buckets per table.
+func (s *Sketch) FoldLevel() int { return s.level }
+
+// MaxFoldLevels returns the deepest fold level the configured range
+// supports (the number of times Range divides exactly by two). It is an
+// absolute level, not a remaining count: a sketch already at FoldLevel L
+// can fold MaxFoldLevels()−L further.
+func (s *Sketch) MaxFoldLevels() int {
+	return bits.TrailingZeros64(uint64(s.cfg.Range))
+}
+
+// Fold compresses the sketch by `levels` additional halvings of the
+// table width. The fold index map is congruent with the range mapping:
+// every hash family buckets through fastRange(h, R) = ⌊h·R/2⁶⁴⌋, and for
+// R divisible by 2ᴸ, fastRange(h, R>>L) == fastRange(h, R) >> L exactly,
+// so the folded cell of a key is the sum of the 2ᴸ consecutive fine
+// cells whose indices share its high bits — a key's folded lookup lands
+// exactly on the folded image of its cells. Sign hashes do not depend on
+// the range, so the fold is the sign-composed linear map of the
+// compressed-sketch construction and estimates stay unbiased; only the
+// collision noise grows (variance doubles per level). The decay scale is
+// untouched (the fold operates on raw cells), which preserves the
+// raw-scale identities of the fused offer paths, and the odd-K
+// median-shift argument holds unchanged at the folded width.
+//
+// If a refold baseline from a previous Unfold is present, Fold subtracts
+// the replication overcount so the result equals the true folded mass
+// (idle shards that oscillate fold↔unfold do not inflate). Folding below
+// the baseline's level keeps replication semantics — the coarser history
+// stays replicated per sub-group, exactly as Unfold left it — and the
+// baseline is retained so a later, deeper fold still compensates
+// exactly; once the fold reaches the baseline's level the compensation
+// is complete and the baseline is dropped.
+func (s *Sketch) Fold(levels int) error {
+	if levels <= 0 {
+		return fmt.Errorf("countsketch: fold levels must be positive, got %d", levels)
+	}
+	target := s.level + levels
+	if target > s.MaxFoldLevels() {
+		return fmt.Errorf("countsketch: cannot fold to level %d: Range %d supports at most %d levels", target, s.cfg.Range, s.MaxFoldLevels())
+	}
+	nw := s.foldedImage(target)
+	h, err := hashing.New(s.cfg.Hash, s.cfg.Tables, s.cfg.Range>>target, s.cfg.Seed)
+	if err != nil {
+		return err
+	}
+	s.w, s.h, s.rng, s.level = nw, h, s.cfg.Range>>target, target
+	if target >= s.baseLevel {
+		s.base, s.baseLevel = nil, 0
+	}
+	return nil
+}
+
+// foldedImage computes the table contents at the given absolute fold
+// level (> s.level) without mutating the sketch, applying refold
+// baseline compensation. Raw units: the decay scale is unchanged.
+func (s *Sketch) foldedImage(target int) []float64 {
+	k, curR, newR := s.cfg.Tables, s.rng, s.cfg.Range>>target
+	group := curR / newR
+	nw := make([]float64, k*newR)
+	for e := 0; e < k; e++ {
+		row := s.w[e*curR : (e+1)*curR]
+		nrow := nw[e*newR : (e+1)*newR]
+		for j := range nrow {
+			sum := 0.0
+			for _, v := range row[j*group : (j+1)*group] {
+				sum += v
+			}
+			nrow[j] = sum
+		}
+	}
+	if s.base == nil {
+		return nw
+	}
+	// w embeds the baseline replicated 2^(baseLevel−level) times (the
+	// baseline always sits at a coarser level than the live table);
+	// subtract the overcount so baseline mass is counted once per
+	// folded group.
+	b, bR := s.baseLevel, s.cfg.Range>>s.baseLevel
+	if target >= b {
+		// Each target cell spans whole baseline groups: every baseline
+		// cell in its span was summed 2^(b−level) times, keep it once.
+		over := math.Ldexp(1, b-s.level) - 1
+		span := 1 << (target - b)
+		for e := 0; e < k; e++ {
+			brow := s.base[e*bR : (e+1)*bR]
+			nrow := nw[e*newR : (e+1)*newR]
+			for j := range nrow {
+				bs := 0.0
+				for _, v := range brow[j*span : (j+1)*span] {
+					bs += v
+				}
+				nrow[j] -= over * bs
+			}
+		}
+	} else {
+		// Target is finer than the baseline: each target cell sums
+		// 2^(target−level) replicas of the same baseline cell; keep one.
+		over := math.Ldexp(1, target-s.level) - 1
+		shift := b - target
+		for e := 0; e < k; e++ {
+			brow := s.base[e*bR : (e+1)*bR]
+			nrow := nw[e*newR : (e+1)*newR]
+			for j := range nrow {
+				nrow[j] -= over * brow[j>>shift]
+			}
+		}
+	}
+	return nw
+}
+
+// Unfold re-expands a folded sketch to full resolution by value
+// replication: every fine cell takes the value of its folded group, so
+// every estimate (and the full median reduction) is bit-identical before
+// and after — no accuracy is recovered (that information was folded
+// away) but ingest resumes at full resolution immediately. The
+// pre-unfold table is retained as the refold compensation baseline; see
+// Fold. No-op at full resolution.
+func (s *Sketch) Unfold() {
+	if s.level == 0 {
+		return
+	}
+	k, curR, fullR := s.cfg.Tables, s.rng, s.cfg.Range
+	nw := make([]float64, k*fullR)
+	for e := 0; e < k; e++ {
+		row := s.w[e*curR : (e+1)*curR]
+		nrow := nw[e*fullR : (e+1)*fullR]
+		for x := range nrow {
+			nrow[x] = row[x>>s.level]
+		}
+	}
+	s.base, s.baseLevel = s.w, s.level
+	s.w, s.h, s.rng, s.level = nw, s.h0, fullR, 0
+}
+
+// DropFoldBase forgets the refold compensation baseline: subsequent
+// folds treat the current contents — including any replicated history —
+// as ground truth. Merge views that never fold again (MergedSketch) use
+// it to align mixed provenance clones.
+func (s *Sketch) DropFoldBase() { s.base, s.baseLevel = nil, 0 }
 
 // L2Norm returns the Euclidean norm of the table contents, a cheap proxy
 // for the energy stored in the sketch (used by SNR diagnostics).
@@ -378,19 +569,25 @@ func medianInPlace(xs []float64) float64 {
 }
 
 // Serialization magics: v1 is the original config+table layout, v2
-// appends the lazy decay scale. WriteTo emits v1 whenever the scale is
-// exactly 1 — every fixed-horizon sketch, and λ=1 decay mode — so the
-// on-disk form of the classic path is byte-identical to before; only
-// actively decayed sketches pay the format bump. ReadFrom accepts both.
+// appends the lazy decay scale, v3 carries the fold state (scale, fold
+// level, refold baseline). WriteTo emits the lowest sufficient version —
+// v1 whenever the scale is exactly 1 and the sketch is unfolded (every
+// fixed-horizon sketch, and λ=1 decay mode), so the on-disk form of the
+// classic path is byte-identical to before; only actively decayed or
+// folded sketches pay a format bump. ReadFrom accepts all three.
 const (
 	serialMagic   = uint32(0xA5C50001)
 	serialMagicV2 = uint32(0xA5C50002)
+	serialMagicV3 = uint32(0xA5C50003)
 )
 
 // WriteTo serializes the sketch (config + table contents, plus the
-// decay scale when one is active) in a stable little-endian binary
-// format.
+// decay scale when one is active and the fold state when folded) in a
+// stable little-endian binary format.
 func (s *Sketch) WriteTo(w io.Writer) (int64, error) {
+	if s.level != 0 || s.base != nil {
+		return s.writeV3(w, s.level, s.w, s.baseLevel, s.base)
+	}
 	hdr := make([]byte, 4+8*4, 4+8*5)
 	binary.LittleEndian.PutUint32(hdr[0:], serialMagic)
 	binary.LittleEndian.PutUint64(hdr[4:], uint64(s.cfg.Tables))
@@ -416,15 +613,67 @@ func (s *Sketch) WriteTo(w io.Writer) (int64, error) {
 	return total, err
 }
 
-// ReadFrom deserializes a sketch written by WriteTo (either format
-// version).
+// WriteToFolded serializes the sketch as if folded to the given absolute
+// level, without mutating it: the folded image (baseline-compensated) is
+// computed into a buffer of the folded size, so a full-resolution table
+// is never copied. A sketch already at or beyond the target level — or a
+// target beyond MaxFoldLevels — is written as-is; level 0 with no
+// baseline falls through to WriteTo's v1/v2 form.
+func (s *Sketch) WriteToFolded(w io.Writer, level int) (int64, error) {
+	if level > s.MaxFoldLevels() {
+		level = s.MaxFoldLevels()
+	}
+	if level <= s.level {
+		return s.WriteTo(w)
+	}
+	if s.base != nil && level < s.baseLevel {
+		// The fold stops short of the baseline: the image still embeds
+		// replicated history, so the baseline must travel for deeper
+		// folds after restore to compensate exactly.
+		return s.writeV3(w, level, s.foldedImage(level), s.baseLevel, s.base)
+	}
+	return s.writeV3(w, level, s.foldedImage(level), 0, nil)
+}
+
+// writeV3 emits the v3 format: v1 header fields, then scale, fold
+// level, baseline level, the (possibly folded) cells, and the baseline
+// cells when present.
+func (s *Sketch) writeV3(w io.Writer, level int, cells []float64, baseLevel int, base []float64) (int64, error) {
+	hdr := make([]byte, 4+8*7)
+	binary.LittleEndian.PutUint32(hdr[0:], serialMagicV3)
+	binary.LittleEndian.PutUint64(hdr[4:], uint64(s.cfg.Tables))
+	binary.LittleEndian.PutUint64(hdr[12:], uint64(s.cfg.Range))
+	binary.LittleEndian.PutUint64(hdr[20:], s.cfg.Seed)
+	binary.LittleEndian.PutUint64(hdr[28:], uint64(s.cfg.Hash))
+	binary.LittleEndian.PutUint64(hdr[36:], math.Float64bits(s.scale))
+	binary.LittleEndian.PutUint64(hdr[44:], uint64(level))
+	binary.LittleEndian.PutUint64(hdr[52:], uint64(baseLevel))
+	n, err := w.Write(hdr)
+	total := int64(n)
+	if err != nil {
+		return total, err
+	}
+	buf := make([]byte, 8*(len(cells)+len(base)))
+	for i, v := range cells {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	for i, v := range base {
+		binary.LittleEndian.PutUint64(buf[8*(len(cells)+i):], math.Float64bits(v))
+	}
+	n, err = w.Write(buf)
+	total += int64(n)
+	return total, err
+}
+
+// ReadFrom deserializes a sketch written by WriteTo or WriteToFolded
+// (any format version).
 func ReadFrom(r io.Reader) (*Sketch, error) {
 	hdr := make([]byte, 4+8*4)
 	if _, err := io.ReadFull(r, hdr); err != nil {
 		return nil, fmt.Errorf("countsketch: reading header: %w", err)
 	}
 	magic := binary.LittleEndian.Uint32(hdr[0:])
-	if magic != serialMagic && magic != serialMagicV2 {
+	if magic != serialMagic && magic != serialMagicV2 && magic != serialMagicV3 {
 		return nil, fmt.Errorf("countsketch: bad magic")
 	}
 	cfg := Config{
@@ -437,7 +686,8 @@ func ReadFrom(r io.Reader) (*Sketch, error) {
 	if err != nil {
 		return nil, err
 	}
-	if magic == serialMagicV2 {
+	switch magic {
+	case serialMagicV2:
 		var sc [8]byte
 		if _, err := io.ReadFull(r, sc[:]); err != nil {
 			return nil, fmt.Errorf("countsketch: reading decay scale: %w", err)
@@ -447,13 +697,46 @@ func ReadFrom(r io.Reader) (*Sketch, error) {
 			return nil, fmt.Errorf("countsketch: corrupt decay scale %v", scale)
 		}
 		s.scale, s.invScale = scale, 1/scale
+	case serialMagicV3:
+		var ext [24]byte
+		if _, err := io.ReadFull(r, ext[:]); err != nil {
+			return nil, fmt.Errorf("countsketch: reading fold header: %w", err)
+		}
+		scale := math.Float64frombits(binary.LittleEndian.Uint64(ext[0:]))
+		if !(scale > 0) || math.IsInf(scale, 0) {
+			return nil, fmt.Errorf("countsketch: corrupt decay scale %v", scale)
+		}
+		level := int(binary.LittleEndian.Uint64(ext[8:]))
+		baseLevel := int(binary.LittleEndian.Uint64(ext[16:]))
+		if level < 0 || level > s.MaxFoldLevels() {
+			return nil, fmt.Errorf("countsketch: corrupt fold level %d for Range %d", level, cfg.Range)
+		}
+		if baseLevel != 0 && (baseLevel <= level || baseLevel > s.MaxFoldLevels()) {
+			return nil, fmt.Errorf("countsketch: corrupt refold baseline level %d (fold level %d, Range %d)", baseLevel, level, cfg.Range)
+		}
+		s.scale, s.invScale = scale, 1/scale
+		if level > 0 {
+			h, err := hashing.New(cfg.Hash, cfg.Tables, cfg.Range>>level, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			s.h, s.rng, s.level = h, cfg.Range>>level, level
+			s.w = make([]float64, cfg.Tables*s.rng)
+		}
+		if baseLevel > 0 {
+			s.baseLevel = baseLevel
+			s.base = make([]float64, cfg.Tables*(cfg.Range>>baseLevel))
+		}
 	}
-	buf := make([]byte, 8*len(s.w))
+	buf := make([]byte, 8*(len(s.w)+len(s.base)))
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return nil, fmt.Errorf("countsketch: reading table: %w", err)
 	}
 	for i := range s.w {
 		s.w[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	for i := range s.base {
+		s.base[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*(len(s.w)+i):]))
 	}
 	return s, nil
 }

@@ -1,0 +1,432 @@
+package countsketch
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/hashing"
+)
+
+// foldStream feeds n integer-valued updates derived from seed into s.
+// Integer magnitudes keep every fold identity exact in float64: group
+// sums and sign-composed cancellations commute with insertion order.
+func foldStream(s *Sketch, seed int64, n, keys int) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		s.Add(uint64(rng.Intn(keys)), float64(1+rng.Intn(8)))
+	}
+}
+
+// TestFoldHashCongruence pins the identity the whole fold design rests
+// on: for every hash family, Range divisible by 2^L implies
+// bucket(key, R>>L) == bucket(key, R) >> L — the coarse lookup lands
+// exactly on the folded image of the fine cells.
+func TestFoldHashCongruence(t *testing.T) {
+	for _, kind := range []hashing.Kind{hashing.KindMix, hashing.KindPoly, hashing.KindPoly4, hashing.KindTabulation} {
+		const R, L, k = 1024, 3, 5
+		fine := MustNew(Config{Tables: k, Range: R, Seed: 99, Hash: kind})
+		coarse := MustNew(Config{Tables: k, Range: R >> L, Seed: 99, Hash: kind})
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 5000; i++ {
+			key := rng.Uint64()
+			for e := 0; e < k; e++ {
+				if got, want := coarse.BucketOf(e, key), fine.BucketOf(e, key)>>L; got != want {
+					t.Fatalf("%v: table %d key %d: coarse bucket %d, fine>>L %d", kind, e, key, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestFoldEqualsDirectCoarse is the core linear-map guarantee: folding a
+// fine sketch by L levels yields, bit for bit, the sketch a direct
+// construction at Range>>L would have built from the same stream — the
+// sign hashes are range-independent and the bucket map is congruent, so
+// the fold is exactly the coarse sketch's linear accumulation.
+func TestFoldEqualsDirectCoarse(t *testing.T) {
+	const R, k = 512, 5
+	for _, level := range []int{1, 2, 4} {
+		fine := MustNew(Config{Tables: k, Range: R, Seed: 5})
+		coarse := MustNew(Config{Tables: k, Range: R >> level, Seed: 5})
+		foldStream(fine, 11, 20_000, 3000)
+		foldStream(coarse, 11, 20_000, 3000)
+		if err := fine.Fold(level); err != nil {
+			t.Fatal(err)
+		}
+		if fine.FoldLevel() != level {
+			t.Fatalf("FoldLevel = %d, want %d", fine.FoldLevel(), level)
+		}
+		for i := range fine.w {
+			if fine.w[i] != coarse.w[i] {
+				t.Fatalf("level %d: cell %d differs: folded %v, direct %v", level, i, fine.w[i], coarse.w[i])
+			}
+		}
+		for key := uint64(0); key < 3000; key++ {
+			if f, c := fine.Estimate(key), coarse.Estimate(key); f != c {
+				t.Fatalf("level %d: key %d: folded estimate %v, direct %v", level, key, f, c)
+			}
+		}
+	}
+}
+
+// TestUnfoldPreservesEstimates pins unfold-by-replication: every
+// estimate is bit-identical before and after Unfold, so serving never
+// needs to unfold for accuracy — only ingest wants full resolution back.
+func TestUnfoldPreservesEstimates(t *testing.T) {
+	s := MustNew(Config{Tables: 5, Range: 256, Seed: 8})
+	foldStream(s, 21, 8000, 1500)
+	if err := s.Fold(3); err != nil {
+		t.Fatal(err)
+	}
+	folded := make([]float64, 1500)
+	for key := range folded {
+		folded[key] = s.Estimate(uint64(key))
+	}
+	s.Unfold()
+	if s.FoldLevel() != 0 {
+		t.Fatalf("FoldLevel after Unfold = %d", s.FoldLevel())
+	}
+	for key, want := range folded {
+		if got := s.Estimate(uint64(key)); got != want {
+			t.Fatalf("key %d: estimate %v after unfold, %v before", key, got, want)
+		}
+	}
+}
+
+// TestRefoldCompensation drives the idle-shard lifecycle — fold, unfold,
+// resume ingest, fold again — and requires the second fold to equal the
+// direct coarse sketch fed the whole stream: the refold baseline
+// subtracts the replication overcount exactly.
+func TestRefoldCompensation(t *testing.T) {
+	const R, k, level = 512, 5, 2
+	s := MustNew(Config{Tables: k, Range: R, Seed: 13})
+	coarse := MustNew(Config{Tables: k, Range: R >> level, Seed: 13})
+	foldStream(s, 31, 10_000, 2000)
+	foldStream(coarse, 31, 10_000, 2000)
+	if err := s.Fold(level); err != nil {
+		t.Fatal(err)
+	}
+	s.Unfold()
+	// Second tranche lands on the unfolded (replicated) table.
+	foldStream(s, 32, 10_000, 2000)
+	foldStream(coarse, 32, 10_000, 2000)
+	if err := s.Fold(level); err != nil {
+		t.Fatal(err)
+	}
+	for i := range s.w {
+		if s.w[i] != coarse.w[i] {
+			t.Fatalf("cell %d after refold: %v, direct coarse %v", i, s.w[i], coarse.w[i])
+		}
+	}
+}
+
+// TestFoldBelowBaseline folds an unfolded sketch to a level finer than
+// its refold baseline: the coarser history must stay replicated (one
+// copy per target cell), so estimates are unchanged by the partial fold.
+func TestFoldBelowBaseline(t *testing.T) {
+	s := MustNew(Config{Tables: 5, Range: 256, Seed: 17})
+	foldStream(s, 41, 6000, 1200)
+	if err := s.Fold(3); err != nil {
+		t.Fatal(err)
+	}
+	s.Unfold()
+	want := make([]float64, 1200)
+	for key := range want {
+		want[key] = s.Estimate(uint64(key))
+	}
+	if err := s.Fold(1); err != nil {
+		t.Fatal(err)
+	}
+	for key, w := range want {
+		if got := s.Estimate(uint64(key)); got != w {
+			t.Fatalf("key %d: estimate %v at level 1, %v at baseline", key, got, w)
+		}
+	}
+	// A partial fold keeps the baseline, and WriteToFolded carries it:
+	// a restored copy must fold on to the baseline's level exactly.
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Folding on down to the baseline's own level recovers the true
+	// level-3 table: still the same estimates.
+	for _, sk := range []*Sketch{s, r} {
+		if err := sk.Fold(2); err != nil {
+			t.Fatal(err)
+		}
+		for key, w := range want {
+			if got := sk.Estimate(uint64(key)); got != w {
+				t.Fatalf("key %d: estimate %v at level 3, %v at baseline", key, got, w)
+			}
+		}
+	}
+	for i := range s.w {
+		if s.w[i] != r.w[i] {
+			t.Fatalf("restored partial fold diverges at cell %d", i)
+		}
+	}
+}
+
+// TestFoldMergeCommutes: the fold is linear, so fold∘merge ≡ merge∘fold
+// bit for bit — the property that lets fold-aware snapshot merge pick
+// either order.
+func TestFoldMergeCommutes(t *testing.T) {
+	const level = 2
+	mk := func() *Sketch { return MustNew(Config{Tables: 5, Range: 512, Seed: 29}) }
+	a, b := mk(), mk()
+	foldStream(a, 51, 9000, 1800)
+	foldStream(b, 52, 9000, 1800)
+
+	mergeThenFold := a.Clone()
+	if err := mergeThenFold.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := mergeThenFold.Fold(level); err != nil {
+		t.Fatal(err)
+	}
+
+	fa, fb := a.Clone(), b.Clone()
+	if err := fa.Fold(level); err != nil {
+		t.Fatal(err)
+	}
+	if err := fb.Fold(level); err != nil {
+		t.Fatal(err)
+	}
+	if err := fa.Merge(fb); err != nil {
+		t.Fatal(err)
+	}
+	for i := range fa.w {
+		if fa.w[i] != mergeThenFold.w[i] {
+			t.Fatalf("cell %d: fold∘merge %v, merge∘fold %v", i, mergeThenFold.w[i], fa.w[i])
+		}
+	}
+}
+
+// TestFoldMergeLevelMismatch pins the guard: merging sketches at
+// different fold levels must fail loudly, not corrupt tables.
+func TestFoldMergeLevelMismatch(t *testing.T) {
+	a := MustNew(Config{Tables: 3, Range: 64, Seed: 3})
+	b := MustNew(Config{Tables: 3, Range: 64, Seed: 3})
+	if err := a.Fold(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merge across fold levels must fail")
+	}
+}
+
+// TestFoldErrors covers the argument guards and the MaxFoldLevels bound.
+func TestFoldErrors(t *testing.T) {
+	s := MustNew(Config{Tables: 3, Range: 96, Seed: 3}) // 96 = 32·3: 5 halvings
+	if got := s.MaxFoldLevels(); got != 5 {
+		t.Fatalf("MaxFoldLevels(96) = %d, want 5", got)
+	}
+	if err := s.Fold(0); err == nil {
+		t.Fatal("Fold(0) must fail")
+	}
+	if err := s.Fold(6); err == nil {
+		t.Fatal("fold past MaxFoldLevels must fail")
+	}
+	if err := s.Fold(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Fold(1); err == nil {
+		t.Fatal("fold beyond the last level must fail")
+	}
+	s.Unfold()
+	if s.FoldLevel() != 0 {
+		t.Fatalf("FoldLevel = %d after Unfold", s.FoldLevel())
+	}
+}
+
+// TestSerializeVersions pins the lowest-sufficient-version rule and all
+// three round-trips: v1 for the classic unfolded scale-1 sketch (the
+// on-disk bytes of existing deployments are untouched), v2 once a decay
+// scale is active, v3 only for fold state.
+func TestSerializeVersions(t *testing.T) {
+	magicOf := func(b []byte) uint32 { return binary.LittleEndian.Uint32(b) }
+	roundTrip := func(t *testing.T, s *Sketch) *Sketch {
+		t.Helper()
+		var buf bytes.Buffer
+		if _, err := s.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		r, err := ReadFrom(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+
+	// v1: fresh sketch, no decay, no fold.
+	s := MustNew(Config{Tables: 5, Range: 256, Seed: 44})
+	foldStream(s, 61, 4000, 900)
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if magicOf(buf.Bytes()) != serialMagic {
+		t.Fatalf("unfolded scale-1 sketch wrote magic %#x, want v1", magicOf(buf.Bytes()))
+	}
+	r := roundTrip(t, s)
+	for key := uint64(0); key < 900; key++ {
+		if r.Estimate(key) != s.Estimate(key) {
+			t.Fatalf("v1 round trip: key %d differs", key)
+		}
+	}
+
+	// v2: active decay scale.
+	s.Decay(0.5)
+	buf.Reset()
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if magicOf(buf.Bytes()) != serialMagicV2 {
+		t.Fatalf("decayed sketch wrote magic %#x, want v2", magicOf(buf.Bytes()))
+	}
+	r = roundTrip(t, s)
+	if r.DecayScale() != s.DecayScale() {
+		t.Fatalf("v2 round trip: scale %v, want %v", r.DecayScale(), s.DecayScale())
+	}
+	for key := uint64(0); key < 900; key++ {
+		if r.Estimate(key) != s.Estimate(key) {
+			t.Fatalf("v2 round trip: key %d differs", key)
+		}
+	}
+
+	// v3: folded (decayed too — the fold header carries the scale).
+	if err := s.Fold(2); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if magicOf(buf.Bytes()) != serialMagicV3 {
+		t.Fatalf("folded sketch wrote magic %#x, want v3", magicOf(buf.Bytes()))
+	}
+	r = roundTrip(t, s)
+	if r.FoldLevel() != 2 || r.DecayScale() != s.DecayScale() {
+		t.Fatalf("v3 round trip: level %d scale %v, want 2 / %v", r.FoldLevel(), r.DecayScale(), s.DecayScale())
+	}
+	for key := uint64(0); key < 900; key++ {
+		if r.Estimate(key) != s.Estimate(key) {
+			t.Fatalf("v3 round trip: key %d differs", key)
+		}
+	}
+
+	// v3 with a refold baseline: the restored sketch must refold to the
+	// same table the original would.
+	s.Unfold()
+	r = roundTrip(t, s)
+	if err := s.Fold(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Fold(2); err != nil {
+		t.Fatal(err)
+	}
+	for i := range s.w {
+		if s.w[i] != r.w[i] {
+			t.Fatalf("baseline round trip: refolded cell %d differs: %v vs %v", i, s.w[i], r.w[i])
+		}
+	}
+}
+
+// TestWriteToFolded pins the pre-folded snapshot path: the emitted bytes
+// equal fold-then-WriteTo (without mutating the source), and the blob is
+// ~2^L smaller than the full form.
+func TestWriteToFolded(t *testing.T) {
+	const level = 2
+	s := MustNew(Config{Tables: 5, Range: 1024, Seed: 77})
+	foldStream(s, 71, 12_000, 2500)
+
+	var full, folded, direct bytes.Buffer
+	if _, err := s.WriteTo(&full); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.WriteToFolded(&folded, level); err != nil {
+		t.Fatal(err)
+	}
+	if s.FoldLevel() != 0 {
+		t.Fatal("WriteToFolded mutated the sketch")
+	}
+	c := s.Clone()
+	if err := c.Fold(level); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WriteTo(&direct); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(folded.Bytes(), direct.Bytes()) {
+		t.Fatal("WriteToFolded bytes differ from fold-then-WriteTo")
+	}
+	if ratio := float64(full.Len()) / float64(folded.Len()); ratio < 3.9 {
+		t.Fatalf("folded blob only %.2fx smaller at level %d (full %d B, folded %d B)", ratio, level, full.Len(), folded.Len())
+	}
+
+	// Clamping: a target past MaxFoldLevels writes the deepest level.
+	var deep bytes.Buffer
+	if _, err := s.WriteToFolded(&deep, 99); err != nil {
+		t.Fatal(err)
+	}
+	r, err := ReadFrom(&deep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FoldLevel() != s.MaxFoldLevels() {
+		t.Fatalf("clamped fold level %d, want %d", r.FoldLevel(), s.MaxFoldLevels())
+	}
+}
+
+// TestFoldAccuracyPerLevel quantifies the cost of folding: collision
+// variance doubles per level, so the RMS error over tracked keys should
+// grow roughly like 2^(L/2) and stay within a generous constant of that
+// curve — folding buys 2^L memory for a bounded, predictable accuracy
+// loss, it does not fail catastrophically.
+func TestFoldAccuracyPerLevel(t *testing.T) {
+	const R, k, keys = 2048, 5, 4000
+	truth := make([]float64, keys)
+	s := MustNew(Config{Tables: k, Range: R, Seed: 91})
+	rng := rand.New(rand.NewSource(81))
+	for i := 0; i < 60_000; i++ {
+		key := rng.Intn(keys)
+		v := float64(1 + rng.Intn(4))
+		truth[key] += v
+		s.Add(uint64(key), v)
+	}
+	rms := func(s *Sketch) float64 {
+		sum := 0.0
+		for key, want := range truth {
+			d := s.Estimate(uint64(key)) - want
+			sum += d * d
+		}
+		return math.Sqrt(sum / keys)
+	}
+	base := rms(s)
+	prev := base
+	for level := 1; level <= 4; level++ {
+		if err := s.Fold(1); err != nil {
+			t.Fatal(err)
+		}
+		e := rms(s)
+		t.Logf("level %d: rms error %.3f (level 0: %.3f, bound %.3f)", level, e, base, 8*math.Ldexp(base+1, level/2+1))
+		if e < prev {
+			// Error must not shrink by folding (up to median noise).
+			if prev-e > base {
+				t.Fatalf("level %d: rms %.3f markedly below level %d's %.3f", level, e, level-1, prev)
+			}
+		}
+		if e > 8*math.Ldexp(base+1, level/2+1) {
+			t.Fatalf("level %d: rms error %.3f exceeds the 2^(L/2) growth envelope (level 0: %.3f)", level, e, base)
+		}
+		prev = e
+	}
+}

@@ -51,6 +51,8 @@ var (
 	_ sketchapi.Decayer        = (*MeanSketch)(nil)
 	_ sketchapi.WaveTuner      = (*MeanSketch)(nil)
 	_ sketchapi.HealthReporter = (*MeanSketch)(nil)
+	_ sketchapi.Folder         = (*MeanSketch)(nil)
+	_ sketchapi.FoldedWriter   = (*MeanSketch)(nil)
 )
 
 // NewMeanSketch creates the vanilla-CS engine for a stream of exactly (or
@@ -277,6 +279,18 @@ func (m *MeanSketch) Name() string { return "CS" }
 // diagnostics and the ASCS warm-start path).
 func (m *MeanSketch) Sketch() *Sketch { return m.sk }
 
+// Fold implements sketchapi.Folder by folding the underlying table.
+func (m *MeanSketch) Fold(levels int) error { return m.sk.Fold(levels) }
+
+// Unfold implements sketchapi.Folder.
+func (m *MeanSketch) Unfold() { m.sk.Unfold() }
+
+// FoldLevel implements sketchapi.Folder.
+func (m *MeanSketch) FoldLevel() int { return m.sk.FoldLevel() }
+
+// MaxFoldLevels implements sketchapi.Folder.
+func (m *MeanSketch) MaxFoldLevels() int { return m.sk.MaxFoldLevels() }
+
 // Mean-sketch serialization magics: v1 is the fixed-horizon layout, v2
 // appends the decay parameters (λ, N_eff) and marks the engine
 // unbounded. Fixed-horizon engines keep writing v1 byte-identically.
@@ -288,6 +302,12 @@ const (
 // WriteTo serializes the engine (stream length or window, step
 // position, decay state, table contents) for checkpoint/resume.
 func (m *MeanSketch) WriteTo(w io.Writer) (int64, error) {
+	return m.writeTo(w, m.sk.WriteTo)
+}
+
+// writeTo is the shared body of WriteTo and WriteToFolded: the engine
+// header followed by the sketch via writeSketch.
+func (m *MeanSketch) writeTo(w io.Writer, writeSketch func(io.Writer) (int64, error)) (int64, error) {
 	hdr := make([]byte, 4+16, 4+32)
 	binary.LittleEndian.PutUint32(hdr[0:], meanMagic)
 	// Round, don't truncate: 1/(1/T) can land one ulp below T (~7% of
@@ -307,8 +327,14 @@ func (m *MeanSketch) WriteTo(w io.Writer) (int64, error) {
 	if err != nil {
 		return written, err
 	}
-	sn, err := m.sk.WriteTo(w)
+	sn, err := writeSketch(w)
 	return written + sn, err
+}
+
+// WriteToFolded implements sketchapi.FoldedWriter: the engine header is
+// unchanged, the table streams pre-folded to the given level.
+func (m *MeanSketch) WriteToFolded(w io.Writer, level int) (int64, error) {
+	return m.writeTo(w, func(w io.Writer) (int64, error) { return m.sk.WriteToFolded(w, level) })
 }
 
 // ReadMeanSketchFrom reconstructs a MeanSketch written by WriteTo

@@ -137,6 +137,15 @@ const (
 	ShardStep
 	// ShardEngineBytes is the engine's memory footprint (gauge).
 	ShardEngineBytes
+	// ShardFoldLevel is the engine's current fold level (gauge): 0 at
+	// full resolution, L after the idle policy halved the table width
+	// L times.
+	ShardFoldLevel
+	// ShardFolds counts idle-policy folds applied by the worker.
+	ShardFolds
+	// ShardUnfolds counts ingest-triggered unfolds (a fold/unfold pair
+	// is one full elasticity cycle).
+	ShardUnfolds
 
 	// NumShardCounters sizes the per-shard Snap block.
 	NumShardCounters
@@ -171,6 +180,9 @@ var ShardDefs = [NumShardCounters]Def{
 	ShardTracked:          {Name: "ascs_topk_tracked", Kind: Gauge, Help: "Candidate keys currently tracked."},
 	ShardStep:             {Name: "ascs_shard_step", Kind: Gauge, Help: "Highest stream step applied by the shard."},
 	ShardEngineBytes:      {Name: "ascs_shard_engine_bytes", Kind: Gauge, Help: "Engine memory footprint in bytes."},
+	ShardFoldLevel:        {Name: "ascs_shard_fold_level", Kind: Gauge, Help: "Current sketch fold level (0 = full resolution)."},
+	ShardFolds:            {Name: "ascs_shard_folds_total", Kind: Counter, Help: "Idle-policy sketch folds applied by the shard worker."},
+	ShardUnfolds:          {Name: "ascs_shard_unfolds_total", Kind: Counter, Help: "Ingest-triggered sketch unfolds back to full resolution."},
 }
 
 // Snap is the atomically readable mirror of a single-writer counter

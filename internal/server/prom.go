@@ -100,6 +100,18 @@ func (s *Server) writeMetrics(p *promPage) {
 	e.Header("ascs_http_deadline_exceeded_total", "counter", "HTTP 503 responses caused by request deadline expiry.")
 	e.Sample("ascs_http_deadline_exceeded_total", "", float64(s.deadline503.Load()))
 
+	// Tiered serving (foldable sketches): folded-tolerant query volume,
+	// memo hits, and snapshot size observability. The per-shard fold
+	// level / fold / unfold families ride the ShardDefs loop below.
+	e.Header("ascs_http_folded_queries_total", "counter", "Queries served on the folded-tolerant read path (explicit resolution=folded or governor-degraded defaults).")
+	e.Sample("ascs_http_folded_queries_total", "", float64(s.foldedQueries.Load()))
+	e.Header("ascs_topk_cache_hits_total", "counter", "Folded-tolerant top-k queries answered from the memoized response without a shard fan-out.")
+	e.Sample("ascs_topk_cache_hits_total", "", float64(s.cacheHits.Load()))
+	e.Header("ascs_snapshot_last_bytes", "gauge", "Byte total of the most recent committed snapshot (0 before the first).")
+	e.Sample("ascs_snapshot_last_bytes", "", float64(mgr.LastSnapshotBytes()))
+	e.Header("ascs_snapshots_total", "counter", "Snapshots committed by the installed manager.")
+	e.Sample("ascs_snapshots_total", "", float64(mgr.Snapshots()))
+
 	// Per-shard counter blocks: families sharing a name (the wave
 	// fallback causes) are adjacent in ShardDefs, so the header is
 	// emitted once per run and every sample of the family stays

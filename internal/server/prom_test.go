@@ -94,6 +94,15 @@ func TestMetricsExposition(t *testing.T) {
 		"# TYPE ascs_http_deadline_exceeded_total counter",
 		"# TYPE ascs_shard_apply_seconds histogram",
 		"# TYPE ascs_shard_ops_total counter",
+		"# TYPE ascs_shard_fold_level gauge",
+		"# TYPE ascs_shard_folds_total counter",
+		"# TYPE ascs_shard_unfolds_total counter",
+		"# TYPE ascs_http_folded_queries_total counter",
+		"# TYPE ascs_topk_cache_hits_total counter",
+		"# TYPE ascs_snapshot_last_bytes gauge",
+		"# TYPE ascs_snapshots_total counter",
+		`ascs_shard_fold_level{shard="0"}`,
+		`ascs_shard_folds_total{shard="1"}`,
 		"ascs_step 400",
 	} {
 		if !strings.Contains(page, want) {

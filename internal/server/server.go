@@ -105,6 +105,13 @@ type Server struct {
 	shed429       atomic.Uint64
 	deadline503   atomic.Uint64
 	retryAfterSec atomic.Int64 // last Retry-After advertised, seconds
+
+	// Tiered-serving accounting: queries that took the folded-tolerant
+	// read path (?resolution=folded, or the governor degrading default
+	// reads), and how many of those were answered from the top-k memo
+	// without a shard fan-out.
+	foldedQueries atomic.Uint64
+	cacheHits     atomic.Uint64
 }
 
 // New wraps mgr. The caller keeps ownership of nothing: Close tears
@@ -387,6 +394,13 @@ type PairJSON struct {
 type TopKResponse struct {
 	Step  int        `json:"step"`
 	Pairs []PairJSON `json:"pairs"`
+	// Resolution reports what actually served the answer: "full", or
+	// "folded" when the response came from the memoized top-k or from
+	// shards currently folded by the idle policy.
+	Resolution string `json:"resolution,omitempty"`
+	// Cached marks answers served from the manager's top-k memo
+	// without a shard fan-out (folded-tolerant reads only).
+	Cached bool `json:"cached,omitempty"`
 }
 
 // queryLane parses the optional consistency override ("" = the
@@ -397,6 +411,43 @@ func queryLane(r *http.Request) (shard.Consistency, error) {
 		return "", badRequest("%v", err)
 	}
 	return c, nil
+}
+
+// queryResolution parses the optional ?resolution=full|folded knob
+// ("" = full, except the overload governor may degrade it — see
+// foldedTolerant).
+func queryResolution(r *http.Request) (string, error) {
+	switch v := r.URL.Query().Get("resolution"); v {
+	case "", "full", "folded":
+		return v, nil
+	default:
+		return "", badRequest("unknown resolution %q (want %q or %q)", v, "full", "folded")
+	}
+}
+
+// foldedTolerant resolves the resolution knob against the overload
+// governor: an explicit "folded" opts into memoized/folded answers,
+// an explicit "full" always bypasses them, and the unspecified
+// default follows the governor — under overload, default reads
+// degrade onto the folded tier instead of adding fan-out load.
+func foldedTolerant(res string, mgr *shard.Manager) bool {
+	return res == "folded" || (res == "" && mgr.Degraded())
+}
+
+// swapRetry decides whether a query that failed with the closed-manager
+// error should be retried: a restore can swap the manager out mid-query,
+// and the error then belongs to the outgoing instance, not the
+// deployment — the swapped-in survivor can serve it. Queries are
+// read-only, so the retry is safe; the attempt bound keeps a swap storm
+// from pinning requests.
+func (s *Server) swapRetry(mgr *shard.Manager, err error, attempt int) (*shard.Manager, bool) {
+	if err == nil || !errors.Is(err, shard.ErrClosed) || attempt >= 3 {
+		return nil, false
+	}
+	if cur := s.mgr.Load(); cur != mgr {
+		return cur, true
+	}
+	return nil, false
 }
 
 func (s *Server) handleTopK(_ http.ResponseWriter, r *http.Request) (any, error) {
@@ -415,18 +466,46 @@ func (s *Server) handleTopK(_ http.ResponseWriter, r *http.Request) (any, error)
 	if err != nil {
 		return nil, err
 	}
+	res, err := queryResolution(r)
+	if err != nil {
+		return nil, err
+	}
 	mgr := s.mgr.Load()
 	mag := r.URL.Query().Get("magnitude")
+	magnitude := mag == "1" || mag == "true"
 	ctx, cancel, err := s.requestCtx(r, s.opts.QueryTimeout)
 	if err != nil {
 		return nil, err
 	}
 	defer cancel()
-	pairs, err := mgr.TopKT(ctx, k, lane, mag == "1" || mag == "true", queryTraceFrom(r.Context()))
+	if foldedTolerant(res, mgr) {
+		s.foldedQueries.Add(1)
+	}
+	var pairs []shard.PairEstimate
+	var cached bool
+	for attempt := 0; ; attempt++ {
+		if foldedTolerant(res, mgr) {
+			pairs, cached, err = mgr.TopKCachedT(ctx, k, lane, magnitude, queryTraceFrom(r.Context()))
+			if cached {
+				s.cacheHits.Add(1)
+			}
+		} else {
+			pairs, err = mgr.TopKT(ctx, k, lane, magnitude, queryTraceFrom(r.Context()))
+		}
+		if next, ok := s.swapRetry(mgr, err, attempt); ok {
+			mgr = next
+			continue
+		}
+		break
+	}
 	if err != nil {
 		return nil, err
 	}
-	resp := TopKResponse{Step: mgr.Step(), Pairs: make([]PairJSON, len(pairs))}
+	resolution := "full"
+	if cached || mgr.MaxShardFoldLevel() > 0 {
+		resolution = "folded"
+	}
+	resp := TopKResponse{Step: mgr.Step(), Pairs: make([]PairJSON, len(pairs)), Resolution: resolution, Cached: cached}
 	for i, p := range pairs {
 		resp.Pairs[i] = PairJSON{A: p.A, B: p.B, Key: p.Key, Estimate: p.Estimate}
 	}
@@ -439,6 +518,11 @@ type EstimateResponse struct {
 	J        int     `json:"j"`
 	Step     int     `json:"step"`
 	Estimate float64 `json:"estimate"`
+	// Resolution reports the serving tier: "folded" while any shard
+	// serves at a reduced (idle-folded) table width, else "full". A
+	// folded estimate is still unbiased — it reads the same cells a
+	// coarser sketch would have — just with more collision noise.
+	Resolution string `json:"resolution,omitempty"`
 }
 
 func (s *Server) handleEstimate(_ http.ResponseWriter, r *http.Request) (any, error) {
@@ -452,20 +536,39 @@ func (s *Server) handleEstimate(_ http.ResponseWriter, r *http.Request) (any, er
 	if err != nil {
 		return nil, err
 	}
+	res, err := queryResolution(r)
+	if err != nil {
+		return nil, err
+	}
 	mgr := s.mgr.Load()
+	if foldedTolerant(res, mgr) {
+		s.foldedQueries.Add(1)
+	}
 	ctx, cancel, err := s.requestCtx(r, s.opts.QueryTimeout)
 	if err != nil {
 		return nil, err
 	}
 	defer cancel()
-	est, err := mgr.EstimateT(ctx, i, j, lane, queryTraceFrom(r.Context()))
+	var est float64
+	for attempt := 0; ; attempt++ {
+		est, err = mgr.EstimateT(ctx, i, j, lane, queryTraceFrom(r.Context()))
+		if next, ok := s.swapRetry(mgr, err, attempt); ok {
+			mgr = next
+			continue
+		}
+		break
+	}
 	if err != nil {
 		if errors.Is(err, shard.ErrWarmingUp) || errors.Is(err, shard.ErrClosed) || isDeadline(err) {
 			return nil, err
 		}
 		return nil, badRequest("%v", err)
 	}
-	return EstimateResponse{I: i, J: j, Step: mgr.Step(), Estimate: est}, nil
+	resolution := "full"
+	if mgr.MaxShardFoldLevel() > 0 {
+		resolution = "folded"
+	}
+	return EstimateResponse{I: i, J: j, Step: mgr.Step(), Estimate: est, Resolution: resolution}, nil
 }
 
 // StatsResponse is the body of GET /v1/stats.

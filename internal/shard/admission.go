@@ -119,6 +119,12 @@ func (m *Manager) initAdmission() {
 	m.faults = m.cfg.Faults
 }
 
+// Degraded reports whether the overload governor is currently routing
+// fresh queries down the fast lane (AdmitDegrade deployments only).
+// The HTTP layer uses it as the signal to degrade default-resolution
+// reads onto the folded/cached path as well.
+func (m *Manager) Degraded() bool { return m.gov != nil && m.gov.degraded.Load() }
+
 // pressure returns the worst shard FIFO fill fraction (len/QueueLen):
 // the governor's and Retry-After's load signal. Zero during warm-up.
 func (m *Manager) pressure() float64 {

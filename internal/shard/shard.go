@@ -202,6 +202,31 @@ type Config struct {
 	// as FIFO fill fractions (defaults 0.8 and 0.3): fresh queries
 	// degrade to the fast lane above High and recover below Low.
 	DegradeHigh, DegradeLow float64
+
+	// FoldIdle, when positive, enables the idle-shard fold policy: a
+	// worker whose engine has applied no ingest for FoldIdleTicks
+	// consecutive FoldIdle intervals folds its sketch in place (halving
+	// the table width FoldLevels times), releasing memory pressure while
+	// the shard is cold; the first ingest batch to arrive unfolds it
+	// back to full resolution before any increment lands. The check is
+	// tick-driven on the worker goroutine — the ingest hot path pays one
+	// branch per batch, nothing per pair. Requires an engine that
+	// implements sketchapi.Folder (all four kinds do). Zero disables.
+	FoldIdle time.Duration
+	// FoldIdleTicks is how many consecutive quiet FoldIdle intervals
+	// precede a fold (default 2: one full interval of observed silence,
+	// since the first tick after the last batch may be partial).
+	FoldIdleTicks int
+	// FoldLevels is how many width halvings an idle fold applies
+	// (default 3, clamped to the engine's MaxFoldLevels).
+	FoldLevels int
+	// SnapshotFold, when positive, streams snapshot sketch blobs
+	// pre-folded to that absolute fold level (clamped per engine to its
+	// maximum): up to 2^L× fewer sketch bytes on disk. Restored shards
+	// serve at the folded resolution until their first ingest batch
+	// unfolds them. Zero snapshots at live resolution.
+	SnapshotFold int
+
 	// Faults, when non-nil, wires the deterministic fault injector into
 	// the workers and the snapshot path. Test/chaos use only; never
 	// serialized.
@@ -263,6 +288,24 @@ func (c *Config) fill() error {
 	if c.DegradeLow <= 0 || c.DegradeHigh > 1 || c.DegradeLow >= c.DegradeHigh {
 		return fmt.Errorf("shard: governor thresholds must satisfy 0 < DegradeLow < DegradeHigh ≤ 1, got low=%v high=%v",
 			c.DegradeLow, c.DegradeHigh)
+	}
+	if c.FoldIdle < 0 {
+		return fmt.Errorf("shard: FoldIdle must be ≥ 0, got %v", c.FoldIdle)
+	}
+	if c.FoldIdleTicks == 0 {
+		c.FoldIdleTicks = 2
+	}
+	if c.FoldIdleTicks < 1 {
+		return fmt.Errorf("shard: FoldIdleTicks must be ≥ 1, got %d", c.FoldIdleTicks)
+	}
+	if c.FoldLevels == 0 {
+		c.FoldLevels = 3
+	}
+	if c.FoldLevels < 1 {
+		return fmt.Errorf("shard: FoldLevels must be ≥ 1, got %d", c.FoldLevels)
+	}
+	if c.SnapshotFold < 0 {
+		return fmt.Errorf("shard: SnapshotFold must be ≥ 0, got %d", c.SnapshotFold)
 	}
 	return nil
 }
@@ -363,6 +406,26 @@ type worker struct {
 	// hook is nil-safe, so the hot path pays one branch per batch).
 	faults *faults.Injector
 
+	// Fold policy (idle-shard memory elasticity). folder caches the
+	// engine's sketchapi.Folder facet (nil when unsupported); foldTick
+	// delivers the idle checks (nil when the policy is off, so its
+	// select case never fires); foldLevels/foldTicks are the resolved
+	// policy knobs. folded marks an engine currently serving at reduced
+	// resolution — set by an idle fold or by restoring a pre-folded
+	// snapshot, cleared by the unconditional unfold at the top of apply.
+	// quiet counts consecutive idle ticks, tickOps the op count at the
+	// previous tick. folds/unfolds are published counters.
+	folder     sketchapi.Folder
+	foldTicker *time.Ticker
+	foldTick   <-chan time.Time
+	foldLevels int
+	foldTicks  int
+	folded     bool
+	quiet      int
+	tickOps    uint64
+	folds      uint64
+	unfolds    uint64
+
 	// lambda is the per-step decay factor of unbounded deployments
 	// (0 = fixed-horizon). The engine ages itself inside BeginStep; the
 	// worker additionally ages its candidate tracker at the same step
@@ -427,6 +490,66 @@ func (w *worker) publish() {
 	if w.decayer != nil {
 		s.StoreFloat(obs.ShardNEff, w.decayer.EffectiveSamples())
 	}
+	if w.folder != nil {
+		s.Store(obs.ShardFoldLevel, uint64(w.folder.FoldLevel()))
+		s.Store(obs.ShardFolds, w.folds)
+		s.Store(obs.ShardUnfolds, w.unfolds)
+	}
+}
+
+// foldSetup caches the engine's fold capability and arms the idle
+// ticker when the policy is enabled. Called before the worker
+// goroutine starts (construction and restore), like wire.
+func (w *worker) foldSetup(idle time.Duration, ticks, levels int) {
+	f, ok := w.eng.(sketchapi.Folder)
+	if !ok {
+		return
+	}
+	w.folder = f
+	// A restored pre-folded snapshot starts life folded: the first
+	// ingest batch unfolds it exactly like a policy fold.
+	w.folded = f.FoldLevel() > 0
+	if idle <= 0 {
+		return
+	}
+	if max := f.MaxFoldLevels(); levels > max {
+		levels = max
+	}
+	if levels <= 0 {
+		return
+	}
+	w.foldLevels = levels
+	w.foldTicks = ticks
+	w.foldTicker = time.NewTicker(idle)
+	w.foldTick = w.foldTicker.C
+}
+
+// foldIdleCheck runs on the worker goroutine at each fold-policy
+// tick: a tick with no ops applied since the previous one counts as
+// quiet, and foldTicks consecutive quiet ticks fold the engine in
+// place. Queries keep being served (at the folded resolution) —
+// folding trades accuracy headroom for memory, never availability.
+func (w *worker) foldIdleCheck() {
+	if w.folded {
+		return
+	}
+	if w.ops != w.tickOps {
+		w.tickOps = w.ops
+		w.quiet = 0
+		return
+	}
+	w.quiet++
+	if w.quiet < w.foldTicks {
+		return
+	}
+	w.quiet = 0
+	// The only fold error is a target past MaxFoldLevels, which
+	// foldSetup's clamp rules out; guard anyway so a future engine
+	// cannot wedge the worker.
+	if err := w.folder.Fold(w.foldLevels); err == nil {
+		w.folded = true
+		w.folds++
+	}
 }
 
 // beginStep announces a step advance to the engine and applies the
@@ -441,6 +564,9 @@ func (w *worker) beginStep(t int) {
 
 func (w *worker) run(wg *sync.WaitGroup) {
 	defer wg.Done()
+	if w.foldTicker != nil {
+		defer w.foldTicker.Stop()
+	}
 	// Local copies go nil once their channel closes and drains; a nil
 	// channel blocks its select case, which is exactly the retirement
 	// semantics wanted here.
@@ -500,6 +626,12 @@ func (w *worker) run(wg *sync.WaitGroup) {
 			}
 			m.fn()
 			w.publish()
+		case <-w.foldTick:
+			// Idle-fold policy tick (nil channel — never taken — when the
+			// policy is off). Runs on the worker goroutine like everything
+			// else that touches the engine.
+			w.foldIdleCheck()
+			w.publish()
 		}
 	}
 }
@@ -524,6 +656,16 @@ func (w *worker) applyBatch(m msg) {
 }
 
 func (w *worker) apply(b *rowBatch) {
+	if w.folded {
+		// First ingest after an idle fold (or a folded-snapshot restore):
+		// resume full resolution before any increment lands. Deliberately
+		// unconditional on the policy so restored pre-folded snapshots
+		// heal themselves; the steady-state hot path pays this one branch
+		// per batch and nothing per pair.
+		w.folder.Unfold()
+		w.folded = false
+		w.unfolds++
+	}
 	o := 0
 	for _, h := range b.hdrs {
 		prt := b.prt[o : o+h.n]
@@ -647,6 +789,34 @@ type Manager struct {
 	shedRequests    atomic.Uint64
 	deadlineOps     atomic.Uint64
 	deadlineQueries atomic.Uint64
+
+	// Estimate caching, first slice: the most recent top-k response is
+	// memoized per (k, lane, rank) and re-served — without a shard
+	// fan-out — to queries that opted into it (the folded-resolution
+	// read path), as long as the epoch is unchanged. The epoch advances
+	// whenever served state may move: an ingest step assignment, a
+	// flush barrier, a warm-up replay. Restores start a fresh manager,
+	// so the zero (invalid) memo covers them.
+	cacheEpoch atomic.Uint64
+	cacheMu    sync.Mutex
+	cacheTopK  topkMemo
+
+	// Snapshot observability: byte total of the last committed
+	// snapshot and the count of successful snapshots (scraped by the
+	// daemon's /metrics; pre-folded snapshots show as smaller totals).
+	lastSnapshotBytes atomic.Uint64
+	snapshotsTotal    atomic.Uint64
+}
+
+// topkMemo is the memoized top-k response. res is shared with every
+// caller the memo served — read-only by contract.
+type topkMemo struct {
+	valid     bool
+	k         int
+	lane      Consistency
+	magnitude bool
+	epoch     uint64
+	res       []PairEstimate
 }
 
 // New validates cfg and starts the shard workers (immediately, or after
@@ -719,6 +889,7 @@ func (m *Manager) start(spec EngineSpec) error {
 		if r, ok := eng.(sketchapi.RowOfferer); ok {
 			w.row = r
 		}
+		w.foldSetup(m.cfg.FoldIdle, m.cfg.FoldIdleTicks, m.cfg.FoldLevels)
 		w.wire(m.tels[i])
 		workers[i] = w
 	}
@@ -850,6 +1021,7 @@ func (m *Manager) IngestCtx(ctx context.Context, samples []stream.Sample) (first
 	}
 	base := m.t + 1
 	m.t += len(samples)
+	m.cacheEpoch.Add(1)
 	m.sendWG.Add(1)
 	m.mu.Unlock()
 	defer m.sendWG.Done()
@@ -932,6 +1104,7 @@ func (m *Manager) ingestWarming(samples []stream.Sample) (first, last int, err e
 
 	m.mu.Lock()
 	m.replaying = false
+	m.cacheEpoch.Add(1)
 	m.replayCond.Broadcast()
 	m.mu.Unlock()
 	return first, last, nil
@@ -1330,6 +1503,7 @@ func (m *Manager) execAll(ctx context.Context, c Consistency, tr *QueryTrace, fn
 // It always rides the fresh lane — a barrier that could jump the queue
 // would not be one.
 func (m *Manager) Flush() error {
+	m.cacheEpoch.Add(1)
 	return m.execAll(context.Background(), ConsistencyFresh, nil, func(*worker) {})
 }
 
@@ -1397,7 +1571,8 @@ func (m *Manager) TopK(k int) ([]PairEstimate, error) {
 
 // TopKC is TopK on an explicit lane (empty = default).
 func (m *Manager) TopKC(k int, c Consistency) ([]PairEstimate, error) {
-	return m.topK(context.Background(), k, c, nil, func(v float64) float64 { return v })
+	res, _, err := m.topK(context.Background(), k, c, nil, false, false)
+	return res, err
 }
 
 // TopKT is TopKC with deadline propagation and optional span tracing:
@@ -1405,11 +1580,16 @@ func (m *Manager) TopKC(k int, c Consistency) ([]PairEstimate, error) {
 // query with ErrDeadline) and the per-shard critical path (max
 // wait/apply) and heap-merge time land in tr.
 func (m *Manager) TopKT(ctx context.Context, k int, c Consistency, magnitude bool, tr *QueryTrace) ([]PairEstimate, error) {
-	rank := func(v float64) float64 { return v }
-	if magnitude {
-		rank = math.Abs
-	}
-	return m.topK(ctx, k, c, tr, rank)
+	res, _, err := m.topK(ctx, k, c, tr, magnitude, false)
+	return res, err
+}
+
+// TopKCachedT is TopKT for callers that tolerate the memoized
+// response (the folded-resolution read path): a memo hit skips the
+// shard fan-out entirely and the second return reports it. The result
+// slice may be shared across callers — treat it as read-only.
+func (m *Manager) TopKCachedT(ctx context.Context, k int, c Consistency, magnitude bool, tr *QueryTrace) ([]PairEstimate, bool, error) {
+	return m.topK(ctx, k, c, tr, magnitude, true)
 }
 
 // TopKMagnitude ranks by |estimate| so strong negative correlations
@@ -1420,23 +1600,42 @@ func (m *Manager) TopKMagnitude(k int) ([]PairEstimate, error) {
 
 // TopKMagnitudeC is TopKMagnitude on an explicit lane (empty = default).
 func (m *Manager) TopKMagnitudeC(k int, c Consistency) ([]PairEstimate, error) {
-	return m.topK(context.Background(), k, c, nil, math.Abs)
+	res, _, err := m.topK(context.Background(), k, c, nil, true, false)
+	return res, err
 }
 
-func (m *Manager) topK(ctx context.Context, k int, c Consistency, tr *QueryTrace, rank func(float64) float64) ([]PairEstimate, error) {
+func (m *Manager) topK(ctx context.Context, k int, c Consistency, tr *QueryTrace, magnitude, cached bool) ([]PairEstimate, bool, error) {
 	if k < 1 {
-		return nil, fmt.Errorf("shard: k must be ≥ 1")
+		return nil, false, fmt.Errorf("shard: k must be ≥ 1")
+	}
+	lane := m.lane(c)
+	// The epoch is read before the fan-out: a concurrent ingest during
+	// the fan-out leaves the memo stamped with an already-stale epoch,
+	// so the next cached read misses — conservative, never stale-beyond-
+	// epoch.
+	epoch := m.cacheEpoch.Load()
+	if cached {
+		m.cacheMu.Lock()
+		memo := m.cacheTopK
+		m.cacheMu.Unlock()
+		if memo.valid && memo.epoch == epoch && memo.k == k && memo.lane == lane && memo.magnitude == magnitude {
+			return memo.res, true, nil
+		}
+	}
+	rank := func(v float64) float64 { return v }
+	if magnitude {
+		rank = math.Abs
 	}
 	locals := make([][]kv, m.cfg.Shards)
 	var mu sync.Mutex
-	err := m.execAll(ctx, m.lane(c), tr, func(w *worker) {
+	err := m.execAll(ctx, lane, tr, func(w *worker) {
 		l := w.localTop(k, rank)
 		mu.Lock()
 		locals[w.id] = l
 		mu.Unlock()
 	})
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	mergeStart := time.Now()
 	h := topk.NewHeap(k)
@@ -1458,7 +1657,14 @@ func (m *Manager) topK(ctx context.Context, k int, c Consistency, tr *QueryTrace
 		out[i] = PairEstimate{A: a, B: b, Key: it.Key, Estimate: ests[it.Key]}
 	}
 	tr.noteMerge(time.Since(mergeStart))
-	return out, nil
+	// Memoize unconditionally (not just for cached callers): a full-
+	// resolution query warming the memo is exactly what lets a later
+	// degraded read skip its fan-out. One mutexed struct copy per
+	// top-k query — nowhere near the ingest hot path.
+	m.cacheMu.Lock()
+	m.cacheTopK = topkMemo{valid: true, k: k, lane: lane, magnitude: magnitude, epoch: epoch, res: out}
+	m.cacheMu.Unlock()
+	return out, false, nil
 }
 
 // MergedSketch returns the cell-wise sum of all shard sketches. For the
@@ -1483,6 +1689,15 @@ func (m *Manager) MergedSketch() (*countsketch.Sketch, error) {
 	err := m.execAll(context.Background(), ConsistencyFresh, nil, func(w *worker) {
 		c := w.eng.(sketcher).Sketch().Clone()
 		c.Renormalize()
+		// An idle-folded shard merges at full resolution: unfolding the
+		// clone replicates its cells back to full width (estimates are
+		// preserved exactly), and the fold-history baseline is dropped —
+		// it only matters for future re-folds, which a merge view never
+		// performs.
+		if c.FoldLevel() > 0 {
+			c.Unfold()
+		}
+		c.DropFoldBase()
 		mu.Lock()
 		clones[w.id] = c
 		mu.Unlock()
@@ -1524,6 +1739,10 @@ type ShardHealth struct {
 	WaveFallbackExploration uint64  `json:"wave_fallback_exploration"`
 	WaveFallbackShape       uint64  `json:"wave_fallback_shape"`
 	TrackerPruned           uint64  `json:"tracker_pruned"`
+	// Folds / Unfolds count idle-policy folds and ingest-triggered
+	// unfolds since construction (or the snapshot baseline).
+	Folds   uint64 `json:"folds,omitempty"`
+	Unfolds uint64 `json:"unfolds,omitempty"`
 }
 
 // ShardStats describes one shard worker.
@@ -1541,6 +1760,9 @@ type ShardStats struct {
 	// NEff is the shard engine's effective sample count (decay mode;
 	// saturates at the window W as the stream runs on).
 	NEff float64 `json:"n_eff,omitempty"`
+	// FoldLevel is the engine's current fold level: 0 at full
+	// resolution, L after an idle fold halved the table width L times.
+	FoldLevel int `json:"fold_level,omitempty"`
 	// Health carries the sketch-health and pressure telemetry.
 	Health ShardHealth `json:"health"`
 }
@@ -1653,6 +1875,11 @@ func (m *Manager) StatsT(ctx context.Context, c Consistency, tr *QueryTrace) (St
 		if d, ok := w.eng.(sketchapi.Decayer); ok && d.Decaying() {
 			s.NEff = d.EffectiveSamples()
 		}
+		if w.folder != nil {
+			s.FoldLevel = w.folder.FoldLevel()
+			s.Health.Folds = w.folds
+			s.Health.Unfolds = w.unfolds
+		}
 		mu.Lock()
 		per[w.id] = s
 		mu.Unlock()
@@ -1676,6 +1903,20 @@ func (m *Manager) StatsT(ctx context.Context, c Consistency, tr *QueryTrace) (St
 
 // NumShards returns the shard count.
 func (m *Manager) NumShards() int { return m.cfg.Shards }
+
+// MaxShardFoldLevel reports the highest published fold level across
+// shards — 0 when every engine serves at full resolution. It reads
+// the wait-free telemetry blocks, so it never enqueues onto a worker
+// (the level it reports is the last published one, like any scrape).
+func (m *Manager) MaxShardFoldLevel() int {
+	level := 0
+	for _, tel := range m.tels {
+		if l := int(tel.Snap.Load(obs.ShardFoldLevel)); l > level {
+			level = l
+		}
+	}
+	return level
+}
 
 // Tel returns shard i's telemetry block. The block is atomics all the
 // way down and the backing slice is immutable after construction, so

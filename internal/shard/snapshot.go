@@ -100,6 +100,41 @@ type manifest struct {
 	// pre-checksum manifests, which restore without verification (they
 	// have nothing to verify against).
 	Files []shardFileInfo `json:"files,omitempty"`
+	// FoldIdle/FoldIdleTicks/FoldLevels record the snapshotting
+	// deployment's idle-fold policy so a restore continues it, and
+	// SnapshotFold the fold level the sketch blobs were streamed at
+	// (the blobs are self-describing either way — restore reads the
+	// level from the sketch header, not from here). All absent in
+	// pre-fold manifests, which restore with the policy off.
+	FoldIdle      time.Duration `json:"fold_idle,omitempty"`
+	FoldIdleTicks int           `json:"fold_idle_ticks,omitempty"`
+	FoldLevels    int           `json:"fold_levels,omitempty"`
+	SnapshotFold  int           `json:"snapshot_fold,omitempty"`
+	// Telemetry carries the cumulative counter baselines at snapshot
+	// time, so a restored manager's counters resume monotonically
+	// instead of restarting at zero. Absent in pre-baseline manifests.
+	Telemetry *telemetryBaseline `json:"telemetry,omitempty"`
+}
+
+// shardBaseline is one shard's cumulative counter baseline at the
+// snapshot cut. Ops and step always traveled in the shard blob
+// header; these are the worker counters that used to restart at zero
+// on restore.
+type shardBaseline struct {
+	Batches   uint64 `json:"batches,omitempty"`
+	LaneJumps uint64 `json:"lane_jumps,omitempty"`
+	Folds     uint64 `json:"folds,omitempty"`
+	Unfolds   uint64 `json:"unfolds,omitempty"`
+}
+
+// telemetryBaseline aggregates the restorable cumulative telemetry:
+// per-shard worker counters plus the manager-level robustness
+// counters.
+type telemetryBaseline struct {
+	Shards          []shardBaseline `json:"shards,omitempty"`
+	ShedRequests    uint64          `json:"shed_requests,omitempty"`
+	DeadlineOps     uint64          `json:"deadline_ops,omitempty"`
+	DeadlineQueries uint64          `json:"deadline_queries,omitempty"`
 }
 
 func shardFileName(dir string, shard int, id uint64) string {
@@ -140,6 +175,10 @@ func (m *Manager) Snapshot(dir string) error {
 		Engine:           m.spec,
 		QueryConsistency: m.cfg.QueryConsistency,
 		Admission:        m.cfg.Admission,
+		FoldIdle:         m.cfg.FoldIdle,
+		FoldIdleTicks:    m.cfg.FoldIdleTicks,
+		FoldLevels:       m.cfg.FoldLevels,
+		SnapshotFold:     m.cfg.SnapshotFold,
 	}
 	if m.spec.decaying() {
 		man.Version = manifestVersionV2
@@ -147,6 +186,7 @@ func (m *Manager) Snapshot(dir string) error {
 	m.mu.Unlock()
 	man.SnapshotID = uint64(time.Now().UnixNano())
 	man.Files = make([]shardFileInfo, m.cfg.Shards)
+	bases := make([]shardBaseline, m.cfg.Shards)
 	werrs := make([]error, m.cfg.Shards)
 	// The snapshot cut must ride the ingest FIFO (fresh lane) so it
 	// observes every batch enqueued before the call, whatever the
@@ -156,9 +196,10 @@ func (m *Manager) Snapshot(dir string) error {
 		// stalling one shard's queue briefly is the price of a
 		// lock-free hot path. Each closure writes its own slot.
 		path := shardFileName(dir, w.id, man.SnapshotID)
-		crc, size, err := w.writeSnapshot(path)
+		crc, size, err := w.writeSnapshot(path, m.cfg.SnapshotFold)
 		werrs[w.id] = err
 		man.Files[w.id] = shardFileInfo{Name: filepath.Base(path), Bytes: size, CRC32C: crc}
+		bases[w.id] = shardBaseline{Batches: w.batches, LaneJumps: w.laneJumps, Folds: w.folds, Unfolds: w.unfolds}
 	})
 	if err == nil {
 		err = errors.Join(werrs...)
@@ -166,12 +207,35 @@ func (m *Manager) Snapshot(dir string) error {
 	if err != nil {
 		return err
 	}
+	man.Telemetry = &telemetryBaseline{
+		Shards:          bases,
+		ShedRequests:    m.shedRequests.Load(),
+		DeadlineOps:     m.deadlineOps.Load(),
+		DeadlineQueries: m.deadlineQueries.Load(),
+	}
 	if err := commitManifest(dir, man, m.faults); err != nil {
 		return err
 	}
 	gcStaleBlobs(dir, man.SnapshotID)
+	var total uint64
+	for _, f := range man.Files {
+		total += uint64(f.Bytes)
+	}
+	m.lastSnapshotBytes.Store(total)
+	m.snapshotsTotal.Add(1)
 	return nil
 }
+
+// LastSnapshotBytes reports the byte total of this manager's most
+// recent successful snapshot (0 before the first), and Snapshots the
+// number of successful snapshots — the /metrics feed for snapshot
+// size observability (pre-folded snapshots show up directly as a
+// smaller byte total).
+func (m *Manager) LastSnapshotBytes() uint64 { return m.lastSnapshotBytes.Load() }
+
+// Snapshots reports the number of successful snapshots this manager
+// has committed.
+func (m *Manager) Snapshots() uint64 { return m.snapshotsTotal.Load() }
 
 // commitManifest atomically replaces dir/manifest.json: the new
 // snapshot becomes the recovery point only once its manifest rename
@@ -250,7 +314,13 @@ func gcStaleBlobs(dir string, keep uint64) {
 // whole storage round trip. Injected write/fsync faults (chaos runs)
 // surface as ordinary errors here, which abort the snapshot before the
 // manifest commit — the previous recovery point stays intact.
-func (w *worker) writeSnapshot(path string) (crc uint32, size int64, err error) {
+//
+// A positive fold level streams the engine's sketch pre-folded to
+// that level (clamped per engine to its maximum) through the
+// sketchapi.FoldedWriter facet: up to 2^level× fewer sketch bytes on
+// disk, same header, same CRC discipline. Engines without the facet
+// snapshot at live resolution.
+func (w *worker) writeSnapshot(path string, fold int) (crc uint32, size int64, err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return 0, 0, err
@@ -266,7 +336,12 @@ func (w *worker) writeSnapshot(path string) (crc uint32, size int64, err error) 
 		f.Close()
 		return 0, 0, err
 	}
-	if _, err := w.eng.WriteTo(cw); err != nil {
+	if fw, ok := w.eng.(sketchapi.FoldedWriter); ok && fold > 0 {
+		_, err = fw.WriteToFolded(cw, fold)
+	} else {
+		_, err = w.eng.WriteTo(cw)
+	}
+	if err != nil {
 		f.Close()
 		return 0, 0, err
 	}
@@ -383,6 +458,10 @@ func RestoreWith(dir string, o RestoreOverrides) (*Manager, error) {
 		InvStd:           man.InvStd,
 		QueryConsistency: man.QueryConsistency,
 		Admission:        admission,
+		FoldIdle:         man.FoldIdle,
+		FoldIdleTicks:    man.FoldIdleTicks,
+		FoldLevels:       man.FoldLevels,
+		SnapshotFold:     man.SnapshotFold,
 		Faults:           o.Faults,
 	}
 	if err := cfg.fill(); err != nil {
@@ -426,9 +505,17 @@ func RestoreWith(dir string, o RestoreOverrides) (*Manager, error) {
 		w.lambda = cfg.Engine.Lambda
 		w.free = m.opFree
 		w.faults = m.faults
-		// Telemetry is not serialized: the counters restart at zero, but
-		// wiring publishes the restored ops/step so the first scrape
-		// after Restore is not blank.
+		// Seed the worker counters from the manifest baseline (absent in
+		// pre-baseline manifests: those restart at zero as before) so the
+		// cumulative telemetry stays monotonic across the restore; wiring
+		// then publishes the restored ops/step/baselines so the first
+		// scrape after Restore is not blank.
+		if man.Telemetry != nil && i < len(man.Telemetry.Shards) {
+			b := man.Telemetry.Shards[i]
+			w.batches, w.laneJumps = b.Batches, b.LaneJumps
+			w.folds, w.unfolds = b.Folds, b.Unfolds
+		}
+		w.foldSetup(cfg.FoldIdle, cfg.FoldIdleTicks, cfg.FoldLevels)
 		w.wire(m.tels[i])
 		workers[i] = w
 		// Under concurrent ingest the manifest step is captured before
@@ -438,6 +525,11 @@ func RestoreWith(dir string, o RestoreOverrides) (*Manager, error) {
 		if w.lastT > m.t {
 			m.t = w.lastT
 		}
+	}
+	if man.Telemetry != nil {
+		m.shedRequests.Store(man.Telemetry.ShedRequests)
+		m.deadlineOps.Store(man.Telemetry.DeadlineOps)
+		m.deadlineQueries.Store(man.Telemetry.DeadlineQueries)
 	}
 	m.workers = workers
 	m.workerWG.Add(len(workers))

@@ -2,6 +2,7 @@ package shard
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/baselines"
 	"repro/internal/core"
@@ -241,6 +242,19 @@ type ServeOptions struct {
 	// ShedHighWater, DegradeHigh, DegradeLow tune the admission bound
 	// and governor hysteresis (shard.Config defaults: 1.0, 0.8, 0.3).
 	ShedHighWater, DegradeHigh, DegradeLow float64
+
+	// FoldIdle enables the idle-shard fold policy: a shard with no
+	// ingest for FoldIdleTicks consecutive FoldIdle intervals folds its
+	// sketch in place (FoldLevels width halvings), unfolding on the
+	// first ingest batch. Zero disables. See shard.Config for details.
+	FoldIdle time.Duration
+	// FoldIdleTicks and FoldLevels tune the policy (shard.Config
+	// defaults: 2 ticks, 3 levels clamped to the engine maximum).
+	FoldIdleTicks, FoldLevels int
+	// SnapshotFold, when positive, streams snapshot sketch blobs
+	// pre-folded to that fold level (up to 2^L× fewer bytes on disk).
+	SnapshotFold int
+
 	// Faults wires the deterministic chaos injector (nil in
 	// production).
 	Faults *faults.Injector
@@ -346,6 +360,10 @@ func NewFromOptions(o ServeOptions) (*Manager, error) {
 		ShedHighWater:    o.ShedHighWater,
 		DegradeHigh:      o.DegradeHigh,
 		DegradeLow:       o.DegradeLow,
+		FoldIdle:         o.FoldIdle,
+		FoldIdleTicks:    o.FoldIdleTicks,
+		FoldLevels:       o.FoldLevels,
+		SnapshotFold:     o.SnapshotFold,
 		Faults:           o.Faults,
 	})
 }

@@ -277,3 +277,42 @@ type Snapshotter interface {
 	// WriteTo serializes the engine in a self-describing binary format.
 	WriteTo(w io.Writer) (int64, error)
 }
+
+// Folder is the elastic-memory capability: an engine whose sketch tables
+// can be compressed in place by the sign-composed linear fold map
+// (countsketch.Fold) and re-expanded by value replication. Folding
+// halves the table width per level, trading collision noise (variance
+// doubles per level) for memory; unfolding restores full-resolution
+// ingest with estimates bit-identical across the transition. All four
+// engines implement Folder; the serving layer uses it to fold idle
+// shards in place and to write pre-folded snapshots.
+//
+// Fold/Unfold are mutations and follow the Ingestor synchronization
+// contract (single writer); the shard workers call them only between
+// batches, so the ingest hot path never observes a mid-fold table.
+type Folder interface {
+	Ingestor
+	// Fold compresses the tables by `levels` additional width halvings.
+	// It fails if the configured range does not divide by 2^levels more
+	// times (see MaxFoldLevels).
+	Fold(levels int) error
+	// Unfold re-expands to full resolution by value replication; no-op
+	// when already unfolded.
+	Unfold()
+	// FoldLevel returns the current fold level (0 = full resolution).
+	FoldLevel() int
+	// MaxFoldLevels returns the deepest absolute fold level supported by
+	// the engine's table geometry (for multi-table engines, the
+	// shallowest of the layers).
+	MaxFoldLevels() int
+}
+
+// FoldedWriter is implemented by engines that can serialize their state
+// as if folded to a target level without mutating the live tables — the
+// pre-folded snapshot path. Engines clamp the level to MaxFoldLevels.
+type FoldedWriter interface {
+	Snapshotter
+	// WriteToFolded serializes like WriteTo with the sketch tables folded
+	// to the given absolute level.
+	WriteToFolded(w io.Writer, level int) (int64, error)
+}

@@ -2,6 +2,7 @@ package ascs
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/shard"
 	"repro/internal/stream"
@@ -101,6 +102,24 @@ type ShardedConfig struct {
 	// may miss at most the batches still in that queue. The *C query
 	// variants override it per call.
 	QueryConsistency Consistency
+
+	// FoldIdle, when positive, folds shards that have been quiet for
+	// FoldIdleTicks consecutive FoldIdle intervals down to a sketch
+	// 2^FoldLevels narrower, reclaiming memory on idle partitions.
+	// Folded shards keep answering queries (unbiased, more collision
+	// noise) and unfold transparently on their next ingest batch.
+	FoldIdle time.Duration
+	// FoldIdleTicks is the number of consecutive quiet FoldIdle ticks
+	// before a shard folds (default 2).
+	FoldIdleTicks int
+	// FoldLevels is the idle-fold depth; each level halves sketch width
+	// (default 3, clamped to the sketch's maximum).
+	FoldLevels int
+	// SnapshotFold writes snapshot blobs pre-folded by this many
+	// levels: 2^SnapshotFold fewer sketch bytes per shard, with the
+	// matching accuracy cost baked into the snapshot. Restored shards
+	// unfold on their first ingest batch. 0 keeps full resolution.
+	SnapshotFold int
 }
 
 // Sharded is the concurrent, sharded counterpart of Estimator: safe
@@ -162,6 +181,10 @@ func NewSharded(cfg ShardedConfig) (*Sharded, error) {
 		Window:           cfg.Window,
 		Lambda:           cfg.DecayLambda,
 		QueryConsistency: cfg.QueryConsistency,
+		FoldIdle:         cfg.FoldIdle,
+		FoldIdleTicks:    cfg.FoldIdleTicks,
+		FoldLevels:       cfg.FoldLevels,
+		SnapshotFold:     cfg.SnapshotFold,
 	})
 	if err != nil {
 		return nil, err
