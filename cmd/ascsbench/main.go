@@ -78,7 +78,9 @@ import (
 	"repro/internal/countsketch"
 	"repro/internal/hashing"
 	"repro/internal/pairs"
+	"repro/internal/shard"
 	"repro/internal/sketchapi"
+	"repro/internal/stream"
 )
 
 type Result struct {
@@ -208,6 +210,22 @@ type FoldPoint struct {
 	SignalRMS    float64 `json:"signal_rms"`
 }
 
+// WALPoint is one sync policy of the -walsweep arm: the shard-manager
+// ingest cost per pair with the write-ahead log off ("none"), armed
+// without fsync ("off"), fsynced on a timer ("interval"), or fsynced
+// per commit group ("batch") — the ns/pair premium each durability
+// level charges the hot path, plus the log traffic it generated.
+type WALPoint struct {
+	Sync          string  `json:"sync"`
+	NsPerPair     float64 `json:"ns_per_pair"`
+	PairsPerSec   float64 `json:"pairs_per_sec"`
+	AllocsPerPair float64 `json:"allocs_per_pair"`
+	// OverheadNs is this policy's ns/pair minus the "none" baseline's.
+	OverheadNs float64 `json:"overhead_ns_vs_none"`
+	WALBytes   uint64  `json:"wal_appended_bytes"`
+	WALFsyncs  uint64  `json:"wal_fsyncs"`
+}
+
 type Report struct {
 	Config struct {
 		Tables     int    `json:"tables"`
@@ -222,6 +240,7 @@ type Report struct {
 	Speedups   []SpeedupEntry `json:"speedups,omitempty"`
 	RangeSweep []SweepPoint   `json:"range_sweep,omitempty"`
 	FoldSweep  []FoldPoint    `json:"fold_sweep,omitempty"`
+	WALSweep   []WALPoint     `json:"wal_sweep,omitempty"`
 	Notes      string         `json:"notes"`
 }
 
@@ -239,6 +258,8 @@ func main() {
 		sweepEngine = flag.String("sweepengine", "ascs", "engine measured by the range sweep")
 		foldSweep   = flag.Int("foldsweep", 3,
 			"deepest fold level for the accuracy/bytes-vs-level fold sweep over -engines (0 disables)")
+		walSweep = flag.Bool("walsweep", true,
+			"measure shard-manager ingest under -wal-sync off/interval/batch vs no WAL (false disables)")
 	)
 	testing.Init() // registers test.benchtime, set per run in runMode
 	flag.Parse()
@@ -350,6 +371,10 @@ func main() {
 			report.FoldSweep = append(report.FoldSweep,
 				runFoldSweep(engine, *tables, *rng, *nkeys, *foldSweep)...)
 		}
+	}
+
+	if *walSweep {
+		report.WALSweep = runWALSweep(*tables, *rng, *benchtime)
 	}
 
 	f, err := os.Create(*out)
@@ -706,6 +731,95 @@ func runFoldSweep(engine string, tables, rng, nkeys, maxLevel int) []FoldPoint {
 		}
 		log.Printf("foldsweep %-4s L%d: %8d B (%5.2fx smaller), rms fold deviation %.4g (signal rms %.4g)",
 			engine, level, pt.Bytes, pt.Shrink, pt.RMSDeviation, pt.SignalRMS)
+		pts = append(pts, pt)
+	}
+	return pts
+}
+
+// runWALSweep measures the manager-level ingest path — routing, worker
+// apply, and the WAL tee — under each durability policy, against the
+// same manager with no WAL at all. The tee itself is a value send off
+// the hot path, so "off" prices the encode+append work of the log
+// goroutine stealing cycles, "interval" adds a timer fsync, and "batch"
+// charges an fsync per commit group: the full RPO-vs-throughput menu.
+func runWALSweep(tables, rng int, benchtime time.Duration) []WALPoint {
+	const (
+		feat  = 16 // features per sample: feat·(feat−1)/2 pairs each
+		batch = 64 // samples per Ingest call
+	)
+	pairsPerCall := batch * feat * (feat - 1) / 2
+	samples := make([]stream.Sample, batch)
+	for i := range samples {
+		row := make([]float64, feat)
+		for j := range row {
+			row[j] = float64((i*feat+j)%13) - 6
+		}
+		samples[i] = stream.FromDense(row)
+	}
+
+	var pts []WALPoint
+	for _, sync := range []string{"none", "off", "interval", "batch"} {
+		cfg := shard.Config{
+			Dim: feat, Shards: 2,
+			Engine: shard.EngineSpec{
+				Kind:   shard.KindCS,
+				Sketch: countsketch.Config{Tables: tables, Range: rng, Seed: 1},
+				T:      1 << 30,
+			},
+		}
+		dir := ""
+		if sync != "none" {
+			d, err := os.MkdirTemp("", "ascsbench-wal-*")
+			if err != nil {
+				log.Fatal(err)
+			}
+			dir = d
+			cfg.WALDir, cfg.WALSync = dir, sync
+		}
+		mgr, err := shard.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if prev := flag.Lookup("test.benchtime"); prev != nil {
+			_ = prev.Value.Set(benchtime.String())
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := mgr.Ingest(samples); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// The flush barrier keeps queued batches from leaking out of
+			// the timed window — the number is applied pairs, not enqueues.
+			if err := mgr.Flush(); err != nil {
+				b.Fatal(err)
+			}
+		})
+		pt := WALPoint{
+			Sync:          sync,
+			NsPerPair:     float64(r.T.Nanoseconds()) / float64(r.N*pairsPerCall),
+			AllocsPerPair: float64(r.AllocsPerOp()) / float64(pairsPerCall),
+		}
+		if pt.NsPerPair > 0 {
+			pt.PairsPerSec = 1e9 / pt.NsPerPair
+		}
+		if ws := mgr.WALStats(); ws != nil {
+			pt.WALBytes = ws.AppendedBytes
+			pt.WALFsyncs = ws.Fsyncs
+		}
+		if err := mgr.Close(); err != nil {
+			log.Fatal(err)
+		}
+		if dir != "" {
+			os.RemoveAll(dir)
+		}
+		if len(pts) > 0 {
+			pt.OverheadNs = pt.NsPerPair - pts[0].NsPerPair
+		}
+		log.Printf("walsweep sync=%-8s: %7.1f ns/pair (%.3e pairs/s, %+.1f ns vs none, %d fsyncs)",
+			pt.Sync, pt.NsPerPair, pt.PairsPerSec, pt.OverheadNs, pt.WALFsyncs)
 		pts = append(pts, pt)
 	}
 	return pts

@@ -48,6 +48,7 @@ import (
 	"net/http/pprof"
 	"os/signal"
 	"runtime"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -91,6 +92,9 @@ func main() {
 		foldTicks   = flag.Int("fold-idle-ticks", 2, "consecutive quiet -fold-idle ticks before a shard folds")
 		foldLevels  = flag.Int("fold-levels", 3, "fold depth for idle shards: each level halves sketch width (clamped to the sketch's maximum)")
 		snapFold    = flag.Int("snapshot-fold", 0, "write snapshot blobs pre-folded by this many levels (2^L fewer sketch bytes; restored shards unfold on first ingest; 0 = full resolution)")
+		walDir      = flag.String("wal-dir", "", "write-ahead-log directory: applied ingest batches are logged durably and replayed on restart, bounding crash loss to the -wal-sync policy (empty disables)")
+		walSync     = flag.String("wal-sync", "batch", "WAL durability policy: batch (fsync per commit group), interval or an explicit duration (periodic fsync), or off (OS page cache only)")
+		walSegBytes = flag.Int64("wal-segment-bytes", 64<<20, "WAL segment size before rotation (min 4096)")
 	)
 	flag.Parse()
 	log.SetPrefix("ascsd: ")
@@ -108,6 +112,10 @@ func main() {
 		log.Printf("FAULT INJECTION ACTIVE: %s (chaos drill mode — never production)", *faultSpec)
 	}
 
+	if *walDir == "" && (*walSync != "batch" || *walSegBytes != 64<<20) {
+		log.Fatal("-wal-sync and -wal-segment-bytes require -wal-dir")
+	}
+
 	mgr, err := buildManager(managerFlags{
 		dim: *dim, samples: *samples, window: *window, decay: *decay,
 		shards: *shards, engine: *engine,
@@ -118,19 +126,47 @@ func main() {
 		admission: policy, shedHighWater: *shedHW, faults: injector,
 		foldIdle: *foldIdle, foldTicks: *foldTicks, foldLevels: *foldLevels,
 		snapshotFold: *snapFold,
+		walDir:       *walDir, walSync: *walSync, walSegBytes: *walSegBytes,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	if ws := mgr.WALStats(); ws != nil {
+		log.Printf("WAL armed at %s (sync=%s): replayed %d records (%d ops, %d skipped) in %.3fs, resuming at seq %d",
+			*walDir, ws.Sync, ws.Recovery.ReplayedRecords, ws.Recovery.ReplayedOps,
+			ws.Recovery.SkippedRecords, ws.Recovery.DurationSeconds, ws.LastSeq)
+		if ws.Recovery.Torn {
+			log.Printf("WAL recovery truncated a torn tail (%d bytes) — loss bounded by the previous run's -wal-sync policy", ws.Recovery.TornBytes)
+		}
+	}
+	// lastSnapStep tracks the step covered by the newest on-disk
+	// snapshot, so a graceful shutdown can skip the final snapshot when
+	// nothing was ingested since (clean restart cycles stay replay-free
+	// without pointless churn). −1 = no snapshot taken this run; a
+	// restore without WAL replay counts as covered (the on-disk state
+	// already equals the live state).
+	var lastSnapStep atomic.Int64
+	lastSnapStep.Store(-1)
+	if *restore {
+		if ws := mgr.WALStats(); ws == nil || ws.Recovery.ReplayedRecords == 0 {
+			lastSnapStep.Store(int64(mgr.Step()))
+		}
+	}
+	// Managers built by POST /v1/restore keep the deployment's admission
+	// policy and injector instead of the manifest's. The WAL fields make
+	// the handler warn that a runtime restore serves undurably
+	// (boot-time -restore is the recovery path).
+	overrides := shard.RestoreOverrides{Admission: policy, Faults: injector}
+	if *walDir != "" {
+		overrides.WALDir, overrides.WALSync, overrides.WALSegmentBytes = *walDir, *walSync, *walSegBytes
+	}
 	srv := server.New(mgr, server.Options{
-		SnapshotDir:   *snapDir,
-		MaxBatch:      *maxBatch,
-		TraceEvery:    *traceEvery,
-		QueryTimeout:  *queryTO,
-		IngestTimeout: *ingestTO,
-		// Managers built by POST /v1/restore keep the deployment's
-		// admission policy and injector instead of the manifest's.
-		RestoreOverrides: shard.RestoreOverrides{Admission: policy, Faults: injector},
+		SnapshotDir:      *snapDir,
+		MaxBatch:         *maxBatch,
+		TraceEvery:       *traceEvery,
+		QueryTimeout:     *queryTO,
+		IngestTimeout:    *ingestTO,
+		RestoreOverrides: overrides,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -155,7 +191,7 @@ func main() {
 		if *snapDir == "" {
 			log.Fatal("-snapshot-every requires -snapshot-dir")
 		}
-		go periodicSnapshots(ctx, srv, *snapDir, *snapEvery)
+		go periodicSnapshots(ctx, srv, *snapDir, *snapEvery, &lastSnapStep)
 	}
 
 	httpSrv := &http.Server{
@@ -195,10 +231,16 @@ func main() {
 		}
 	}
 	if *snapDir != "" {
-		if err := snapshotNow(srv, *snapDir); err != nil && !errors.Is(err, shard.ErrWarmingUp) {
+		// HTTP is drained, so the step is stable: skip the final snapshot
+		// when the newest on-disk snapshot already covers it — a clean
+		// restart never needs replay either way, and idle restart cycles
+		// stop rewriting identical state.
+		if cur := int64(srv.Manager().Step()); cur == lastSnapStep.Load() {
+			log.Printf("final snapshot skipped: step %d already covered by the last snapshot in %s", cur, *snapDir)
+		} else if err := snapshotNow(srv, *snapDir, &lastSnapStep); err != nil && !errors.Is(err, shard.ErrWarmingUp) {
 			log.Printf("final snapshot: %v", err)
 		} else if err == nil {
-			log.Printf("final snapshot written to %s", *snapDir)
+			log.Printf("final snapshot written to %s at step %d", *snapDir, srv.Manager().Step())
 		}
 	}
 	if err := srv.Close(); err != nil {
@@ -227,6 +269,8 @@ type managerFlags struct {
 	foldTicks            int
 	foldLevels           int
 	snapshotFold         int
+	walDir, walSync      string
+	walSegBytes          int64
 }
 
 func buildManager(f managerFlags) (*shard.Manager, error) {
@@ -240,9 +284,11 @@ func buildManager(f managerFlags) (*shard.Manager, error) {
 		if f.snapDir == "" {
 			return nil, fmt.Errorf("-restore requires -snapshot-dir")
 		}
-		mgr, err := shard.RestoreWith(f.snapDir, shard.RestoreOverrides{
-			Admission: f.admission, Faults: f.faults,
-		})
+		o := shard.RestoreOverrides{Admission: f.admission, Faults: f.faults}
+		if f.walDir != "" {
+			o.WALDir, o.WALSync, o.WALSegmentBytes = f.walDir, f.walSync, f.walSegBytes
+		}
+		mgr, err := shard.RestoreWith(f.snapDir, o)
 		if err != nil {
 			return nil, err
 		}
@@ -276,6 +322,11 @@ func buildManager(f managerFlags) (*shard.Manager, error) {
 	// The mem→range split and warm-up sizing are the shared
 	// shard.NewFromOptions rules (one derivation for the library, the
 	// daemon, and the benchmark).
+	var walDir, walSync string
+	var walSegBytes int64
+	if f.walDir != "" {
+		walDir, walSync, walSegBytes = f.walDir, f.walSync, f.walSegBytes
+	}
 	return shard.NewFromOptions(shard.ServeOptions{
 		Dim:              f.dim,
 		Samples:          f.samples,
@@ -301,6 +352,9 @@ func buildManager(f managerFlags) (*shard.Manager, error) {
 		FoldIdleTicks:    f.foldTicks,
 		FoldLevels:       f.foldLevels,
 		SnapshotFold:     f.snapshotFold,
+		WALDir:           walDir,
+		WALSync:          walSync,
+		WALSegmentBytes:  walSegBytes,
 	})
 }
 
@@ -323,7 +377,7 @@ func debugMux(srv *server.Server) *http.ServeMux {
 
 // periodicSnapshots checkpoints the live manager on a fixed cadence
 // until ctx is cancelled (warm-up ticks are skipped).
-func periodicSnapshots(ctx context.Context, srv *server.Server, dir string, every time.Duration) {
+func periodicSnapshots(ctx context.Context, srv *server.Server, dir string, every time.Duration, last *atomic.Int64) {
 	tick := time.NewTicker(every)
 	defer tick.Stop()
 	for {
@@ -331,7 +385,7 @@ func periodicSnapshots(ctx context.Context, srv *server.Server, dir string, ever
 		case <-ctx.Done():
 			return
 		case <-tick.C:
-			if err := snapshotNow(srv, dir); err != nil {
+			if err := snapshotNow(srv, dir, last); err != nil {
 				if !errors.Is(err, shard.ErrWarmingUp) {
 					log.Printf("periodic snapshot: %v", err)
 				}
@@ -342,6 +396,16 @@ func periodicSnapshots(ctx context.Context, srv *server.Server, dir string, ever
 	}
 }
 
-func snapshotNow(srv *server.Server, dir string) error {
-	return srv.Manager().Snapshot(dir)
+// snapshotNow checkpoints the live manager and records the covered
+// step. The step is read before the cut, so concurrent ingest can only
+// make the recorded coverage conservative (an unnecessary shutdown
+// snapshot, never a skipped necessary one).
+func snapshotNow(srv *server.Server, dir string, last *atomic.Int64) error {
+	mgr := srv.Manager()
+	step := int64(mgr.Step())
+	if err := mgr.Snapshot(dir); err != nil {
+		return err
+	}
+	last.Store(step)
+	return nil
 }

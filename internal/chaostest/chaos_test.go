@@ -419,3 +419,202 @@ func TestTornSnapshotFailsClosedOverHTTP(t *testing.T) {
 		t.Fatalf("stats after failed restore: status %d", r2.StatusCode)
 	}
 }
+
+// walChaosConfig is the manager shape shared by the WAL chaos drills
+// (and by their clean reference runs, which leave the WAL fields empty).
+func walChaosConfig() shard.Config {
+	return shard.Config{
+		Dim: 16, Shards: 2,
+		Engine: shard.EngineSpec{
+			Kind:   shard.KindCS,
+			Sketch: countsketch.Config{Tables: 3, Range: 512, Seed: 21},
+			T:      1 << 20,
+		},
+	}
+}
+
+// waitWALQuiescent polls until every teed record has been appended by
+// the group-commit loop, then gives the trailing group fsync a moment —
+// after this, the on-disk log holds the manager's full ingest history.
+func waitWALQuiescent(t *testing.T, mgr *shard.Manager) *shard.WALStats {
+	t.Helper()
+	deadline := time.Now().Add(budget)
+	for {
+		ws := mgr.WALStats()
+		if ws != nil && ws.Armed && ws.Records == ws.LastSeq && ws.LastSeq > 0 {
+			time.Sleep(100 * time.Millisecond)
+			return mgr.WALStats()
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("WAL never quiesced: %+v", ws)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestWALKillRecoveryEquivalence is the tentpole chaos invariant: kill
+// a WAL-armed manager mid-flight with no shutdown at all (the manager
+// is simply abandoned, never Closed — no final flush, no final sync)
+// and a fresh manager booted on the same log must reconstruct state
+// bit-identical to a clean run of the same stream.
+func TestWALKillRecoveryEquivalence(t *testing.T) {
+	samples := chaosSamples(16, 600)
+
+	clean, err := shard.New(walChaosConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clean.Close()
+
+	walDir := t.TempDir()
+	cfg := walChaosConfig()
+	cfg.WALDir, cfg.WALSync = walDir, "batch"
+	victim, err := shard.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The victim is deliberately never Closed before recovery: Close
+	// would flush and final-sync, which a SIGKILL does not get to do.
+	// Cleanup closes it only after the test body is done.
+	t.Cleanup(func() { victim.Close() })
+
+	for _, m := range []*shard.Manager{clean, victim} {
+		for lo := 0; lo < len(samples); lo += 25 {
+			if _, _, err := m.Ingest(samples[lo : lo+25]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := m.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ws := waitWALQuiescent(t, victim)
+	if ws.Fsyncs == 0 {
+		t.Fatalf("sync=batch never fsynced: %+v", ws)
+	}
+
+	recovered, err := shard.New(cfg)
+	if err != nil {
+		t.Fatalf("recovery boot: %v", err)
+	}
+	defer recovered.Close()
+	if err := recovered.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rs := recovered.WALStats()
+	if rs.Recovery.ReplayedRecords != ws.Records {
+		t.Fatalf("replayed %d of %d durable records", rs.Recovery.ReplayedRecords, ws.Records)
+	}
+
+	if cs, gs := clean.Step(), recovered.Step(); cs != gs {
+		t.Fatalf("recovered Step = %d, clean run = %d", gs, cs)
+	}
+	cleanTop, err := clean.TopKMagnitude(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recTop, err := recovered.TopKMagnitude(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cleanTop) != len(recTop) {
+		t.Fatalf("topk lengths differ: %d vs %d", len(cleanTop), len(recTop))
+	}
+	for i := range cleanTop {
+		if cleanTop[i] != recTop[i] {
+			t.Fatalf("topk[%d] differs after recovery: %+v vs %+v", i, cleanTop[i], recTop[i])
+		}
+	}
+	for _, p := range cleanTop {
+		ce, err := clean.EstimateKey(p.Key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		re, err := recovered.EstimateKey(p.Key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ce != re {
+			t.Fatalf("estimate for key %d differs after recovery: %v vs %v", p.Key, ce, re)
+		}
+	}
+}
+
+// TestWALTornTailBoundedLoss pins the RPO bound: a crash that tears the
+// last WAL record (injected at Close) loses exactly that record — the
+// replay recovers every earlier one and reports the tear.
+func TestWALTornTailBoundedLoss(t *testing.T) {
+	in, err := faults.Parse("waltorn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	walDir := t.TempDir()
+	cfg := walChaosConfig()
+	cfg.WALDir, cfg.WALSync, cfg.Faults = walDir, "batch", in
+	victim, err := shard.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := chaosSamples(16, 200)
+	for lo := 0; lo < len(samples); lo += 25 {
+		if _, _, err := victim.Ingest(samples[lo : lo+25]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := victim.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	appended := waitWALQuiescent(t, victim).Records
+	if err := victim.Close(); err != nil { // waltorn chops the tail here
+		t.Fatal(err)
+	}
+
+	cfg.Faults = nil
+	recovered, err := shard.New(cfg)
+	if err != nil {
+		t.Fatalf("recovery from a torn tail must repair, not fail: %v", err)
+	}
+	defer recovered.Close()
+	rs := recovered.WALStats().Recovery
+	if !rs.Torn || rs.TornBytes == 0 {
+		t.Fatalf("recovery did not report the torn tail: %+v", rs)
+	}
+	if rs.ReplayedRecords != appended-1 {
+		t.Fatalf("torn-tail loss not bounded to the last record: replayed %d of %d", rs.ReplayedRecords, appended)
+	}
+	if recovered.Step() == 0 {
+		t.Fatal("recovered manager lost the durable prefix entirely")
+	}
+}
+
+// TestFaultsFiredFamilyExposed: /metrics carries the per-kind
+// ascs_faults_fired_total family with the full stable label set and the
+// WAL serving families, and observed fires show up as counts.
+func TestFaultsFiredFamilyExposed(t *testing.T) {
+	in, err := faults.Parse("latency=100us@1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newChaosServer(t, in, shard.Config{QueueLen: 16},
+		server.Options{RestoreOverrides: shard.RestoreOverrides{Faults: in}})
+	if resp := postIngest(t, ts.URL, chaosSamples(16, 50)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: status %d", resp.StatusCode)
+	}
+	fams := scrapeFamilies(t, ts.URL)
+	fired, ok := fams["ascs_faults_fired_total"]
+	if !ok {
+		t.Fatal("ascs_faults_fired_total family missing")
+	}
+	if fired.Count != 9 {
+		t.Fatalf("ascs_faults_fired_total exposes %d kinds, want all 9", fired.Count)
+	}
+	if fired.Sum == 0 {
+		t.Fatal("latency fires did not reach the fired family")
+	}
+	// WAL families are present (at zero: this server runs without a WAL).
+	for _, name := range []string{"ascs_wal_armed", "ascs_wal_records_total", "ascs_wal_replay_records_total"} {
+		if fam, ok := fams[name]; !ok || fam.Count != 1 || fam.Sum != 0 {
+			t.Fatalf("%s family = %+v (present %v), want a single zero sample", name, fam, ok)
+		}
+	}
+}

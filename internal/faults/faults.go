@@ -4,7 +4,8 @@
 // points, so chaos tests (internal/chaostest) and the `ascsd -faults`
 // flag can exercise the failure model — latency spikes, stalled
 // workers, dropped and duplicated batch delivery, snapshot I/O errors,
-// torn manifests — without patching production code paths per test.
+// torn manifests, WAL write failures and torn WAL tails — without
+// patching production code paths per test.
 //
 // # Design constraints
 //
@@ -44,6 +45,35 @@ import (
 // produces.
 var ErrInjected = errors.New("faults: injected error")
 
+// Fault kinds, indexing the per-kind observed-fire counters. The order
+// is the stable exposition order of the ascs_faults_fired_total metric
+// family — append new kinds at the end, never reorder.
+const (
+	kindLatency = iota
+	kindStall
+	kindDrop
+	kindDup
+	kindSnapWrite
+	kindFsyncErr
+	kindTorn
+	kindWALWrite
+	kindWALTorn
+	numKinds
+)
+
+// kindNames are the spec/metric-label names of the fault kinds, in
+// counter order.
+var kindNames = [numKinds]string{
+	"latency", "stall", "drop", "dup",
+	"snapwrite", "fsyncerr", "torn", "walwrite", "waltorn",
+}
+
+// FiredCount is one fault kind's observed-fire total.
+type FiredCount struct {
+	Kind  string
+	Count uint64
+}
+
 // Injector holds a parsed fault scenario. The zero value injects
 // nothing; a nil *Injector is valid everywhere.
 type Injector struct {
@@ -67,21 +97,44 @@ type Injector struct {
 	snapFsyncErr   bool
 	tornManifest   bool
 
+	// WAL faults.
+	walWriteAfter int64 // WAL segment writes fail past this many bytes (-1: off)
+	walTorn       bool  // chop the tail of the last WAL record on Close
+
 	stallMu sync.Mutex
 	stallCh chan struct{} // closed by ReleaseStalls
 
-	// Injection counters, for harness assertions.
+	// Injection counters, for harness assertions. The legacy aggregate
+	// counters stay (existing harnesses read them directly); fired adds
+	// the per-kind view behind the ascs_faults_fired_total family.
 	Latencies atomic.Uint64
 	Stalls    atomic.Uint64
 	Drops     atomic.Uint64
 	Dups      atomic.Uint64
 	WriteErrs atomic.Uint64
+
+	fired [numKinds]atomic.Uint64
+}
+
+// Fired returns every fault kind's observed-fire count in the stable
+// exposition order of ascs_faults_fired_total. Safe on nil (all
+// zeros), so the metric family exists — at zero — even in production
+// deployments without an injector.
+func (in *Injector) Fired() [numKinds]FiredCount {
+	var out [numKinds]FiredCount
+	for i := range out {
+		out[i].Kind = kindNames[i]
+		if in != nil {
+			out[i].Count = in.fired[i].Load()
+		}
+	}
+	return out
 }
 
 // New returns an empty (inject-nothing) Injector with the given seed;
 // configure it via Parse in normal use.
 func New(seed uint64) *Injector {
-	in := &Injector{seed: seed, snapWriteAfter: -1}
+	in := &Injector{seed: seed, snapWriteAfter: -1, walWriteAfter: -1}
 	in.stallShard.Store(-1)
 	return in
 }
@@ -98,6 +151,9 @@ func New(seed uint64) *Injector {
 //	snapwrite=BYTES   snapshot blob writes fail after BYTES bytes
 //	fsyncerr          snapshot blob fsync fails
 //	torn              the snapshot manifest is committed truncated (torn write)
+//	walwrite=BYTES    WAL appends fail once BYTES bytes have entered a segment
+//	waltorn           the WAL's last record is chopped mid-frame on Close (the
+//	                  on-disk state a crash mid-write leaves)
 //
 // Example: "seed=7,latency=2ms@0.2,drop=0.01,torn". An empty spec
 // returns (nil, nil): no injector at all.
@@ -175,6 +231,17 @@ func Parse(spec string) (*Injector, error) {
 				return nil, fmt.Errorf("faults: torn takes no value")
 			}
 			in.tornManifest = true
+		case "walwrite":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("faults: bad walwrite byte count %q", val)
+			}
+			in.walWriteAfter = n
+		case "waltorn":
+			if hasVal {
+				return nil, fmt.Errorf("faults: waltorn takes no value")
+			}
+			in.walTorn = true
 		default:
 			return nil, fmt.Errorf("faults: unknown fault %q", key)
 		}
@@ -216,6 +283,7 @@ func (in *Injector) BeforeApply(shard int) {
 	}
 	if in.stallShard.Load() == int64(shard) {
 		in.Stalls.Add(1)
+		in.fired[kindStall].Add(1)
 		if in.stallFor > 0 {
 			time.Sleep(in.stallFor)
 		} else {
@@ -224,6 +292,7 @@ func (in *Injector) BeforeApply(shard int) {
 	}
 	if in.applyLatency > 0 && in.draw() < in.applyLatencyP {
 		in.Latencies.Add(1)
+		in.fired[kindLatency].Add(1)
 		time.Sleep(in.applyLatency)
 	}
 }
@@ -278,11 +347,13 @@ func (in *Injector) Deliver(shard int) Delivery {
 	if in.dropP > 0 && in.draw() < in.dropP {
 		d.Drop = true
 		in.Drops.Add(1)
+		in.fired[kindDrop].Add(1)
 		return d
 	}
 	if in.dupP > 0 && in.draw() < in.dupP {
 		d.Dup = true
 		in.Dups.Add(1)
+		in.fired[kindDup].Add(1)
 	}
 	return d
 }
@@ -295,26 +366,33 @@ func (in *Injector) TimingOnly() bool {
 		return true
 	}
 	return in.dropP == 0 && in.dupP == 0 && in.snapWriteAfter < 0 &&
-		!in.snapFsyncErr && !in.tornManifest
+		!in.snapFsyncErr && !in.tornManifest &&
+		in.walWriteAfter < 0 && !in.walTorn
 }
 
-// faultyWriter fails with ErrInjected once n bytes have passed.
+// faultyWriter fails with ErrInjected once n bytes have passed. what
+// names the faulted surface in the error; kind indexes the fired
+// counter.
 type faultyWriter struct {
 	w    io.Writer
 	left int64
 	in   *Injector
+	what string
+	kind int
 }
 
 func (fw *faultyWriter) Write(p []byte) (int, error) {
 	if fw.left <= 0 {
 		fw.in.WriteErrs.Add(1)
-		return 0, fmt.Errorf("snapshot write past %d bytes: %w", fw.left, ErrInjected)
+		fw.in.fired[fw.kind].Add(1)
+		return 0, fmt.Errorf("%s write past byte budget: %w", fw.what, ErrInjected)
 	}
 	if int64(len(p)) > fw.left {
 		fw.in.WriteErrs.Add(1)
+		fw.in.fired[fw.kind].Add(1)
 		n, _ := fw.w.Write(p[:fw.left])
 		fw.left = 0
-		return n, fmt.Errorf("snapshot write truncated: %w", ErrInjected)
+		return n, fmt.Errorf("%s write truncated: %w", fw.what, ErrInjected)
 	}
 	fw.left -= int64(len(p))
 	return fw.w.Write(p)
@@ -326,7 +404,18 @@ func (in *Injector) SnapshotWriter(w io.Writer) io.Writer {
 	if in == nil || in.snapWriteAfter < 0 {
 		return w
 	}
-	return &faultyWriter{w: w, left: in.snapWriteAfter, in: in}
+	return &faultyWriter{w: w, left: in.snapWriteAfter, in: in, what: "snapshot", kind: kindSnapWrite}
+}
+
+// WALWriter wraps a WAL segment writer with the configured walwrite
+// fault: appends fail once the byte budget for the segment is spent
+// (the budget resets per segment — rotation starts a fresh wrap). Safe
+// on nil (returns w unchanged).
+func (in *Injector) WALWriter(w io.Writer) io.Writer {
+	if in == nil || in.walWriteAfter < 0 {
+		return w
+	}
+	return &faultyWriter{w: w, left: in.walWriteAfter, in: in, what: "wal", kind: kindWALWrite}
 }
 
 // FsyncErr returns the injected fsync failure for snapshot blobs, or
@@ -336,9 +425,26 @@ func (in *Injector) FsyncErr() error {
 		return nil
 	}
 	in.WriteErrs.Add(1)
+	in.fired[kindFsyncErr].Add(1)
 	return fmt.Errorf("snapshot fsync: %w", ErrInjected)
 }
 
 // TornManifest reports whether the manifest commit should simulate a
 // torn write (truncated JSON reaching the final name). Safe on nil.
-func (in *Injector) TornManifest() bool { return in != nil && in.tornManifest }
+func (in *Injector) TornManifest() bool {
+	if in == nil || !in.tornManifest {
+		return false
+	}
+	in.fired[kindTorn].Add(1)
+	return true
+}
+
+// WALTorn reports whether the WAL should chop the tail of its last
+// record on Close, simulating a crash mid-write. Safe on nil.
+func (in *Injector) WALTorn() bool {
+	if in == nil || !in.walTorn {
+		return false
+	}
+	in.fired[kindWALTorn].Add(1)
+	return true
+}

@@ -163,3 +163,65 @@ func TestSnapshotWriterFaults(t *testing.T) {
 		t.Fatal("write errors not counted")
 	}
 }
+
+// TestWALFaults covers the WAL-side kinds: walwrite spends a per-wrap
+// byte budget then fails with ErrInjected, waltorn chops on demand, and
+// both land in the per-kind fired counters.
+func TestWALFaults(t *testing.T) {
+	in, err := Parse("walwrite=8,waltorn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.TimingOnly() {
+		t.Fatal("WAL faults reported TimingOnly")
+	}
+	var buf bytes.Buffer
+	w := in.WALWriter(&buf)
+	if _, err := w.Write(make([]byte, 8)); err != nil {
+		t.Fatalf("write inside the budget: %v", err)
+	}
+	if _, err := w.Write([]byte{1}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write past the budget: got %v, want ErrInjected", err)
+	}
+	if !in.WALTorn() {
+		t.Fatal("waltorn spec did not fire")
+	}
+	counts := map[string]uint64{}
+	for _, f := range in.Fired() {
+		counts[f.Kind] = f.Count
+	}
+	if counts["walwrite"] == 0 || counts["waltorn"] == 0 {
+		t.Fatalf("fired counters missed the WAL kinds: %v", counts)
+	}
+
+	for _, bad := range []string{"walwrite=-1", "walwrite=x", "waltorn=1"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+// TestFiredStableOnNil: the per-kind view must expose every kind — at
+// zero — on a nil injector, so the metric family always has the same
+// label set.
+func TestFiredStableOnNil(t *testing.T) {
+	var in *Injector
+	var buf bytes.Buffer
+	if w := in.WALWriter(&buf); w != &buf {
+		t.Fatal("nil WALWriter must return the writer unchanged")
+	}
+	if in.WALTorn() {
+		t.Fatal("nil WALTorn")
+	}
+	fired := in.Fired()
+	if len(fired) != 9 {
+		t.Fatalf("Fired on nil returned %d kinds, want 9", len(fired))
+	}
+	seen := map[string]bool{}
+	for _, f := range fired {
+		if f.Kind == "" || f.Count != 0 || seen[f.Kind] {
+			t.Fatalf("nil Fired entry %+v (seen=%v)", f, seen)
+		}
+		seen[f.Kind] = true
+	}
+}

@@ -146,6 +146,10 @@ const (
 	// ShardUnfolds counts ingest-triggered unfolds (a fold/unfold pair
 	// is one full elasticity cycle).
 	ShardUnfolds
+	// ShardWALLastSeq is the highest write-ahead-log sequence number the
+	// shard has teed to the group-commit writer (gauge; 0 when the WAL
+	// is not armed).
+	ShardWALLastSeq
 
 	// NumShardCounters sizes the per-shard Snap block.
 	NumShardCounters
@@ -183,6 +187,7 @@ var ShardDefs = [NumShardCounters]Def{
 	ShardFoldLevel:        {Name: "ascs_shard_fold_level", Kind: Gauge, Help: "Current sketch fold level (0 = full resolution)."},
 	ShardFolds:            {Name: "ascs_shard_folds_total", Kind: Counter, Help: "Idle-policy sketch folds applied by the shard worker."},
 	ShardUnfolds:          {Name: "ascs_shard_unfolds_total", Kind: Counter, Help: "Ingest-triggered sketch unfolds back to full resolution."},
+	ShardWALLastSeq:       {Name: "ascs_shard_wal_last_seq", Kind: Gauge, Help: "Highest WAL sequence number teed by the shard (0 when the WAL is off)."},
 }
 
 // Snap is the atomically readable mirror of a single-writer counter

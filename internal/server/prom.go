@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/obs"
+	"repro/internal/shard"
 )
 
 // promPage is the pooled scratch of one /metrics scrape: the exposition
@@ -111,6 +112,48 @@ func (s *Server) writeMetrics(p *promPage) {
 	e.Sample("ascs_snapshot_last_bytes", "", float64(mgr.LastSnapshotBytes()))
 	e.Header("ascs_snapshots_total", "counter", "Snapshots committed by the installed manager.")
 	e.Sample("ascs_snapshots_total", "", float64(mgr.Snapshots()))
+
+	// Durability: write-ahead-log progress plus the last boot's recovery
+	// pass. The families are emitted (zeroed) even without a WAL so
+	// dashboards and alerts never see a family appear out of nowhere.
+	ws := mgr.WALStats()
+	if ws == nil {
+		ws = &shard.WALStats{}
+	}
+	armed := 0.0
+	if ws.Armed {
+		armed = 1
+	}
+	e.Header("ascs_wal_armed", "gauge", "1 while the write-ahead log accepts appends, 0 when off or disarmed by a write error.")
+	e.Sample("ascs_wal_armed", "", armed)
+	e.Header("ascs_wal_appended_bytes_total", "counter", "Bytes appended to the write-ahead log (records incl. framing).")
+	e.Sample("ascs_wal_appended_bytes_total", "", float64(ws.AppendedBytes))
+	e.Header("ascs_wal_records_total", "counter", "Records appended to the write-ahead log.")
+	e.Sample("ascs_wal_records_total", "", float64(ws.Records))
+	e.Header("ascs_wal_segments", "gauge", "Log segments currently on disk (including the active one).")
+	e.Sample("ascs_wal_segments", "", float64(ws.Segments))
+	e.Header("ascs_wal_fsyncs_total", "counter", "fsync calls issued by the write-ahead log.")
+	e.Sample("ascs_wal_fsyncs_total", "", float64(ws.Fsyncs))
+	e.Header("ascs_wal_errors_total", "counter", "Write-ahead-log append/sync failures (a nonzero value means the log disarmed).")
+	e.Sample("ascs_wal_errors_total", "", float64(ws.Errors))
+	e.Header("ascs_wal_truncated_segments_total", "counter", "Log segments removed because a snapshot made them redundant.")
+	e.Sample("ascs_wal_truncated_segments_total", "", float64(ws.TruncatedSegments))
+	e.Header("ascs_wal_last_seq", "gauge", "Highest WAL sequence number issued.")
+	e.Sample("ascs_wal_last_seq", "", float64(ws.LastSeq))
+	e.Header("ascs_wal_replay_records_total", "counter", "WAL records replayed through the ingest path during the last recovery.")
+	e.Sample("ascs_wal_replay_records_total", "", float64(ws.Recovery.ReplayedRecords))
+	e.Header("ascs_wal_replay_skipped_total", "counter", "WAL records skipped during recovery (already covered by the restored snapshot).")
+	e.Sample("ascs_wal_replay_skipped_total", "", float64(ws.Recovery.SkippedRecords))
+	e.Header("ascs_wal_recovery_seconds", "gauge", "Wall time of the last recovery pass (scan + replay + arming).")
+	e.Sample("ascs_wal_recovery_seconds", "", ws.Recovery.DurationSeconds)
+
+	// Chaos observability: per-kind injected-fault fire counts. Nil-safe
+	// with a stable label set (all kinds, zeros included), so chaos runs
+	// can assert injection actually happened from /metrics alone.
+	e.Header("ascs_faults_fired_total", "counter", "Injected faults observed firing, by kind (all zero without -faults).")
+	for _, fc := range s.opts.RestoreOverrides.Faults.Fired() {
+		e.Sample("ascs_faults_fired_total", `kind="`+fc.Kind+`"`, float64(fc.Count))
+	}
 
 	// Per-shard counter blocks: families sharing a name (the wave
 	// fallback causes) are adjacent in ShardDefs, so the header is

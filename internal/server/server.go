@@ -650,7 +650,17 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) (any, err
 	}
 	s.swapMu.Lock()
 	defer s.swapMu.Unlock()
-	restored, err := shard.RestoreWith(dir, s.opts.RestoreOverrides)
+	o := s.opts.RestoreOverrides
+	if o.WALDir != "" {
+		// The live manager's group-commit goroutine owns the WAL
+		// directory until the swap completes, and two logs in one
+		// directory would collide on the segment index. WAL recovery is
+		// a boot-time path (ascsd -restore); the runtime swap serves the
+		// snapshot as-is and the swapped-in manager runs undurably.
+		slog.Warn("restore via API does not re-arm the WAL; restart the daemon for durable ingest", "wal_dir", o.WALDir)
+		o.WALDir, o.WALSync, o.WALSegmentBytes = "", "", 0
+	}
+	restored, err := shard.RestoreWith(dir, o)
 	if err != nil {
 		// Fail closed: the old manager was never swapped out and keeps
 		// serving; corrupt snapshots surface as 500 with the checksum

@@ -104,6 +104,7 @@ import (
 	"repro/internal/sketchapi"
 	"repro/internal/stream"
 	"repro/internal/topk"
+	"repro/internal/wal"
 )
 
 // Sentinel errors returned by Manager operations.
@@ -227,6 +228,22 @@ type Config struct {
 	// unfolds them. Zero snapshots at live resolution.
 	SnapshotFold int
 
+	// WALDir, when non-empty, arms the write-ahead log: every applied
+	// ingest batch is teed to a group-commit writer under this directory,
+	// and construction replays any log tail past the restored snapshot's
+	// coverage before serving (see internal/wal and wal.go in this
+	// package). Empty runs without durability, exactly as before.
+	WALDir string
+	// WALSync is the log's durability policy: "batch" (default — one
+	// fsync per coalesced commit group), "interval" or an explicit
+	// duration (periodic fsync; RPO = the interval), or "off" (OS page
+	// cache only; RPO = whatever the kernel had not written back).
+	WALSync string
+	// WALSegmentBytes caps each log segment before rotation (default
+	// 64 MiB; minimum 4 KiB). Snapshots truncate segments their manifest
+	// coverage makes redundant.
+	WALSegmentBytes int64
+
 	// Faults, when non-nil, wires the deterministic fault injector into
 	// the workers and the snapshot path. Test/chaos use only; never
 	// serialized.
@@ -306,6 +323,24 @@ func (c *Config) fill() error {
 	}
 	if c.SnapshotFold < 0 {
 		return fmt.Errorf("shard: SnapshotFold must be ≥ 0, got %d", c.SnapshotFold)
+	}
+	if c.WALDir == "" {
+		if c.WALSync != "" {
+			return fmt.Errorf("shard: WALSync %q has no effect without WALDir", c.WALSync)
+		}
+		if c.WALSegmentBytes != 0 {
+			return fmt.Errorf("shard: WALSegmentBytes has no effect without WALDir")
+		}
+		return nil
+	}
+	if _, _, err := wal.ParseSync(c.WALSync); err != nil {
+		return err
+	}
+	if c.WALSegmentBytes == 0 {
+		c.WALSegmentBytes = wal.DefaultSegmentBytes
+	}
+	if c.WALSegmentBytes < 4096 {
+		return fmt.Errorf("shard: WALSegmentBytes must be ≥ 4096, got %d", c.WALSegmentBytes)
 	}
 	return nil
 }
@@ -402,6 +437,17 @@ type worker struct {
 	// batch is done).
 	free chan *rowBatch
 
+	// Durability tee (nil-disabled). When wal is non-nil the worker
+	// hands each *applied* batch to the group-commit log goroutine —
+	// stamped with the next global sequence number from walGlobal —
+	// instead of recycling it; the log goroutine returns it to the
+	// freelist after encoding. walLast is the worker's highest teed
+	// sequence, captured into snapshot manifests as that shard's WAL
+	// coverage (worker-goroutine-owned, like everything above).
+	wal       chan<- walItem
+	walGlobal *atomic.Uint64
+	walLast   uint64
+
 	// faults is the optional chaos injector (nil in production: every
 	// hook is nil-safe, so the hot path pays one branch per batch).
 	faults *faults.Injector
@@ -494,6 +540,9 @@ func (w *worker) publish() {
 		s.Store(obs.ShardFoldLevel, uint64(w.folder.FoldLevel()))
 		s.Store(obs.ShardFolds, w.folds)
 		s.Store(obs.ShardUnfolds, w.unfolds)
+	}
+	if w.wal != nil {
+		s.Store(obs.ShardWALLastSeq, w.walLast)
 	}
 }
 
@@ -612,11 +661,22 @@ func (w *worker) run(wg *sync.WaitGroup) {
 				continue
 			}
 			w.applyBatch(m)
-			// Batch applied: recycle its staging buffer (drop it when
-			// the freelist is full — bounded memory beats retention).
-			select {
-			case w.free <- m.ops.reset():
-			default:
+			if w.wal != nil {
+				// Durability tee: the applied batch rides to the group-commit
+				// log goroutine, which recycles it after encoding. The
+				// blocking send is deliberate backpressure — a log that
+				// cannot keep up slows ingest instead of losing data — and
+				// costs no allocation, preserving the 0 allocs/pair bound.
+				seq := w.walGlobal.Add(1)
+				w.walLast = seq
+				w.wal <- walItem{seq: seq, sh: w.id, b: m.ops}
+			} else {
+				// Batch applied: recycle its staging buffer (drop it when
+				// the freelist is full — bounded memory beats retention).
+				select {
+				case w.free <- m.ops.reset():
+				default:
+				}
 			}
 			w.publish()
 		case m, ok := <-qch:
@@ -806,6 +866,12 @@ type Manager struct {
 	// daemon's /metrics; pre-folded snapshots show as smaller totals).
 	lastSnapshotBytes atomic.Uint64
 	snapshotsTotal    atomic.Uint64
+
+	// Durability layer (nil/zero when WALDir is unset). wlog owns the
+	// segment log and its group-commit goroutine; walSeq issues the
+	// global record sequence numbers the workers stamp at tee time.
+	wlog   *walState
+	walSeq atomic.Uint64
 }
 
 // topkMemo is the memoized top-k response. res is shared with every
@@ -856,10 +922,27 @@ func New(cfg Config) (*Manager, error) {
 	m.bufFree = make(chan []*rowBatch, 8)
 	if needWarm {
 		m.warming = true
+		if cfg.WALDir != "" {
+			// The log must be empty (no workers exist to replay into);
+			// setupWAL fails closed otherwise. start() arms the workers
+			// when the warm-up completes.
+			if err := m.setupWAL(nil, false); err != nil {
+				return nil, err
+			}
+		}
 		return m, nil
 	}
 	if err := m.start(cfg.Engine); err != nil {
 		return nil, err
+	}
+	if cfg.WALDir != "" {
+		// Workers are live: replay any existing log through their FIFOs
+		// (a fresh manager covers nothing, so every record replays), then
+		// arm the tees behind the replayed batches.
+		if err := m.setupWAL(nil, false); err != nil {
+			m.Close()
+			return nil, err
+		}
 	}
 	return m, nil
 }
@@ -890,6 +973,12 @@ func (m *Manager) start(spec EngineSpec) error {
 			w.row = r
 		}
 		w.foldSetup(m.cfg.FoldIdle, m.cfg.FoldIdleTicks, m.cfg.FoldLevels)
+		if m.wlog != nil {
+			// Warm-up completion: the log was opened (empty) at New; arm
+			// the tee before the goroutine starts.
+			w.wal = m.wlog.ch
+			w.walGlobal = &m.walSeq
+		}
 		w.wire(m.tels[i])
 		workers[i] = w
 	}
@@ -1797,6 +1886,10 @@ type Stats struct {
 	// Admission is the robustness layer's state: policy, shed/deadline
 	// counts, governor status, and the current Retry-After estimate.
 	Admission AdmissionState `json:"admission"`
+	// WAL is the durability layer's status — log progress plus the last
+	// boot's recovery pass — or absent when the deployment runs without
+	// a write-ahead log.
+	WAL *WALStats `json:"wal,omitempty"`
 }
 
 // Stats reports ingest progress and per-shard engine state on the
@@ -1833,6 +1926,7 @@ func (m *Manager) StatsT(ctx context.Context, c Consistency, tr *QueryTrace) (St
 		st.Step = len(m.wbuf)
 		m.mu.Unlock()
 		st.Admission = m.AdmissionState()
+		st.WAL = m.WALStats()
 		return st, nil
 	}
 	m.mu.Unlock()
@@ -1898,6 +1992,7 @@ func (m *Manager) StatsT(ctx context.Context, c Consistency, tr *QueryTrace) (St
 	}
 	st.PerShard = per
 	st.Admission = m.AdmissionState()
+	st.WAL = m.WALStats()
 	return st, nil
 }
 
@@ -1954,5 +2049,8 @@ func (m *Manager) Close() error {
 		close(w.qch)
 	}
 	m.workerWG.Wait()
+	// Workers are gone — no tee sender remains — so the group-commit
+	// loop can drain, final-sync, and retire.
+	m.closeWAL()
 	return nil
 }

@@ -114,6 +114,22 @@ type manifest struct {
 	// time, so a restored manager's counters resume monotonically
 	// instead of restarting at zero. Absent in pre-baseline manifests.
 	Telemetry *telemetryBaseline `json:"telemetry,omitempty"`
+	// WAL records the write-ahead-log coverage of this snapshot: per
+	// shard, the highest log sequence whose effect the shard blob
+	// contains. Recovery replays only records above their shard's
+	// coverage; log truncation may discard segments wholly at or below
+	// the minimum. Absent when the snapshotting deployment ran without
+	// a WAL — restoring such a snapshot against a non-empty log fails
+	// closed (the overlap is unknowable).
+	WAL *walManifest `json:"wal,omitempty"`
+}
+
+// walManifest is the manifest's WAL-coverage block. Cover is indexed
+// by shard; Seq is the minimum (the log-truncation horizon), kept as a
+// convenience for operators reading the JSON.
+type walManifest struct {
+	Seq   uint64   `json:"seq"`
+	Cover []uint64 `json:"cover"`
 }
 
 // shardBaseline is one shard's cumulative counter baseline at the
@@ -187,6 +203,7 @@ func (m *Manager) Snapshot(dir string) error {
 	man.SnapshotID = uint64(time.Now().UnixNano())
 	man.Files = make([]shardFileInfo, m.cfg.Shards)
 	bases := make([]shardBaseline, m.cfg.Shards)
+	covers := make([]uint64, m.cfg.Shards)
 	werrs := make([]error, m.cfg.Shards)
 	// The snapshot cut must ride the ingest FIFO (fresh lane) so it
 	// observes every batch enqueued before the call, whatever the
@@ -200,6 +217,10 @@ func (m *Manager) Snapshot(dir string) error {
 		werrs[w.id] = err
 		man.Files[w.id] = shardFileInfo{Name: filepath.Base(path), Bytes: size, CRC32C: crc}
 		bases[w.id] = shardBaseline{Batches: w.batches, LaneJumps: w.laneJumps, Folds: w.folds, Unfolds: w.unfolds}
+		// The closure runs on the worker goroutine after every batch
+		// enqueued before the cut, so walLast is exactly the highest log
+		// sequence whose effect this blob contains.
+		covers[w.id] = w.walLast
 	})
 	if err == nil {
 		err = errors.Join(werrs...)
@@ -213,10 +234,25 @@ func (m *Manager) Snapshot(dir string) error {
 		DeadlineOps:     m.deadlineOps.Load(),
 		DeadlineQueries: m.deadlineQueries.Load(),
 	}
+	var cutoff uint64
+	if m.wlog != nil {
+		cutoff = covers[0]
+		for _, c := range covers[1:] {
+			if c < cutoff {
+				cutoff = c
+			}
+		}
+		man.WAL = &walManifest{Seq: cutoff, Cover: covers}
+	}
 	if err := commitManifest(dir, man, m.faults); err != nil {
 		return err
 	}
 	gcStaleBlobs(dir, man.SnapshotID)
+	if m.wlog != nil {
+		// The manifest is durable: log segments wholly at or below the
+		// minimum coverage can never be needed again.
+		m.wlog.log.TruncateThrough(cutoff)
+	}
 	var total uint64
 	for _, f := range man.Files {
 		total += uint64(f.Bytes)
@@ -406,6 +442,15 @@ type RestoreOverrides struct {
 	// policy (the manifest records what the snapshotting deployment
 	// ran; the restoring one may differ).
 	Admission AdmissionPolicy
+	// WALDir, when non-empty, points at the restoring deployment's
+	// write-ahead log: any tail past the manifest's coverage replays
+	// before the manager serves, and the tee re-arms for new ingest.
+	// Deployment state, never manifest state — the log lives where the
+	// restoring process says it does. WALSync/WALSegmentBytes as in
+	// Config.
+	WALDir          string
+	WALSync         string
+	WALSegmentBytes int64
 	// Faults wires the chaos injector into the restored manager.
 	Faults *faults.Injector
 }
@@ -462,6 +507,9 @@ func RestoreWith(dir string, o RestoreOverrides) (*Manager, error) {
 		FoldIdleTicks:    man.FoldIdleTicks,
 		FoldLevels:       man.FoldLevels,
 		SnapshotFold:     man.SnapshotFold,
+		WALDir:           o.WALDir,
+		WALSync:          o.WALSync,
+		WALSegmentBytes:  o.WALSegmentBytes,
 		Faults:           o.Faults,
 	}
 	if err := cfg.fill(); err != nil {
@@ -535,6 +583,24 @@ func RestoreWith(dir string, o RestoreOverrides) (*Manager, error) {
 	m.workerWG.Add(len(workers))
 	for _, w := range workers {
 		go w.run(&m.workerWG)
+	}
+	if cfg.WALDir != "" {
+		// Recovery tail: replay log records past the snapshot's per-shard
+		// coverage through the live workers, then re-arm the tee. A
+		// manifest without a WAL block restores against a non-empty log
+		// only by failing closed (setupWAL enforces it).
+		var cover []uint64
+		if man.WAL != nil {
+			if len(man.WAL.Cover) != cfg.Shards {
+				return nil, fmt.Errorf("shard: manifest WAL coverage lists %d shards, want %d: %w",
+					len(man.WAL.Cover), cfg.Shards, ErrSnapshotCorrupt)
+			}
+			cover = man.WAL.Cover
+		}
+		if err := m.setupWAL(cover, true); err != nil {
+			m.Close()
+			return nil, err
+		}
 	}
 	return m, nil
 }

@@ -255,6 +255,14 @@ type ServeOptions struct {
 	// pre-folded to that fold level (up to 2^L× fewer bytes on disk).
 	SnapshotFold int
 
+	// WALDir arms the write-ahead log under that directory; WALSync and
+	// WALSegmentBytes tune it (shard.Config defaults: "batch", 64 MiB).
+	// Empty disables durability, as before.
+	WALDir  string
+	WALSync string
+	// WALSegmentBytes caps each log segment before rotation.
+	WALSegmentBytes int64
+
 	// Faults wires the deterministic chaos injector (nil in
 	// production).
 	Faults *faults.Injector
@@ -364,6 +372,9 @@ func NewFromOptions(o ServeOptions) (*Manager, error) {
 		FoldIdleTicks:    o.FoldIdleTicks,
 		FoldLevels:       o.FoldLevels,
 		SnapshotFold:     o.SnapshotFold,
+		WALDir:           o.WALDir,
+		WALSync:          o.WALSync,
+		WALSegmentBytes:  o.WALSegmentBytes,
 		Faults:           o.Faults,
 	})
 }

@@ -1,0 +1,483 @@
+package shard
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/countsketch"
+	"repro/internal/dataset"
+	"repro/internal/faults"
+	"repro/internal/stream"
+	"repro/internal/wal"
+)
+
+// newWALManager builds the small CS manager the WAL tests drive; cfg
+// carries the WAL knobs (and any fold policy) of the scenario.
+func newWALManager(t *testing.T, cfg Config) *Manager {
+	t.Helper()
+	cfg.Dim = 24
+	if cfg.Engine.Kind == "" {
+		cfg.Engine = EngineSpec{
+			Kind:   KindCS,
+			Sketch: countsketch.Config{Tables: 3, Range: 1024, Seed: 31},
+			T:      100_000,
+		}
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 2
+	}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	return m
+}
+
+// walSamples produces a deterministic varied stream: distinct rows and
+// magnitudes so a lost or duplicated replay batch shifts the sums.
+func walSamples(n, seed int) []stream.Sample {
+	out := make([]stream.Sample, n)
+	for i := range out {
+		a := (i + seed) % 21
+		v := float64(1 + (i+seed)%7)
+		out[i] = stream.Sample{Idx: []int{a, a + 1, a + 2}, Val: []float64{v, -2 * v, 3}}
+	}
+	return out
+}
+
+// ingestAll drives samples through in small batches and drains.
+func ingestAll(t *testing.T, m *Manager, samples []stream.Sample) {
+	t.Helper()
+	for lo := 0; lo < len(samples); lo += 50 {
+		hi := min(lo+50, len(samples))
+		if _, _, err := m.Ingest(samples[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// requireSameState asserts two managers agree bit-for-bit on step and
+// on the full top-k surface.
+func requireSameState(t *testing.T, want, got *Manager) {
+	t.Helper()
+	if ws, gs := want.Step(), got.Step(); ws != gs {
+		t.Fatalf("Step: want %d, got %d", ws, gs)
+	}
+	wTop, err := want.TopKMagnitude(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gTop, err := got.TopKMagnitude(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wTop) != len(gTop) {
+		t.Fatalf("topk lengths differ: %d vs %d", len(wTop), len(gTop))
+	}
+	for i := range wTop {
+		if wTop[i] != gTop[i] {
+			t.Fatalf("topk[%d] differs: %+v vs %+v", i, wTop[i], gTop[i])
+		}
+	}
+	for _, p := range wTop {
+		we, err := want.EstimateKey(p.Key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ge, err := got.EstimateKey(p.Key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if we != ge {
+			t.Fatalf("estimate for key %d differs: %v vs %v", p.Key, we, ge)
+		}
+	}
+}
+
+// TestWALPayloadRoundTrip pins the record format: the shard-side
+// encoding preserves batch boundaries, run structure, and values
+// exactly, and structural damage fails with ErrCorrupt.
+func TestWALPayloadRoundTrip(t *testing.T) {
+	b := &rowBatch{}
+	b.add(3, 17, 9, 1.5)
+	b.add(3, 17, 11, -2.25)
+	b.add(7, 18, 2, 0.125)
+	b.add(3, 19, 9, 4)
+
+	enc := appendWALPayload(nil, 1, b)
+	var dec rowBatch
+	sh, maxT, err := decodeWALPayload(enc, 2, &dec)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if sh != 1 || maxT != 19 {
+		t.Fatalf("decode = shard %d maxT %d, want 1/19", sh, maxT)
+	}
+	if len(dec.hdrs) != len(b.hdrs) || len(dec.prt) != len(b.prt) {
+		t.Fatalf("decoded shape %d/%d, want %d/%d", len(dec.hdrs), len(dec.prt), len(b.hdrs), len(b.prt))
+	}
+	for i := range b.hdrs {
+		if dec.hdrs[i] != b.hdrs[i] {
+			t.Fatalf("hdr[%d] = %+v, want %+v", i, dec.hdrs[i], b.hdrs[i])
+		}
+	}
+	for i := range b.prt {
+		if dec.prt[i] != b.prt[i] || dec.xs[i] != b.xs[i] {
+			t.Fatalf("pair[%d] = (%d,%v), want (%d,%v)", i, dec.prt[i], dec.xs[i], b.prt[i], b.xs[i])
+		}
+	}
+
+	// Structural damage: truncated payload and out-of-range shard id.
+	var junk rowBatch
+	if _, _, err := decodeWALPayload(enc[:len(enc)-3], 2, &junk); !errors.Is(err, wal.ErrCorrupt) {
+		t.Fatalf("truncated payload decode = %v, want ErrCorrupt", err)
+	}
+	if _, _, err := decodeWALPayload(enc, 1, &junk); !errors.Is(err, wal.ErrCorrupt) {
+		t.Fatalf("out-of-range shard decode = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestWALFullReplayBitIdentical is the tentpole invariant at manager
+// scope: run a stream through a WAL-armed manager, tear it down, boot a
+// fresh manager on the same log, and require state bit-identical to a
+// clean run of the same stream.
+func TestWALFullReplayBitIdentical(t *testing.T) {
+	samples := walSamples(1200, 3)
+
+	clean := newWALManager(t, Config{})
+	ingestAll(t, clean, samples)
+
+	walDir := t.TempDir()
+	armed := newWALManager(t, Config{WALDir: walDir, WALSync: "off"})
+	ingestAll(t, armed, samples)
+	ws := armed.WALStats()
+	if ws == nil || !ws.Armed || ws.LastSeq == 0 {
+		t.Fatalf("armed manager WAL stats = %+v", ws)
+	}
+	if err := armed.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recovered := newWALManager(t, Config{WALDir: walDir, WALSync: "off"})
+	if err := recovered.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rs := recovered.WALStats()
+	if rs == nil || rs.Recovery.ReplayedRecords == 0 || rs.Recovery.ReplayedRecords != rs.Recovery.MaxSeq {
+		t.Fatalf("recovery stats = %+v, want full replay", rs)
+	}
+	if !rs.Armed {
+		t.Fatal("recovered manager must re-arm the WAL")
+	}
+	requireSameState(t, clean, recovered)
+
+	// The recovered manager keeps logging: new ingest lands above the
+	// replayed sequence range.
+	ingestAll(t, recovered, walSamples(100, 9))
+	if s := recovered.WALStats(); s.LastSeq <= rs.Recovery.MaxSeq {
+		t.Fatalf("post-recovery LastSeq %d did not advance past replayed max %d", s.LastSeq, rs.Recovery.MaxSeq)
+	}
+}
+
+// TestWALSnapshotTailReplayBitIdentical runs the full ASCS recovery
+// sequence: snapshot mid-stream (which records WAL coverage and
+// truncates covered segments), keep ingesting, crash, then restore the
+// snapshot and replay only the uncovered tail. Batch boundaries in the
+// log make the replayed gate decisions identical to the original run's.
+func TestWALSnapshotTailReplayBitIdentical(t *testing.T) {
+	const (
+		d      = 50
+		n      = 1400
+		shards = 3
+		cut    = 700
+	)
+	ds := dataset.Simulation(d, n, 0.015, 31)
+	samples := make([]stream.Sample, n)
+	for i, r := range ds.Rows {
+		samples[i] = stream.FromDense(r)
+	}
+	cfg := Config{
+		Dim: d, Shards: shards, Warmup: 150, Standardize: true, Alpha: 0.01,
+		Engine: EngineSpec{Kind: KindASCS, Sketch: countsketch.Config{Tables: 5, Range: 2048, Seed: 23}, T: n},
+	}
+
+	clean, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clean.Close()
+	ingestAll(t, clean, samples)
+
+	walDir, snapDir := t.TempDir(), t.TempDir()
+	wcfg := cfg
+	wcfg.WALDir, wcfg.WALSync = walDir, "off"
+	armed, err := New(wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer armed.Close()
+	ingestAll(t, armed, samples[:cut])
+	if err := armed.Snapshot(snapDir); err != nil {
+		t.Fatal(err)
+	}
+	ingestAll(t, armed, samples[cut:])
+	if err := armed.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recovered, err := RestoreWith(snapDir, RestoreOverrides{WALDir: walDir, WALSync: "off"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recovered.Close()
+	if err := recovered.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rs := recovered.WALStats()
+	if rs == nil || rs.Recovery.ReplayedRecords == 0 {
+		t.Fatalf("recovery stats = %+v, want a replayed tail", rs)
+	}
+	if rs.Recovery.SkippedRecords == 0 && rs.Recovery.MaxSeq == rs.Recovery.ReplayedRecords {
+		t.Log("note: snapshot truncation removed all covered records; nothing skipped")
+	}
+	requireSameState(t, clean, recovered)
+}
+
+// TestWALRecoveryConcurrent boots a recovered manager and immediately
+// hammers it with concurrent ingest and queries while the replay drains
+// — the -race run of this test is the point.
+func TestWALRecoveryConcurrent(t *testing.T) {
+	walDir, snapDir := t.TempDir(), t.TempDir()
+	seedMgr := newWALManager(t, Config{WALDir: walDir, WALSync: "off"})
+	ingestAll(t, seedMgr, walSamples(400, 1))
+	if err := seedMgr.Snapshot(snapDir); err != nil {
+		t.Fatal(err)
+	}
+	ingestAll(t, seedMgr, walSamples(400, 2))
+	if err := seedMgr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := RestoreWith(snapDir, RestoreOverrides{WALDir: walDir, WALSync: "off"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(2)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if _, _, err := m.Ingest(walSamples(20, 100+g*20+i)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if _, err := m.TopKMagnitude(5); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := m.EstimateKey(uint64(i)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := m.Step(), 800+3*20*20; got != want {
+		t.Fatalf("Step after concurrent recovery = %d, want %d", got, want)
+	}
+}
+
+// TestWALReplayRacesIdleFold arms an aggressive idle-fold policy on the
+// recovering manager: the fold ticker can fold a shard before (or
+// between) replayed batches, and the ingest path's unfold-on-apply must
+// restore full resolution first. The end state matches a clean run.
+func TestWALReplayRacesIdleFold(t *testing.T) {
+	samples := walSamples(1000, 5)
+	foldCfg := Config{
+		FoldIdle:      time.Millisecond,
+		FoldIdleTicks: 1,
+		FoldLevels:    2,
+	}
+
+	clean := newWALManager(t, foldCfg)
+	ingestAll(t, clean, samples)
+
+	walDir := t.TempDir()
+	cfg := foldCfg
+	cfg.WALDir, cfg.WALSync = walDir, "off"
+	armed := newWALManager(t, cfg)
+	ingestAll(t, armed, samples)
+	if err := armed.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recovered := newWALManager(t, cfg)
+	// Let the fold ticker fire a few times against the replaying state.
+	time.Sleep(20 * time.Millisecond)
+	if err := recovered.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Replay applied into a still-folded table would alias buckets and be
+	// off by factors; matching estimates to within summation-order noise
+	// (fold/unfold cycles happen at different instants across the two
+	// runs, reordering float adds) proves every batch unfolded first.
+	ingestAll(t, clean, walSamples(50, 6))
+	ingestAll(t, recovered, walSamples(50, 6))
+	if cs, rs := clean.Step(), recovered.Step(); cs != rs {
+		t.Fatalf("Step: clean %d, recovered %d", cs, rs)
+	}
+	top, err := clean.TopKMagnitude(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range top {
+		ce, err := clean.EstimateKey(p.Key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		re, err := recovered.EstimateKey(p.Key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := math.Abs(ce - re); diff > 1e-9 {
+			t.Fatalf("estimate for key %d off by %g: %v vs %v", p.Key, diff, ce, re)
+		}
+	}
+}
+
+// TestWALWriteFaultDisarms starves the WAL writer with a byte budget:
+// the group-commit loop must disarm loudly while ingest and queries
+// keep serving — durability degrades, availability does not.
+func TestWALWriteFaultDisarms(t *testing.T) {
+	in, err := faults.Parse("walwrite=256")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := newWALManager(t, Config{WALDir: t.TempDir(), WALSync: "off", Faults: in})
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, _, err := m.Ingest(walSamples(100, 2)); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		ws := m.WALStats()
+		if !ws.Armed {
+			if ws.Errors == 0 || ws.LastError == "" {
+				t.Fatalf("disarmed without error accounting: %+v", ws)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("WAL never disarmed under walwrite fault: %+v", ws)
+		}
+	}
+	// Serving continues after the disarm.
+	if _, _, err := m.Ingest(walSamples(100, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.TopKMagnitude(5); err != nil {
+		t.Fatal(err)
+	}
+	fired := in.Fired()
+	var walFires uint64
+	for _, f := range fired {
+		if f.Kind == "walwrite" {
+			walFires = f.Count
+		}
+	}
+	if walFires == 0 {
+		t.Fatalf("walwrite fault never counted as fired: %+v", fired)
+	}
+}
+
+// TestWALTruncationAfterSnapshot pins segment GC: once a snapshot
+// covers the log, the closed segments behind the cover are deleted.
+func TestWALTruncationAfterSnapshot(t *testing.T) {
+	walDir, snapDir := t.TempDir(), t.TempDir()
+	m := newWALManager(t, Config{WALDir: walDir, WALSync: "off", WALSegmentBytes: 4096})
+	for i := 0; i < 20; i++ {
+		ingestAll(t, m, walSamples(200, i))
+	}
+	before := m.WALStats()
+	if before.Segments < 3 {
+		t.Fatalf("need several segments before snapshot, have %d", before.Segments)
+	}
+	if err := m.Snapshot(snapDir); err != nil {
+		t.Fatal(err)
+	}
+	after := m.WALStats()
+	if after.TruncatedSegments == 0 || after.Segments >= before.Segments {
+		t.Fatalf("snapshot did not truncate covered segments: before %+v after %+v", before, after)
+	}
+}
+
+// TestWALWarmingFailsClosedOnExistingLog: a warming manager cannot
+// replay (the warm-up buffer is not reconstructible from the log), so
+// booting one over a non-empty WAL directory must refuse.
+func TestWALWarmingFailsClosedOnExistingLog(t *testing.T) {
+	walDir := t.TempDir()
+	m := newWALManager(t, Config{WALDir: walDir, WALSync: "off"})
+	ingestAll(t, m, walSamples(200, 1))
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := New(Config{
+		Dim: 24, Shards: 2, Warmup: 50, Standardize: true, Alpha: 0.01,
+		Engine: EngineSpec{Kind: KindASCS, Sketch: countsketch.Config{Tables: 3, Range: 1024, Seed: 31}, T: 100_000},
+		WALDir: walDir, WALSync: "off",
+	})
+	if err == nil {
+		t.Fatal("warming manager over a non-empty WAL must fail closed")
+	}
+}
+
+// TestWALArmedIngestAllocFree pins the tee cost: with the WAL armed the
+// steady-state routing path stays allocation-free — the tee is a value
+// send and the log goroutine owns all encode scratch.
+func TestWALArmedIngestAllocFree(t *testing.T) {
+	m := newWALManager(t, Config{WALDir: t.TempDir(), WALSync: "off"})
+	batch := walSamples(8, 0)
+	for i := 0; i < 50; i++ {
+		if _, _, err := m.Ingest(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		if _, _, err := m.Ingest(batch); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Same allowance as TestFoldPolicyIngestAllocFree: the routing path
+	// itself is allocation-free; the slack absorbs worker-side noise the
+	// global counters pick up.
+	if avg > 3 {
+		t.Fatalf("WAL-armed ingest steady state allocates %.1f times per call, want 0", avg)
+	}
+}

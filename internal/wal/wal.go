@@ -1,0 +1,615 @@
+// Package wal is the segment-based write-ahead log of the serving
+// stack: an append-only record log that makes ingest durable between
+// snapshots, so a crashed daemon restarts with at most the unsynced
+// suffix of the stream lost instead of everything since the last
+// checkpoint.
+//
+// # Layout
+//
+// A log is a directory of fixed-name segments (wal-%08d.seg, index
+// monotonic). Each segment opens with a 16-byte header — magic,
+// version, and the deployment's dim/shards so a replay into a
+// mismatched configuration fails closed instead of corrupting engine
+// state — followed by length-prefixed records:
+//
+//	uint32 payload length | uint32 CRC32C | uint64 sequence | payload
+//
+// The CRC32C (Castagnoli, the same polynomial as the snapshot blobs)
+// covers the sequence number and the payload, so a torn or bit-flipped
+// record can never replay. Sequence numbers are assigned by the caller
+// and must be unique and monotone per producing shard; the log itself
+// only requires them to be trackable (per-segment maxima drive
+// truncation).
+//
+// # Durability model
+//
+// Appends go through one writer goroutine owned by the caller (the
+// shard manager's group-commit loop); the log is not otherwise
+// concurrency-safe for Append/Sync/Flush. SyncBatch fsyncs after every
+// coalesced append group (RPO ≈ 0: an acknowledged group survives power
+// loss), SyncInterval fsyncs on a timer (RPO ≤ the interval), SyncOff
+// never fsyncs explicitly (RPO = whatever the OS had written back).
+// Rotation always fsyncs the finished segment, whatever the policy, so
+// loss is confined to the active segment. TruncateThrough deletes
+// closed segments made redundant by a snapshot and is safe to call
+// concurrently with appends (it never touches the active segment).
+//
+// # Recovery
+//
+// Scan walks the segments in order, validates every record's CRC, and
+// hands the payloads to the caller. Damage in the newest segment is a
+// torn tail — the expected signature of a crash mid-write — and is
+// truncated at the first bad record (Repair physically trims the
+// file). Damage in any earlier segment cannot be explained by a single
+// crash and fails closed with ErrCorrupt: a log with a hole in the
+// middle must not replay the records after the hole.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/sketchapi"
+)
+
+// ErrCorrupt classifies mid-log integrity damage: a record that fails
+// its CRC (or a malformed segment) anywhere but the tail of the newest
+// segment. It wraps sketchapi.ErrCorrupt, like the snapshot layer's
+// fail-closed errors.
+var ErrCorrupt = fmt.Errorf("wal: corrupt log: %w", sketchapi.ErrCorrupt)
+
+const (
+	segMagic   = uint32(0x41574C31) // "AWL1"
+	segVersion = 1
+	// headerSize is the segment header: magic, version, dim, shards.
+	headerSize = 16
+	// recHdrSize is the per-record frame: length, CRC32C, sequence.
+	recHdrSize = 16
+	segPat     = "wal-%08d.seg"
+	// maxRecordBytes rejects absurd length prefixes before allocating:
+	// a record this large is framing damage, not data.
+	maxRecordBytes = 1 << 30
+)
+
+// DefaultSegmentBytes is the rotation threshold when Options leaves it
+// zero.
+const DefaultSegmentBytes = 64 << 20
+
+// DefaultSyncInterval is the fsync cadence of the literal "interval"
+// sync spec.
+const DefaultSyncInterval = 100 * time.Millisecond
+
+// castagnoli matches the snapshot layer's CRC32C table (hardware
+// accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// SyncMode selects the fsync policy of the append path.
+type SyncMode int
+
+const (
+	// SyncBatch fsyncs after every coalesced append group (group
+	// commit): an acknowledged group is durable. The default.
+	SyncBatch SyncMode = iota
+	// SyncInterval fsyncs on a timer: loss is bounded by the interval.
+	SyncInterval
+	// SyncOff never fsyncs explicitly: loss is bounded only by OS
+	// writeback. Rotation still fsyncs the finished segment.
+	SyncOff
+)
+
+// String returns the flag form of the mode ("batch", "interval", "off").
+func (m SyncMode) String() string {
+	switch m {
+	case SyncInterval:
+		return "interval"
+	case SyncOff:
+		return "off"
+	default:
+		return "batch"
+	}
+}
+
+// ParseSync maps the -wal-sync flag grammar onto a mode: "batch" (or
+// empty), "off", "interval" (the default 100ms cadence), or any
+// positive duration for an explicit cadence.
+func ParseSync(s string) (SyncMode, time.Duration, error) {
+	switch s {
+	case "", "batch":
+		return SyncBatch, 0, nil
+	case "off":
+		return SyncOff, 0, nil
+	case "interval":
+		return SyncInterval, DefaultSyncInterval, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil || d <= 0 {
+		return 0, 0, fmt.Errorf("wal: sync policy %q (want batch, off, interval, or a positive duration)", s)
+	}
+	return SyncInterval, d, nil
+}
+
+// Meta pins the deployment shape into every segment header: a replay
+// only proceeds when the recovering configuration matches the one that
+// wrote the log.
+type Meta struct {
+	Dim    int
+	Shards int
+}
+
+// Options configures Open.
+type Options struct {
+	// Dir is the log directory (created if needed). Required.
+	Dir string
+	// SegmentBytes is the rotation threshold (default 64 MiB; minimum
+	// 4 KiB so tests can force rotation cheaply).
+	SegmentBytes int64
+	// Meta is embedded in every segment header and validated on Scan.
+	Meta Meta
+	// Faults wires the chaos injector into the write path (walwrite
+	// byte-budget failures, waltorn tail truncation on Close). Nil in
+	// production.
+	Faults *faults.Injector
+}
+
+// segInfo records one closed segment for truncation decisions.
+type segInfo struct {
+	index  uint64
+	path   string
+	maxSeq uint64
+	bytes  int64
+}
+
+// Stats is a point-in-time scrape of the log's counters, safe to read
+// from any goroutine.
+type Stats struct {
+	// Segments counts live segment files, including the active one.
+	Segments int
+	// AppendedBytes / Records / Fsyncs / Errors are cumulative since
+	// Open.
+	AppendedBytes uint64
+	Records       uint64
+	Fsyncs        uint64
+	Errors        uint64
+	// TruncatedSegments counts segments removed by TruncateThrough.
+	TruncatedSegments uint64
+}
+
+// Log is an open write-ahead log. Append/Flush/Sync/Close belong to a
+// single writer goroutine; TruncateThrough and Stats are safe from any
+// goroutine.
+type Log struct {
+	dir      string
+	segBytes int64
+	meta     Meta
+	faults   *faults.Injector
+
+	// mu guards the closed-segment list and rotation against a
+	// concurrent TruncateThrough (the snapshot goroutine).
+	mu   sync.Mutex
+	segs []segInfo
+
+	f           *os.File
+	bw          *bufio.Writer
+	activeIdx   uint64
+	activePath  string
+	activeBytes int64
+	activeMax   uint64 // max sequence appended to the active segment
+	lastRecLen  int64  // frame+payload bytes of the last appended record
+
+	appendedBytes atomic.Uint64
+	records       atomic.Uint64
+	fsyncs        atomic.Uint64
+	errs          atomic.Uint64
+	truncated     atomic.Uint64
+}
+
+// Open creates (or reopens) the log at opts.Dir and starts a fresh
+// active segment after the newest existing one — recovery never
+// appends into a possibly-torn file. Existing segments are walked for
+// their per-segment maximum sequence numbers (the truncation index);
+// run Scan first when their contents must replay.
+func Open(opts Options) (*Log, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("wal: Dir is required")
+	}
+	if opts.SegmentBytes == 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if opts.SegmentBytes < 4096 {
+		return nil, fmt.Errorf("wal: SegmentBytes must be ≥ 4096, got %d", opts.SegmentBytes)
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: log dir: %w", err)
+	}
+	files, err := listSegments(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{dir: opts.Dir, segBytes: opts.SegmentBytes, meta: opts.Meta, faults: opts.Faults}
+	next := uint64(1)
+	for i, sf := range files {
+		maxSeq, _, _, err := walkSegment(sf.path, opts.Meta, i == len(files)-1, nil)
+		if err != nil {
+			return nil, err
+		}
+		l.segs = append(l.segs, segInfo{index: sf.index, path: sf.path, maxSeq: maxSeq, bytes: fileSize(sf.path)})
+		next = sf.index + 1
+	}
+	if err := l.openSegment(next); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+func fileSize(path string) int64 {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0
+	}
+	return fi.Size()
+}
+
+// openSegment starts a new active segment and writes its header. The
+// caller must not hold mu.
+func (l *Log) openSegment(index uint64) error {
+	path := filepath.Join(l.dir, fmt.Sprintf(segPat, index))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: creating segment: %w", err)
+	}
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], segMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], segVersion)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(l.meta.Dim))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(l.meta.Shards))
+	bw := bufio.NewWriterSize(l.faults.WALWriter(f), 1<<18)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		f.Close()
+		return err
+	}
+	l.f, l.bw = f, bw
+	l.activeIdx, l.activePath = index, path
+	l.activeBytes = headerSize
+	l.activeMax, l.lastRecLen = 0, 0
+	return nil
+}
+
+// Append writes one record. It rotates first when the active segment
+// is already past the threshold — records never split across segments.
+// The payload is copied into the OS before Append returns only per the
+// caller's Flush/Sync discipline.
+func (l *Log) Append(seq uint64, payload []byte) error {
+	if len(payload) > maxRecordBytes {
+		return fmt.Errorf("wal: record of %d bytes exceeds the %d byte bound", len(payload), maxRecordBytes)
+	}
+	if l.activeBytes > headerSize && l.activeBytes+recHdrSize+int64(len(payload)) > l.segBytes {
+		if err := l.rotate(); err != nil {
+			return err
+		}
+	}
+	var hdr [recHdrSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(hdr[8:], seq)
+	sum := crc32.Update(0, castagnoli, hdr[8:16])
+	sum = crc32.Update(sum, castagnoli, payload)
+	binary.LittleEndian.PutUint32(hdr[4:], sum)
+	if _, err := l.bw.Write(hdr[:]); err != nil {
+		l.errs.Add(1)
+		return err
+	}
+	if _, err := l.bw.Write(payload); err != nil {
+		l.errs.Add(1)
+		return err
+	}
+	rec := int64(recHdrSize + len(payload))
+	l.activeBytes += rec
+	l.lastRecLen = rec
+	if seq > l.activeMax {
+		l.activeMax = seq
+	}
+	l.appendedBytes.Add(uint64(rec))
+	l.records.Add(1)
+	return nil
+}
+
+// Flush pushes buffered bytes to the OS without fsync (the sync=off /
+// interval steady state).
+func (l *Log) Flush() error {
+	if err := l.bw.Flush(); err != nil {
+		l.errs.Add(1)
+		return err
+	}
+	return nil
+}
+
+// Sync flushes and fsyncs the active segment (one group commit).
+func (l *Log) Sync() error {
+	if err := l.Flush(); err != nil {
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		l.errs.Add(1)
+		return err
+	}
+	l.fsyncs.Add(1)
+	return nil
+}
+
+// rotate retires the active segment (flushed and fsynced, whatever the
+// sync policy — loss stays confined to the active segment) and opens
+// the next one.
+func (l *Log) rotate() error {
+	if err := l.Sync(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		l.errs.Add(1)
+		return err
+	}
+	l.mu.Lock()
+	l.segs = append(l.segs, segInfo{index: l.activeIdx, path: l.activePath, maxSeq: l.activeMax, bytes: l.activeBytes})
+	next := l.activeIdx + 1
+	l.mu.Unlock()
+	return l.openSegment(next)
+}
+
+// TruncateThrough deletes closed segments whose every record is at or
+// below seq — the snapshot layer calls it with the committed
+// manifest's covering sequence number. The active segment is never
+// touched. Returns how many segments were removed; removal errors are
+// best-effort (a leftover costs disk, never correctness).
+func (l *Log) TruncateThrough(seq uint64) int {
+	l.mu.Lock()
+	keep := l.segs[:0]
+	var gone []segInfo
+	for _, s := range l.segs {
+		if s.maxSeq <= seq {
+			gone = append(gone, s)
+		} else {
+			keep = append(keep, s)
+		}
+	}
+	l.segs = keep
+	l.mu.Unlock()
+	for _, s := range gone {
+		os.Remove(s.path)
+	}
+	if len(gone) > 0 {
+		l.truncated.Add(uint64(len(gone)))
+		syncDir(l.dir)
+	}
+	return len(gone)
+}
+
+// Close flushes, fsyncs, and closes the active segment. The injector's
+// waltorn fault then chops the tail of the last record — the on-disk
+// state an OS crash mid-write leaves — so recovery's torn-tail
+// truncation is testable without pulling power.
+func (l *Log) Close() error {
+	err := l.Sync()
+	cerr := l.f.Close()
+	if err == nil {
+		err = cerr
+	}
+	if l.faults.WALTorn() && l.lastRecLen > 0 {
+		os.Truncate(l.activePath, l.activeBytes-l.lastRecLen/2)
+	}
+	return err
+}
+
+// Stats scrapes the log counters (any goroutine).
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	n := len(l.segs) + 1
+	l.mu.Unlock()
+	return Stats{
+		Segments:          n,
+		AppendedBytes:     l.appendedBytes.Load(),
+		Records:           l.records.Load(),
+		Fsyncs:            l.fsyncs.Load(),
+		Errors:            l.errs.Load(),
+		TruncatedSegments: l.truncated.Load(),
+	}
+}
+
+// CountError lets the owning group-commit loop account append/sync
+// failures it swallowed while disarming (the log stays open but
+// unused; serving continues with durability degraded loudly).
+func (l *Log) CountError() { l.errs.Add(1) }
+
+// ScanResult summarizes one recovery pass.
+type ScanResult struct {
+	// Records and MaxSeq cover every valid record handed to fn.
+	Records uint64
+	MaxSeq  uint64
+	// Segments walked (including empty ones).
+	Segments int
+	// Torn reports a truncated tail in the newest segment; TornBytes is
+	// how many trailing bytes were discarded there.
+	Torn      bool
+	TornBytes int64
+}
+
+// Scan replays every valid record to fn in log order, enforcing the
+// recovery contract: CRC damage in the newest segment truncates the
+// tail there (physically, when repair is set — so a later scan starts
+// clean); damage anywhere earlier fails closed with ErrCorrupt. A
+// non-nil error from fn aborts the scan.
+func Scan(dir string, meta Meta, repair bool, fn func(seq uint64, payload []byte) error) (ScanResult, error) {
+	var res ScanResult
+	files, err := listSegments(dir)
+	if err != nil {
+		return res, err
+	}
+	res.Segments = len(files)
+	for i, sf := range files {
+		last := i == len(files)-1
+		maxSeq, n, validLen, err := walkSegment(sf.path, meta, last, fn)
+		res.Records += n
+		if maxSeq > res.MaxSeq {
+			res.MaxSeq = maxSeq
+		}
+		if err != nil {
+			return res, err
+		}
+		if last {
+			if size := fileSize(sf.path); size > validLen {
+				res.Torn = true
+				res.TornBytes = size - validLen
+				if repair {
+					if terr := os.Truncate(sf.path, validLen); terr != nil {
+						return res, fmt.Errorf("wal: truncating torn tail of %s: %w", sf.path, terr)
+					}
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+type segFile struct {
+	index uint64
+	path  string
+}
+
+// listSegments returns the log's segments sorted by index.
+func listSegments(dir string) ([]segFile, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil {
+		return nil, err
+	}
+	files := make([]segFile, 0, len(matches))
+	for _, path := range matches {
+		var idx uint64
+		if _, err := fmt.Sscanf(filepath.Base(path), segPat, &idx); err != nil {
+			return nil, fmt.Errorf("wal: unrecognized segment name %q: %w", filepath.Base(path), ErrCorrupt)
+		}
+		files = append(files, segFile{index: idx, path: path})
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].index < files[j].index })
+	for i := 1; i < len(files); i++ {
+		if files[i].index == files[i-1].index {
+			return nil, fmt.Errorf("wal: duplicate segment index %d: %w", files[i].index, ErrCorrupt)
+		}
+	}
+	return files, nil
+}
+
+// walkSegment reads one segment, validating the header and every
+// record frame. fn, when non-nil, receives each valid record (and its
+// CRC is verified); with fn nil the payloads are skipped unverified —
+// the cheap pass Open uses to rebuild the truncation index. A damaged
+// record is tolerated only when last is true: the walk stops there and
+// validLen reports the clean prefix. Damage in a non-last segment
+// returns ErrCorrupt.
+func walkSegment(path string, meta Meta, last bool, fn func(seq uint64, payload []byte) error) (maxSeq, records uint64, validLen int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("wal: opening segment: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<18)
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		if last {
+			// A crash can tear even the header of a freshly rotated
+			// segment; an empty or half-written newest segment holds no
+			// committed records.
+			return 0, 0, 0, nil
+		}
+		return 0, 0, 0, fmt.Errorf("wal: short segment header in %s: %w", filepath.Base(path), ErrCorrupt)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != segMagic {
+		return 0, 0, 0, fmt.Errorf("wal: bad magic in %s: %w", filepath.Base(path), ErrCorrupt)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != segVersion {
+		return 0, 0, 0, fmt.Errorf("wal: unsupported segment version %d in %s", v, filepath.Base(path))
+	}
+	if d, s := int(binary.LittleEndian.Uint32(hdr[8:])), int(binary.LittleEndian.Uint32(hdr[12:])); d != meta.Dim || s != meta.Shards {
+		return 0, 0, 0, fmt.Errorf("wal: segment %s written for dim=%d shards=%d, recovering config has dim=%d shards=%d: %w",
+			filepath.Base(path), d, s, meta.Dim, meta.Shards, ErrCorrupt)
+	}
+	validLen = headerSize
+	var rec [recHdrSize]byte
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				return maxSeq, records, validLen, nil
+			}
+			// A partial frame header: torn tail (last) or a hole (fail
+			// closed).
+			if last {
+				return maxSeq, records, validLen, nil
+			}
+			return maxSeq, records, validLen, fmt.Errorf("wal: short record frame in %s: %w", filepath.Base(path), ErrCorrupt)
+		}
+		size := binary.LittleEndian.Uint32(rec[0:])
+		want := binary.LittleEndian.Uint32(rec[4:])
+		seq := binary.LittleEndian.Uint64(rec[8:])
+		if size > maxRecordBytes {
+			if last {
+				return maxSeq, records, validLen, nil
+			}
+			return maxSeq, records, validLen, fmt.Errorf("wal: absurd record length %d in %s: %w", size, filepath.Base(path), ErrCorrupt)
+		}
+		if fn == nil {
+			// Index-only pass: skip the payload without CRC verification.
+			if _, err := br.Discard(int(size)); err != nil {
+				if last {
+					return maxSeq, records, validLen, nil
+				}
+				return maxSeq, records, validLen, fmt.Errorf("wal: short record body in %s: %w", filepath.Base(path), ErrCorrupt)
+			}
+		} else {
+			if cap(payload) < int(size) {
+				payload = make([]byte, size)
+			}
+			payload = payload[:size]
+			if _, err := io.ReadFull(br, payload); err != nil {
+				if last {
+					return maxSeq, records, validLen, nil
+				}
+				return maxSeq, records, validLen, fmt.Errorf("wal: short record body in %s: %w", filepath.Base(path), ErrCorrupt)
+			}
+			sum := crc32.Update(0, castagnoli, rec[8:16])
+			sum = crc32.Update(sum, castagnoli, payload)
+			if sum != want {
+				if last {
+					return maxSeq, records, validLen, nil
+				}
+				return maxSeq, records, validLen, fmt.Errorf("wal: record crc32c %08x, frame says %08x in %s: %w",
+					sum, want, filepath.Base(path), ErrCorrupt)
+			}
+			if err := fn(seq, payload); err != nil {
+				return maxSeq, records, validLen, err
+			}
+		}
+		records++
+		if seq > maxSeq {
+			maxSeq = seq
+		}
+		validLen += recHdrSize + int64(size)
+	}
+}
+
+// syncDir fsyncs a directory so unlinks within it are durable.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}

@@ -1,0 +1,289 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/sketchapi"
+)
+
+var testMeta = Meta{Dim: 16, Shards: 2}
+
+func openTest(t *testing.T, dir string, segBytes int64) *Log {
+	t.Helper()
+	l, err := Open(Options{Dir: dir, SegmentBytes: segBytes, Meta: testMeta})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l
+}
+
+// collect scans dir and returns the records in log order.
+func collect(t *testing.T, dir string, repair bool) (ScanResult, []uint64, [][]byte) {
+	t.Helper()
+	var seqs []uint64
+	var payloads [][]byte
+	res, err := Scan(dir, testMeta, repair, func(seq uint64, p []byte) error {
+		seqs = append(seqs, seq)
+		payloads = append(payloads, append([]byte(nil), p...))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	return res, seqs, payloads
+}
+
+func payload(i int) []byte {
+	return []byte(fmt.Sprintf("record-%04d-%s", i, "padding-to-make-it-nontrivial"))
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, dir, 1<<20)
+	const n = 100
+	for i := 1; i <= n; i++ {
+		if err := l.Append(uint64(i), payload(i)); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	st := l.Stats()
+	if st.Records != n {
+		t.Fatalf("Stats.Records = %d, want %d", st.Records, n)
+	}
+	if st.Fsyncs == 0 {
+		t.Fatal("Stats.Fsyncs = 0 after Sync")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	res, seqs, payloads := collect(t, dir, false)
+	if res.Records != n || res.MaxSeq != n || res.Torn {
+		t.Fatalf("scan = %+v, want %d records, maxSeq %d, not torn", res, n, n)
+	}
+	for i, seq := range seqs {
+		if seq != uint64(i+1) {
+			t.Fatalf("record %d has seq %d", i, seq)
+		}
+		if string(payloads[i]) != string(payload(i+1)) {
+			t.Fatalf("record %d payload mismatch", i)
+		}
+	}
+}
+
+func TestRotationAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, dir, 4096)
+	const n = 400 // ~60 bytes each: forces several rotations at 4 KiB
+	for i := 1; i <= n; i++ {
+		if err := l.Append(uint64(i), payload(i)); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	if st := l.Stats(); st.Segments < 3 {
+		t.Fatalf("Segments = %d, want several after rotation", st.Segments)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	res, seqs, _ := collect(t, dir, false)
+	if res.Records != n || res.MaxSeq != n {
+		t.Fatalf("scan = %+v, want %d records", res, n)
+	}
+	for i, seq := range seqs {
+		if seq != uint64(i+1) {
+			t.Fatalf("record %d has seq %d (rotation reordered?)", i, seq)
+		}
+	}
+
+	// Reopen starts a fresh segment — never appends into a possibly-torn
+	// file — and the old records still scan.
+	l2 := openTest(t, dir, 4096)
+	if err := l2.Append(n+1, payload(n+1)); err != nil {
+		t.Fatalf("Append after reopen: %v", err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	res2, _, _ := collect(t, dir, false)
+	if res2.Records != n+1 || res2.MaxSeq != n+1 {
+		t.Fatalf("scan after reopen = %+v, want %d records", res2, n+1)
+	}
+	if res2.Segments <= res.Segments {
+		t.Fatalf("reopen did not add a segment: %d -> %d", res.Segments, res2.Segments)
+	}
+}
+
+func TestTornTailTruncates(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, dir, 1<<20)
+	for i := 1; i <= 10; i++ {
+		if err := l.Append(uint64(i), payload(i)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Chop into the last record: the on-disk state a crash mid-write
+	// leaves behind.
+	seg := filepath.Join(dir, fmt.Sprintf(segPat, 1))
+	fi, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(seg, fi.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	res, seqs, _ := collect(t, dir, false)
+	if res.Records != 9 || !res.Torn || res.TornBytes == 0 {
+		t.Fatalf("scan = %+v, want 9 records and a torn tail", res)
+	}
+	if seqs[len(seqs)-1] != 9 {
+		t.Fatalf("last surviving seq = %d, want 9", seqs[len(seqs)-1])
+	}
+
+	// repair physically trims the tail: the next scan starts clean.
+	if res, _, _ = collect(t, dir, true); !res.Torn {
+		t.Fatalf("repair scan should still report the tear: %+v", res)
+	}
+	res2, _, _ := collect(t, dir, false)
+	if res2.Torn || res2.Records != 9 {
+		t.Fatalf("post-repair scan = %+v, want clean 9 records", res2)
+	}
+}
+
+func TestMidLogCorruptionFailsClosed(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, dir, 4096)
+	const n = 400 // forces rotation: damage will sit in a non-last segment
+	for i := 1; i <= n; i++ {
+		if err := l.Append(uint64(i), payload(i)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Flip one payload byte in the first segment.
+	seg := filepath.Join(dir, fmt.Sprintf(segPat, 1))
+	b, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[headerSize+recHdrSize+4] ^= 0xFF
+	if err := os.WriteFile(seg, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Scan(dir, testMeta, true, func(uint64, []byte) error { return nil })
+	if !errors.Is(err, ErrCorrupt) || !errors.Is(err, sketchapi.ErrCorrupt) {
+		t.Fatalf("Scan of mid-log damage = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestMetaMismatchFailsClosed(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, dir, 1<<20)
+	if err := l.Append(1, payload(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Scan(dir, Meta{Dim: 17, Shards: 2}, false, func(uint64, []byte) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Scan with mismatched meta = %v, want ErrCorrupt", err)
+	}
+	if _, err := Open(Options{Dir: dir, Meta: Meta{Dim: 17, Shards: 2}}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open with mismatched meta = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestTruncateThrough(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, dir, 4096)
+	const n = 400
+	for i := 1; i <= n; i++ {
+		if err := l.Append(uint64(i), payload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	closed := l.Stats().Segments - 1
+	if closed < 2 {
+		t.Fatalf("need ≥ 2 closed segments, have %d", closed)
+	}
+	if got := l.TruncateThrough(0); got != 0 {
+		t.Fatalf("TruncateThrough(0) removed %d segments", got)
+	}
+	removed := l.TruncateThrough(uint64(n))
+	if removed != closed {
+		t.Fatalf("TruncateThrough removed %d segments, want all %d closed", removed, closed)
+	}
+	if st := l.Stats(); st.Segments != 1 || st.TruncatedSegments != uint64(closed) {
+		t.Fatalf("post-truncate stats = %+v", st)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Only the records in the (former) active segment survive, and their
+	// sequences are all above the truncation point... of the closed set.
+	res, seqs, _ := collect(t, dir, false)
+	if res.Records == 0 || res.Records >= n {
+		t.Fatalf("scan after truncate = %+v", res)
+	}
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i] != seqs[i-1]+1 {
+			t.Fatalf("surviving records not contiguous: %d then %d", seqs[i-1], seqs[i])
+		}
+	}
+	if res.MaxSeq != n {
+		t.Fatalf("MaxSeq = %d, want %d", res.MaxSeq, n)
+	}
+}
+
+func TestParseSync(t *testing.T) {
+	cases := []struct {
+		in       string
+		mode     SyncMode
+		interval time.Duration
+		err      bool
+	}{
+		{"", SyncBatch, 0, false},
+		{"batch", SyncBatch, 0, false},
+		{"off", SyncOff, 0, false},
+		{"interval", SyncInterval, DefaultSyncInterval, false},
+		{"250ms", SyncInterval, 250 * time.Millisecond, false},
+		{"2s", SyncInterval, 2 * time.Second, false},
+		{"-1s", 0, 0, true},
+		{"0", 0, 0, true},
+		{"sometimes", 0, 0, true},
+	}
+	for _, c := range cases {
+		mode, interval, err := ParseSync(c.in)
+		if (err != nil) != c.err {
+			t.Fatalf("ParseSync(%q) err = %v, want err=%v", c.in, err, c.err)
+		}
+		if err == nil && (mode != c.mode || interval != c.interval) {
+			t.Fatalf("ParseSync(%q) = %v/%v, want %v/%v", c.in, mode, interval, c.mode, c.interval)
+		}
+	}
+}
+
+func TestEmptyDirScans(t *testing.T) {
+	dir := t.TempDir()
+	res, err := Scan(dir, testMeta, true, func(uint64, []byte) error { return nil })
+	if err != nil || res.Records != 0 || res.Segments != 0 {
+		t.Fatalf("Scan of empty dir = %+v, %v", res, err)
+	}
+}
