@@ -950,6 +950,14 @@ func New(cfg Config) (*Manager, error) {
 // start builds the workers from spec and launches their goroutines.
 // Callers hold mu or have exclusive access (construction).
 func (m *Manager) start(spec EngineSpec) error {
+	if m.wlog != nil {
+		// Warm-up completion arms a log that was opened (empty) at New,
+		// before the schedule existed: pin the derived spec the engines
+		// will actually run before the first record can be teed.
+		if err := writeWALConfig(m.cfg.WALDir, walConfig{Dim: m.cfg.Dim, Shards: m.cfg.Shards, Engine: spec}); err != nil {
+			return err
+		}
+	}
 	workers := make([]*worker, m.cfg.Shards)
 	for i := range workers {
 		eng, err := spec.build()

@@ -23,8 +23,11 @@ package shard
 import (
 	"context"
 	"encoding/binary"
+	"encoding/json"
 	"fmt"
 	"math"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -129,6 +132,72 @@ func (m *Manager) WALStats() *WALStats {
 	}
 }
 
+// walConfigName is the config pin: a JSON record of the engine-
+// affecting configuration the deployment that writes the log actually
+// runs, written into the WAL directory when the tee arms (after
+// warm-up derivation, so the pinned schedule is the one the engines
+// use). The segment headers pin only dim/shards — this file pins the
+// rest, so a replay into a differently-configured engine (changed
+// window, decay, schedule, sketch shape, engine kind) fails closed
+// instead of silently producing state that matches neither the old
+// deployment nor a clean new one.
+const walConfigName = "wal-config.json"
+
+// walConfig is the pinned configuration. EngineSpec is all scalars, so
+// the struct is ==-comparable and survives a JSON round trip exactly.
+type walConfig struct {
+	Dim    int        `json:"dim"`
+	Shards int        `json:"shards"`
+	Engine EngineSpec `json:"engine"`
+}
+
+// loadWALConfig reads the pin, returning nil (no error) when no pin
+// has ever been written.
+func loadWALConfig(dir string) (*walConfig, error) {
+	b, err := os.ReadFile(filepath.Join(dir, walConfigName))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("shard: reading WAL config pin: %w", err)
+	}
+	var c walConfig
+	if err := json.Unmarshal(b, &c); err != nil {
+		return nil, fmt.Errorf("shard: WAL config pin undecodable: %v: %w", err, wal.ErrCorrupt)
+	}
+	return &c, nil
+}
+
+// writeWALConfig pins the running configuration (tmp + rename, fsynced
+// like the snapshot manifest). Called before the tee arms, so a log
+// that holds records always has the pin that wrote them.
+func writeWALConfig(dir string, c walConfig) error {
+	body, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return fmt.Errorf("shard: encoding WAL config pin: %w", err)
+	}
+	tmp := filepath.Join(dir, walConfigName+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(body, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, walConfigName)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
 // setupWAL scans the configured log directory, replays any tail past
 // the snapshot coverage through the worker FIFOs, opens a fresh active
 // segment, and starts the group-commit loop. Called single-threaded at
@@ -148,6 +217,16 @@ func (m *Manager) setupWAL(cover []uint64, restored bool) error {
 		return err
 	}
 	meta := wal.Meta{Dim: m.cfg.Dim, Shards: m.cfg.Shards}
+	// The pin that wrote any existing records; loaded before the scan so
+	// the first record can be checked against the configuration this
+	// manager actually runs (m.spec: the manifest's engine when
+	// restored, the flag-built one for a fresh manager).
+	pin, err := loadWALConfig(m.cfg.WALDir)
+	if err != nil {
+		return err
+	}
+	pinChecked := false
+	cur := walConfig{Dim: m.cfg.Dim, Shards: m.cfg.Shards, Engine: m.spec}
 	start := time.Now()
 	var rec WALRecovery
 	noCover := cover == nil
@@ -169,6 +248,17 @@ func (m *Manager) setupWAL(cover []uint64, restored bool) error {
 		if restored && noCover {
 			return fmt.Errorf("shard: WAL at %s holds records but the restored snapshot predates WAL coverage; its overlap with the log is unknown: %w",
 				m.cfg.WALDir, wal.ErrCorrupt)
+		}
+		if !pinChecked {
+			pinChecked = true
+			if pin == nil {
+				return fmt.Errorf("shard: WAL at %s holds records but no config pin (%s); the log cannot be matched to a deployment configuration: %w",
+					m.cfg.WALDir, walConfigName, wal.ErrCorrupt)
+			}
+			if *pin != cur {
+				return fmt.Errorf("shard: WAL at %s was written under a different engine configuration (pinned %+v, running %+v); replaying it would produce state matching neither deployment — restore the covering snapshot with matching flags, or point -wal-dir at a fresh directory: %w",
+					m.cfg.WALDir, pin.Engine, cur.Engine, wal.ErrCorrupt)
+			}
 		}
 		b := m.getBatch()
 		sh, t, err := decodeWALPayload(payload, m.cfg.Shards, b)
@@ -211,6 +301,14 @@ func (m *Manager) setupWAL(cover []uint64, restored bool) error {
 	})
 	if err != nil {
 		return err
+	}
+	if !m.warming {
+		// Pin the running configuration before the tee can arm. A warming
+		// manager defers this to start(): its schedule is not derived yet,
+		// and nothing can be teed until the workers exist.
+		if err := writeWALConfig(m.cfg.WALDir, cur); err != nil {
+			return err
+		}
 	}
 	// Fresh sequences resume above everything ever covered or logged.
 	seq := scanRes.MaxSeq

@@ -3,6 +3,7 @@ package shard
 import (
 	"errors"
 	"math"
+	"os"
 	"sync"
 	"testing"
 	"time"
@@ -452,6 +453,64 @@ func TestWALWarmingFailsClosedOnExistingLog(t *testing.T) {
 	})
 	if err == nil {
 		t.Fatal("warming manager over a non-empty WAL must fail closed")
+	}
+}
+
+// TestWALConfigDriftFailsClosed pins the config pin: the segment
+// headers carry only dim/shards, so wal-config.json must catch a
+// restart whose flags describe a different engine — replaying the log
+// there would silently produce state matching neither the old
+// deployment nor a clean new one. An identically-configured restart
+// still replays, and an empty log tolerates any config change.
+func TestWALConfigDriftFailsClosed(t *testing.T) {
+	walDir := t.TempDir()
+	base := Config{WALDir: walDir, WALSync: "off"}
+	m := newWALManager(t, base)
+	ingestAll(t, m, walSamples(300, 1))
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	drifted := Config{
+		Dim: 24, Shards: 2,
+		Engine: EngineSpec{Kind: KindCS, Sketch: countsketch.Config{Tables: 3, Range: 1024, Seed: 31}, T: 60_000},
+		WALDir: walDir, WALSync: "off",
+	}
+	if _, err := New(drifted); !errors.Is(err, wal.ErrCorrupt) {
+		t.Fatalf("replay under a drifted engine config = %v, want fail-closed ErrCorrupt", err)
+	}
+
+	// The same flags still recover the state.
+	same := newWALManager(t, base)
+	if got, want := same.Step(), 300; got != want {
+		t.Fatalf("replayed Step = %d, want %d", got, want)
+	}
+	if err := same.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A config change over an emptied log is a legitimate redeploy: the
+	// pin rewrites instead of failing.
+	if err := os.RemoveAll(walDir); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := New(drifted)
+	if err != nil {
+		t.Fatalf("fresh WAL dir with new config: %v", err)
+	}
+	ingestAll(t, m2, walSamples(100, 2))
+	if err := m2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m3, err := New(drifted)
+	if err != nil {
+		t.Fatalf("matching restart after repin: %v", err)
+	}
+	if got, want := m3.Step(), 100; got != want {
+		t.Fatalf("replayed Step after repin = %d, want %d", got, want)
+	}
+	if err := m3.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -42,7 +42,12 @@
 // truncated at the first bad record (Repair physically trims the
 // file). Damage in any earlier segment cannot be explained by a single
 // crash and fails closed with ErrCorrupt: a log with a hole in the
-// middle must not replay the records after the hole.
+// middle must not replay the records after the hole. The one
+// exception is a segment shorter than its own header — the residue of
+// a crash inside segment creation, before the header fsync — which by
+// construction holds no committed records: it is skipped wherever it
+// sits, and removed when repairing, so it can never strand a later
+// boot.
 package wal
 
 import (
@@ -260,13 +265,23 @@ func fileSize(path string) int64 {
 	return fi.Size()
 }
 
-// openSegment starts a new active segment and writes its header. The
+// openSegment starts a new active segment and writes its header, made
+// durable (flush + fsync + dir sync) before the segment is usable: a
+// segment that exists on disk always carries a complete header, so a
+// crash between boot and the first append can leave at worst a
+// headerless file that holds no committed records — which Scan
+// tolerates and removes — never a permanently "corrupt" log. The
 // caller must not hold mu.
 func (l *Log) openSegment(index uint64) error {
 	path := filepath.Join(l.dir, fmt.Sprintf(segPat, index))
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: creating segment: %w", err)
+	}
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(path)
+		return err
 	}
 	var hdr [headerSize]byte
 	binary.LittleEndian.PutUint32(hdr[0:], segMagic)
@@ -275,9 +290,16 @@ func (l *Log) openSegment(index uint64) error {
 	binary.LittleEndian.PutUint32(hdr[12:], uint32(l.meta.Shards))
 	bw := bufio.NewWriterSize(l.faults.WALWriter(f), 1<<18)
 	if _, err := bw.Write(hdr[:]); err != nil {
-		f.Close()
-		return err
+		return fail(err)
 	}
+	if err := bw.Flush(); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	l.fsyncs.Add(1)
+	syncDir(l.dir)
 	l.f, l.bw = f, bw
 	l.activeIdx, l.activePath = index, path
 	l.activeBytes = headerSize
@@ -402,7 +424,10 @@ func (l *Log) Close() error {
 	if err == nil {
 		err = cerr
 	}
-	if l.faults.WALTorn() && l.lastRecLen > 0 {
+	// Order matters: WALTorn() counts itself as fired, so it must not be
+	// consulted when there is no record to tear (empty active segment) —
+	// the fired counter would claim an injection that never happened.
+	if l.lastRecLen > 0 && l.faults.WALTorn() {
 		os.Truncate(l.activePath, l.activeBytes-l.lastRecLen/2)
 	}
 	return err
@@ -445,7 +470,11 @@ type ScanResult struct {
 // recovery contract: CRC damage in the newest segment truncates the
 // tail there (physically, when repair is set — so a later scan starts
 // clean); damage anywhere earlier fails closed with ErrCorrupt. A
-// non-nil error from fn aborts the scan.
+// segment shorter than its own header holds no committed records
+// (openSegment fsyncs the header before any append) and is skipped in
+// any position — and removed when repair is set, never truncated to an
+// empty file that a later boot would misread as corruption. A non-nil
+// error from fn aborts the scan.
 func Scan(dir string, meta Meta, repair bool, fn func(seq uint64, payload []byte) error) (ScanResult, error) {
 	var res ScanResult
 	files, err := listSegments(dir)
@@ -462,6 +491,25 @@ func Scan(dir string, meta Meta, repair bool, fn func(seq uint64, payload []byte
 		}
 		if err != nil {
 			return res, err
+		}
+		if validLen < headerSize {
+			// The segment never got a complete header (a crash inside
+			// openSegment, before its fsync): it holds no committed
+			// records. Remove it rather than truncating — a zero-byte
+			// segment left behind would sit mid-log after the next Open
+			// creates a newer one, and an empty file must never read as
+			// corruption.
+			if size := fileSize(sf.path); last && size > 0 {
+				res.Torn = true
+				res.TornBytes = size
+			}
+			if repair {
+				if rerr := os.Remove(sf.path); rerr != nil && !os.IsNotExist(rerr) {
+					return res, fmt.Errorf("wal: removing headerless segment %s: %w", sf.path, rerr)
+				}
+				syncDir(dir)
+			}
+			continue
 		}
 		if last {
 			if size := fileSize(sf.path); size > validLen {
@@ -512,7 +560,8 @@ func listSegments(dir string) ([]segFile, error) {
 // the cheap pass Open uses to rebuild the truncation index. A damaged
 // record is tolerated only when last is true: the walk stops there and
 // validLen reports the clean prefix. Damage in a non-last segment
-// returns ErrCorrupt.
+// returns ErrCorrupt. A segment shorter than its header is tolerated
+// in any position (validLen 0: it holds no committed records).
 func walkSegment(path string, meta Meta, last bool, fn func(seq uint64, payload []byte) error) (maxSeq, records uint64, validLen int64, err error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -522,13 +571,13 @@ func walkSegment(path string, meta Meta, last bool, fn func(seq uint64, payload 
 	br := bufio.NewReaderSize(f, 1<<18)
 	var hdr [headerSize]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		if last {
-			// A crash can tear even the header of a freshly rotated
-			// segment; an empty or half-written newest segment holds no
-			// committed records.
-			return 0, 0, 0, nil
-		}
-		return 0, 0, 0, fmt.Errorf("wal: short segment header in %s: %w", filepath.Base(path), ErrCorrupt)
+		// Fewer than headerSize bytes: a crash inside openSegment, before
+		// the header fsync. openSegment makes the header durable before
+		// any append, so such a segment holds no committed records and is
+		// safe to skip wherever it sits in the log — including mid-log,
+		// where a boot sequence of crash-before-first-append followed by
+		// a clean Open leaves it. Scan removes it under repair.
+		return 0, 0, 0, nil
 	}
 	if binary.LittleEndian.Uint32(hdr[0:]) != segMagic {
 		return 0, 0, 0, fmt.Errorf("wal: bad magic in %s: %w", filepath.Base(path), ErrCorrupt)

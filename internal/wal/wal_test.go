@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/sketchapi"
 )
 
@@ -280,10 +281,158 @@ func TestParseSync(t *testing.T) {
 	}
 }
 
+// TestHeaderDurableAtOpen pins the crash window between boot and the
+// first append: the active segment's header must be on disk the moment
+// Open returns, so a SIGKILLed process that never appended leaves a
+// complete (empty) segment behind, not a zero-byte file.
+func TestHeaderDurableAtOpen(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, dir, 1<<20)
+	defer l.Close()
+	seg := filepath.Join(dir, fmt.Sprintf(segPat, 1))
+	if size := fileSize(seg); size < headerSize {
+		t.Fatalf("active segment holds %d bytes before any flush, want ≥ %d (header not durable)", size, headerSize)
+	}
+}
+
+// TestHeaderlessSegmentNeverBricksTheLog pins the zero-byte-segment
+// landmine: a segment shorter than its header is skipped wherever it
+// sits — in particular mid-log, where two boots push it once Open
+// creates a newer segment — and a repairing Scan removes it.
+func TestHeaderlessSegmentNeverBricksTheLog(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, dir, 1<<20)
+	for i := 1; i <= 5; i++ {
+		if err := l.Append(uint64(i), payload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The crash artifact: a headerless newest segment.
+	empty := filepath.Join(dir, fmt.Sprintf(segPat, 2))
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Boot 1 appends past it: the husk is now mid-log.
+	l2 := openTest(t, dir, 1<<20)
+	if err := l2.Append(6, payload(6)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Boot 2: every record still scans; mid-log emptiness is not damage.
+	res, seqs, _ := collect(t, dir, false)
+	if res.Records != 6 || res.MaxSeq != 6 {
+		t.Fatalf("scan around headerless segment = %+v, want 6 records", res)
+	}
+	if seqs[len(seqs)-1] != 6 {
+		t.Fatalf("last seq = %d, want 6", seqs[len(seqs)-1])
+	}
+	// Repair removes the husk (never truncates it into a fresh landmine),
+	// and the log stays openable.
+	collect(t, dir, true)
+	if _, err := os.Stat(empty); !os.IsNotExist(err) {
+		t.Fatalf("repair left the headerless segment behind: %v", err)
+	}
+	l3 := openTest(t, dir, 1<<20)
+	if err := l3.Close(); err != nil {
+		t.Fatal(err)
+	}
+	res2, _, _ := collect(t, dir, false)
+	if res2.Records != 6 {
+		t.Fatalf("post-repair scan = %+v, want 6 records", res2)
+	}
+}
+
+// TestTornHeaderRepairRemoves pins the repair of a newest segment whose
+// header itself is torn: the file is removed outright — truncating it
+// to zero bytes would recreate the mid-log landmine on the next boot.
+func TestTornHeaderRepairRemoves(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, dir, 1<<20)
+	for i := 1; i <= 3; i++ {
+		if err := l.Append(uint64(i), payload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	torn := filepath.Join(dir, fmt.Sprintf(segPat, 2))
+	if err := os.WriteFile(torn, []byte{0x41, 0x57, 0x4C, 0x31, 0x01, 0x00, 0x00}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, _, _ := collect(t, dir, true)
+	if res.Records != 3 || !res.Torn || res.TornBytes != 7 {
+		t.Fatalf("repair scan = %+v, want 3 records and a 7-byte tear", res)
+	}
+	if fi, err := os.Stat(torn); err == nil {
+		t.Fatalf("torn-header segment still on disk with %d bytes, want removed", fi.Size())
+	}
+	res2, _, _ := collect(t, dir, false)
+	if res2.Torn || res2.Records != 3 {
+		t.Fatalf("post-repair scan = %+v, want clean 3 records", res2)
+	}
+}
+
 func TestEmptyDirScans(t *testing.T) {
 	dir := t.TempDir()
 	res, err := Scan(dir, testMeta, true, func(uint64, []byte) error { return nil })
 	if err != nil || res.Records != 0 || res.Segments != 0 {
 		t.Fatalf("Scan of empty dir = %+v, %v", res, err)
+	}
+}
+
+// TestWALTornFaultNotCountedWhenEmpty pins the fired-counter ordering
+// in Close: with no record in the active segment there is nothing to
+// tear, so the waltorn fault must not be consulted — a fired count
+// would claim an injection that never happened, and chaos assertions
+// key off that counter.
+func TestWALTornFaultNotCountedWhenEmpty(t *testing.T) {
+	in, err := faults.Parse("waltorn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, Meta: testMeta, Faults: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range in.Fired() {
+		if f.Kind == "waltorn" && f.Count != 0 {
+			t.Fatalf("waltorn counted %d fires with nothing to tear", f.Count)
+		}
+	}
+
+	// With a record present the fault both fires and counts.
+	dir2 := t.TempDir()
+	l2, err := Open(Options{Dir: dir2, Meta: testMeta, Faults: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Append(1, payload(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var counted bool
+	for _, f := range in.Fired() {
+		if f.Kind == "waltorn" && f.Count == 1 {
+			counted = true
+		}
+	}
+	if !counted {
+		t.Fatalf("waltorn fire with a record present not counted: %+v", in.Fired())
+	}
+	res, _, _ := collect(t, dir2, false)
+	if !res.Torn {
+		t.Fatal("waltorn fault did not tear the tail")
 	}
 }
